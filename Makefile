@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench figures fast clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full paper-scale regeneration of every table, figure, ablation and
+# extension (~3 minutes), captured to bench_output.txt.
+bench:
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+# Just the paper's figures, at paper scale.
+figures:
+	dune exec bin/main.exe -- all
+
+# Smoke-test everything at reduced scale.
+fast:
+	dune exec bench/main.exe -- --fast --skip-micro
+
+clean:
+	dune clean

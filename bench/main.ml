@@ -1,0 +1,246 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (Table 1, Figures 2-13), runs the ablation studies, the self-similarity
+   extension, and a Bechamel microbenchmark section for the simulator
+   primitives. `dune exec bench/main.exe` runs everything at paper scale
+   (~1 minute); `--fast` shrinks runs for smoke testing. *)
+
+let std = Format.std_formatter
+
+let fast = ref false
+let skip_micro = ref false
+let only : string option ref = ref None
+
+let usage = "main.exe [--fast] [--skip-micro] [--only SECTION]"
+
+let args =
+  [
+    ("--fast", Arg.Set fast, " reduced scale (60 s runs, sparser sweep)");
+    ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel microbenchmarks");
+    ( "--only",
+      Arg.String (fun s -> only := Some s),
+      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | micro" );
+  ]
+
+let section name = Format.fprintf std "@.==== %s ====@.@." name
+
+let wants name = match !only with None -> true | Some s -> s = name
+
+(* ------------------------------------------------------------------ *)
+(* Paper tables and figures                                            *)
+
+let config () =
+  if !fast then { Burstcore.Config.default with duration_s = 60.; warmup_s = 20. }
+  else Burstcore.Config.default
+
+let sweep_counts () =
+  if !fast then [ 5; 15; 25; 30; 36; 39; 42; 50; 60 ]
+  else Burstcore.Figures.default_client_counts
+
+let run_table1 () =
+  section "Table 1";
+  Burstcore.Figures.table1 std (config ())
+
+let run_figures () =
+  section "Figures 2, 3, 4, 13 (one sweep)";
+  let cfg = config () in
+  let progress label = Format.eprintf "  sweep: %s@." label in
+  let sweep = Burstcore.Figures.run_sweep ~progress cfg (sweep_counts ()) in
+  Burstcore.Figures.fig2 std sweep cfg;
+  Format.fprintf std "@.";
+  Burstcore.Figures.fig3 std sweep;
+  Format.fprintf std "@.";
+  Burstcore.Figures.fig4 std sweep;
+  Format.fprintf std "@.";
+  Burstcore.Figures.fig13 std sweep
+
+let run_cwnd_figures () =
+  section "Figures 5-12 (congestion-window evolution)";
+  let cfg = config () in
+  List.iter
+    (fun (k, scenario, clients) ->
+      Burstcore.Figures.fig_cwnd std cfg ~scenario ~clients
+        ~label:(Printf.sprintf "Figure %d" k);
+      Format.fprintf std "@.")
+    Burstcore.Figures.cwnd_figures
+
+let run_queue_occupancy () =
+  section "Extension: gateway queue occupancy";
+  Burstcore.Figures.queue_occupancy std (config ()) ~clients:30
+
+let run_ablations () =
+  section "Ablations";
+  let cfg = config () in
+  Burstcore.Ablation.buffer_sweep std cfg ~clients:45;
+  Format.fprintf std "@.";
+  Burstcore.Ablation.red_threshold_sweep std cfg ~clients:45;
+  Format.fprintf std "@.";
+  Burstcore.Ablation.vegas_alpha_beta_sweep std cfg ~clients:45;
+  Format.fprintf std "@.";
+  Burstcore.Ablation.cc_comparison std cfg [ 30; 45; 60 ];
+  Format.fprintf std "@.";
+  Burstcore.Ablation.ecn_comparison std cfg [ 45; 60 ];
+  Format.fprintf std "@.";
+  Burstcore.Ablation.latency std cfg [ 20; 40; 60 ];
+  Format.fprintf std "@.";
+  Burstcore.Ablation.cwnd_validation std cfg [ 30; 50 ];
+  Format.fprintf std "@.";
+  Burstcore.Ablation.pacing std cfg [ 30; 50 ]
+
+let run_selfsim () =
+  section "Extension: self-similarity";
+  Burstcore.Selfsim.report std (config ())
+
+let run_twoway () =
+  section "Extension: two-way traffic (ACK compression)";
+  Burstcore.Twoway.report std (Burstcore.Config.with_clients (config ()) 30)
+
+let run_parking_lot () =
+  section "Extension: parking-lot topology";
+  Burstcore.Parking_lot.report std (config ())
+
+let run_fluid () =
+  section "Extension: fluid model vs packet simulation";
+  Burstcore.Fluid_compare.report std (config ()) [ 4; 8; 16 ]
+
+let run_sync () =
+  section "Extension: congestion-control synchronization";
+  let cfg = config () in
+  Burstcore.Sync.report std cfg (if !fast then [ 30; 60 ] else [ 20; 30; 40; 50; 60 ]);
+  Format.fprintf std "@.";
+  Burstcore.Sync.desync_ablation std cfg ~clients:50
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the simulator primitives                *)
+
+module Micro = struct
+  open Bechamel
+  open Toolkit
+
+  module Int_heap = Sim_engine.Heap.Make (Int)
+
+  let heap_push_pop =
+    Test.make ~name:"heap push+pop x100"
+      (Staged.stage (fun () ->
+           let h = Int_heap.create () in
+           for i = 0 to 99 do
+             Int_heap.push h ((i * 7919) mod 101)
+           done;
+           for _ = 0 to 99 do
+             ignore (Int_heap.pop h)
+           done))
+
+  let event_queue_cycle =
+    Test.make ~name:"event_queue schedule+pop x100"
+      (Staged.stage (fun () ->
+           let q = Sim_engine.Event_queue.create () in
+           for i = 0 to 99 do
+             ignore
+               (Sim_engine.Event_queue.schedule q
+                  (Sim_engine.Time.of_sec (float_of_int ((i * 31) mod 17)))
+                  ignore)
+           done;
+           while Sim_engine.Event_queue.pop q <> None do
+             ()
+           done))
+
+  let rng_exponential =
+    let rng = Sim_engine.Rng.create ~seed:1L in
+    Test.make ~name:"rng exponential"
+      (Staged.stage (fun () -> ignore (Sim_engine.Rng.exponential rng ~mean:0.1)))
+
+  let red_enqueue_dequeue =
+    let rng = Sim_engine.Rng.create ~seed:2L in
+    let params = Netsim.Red.default_params ~capacity:50 ~min_th:10. ~max_th:40. in
+    let red = Netsim.Red.create ~rng params in
+    let factory = Netsim.Packet.factory () in
+    let packet =
+      Netsim.Packet.make factory ~flow:0 ~src:1 ~dst:0 ~size_bytes:1500
+        ~sent_at:Sim_engine.Time.zero
+        (Netsim.Packet.Tcp_data { seq = 0; is_retransmit = false })
+    in
+    Test.make ~name:"red enqueue+dequeue"
+      (Staged.stage (fun () ->
+           ignore (Netsim.Red.enqueue red ~now:Sim_engine.Time.zero packet);
+           ignore (Netsim.Red.dequeue red ~now:Sim_engine.Time.zero)))
+
+  let welford_add =
+    let w = Netstats.Welford.create () in
+    Test.make ~name:"welford add"
+      (Staged.stage (fun () -> Netstats.Welford.add w 1.234))
+
+  let mini_simulation =
+    Test.make ~name:"dumbbell 2 clients x 5s"
+      (Staged.stage (fun () ->
+           let cfg =
+             {
+               (Burstcore.Config.with_clients Burstcore.Config.default 2) with
+               Burstcore.Config.duration_s = 5.;
+               warmup_s = 1.;
+             }
+           in
+           ignore (Burstcore.Run.run cfg Burstcore.Scenario.reno)))
+
+  let tests =
+    Test.make_grouped ~name:"primitives" ~fmt:"%s %s"
+      [
+        heap_push_pop;
+        event_queue_cycle;
+        rng_exponential;
+        red_enqueue_dequeue;
+        welford_add;
+        mini_simulation;
+      ]
+
+  let run () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    in
+    let raw_results = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    let results = Analyze.merge ols instances results in
+    Hashtbl.iter
+      (fun _clock per_test ->
+        let rows = ref [] in
+        Hashtbl.iter
+          (fun name ols_result ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (x :: _) -> x
+              | _ -> Float.nan
+            in
+            rows := (name, ns) :: !rows)
+          per_test;
+        let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) !rows in
+        List.iter
+          (fun (name, ns) ->
+            if ns > 1e6 then Format.fprintf std "%-40s %12.3f ms/run@." name (ns /. 1e6)
+            else if ns > 1e3 then Format.fprintf std "%-40s %12.3f us/run@." name (ns /. 1e3)
+            else Format.fprintf std "%-40s %12.1f ns/run@." name ns)
+          rows)
+      results
+end
+
+let run_micro () =
+  section "Microbenchmarks (Bechamel)";
+  Micro.run ()
+
+let () =
+  Arg.parse (Arg.align args) (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if wants "table1" then run_table1 ();
+  if wants "figures" then run_figures ();
+  if wants "cwnd" then run_cwnd_figures ();
+  if wants "queue" then run_queue_occupancy ();
+  if wants "ablations" then run_ablations ();
+  if wants "selfsim" then run_selfsim ();
+  if wants "sync" then run_sync ();
+  if wants "fluid" then run_fluid ();
+  if wants "parking" then run_parking_lot ();
+  if wants "twoway" then run_twoway ();
+  if (not !skip_micro) && wants "micro" then run_micro ();
+  Format.pp_print_flush std ()

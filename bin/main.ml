@@ -1,0 +1,366 @@
+(* burstsim — command-line driver for the ICDCS 2000 TCP-burstiness
+   reproduction. Subcommands regenerate the paper's tables and figures or
+   run custom experiments. *)
+
+open Cmdliner
+
+let std = Format.std_formatter
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+
+let duration =
+  let doc = "Total simulated time per run, in seconds (Table 1: 200)." in
+  Arg.(value & opt float 200. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let seed =
+  let doc = "Base RNG seed; every run derives from it deterministically." in
+  Arg.(value & opt int 0x1CDC5 & info [ "seed" ] ~docv:"INT" ~doc)
+
+let fast =
+  let doc =
+    "Reduced scale: 60 s runs and a sparser client sweep. Roughly 10x faster; \
+     shapes are preserved, absolute counts shrink."
+  in
+  Arg.(value & flag & info [ "fast" ] ~doc)
+
+let clients_list =
+  let doc = "Comma-separated client counts to sweep." in
+  Arg.(value & opt (some (list int)) None & info [ "clients" ] ~docv:"N,N,..." ~doc)
+
+let base_config ~duration ~seed ~fast =
+  let cfg = { Burstcore.Config.default with seed = Int64.of_int seed } in
+  let cfg =
+    if fast then { cfg with duration_s = 60.; warmup_s = 5. }
+    else { cfg with duration_s = duration }
+  in
+  (* Keep the warm-up inside short custom durations. *)
+  { cfg with warmup_s = Stdlib.min cfg.warmup_s (cfg.duration_s /. 4.) }
+
+let sweep_counts ~fast ~clients_list =
+  match clients_list with
+  | Some ns -> ns
+  | None ->
+      if fast then [ 5; 15; 25; 30; 36; 39; 42; 50; 60 ]
+      else Burstcore.Figures.default_client_counts
+
+let scenario_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "udp" -> Ok Burstcore.Scenario.udp
+    | "reno" -> Ok Burstcore.Scenario.reno
+    | "reno-red" | "reno/red" -> Ok Burstcore.Scenario.reno_red
+    | "reno-delack" | "reno/delack" -> Ok Burstcore.Scenario.reno_delack
+    | "vegas" -> Ok Burstcore.Scenario.vegas
+    | "vegas-red" | "vegas/red" -> Ok Burstcore.Scenario.vegas_red
+    | "tahoe" -> Ok Burstcore.Scenario.tahoe
+    | "newreno" -> Ok Burstcore.Scenario.newreno
+    | "reno-ecn" | "reno/ecn" -> Ok Burstcore.Scenario.reno_ecn
+    | "vegas-ecn" | "vegas/ecn" -> Ok Burstcore.Scenario.vegas_ecn
+    | "reno-ared" | "reno/ared" -> Ok Burstcore.Scenario.reno_ared
+    | "vegas-ared" | "vegas/ared" -> Ok Burstcore.Scenario.vegas_ared
+    | "sack" -> Ok Burstcore.Scenario.sack
+    | "sack-red" | "sack/red" -> Ok Burstcore.Scenario.sack_red
+    | "reno-sfq" | "reno/sfq" -> Ok Burstcore.Scenario.reno_sfq
+    | "vegas-sfq" | "vegas/sfq" -> Ok Burstcore.Scenario.vegas_sfq
+    | _ -> Error (`Msg (Printf.sprintf "unknown scenario %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Burstcore.Scenario.label s) in
+  Arg.conv (parse, print)
+
+let progress label = Format.eprintf "running %s...@." label
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+
+let table1_cmd =
+  let run duration seed fast =
+    Burstcore.Figures.table1 std (base_config ~duration ~seed ~fast)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the simulation parameters (Table 1).")
+    Term.(const run $ duration $ seed $ fast)
+
+(* ------------------------------------------------------------------ *)
+(* fig N                                                               *)
+
+let fig_number =
+  let doc = "Figure number (2-13)." in
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
+
+let render_sweep_figure n cfg counts =
+  let sweep = Burstcore.Figures.run_sweep ~progress cfg counts in
+  match n with
+  | 2 -> Burstcore.Figures.fig2 std sweep cfg
+  | 3 -> Burstcore.Figures.fig3 std sweep
+  | 4 -> Burstcore.Figures.fig4 std sweep
+  | 13 -> Burstcore.Figures.fig13 std sweep
+  | _ -> assert false
+
+let replicates_opt =
+  let doc = "Independent seeds per point (figure 2 only)." in
+  Arg.(value & opt int 1 & info [ "replicates" ] ~docv:"R" ~doc)
+
+let fig_cmd =
+  let run n duration seed fast clients_list replicates =
+    let cfg = base_config ~duration ~seed ~fast in
+    match n with
+    | 2 when replicates > 1 ->
+        Burstcore.Figures.fig2_replicated std cfg
+          (sweep_counts ~fast ~clients_list)
+          ~replicates
+    | 2 | 3 | 4 | 13 ->
+        render_sweep_figure n cfg (sweep_counts ~fast ~clients_list)
+    | _ -> (
+        match
+          List.find_opt
+            (fun (k, _, _) -> k = n)
+            Burstcore.Figures.cwnd_figures
+        with
+        | Some (k, scenario, clients) ->
+            Burstcore.Figures.fig_cwnd std cfg ~scenario ~clients
+              ~label:(Printf.sprintf "Figure %d" k)
+        | None ->
+            Format.eprintf "no such figure: %d (valid: 2-13)@." n;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate one figure of the paper.")
+    Term.(const run $ fig_number $ duration $ seed $ fast $ clients_list $ replicates_opt)
+
+(* ------------------------------------------------------------------ *)
+(* all                                                                 *)
+
+let all_cmd =
+  let run duration seed fast clients_list =
+    let cfg = base_config ~duration ~seed ~fast in
+    Burstcore.Figures.table1 std cfg;
+    let sweep = Burstcore.Figures.run_sweep ~progress cfg (sweep_counts ~fast ~clients_list) in
+    Format.fprintf std "@.";
+    Burstcore.Figures.fig2 std sweep cfg;
+    Format.fprintf std "@.";
+    Burstcore.Figures.fig3 std sweep;
+    Format.fprintf std "@.";
+    Burstcore.Figures.fig4 std sweep;
+    Format.fprintf std "@.";
+    Burstcore.Figures.fig13 std sweep;
+    List.iter
+      (fun (k, scenario, clients) ->
+        Format.fprintf std "@.";
+        Burstcore.Figures.fig_cwnd std cfg ~scenario ~clients
+          ~label:(Printf.sprintf "Figure %d" k))
+      Burstcore.Figures.cwnd_figures
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table and figure.")
+    Term.(const run $ duration $ seed $ fast $ clients_list)
+
+(* ------------------------------------------------------------------ *)
+(* run — one custom experiment                                         *)
+
+let run_cmd =
+  let scenario =
+    let doc =
+      "Scenario: udp, reno, reno-red, reno-delack, vegas, vegas-red, tahoe, \
+       newreno, reno-ecn, vegas-ecn, reno-ared, vegas-ared, sack, sack-red, \
+       reno-sfq, vegas-sfq."
+    in
+    Arg.(value & opt scenario_conv Burstcore.Scenario.reno & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let clients =
+    let doc = "Number of clients." in
+    Arg.(value & opt int 30 & info [ "n"; "clients" ] ~docv:"N" ~doc)
+  in
+  let json =
+    let doc = "Print the metrics as a JSON document instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run scenario clients duration seed fast json =
+    let cfg =
+      Burstcore.Config.with_clients (base_config ~duration ~seed ~fast) clients
+    in
+    let m = Burstcore.Run.run ~trace_clients:[ 0 ] cfg scenario in
+    if json then
+      Format.fprintf std "%s@."
+        (Burstcore.Json.to_string
+           (Burstcore.Json.Obj
+              [
+                ("config", Burstcore.Export.config_to_json cfg);
+                ("metrics", Burstcore.Export.metrics_to_json m);
+              ]))
+    else begin
+      Format.fprintf std "%a@." Burstcore.Metrics.pp_row m;
+      Format.fprintf std
+        "offered=%d sent=%d retransmits=%d fast_rtx=%d gateway arrivals=%d drops=%d@."
+        m.Burstcore.Metrics.offered m.Burstcore.Metrics.segments_sent
+        m.Burstcore.Metrics.retransmits m.Burstcore.Metrics.fast_retransmits
+        m.Burstcore.Metrics.gateway_arrivals m.Burstcore.Metrics.gateway_drops
+    end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one scenario and print its metrics.")
+    Term.(const run $ scenario $ clients $ duration $ seed $ fast $ json)
+
+(* ------------------------------------------------------------------ *)
+(* trace — packet-level event trace of the bottleneck                  *)
+
+let trace_cmd =
+  let scenario =
+    let doc = "Scenario to trace." in
+    Arg.(value & opt scenario_conv Burstcore.Scenario.reno & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let clients =
+    let doc = "Number of clients." in
+    Arg.(value & opt int 20 & info [ "n"; "clients" ] ~docv:"N" ~doc)
+  in
+  let out =
+    let doc = "Output file; stdout when omitted." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run scenario clients out duration seed fast =
+    let cfg =
+      Burstcore.Config.with_clients (base_config ~duration ~seed ~fast) clients
+    in
+    let tracer = Netsim.Tracer.create () in
+    let m =
+      Burstcore.Run.run
+        ~prepare:(fun net ->
+          Netsim.Tracer.attach tracer (Burstcore.Dumbbell.bottleneck net))
+        cfg scenario
+    in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Netsim.Tracer.output tracer oc);
+        Format.eprintf "wrote %d events to %s@." (Netsim.Tracer.length tracer) path
+    | None -> Netsim.Tracer.output tracer stdout);
+    Format.eprintf "%a@." Burstcore.Metrics.pp_row m
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one scenario and emit an ns-style packet event trace of the           bottleneck link.")
+    Term.(const run $ scenario $ clients $ out $ duration $ seed $ fast)
+
+(* ------------------------------------------------------------------ *)
+(* selfsim — extension: heavy-tailed sources vs Poisson                *)
+
+let selfsim_cmd =
+  let run duration seed fast =
+    let cfg = base_config ~duration ~seed ~fast in
+    Burstcore.Selfsim.report std cfg
+  in
+  Cmd.v
+    (Cmd.info "selfsim"
+       ~doc:
+         "Extension: Hurst estimates for aggregated Poisson vs Pareto-on/off \
+          traffic, connecting the paper to the self-similarity literature.")
+    Term.(const run $ duration $ seed $ fast)
+
+(* ------------------------------------------------------------------ *)
+(* sync — extension: congestion-control synchronization               *)
+
+let sync_cmd =
+  let run duration seed fast clients_list =
+    let cfg = base_config ~duration ~seed ~fast in
+    let ns =
+      match clients_list with Some ns -> ns | None -> [ 20; 30; 40; 50; 60 ]
+    in
+    Burstcore.Sync.report std cfg ns;
+    Format.fprintf std "@.";
+    Burstcore.Sync.desync_ablation std cfg ~clients:50
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:
+         "Extension: synchronization index of the TCP streams' congestion           decisions, plus the desynchronization ablation.")
+    Term.(const run $ duration $ seed $ fast $ clients_list)
+
+(* ------------------------------------------------------------------ *)
+(* fluid — fluid approximation vs packet simulation                   *)
+
+let fluid_cmd =
+  let run duration seed fast clients_list =
+    let cfg = base_config ~duration ~seed ~fast in
+    let flows = match clients_list with Some ns -> ns | None -> [ 4; 8; 16 ] in
+    Burstcore.Fluid_compare.report std cfg flows
+  in
+  Cmd.v
+    (Cmd.info "fluid"
+       ~doc:
+         "Extension: compare the Misra-Gong-Towsley Reno fluid model and           Bonald's Vegas equilibrium (the paper's reference [1] technique)           against greedy-flow packet simulations.")
+    Term.(const run $ duration $ seed $ fast $ clients_list)
+
+(* ------------------------------------------------------------------ *)
+(* export — machine-readable sweep results                            *)
+
+let export_cmd =
+  let format =
+    let doc = "Output format: json or csv." in
+    Arg.(value & opt (enum [ ("json", `Json); ("csv", `Csv) ]) `Json
+        & info [ "format" ] ~docv:"FMT" ~doc)
+  in
+  let out =
+    let doc = "Output file." in
+    Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run format out duration seed fast clients_list =
+    let cfg = base_config ~duration ~seed ~fast in
+    let sweep =
+      Burstcore.Figures.run_sweep ~progress cfg (sweep_counts ~fast ~clients_list)
+    in
+    let contents =
+      match format with
+      | `Json -> Burstcore.Json.to_string (Burstcore.Export.sweep_to_json cfg sweep)
+      | `Csv -> Burstcore.Export.sweep_to_csv sweep
+    in
+    Burstcore.Export.write_file out contents;
+    Format.eprintf "wrote %s@." out
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Run the paper sweep and write the results as JSON or CSV.")
+    Term.(const run $ format $ out $ duration $ seed $ fast $ clients_list)
+
+(* ------------------------------------------------------------------ *)
+(* parking — multi-hop fairness experiment                            *)
+
+let parking_cmd =
+  let run duration seed fast =
+    let cfg = base_config ~duration ~seed ~fast in
+    Burstcore.Parking_lot.report std cfg
+  in
+  Cmd.v
+    (Cmd.info "parking"
+       ~doc:
+         "Extension: parking-lot topology — one long flow crossing several           bottleneck hops against per-hop cross traffic.")
+    Term.(const run $ duration $ seed $ fast)
+
+(* ------------------------------------------------------------------ *)
+(* twoway — bidirectional traffic / ACK compression                   *)
+
+let twoway_cmd =
+  let run duration seed fast clients_list =
+    let cfg = base_config ~duration ~seed ~fast in
+    let n = match clients_list with Some (n :: _) -> n | _ -> 30 in
+    Burstcore.Twoway.report std (Burstcore.Config.with_clients cfg n)
+  in
+  Cmd.v
+    (Cmd.info "twoway"
+       ~doc:
+         "Extension: add reverse-direction data flows so forward ACKs queue           behind them (ACK compression) and measure the forward burstiness.")
+    Term.(const run $ duration $ seed $ fast $ clients_list)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "burstsim" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of 'On the Burstiness of the TCP Congestion-Control \
+          Mechanism in a Distributed Computing System' (ICDCS 2000).")
+    [ table1_cmd; fig_cmd; all_cmd; run_cmd; trace_cmd; selfsim_cmd; sync_cmd; fluid_cmd; parking_cmd; twoway_cmd; export_cmd ]
+
+let () = exit (Cmd.eval main)

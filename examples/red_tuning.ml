@@ -1,0 +1,50 @@
+(* RED gateway tuning under heavy TCP load.
+
+   §3.4 of the paper finds that RED gateways *increase* TCP's traffic
+   modulation and hurt throughput relative to plain drop-tail, and that
+   Vegas/RED suffers the worst loss because N Vegas streams try to keep
+   alpha*N..beta*N packets queued while RED drops everything above max_th.
+   This example sweeps RED's (min_th, max_th) thresholds at 45 clients and
+   prints burstiness, throughput and loss next to the drop-tail baseline,
+   so you can see whether any threshold setting rescues RED.
+
+   Run with: dune exec examples/red_tuning.exe *)
+
+let clients = 45
+
+let cell m =
+  Printf.sprintf "cov=%.4f thr=%d loss=%.2f%%" m.Burstcore.Metrics.cov
+    m.Burstcore.Metrics.delivered m.Burstcore.Metrics.loss_pct
+
+let () =
+  let base =
+    {
+      (Burstcore.Config.with_clients Burstcore.Config.default clients) with
+      Burstcore.Config.duration_s = 120.;
+      warmup_s = 20.;
+    }
+  in
+  Format.printf "RED tuning at %d clients (offered load %.0f%% of bottleneck)@.@."
+    clients
+    (100. *. Burstcore.Config.offered_load_fraction base);
+  let fifo_reno = Burstcore.Run.run base Burstcore.Scenario.reno in
+  let fifo_vegas = Burstcore.Run.run base Burstcore.Scenario.vegas in
+  Format.printf "%-22s Reno  %s@." "drop-tail (baseline)" (cell fifo_reno);
+  Format.printf "%-22s Vegas %s@.@." "" (cell fifo_vegas);
+  List.iter
+    (fun (min_th, max_th) ->
+      let cfg =
+        { base with Burstcore.Config.red_min_th = min_th; red_max_th = max_th }
+      in
+      let reno = Burstcore.Run.run cfg Burstcore.Scenario.reno_red in
+      let vegas = Burstcore.Run.run cfg Burstcore.Scenario.vegas_red in
+      Format.printf "%-22s Reno  %s@."
+        (Printf.sprintf "RED (%g, %g)" min_th max_th)
+        (cell reno);
+      Format.printf "%-22s Vegas %s@.@." "" (cell vegas))
+    [ (5., 15.); (10., 40.); (25., 45.) ];
+  Format.printf
+    "Expected shape (paper §3.4): every RED row is burstier and/or lossier@.";
+  Format.printf
+    "than its drop-tail counterpart; raising max_th towards the physical@.";
+  Format.printf "buffer softens but does not remove the penalty.@."

@@ -1,0 +1,46 @@
+(** Ablation studies for the design claims DESIGN.md calls out.
+
+    These go beyond the paper's figures: each isolates one knob the paper
+    discusses qualitatively and measures its effect with everything else
+    held at Table 1 values. *)
+
+val buffer_sweep : Format.formatter -> Config.t -> clients:int -> unit
+(** Gateway buffer B in {25, 50, 100, 200} packets, Reno vs Vegas.
+    Claim (§3.3): Reno performance varies sharply with buffer size; Vegas
+    needs little buffer and is insensitive. *)
+
+val red_threshold_sweep : Format.formatter -> Config.t -> clients:int -> unit
+(** RED (min_th, max_th) in {(5,15), (10,40), (25,45)} for Reno/RED and
+    Vegas/RED. Claim (§3.4): RED makes the buffer look smaller; thresholds
+    trade early-drop rate against forced drops. *)
+
+val vegas_alpha_beta_sweep : Format.formatter -> Config.t -> clients:int -> unit
+(** Vegas (alpha, beta) in {(1,3), (2,4), (4,8)}. Claim (§3.4): alpha/beta
+    set the per-stream queue occupancy, so with N streams the gateway needs
+    between alpha*N and beta*N packets of buffer. *)
+
+val cc_comparison : Format.formatter -> Config.t -> int list -> unit
+(** Tahoe / Reno / NewReno / SACK / Vegas across client counts — where the
+    non-paper variants fall between Reno and Vegas. *)
+
+val ecn_comparison : Format.formatter -> Config.t -> int list -> unit
+(** Drop-tail vs RED vs RED+ECN vs Self-Configuring RED for Reno and
+    Vegas. ECN turns early drops into marks, so it should recover most of
+    RED's throughput loss and cut retransmissions; adaptive RED keeps the
+    average queue in band at every load. *)
+
+val latency : Format.formatter -> Config.t -> int list -> unit
+(** One-way delay (mean and p99) at the server for Reno, Vegas and their
+    RED variants across loads — the quality-of-service metric the paper's
+    introduction motivates. Vegas' small queue occupancy should show up
+    directly as lower delay. *)
+
+val cwnd_validation : Format.formatter -> Config.t -> int list -> unit
+(** RFC 2861 what-if: with congestion-window validation, app-limited flows
+    cannot accumulate unused window, which should blunt the send-buffer
+    bursts §3.2 identifies. Reno and Vegas, validation off vs on. *)
+
+val pacing : Format.formatter -> Config.t -> int list -> unit
+(** TCP pacing what-if (Aggarwal, Savage & Anderson 2000): spreading each
+    window over the RTT removes the source-side burst structure entirely —
+    the natural "fix" for the phenomenon the paper measures. *)

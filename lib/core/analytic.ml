@@ -1,0 +1,13 @@
+let poisson_cov_for ~clients ~rate_per_client ~bin_s =
+  if clients < 1 || rate_per_client <= 0. || bin_s <= 0. then
+    invalid_arg "Analytic.poisson_cov_for: bad arguments";
+  1. /. sqrt (float_of_int clients *. rate_per_client *. bin_s)
+
+let poisson_mean_per_bin cfg =
+  float_of_int cfg.Config.clients
+  /. cfg.Config.mean_interarrival_s *. Config.rtt_prop_s cfg
+
+let poisson_cov cfg =
+  poisson_cov_for ~clients:cfg.Config.clients
+    ~rate_per_client:(1. /. cfg.Config.mean_interarrival_s)
+    ~bin_s:(Config.rtt_prop_s cfg)

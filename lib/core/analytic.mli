@@ -1,0 +1,16 @@
+(** Closed-form baselines for the unmodulated aggregate traffic.
+
+    With [N] independent Poisson clients of rate [lambda], the number of
+    packets arriving in a window of [w] seconds is Poisson with mean
+    [N lambda w], so its coefficient of variation is [1/sqrt(N lambda w)]
+    — the smooth-as-you-aggregate baseline TCP is measured against
+    (§2.2, §3.2). *)
+
+val poisson_cov : Config.t -> float
+(** Analytic c.o.v. of aggregate Poisson arrivals per round-trip
+    propagation delay for the given configuration. *)
+
+val poisson_mean_per_bin : Config.t -> float
+(** Expected packets per measurement bin. *)
+
+val poisson_cov_for : clients:int -> rate_per_client:float -> bin_s:float -> float

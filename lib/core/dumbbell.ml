@@ -1,0 +1,230 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+module Link = Netsim.Link
+module Node = Netsim.Node
+module Router = Netsim.Router
+module Units = Netsim.Units
+module Queue_disc = Netsim.Queue_disc
+
+type endpoint =
+  | Tcp_end of Transport.Tcp_sender.t * Transport.Tcp_receiver.t
+  | Udp_end of Transport.Udp.sender * Transport.Udp.receiver
+
+type t = {
+  sched : Scheduler.t;
+  rng : Rng.t;
+  bottleneck : Link.t;
+  reverse_bottleneck : Link.t;
+  gateway_queue : Queue_disc.t;
+  endpoints : endpoint array;
+}
+
+let lossless_capacity = 1_000_000
+(* Only the gateway buffer is finite in the paper's model; access and
+   reverse links never drop. *)
+
+let server_id = 0
+
+let client_id i = i + 1
+
+let make_cc cfg kind =
+  let adv = float_of_int cfg.Config.adv_window in
+  match kind with
+  | Scenario.Tahoe -> Transport.Tahoe.handle ~initial_ssthresh:adv ~max_window:adv
+  | Scenario.Reno -> Transport.Reno.handle ~initial_ssthresh:adv ~max_window:adv
+  | Scenario.Newreno -> Transport.Newreno.handle ~initial_ssthresh:adv ~max_window:adv
+  | Scenario.Vegas ->
+      Transport.Vegas.handle ~params:cfg.Config.vegas ~initial_ssthresh:adv
+        ~max_window:adv ()
+  | Scenario.Sack -> Transport.Sack_cc.handle ~initial_ssthresh:adv ~max_window:adv
+
+let red_params cfg ~ecn_mark ~adaptive =
+  {
+    Netsim.Red.min_th = cfg.Config.red_min_th;
+    max_th = cfg.Config.red_max_th;
+    max_p = cfg.Config.red_max_p;
+    w_q = cfg.Config.red_w_q;
+    capacity = cfg.Config.buffer_packets;
+    idle_packet_time =
+      float_of_int (8 * cfg.Config.packet_bytes)
+      /. (cfg.Config.bottleneck_bandwidth_mbps *. 1e6);
+    ecn_mark;
+    adaptive;
+  }
+
+let gateway_queue cfg scenario rng =
+  let red ~ecn_mark ~adaptive =
+    Queue_disc.red
+      ~rng:(Rng.split_named rng "red-gateway")
+      (red_params cfg ~ecn_mark ~adaptive)
+  in
+  match scenario.Scenario.gateway with
+  | Scenario.Fifo -> Queue_disc.droptail ~capacity:cfg.Config.buffer_packets
+  | Scenario.Red -> red ~ecn_mark:false ~adaptive:false
+  | Scenario.Red_ecn -> red ~ecn_mark:true ~adaptive:false
+  | Scenario.Red_adaptive -> red ~ecn_mark:false ~adaptive:true
+  | Scenario.Sfq_gw -> Queue_disc.sfq ~capacity:cfg.Config.buffer_packets ()
+
+let create cfg scenario =
+  Config.validate cfg;
+  let n = cfg.Config.clients in
+  let sched = Scheduler.create () in
+  let rng = Rng.create ~seed:cfg.Config.seed in
+  let factory = Netsim.Packet.factory () in
+  let router = Router.create ~name:"gateway" in
+  let server = Node.create ~id:server_id in
+  let client_nodes = Array.init n (fun i -> Node.create ~id:(client_id i)) in
+  let client_bw = Units.mbps cfg.Config.client_bandwidth_mbps in
+  let bottleneck_bw = Units.mbps cfg.Config.bottleneck_bandwidth_mbps in
+  (* Per-client propagation delays: homogeneous by default, optionally
+     spread uniformly around tau_c to break RTT synchronization. *)
+  let client_delay =
+    let spread = cfg.Config.client_delay_spread_s in
+    if spread = 0. then fun _ -> Time.of_sec cfg.Config.client_delay_s
+    else begin
+      let delay_rng = Rng.split_named rng "client-delays" in
+      let delays =
+        Array.init n (fun _ ->
+            let jitter = (Rng.float delay_rng -. 0.5) *. spread in
+            Time.of_sec (Stdlib.max 1e-4 (cfg.Config.client_delay_s +. jitter)))
+      in
+      fun i -> delays.(i)
+    end
+  in
+  let bottleneck_delay = Time.of_sec cfg.Config.bottleneck_delay_s in
+  let gateway_queue = gateway_queue cfg scenario rng in
+  let bottleneck =
+    Link.create sched ~name:"bottleneck" ~bandwidth:bottleneck_bw
+      ~delay:bottleneck_delay ~queue:gateway_queue
+      ~deliver:(Node.receive server)
+  in
+  let reverse_bottleneck =
+    Link.create sched ~name:"bottleneck-rev" ~bandwidth:bottleneck_bw
+      ~delay:bottleneck_delay
+      ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+      ~deliver:(Router.receive router)
+  in
+  Router.set_default router bottleneck;
+  let up_links =
+    Array.init n (fun i ->
+        Link.create sched
+          ~name:(Printf.sprintf "up-%d" i)
+          ~bandwidth:client_bw ~delay:(client_delay i)
+          ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+          ~deliver:(Router.receive router))
+  in
+  let down_links =
+    Array.init n (fun i ->
+        Link.create sched
+          ~name:(Printf.sprintf "down-%d" i)
+          ~bandwidth:client_bw ~delay:(client_delay i)
+          ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+          ~deliver:(Node.receive client_nodes.(i)))
+  in
+  Array.iteri (fun i link -> Router.add_route router ~dst:(client_id i) link) down_links;
+  let endpoints =
+    Array.init n (fun i ->
+        match scenario.Scenario.transport with
+        | Scenario.Udp ->
+            let sender =
+              Transport.Udp.create_sender sched ~factory ~flow:i ~src:(client_id i)
+                ~dst:server_id ~size_bytes:cfg.Config.packet_bytes
+                ~transmit:(Link.send up_links.(i))
+            in
+            Udp_end (sender, Transport.Udp.create_receiver ())
+        | Scenario.Tcp { cc; delayed_ack } ->
+            let ecn_capable = scenario.Scenario.gateway = Scenario.Red_ecn in
+            let sack = cc = Scenario.Sack in
+            let sender =
+              Transport.Tcp_sender.create ~ecn_capable ~sack
+                ~cwnd_validation:cfg.Config.cwnd_validation
+                ~pacing:cfg.Config.pacing sched ~factory
+                ~cc:(make_cc cfg cc) ~rto_params:cfg.Config.rto ~flow:i
+                ~src:(client_id i) ~dst:server_id
+                ~mss_bytes:cfg.Config.packet_bytes
+                ~adv_window:cfg.Config.adv_window
+                ~transmit:(Link.send up_links.(i))
+            in
+            let receiver =
+              Transport.Tcp_receiver.create ~sack sched ~factory ~flow:i
+                ~src:server_id ~dst:(client_id i) ~ack_bytes:cfg.Config.ack_bytes
+                ~delayed_ack
+                ~transmit:(Link.send reverse_bottleneck)
+            in
+            Tcp_end (sender, receiver))
+  in
+  Node.set_handler server (fun p ->
+      let flow = p.Netsim.Packet.flow in
+      if flow >= 0 && flow < n then
+        match endpoints.(flow) with
+        | Tcp_end (_, receiver) -> Transport.Tcp_receiver.handle_packet receiver p
+        | Udp_end (_, receiver) -> Transport.Udp.handle_packet receiver p);
+  Array.iteri
+    (fun i node ->
+      Node.set_handler node (fun p ->
+          match endpoints.(i) with
+          | Tcp_end (sender, _) -> Transport.Tcp_sender.handle_packet sender p
+          | Udp_end _ -> ()))
+    client_nodes;
+  { sched; rng; bottleneck; reverse_bottleneck; gateway_queue; endpoints }
+
+let scheduler t = t.sched
+
+let rng t = t.rng
+
+let bottleneck t = t.bottleneck
+
+let reverse_bottleneck t = t.reverse_bottleneck
+
+let clients t = Array.length t.endpoints
+
+let sink t i n =
+  match t.endpoints.(i) with
+  | Tcp_end (sender, _) -> Transport.Tcp_sender.write sender n
+  | Udp_end (sender, _) -> Transport.Udp.write sender n
+
+let tcp_sender t i =
+  match t.endpoints.(i) with
+  | Tcp_end (sender, _) -> Some sender
+  | Udp_end _ -> None
+
+let per_client_delivered t =
+  Array.map
+    (function
+      | Tcp_end (_, receiver) -> Transport.Tcp_receiver.delivered receiver
+      | Udp_end (_, receiver) -> Transport.Udp.received receiver)
+    t.endpoints
+
+let delivered_total t = Array.fold_left ( + ) 0 (per_client_delivered t)
+
+let tcp_stats_total t =
+  Array.fold_left
+    (fun acc ep ->
+      match ep with
+      | Tcp_end (sender, _) ->
+          Transport.Tcp_stats.add acc (Transport.Tcp_sender.stats sender)
+      | Udp_end _ -> acc)
+    (Transport.Tcp_stats.create ()) t.endpoints
+
+let gateway_marks t =
+  match t.gateway_queue with
+  | Queue_disc.Red red -> Netsim.Red.marks red
+  | Queue_disc.Droptail _ | Queue_disc.Sfq _ -> 0
+
+let ecn_reactions_total t =
+  Array.fold_left
+    (fun acc ep ->
+      match ep with
+      | Tcp_end (sender, _) -> acc + Transport.Tcp_sender.ecn_reactions sender
+      | Udp_end _ -> acc)
+    0 t.endpoints
+
+let segments_sent_total t =
+  Array.fold_left
+    (fun acc ep ->
+      match ep with
+      | Tcp_end (sender, _) ->
+          acc + (Transport.Tcp_sender.stats sender).Transport.Tcp_stats.segments_sent
+      | Udp_end (sender, _) -> acc + Transport.Udp.sent sender)
+    0 t.endpoints

@@ -1,0 +1,49 @@
+(** The paper's network model (Figure 1): N clients on dedicated access
+    links into a common gateway, one bottleneck link to the server.
+
+    Building a dumbbell wires nodes, links, the gateway router, the queue
+    discipline under test and one transport connection per client; traffic
+    sources are attached separately through {!sink}, so the same topology
+    serves the paper's Poisson workload and the bulk-transfer examples. *)
+
+type t
+
+val create : Config.t -> Scenario.t -> t
+(** Fresh scheduler, RNG streams, topology and transports. *)
+
+val scheduler : t -> Sim_engine.Scheduler.t
+
+val rng : t -> Sim_engine.Rng.t
+(** The run's master RNG; split it for sources. *)
+
+val bottleneck : t -> Netsim.Link.t
+(** The gateway → server link whose queue is the discipline under test. *)
+
+val reverse_bottleneck : t -> Netsim.Link.t
+
+val sink : t -> int -> int -> unit
+(** [sink t i n] submits [n] application packets on client [i]'s
+    transport. *)
+
+val clients : t -> int
+
+val tcp_sender : t -> int -> Transport.Tcp_sender.t option
+(** [None] for UDP scenarios. *)
+
+val per_client_delivered : t -> int array
+(** In-order segments (TCP) or datagrams (UDP) delivered per client. *)
+
+val delivered_total : t -> int
+
+val tcp_stats_total : t -> Transport.Tcp_stats.t
+(** All-zero for UDP scenarios. *)
+
+val segments_sent_total : t -> int
+(** Data packets put on the wire by all clients (TCP: includes
+    retransmissions; UDP: datagrams). *)
+
+val gateway_marks : t -> int
+(** ECN CE marks applied by the gateway queue (0 for FIFO / non-ECN RED). *)
+
+val ecn_reactions_total : t -> int
+(** Window reductions the senders performed in response to ECE echoes. *)

@@ -1,0 +1,12 @@
+let jain xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Fairness.jain: empty";
+  let s = Array.fold_left ( +. ) 0. xs in
+  let s2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+  if s2 = 0. then 1. else s *. s /. (float_of_int n *. s2)
+
+let max_min_ratio xs =
+  if Array.length xs = 0 then invalid_arg "Fairness.max_min_ratio: empty";
+  let mn = Array.fold_left Stdlib.min xs.(0) xs in
+  let mx = Array.fold_left Stdlib.max xs.(0) xs in
+  if mn = 0. then if mx = 0. then 1. else infinity else mx /. mn

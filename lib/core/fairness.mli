@@ -1,0 +1,13 @@
+(** Bandwidth-sharing fairness measures.
+
+    §3.2 observes that Vegas shares the bottleneck more fairly than Reno;
+    Jain's index quantifies that claim in our reproduction. *)
+
+val jain : float array -> float
+(** Jain's fairness index [(sum x)^2 / (n * sum x^2)], in [(0, 1]]; 1 means
+    perfectly equal shares. @raise Invalid_argument on an empty array.
+    Returns 1 if all shares are zero. *)
+
+val max_min_ratio : float array -> float
+(** [max share / min share]; [infinity] when the minimum is 0 but the
+    maximum is not; 1 when all equal. *)

@@ -1,0 +1,218 @@
+type sweep_result = (Scenario.t * Metrics.t list) list
+
+let default_client_counts =
+  [ 2; 5; 10; 15; 20; 25; 30; 34; 36; 38; 39; 40; 42; 46; 50; 55; 60 ]
+
+let run_sweep ?(progress = fun _ -> ()) cfg ns =
+  List.map
+    (fun scenario ->
+      progress (Scenario.label scenario);
+      (scenario, Sweep.over_clients cfg scenario ns))
+    Scenario.paper_series
+
+let table1 ppf cfg =
+  Format.fprintf ppf "Table 1: simulation parameters@.@.%a@." Config.pp cfg
+
+let clients_of (sweep : sweep_result) =
+  match sweep with
+  | [] -> []
+  | (_, ms) :: _ -> List.map (fun m -> m.Metrics.clients) ms
+
+(* One table with #clients in the first column and one column per series. *)
+let metric_table ppf sweep ~scenarios ~extra_first_series ~cell =
+  let ns = clients_of sweep in
+  let chosen =
+    List.filter (fun (s, _) -> List.exists (Scenario.equal s) scenarios) sweep
+  in
+  let header =
+    "clients"
+    :: (List.map fst extra_first_series @ List.map (fun (s, _) -> Scenario.label s) chosen)
+  in
+  let rows =
+    List.mapi
+      (fun i n ->
+        string_of_int n
+        :: (List.map (fun (_, f) -> Render.fmt_float (f n)) extra_first_series
+           @ List.map
+               (fun (_, ms) -> Render.fmt_float (cell (List.nth ms i)))
+               chosen))
+      ns
+  in
+  Render.table ppf ~header ~rows
+
+let plot_series ppf sweep ~scenarios ~extra_first_series ~cell =
+  let ns = clients_of sweep in
+  match ns with
+  | [] | [ _ ] -> ()
+  | _ ->
+      let x_min = float_of_int (List.hd ns) in
+      let x_max = float_of_int (List.nth ns (List.length ns - 1)) in
+      let glyphs = [| '*'; 'o'; 'x'; '+'; 'v'; '#'; '@' |] in
+      let chosen =
+        List.filter (fun (s, _) -> List.exists (Scenario.equal s) scenarios) sweep
+      in
+      let extra =
+        List.map
+          (fun (label, f) ->
+            (label, Array.of_list (List.map (fun n -> f n) ns)))
+          extra_first_series
+      in
+      let measured =
+        List.map
+          (fun (s, ms) ->
+            (Scenario.label s, Array.of_list (List.map cell ms)))
+          chosen
+      in
+      let series =
+        List.mapi
+          (fun i (label, data) -> (glyphs.(i mod Array.length glyphs), label, data))
+          (extra @ measured)
+      in
+      Render.plot ppf ~x_min ~x_max ~series ()
+
+let fig2 ppf sweep cfg =
+  Format.fprintf ppf "Figure 2: coefficient of variation of the aggregated traffic@.@.";
+  let analytic n = Analytic.poisson_cov (Config.with_clients cfg n) in
+  let extra = [ ("Poisson", analytic) ] in
+  metric_table ppf sweep ~scenarios:Scenario.paper_series ~extra_first_series:extra
+    ~cell:(fun m -> m.Metrics.cov);
+  Format.fprintf ppf "@.";
+  plot_series ppf sweep ~scenarios:Scenario.paper_series ~extra_first_series:extra
+    ~cell:(fun m -> m.Metrics.cov)
+
+let fig3 ppf sweep =
+  Format.fprintf ppf
+    "Figure 3: total packets successfully delivered (TCP variants)@.@.";
+  metric_table ppf sweep ~scenarios:Scenario.tcp_series ~extra_first_series:[]
+    ~cell:(fun m -> float_of_int m.Metrics.delivered);
+  Format.fprintf ppf "@.";
+  plot_series ppf sweep ~scenarios:Scenario.tcp_series ~extra_first_series:[]
+    ~cell:(fun m -> float_of_int m.Metrics.delivered)
+
+let fig4 ppf sweep =
+  Format.fprintf ppf "Figure 4: packet-loss percentage at the gateway@.@.";
+  metric_table ppf sweep ~scenarios:Scenario.tcp_series ~extra_first_series:[]
+    ~cell:(fun m -> m.Metrics.loss_pct);
+  Format.fprintf ppf "@.";
+  plot_series ppf sweep ~scenarios:Scenario.tcp_series ~extra_first_series:[]
+    ~cell:(fun m -> m.Metrics.loss_pct)
+
+let fig13 ppf sweep =
+  Format.fprintf ppf "Figure 13: ratio of timeouts to duplicate ACKs@.@.";
+  metric_table ppf sweep ~scenarios:Scenario.tcp_series ~extra_first_series:[]
+    ~cell:(fun m -> m.Metrics.timeout_dupack_ratio);
+  Format.fprintf ppf "@.";
+  plot_series ppf sweep ~scenarios:Scenario.tcp_series ~extra_first_series:[]
+    ~cell:(fun m -> m.Metrics.timeout_dupack_ratio)
+
+let fig2_replicated ppf cfg ns ~replicates =
+  Format.fprintf ppf
+    "Figure 2 (replicated): c.o.v. as mean +/- std over %d seeds@.@." replicates;
+  let per_scenario =
+    List.map
+      (fun scenario -> (scenario, Sweep.replicated cfg scenario ~replicates ns))
+      Scenario.paper_series
+  in
+  let header =
+    "clients" :: "Poisson"
+    :: List.map (fun (s, _) -> Scenario.label s) per_scenario
+  in
+  let rows =
+    List.mapi
+      (fun i n ->
+        string_of_int n
+        :: Render.fmt_float (Analytic.poisson_cov (Config.with_clients cfg n))
+        :: List.map
+             (fun (_, rs) ->
+               let r = List.nth rs i in
+               Printf.sprintf "%.4f+-%.4f" r.Sweep.cov_mean r.Sweep.cov_std)
+             per_scenario)
+      ns
+  in
+  Render.table ppf ~header ~rows
+
+let cwnd_figures =
+  [
+    (5, Scenario.reno, 20);
+    (6, Scenario.reno, 30);
+    (7, Scenario.reno, 38);
+    (8, Scenario.reno, 39);
+    (9, Scenario.reno, 60);
+    (10, Scenario.vegas, 20);
+    (11, Scenario.vegas, 30);
+    (12, Scenario.vegas, 60);
+  ]
+
+let fig_cwnd ppf cfg ~scenario ~clients ~label =
+  let cfg = Config.with_clients cfg clients in
+  let trace_clients = [ 0; clients / 2; clients - 1 ] in
+  let trace_clients = List.sort_uniq Int.compare trace_clients in
+  let m = Run.run ~trace_clients cfg scenario in
+  Format.fprintf ppf
+    "%s: congestion window evolution, %s, %d clients (traced clients %s)@.@." label
+    (Scenario.label scenario) clients
+    (String.concat ", " (List.map (fun i -> string_of_int (i + 1)) trace_clients));
+  let dt = 0.1 in
+  let glyphs = [| '*'; 'o'; 'x' |] in
+  let series =
+    List.mapi
+      (fun k (i, trace) ->
+        ( glyphs.(k mod Array.length glyphs),
+          Printf.sprintf "client %d" (i + 1),
+          Netstats.Series.resample trace ~dt ~upto:cfg.Config.duration_s ))
+      m.Metrics.cwnd_traces
+  in
+  Render.plot ppf ~height:18 ~x_min:0. ~x_max:(cfg.Config.duration_s /. dt) ~series ();
+  Format.fprintf ppf "  (x axis: time in units of %.1f s)@.@." dt;
+  let header = [ "client"; "mean cwnd"; "max cwnd"; "delivered" ] in
+  let rows =
+    List.map
+      (fun (i, trace) ->
+        let s = Netstats.Series.value_summary trace in
+        [
+          string_of_int (i + 1);
+          Render.fmt_float s.Netstats.Summary.mean;
+          Render.fmt_float s.Netstats.Summary.max;
+          string_of_int m.Metrics.per_client_delivered.(i);
+        ])
+      m.Metrics.cwnd_traces
+  in
+  Render.table ppf ~header ~rows;
+  Format.fprintf ppf
+    "aggregate: timeouts=%d fast_rtx=%d loss=%.2f%% cov=%.4f (poisson %.4f)@."
+    m.Metrics.timeouts m.Metrics.fast_retransmits m.Metrics.loss_pct m.Metrics.cov
+    m.Metrics.analytic_cov
+
+let queue_occupancy ppf cfg ~clients =
+  Format.fprintf ppf
+    "Extension figure: gateway queue occupancy, %d clients (B = %d)@.@." clients
+    cfg.Config.buffer_packets;
+  let cfg = Config.with_clients cfg clients in
+  let sampled scenario =
+    let m = Run.run ~sample_queue:true cfg scenario in
+    (m, Option.get m.Metrics.queue_series)
+  in
+  let reno_m, reno_q = sampled Scenario.reno in
+  let vegas_m, vegas_q = sampled Scenario.vegas in
+  let dt = 0.5 in
+  let series =
+    [
+      ('*', "Reno", Netstats.Series.resample reno_q ~dt ~upto:cfg.Config.duration_s);
+      ('o', "Vegas", Netstats.Series.resample vegas_q ~dt ~upto:cfg.Config.duration_s);
+    ]
+  in
+  Render.plot ppf ~height:14 ~x_min:0. ~x_max:cfg.Config.duration_s ~series ();
+  Format.fprintf ppf "  (x axis: seconds; y axis: packets queued)@.@.";
+  let stats label (m : Metrics.t) q =
+    let s = Netstats.Series.value_summary q in
+    [
+      label;
+      Render.fmt_float s.Netstats.Summary.mean;
+      Render.fmt_float (Netstats.Summary.quantile (Netstats.Series.values q) 0.99);
+      Render.fmt_float s.Netstats.Summary.max;
+      Printf.sprintf "%.2f%%" m.Metrics.loss_pct;
+    ]
+  in
+  Render.table ppf
+    ~header:[ "protocol"; "mean queue"; "p99 queue"; "max"; "loss" ]
+    ~rows:[ stats "Reno" reno_m reno_q; stats "Vegas" vegas_m vegas_q ]

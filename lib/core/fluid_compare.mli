@@ -1,0 +1,29 @@
+(** Fluid model vs. packet simulation.
+
+    The paper's reference [1] (Bonald) compares TCP Reno and Vegas via
+    fluid approximation; this driver closes the loop for our reproduction:
+    greedy (bulk-transfer) flows are run through the packet simulator and
+    the measured steady state is printed next to the fluid equilibria of
+    {!Fluidmodel.Reno_fluid} (RED gateway) and {!Fluidmodel.Vegas_fluid}
+    (drop-tail). Expected agreement: per-flow windows within ~20 %, queue
+    and throughput closer; exact numbers in EXPERIMENTS.md. *)
+
+type comparison = {
+  flows : int;
+  protocol : string;
+  fluid_window : float;
+  measured_window : float;
+  fluid_queue : float;
+  measured_queue : float;
+  fluid_throughput_pps : float;
+  measured_throughput_pps : float;
+}
+
+val compare_reno : Config.t -> flows:int -> comparison
+(** Greedy Reno flows over the RED gateway vs. the MGT fluid model. *)
+
+val compare_vegas : Config.t -> flows:int -> comparison
+(** Greedy Vegas flows over drop-tail vs. Bonald's equilibrium. *)
+
+val report : Format.formatter -> Config.t -> int list -> unit
+(** Both protocols across several flow counts, as a table. *)

@@ -1,0 +1,42 @@
+type t = {
+  scenario : Scenario.t;
+  clients : int;
+  cov : float;
+  cov_ci95 : float;
+  analytic_cov : float;
+  mean_per_bin : float;
+  offered : int;
+  delivered : int;
+  segments_sent : int;
+  gateway_arrivals : int;
+  gateway_drops : int;
+  loss_pct : float;
+  timeouts : int;
+  fast_retransmits : int;
+  retransmits : int;
+  dup_acks : int;
+  timeout_dupack_ratio : float;
+  per_client_delivered : int array;
+  jain_fairness : float;
+  sync_index : float option;
+  ecn_marks : int;
+  ecn_reactions : int;
+  delay_mean_s : float;
+  delay_p99_s : float;
+  drop_run_max : int;
+  drop_run_mean : float;
+  cwnd_traces : (int * Netstats.Series.t) list;
+  queue_series : Netstats.Series.t option;
+}
+
+let cov_inflation_pct t =
+  if t.analytic_cov = 0. then 0.
+  else 100. *. (t.cov -. t.analytic_cov) /. t.analytic_cov
+
+let pp_row ppf t =
+  Format.fprintf ppf
+    "%-14s n=%-3d cov=%.4f (poisson %.4f, +%5.1f%%) delivered=%-6d loss=%5.2f%% \
+     timeouts=%-4d dupacks=%-5d jain=%.3f"
+    (Scenario.label t.scenario)
+    t.clients t.cov t.analytic_cov (cov_inflation_pct t) t.delivered t.loss_pct
+    t.timeouts t.dup_acks t.jain_fairness

@@ -1,0 +1,18 @@
+(** Execute one experiment: build the dumbbell, attach Poisson sources and
+    monitors, run to the configured duration, and collect {!Metrics}. *)
+
+val run :
+  ?trace_clients:int list ->
+  ?sample_queue:bool ->
+  ?measure_sync:bool ->
+  ?prepare:(Dumbbell.t -> unit) ->
+  Config.t ->
+  Scenario.t ->
+  Metrics.t
+(** [trace_clients] selects client indices whose congestion-window
+    evolution is recorded (ignored for UDP); [sample_queue] (default
+    false) additionally samples the gateway queue length every 10 ms;
+    [measure_sync] (default false) computes {!Metrics.t.sync_index} from
+    per-flow gateway arrival counts. [prepare] runs after the topology is
+    built but before any traffic flows — attach tracers or extra monitors
+    there. *)

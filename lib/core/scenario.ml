@@ -1,0 +1,71 @@
+type cc_kind = Tahoe | Reno | Newreno | Vegas | Sack
+
+type transport =
+  | Udp
+  | Tcp of { cc : cc_kind; delayed_ack : bool }
+
+type gateway = Fifo | Red | Red_ecn | Red_adaptive | Sfq_gw
+
+type t = { transport : transport; gateway : gateway }
+
+let udp = { transport = Udp; gateway = Fifo }
+
+let reno = { transport = Tcp { cc = Reno; delayed_ack = false }; gateway = Fifo }
+
+let reno_red = { transport = Tcp { cc = Reno; delayed_ack = false }; gateway = Red }
+
+let reno_delack = { transport = Tcp { cc = Reno; delayed_ack = true }; gateway = Fifo }
+
+let vegas = { transport = Tcp { cc = Vegas; delayed_ack = false }; gateway = Fifo }
+
+let vegas_red = { transport = Tcp { cc = Vegas; delayed_ack = false }; gateway = Red }
+
+let tahoe = { transport = Tcp { cc = Tahoe; delayed_ack = false }; gateway = Fifo }
+
+let newreno = { transport = Tcp { cc = Newreno; delayed_ack = false }; gateway = Fifo }
+
+let reno_ecn = { transport = Tcp { cc = Reno; delayed_ack = false }; gateway = Red_ecn }
+
+let vegas_ecn = { transport = Tcp { cc = Vegas; delayed_ack = false }; gateway = Red_ecn }
+
+let reno_ared =
+  { transport = Tcp { cc = Reno; delayed_ack = false }; gateway = Red_adaptive }
+
+let vegas_ared =
+  { transport = Tcp { cc = Vegas; delayed_ack = false }; gateway = Red_adaptive }
+
+let sack = { transport = Tcp { cc = Sack; delayed_ack = false }; gateway = Fifo }
+
+let sack_red = { transport = Tcp { cc = Sack; delayed_ack = false }; gateway = Red }
+
+let reno_sfq = { transport = Tcp { cc = Reno; delayed_ack = false }; gateway = Sfq_gw }
+
+let vegas_sfq = { transport = Tcp { cc = Vegas; delayed_ack = false }; gateway = Sfq_gw }
+
+let paper_series = [ udp; reno; reno_red; vegas; vegas_red; reno_delack ]
+
+let tcp_series = [ reno; reno_red; vegas; vegas_red; reno_delack ]
+
+let cc_label = function
+  | Tahoe -> "Tahoe"
+  | Reno -> "Reno"
+  | Newreno -> "NewReno"
+  | Vegas -> "Vegas"
+  | Sack -> "SACK"
+
+let label t =
+  match t.transport with
+  | Udp -> "UDP"
+  | Tcp { cc; delayed_ack } ->
+      let base = cc_label cc in
+      let base = if delayed_ack then base ^ "/DelayAck" else base in
+      (match t.gateway with
+      | Fifo -> base
+      | Red -> base ^ "/RED"
+      | Red_ecn -> base ^ "/ECN"
+      | Red_adaptive -> base ^ "/ARED"
+      | Sfq_gw -> base ^ "/SFQ")
+
+let is_tcp t = match t.transport with Tcp _ -> true | Udp -> false
+
+let equal a b = a = b

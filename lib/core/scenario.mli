@@ -1,0 +1,49 @@
+(** A protocol/gateway combination under test.
+
+    The paper's Figure 2 compares six simulated series plus the analytic
+    Poisson baseline; {!paper_series} lists them in the paper's order. *)
+
+type cc_kind = Tahoe | Reno | Newreno | Vegas | Sack
+
+type transport =
+  | Udp
+  | Tcp of { cc : cc_kind; delayed_ack : bool }
+
+type gateway =
+  | Fifo
+  | Red
+  | Red_ecn  (** RED marking ECN-capable traffic instead of dropping *)
+  | Red_adaptive  (** Self-Configuring RED (the paper's reference [5]) *)
+  | Sfq_gw  (** Stochastic Fairness Queueing (McKenney 1990) *)
+
+type t = { transport : transport; gateway : gateway }
+
+val udp : t
+val reno : t
+val reno_red : t
+val reno_delack : t
+val vegas : t
+val vegas_red : t
+val tahoe : t
+val newreno : t
+val reno_ecn : t
+val vegas_ecn : t
+val reno_ared : t
+val vegas_ared : t
+val sack : t
+val sack_red : t
+val reno_sfq : t
+val vegas_sfq : t
+
+val paper_series : t list
+(** UDP, Reno, Reno/RED, Vegas, Vegas/RED, Reno/DelayAck — Figure 2. *)
+
+val tcp_series : t list
+(** The five TCP variants of Figures 3, 4 and 13 (no UDP). *)
+
+val label : t -> string
+(** e.g. ["Reno/RED"], ["Reno/DelayAck"], ["Vegas/ECN"], ["UDP"]. *)
+
+val is_tcp : t -> bool
+
+val equal : t -> t -> bool

@@ -1,0 +1,112 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+
+type source_kind = Poisson_src | Pareto_src
+
+type row = {
+  source : source_kind;
+  scenario : Scenario.t;
+  hurst_rs : float;
+  hurst_vt : float;
+  cov : float;
+  idc : (int * float) list;
+}
+
+let source_label = function
+  | Poisson_src -> "Poisson"
+  | Pareto_src -> "Pareto on/off"
+
+let bin_width = 0.01
+
+(* Same per-client mean rate as the Poisson workload, but with heavy-tailed
+   (shape 1.5, infinite variance) ON and OFF durations. *)
+let pareto_params cfg =
+  let mean_rate = 1. /. cfg.Config.mean_interarrival_s in
+  {
+    Traffic.Onoff_pareto.on_shape = 1.5;
+    on_mean = 0.5;
+    off_shape = 1.5;
+    off_mean = 0.5;
+    rate = 2. *. mean_rate;
+  }
+
+let attach_sources cfg kind net sched horizon =
+  List.iter
+    (fun i ->
+      let rng = Rng.split_named (Dumbbell.rng net) (Printf.sprintf "client-%d" i) in
+      let sink = Dumbbell.sink net i in
+      match kind with
+      | Poisson_src ->
+          ignore
+            (Traffic.Poisson.start sched ~rng
+               ~mean_interarrival:cfg.Config.mean_interarrival_s ~start:Time.zero
+               ~until:horizon ~sink)
+      | Pareto_src ->
+          ignore
+            (Traffic.Onoff_pareto.start sched ~rng ~params:(pareto_params cfg)
+               ~start:Time.zero ~until:horizon ~sink))
+    (List.init cfg.Config.clients Fun.id)
+
+let measure cfg kind scenario =
+  let net = Dumbbell.create cfg scenario in
+  let sched = Dumbbell.scheduler net in
+  let horizon = Time.of_sec cfg.Config.duration_s in
+  let binner =
+    Netsim.Monitor.arrival_binner (Dumbbell.bottleneck net)
+      ~origin:cfg.Config.warmup_s ~width:bin_width
+  in
+  attach_sources cfg kind net sched horizon;
+  Scheduler.run ~until:horizon sched;
+  let counts = Netstats.Binned.counts binner ~upto:cfg.Config.duration_s in
+  (* The c.o.v. at the paper's RTT bin comes from re-aggregating. *)
+  let per_rtt = Stdlib.max 1 (int_of_float (Config.rtt_prop_s cfg /. bin_width)) in
+  let rtt_counts =
+    Array.init
+      (Array.length counts / per_rtt)
+      (fun i ->
+        let s = ref 0. in
+        for j = 0 to per_rtt - 1 do
+          s := !s +. counts.((i * per_rtt) + j)
+        done;
+        !s)
+  in
+  let cov =
+    if Array.length rtt_counts < 2 then 0.
+    else (Netstats.Summary.of_array rtt_counts).Netstats.Summary.cov
+  in
+  {
+    source = kind;
+    scenario;
+    hurst_rs = Netstats.Hurst.estimate_rs counts;
+    hurst_vt = Netstats.Hurst.estimate_variance_time counts;
+    cov;
+    idc = Netstats.Dispersion.idc_profile counts [ 1; 10; 100; 1000 ];
+  }
+
+let combos = [ (Poisson_src, Scenario.udp); (Pareto_src, Scenario.udp);
+               (Poisson_src, Scenario.reno); (Pareto_src, Scenario.reno) ]
+
+let report ppf cfg =
+  let cfg = if cfg.Config.clients < 2 then Config.with_clients cfg 30 else cfg in
+  Format.fprintf ppf
+    "Self-similarity extension: %d clients, %g s, 10 ms arrival bins@.@."
+    cfg.Config.clients cfg.Config.duration_s;
+  let rows =
+    List.map
+      (fun (kind, scenario) ->
+        let row = measure cfg kind scenario in
+        [
+          source_label kind;
+          Scenario.label scenario;
+          Render.fmt_float row.hurst_rs;
+          Render.fmt_float row.hurst_vt;
+          Render.fmt_float row.cov;
+          String.concat " "
+            (List.map (fun (m, v) -> Printf.sprintf "%d:%.2f" m v) row.idc);
+        ])
+      combos
+  in
+  Render.table ppf
+    ~header:[ "source"; "transport"; "H (R/S)"; "H (var-time)"; "cov@RTT"; "IDC m:v" ]
+    ~rows

@@ -1,0 +1,30 @@
+(** Extension experiment: self-similarity of the aggregate traffic.
+
+    The paper argues (§1) that Hurst-parameter analyses at coarse time
+    scales miss what matters for statistical multiplexing. This experiment
+    makes the connection explicit: it aggregates either Poisson or
+    heavy-tailed Pareto-on/off sources over UDP and TCP Reno, estimates the
+    Hurst parameter of the gateway arrival process two ways (R/S and
+    variance–time) and reports it next to the paper's c.o.v. metric and an
+    index-of-dispersion profile across timescales. Expected shape: Poisson
+    over UDP gives H near 0.5 and flat IDC; Pareto-on/off raises H and a
+    growing IDC; TCP modulation raises both relative to UDP. *)
+
+type source_kind = Poisson_src | Pareto_src
+
+type row = {
+  source : source_kind;
+  scenario : Scenario.t;
+  hurst_rs : float;
+  hurst_vt : float;
+  cov : float;
+  idc : (int * float) list;  (** (aggregation in bins, IDC) *)
+}
+
+val measure : Config.t -> source_kind -> Scenario.t -> row
+(** One run with 10 ms arrival bins at the gateway. *)
+
+val report : Format.formatter -> Config.t -> unit
+(** The four (source x transport) combinations as a table. *)
+
+val source_label : source_kind -> string

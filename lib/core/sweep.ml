@@ -1,0 +1,56 @@
+let seed_for cfg scenario n =
+  let h = Hashtbl.hash (Scenario.label scenario, n) in
+  Int64.logxor cfg.Config.seed (Int64.of_int ((h * 2654435761) land max_int))
+
+let over_clients cfg scenario ns =
+  List.map
+    (fun n ->
+      let cfg = Config.with_clients cfg n in
+      let cfg = { cfg with Config.seed = seed_for cfg scenario n } in
+      Run.run cfg scenario)
+    ns
+
+let grid cfg scenarios ns =
+  List.map (fun scenario -> (scenario, over_clients cfg scenario ns)) scenarios
+
+type replicated = {
+  scenario : Scenario.t;
+  clients : int;
+  replicates : int;
+  cov_mean : float;
+  cov_std : float;
+  delivered_mean : float;
+  loss_mean : float;
+  loss_std : float;
+  timeout_dupack_mean : float;
+}
+
+let replicated cfg scenario ~replicates ns =
+  if replicates < 1 then invalid_arg "Sweep.replicated: replicates < 1";
+  List.map
+    (fun n ->
+      let cov = Netstats.Welford.create () in
+      let delivered = Netstats.Welford.create () in
+      let loss = Netstats.Welford.create () in
+      let ratio = Netstats.Welford.create () in
+      for r = 1 to replicates do
+        let cfg = Config.with_clients cfg n in
+        let seed = Int64.add (seed_for cfg scenario n) (Int64.of_int (r * 7919)) in
+        let m = Run.run { cfg with Config.seed = seed } scenario in
+        Netstats.Welford.add cov m.Metrics.cov;
+        Netstats.Welford.add delivered (float_of_int m.Metrics.delivered);
+        Netstats.Welford.add loss m.Metrics.loss_pct;
+        Netstats.Welford.add ratio m.Metrics.timeout_dupack_ratio
+      done;
+      {
+        scenario;
+        clients = n;
+        replicates;
+        cov_mean = Netstats.Welford.mean cov;
+        cov_std = Netstats.Welford.std cov;
+        delivered_mean = Netstats.Welford.mean delivered;
+        loss_mean = Netstats.Welford.mean loss;
+        loss_std = Netstats.Welford.std loss;
+        timeout_dupack_mean = Netstats.Welford.mean ratio;
+      })
+    ns

@@ -1,0 +1,74 @@
+let sync_cell m =
+  match m.Metrics.sync_index with
+  | Some v -> Printf.sprintf "%.4f" v
+  | None -> "-"
+
+let report ppf cfg ns =
+  Format.fprintf ppf
+    "Synchronization index (mean pairwise correlation of per-flow per-RTT \
+     arrivals)@.@.";
+  let scenarios = [ Scenario.udp; Scenario.reno; Scenario.vegas ] in
+  let header =
+    "clients"
+    :: (List.map (fun s -> Scenario.label s ^ " sync") scenarios
+       @ List.map (fun s -> Scenario.label s ^ " cov") scenarios)
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let ms =
+          List.map
+            (fun scenario ->
+              let cfg = Config.with_clients cfg n in
+              let cfg = { cfg with Config.seed = Sweep.seed_for cfg scenario n } in
+              Run.run ~measure_sync:true cfg scenario)
+            scenarios
+        in
+        string_of_int n
+        :: (List.map sync_cell ms
+           @ List.map (fun m -> Render.fmt_float m.Metrics.cov) ms))
+      ns
+  in
+  Render.table ppf ~header ~rows;
+  Format.fprintf ppf
+    "@.Expected shape: UDP near 0 at every load; Reno rising with load as@.";
+  Format.fprintf ppf
+    "flows make congestion decisions together; Vegas between the two.@."
+
+let desync_ablation ppf cfg ~clients =
+  Format.fprintf ppf
+    "Desynchronization ablation, Reno, %d clients: what removes the dependency@.@."
+    clients;
+  let variants =
+    [
+      ("baseline (paper)", Fun.id, Scenario.reno);
+      ( "staggered starts (0-30 s)",
+        (fun cfg -> { cfg with Config.start_stagger_s = 30. }),
+        Scenario.reno );
+      ( "heterogeneous RTT (+/-100 ms)",
+        (fun cfg -> { cfg with Config.client_delay_spread_s = 0.2 }),
+        Scenario.reno );
+      ( "stagger + heterogeneous RTT",
+        (fun cfg ->
+          { cfg with Config.start_stagger_s = 30.; client_delay_spread_s = 0.2 }),
+        Scenario.reno );
+      ("SFQ gateway", Fun.id, Scenario.reno_sfq);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, tweak, scenario) ->
+        let cfg = tweak (Config.with_clients cfg clients) in
+        let m = Run.run ~measure_sync:true cfg scenario in
+        [
+          label;
+          sync_cell m;
+          Render.fmt_float m.Metrics.cov;
+          Printf.sprintf "%+.1f%%" (Metrics.cov_inflation_pct m);
+          Printf.sprintf "%.2f%%" m.Metrics.loss_pct;
+          string_of_int m.Metrics.timeouts;
+        ])
+      variants
+  in
+  Render.table ppf ~header:[ "variant"; "sync"; "cov"; "vs poisson"; "loss"; "timeouts" ]
+    ~rows

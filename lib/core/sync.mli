@@ -1,0 +1,20 @@
+(** Extension experiment: quantifying congestion-control synchronization.
+
+    §3.2 attributes Reno's heavy-congestion burstiness to "dependency
+    between the congestion-control decisions made by multiple TCP streams"
+    — flows detect congestion together and halve their windows together.
+    The paper shows this with stacked cwnd plots; here we measure it: the
+    synchronization index is the mean pairwise Pearson correlation of
+    per-flow per-RTT gateway arrival counts ({!Metrics.t.sync_index}).
+    Independent Poisson flows sit near 0; synchronized Reno flows rise
+    with load. *)
+
+val report : Format.formatter -> Config.t -> int list -> unit
+(** Synchronization index and c.o.v. for UDP, Reno, Vegas across client
+    counts. *)
+
+val desync_ablation : Format.formatter -> Config.t -> clients:int -> unit
+(** What breaks the synchronization: staggered start times (removes the
+    time-zero transient), heterogeneous RTTs (staggers the feedback
+    loops), their combination, and a fairness-queueing (SFQ) gateway that
+    decouples the flows' loss processes — all for Reno. *)

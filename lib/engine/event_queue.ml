@@ -1,0 +1,60 @@
+type entry = {
+  at : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = entry
+
+module H = Heap.Make (struct
+  type t = entry
+
+  let compare a b =
+    let c = Time.compare a.at b.at in
+    if c <> 0 then c else Int.compare a.seq b.seq
+end)
+
+type t = { heap : H.t; mutable next_seq : int; mutable live : int }
+
+let create () = { heap = H.create (); next_seq = 0; live = 0 }
+
+let length q = q.live
+
+let is_empty q = q.live = 0
+
+let schedule q at action =
+  let entry = { at; seq = q.next_seq; action; cancelled = false } in
+  q.next_seq <- q.next_seq + 1;
+  q.live <- q.live + 1;
+  H.push q.heap entry;
+  entry
+
+let cancel q handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    q.live <- q.live - 1
+  end
+
+let is_pending handle = not handle.cancelled
+
+(* Drop cancelled entries sitting at the top of the heap. *)
+let rec skim q =
+  match H.peek q.heap with
+  | Some e when e.cancelled ->
+      ignore (H.pop q.heap);
+      skim q
+  | _ -> ()
+
+let next_time q =
+  skim q;
+  match H.peek q.heap with Some e -> Some e.at | None -> None
+
+let pop q =
+  skim q;
+  match H.pop q.heap with
+  | None -> None
+  | Some e ->
+      e.cancelled <- true;
+      q.live <- q.live - 1;
+      Some (e.at, e.action)

@@ -1,0 +1,31 @@
+(** A time-ordered queue of pending simulation events.
+
+    Events scheduled for the same instant fire in scheduling order (FIFO
+    within a timestamp), which makes runs deterministic. Cancellation is
+    lazy: a cancelled event stays in the heap but is skipped on pop. *)
+
+type t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> t
+
+val length : t -> int
+(** Number of live (non-cancelled) events still queued. *)
+
+val is_empty : t -> bool
+
+val schedule : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule q at action] enqueues [action] to fire at time [at]. *)
+
+val cancel : t -> handle -> unit
+(** Cancels the event; a no-op if it already fired or was cancelled. *)
+
+val is_pending : handle -> bool
+
+val next_time : t -> Time.t option
+(** Timestamp of the earliest live event. *)
+
+val pop : t -> (Time.t * (unit -> unit)) option
+(** Removes and returns the earliest live event. *)

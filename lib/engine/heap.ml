@@ -1,0 +1,94 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) = struct
+  type t = {
+    mutable data : Elt.t array;
+    (* [data.(0 .. size-1)] is a binary min-heap; slots beyond [size] hold
+       stale elements kept only to satisfy the array type. *)
+    mutable size : int;
+  }
+
+  let create ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Heap.create: capacity < 1";
+    { data = [||]; size = 0 }
+
+  let length h = h.size
+
+  let is_empty h = h.size = 0
+
+  let grow h elt =
+    let cap = Array.length h.data in
+    if h.size = cap then begin
+      let ncap = Stdlib.max 64 (2 * cap) in
+      let ndata = Array.make ncap elt in
+      Array.blit h.data 0 ndata 0 h.size;
+      h.data <- ndata
+    end
+
+  let rec sift_up data i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if Elt.compare data.(i) data.(parent) < 0 then begin
+        let tmp = data.(i) in
+        data.(i) <- data.(parent);
+        data.(parent) <- tmp;
+        sift_up data parent
+      end
+    end
+
+  let rec sift_down data size i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = if l < size && Elt.compare data.(l) data.(i) < 0 then l else i in
+    let smallest =
+      if r < size && Elt.compare data.(r) data.(smallest) < 0 then r else smallest
+    in
+    if smallest <> i then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(smallest);
+      data.(smallest) <- tmp;
+      sift_down data size smallest
+    end
+
+  let push h elt =
+    grow h elt;
+    h.data.(h.size) <- elt;
+    h.size <- h.size + 1;
+    sift_up h.data (h.size - 1)
+
+  let peek h = if h.size = 0 then None else Some h.data.(0)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h.data h.size 0
+      end;
+      Some top
+    end
+
+  let pop_exn h =
+    match pop h with
+    | Some e -> e
+    | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+  let clear h = h.size <- 0
+
+  let iter f h =
+    for i = 0 to h.size - 1 do
+      f h.data.(i)
+    done
+
+  let to_sorted_list h =
+    let copy = { data = Array.sub h.data 0 h.size; size = h.size } in
+    let rec drain acc =
+      match pop copy with None -> List.rev acc | Some e -> drain (e :: acc)
+    in
+    drain []
+end

@@ -1,0 +1,39 @@
+(** A resizable binary min-heap.
+
+    The heap is imperative and monomorphic in its element type via a functor
+    over an ordered type. Used as the backing store of {!Event_queue}. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Elt : ORDERED) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Fresh empty heap. [capacity] is an initial size hint (default 64). *)
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val push : t -> Elt.t -> unit
+
+  val peek : t -> Elt.t option
+  (** Smallest element, without removing it. *)
+
+  val pop : t -> Elt.t option
+  (** Removes and returns the smallest element. *)
+
+  val pop_exn : t -> Elt.t
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val clear : t -> unit
+
+  val iter : (Elt.t -> unit) -> t -> unit
+  (** Iterates in unspecified order. *)
+
+  val to_sorted_list : t -> Elt.t list
+  (** Non-destructive: the heap contents in ascending order. O(n log n). *)
+end

@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 output mixing (Steele, Lea & Flood, OOPSLA 2014). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix64 seed }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+
+let split_named t label =
+  let h = Hashtbl.hash label in
+  { state = mix64 (Int64.logxor t.state (Int64.of_int h)) }
+
+(* 53 uniform mantissa bits, as in standard doubles-from-int64 recipes. *)
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float_range t lo hi =
+  if not (lo < hi) then invalid_arg "Rng.float_range: lo >= hi";
+  lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: n <= 0";
+  (* Rejection-free for simulation purposes: modulo bias is negligible for
+     n << 2^64, and determinism matters more than perfect uniformity. *)
+  let v = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem v (Int64.of_int n))
+
+let bool t p =
+  if p < 0. || p > 1. then invalid_arg "Rng.bool: p outside [0,1]";
+  float t < p
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean <= 0";
+  let u = 1. -. float t in
+  -.mean *. log u
+
+let pareto t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then invalid_arg "Rng.pareto: non-positive parameter";
+  let u = 1. -. float t in
+  scale /. (u ** (1. /. shape))
+
+let gaussian t ~mean ~std =
+  if std < 0. then invalid_arg "Rng.gaussian: std < 0";
+  let u1 = 1. -. float t in
+  let u2 = float t in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (std *. r *. cos (2. *. Float.pi *. u2))

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random numbers for simulation.
+
+    The generator is SplitMix64: fast, statistically solid for simulation
+    purposes, and — crucially — {e splittable}, so each simulated component
+    can own an independent stream derived deterministically from one master
+    seed. Two runs with the same seed produce identical event sequences. *)
+
+type t
+
+val create : seed:int64 -> t
+
+val split : t -> t
+(** A new generator whose stream is independent of (and deterministically
+    derived from) the parent's current state. Advances the parent. *)
+
+val split_named : t -> string -> t
+(** Like {!split} but mixes in a label, so the derived stream depends on the
+    label and not on the order of [split] calls. Does not advance the
+    parent. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi]: uniform in [\[lo, hi)]. Requires [lo < hi]. *)
+
+val int : t -> int -> int
+(** [int t n]: uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. Requires [0 <= p <= 1]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean. Requires [mean > 0]. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto distributed: [P(X > x) = (scale/x)^shape] for [x >= scale].
+    Requires [shape > 0] and [scale > 0]. *)
+
+val gaussian : t -> mean:float -> std:float -> float
+(** Normally distributed (Box–Muller). Requires [std >= 0]. *)

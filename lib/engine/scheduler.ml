@@ -1,0 +1,52 @@
+type handle = Event_queue.handle
+
+type t = {
+  queue : Event_queue.t;
+  mutable clock : Time.t;
+  mutable stopped : bool;
+  mutable fired : int;
+}
+
+let create () =
+  { queue = Event_queue.create (); clock = Time.zero; stopped = false; fired = 0 }
+
+let now t = t.clock
+
+let at t when_ action =
+  if Time.(when_ < t.clock) then invalid_arg "Scheduler.at: time in the past";
+  Event_queue.schedule t.queue when_ action
+
+let after t delay action = at t (Time.add t.clock delay) action
+
+let cancel t handle = Event_queue.cancel t.queue handle
+
+let stop t = t.stopped <- true
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon_reached at =
+    match until with None -> false | Some u -> Time.(at > u)
+  in
+  let rec loop () =
+    if t.stopped then ()
+    else
+      match Event_queue.next_time t.queue with
+      | None -> ()
+      | Some at when horizon_reached at -> ()
+      | Some _ -> (
+          match Event_queue.pop t.queue with
+          | None -> ()
+          | Some (at, action) ->
+              t.clock <- at;
+              t.fired <- t.fired + 1;
+              action ();
+              loop ())
+  in
+  loop ();
+  match until with
+  | Some u when (not t.stopped) && Time.(t.clock < u) -> t.clock <- u
+  | _ -> ()
+
+let events_processed t = t.fired
+
+let pending t = Event_queue.length t.queue

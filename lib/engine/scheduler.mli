@@ -1,0 +1,37 @@
+(** The discrete-event simulation loop.
+
+    A scheduler owns a virtual clock and an {!Event_queue}. Simulation
+    components capture the scheduler and call {!after}/{!at} to register
+    future work; {!run} advances the clock from event to event. *)
+
+type t
+
+type handle = Event_queue.handle
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val at : t -> Time.t -> (unit -> unit) -> handle
+(** [at t when_ action] schedules [action] at absolute time [when_].
+    @raise Invalid_argument if [when_] is in the past. *)
+
+val after : t -> Time.span -> (unit -> unit) -> handle
+(** [after t delay action] schedules [action] [delay] from now. *)
+
+val cancel : t -> handle -> unit
+
+val stop : t -> unit
+(** Makes {!run} return after the event being processed completes. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Processes events in time order until the queue is empty, {!stop} is
+    called, or the next event is later than [until]. When stopped by
+    [until], the clock is advanced to exactly [until]. *)
+
+val events_processed : t -> int
+(** Total events fired so far; useful for instrumentation and tests. *)
+
+val pending : t -> int
+(** Live events still queued. *)

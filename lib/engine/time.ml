@@ -1,0 +1,45 @@
+type t = float
+
+type span = t
+
+let zero = 0.
+
+let of_sec s =
+  if not (Float.is_finite s) || s < 0. then
+    invalid_arg "Time.of_sec: negative or non-finite";
+  s
+
+let to_sec t = t
+
+let of_ms ms = of_sec (ms /. 1e3)
+
+let of_us us = of_sec (us /. 1e6)
+
+let add t d = t +. d
+
+let diff a b =
+  if b > a then invalid_arg "Time.diff: negative result";
+  a -. b
+
+let mul d k =
+  if not (Float.is_finite k) || k < 0. then
+    invalid_arg "Time.mul: negative or non-finite factor";
+  d *. k
+
+let compare = Float.compare
+
+let equal = Float.equal
+
+let ( < ) (a : t) b = a < b
+
+let ( <= ) (a : t) b = a <= b
+
+let ( > ) (a : t) b = a > b
+
+let ( >= ) (a : t) b = a >= b
+
+let min (a : t) b = Stdlib.min a b
+
+let max (a : t) b = Stdlib.max a b
+
+let pp ppf t = Format.fprintf ppf "%.6fs" t

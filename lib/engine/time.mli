@@ -1,0 +1,44 @@
+(** Simulation time.
+
+    Time is a non-negative number of virtual seconds since the start of the
+    simulation. It is kept abstract so that code cannot accidentally mix
+    times with other floating-point quantities (rates, sizes, ...). *)
+
+type t
+(** A point in virtual time, in seconds. *)
+
+type span = t
+(** A duration. Durations and absolute times share the representation but
+    the two names document intent in signatures. *)
+
+val zero : t
+
+val of_sec : float -> t
+(** [of_sec s] is the time [s] seconds after the origin. Raises
+    [Invalid_argument] if [s] is negative or not finite. *)
+
+val to_sec : t -> float
+
+val of_ms : float -> t
+val of_us : float -> t
+
+val add : t -> span -> t
+
+val diff : t -> t -> span
+(** [diff a b] is [a - b]. Raises [Invalid_argument] if [b > a]. *)
+
+val mul : span -> float -> span
+(** [mul d k] scales duration [d] by a non-negative factor [k]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as seconds with microsecond precision, e.g. ["12.345678s"]. *)

@@ -1,0 +1,30 @@
+type system = t:float -> y:float array -> float array
+
+let axpy a x y = Array.mapi (fun i yi -> yi +. (a *. x.(i))) y
+
+let rk4_step f ~t ~dt y =
+  let k1 = f ~t ~y in
+  let k2 = f ~t:(t +. (dt /. 2.)) ~y:(axpy (dt /. 2.) k1 y) in
+  let k3 = f ~t:(t +. (dt /. 2.)) ~y:(axpy (dt /. 2.) k2 y) in
+  let k4 = f ~t:(t +. dt) ~y:(axpy dt k3 y) in
+  Array.mapi
+    (fun i yi ->
+      yi +. (dt /. 6. *. (k1.(i) +. (2. *. k2.(i)) +. (2. *. k3.(i)) +. k4.(i))))
+    y
+
+let integrate ?(observe = fun ~t:_ ~y:_ -> ()) ?(project = fun _ -> ()) f ~y0 ~t0
+    ~t1 ~dt =
+  if dt <= 0. then invalid_arg "Ode.integrate: dt <= 0";
+  if t1 < t0 then invalid_arg "Ode.integrate: t1 < t0";
+  let y = ref (Array.copy y0) in
+  let t = ref t0 in
+  observe ~t:!t ~y:!y;
+  while !t < t1 -. 1e-12 do
+    let step = Stdlib.min dt (t1 -. !t) in
+    let next = rk4_step f ~t:!t ~dt:step !y in
+    project next;
+    y := next;
+    t := !t +. step;
+    observe ~t:!t ~y:!y
+  done;
+  !y

@@ -1,0 +1,114 @@
+type params = {
+  flows : int;
+  capacity_pps : float;
+  base_rtt_s : float;
+  buffer_packets : float;
+  red_min_th : float;
+  red_max_th : float;
+  red_max_p : float;
+  avg_gain : float;
+}
+
+let of_table1 ~flows ~capacity_pps ~base_rtt_s ~buffer_packets =
+  {
+    flows;
+    capacity_pps;
+    base_rtt_s;
+    buffer_packets;
+    red_min_th = 10.;
+    red_max_th = 40.;
+    red_max_p = 0.02;
+    avg_gain = 10.;
+  }
+
+let drop_probability p x =
+  if x <= p.red_min_th then 0.
+  else if x >= p.red_max_th then 1.
+  else p.red_max_p *. (x -. p.red_min_th) /. (p.red_max_th -. p.red_min_th)
+
+let validate p =
+  if p.flows < 1 then invalid_arg "Reno_fluid: flows < 1";
+  if p.capacity_pps <= 0. || p.base_rtt_s <= 0. || p.buffer_packets <= 0. then
+    invalid_arg "Reno_fluid: non-positive parameter";
+  if p.red_min_th < 0. || p.red_max_th <= p.red_min_th then
+    invalid_arg "Reno_fluid: bad RED thresholds"
+
+(* State layout: [| w; q; x |]. *)
+let field p ~t:_ ~y =
+  let w = Stdlib.max y.(0) 1e-3 in
+  let q = Stdlib.max y.(1) 0. in
+  let x = Stdlib.max y.(2) 0. in
+  let rtt = p.base_rtt_s +. (q /. p.capacity_pps) in
+  let per_flow_rate = w /. rtt in
+  let arrival = float_of_int p.flows *. per_flow_rate in
+  let dw = (1. /. rtt) -. (w /. 2. *. per_flow_rate *. drop_probability p x) in
+  let dq =
+    let raw = arrival -. p.capacity_pps in
+    (* The queue can neither drain when empty nor grow when full. *)
+    if (q <= 0. && raw < 0.) || (q >= p.buffer_packets && raw > 0.) then 0. else raw
+  in
+  let dx = p.avg_gain *. (q -. x) in
+  [| dw; dq; dx |]
+
+let project p y =
+  if y.(0) < 1e-3 then y.(0) <- 1e-3;
+  if y.(1) < 0. then y.(1) <- 0.;
+  if y.(1) > p.buffer_packets then y.(1) <- p.buffer_packets;
+  if y.(2) < 0. then y.(2) <- 0.
+
+type trajectory = {
+  times : float array;
+  window : float array;
+  queue : float array;
+  throughput : float array;
+}
+
+let simulate ?(dt = 0.001) p ~horizon =
+  validate p;
+  if horizon <= 0. then invalid_arg "Reno_fluid.simulate: horizon <= 0";
+  let times = ref [] and window = ref [] and queue = ref [] and thr = ref [] in
+  let sample_every = Stdlib.max dt (horizon /. 2000.) in
+  let last_sample = ref neg_infinity in
+  let observe ~t ~y =
+    if t -. !last_sample >= sample_every -. 1e-12 then begin
+      last_sample := t;
+      times := t :: !times;
+      window := y.(0) :: !window;
+      queue := y.(1) :: !queue;
+      let rtt = p.base_rtt_s +. (y.(1) /. p.capacity_pps) in
+      thr := (float_of_int p.flows *. y.(0) /. rtt) :: !thr
+    end
+  in
+  ignore
+    (Ode.integrate ~observe ~project:(project p) (field p) ~y0:[| 1.; 0.; 0. |]
+       ~t0:0. ~t1:horizon ~dt);
+  {
+    times = Array.of_list (List.rev !times);
+    window = Array.of_list (List.rev !window);
+    queue = Array.of_list (List.rev !queue);
+    throughput = Array.of_list (List.rev !thr);
+  }
+
+type equilibrium = {
+  eq_window : float;
+  eq_queue : float;
+  eq_throughput_pps : float;
+  eq_loss : float;
+  eq_rtt_s : float;
+}
+
+let equilibrium ?(dt = 0.001) ?(settle = 200.) p =
+  validate p;
+  let y =
+    Ode.integrate ~project:(project p) (field p) ~y0:[| 1.; 0.; 0. |] ~t0:0.
+      ~t1:settle ~dt
+  in
+  let w = y.(0) and q = y.(1) and x = y.(2) in
+  let rtt = p.base_rtt_s +. (q /. p.capacity_pps) in
+  {
+    eq_window = w;
+    eq_queue = q;
+    eq_throughput_pps = float_of_int p.flows *. w /. rtt;
+    eq_loss = drop_probability p x;
+    eq_rtt_s = rtt;
+  }

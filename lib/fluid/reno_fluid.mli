@@ -1,0 +1,57 @@
+(** Fluid approximation of N homogeneous greedy TCP Reno flows through one
+    RED bottleneck (Misra, Gong & Towsley 2000; the modelling style of the
+    paper's reference [1]).
+
+    State: per-flow window [w] (packets), instantaneous queue [q]
+    (packets), and the RED average [x]. With round-trip time
+    [r(q) = r0 + q/c]:
+
+    {v
+    dw/dt = 1/r(q) - (w/2) (w/r(q)) p(x)
+    dq/dt = n w / r(q) - c          (clamped into [0, buffer])
+    dx/dt = kappa (q - x)
+    v}
+
+    where [p] is RED's drop probability at average queue [x]. Droptail is
+    modelled as RED with a very tight band near the buffer limit. *)
+
+type params = {
+  flows : int;  (** n *)
+  capacity_pps : float;  (** c, packets per second *)
+  base_rtt_s : float;  (** r0, propagation round trip *)
+  buffer_packets : float;
+  red_min_th : float;
+  red_max_th : float;
+  red_max_p : float;
+  avg_gain : float;  (** kappa, the EWMA tracking rate, 1/s *)
+}
+
+val of_table1 :
+  flows:int ->
+  capacity_pps:float ->
+  base_rtt_s:float ->
+  buffer_packets:float ->
+  params
+(** RED (10, 40, 0.02) and a 10/s averaging gain. *)
+
+type trajectory = {
+  times : float array;
+  window : float array;  (** per-flow window, packets *)
+  queue : float array;  (** packets *)
+  throughput : float array;  (** aggregate, packets per second *)
+}
+
+val simulate : ?dt:float -> params -> horizon:float -> trajectory
+(** Integrate from (w, q, x) = (1, 0, 0). [dt] defaults to 1 ms. *)
+
+type equilibrium = {
+  eq_window : float;
+  eq_queue : float;
+  eq_throughput_pps : float;
+  eq_loss : float;  (** RED drop probability at the equilibrium average *)
+  eq_rtt_s : float;
+}
+
+val equilibrium : ?dt:float -> ?settle:float -> params -> equilibrium
+(** State after integrating for [settle] seconds (default 200) — long
+    enough for Table 1-scale parameters to reach steady state. *)

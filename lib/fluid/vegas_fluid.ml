@@ -1,0 +1,57 @@
+type params = {
+  flows : int;
+  capacity_pps : float;
+  base_rtt_s : float;
+  buffer_packets : float;
+  alpha : float;
+  beta : float;
+}
+
+type equilibrium = {
+  eq_window : float;
+  eq_queue : float;
+  eq_throughput_pps : float;
+  eq_rtt_s : float;
+  overloaded : bool;
+}
+
+let validate p =
+  if p.flows < 1 then invalid_arg "Vegas_fluid: flows < 1";
+  if p.capacity_pps <= 0. || p.base_rtt_s <= 0. || p.buffer_packets <= 0. then
+    invalid_arg "Vegas_fluid: non-positive parameter";
+  if p.alpha <= 0. || p.beta < p.alpha then invalid_arg "Vegas_fluid: bad alpha/beta"
+
+let min_buffer p =
+  validate p;
+  float_of_int p.flows *. p.alpha
+
+let equilibrium p =
+  validate p;
+  let n = float_of_int p.flows in
+  let target = (p.alpha +. p.beta) /. 2. in
+  let wanted_queue = n *. target in
+  if wanted_queue <= p.buffer_packets then begin
+    let eq_queue = wanted_queue in
+    let eq_rtt = p.base_rtt_s +. (eq_queue /. p.capacity_pps) in
+    {
+      eq_window = (p.capacity_pps *. p.base_rtt_s /. n) +. target;
+      eq_queue;
+      eq_throughput_pps = p.capacity_pps;
+      eq_rtt_s = eq_rtt;
+      overloaded = false;
+    }
+  end
+  else begin
+    (* The flows collectively want more backlog than the buffer holds:
+       the queue pins at the buffer limit and overflow loss is
+       persistent. Windows settle at their share of pipe plus buffer. *)
+    let eq_queue = p.buffer_packets in
+    let eq_rtt = p.base_rtt_s +. (eq_queue /. p.capacity_pps) in
+    {
+      eq_window = p.capacity_pps *. eq_rtt /. n;
+      eq_queue;
+      eq_throughput_pps = p.capacity_pps;
+      eq_rtt_s = eq_rtt;
+      overloaded = true;
+    }
+  end

@@ -1,0 +1,38 @@
+(** Equilibrium analysis of N homogeneous greedy TCP Vegas flows through
+    one bottleneck (Bonald 1998 — the paper's reference [1]).
+
+    Vegas steers each flow's queue occupancy into [\[alpha, beta\]], so N
+    greedy flows settle (no dynamics needed) at:
+
+    - per-flow backlog [d* in [alpha, beta]] — we use the midpoint;
+    - queue [q* = N d*] if it fits in the buffer;
+    - per-flow window [w* = c r0 / N + d*] (capacity share plus backlog);
+    - zero loss as long as [N alpha <= buffer], otherwise the buffer
+      overflows structurally and Vegas loses packets like everyone else —
+      the regime §3.4 of the paper describes for RED's max_th. *)
+
+type params = {
+  flows : int;
+  capacity_pps : float;
+  base_rtt_s : float;
+  buffer_packets : float;
+  alpha : float;
+  beta : float;
+}
+
+type equilibrium = {
+  eq_window : float;  (** per-flow, packets *)
+  eq_queue : float;  (** packets at the gateway *)
+  eq_throughput_pps : float;  (** aggregate *)
+  eq_rtt_s : float;
+  overloaded : bool;  (** [N alpha] exceeds the buffer: persistent loss *)
+}
+
+val equilibrium : params -> equilibrium
+(** @raise Invalid_argument on non-positive parameters or
+    [beta < alpha]. *)
+
+val min_buffer : params -> float
+(** The smallest gateway buffer at which N Vegas flows are loss-free:
+    [N alpha]. The buffer ablation in EXPERIMENTS.md confirms this bound
+    in packet simulation. *)

@@ -1,0 +1,18 @@
+type t = { q : Packet.t Queue.t; capacity : int }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Droptail.create: capacity < 1";
+  { q = Queue.create (); capacity }
+
+let enqueue t p =
+  if Queue.length t.q >= t.capacity then `Dropped
+  else begin
+    Queue.push p t.q;
+    `Enqueued
+  end
+
+let dequeue t = Queue.take_opt t.q
+
+let length t = Queue.length t.q
+
+let capacity t = t.capacity

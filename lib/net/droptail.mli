@@ -1,0 +1,17 @@
+(** FIFO drop-tail queue with a packet-count capacity.
+
+    This is the paper's baseline gateway discipline: arrivals beyond the
+    buffer size [B] are dropped. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val enqueue : t -> Packet.t -> [ `Enqueued | `Dropped ]
+
+val dequeue : t -> Packet.t option
+
+val length : t -> int
+
+val capacity : t -> int

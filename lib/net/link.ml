@@ -1,0 +1,93 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+
+type t = {
+  sched : Scheduler.t;
+  name : string;
+  bandwidth : Units.bandwidth;
+  delay : Time.span;
+  queue : Queue_disc.t;
+  deliver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable arrival_listeners : (Time.t -> Packet.t -> unit) list;
+  mutable drop_listeners : (Time.t -> Packet.t -> unit) list;
+  mutable depart_listeners : (Time.t -> Packet.t -> unit) list;
+  mutable arrivals : int;
+  mutable drops : int;
+  mutable departures : int;
+  mutable bytes_delivered : int;
+}
+
+let create sched ~name ~bandwidth ~delay ~queue ~deliver =
+  {
+    sched;
+    name;
+    bandwidth;
+    delay;
+    queue;
+    deliver;
+    busy = false;
+    arrival_listeners = [];
+    drop_listeners = [];
+    depart_listeners = [];
+    arrivals = 0;
+    drops = 0;
+    departures = 0;
+    bytes_delivered = 0;
+  }
+
+let notify listeners now p = List.iter (fun f -> f now p) listeners
+
+(* Serialize the head-of-line packet, then pipeline: delivery happens
+   [delay] after serialization ends, while the next packet serializes. *)
+let rec try_transmit t =
+  if not t.busy then begin
+    match Queue_disc.dequeue t.queue ~now:(Scheduler.now t.sched) with
+    | None -> ()
+    | Some p ->
+        t.busy <- true;
+        let tx = Units.transmission_time t.bandwidth ~bytes:p.Packet.size_bytes in
+        ignore
+          (Scheduler.after t.sched tx (fun () ->
+               t.busy <- false;
+               ignore
+                 (Scheduler.after t.sched t.delay (fun () ->
+                      t.departures <- t.departures + 1;
+                      t.bytes_delivered <- t.bytes_delivered + p.Packet.size_bytes;
+                      notify t.depart_listeners (Scheduler.now t.sched) p;
+                      t.deliver p));
+               try_transmit t))
+  end
+
+let send t p =
+  let now = Scheduler.now t.sched in
+  t.arrivals <- t.arrivals + 1;
+  notify t.arrival_listeners now p;
+  match Queue_disc.enqueue t.queue ~now p with
+  | `Dropped ->
+      t.drops <- t.drops + 1;
+      notify t.drop_listeners now p
+  | `Enqueued -> try_transmit t
+  | `Enqueued_dropping victim ->
+      (* SFQ admitted the arrival but pushed out another flow's packet. *)
+      t.drops <- t.drops + 1;
+      notify t.drop_listeners now victim;
+      try_transmit t
+
+let queue_length t = Queue_disc.length t.queue
+
+let on_arrival t f = t.arrival_listeners <- t.arrival_listeners @ [ f ]
+
+let on_drop t f = t.drop_listeners <- t.drop_listeners @ [ f ]
+
+let on_depart t f = t.depart_listeners <- t.depart_listeners @ [ f ]
+
+let arrivals t = t.arrivals
+
+let drops t = t.drops
+
+let departures t = t.departures
+
+let bytes_delivered t = t.bytes_delivered
+
+let name t = t.name

@@ -1,0 +1,39 @@
+(** A simplex store-and-forward link with an output queue.
+
+    Packets sent on the link enter the queueing discipline; the link drains
+    the queue at its bandwidth (serialization delay) and delivers each
+    packet [delay] seconds after its serialization completes (propagation
+    pipeline, as in ns). A full-duplex link is a pair of these. *)
+
+type t
+
+val create :
+  Sim_engine.Scheduler.t ->
+  name:string ->
+  bandwidth:Units.bandwidth ->
+  delay:Sim_engine.Time.span ->
+  queue:Queue_disc.t ->
+  deliver:(Packet.t -> unit) ->
+  t
+(** [deliver] is invoked at the receiving end of the link. *)
+
+val send : t -> Packet.t -> unit
+(** Offer a packet to the link's queue; may drop per the discipline. *)
+
+val queue_length : t -> int
+
+(** {2 Instrumentation}
+
+    Listeners observe, in order: every arrival (before the drop decision),
+    every drop, and every departure (delivery at the far end). *)
+
+val on_arrival : t -> (Sim_engine.Time.t -> Packet.t -> unit) -> unit
+val on_drop : t -> (Sim_engine.Time.t -> Packet.t -> unit) -> unit
+val on_depart : t -> (Sim_engine.Time.t -> Packet.t -> unit) -> unit
+
+val arrivals : t -> int
+val drops : t -> int
+val departures : t -> int
+val bytes_delivered : t -> int
+
+val name : t -> string

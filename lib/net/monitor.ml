@@ -1,0 +1,43 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+
+let arrival_binner ?(data_only = true) link ~origin ~width =
+  let binned = Netstats.Binned.create ~origin ~width () in
+  Link.on_arrival link (fun now p ->
+      if (not data_only) || Packet.is_data p then
+        Netstats.Binned.record binned (Time.to_sec now));
+  binned
+
+let queue_sampler sched link ~every ~until =
+  let series = Netstats.Series.create () in
+  let rec tick () =
+    let now = Scheduler.now sched in
+    if Time.(now <= until) then begin
+      Netstats.Series.add series (Time.to_sec now)
+        (float_of_int (Link.queue_length link));
+      ignore (Scheduler.after sched every tick)
+    end
+  in
+  ignore (Scheduler.after sched Time.zero tick);
+  series
+
+let drop_times link =
+  let series = Netstats.Series.create () in
+  Link.on_drop link (fun now _ -> Netstats.Series.add series (Time.to_sec now) 1.);
+  series
+
+let drop_run_recorder link =
+  let runs = ref [] and run = ref 0 and dropped_since_arrival = ref false in
+  Link.on_arrival link (fun _ _ ->
+      (* The previous arrival was accepted: any open run has ended. *)
+      if (not !dropped_since_arrival) && !run > 0 then begin
+        runs := !run :: !runs;
+        run := 0
+      end;
+      dropped_since_arrival := false);
+  Link.on_drop link (fun _ _ ->
+      incr run;
+      dropped_since_arrival := true);
+  fun () ->
+    let all = if !run > 0 then !run :: !runs else !runs in
+    List.rev all

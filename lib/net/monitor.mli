@@ -1,0 +1,33 @@
+(** Measurement taps over links.
+
+    Monitors observe without perturbing: they subscribe to link events and
+    sample queue lengths on a timer. The paper's central measurement — the
+    per-RTT count of packets arriving at the gateway — is [arrival_binner]
+    attached to the bottleneck link. *)
+
+val arrival_binner :
+  ?data_only:bool ->
+  Link.t ->
+  origin:float ->
+  width:float ->
+  Netstats.Binned.t
+(** Counts packets arriving at the link (before the drop decision) into
+    bins of [width] seconds starting at [origin]. [data_only] (default
+    true) counts only data packets, not ACKs. *)
+
+val queue_sampler :
+  Sim_engine.Scheduler.t ->
+  Link.t ->
+  every:Sim_engine.Time.span ->
+  until:Sim_engine.Time.t ->
+  Netstats.Series.t
+(** Samples the link's queue length every [every] until [until]. *)
+
+val drop_times : Link.t -> Netstats.Series.t
+(** Records (time, 1.) for every drop at the link. *)
+
+val drop_run_recorder : Link.t -> unit -> int list
+(** Tracks maximal runs of consecutive (in arrival order) drops at the
+    link — the "large sequences of packet losses" of the paper's §3.4.
+    The returned thunk yields all completed runs plus any run still open,
+    most recent last. *)

@@ -1,0 +1,13 @@
+type t = { id : int; mutable handler : Packet.t -> unit; mutable received : int }
+
+let create ~id = { id; handler = ignore; received = 0 }
+
+let id t = t.id
+
+let set_handler t f = t.handler <- f
+
+let receive t p =
+  t.received <- t.received + 1;
+  t.handler p
+
+let received t = t.received

@@ -1,0 +1,19 @@
+(** Network endpoints.
+
+    A node is an addressable endpoint whose handler consumes packets
+    delivered by an incoming link; transports register themselves as
+    handlers. *)
+
+type t
+
+val create : id:int -> t
+
+val id : t -> int
+
+val set_handler : t -> (Packet.t -> unit) -> unit
+(** Replaces the current handler. The default handler ignores packets. *)
+
+val receive : t -> Packet.t -> unit
+
+val received : t -> int
+(** Total packets this node's handler has been given. *)

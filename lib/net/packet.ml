@@ -1,0 +1,59 @@
+type payload =
+  | Tcp_data of { seq : int; is_retransmit : bool }
+  | Tcp_ack of { ack : int; ece : bool; sack : (int * int) list }
+  | Udp_data of { seq : int }
+
+type t = {
+  uid : int;
+  flow : int;
+  src : int;
+  dst : int;
+  size_bytes : int;
+  sent_at : Sim_engine.Time.t;
+  ecn_capable : bool;
+  mutable ecn_ce : bool;
+  payload : payload;
+}
+
+type factory = { mutable next_uid : int }
+
+let factory () = { next_uid = 0 }
+
+let make f ?(ecn_capable = false) ~flow ~src ~dst ~size_bytes ~sent_at payload =
+  if size_bytes <= 0 then invalid_arg "Packet.make: non-positive size";
+  let uid = f.next_uid in
+  f.next_uid <- f.next_uid + 1;
+  { uid; flow; src; dst; size_bytes; sent_at; ecn_capable; ecn_ce = false; payload }
+
+let is_data p =
+  match p.payload with Tcp_data _ | Udp_data _ -> true | Tcp_ack _ -> false
+
+let is_retransmit p =
+  match p.payload with
+  | Tcp_data { is_retransmit; _ } -> is_retransmit
+  | Tcp_ack _ | Udp_data _ -> false
+
+let seq p =
+  match p.payload with
+  | Tcp_data { seq; _ } | Udp_data { seq } -> Some seq
+  | Tcp_ack _ -> None
+
+let pp ppf p =
+  let kind =
+    match p.payload with
+    | Tcp_data { seq; is_retransmit } ->
+        Printf.sprintf "data(seq=%d%s)" seq (if is_retransmit then ",rtx" else "")
+    | Tcp_ack { ack; ece; sack } ->
+        let blocks =
+          match sack with
+          | [] -> ""
+          | bs ->
+              ","
+              ^ String.concat "+"
+                  (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) bs)
+        in
+        Printf.sprintf "ack(%d%s%s)" ack (if ece then ",ece" else "") blocks
+    | Udp_data { seq } -> Printf.sprintf "udp(seq=%d)" seq
+  in
+  Format.fprintf ppf "#%d flow=%d %d->%d %s %dB" p.uid p.flow p.src p.dst kind
+    p.size_bytes

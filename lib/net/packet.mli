@@ -1,0 +1,54 @@
+(** Simulated packets.
+
+    A packet carries its transport-level payload as a variant; the network
+    layer only looks at [size_bytes], [src] and [dst]. Sequence numbers
+    count packets (1 packet = 1 MSS of payload), as in ns. *)
+
+type payload =
+  | Tcp_data of { seq : int; is_retransmit : bool }
+      (** One MSS of TCP payload with (packet-granular) sequence number. *)
+  | Tcp_ack of { ack : int; ece : bool; sack : (int * int) list }
+      (** Cumulative ACK: [ack] is the next expected sequence number;
+          [ece] echoes an ECN congestion-experienced mark back to the
+          sender (RFC 3168, simplified: no CWR handshake); [sack] lists up
+          to four [(first, last_exclusive)] blocks of out-of-order data the
+          receiver holds (RFC 2018), empty when SACK is off. *)
+  | Udp_data of { seq : int }
+
+type t = {
+  uid : int;  (** Unique per simulation; creation order. *)
+  flow : int;  (** Connection/flow identifier. *)
+  src : int;  (** Source node id. *)
+  dst : int;  (** Destination node id. *)
+  size_bytes : int;
+  sent_at : Sim_engine.Time.t;  (** When the transport emitted it. *)
+  ecn_capable : bool;  (** sender supports ECN: queues may mark not drop *)
+  mutable ecn_ce : bool;  (** congestion experienced — set by a marking queue *)
+  payload : payload;
+}
+
+type factory
+(** Allocates unique packet ids for one simulation run. *)
+
+val factory : unit -> factory
+
+val make :
+  factory ->
+  ?ecn_capable:bool ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  size_bytes:int ->
+  sent_at:Sim_engine.Time.t ->
+  payload ->
+  t
+
+val is_data : t -> bool
+(** True for [Tcp_data] and [Udp_data]. *)
+
+val is_retransmit : t -> bool
+
+val seq : t -> int option
+(** The data sequence number, if any. *)
+
+val pp : Format.formatter -> t -> unit

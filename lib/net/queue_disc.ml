@@ -1,0 +1,25 @@
+type t = Droptail of Droptail.t | Red of Red.t | Sfq of Sfq.t
+
+let droptail ~capacity = Droptail (Droptail.create ~capacity)
+
+let red ~rng params = Red (Red.create ~rng params)
+
+let sfq ?buckets ~capacity () = Sfq (Sfq.create ?buckets ~capacity ())
+
+let enqueue t ~now p =
+  match t with
+  | Droptail q -> (Droptail.enqueue q p :> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet.t ])
+  | Red q -> (Red.enqueue q ~now p :> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet.t ])
+  | Sfq q -> Sfq.enqueue q p
+
+let dequeue t ~now =
+  match t with
+  | Droptail q -> Droptail.dequeue q
+  | Red q -> Red.dequeue q ~now
+  | Sfq q -> Sfq.dequeue q
+
+let length t =
+  match t with
+  | Droptail q -> Droptail.length q
+  | Red q -> Red.length q
+  | Sfq q -> Sfq.length q

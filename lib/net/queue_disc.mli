@@ -1,0 +1,24 @@
+(** A gateway queueing discipline: drop-tail FIFO, RED, or SFQ.
+
+    The closed variant keeps link code free of functors while still letting
+    tests pattern-match on the concrete discipline. *)
+
+type t = Droptail of Droptail.t | Red of Red.t | Sfq of Sfq.t
+
+val droptail : capacity:int -> t
+
+val red : rng:Sim_engine.Rng.t -> Red.params -> t
+
+val sfq : ?buckets:int -> capacity:int -> unit -> t
+
+val enqueue :
+  t ->
+  now:Sim_engine.Time.t ->
+  Packet.t ->
+  [ `Enqueued | `Dropped | `Enqueued_dropping of Packet.t ]
+(** [`Enqueued_dropping victim] (SFQ only): the arrival was admitted at
+    the cost of discarding [victim] from another queue. *)
+
+val dequeue : t -> now:Sim_engine.Time.t -> Packet.t option
+
+val length : t -> int

@@ -1,0 +1,131 @@
+type params = {
+  min_th : float;
+  max_th : float;
+  max_p : float;
+  w_q : float;
+  capacity : int;
+  idle_packet_time : float;
+  ecn_mark : bool;
+  adaptive : bool;
+}
+
+let default_params ~capacity ~min_th ~max_th =
+  {
+    min_th;
+    max_th;
+    max_p = 0.02;
+    w_q = 0.002;
+    capacity;
+    idle_packet_time = 1500. *. 8. /. 5e6;
+    ecn_mark = false;
+    adaptive = false;
+  }
+
+type t = {
+  p : params;
+  q : Packet.t Queue.t;
+  rng : Sim_engine.Rng.t;
+  mutable avg : float;
+  mutable count : int; (* arrivals since the last early drop; -1 = below min_th *)
+  mutable idle_since : float option; (* when the queue last went empty *)
+  mutable max_p : float; (* live value; scaled by the adaptive mode *)
+  mutable marks : int;
+  mutable last_adapt : float; (* adaptive max_p moves at most every 0.5 s *)
+}
+
+let create ~rng p =
+  if p.min_th <= 0. || p.max_th <= p.min_th then invalid_arg "Red.create: bad thresholds";
+  if p.max_p <= 0. || p.max_p > 1. then invalid_arg "Red.create: bad max_p";
+  if p.w_q <= 0. || p.w_q > 1. then invalid_arg "Red.create: bad w_q";
+  if p.capacity < 1 then invalid_arg "Red.create: bad capacity";
+  {
+    p;
+    q = Queue.create ();
+    rng;
+    avg = 0.;
+    count = -1;
+    idle_since = Some 0.;
+    max_p = p.max_p;
+    marks = 0;
+    last_adapt = 0.;
+  }
+
+let update_avg t now =
+  let qlen = float_of_int (Queue.length t.q) in
+  (match t.idle_since with
+  | Some since when qlen = 0. ->
+      (* Age the average over the idle period as if [m] small packets had
+         departed (FJ93 §4). *)
+      let idle = Stdlib.max 0. (now -. since) in
+      let m = idle /. t.p.idle_packet_time in
+      t.avg <- t.avg *. ((1. -. t.p.w_q) ** m);
+      t.idle_since <- None
+  | _ -> ());
+  t.avg <- ((1. -. t.p.w_q) *. t.avg) +. (t.p.w_q *. qlen);
+  (* Self-Configuring RED: steer max_p so the average stays in band,
+     adjusting at most once per half second so one congestion episode does
+     not slam max_p to a rail. *)
+  if t.p.adaptive && now -. t.last_adapt >= 0.5 then begin
+    if t.avg < t.p.min_th then begin
+      t.max_p <- Stdlib.max 1e-4 (t.max_p /. 3.);
+      t.last_adapt <- now
+    end
+    else if t.avg > t.p.max_th then begin
+      t.max_p <- Stdlib.min 0.5 (t.max_p *. 2.);
+      t.last_adapt <- now
+    end
+  end
+
+let accept t p =
+  Queue.push p t.q;
+  t.idle_since <- None;
+  `Enqueued
+
+let enqueue t ~now packet =
+  let now = Sim_engine.Time.to_sec now in
+  update_avg t now;
+  if Queue.length t.q >= t.p.capacity then begin
+    (* Physical overflow: forced drop. *)
+    t.count <- 0;
+    `Dropped
+  end
+  else if t.avg < t.p.min_th then begin
+    t.count <- -1;
+    accept t packet
+  end
+  else if t.avg >= t.p.max_th then begin
+    t.count <- 0;
+    `Dropped
+  end
+  else begin
+    t.count <- t.count + 1;
+    let pb = t.max_p *. (t.avg -. t.p.min_th) /. (t.p.max_th -. t.p.min_th) in
+    let denom = 1. -. (float_of_int t.count *. pb) in
+    let pa = if denom <= 0. then 1. else pb /. denom in
+    if Sim_engine.Rng.bool t.rng (Stdlib.min 1. pa) then begin
+      t.count <- 0;
+      if t.p.ecn_mark && packet.Packet.ecn_capable then begin
+        (* Signal congestion without losing the packet. *)
+        packet.Packet.ecn_ce <- true;
+        t.marks <- t.marks + 1;
+        accept t packet
+      end
+      else `Dropped
+    end
+    else accept t packet
+  end
+
+let dequeue t ~now =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some p ->
+      if Queue.is_empty t.q then t.idle_since <- Some (Sim_engine.Time.to_sec now);
+      Some p
+
+let length t = Queue.length t.q
+
+let avg t = t.avg
+
+let marks t = t.marks
+
+let current_max_p t = t.max_p

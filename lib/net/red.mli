@@ -1,0 +1,54 @@
+(** Random Early Detection gateway queue (Floyd & Jacobson 1993).
+
+    Maintains an exponentially weighted moving average of the instantaneous
+    queue length. Below [min_th] all arrivals are queued; between [min_th]
+    and [max_th] arrivals are dropped with a probability that rises linearly
+    to [max_p] (spread out with the count mechanism of the original paper);
+    at or above [max_th] every arrival is dropped. A physical [capacity]
+    bounds the real queue as well. *)
+
+type params = {
+  min_th : float;  (** packets *)
+  max_th : float;  (** packets *)
+  max_p : float;  (** drop probability at [max_th] *)
+  w_q : float;  (** EWMA weight, e.g. 0.002 *)
+  capacity : int;  (** physical buffer, packets *)
+  idle_packet_time : float;
+      (** seconds a typical packet takes to transmit; used to age the
+          average across idle periods *)
+  ecn_mark : bool;
+      (** mark ECN-capable packets instead of early-dropping them
+          (RFC 3168); forced drops (avg >= max_th or physical overflow)
+          still drop *)
+  adaptive : bool;
+      (** Self-Configuring RED (Feng, Kandlur, Saha & Shin, INFOCOM '99 —
+          reference [5] of the paper): scale [max_p] down by 3 whenever the
+          average falls below [min_th] and up by 2 whenever it exceeds
+          [max_th], keeping the average inside the target band *)
+}
+
+val default_params : capacity:int -> min_th:float -> max_th:float -> params
+(** ns defaults for the remaining fields: [max_p = 0.02], [w_q = 0.002],
+    [idle_packet_time] for a 1500-byte packet at 5 Mbps, [ecn_mark] and
+    [adaptive] off. *)
+
+type t
+
+val create : rng:Sim_engine.Rng.t -> params -> t
+
+val enqueue : t -> now:Sim_engine.Time.t -> Packet.t -> [ `Enqueued | `Dropped ]
+(** In [ecn_mark] mode an early "drop" of an ECN-capable packet instead
+    sets its CE bit and enqueues it. *)
+
+val dequeue : t -> now:Sim_engine.Time.t -> Packet.t option
+
+val length : t -> int
+
+val avg : t -> float
+(** Current average queue estimate (for tests and monitoring). *)
+
+val marks : t -> int
+(** Packets CE-marked so far (always 0 unless [ecn_mark]). *)
+
+val current_max_p : t -> float
+(** The live [max_p] (changes over time under [adaptive]). *)

@@ -1,0 +1,29 @@
+type t = {
+  name : string;
+  routes : (int, Link.t) Hashtbl.t;
+  mutable default : Link.t option;
+  mutable forwarded : int;
+}
+
+let create ~name = { name; routes = Hashtbl.create 16; default = None; forwarded = 0 }
+
+let add_route t ~dst link =
+  if Hashtbl.mem t.routes dst then
+    invalid_arg (Printf.sprintf "Router.add_route(%s): duplicate route for %d" t.name dst);
+  Hashtbl.add t.routes dst link
+
+let set_default t link = t.default <- Some link
+
+let receive t p =
+  t.forwarded <- t.forwarded + 1;
+  match Hashtbl.find_opt t.routes p.Packet.dst with
+  | Some link -> Link.send link p
+  | None -> (
+      match t.default with
+      | Some link -> Link.send link p
+      | None ->
+          failwith
+            (Printf.sprintf "Router %s: no route for destination %d" t.name
+               p.Packet.dst))
+
+let forwarded t = t.forwarded

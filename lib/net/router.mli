@@ -1,0 +1,21 @@
+(** Static-route packet forwarding.
+
+    The gateway in the paper's dumbbell is a router with one route per
+    client (the reverse direction) plus a default route onto the bottleneck
+    link. *)
+
+type t
+
+val create : name:string -> t
+
+val add_route : t -> dst:int -> Link.t -> unit
+(** Packets addressed to node [dst] are forwarded on the given link.
+    @raise Invalid_argument if a route for [dst] already exists. *)
+
+val set_default : t -> Link.t -> unit
+(** Route for destinations with no explicit entry. *)
+
+val receive : t -> Packet.t -> unit
+(** Forward a packet. @raise Failure if no route matches. *)
+
+val forwarded : t -> int

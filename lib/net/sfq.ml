@@ -1,0 +1,72 @@
+(* Buckets need head access (service and longest-queue drop) and tail
+   insertion: the standard Queue does both. *)
+type t = {
+  buckets : Packet.t Queue.t array;
+  capacity : int;
+  perturbation : int;
+  mutable total : int;
+  mutable next : int; (* round-robin service pointer *)
+}
+
+let create ?(buckets = 16) ?(perturbation = 0) ~capacity () =
+  if capacity < 1 then invalid_arg "Sfq.create: capacity < 1";
+  if buckets < 1 then invalid_arg "Sfq.create: buckets < 1";
+  {
+    buckets = Array.init buckets (fun _ -> Queue.create ());
+    capacity;
+    perturbation;
+    total = 0;
+    next = 0;
+  }
+
+let bucket_of_flow t flow =
+  Hashtbl.hash (flow, t.perturbation) mod Array.length t.buckets
+
+let longest_bucket t =
+  let best = ref 0 and best_len = ref (-1) in
+  Array.iteri
+    (fun i q ->
+      if Queue.length q > !best_len then begin
+        best := i;
+        best_len := Queue.length q
+      end)
+    t.buckets;
+  !best
+
+let enqueue t p =
+  let idx = bucket_of_flow t p.Packet.flow in
+  if t.total < t.capacity then begin
+    Queue.push p t.buckets.(idx);
+    t.total <- t.total + 1;
+    `Enqueued
+  end
+  else begin
+    let longest = longest_bucket t in
+    if longest = idx then `Dropped
+    else begin
+      let victim = Queue.pop t.buckets.(longest) in
+      Queue.push p t.buckets.(idx);
+      `Enqueued_dropping victim
+    end
+  end
+
+let dequeue t =
+  let n = Array.length t.buckets in
+  let rec scan tried =
+    if tried = n then None
+    else begin
+      let idx = (t.next + tried) mod n in
+      match Queue.take_opt t.buckets.(idx) with
+      | Some p ->
+          t.total <- t.total - 1;
+          (* Resume after this bucket next time. *)
+          t.next <- (idx + 1) mod n;
+          Some p
+      | None -> scan (tried + 1)
+    end
+  in
+  scan 0
+
+let length t = t.total
+
+let occupancy t = Array.map Queue.length t.buckets

@@ -1,0 +1,30 @@
+(** Stochastic Fairness Queueing (McKenney 1990).
+
+    Flows are hashed into a fixed set of buckets served round-robin, so no
+    single flow can monopolize the gateway and — relevant to the paper —
+    flows no longer observe loss at the same instants, which should break
+    the congestion-decision synchronization §3.2 blames for Reno's
+    burstiness. On overflow the packet at the head of the longest bucket
+    is discarded (penalizing the heaviest flow); the arriving packet is
+    then admitted unless its own bucket is the longest. *)
+
+type t
+
+val create : ?buckets:int -> ?perturbation:int -> capacity:int -> unit -> t
+(** [buckets] defaults to 16; [perturbation] salts the flow hash.
+    @raise Invalid_argument if [capacity < 1] or [buckets < 1]. *)
+
+val enqueue : t -> Packet.t -> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet.t ]
+(** [`Enqueued_dropping victim]: the arriving packet was admitted but
+    [victim] (from the longest bucket) was discarded to make room. *)
+
+val dequeue : t -> Packet.t option
+(** Round-robin across non-empty buckets. *)
+
+val length : t -> int
+
+val bucket_of_flow : t -> int -> int
+(** Which bucket a flow hashes to (for tests). *)
+
+val occupancy : t -> int array
+(** Per-bucket queue lengths. *)

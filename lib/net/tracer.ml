@@ -1,0 +1,94 @@
+module Time = Sim_engine.Time
+
+type kind = Arrive | Drop | Deliver
+
+type event = {
+  time : float;
+  kind : kind;
+  link : string;
+  flow : int;
+  seq : int option;
+  size_bytes : int;
+  uid : int;
+}
+
+type t = { mutable data : event array; mutable size : int }
+
+let sentinel =
+  { time = 0.; kind = Arrive; link = ""; flow = 0; seq = None; size_bytes = 0; uid = 0 }
+
+let create ?(capacity_hint = 1024) () =
+  { data = Array.make (Stdlib.max 16 capacity_hint) sentinel; size = 0 }
+
+let push t e =
+  let cap = Array.length t.data in
+  if t.size = cap then begin
+    let ndata = Array.make (2 * cap) sentinel in
+    Array.blit t.data 0 ndata 0 t.size;
+    t.data <- ndata
+  end;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1
+
+let record t kind link now (p : Packet.t) =
+  push t
+    {
+      time = Time.to_sec now;
+      kind;
+      link;
+      flow = p.Packet.flow;
+      seq = Packet.seq p;
+      size_bytes = p.Packet.size_bytes;
+      uid = p.Packet.uid;
+    }
+
+let attach t link =
+  let name = Link.name link in
+  Link.on_arrival link (fun now p -> record t Arrive name now p);
+  Link.on_drop link (fun now p -> record t Drop name now p);
+  Link.on_depart link (fun now p -> record t Deliver name now p)
+
+let length t = t.size
+
+let events t = Array.sub t.data 0 t.size
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.data.(i)
+  done
+
+let kind_char = function Arrive -> '+' | Drop -> 'd' | Deliver -> 'r'
+
+let pp_event ppf e =
+  let seq = match e.seq with Some s -> Printf.sprintf "seq=%d" s | None -> "ack" in
+  Format.fprintf ppf "%c %.6f %s flow=%d %s %dB" (kind_char e.kind) e.time e.link
+    e.flow seq e.size_bytes
+
+let output t oc =
+  let ppf = Format.formatter_of_out_channel oc in
+  iter (fun e -> Format.fprintf ppf "%a@." pp_event e) t;
+  Format.pp_print_flush ppf ()
+
+let per_flow_counts t kind =
+  let counts = Hashtbl.create 16 in
+  iter
+    (fun e ->
+      if e.kind = kind then
+        Hashtbl.replace counts e.flow
+          (1 + Option.value (Hashtbl.find_opt counts e.flow) ~default:0))
+    t;
+  counts
+
+let delivered_bytes_between t ~link t0 t1 =
+  let total = ref 0 in
+  iter
+    (fun e ->
+      if e.kind = Deliver && e.link = link && e.time >= t0 && e.time < t1 then
+        total := !total + e.size_bytes)
+    t;
+  !total
+
+let drops_of_flow t flow =
+  let acc = ref [] in
+  iter (fun e -> if e.kind = Drop && e.flow = flow then acc := e :: !acc) t;
+  List.rev !acc

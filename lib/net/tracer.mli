@@ -1,0 +1,54 @@
+(** ns-style packet event traces.
+
+    A tracer subscribes to link events and records one row per event, in
+    event order: arrivals at the queue ([`Arrive]), drops ([`Drop]) and
+    deliveries at the far end ([`Deliver]). The text format is close to
+    the classic ns trace so existing habits (and awk one-liners) carry
+    over:
+
+    {v
+    + 12.345678 bottleneck flow=3 seq=127 1500B
+    d 12.345678 bottleneck flow=5 seq=96 1500B
+    r 12.847312 bottleneck flow=3 seq=127 1500B
+    v} *)
+
+type kind = Arrive | Drop | Deliver
+
+type event = {
+  time : float;
+  kind : kind;
+  link : string;
+  flow : int;
+  seq : int option;
+  size_bytes : int;
+  uid : int;
+}
+
+type t
+
+val create : ?capacity_hint:int -> unit -> t
+
+val attach : t -> Link.t -> unit
+(** Start recording this link's events; a tracer may watch many links. *)
+
+val length : t -> int
+
+val events : t -> event array
+(** All events recorded so far, in order. *)
+
+val iter : (event -> unit) -> t -> unit
+
+val output : t -> out_channel -> unit
+(** Write the textual trace. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** {2 Analysis} *)
+
+val per_flow_counts : t -> kind -> (int, int) Hashtbl.t
+(** Events of one kind per flow id. *)
+
+val delivered_bytes_between : t -> link:string -> float -> float -> int
+(** Bytes delivered on [link] in the half-open interval. *)
+
+val drops_of_flow : t -> int -> event list

@@ -1,0 +1,21 @@
+type bandwidth = float
+
+let bps b =
+  if not (Float.is_finite b) || b <= 0. then invalid_arg "Units.bps: non-positive";
+  b
+
+let kbps k = bps (k *. 1e3)
+
+let mbps m = bps (m *. 1e6)
+
+let gbps g = bps (g *. 1e9)
+
+let to_bps b = b
+
+let transmission_time b ~bytes =
+  if bytes < 0 then invalid_arg "Units.transmission_time: negative size";
+  Sim_engine.Time.of_sec (float_of_int (8 * bytes) /. b)
+
+let bytes_per_sec b = b /. 8.
+
+let pp_bandwidth ppf b = Format.fprintf ppf "%.3gMbps" (b /. 1e6)

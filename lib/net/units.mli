@@ -1,0 +1,20 @@
+(** Bandwidth and transmission-time arithmetic. *)
+
+type bandwidth = private float
+(** Bits per second. *)
+
+val bps : float -> bandwidth
+(** @raise Invalid_argument if non-positive or not finite. *)
+
+val kbps : float -> bandwidth
+val mbps : float -> bandwidth
+val gbps : float -> bandwidth
+
+val to_bps : bandwidth -> float
+
+val transmission_time : bandwidth -> bytes:int -> Sim_engine.Time.span
+(** Serialization delay of [bytes] at the given rate. *)
+
+val bytes_per_sec : bandwidth -> float
+
+val pp_bandwidth : Format.formatter -> bandwidth -> unit

@@ -1,0 +1,21 @@
+let acf xs max_lag =
+  let n = Array.length xs in
+  if max_lag < 0 then invalid_arg "Autocorr.acf: negative lag";
+  if n < max_lag + 1 then invalid_arg "Autocorr.acf: series too short";
+  let fn = float_of_int n in
+  let mean = Array.fold_left ( +. ) 0. xs /. fn in
+  let c0 =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. fn
+  in
+  Array.init (max_lag + 1) (fun k ->
+      if k = 0 then 1.
+      else if c0 = 0. then 0.
+      else begin
+        let s = ref 0. in
+        for i = 0 to n - 1 - k do
+          s := !s +. ((xs.(i) -. mean) *. (xs.(i + k) -. mean))
+        done;
+        !s /. fn /. c0
+      end)
+
+let at_lag xs k = (acf xs k).(k)

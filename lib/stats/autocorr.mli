@@ -1,0 +1,15 @@
+(** Sample autocorrelation of a series.
+
+    Long-range-dependent (self-similar) traffic shows slowly decaying
+    autocorrelations; the paper's context experiments use this to contrast
+    TCP-modulated traffic with the aggregated Poisson baseline. *)
+
+val acf : float array -> int -> float array
+(** [acf xs max_lag] returns autocorrelations at lags [0 .. max_lag]
+    (biased estimator, normalized so lag 0 is 1). A constant series yields
+    1 at lag 0 and 0 elsewhere.
+    @raise Invalid_argument if the series is shorter than [max_lag + 1] or
+    [max_lag < 0]. *)
+
+val at_lag : float array -> int -> float
+(** Single-lag convenience wrapper over {!acf}. *)

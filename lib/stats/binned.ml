@@ -1,0 +1,41 @@
+type t = {
+  origin : float;
+  width : float;
+  mutable bins : int array;
+  mutable max_bin : int; (* highest bin index touched, -1 when none *)
+  mutable total : int;
+}
+
+let create ~origin ~width () =
+  if width <= 0. then invalid_arg "Binned.create: width <= 0";
+  { origin; width; bins = Array.make 64 0; max_bin = -1; total = 0 }
+
+let ensure t idx =
+  let cap = Array.length t.bins in
+  if idx >= cap then begin
+    let ncap = Stdlib.max (idx + 1) (2 * cap) in
+    let nbins = Array.make ncap 0 in
+    Array.blit t.bins 0 nbins 0 cap;
+    t.bins <- nbins
+  end
+
+let record_many t at n =
+  if at >= t.origin then begin
+    let idx = int_of_float ((at -. t.origin) /. t.width) in
+    ensure t idx;
+    t.bins.(idx) <- t.bins.(idx) + n;
+    if idx > t.max_bin then t.max_bin <- idx;
+    t.total <- t.total + n
+  end
+
+let record t at = record_many t at 1
+
+let num_complete_bins t ~upto =
+  if upto <= t.origin then 0
+  else int_of_float (floor ((upto -. t.origin) /. t.width))
+
+let counts t ~upto =
+  let n = num_complete_bins t ~upto in
+  Array.init n (fun i -> if i < Array.length t.bins then float_of_int t.bins.(i) else 0.)
+
+let total t = t.total

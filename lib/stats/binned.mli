@@ -1,0 +1,27 @@
+(** Fixed-width time-binned event counting.
+
+    The paper measures burstiness as the c.o.v. of the number of packets
+    arriving at the gateway in each round-trip propagation delay (§2.2).
+    A [Binned.t] counts events into consecutive bins of that width, starting
+    at a configurable origin (so a warm-up period can be excluded). *)
+
+type t
+
+val create : origin:float -> width:float -> unit -> t
+(** Bins are [\[origin + k*width, origin + (k+1)*width)]. Events before
+    [origin] are ignored. Requires [width > 0]. *)
+
+val record : t -> float -> unit
+(** [record t at] counts one event at time [at] (seconds). Events may
+    arrive in any order; bins are kept sparse-dense in an array. *)
+
+val record_many : t -> float -> int -> unit
+
+val counts : t -> upto:float -> float array
+(** Per-bin counts for all complete bins ending at or before [upto],
+    including empty bins. *)
+
+val num_complete_bins : t -> upto:float -> int
+
+val total : t -> int
+(** Total events recorded (including any in the final partial bin). *)

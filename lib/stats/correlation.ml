@@ -1,0 +1,43 @@
+let moments xs =
+  let n = Array.length xs in
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let var = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs in
+  (mean, var)
+
+let pearson xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Correlation.pearson: length mismatch";
+  if n < 2 then invalid_arg "Correlation.pearson: need at least 2 samples";
+  let mx, vx = moments xs and my, vy = moments ys in
+  if vx = 0. || vy = 0. then 0.
+  else begin
+    let cov = ref 0. in
+    for i = 0 to n - 1 do
+      cov := !cov +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+    done;
+    !cov /. sqrt (vx *. vy)
+  end
+
+let mean_pairwise rows =
+  let k = Array.length rows in
+  if k < 2 then invalid_arg "Correlation.mean_pairwise: need at least 2 rows";
+  let total = ref 0. and pairs = ref 0 in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      total := !total +. pearson rows.(i) rows.(j);
+      incr pairs
+    done
+  done;
+  !total /. float_of_int !pairs
+
+let cross_correlation xs ys max_lag =
+  if max_lag < 0 then invalid_arg "Correlation.cross_correlation: negative lag";
+  let n = Array.length xs in
+  if n <> Array.length ys then
+    invalid_arg "Correlation.cross_correlation: length mismatch";
+  if n < max_lag + 2 then invalid_arg "Correlation.cross_correlation: series too short";
+  Array.init (max_lag + 1) (fun k ->
+      let len = n - k in
+      let a = Array.sub xs 0 len in
+      let b = Array.sub ys k len in
+      pearson a b)

@@ -1,0 +1,24 @@
+(** Correlation between series.
+
+    The paper's central mechanism is that TCP Reno introduces "a high
+    level of dependency between the congestion-control decisions of each
+    of the TCP streams" (§3.2): flows recognize congestion simultaneously
+    and halve their windows together. Pairwise correlation of per-flow
+    per-RTT transmission counts quantifies that dependency directly. *)
+
+val pearson : float array -> float array -> float
+(** Sample Pearson correlation coefficient in [\[-1, 1\]]. Returns 0 when
+    either series is constant.
+    @raise Invalid_argument on length mismatch or fewer than 2 samples. *)
+
+val mean_pairwise : float array array -> float
+(** Average of [pearson] over all unordered pairs of rows — the
+    synchronization index of a set of flows. 0 for independent flows,
+    1 for perfectly synchronized ones.
+    @raise Invalid_argument with fewer than 2 rows. *)
+
+val cross_correlation : float array -> float array -> int -> float array
+(** [cross_correlation xs ys max_lag] gives the correlation of [xs(t)]
+    with [ys(t+k)] for k in [0 .. max_lag] (computed over the overlap).
+    Peaks at k > 0 reveal lagged coupling (one flow reacting to another's
+    loss a round-trip later). *)

@@ -1,0 +1,21 @@
+let block_sums xs m =
+  let n = Array.length xs / m in
+  Array.init n (fun i ->
+      let s = ref 0. in
+      for j = 0 to m - 1 do
+        s := !s +. xs.((i * m) + j)
+      done;
+      !s)
+
+let idc xs m =
+  if m < 1 then invalid_arg "Dispersion.idc: m < 1";
+  let blocks = block_sums xs m in
+  if Array.length blocks < 2 then invalid_arg "Dispersion.idc: too few blocks";
+  let s = Summary.of_array blocks in
+  if s.Summary.mean = 0. then invalid_arg "Dispersion.idc: zero mean";
+  s.Summary.variance /. s.Summary.mean
+
+let idc_profile xs ms =
+  List.filter_map
+    (fun m -> match idc xs m with v -> Some (m, v) | exception Invalid_argument _ -> None)
+    ms

@@ -1,0 +1,15 @@
+(** Index-of-dispersion measures for count series.
+
+    The index of dispersion for counts (IDC) at timescale [m] is
+    [Var(X^(m)) / E(X^(m))] where [X^(m)] sums the series over blocks of
+    [m]. A Poisson process has IDC = 1 at every scale; burstier-than-Poisson
+    traffic has IDC > 1 growing with scale. Complements the c.o.v. metric. *)
+
+val idc : float array -> int -> float
+(** [idc xs m] for block size [m >= 1].
+    @raise Invalid_argument if the blocked series has < 2 blocks or the
+    blocked mean is 0. *)
+
+val idc_profile : float array -> int list -> (int * float) list
+(** IDC across several block sizes; block sizes yielding errors are
+    skipped. *)

@@ -1,0 +1,71 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* Bit-reversal permutation followed by iterative butterflies. *)
+let transform_gen ~sign a =
+  let n = Array.length a in
+  if not (is_pow2 n) then invalid_arg "Fft.transform: length not a power of two";
+  (* bit reversal *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tmp = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- tmp
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* butterflies *)
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2. *. Float.pi /. float_of_int !len in
+    let wlen = { Complex.re = cos ang; im = sin ang } in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Complex.one in
+      for k = 0 to (!len / 2) - 1 do
+        let u = a.(!i + k) in
+        let v = Complex.mul a.(!i + k + (!len / 2)) !w in
+        a.(!i + k) <- Complex.add u v;
+        a.(!i + k + (!len / 2)) <- Complex.sub u v;
+        w := Complex.mul !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let transform a = transform_gen ~sign:(-1.) a
+
+let inverse a =
+  transform_gen ~sign:1. a;
+  let n = float_of_int (Array.length a) in
+  Array.iteri
+    (fun i v -> a.(i) <- { Complex.re = v.Complex.re /. n; im = v.Complex.im /. n })
+    a
+
+let of_real xs = Array.map (fun x -> { Complex.re = x; im = 0. }) xs
+
+let power_spectrum xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Fft.power_spectrum: empty";
+  let mean = Array.fold_left ( +. ) 0. xs /. float_of_int n in
+  let padded = next_pow2 n in
+  let a =
+    Array.init padded (fun i ->
+        let v = if i < n then xs.(i) -. mean else 0. in
+        { Complex.re = v; im = 0. })
+  in
+  transform a;
+  Array.init (padded / 2) (fun k ->
+      let c = a.(k) in
+      ((c.Complex.re *. c.Complex.re) +. (c.Complex.im *. c.Complex.im))
+      /. float_of_int padded)

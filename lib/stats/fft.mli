@@ -1,0 +1,21 @@
+(** Radix-2 fast Fourier transform.
+
+    Just enough signal processing for the periodogram Hurst estimator:
+    an in-place iterative Cooley–Tukey FFT over power-of-two-length
+    complex arrays, plus helpers for real inputs. *)
+
+val transform : Complex.t array -> unit
+(** In-place forward DFT. @raise Invalid_argument if the length is not a
+    power of two (length 0 is rejected; length 1 is a no-op). *)
+
+val inverse : Complex.t array -> unit
+(** In-place inverse DFT (includes the 1/n scaling). *)
+
+val of_real : float array -> Complex.t array
+
+val power_spectrum : float array -> float array
+(** [power_spectrum xs] pads [xs] with its mean to the next power of two,
+    removes the mean, transforms, and returns |X_k|^2 / n for
+    k = 0 .. n/2 - 1 (the one-sided spectrum). *)
+
+val next_pow2 : int -> int

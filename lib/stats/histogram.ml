@@ -1,0 +1,47 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable under : int;
+  mutable over : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  { lo; hi; bins = Array.make bins 0; under = 0; over = 0; total = 0 }
+
+let add t x =
+  t.total <- t.total + 1;
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let nbins = Array.length t.bins in
+    let idx = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int nbins) in
+    let idx = Stdlib.min idx (nbins - 1) in
+    t.bins.(idx) <- t.bins.(idx) + 1
+  end
+
+let count t = t.total
+
+let bin_counts t = Array.copy t.bins
+
+let underflow t = t.under
+
+let overflow t = t.over
+
+let bin_edges t =
+  let nbins = Array.length t.bins in
+  let w = (t.hi -. t.lo) /. float_of_int nbins in
+  Array.init (nbins + 1) (fun i -> t.lo +. (float_of_int i *. w))
+
+let pp ppf t =
+  let maxc = Array.fold_left Stdlib.max 1 t.bins in
+  let edges = bin_edges t in
+  Array.iteri
+    (fun i c ->
+      let width = 40 * c / maxc in
+      Format.fprintf ppf "[%8.3g, %8.3g) %6d %s@." edges.(i) edges.(i + 1) c
+        (String.make width '#'))
+    t.bins

@@ -1,0 +1,23 @@
+(** Fixed-width histogram over floats. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Requires [lo < hi] and [bins > 0]. Values outside [\[lo, hi)] are
+    counted in under/overflow buckets. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+(** Total values added, including under/overflow. *)
+
+val bin_counts : t -> int array
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_edges : t -> float array
+(** [bins + 1] edges. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering, one bar per bin. *)

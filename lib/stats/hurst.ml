@@ -1,0 +1,108 @@
+(* Aggregate [xs] into non-overlapping blocks of [m], averaging each block. *)
+let aggregate xs m =
+  let n = Array.length xs / m in
+  Array.init n (fun i ->
+      let s = ref 0. in
+      for j = 0 to m - 1 do
+        s := !s +. xs.((i * m) + j)
+      done;
+      !s /. float_of_int m)
+
+let variance xs =
+  let n = Array.length xs in
+  let fn = float_of_int n in
+  let mean = Array.fold_left ( +. ) 0. xs /. fn in
+  Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. fn
+
+(* Geometrically spaced aggregation scales from 1 up to n/min_blocks. *)
+let scales n min_blocks =
+  let rec next acc m =
+    if n / m < min_blocks then List.rev acc
+    else begin
+      let m' = Stdlib.max (m + 1) (int_of_float (float_of_int m *. 1.5)) in
+      next (m :: acc) m'
+    end
+  in
+  next [] 1
+
+let aggregated_variance ?(min_blocks = 8) xs =
+  let n = Array.length xs in
+  if n < 4 * min_blocks then invalid_arg "Hurst.aggregated_variance: series too short";
+  let ms = scales n min_blocks in
+  let pts = List.map (fun m -> (float_of_int m, variance (aggregate xs m))) ms in
+  let mxs = Array.of_list (List.map fst pts) in
+  let mys = Array.of_list (List.map snd pts) in
+  Regression.ols_loglog mxs mys
+
+(* R/S statistic of one block. *)
+let rs_block xs off len =
+  let flen = float_of_int len in
+  let mean = ref 0. in
+  for i = 0 to len - 1 do
+    mean := !mean +. xs.(off + i)
+  done;
+  let mean = !mean /. flen in
+  let cum = ref 0. and lo = ref 0. and hi = ref 0. and ss = ref 0. in
+  for i = 0 to len - 1 do
+    let d = xs.(off + i) -. mean in
+    cum := !cum +. d;
+    if !cum < !lo then lo := !cum;
+    if !cum > !hi then hi := !cum;
+    ss := !ss +. (d *. d)
+  done;
+  let r = !hi -. !lo in
+  let s = sqrt (!ss /. flen) in
+  if s = 0. then None else Some (r /. s)
+
+let rescaled_range ?(min_block = 8) xs =
+  let n = Array.length xs in
+  if n < 4 * min_block then invalid_arg "Hurst.rescaled_range: series too short";
+  let rec block_sizes acc len =
+    if len > n / 2 then List.rev acc
+    else block_sizes (len :: acc) (Stdlib.max (len + 1) (len * 3 / 2))
+  in
+  let sizes = block_sizes [] min_block in
+  let pts =
+    List.filter_map
+      (fun len ->
+        let blocks = n / len in
+        let vals =
+          List.filter_map (fun b -> rs_block xs (b * len) len) (List.init blocks Fun.id)
+        in
+        match vals with
+        | [] -> None
+        | _ ->
+            let avg = List.fold_left ( +. ) 0. vals /. float_of_int (List.length vals) in
+            Some (float_of_int len, avg))
+      sizes
+  in
+  let lxs = Array.of_list (List.map fst pts) in
+  let lys = Array.of_list (List.map snd pts) in
+  Regression.ols_loglog lxs lys
+
+let periodogram ?(low_fraction = 0.1) xs =
+  if Array.length xs < 64 then invalid_arg "Hurst.periodogram: series too short";
+  if low_fraction <= 0. || low_fraction > 1. then
+    invalid_arg "Hurst.periodogram: bad low_fraction";
+  let spectrum = Fft.power_spectrum xs in
+  let half = Array.length spectrum in
+  let keep = Stdlib.max 8 (int_of_float (float_of_int half *. low_fraction)) in
+  let keep = Stdlib.min keep (half - 1) in
+  (* Skip k = 0 (the mean) and fit the lowest frequencies. *)
+  let freqs = Array.init keep (fun i -> float_of_int (i + 1) /. float_of_int half) in
+  let power = Array.init keep (fun i -> spectrum.(i + 1)) in
+  Regression.ols_loglog freqs power
+
+let clamp01 h = Stdlib.max 0. (Stdlib.min 1. h)
+
+let estimate_variance_time xs =
+  let fit = aggregated_variance xs in
+  clamp01 (1. +. (fit.Regression.slope /. 2.))
+
+let estimate_rs xs =
+  let fit = rescaled_range xs in
+  clamp01 fit.Regression.slope
+
+let estimate_periodogram xs =
+  let fit = periodogram xs in
+  clamp01 ((1. -. fit.Regression.slope) /. 2.)

@@ -1,0 +1,32 @@
+(** Hurst-parameter estimators for count series.
+
+    The self-similarity literature the paper critiques ([LTWW94], [PF95])
+    characterizes burstiness by the Hurst parameter H: H = 0.5 for
+    short-range-dependent traffic, H -> 1 for strongly self-similar traffic.
+    Two classic estimators are provided; both operate on an equally spaced
+    count series (e.g. packets per 10 ms bin). *)
+
+val aggregated_variance : ?min_blocks:int -> float array -> Regression.fit
+(** Variance–time method: aggregate the series at scales m, fit
+    [log Var(X^(m))] vs [log m]; the slope is [2H - 2], so
+    [H = 1 + slope/2]. Requires at least [4 * min_blocks] samples
+    (default [min_blocks = 8]). *)
+
+val rescaled_range : ?min_block:int -> float array -> Regression.fit
+(** R/S method: fit [log E(R/S)(n)] vs [log n]; the slope is H directly.
+    [min_block] is the smallest block size used (default 8). *)
+
+val estimate_variance_time : float array -> float
+(** [1 + slope/2] from {!aggregated_variance}, clamped to [\[0, 1\]]. *)
+
+val estimate_rs : float array -> float
+(** Slope from {!rescaled_range}, clamped to [\[0, 1\]]. *)
+
+val periodogram : ?low_fraction:float -> float array -> Regression.fit
+(** Periodogram method: a long-range-dependent series has spectral density
+    [f(l) ~ c l^(1-2H)] near zero frequency, so the log–log slope of the
+    periodogram over the lowest [low_fraction] of frequencies (default
+    0.1) is [1 - 2H]. Requires at least 64 samples. *)
+
+val estimate_periodogram : float array -> float
+(** [(1 - slope)/2] from {!periodogram}, clamped to [\[0, 1\]]. *)

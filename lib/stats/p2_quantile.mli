@@ -1,0 +1,21 @@
+(** Online quantile estimation (the P² algorithm, Jain & Chlamtac 1985).
+
+    Tracks a single quantile in O(1) memory using five markers with
+    piecewise-parabolic adjustment — the right tool for per-packet delay
+    percentiles over millions of packets where storing samples is out of
+    the question. Accuracy is typically within a fraction of a percent of
+    the exact order statistic for smooth distributions. *)
+
+type t
+
+val create : q:float -> t
+(** Track the [q]-quantile, [0 < q < 1]. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val quantile : t -> float
+(** Current estimate. Before five observations have arrived, falls back
+    to the exact quantile of the samples seen so far.
+    @raise Invalid_argument when no sample has been added. *)

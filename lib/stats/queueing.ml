@@ -1,0 +1,40 @@
+let check_rho rho =
+  if rho < 0. || rho >= 1. then invalid_arg "Queueing: rho outside [0, 1)"
+
+let mm1_mean_queue ~rho =
+  check_rho rho;
+  rho /. (1. -. rho)
+
+let mm1_mean_wait ~rho ~service_time =
+  check_rho rho;
+  if service_time <= 0. then invalid_arg "Queueing.mm1_mean_wait: bad service time";
+  service_time /. (1. -. rho)
+
+let mm1_p_occupancy_exceeds ~rho n =
+  check_rho rho;
+  if n < 0 then invalid_arg "Queueing.mm1_p_occupancy_exceeds: negative n";
+  rho ** float_of_int (n + 1)
+
+let mg1_mean_queue ~rho ~service_cv2 =
+  check_rho rho;
+  if service_cv2 < 0. then invalid_arg "Queueing.mg1_mean_queue: negative cv^2";
+  (* Pollaczek-Khinchine: L = rho + rho^2 (1 + cv^2) / (2 (1 - rho)) *)
+  rho +. (rho *. rho *. (1. +. service_cv2) /. (2. *. (1. -. rho)))
+
+let md1_mean_queue ~rho = mg1_mean_queue ~rho ~service_cv2:0.
+
+let md1_mean_wait ~rho ~service_time =
+  check_rho rho;
+  if service_time <= 0. then invalid_arg "Queueing.md1_mean_wait: bad service time";
+  (* W = S + rho S / (2 (1 - rho)) *)
+  service_time *. (1. +. (rho /. (2. *. (1. -. rho))))
+
+let erlang_b ~servers ~offered_load =
+  if servers < 1 then invalid_arg "Queueing.erlang_b: servers < 1";
+  if offered_load < 0. then invalid_arg "Queueing.erlang_b: negative load";
+  let b = ref 1. in
+  for c = 1 to servers do
+    let fc = float_of_int c in
+    b := offered_load *. !b /. (fc +. (offered_load *. !b))
+  done;
+  !b

@@ -1,0 +1,36 @@
+(** Closed-form queueing-theory baselines.
+
+    §2.2 of the paper frames statistical multiplexing in terms of how
+    concentrated the arrival process is; classical queueing formulas give
+    the gateway's expected behaviour when arrivals really are Poisson.
+    The simulator is validated against M/D/1 (Poisson arrivals,
+    deterministic service — exactly a UDP dumbbell with fixed-size
+    packets) in the test suite.
+
+    All functions take the utilization [rho = lambda / mu] and require
+    [0 <= rho < 1]. Queue lengths count waiting customers plus the one in
+    service. *)
+
+val mm1_mean_queue : rho:float -> float
+(** Mean number in an M/M/1 system: [rho / (1 - rho)]. *)
+
+val mm1_mean_wait : rho:float -> service_time:float -> float
+(** Mean sojourn time (wait + service). *)
+
+val mm1_p_occupancy_exceeds : rho:float -> int -> float
+(** P(more than n in the system) = [rho^(n+1)]. *)
+
+val md1_mean_queue : rho:float -> float
+(** Mean number in an M/D/1 system (Pollaczek–Khinchine):
+    [rho + rho^2 / (2 (1 - rho))]. *)
+
+val md1_mean_wait : rho:float -> service_time:float -> float
+
+val mg1_mean_queue : rho:float -> service_cv2:float -> float
+(** General M/G/1 via Pollaczek–Khinchine with squared coefficient of
+    variation of service time [service_cv2] (0 = deterministic,
+    1 = exponential). *)
+
+val erlang_b : servers:int -> offered_load:float -> float
+(** Blocking probability of M/M/c/c (Erlang B), computed with the stable
+    recurrence. [offered_load] is in Erlangs; requires [servers >= 1]. *)

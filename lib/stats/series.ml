@@ -1,0 +1,65 @@
+type t = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable size : int;
+}
+
+let create () = { times = [||]; values = [||]; size = 0 }
+
+let ensure t =
+  let cap = Array.length t.times in
+  if t.size = cap then begin
+    let ncap = Stdlib.max 64 (2 * cap) in
+    let nt = Array.make ncap 0. and nv = Array.make ncap 0. in
+    Array.blit t.times 0 nt 0 t.size;
+    Array.blit t.values 0 nv 0 t.size;
+    t.times <- nt;
+    t.values <- nv
+  end
+
+let add t time value =
+  if t.size > 0 && time < t.times.(t.size - 1) then
+    invalid_arg "Series.add: time went backwards";
+  ensure t;
+  t.times.(t.size) <- time;
+  t.values.(t.size) <- value;
+  t.size <- t.size + 1
+
+let length t = t.size
+
+let times t = Array.sub t.times 0 t.size
+
+let values t = Array.sub t.values 0 t.size
+
+let iter f t =
+  for i = 0 to t.size - 1 do
+    f t.times.(i) t.values.(i)
+  done
+
+let value_summary t =
+  if t.size = 0 then invalid_arg "Series.value_summary: empty";
+  Summary.of_array (values t)
+
+let resample t ~dt ~upto =
+  if t.size = 0 then invalid_arg "Series.resample: empty";
+  if dt <= 0. then invalid_arg "Series.resample: dt <= 0";
+  let n = int_of_float (floor (upto /. dt)) in
+  let out = Array.make (Stdlib.max n 0) 0. in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let at = float_of_int i *. dt in
+    while !j + 1 < t.size && t.times.(!j + 1) <= at do
+      incr j
+    done;
+    (* Zero-order hold: before the first sample, use the first value. *)
+    out.(i) <- (if t.times.(!j) <= at || !j = 0 then t.values.(!j) else t.values.(0))
+  done;
+  out
+
+let between t t0 t1 =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    if t.times.(i) >= t0 && t.times.(i) < t1 then
+      acc := (t.times.(i), t.values.(i)) :: !acc
+  done;
+  !acc

@@ -1,0 +1,30 @@
+(** An append-only time series of [(time, value)] samples.
+
+    Used for congestion-window traces (Figures 5–12) and queue-length
+    sampling. Samples must be appended in non-decreasing time order. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> float -> unit
+(** [add t time value].
+    @raise Invalid_argument if [time] precedes the last sample. *)
+
+val length : t -> int
+
+val times : t -> float array
+val values : t -> float array
+
+val iter : (float -> float -> unit) -> t -> unit
+
+val value_summary : t -> Summary.t
+(** Summary over the values. @raise Invalid_argument when empty. *)
+
+val resample : t -> dt:float -> upto:float -> float array
+(** Zero-order hold resampling: the value in effect at each multiple of
+    [dt] in [\[0, upto)]. Samples before the first observation take the
+    first observed value. Requires a non-empty series. *)
+
+val between : t -> float -> float -> (float * float) list
+(** Samples with [t0 <= time < t1], in order. *)

@@ -1,0 +1,48 @@
+type t = {
+  count : int;
+  mean : float;
+  variance : float;
+  std : float;
+  cov : float;
+  min : float;
+  max : float;
+  sum : float;
+}
+
+let of_array xs =
+  if Array.length xs = 0 then invalid_arg "Summary.of_array: empty";
+  let w = Welford.create () in
+  Array.iter (Welford.add w) xs;
+  {
+    count = Welford.count w;
+    mean = Welford.mean w;
+    variance = Welford.variance w;
+    std = Welford.std w;
+    cov = Welford.cov w;
+    min = Welford.min w;
+    max = Welford.max w;
+    sum = Welford.sum w;
+  }
+
+let of_list xs = of_array (Array.of_list xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.quantile: empty";
+  if q < 0. || q > 1. then invalid_arg "Summary.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) in
+  let hi = int_of_float (ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = quantile xs 0.5
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4g std=%.4g cov=%.4g min=%.4g max=%.4g"
+    t.count t.mean t.std t.cov t.min t.max

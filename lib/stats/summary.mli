@@ -1,0 +1,26 @@
+(** Descriptive statistics of a complete sample. *)
+
+type t = {
+  count : int;
+  mean : float;
+  variance : float;  (** unbiased sample variance *)
+  std : float;
+  cov : float;  (** coefficient of variation, std/mean (0 if mean = 0) *)
+  min : float;
+  max : float;
+  sum : float;
+}
+
+val of_array : float array -> t
+(** @raise Invalid_argument on an empty array. *)
+
+val of_list : float list -> t
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [\[0,1\]], linear interpolation between order
+    statistics. Sorts a copy; O(n log n).
+    @raise Invalid_argument on an empty array or [q] outside [\[0,1\]]. *)
+
+val median : float array -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Online mean and variance (Welford's algorithm).
+
+    Numerically stable single-pass accumulation of count, mean, variance,
+    min and max. This is the workhorse behind every per-run statistic in
+    the experiment harness. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+(** 0 for an empty accumulator. *)
+
+val variance : t -> float
+(** Unbiased sample variance (divides by [n-1]); 0 when [n < 2]. *)
+
+val variance_population : t -> float
+(** Population variance (divides by [n]); 0 when [n = 0]. *)
+
+val std : t -> float
+
+val min : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val max : t -> float
+(** @raise Invalid_argument on an empty accumulator. *)
+
+val sum : t -> float
+
+val cov : t -> float
+(** Coefficient of variation, [std /. mean] (sample std). 0 when the mean
+    is 0. This is the paper's burstiness metric (§2.2). *)
+
+val merge : t -> t -> t
+(** Combines two accumulators as if all samples were added to one. *)

@@ -1,0 +1,9 @@
+module Scheduler = Sim_engine.Scheduler
+
+let start sched ~size ~start ~sink =
+  if size < 0 then invalid_arg "Bulk.start: negative size";
+  let sink, source = Source.counted sink in
+  ignore (Scheduler.at sched start (fun () -> sink size));
+  source
+
+let infinite_backlog_size = 1_000_000_000

@@ -1,0 +1,16 @@
+(** Bulk-transfer source: submit a whole file at once.
+
+    Models an FTP-style transfer (the Earth System Grid workload the paper
+    motivates): the application hands the transport [size] packets at
+    [start] and lets congestion control pace them out. *)
+
+val start :
+  Sim_engine.Scheduler.t ->
+  size:int ->
+  start:Sim_engine.Time.t ->
+  sink:(int -> unit) ->
+  Source.t
+(** Requires [size >= 0]. *)
+
+val infinite_backlog_size : int
+(** A practically inexhaustible transfer size for greedy-flow experiments. *)

@@ -1,0 +1,17 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+
+let start sched ~interval ~start ~until ~sink =
+  if interval <= 0. then invalid_arg "Cbr.start: interval <= 0";
+  let sink, source = Source.counted sink in
+  let step = Time.of_sec interval in
+  let rec arm at =
+    let next = Time.add at step in
+    if Time.(next <= until) then
+      ignore
+        (Scheduler.at sched next (fun () ->
+             sink 1;
+             arm next))
+  in
+  arm start;
+  source

@@ -1,0 +1,10 @@
+(** Constant-bit-rate packet source: one packet every [interval] seconds. *)
+
+val start :
+  Sim_engine.Scheduler.t ->
+  interval:float ->
+  start:Sim_engine.Time.t ->
+  until:Sim_engine.Time.t ->
+  sink:(int -> unit) ->
+  Source.t
+(** Requires [interval > 0]. First packet at [start + interval]. *)

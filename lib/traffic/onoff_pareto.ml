@@ -1,0 +1,46 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+
+type params = {
+  on_shape : float;
+  on_mean : float;
+  off_shape : float;
+  off_mean : float;
+  rate : float;
+}
+
+(* Pareto with given shape and mean: mean = shape*scale/(shape-1). *)
+let pareto_duration rng ~shape ~mean =
+  let scale = mean *. (shape -. 1.) /. shape in
+  Rng.pareto rng ~shape ~scale
+
+let start sched ~rng ~params ~start ~until ~sink =
+  if params.on_shape <= 1. || params.off_shape <= 1. then
+    invalid_arg "Onoff_pareto.start: shape <= 1 (infinite mean)";
+  if params.on_mean <= 0. || params.off_mean <= 0. || params.rate <= 0. then
+    invalid_arg "Onoff_pareto.start: non-positive parameter";
+  let sink, source = Source.counted sink in
+  let interval = Time.of_sec (1. /. params.rate) in
+  let rec begin_on at =
+    if Time.(at <= until) then begin
+      let dur = pareto_duration rng ~shape:params.on_shape ~mean:params.on_mean in
+      let on_end = Time.min until (Time.add at (Time.of_sec dur)) in
+      emit at on_end
+    end
+  and emit at on_end =
+    let next = Time.add at interval in
+    if Time.(next <= on_end) then
+      ignore
+        (Scheduler.at sched next (fun () ->
+             sink 1;
+             emit next on_end))
+    else begin_off on_end
+  and begin_off at =
+    let dur = pareto_duration rng ~shape:params.off_shape ~mean:params.off_mean in
+    let off_end = Time.add at (Time.of_sec dur) in
+    if Time.(off_end <= until) then
+      ignore (Scheduler.at sched off_end (fun () -> begin_on off_end))
+  in
+  begin_on start;
+  source

@@ -1,0 +1,26 @@
+(** Pareto-modulated on/off source.
+
+    Alternates ON periods (packets at a constant rate) and silent OFF
+    periods, both with Pareto-distributed durations. With shape in (1, 2)
+    the durations are heavy-tailed with infinite variance; aggregating many
+    such sources yields self-similar traffic ([Willinger et al. 1997]) —
+    the traffic model the self-similarity literature studies, used here in
+    the extension experiments that connect the paper to that literature. *)
+
+type params = {
+  on_shape : float;  (** Pareto shape of ON durations (e.g. 1.5) *)
+  on_mean : float;  (** mean ON duration, seconds *)
+  off_shape : float;  (** Pareto shape of OFF durations *)
+  off_mean : float;  (** mean OFF duration, seconds *)
+  rate : float;  (** packets per second while ON *)
+}
+
+val start :
+  Sim_engine.Scheduler.t ->
+  rng:Sim_engine.Rng.t ->
+  params:params ->
+  start:Sim_engine.Time.t ->
+  until:Sim_engine.Time.t ->
+  sink:(int -> unit) ->
+  Source.t
+(** Requires shapes > 1 (finite means) and positive means and rate. *)

@@ -1,0 +1,17 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+
+let start sched ~rng ~mean_interarrival ~start ~until ~sink =
+  if mean_interarrival <= 0. then invalid_arg "Poisson.start: mean <= 0";
+  let sink, source = Source.counted sink in
+  let rec arm at =
+    let next = Time.add at (Time.of_sec (Rng.exponential rng ~mean:mean_interarrival)) in
+    if Time.(next <= until) then
+      ignore
+        (Scheduler.at sched next (fun () ->
+             sink 1;
+             arm next))
+  in
+  arm start;
+  source

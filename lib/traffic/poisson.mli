@@ -1,0 +1,16 @@
+(** Poisson packet source.
+
+    Submits single packets with exponentially distributed interarrival
+    times — the paper's application workload (§3.1): each client submits
+    one packet to the transport per arrival, with mean spacing [1/lambda].
+    The first arrival is one interarrival after [start]. *)
+
+val start :
+  Sim_engine.Scheduler.t ->
+  rng:Sim_engine.Rng.t ->
+  mean_interarrival:float ->
+  start:Sim_engine.Time.t ->
+  until:Sim_engine.Time.t ->
+  sink:(int -> unit) ->
+  Source.t
+(** Requires [mean_interarrival > 0]. *)

@@ -1,0 +1,9 @@
+type t = { generated : unit -> int }
+
+let counted sink =
+  let n = ref 0 in
+  let wrapped k =
+    n := !n + k;
+    sink k
+  in
+  (wrapped, { generated = (fun () -> !n) })

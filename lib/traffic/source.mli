@@ -1,0 +1,14 @@
+(** Common shape of application-level traffic sources.
+
+    A source submits whole packets to a transport sink ([int -> unit],
+    the number of packets to enqueue now) according to some arrival
+    process, until a stop time. Sources know nothing about the transport:
+    the same Poisson source drives UDP and every TCP variant, which is the
+    point of the paper's methodology — the application offers identical
+    traffic and only the transport differs. *)
+
+type t = { generated : unit -> int  (** packets submitted so far *) }
+
+val counted : (int -> unit) -> (int -> unit) * t
+(** Wrap a sink so submissions are counted; returns the wrapped sink and
+    the source-side counter. *)

@@ -1,0 +1,31 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+
+let of_timestamps ts =
+  let n = Array.length ts in
+  if n = 0 then invalid_arg "Trace_replay.of_timestamps: empty";
+  Array.init n (fun i ->
+      let gap = if i = 0 then ts.(0) else ts.(i) -. ts.(i - 1) in
+      if gap < 0. then invalid_arg "Trace_replay.of_timestamps: unsorted";
+      gap)
+
+let start sched ~gaps ?(loop = false) ~start ~until ~sink () =
+  if Array.length gaps = 0 then invalid_arg "Trace_replay.start: empty trace";
+  Array.iter
+    (fun g -> if g < 0. then invalid_arg "Trace_replay.start: negative gap")
+    gaps;
+  let sink, source = Source.counted sink in
+  let n = Array.length gaps in
+  let rec arm at idx =
+    if idx < n || loop then begin
+      let idx = idx mod n in
+      let next = Time.add at (Time.of_sec gaps.(idx)) in
+      if Time.(next <= until) then
+        ignore
+          (Scheduler.at sched next (fun () ->
+               sink 1;
+               arm next (idx + 1)))
+    end
+  in
+  arm start 0;
+  source

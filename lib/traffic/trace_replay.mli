@@ -1,0 +1,24 @@
+(** Replay a recorded arrival process.
+
+    Feeds a transport with packets at exactly the interarrival gaps given
+    (e.g. parsed from a measured trace), optionally looping until the
+    horizon — the standard way to drive a simulator with real workloads
+    instead of synthetic models. *)
+
+val start :
+  Sim_engine.Scheduler.t ->
+  gaps:float array ->
+  ?loop:bool ->
+  start:Sim_engine.Time.t ->
+  until:Sim_engine.Time.t ->
+  sink:(int -> unit) ->
+  unit ->
+  Source.t
+(** One packet after each gap (seconds). With [loop] (default false) the
+    gap sequence repeats until [until]; otherwise the source stops after
+    the last gap. @raise Invalid_argument on an empty array or a negative
+    gap. *)
+
+val of_timestamps : float array -> float array
+(** Convert absolute timestamps (sorted, seconds) to gaps; the first gap
+    is measured from 0. @raise Invalid_argument if unsorted. *)

@@ -1,0 +1,31 @@
+type ack_info = {
+  ack : int;
+  newly_acked : int;
+  rtt_sample : float option;
+  flight_before : int;
+  now : float;
+}
+
+type handle = {
+  name : string;
+  cwnd : unit -> float;
+  ssthresh : unit -> float;
+  on_new_ack : ack_info -> unit;
+  enter_recovery : flight:int -> now:float -> unit;
+  dup_ack_inflate : unit -> unit;
+  on_partial_ack : ack_info -> unit;
+  on_full_ack : ack_info -> unit;
+  on_timeout : flight:int -> now:float -> unit;
+  on_ecn : flight:int -> now:float -> unit;
+  uses_fast_recovery : bool;
+  partial_ack_stays : bool;
+}
+
+let slow_start_and_avoidance ~cwnd ~ssthresh ~max_window newly_acked =
+  for _ = 1 to newly_acked do
+    if !cwnd < !ssthresh then cwnd := !cwnd +. 1.
+    else cwnd := !cwnd +. (1. /. !cwnd)
+  done;
+  if !cwnd > max_window then cwnd := max_window
+
+let halve_flight ~flight = Stdlib.max (float_of_int flight /. 2.) 2.

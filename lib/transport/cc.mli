@@ -1,0 +1,53 @@
+(** The congestion-control seam between the TCP engine and its variants.
+
+    The engine ({!Tcp}) owns segments, timers, ACK accounting and the
+    recovery state machine; a [handle] owns [cwnd]/[ssthresh] policy and is
+    poked on every relevant event. Variants (Tahoe, Reno, NewReno, Vegas)
+    each provide a constructor returning a [handle] closed over their
+    private state. Windows are in packets and may be fractional. *)
+
+type ack_info = {
+  ack : int;  (** cumulative ACK: next expected sequence *)
+  newly_acked : int;  (** segments this ACK newly covers *)
+  rtt_sample : float option;  (** clean (Karn) RTT sample, seconds *)
+  flight_before : int;  (** outstanding segments before this ACK *)
+  now : float;  (** virtual time, seconds *)
+}
+
+type handle = {
+  name : string;
+  cwnd : unit -> float;
+  ssthresh : unit -> float;
+  on_new_ack : ack_info -> unit;
+      (** A cumulative ACK advancing the window, outside recovery. *)
+  enter_recovery : flight:int -> now:float -> unit;
+      (** Third duplicate ACK; the engine retransmits the head segment. *)
+  dup_ack_inflate : unit -> unit;
+      (** Each further duplicate ACK while in recovery. *)
+  on_partial_ack : ack_info -> unit;
+      (** In recovery, ACK advances but below the recovery point (only
+          reached when [partial_ack_stays] is true). *)
+  on_full_ack : ack_info -> unit;
+      (** Recovery completes (deflate / resume normal growth). *)
+  on_timeout : flight:int -> now:float -> unit;
+  on_ecn : flight:int -> now:float -> unit;
+      (** An ECN congestion-experienced echo arrived; reduce the window as
+          for a loss, but nothing needs retransmitting. The engine rate-
+          limits this to once per RTT. *)
+  uses_fast_recovery : bool;
+      (** False for Tahoe: after a fast retransmit the engine restarts from
+          the ACK point in slow start rather than entering recovery. *)
+  partial_ack_stays : bool;
+      (** True for NewReno: partial ACKs retransmit the next hole and keep
+          the connection in recovery until the recovery point is passed. *)
+}
+
+(** {2 Helpers shared by AIMD-family variants} *)
+
+val slow_start_and_avoidance :
+  cwnd:float ref -> ssthresh:float ref -> max_window:float -> int -> unit
+(** Apply the standard per-ACK window growth for [newly_acked] segments:
+    +1 per segment below ssthresh, +1/cwnd per segment above. *)
+
+val halve_flight : flight:int -> float
+(** [max (flight/2) 2] — the multiplicative-decrease target. *)

@@ -1,0 +1,9 @@
+(** TCP NewReno congestion control (RFC 2582-style partial-ACK handling).
+
+    Like Reno, but a partial ACK (one that advances the window without
+    reaching the recovery point) retransmits the next hole, deflates the
+    window by the amount acknowledged, and keeps the connection in fast
+    recovery — avoiding Reno's stall when several segments from one window
+    are lost. Provided as an ablation point beyond the paper's variants. *)
+
+val handle : initial_ssthresh:float -> max_window:float -> Cc.handle

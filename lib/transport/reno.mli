@@ -1,0 +1,10 @@
+(** TCP Reno congestion control.
+
+    Tahoe plus fast recovery: on the third duplicate ACK, [ssthresh] and
+    [cwnd] drop to half the flight, the window inflates by one for every
+    further duplicate ACK (packets have left the network), and the first
+    new ACK deflates the window back to [ssthresh] and exits recovery. A
+    retransmission timeout restarts slow start from [cwnd = 1]. This is the
+    paper's primary protagonist (§2.1, §3.2). *)
+
+val handle : initial_ssthresh:float -> max_window:float -> Cc.handle

@@ -1,0 +1,55 @@
+type params = {
+  granularity : float;
+  min_rto : float;
+  max_rto : float;
+  initial_rto : float;
+}
+
+let default_params =
+  { granularity = 0.1; min_rto = 1.0; max_rto = 64.0; initial_rto = 3.0 }
+
+type t = {
+  p : params;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable have_sample : bool;
+  mutable backoff_factor : float;
+}
+
+let create p =
+  if p.granularity <= 0. || p.min_rto <= 0. || p.max_rto < p.min_rto then
+    invalid_arg "Rto.create: bad params";
+  { p; srtt = 0.; rttvar = 0.; have_sample = false; backoff_factor = 1. }
+
+let quantize t sample = Float.round (sample /. t.p.granularity) *. t.p.granularity
+
+let observe t sample =
+  if sample < 0. then invalid_arg "Rto.observe: negative sample";
+  let m = quantize t sample in
+  if not t.have_sample then begin
+    (* RFC 6298 initialization. *)
+    t.srtt <- m;
+    t.rttvar <- m /. 2.;
+    t.have_sample <- true
+  end
+  else begin
+    (* alpha = 1/8, beta = 1/4 *)
+    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. m));
+    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. m)
+  end;
+  t.backoff_factor <- 1.
+
+let rto t =
+  let base =
+    if not t.have_sample then t.p.initial_rto
+    else t.srtt +. Stdlib.max t.p.granularity (4. *. t.rttvar)
+  in
+  Stdlib.min t.p.max_rto (Stdlib.max t.p.min_rto (base *. t.backoff_factor))
+
+let backoff t = t.backoff_factor <- Stdlib.min (t.backoff_factor *. 2.) 64.
+
+let reset_backoff t = t.backoff_factor <- 1.
+
+let srtt t = if t.have_sample then Some t.srtt else None
+
+let rttvar t = if t.have_sample then Some t.rttvar else None

@@ -1,0 +1,37 @@
+(** Retransmission-timeout estimation (Jacobson/Karn).
+
+    Maintains smoothed RTT and RTT variance from clean samples (Karn's rule:
+    retransmitted segments are never sampled — enforced by the caller) and
+    applies binary exponential backoff across successive timeouts. Samples
+    are quantized to a clock granularity, as in BSD-derived stacks. *)
+
+type params = {
+  granularity : float;  (** timer tick, seconds (BSD: 0.5; ns: 0.1) *)
+  min_rto : float;  (** lower bound, seconds *)
+  max_rto : float;  (** upper bound, seconds *)
+  initial_rto : float;  (** before the first sample *)
+}
+
+val default_params : params
+(** granularity 0.1 s, min 1 s, max 64 s, initial 3 s. *)
+
+type t
+
+val create : params -> t
+
+val observe : t -> float -> unit
+(** Feed one clean RTT sample (seconds). Resets any backoff. *)
+
+val rto : t -> float
+(** Current timeout, including backoff, clamped to [\[min_rto, max_rto\]]. *)
+
+val backoff : t -> unit
+(** Doubles the timeout (cap at [max_rto]); call on each expiry. *)
+
+val reset_backoff : t -> unit
+(** Call when new data is acknowledged. *)
+
+val srtt : t -> float option
+(** Smoothed RTT, if any sample has been observed. *)
+
+val rttvar : t -> float option

@@ -1,0 +1,26 @@
+let handle ~initial_ssthresh ~max_window =
+  let cwnd = ref 1. and ssthresh = ref initial_ssthresh in
+  let halve ~flight =
+    ssthresh := Cc.halve_flight ~flight;
+    cwnd := !ssthresh
+  in
+  {
+    Cc.name = "sack";
+    cwnd = (fun () -> !cwnd);
+    ssthresh = (fun () -> !ssthresh);
+    on_new_ack =
+      (fun info ->
+        Cc.slow_start_and_avoidance ~cwnd ~ssthresh ~max_window info.Cc.newly_acked);
+    enter_recovery = (fun ~flight ~now:_ -> halve ~flight);
+    (* No inflation: the engine's pipe accounting admits new segments. *)
+    dup_ack_inflate = ignore;
+    on_partial_ack = (fun _ -> ());
+    on_full_ack = (fun _ -> ());
+    on_timeout =
+      (fun ~flight ~now:_ ->
+        ssthresh := Cc.halve_flight ~flight;
+        cwnd := 1.);
+    on_ecn = (fun ~flight ~now:_ -> halve ~flight);
+    uses_fast_recovery = true;
+    partial_ack_stays = true;
+  }

@@ -1,0 +1,8 @@
+(** Congestion control for SACK-based recovery (RFC 3517 style).
+
+    Multiplicative decrease like Reno, but no window inflation during
+    recovery: the engine's pipe estimate (outstanding minus SACKed)
+    replaces it, and partial ACKs keep the connection in recovery until
+    the recovery point is passed. *)
+
+val handle : initial_ssthresh:float -> max_window:float -> Cc.handle

@@ -1,0 +1,22 @@
+let handle ~initial_ssthresh ~max_window =
+  let cwnd = ref 1. and ssthresh = ref initial_ssthresh in
+  let loss ~flight =
+    ssthresh := Cc.halve_flight ~flight;
+    cwnd := 1.
+  in
+  {
+    Cc.name = "tahoe";
+    cwnd = (fun () -> !cwnd);
+    ssthresh = (fun () -> !ssthresh);
+    on_new_ack =
+      (fun info ->
+        Cc.slow_start_and_avoidance ~cwnd ~ssthresh ~max_window info.Cc.newly_acked);
+    enter_recovery = (fun ~flight ~now:_ -> loss ~flight);
+    dup_ack_inflate = ignore;
+    on_partial_ack = (fun _ -> ());
+    on_full_ack = (fun _ -> ());
+    on_timeout = (fun ~flight ~now:_ -> loss ~flight);
+    on_ecn = (fun ~flight ~now:_ -> loss ~flight);
+    uses_fast_recovery = false;
+    partial_ack_stays = false;
+  }

@@ -1,0 +1,7 @@
+(** TCP Tahoe congestion control ([Jac88], pre-fast-recovery).
+
+    Slow start and congestion avoidance with fast retransmit but no fast
+    recovery: any loss indication (timeout or third duplicate ACK) sets
+    [ssthresh] to half the flight and restarts slow start from [cwnd = 1]. *)
+
+val handle : initial_ssthresh:float -> max_window:float -> Cc.handle

@@ -1,0 +1,135 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Packet = Netsim.Packet
+
+let delack_delay = Time.of_ms 200.
+
+type t = {
+  sched : Scheduler.t;
+  factory : Packet.factory;
+  flow : int;
+  src : int;
+  dst : int;
+  ack_bytes : int;
+  delayed_ack : bool;
+  sack : bool;
+  transmit : Packet.t -> unit;
+  out_of_order : (int, unit) Hashtbl.t;
+  mutable expected : int;
+  mutable unacked_segments : int; (* in-order segments not yet ACKed *)
+  mutable delack_timer : Scheduler.handle option;
+  mutable acks_sent : int;
+  mutable duplicates : int;
+  mutable pending_ece : bool; (* a CE-marked segment arrived; echo it *)
+}
+
+let create ?(sack = false) sched ~factory ~flow ~src ~dst ~ack_bytes ~delayed_ack
+    ~transmit =
+  {
+    sched;
+    factory;
+    flow;
+    src;
+    dst;
+    ack_bytes;
+    delayed_ack;
+    sack;
+    transmit;
+    out_of_order = Hashtbl.create 16;
+    expected = 0;
+    unacked_segments = 0;
+    delack_timer = None;
+    acks_sent = 0;
+    duplicates = 0;
+    pending_ece = false;
+  }
+
+let cancel_delack t =
+  match t.delack_timer with
+  | Some h ->
+      Scheduler.cancel t.sched h;
+      t.delack_timer <- None
+  | None -> ()
+
+(* RFC 2018: report the out-of-order data as up to four contiguous
+   [(first, last_exclusive)] blocks. *)
+let sack_blocks t =
+  if (not t.sack) || Hashtbl.length t.out_of_order = 0 then []
+  else begin
+    let seqs =
+      List.sort Int.compare (Hashtbl.fold (fun s () acc -> s :: acc) t.out_of_order [])
+    in
+    let blocks =
+      List.fold_left
+        (fun acc seq ->
+          match acc with
+          | (first, last) :: rest when seq = last -> (first, seq + 1) :: rest
+          | _ -> (seq, seq + 1) :: acc)
+        [] seqs
+    in
+    (* Most recently possible blocks first is unnecessary here; keep the
+       lowest four, which the sender's scoreboard cares about most. *)
+    List.filteri (fun i _ -> i < 4) (List.rev blocks)
+  end
+
+let send_ack t =
+  cancel_delack t;
+  t.unacked_segments <- 0;
+  t.acks_sent <- t.acks_sent + 1;
+  let ece = t.pending_ece in
+  t.pending_ece <- false;
+  let p =
+    Packet.make t.factory ~flow:t.flow ~src:t.src ~dst:t.dst
+      ~size_bytes:t.ack_bytes ~sent_at:(Scheduler.now t.sched)
+      (Packet.Tcp_ack { ack = t.expected; ece; sack = sack_blocks t })
+  in
+  t.transmit p
+
+let schedule_delack t =
+  match t.delack_timer with
+  | Some _ -> ()
+  | None -> t.delack_timer <- Some (Scheduler.after t.sched delack_delay (fun () ->
+        t.delack_timer <- None;
+        send_ack t))
+
+let on_in_order t =
+  t.expected <- t.expected + 1;
+  (* Pull any buffered continuation forward. *)
+  let continue = ref true in
+  while !continue do
+    if Hashtbl.mem t.out_of_order t.expected then begin
+      Hashtbl.remove t.out_of_order t.expected;
+      t.expected <- t.expected + 1
+    end
+    else continue := false
+  done;
+  if not t.delayed_ack then send_ack t
+  else begin
+    t.unacked_segments <- t.unacked_segments + 1;
+    if t.unacked_segments >= 2 then send_ack t else schedule_delack t
+  end
+
+let handle_packet t p =
+  match p.Packet.payload with
+  | Packet.Tcp_data { seq; _ } ->
+      if p.Packet.ecn_ce then t.pending_ece <- true;
+      if seq = t.expected then on_in_order t
+      else if seq > t.expected then begin
+        if Hashtbl.mem t.out_of_order seq then t.duplicates <- t.duplicates + 1
+        else Hashtbl.replace t.out_of_order seq ();
+        (* Out-of-order arrival: ACK immediately (duplicate ACK). *)
+        send_ack t
+      end
+      else begin
+        t.duplicates <- t.duplicates + 1;
+        send_ack t
+      end
+  | Packet.Tcp_ack _ | Packet.Udp_data _ -> ()
+
+let delivered t = t.expected
+
+let expected t = t.expected
+
+let acks_sent t = t.acks_sent
+
+let duplicates_discarded t = t.duplicates

@@ -1,0 +1,39 @@
+(** The receiving half of a TCP connection.
+
+    Reassembles segments, delivers them to the application in order, and
+    generates cumulative ACKs — immediately for out-of-order or duplicate
+    arrivals (producing the duplicate ACKs that drive fast retransmit), and
+    either immediately or via the standard delayed-ACK rule (every second
+    segment or a 200 ms timer) for in-order arrivals. The paper compares
+    Reno with delayed ACKs on and off. *)
+
+type t
+
+val create :
+  ?sack:bool ->
+  Sim_engine.Scheduler.t ->
+  factory:Netsim.Packet.factory ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  ack_bytes:int ->
+  delayed_ack:bool ->
+  transmit:(Netsim.Packet.t -> unit) ->
+  t
+(** [src] is the receiver's node (ACK source); [dst] the sender's.
+    [sack] (default false) attaches RFC 2018 selective-acknowledgment
+    blocks describing buffered out-of-order data to every ACK. *)
+
+val handle_packet : t -> Netsim.Packet.t -> unit
+(** Feed an incoming packet (TCP data; anything else is ignored). *)
+
+val delivered : t -> int
+(** Segments delivered to the application in order. *)
+
+val expected : t -> int
+(** Next in-order sequence number (= cumulative ACK value). *)
+
+val acks_sent : t -> int
+
+val duplicates_discarded : t -> int
+(** Data segments received that were already delivered or buffered. *)

@@ -1,0 +1,400 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Packet = Netsim.Packet
+
+type t = {
+  sched : Scheduler.t;
+  factory : Packet.factory;
+  cc : Cc.handle;
+  rto : Rto.t;
+  flow : int;
+  src : int;
+  dst : int;
+  mss_bytes : int;
+  adv_window : int;
+  ecn_capable : bool;
+  sack_enabled : bool;
+  cwnd_validation : bool;
+  limited_transmit : bool;
+  pacing : bool;
+  transmit : Packet.t -> unit;
+  stats : Tcp_stats.t;
+  cwnd_trace : Netstats.Series.t;
+  (* seq -> (send time, clean): clean segments were never retransmitted and
+     may be RTT-sampled (Karn's rule). *)
+  send_times : (int, float * bool) Hashtbl.t;
+  (* SACK scoreboard: sequences the receiver reports holding (RFC 2018),
+     and sequences already retransmitted in the current recovery so each
+     hole is resent once per recovery (RFC 3517-lite). *)
+  scoreboard : (int, unit) Hashtbl.t;
+  rtx_in_recovery : (int, unit) Hashtbl.t;
+  mutable high_sacked : int; (* highest sequence the receiver has SACKed *)
+  mutable app_submitted : int;
+  mutable next_seq : int; (* next new segment to put on the wire *)
+  mutable max_sent : int; (* 1 + highest sequence ever transmitted *)
+  mutable snd_una : int; (* lowest unacknowledged sequence *)
+  mutable dup_acks : int;
+  mutable in_recovery : bool;
+  mutable recover : int; (* highest seq outstanding when recovery began *)
+  mutable rto_timer : Scheduler.handle option;
+  mutable ecn_holdoff_until : float; (* react to ECE at most once per RTT *)
+  mutable ecn_reactions : int;
+  mutable pace_timer : Scheduler.handle option;
+  mutable last_paced_send : float;
+}
+
+let now_sec t = Time.to_sec (Scheduler.now t.sched)
+
+let record_cwnd t =
+  Netstats.Series.add t.cwnd_trace (now_sec t) (t.cc.Cc.cwnd ())
+
+let window t =
+  Stdlib.max 1 (Stdlib.min (int_of_float (t.cc.Cc.cwnd ())) t.adv_window)
+
+let flight t = t.next_seq - t.snd_una
+
+let backlog t = t.app_submitted - t.next_seq
+
+(* Conservative estimate of data still in the network: outstanding minus
+   what the receiver reports holding. *)
+let pipe t = flight t - Hashtbl.length t.scoreboard
+
+let cancel_rto t =
+  match t.rto_timer with
+  | Some h ->
+      Scheduler.cancel t.sched h;
+      t.rto_timer <- None
+  | None -> ()
+
+let rec arm_rto t =
+  match t.rto_timer with
+  | Some _ -> ()
+  | None ->
+      let delay = Time.of_sec (Rto.rto t.rto) in
+      t.rto_timer <- Some (Scheduler.after t.sched delay (fun () -> on_rto_fire t))
+
+and restart_rto t =
+  cancel_rto t;
+  if flight t > 0 then arm_rto t
+
+and send_segment t seq =
+  let is_retransmit = seq < t.max_sent in
+  let p =
+    Packet.make t.factory ~ecn_capable:t.ecn_capable ~flow:t.flow ~src:t.src
+      ~dst:t.dst ~size_bytes:t.mss_bytes ~sent_at:(Scheduler.now t.sched)
+      (Packet.Tcp_data { seq; is_retransmit })
+  in
+  t.stats.Tcp_stats.segments_sent <- t.stats.Tcp_stats.segments_sent + 1;
+  if is_retransmit then begin
+    t.stats.Tcp_stats.retransmits <- t.stats.Tcp_stats.retransmits + 1;
+    Hashtbl.replace t.send_times seq (now_sec t, false)
+  end
+  else begin
+    Hashtbl.replace t.send_times seq (now_sec t, true);
+    t.max_sent <- seq + 1
+  end;
+  arm_rto t;
+  t.transmit p
+
+and try_send t = if t.pacing then pace_send t else burst_send t
+
+and burst_send t =
+  while backlog t > 0 && flight t < window t do
+    send_segment t t.next_seq;
+    t.next_seq <- t.next_seq + 1
+  done
+
+(* Paced sending (Aggarwal, Savage & Anderson 2000): instead of releasing
+   everything the window admits the instant an ACK arrives, new segments
+   leave at intervals of srtt/cwnd, spreading each window over the round
+   trip. Retransmissions bypass pacing. Before the first RTT sample the
+   interval is zero and pacing degenerates to ACK clocking. *)
+and pace_send t =
+  match t.pace_timer with
+  | Some _ -> ()
+  | None ->
+      if backlog t > 0 && flight t < window t then begin
+        let interval =
+          match Rto.srtt t.rto with
+          | Some srtt -> srtt /. Stdlib.max 1. (t.cc.Cc.cwnd ())
+          | None -> 0.
+        in
+        let due = t.last_paced_send +. interval in
+        if due <= now_sec t then begin
+          t.last_paced_send <- now_sec t;
+          send_segment t t.next_seq;
+          t.next_seq <- t.next_seq + 1;
+          pace_send t
+        end
+        else
+          t.pace_timer <-
+            Some
+              (Scheduler.at t.sched (Time.of_sec due) (fun () ->
+                   t.pace_timer <- None;
+                   pace_send t))
+      end
+
+(* During SACK recovery the window is governed by [pipe]: fill the lowest
+   un-SACKed, not-yet-retransmitted holes first, then new data. A segment
+   only counts as a hole when the receiver has SACKed something above it —
+   segments above [high_sacked] may simply still be in flight. *)
+and next_hole t =
+  let rec scan seq =
+    if seq >= t.max_sent || seq > t.high_sacked then None
+    else if Hashtbl.mem t.scoreboard seq || Hashtbl.mem t.rtx_in_recovery seq then
+      scan (seq + 1)
+    else Some seq
+  in
+  scan t.snd_una
+
+and try_send_sack t =
+  let progress = ref true in
+  while !progress && pipe t < window t do
+    match next_hole t with
+    | Some seq ->
+        Hashtbl.replace t.rtx_in_recovery seq ();
+        send_segment t seq
+    | None ->
+        if backlog t > 0 then begin
+          send_segment t t.next_seq;
+          t.next_seq <- t.next_seq + 1
+        end
+        else progress := false
+  done
+
+and on_rto_fire t =
+  t.rto_timer <- None;
+  if flight t > 0 then begin
+    t.stats.Tcp_stats.timeouts <- t.stats.Tcp_stats.timeouts + 1;
+    Rto.backoff t.rto;
+    t.cc.Cc.on_timeout ~flight:(flight t) ~now:(now_sec t);
+    t.dup_acks <- 0;
+    t.in_recovery <- false;
+    (* Pessimistic after a timeout: discard SACK state and go back. *)
+    Hashtbl.reset t.scoreboard;
+    Hashtbl.reset t.rtx_in_recovery;
+    t.high_sacked <- -1;
+    (* Go-back-N: resend from the ACK point as the (now tiny) window
+       allows; send_segment re-arms the timer with the backed-off RTO. *)
+    t.next_seq <- t.snd_una;
+    try_send t;
+    record_cwnd t
+  end
+
+let rtt_sample t ack =
+  match Hashtbl.find_opt t.send_times (ack - 1) with
+  | Some (sent_at, true) -> Some (now_sec t -. sent_at)
+  | Some (_, false) | None -> None
+
+let forget_acked t ack =
+  for seq = t.snd_una to ack - 1 do
+    Hashtbl.remove t.send_times seq;
+    Hashtbl.remove t.scoreboard seq;
+    Hashtbl.remove t.rtx_in_recovery seq
+  done
+
+let record_sack_blocks t blocks =
+  if t.sack_enabled then
+    List.iter
+      (fun (first, last) ->
+        for seq = Stdlib.max first t.snd_una to Stdlib.min last t.max_sent - 1 do
+          Hashtbl.replace t.scoreboard seq ();
+          if seq > t.high_sacked then t.high_sacked <- seq
+        done)
+      blocks
+
+let on_new_ack t ack =
+  let newly = ack - t.snd_una in
+  let flight_before = flight t in
+  (* RFC 2861 congestion-window validation: when the application (not the
+     window) limited sending, do not grow a window that was never used.
+     Reported as zero newly-acked segments so the AIMD rules stand still. *)
+  let window_limited = flight_before >= window t in
+  let growth_credit =
+    if t.cwnd_validation && not window_limited then 0 else newly
+  in
+  (* No sampling during recovery, even from never-retransmitted segments:
+     their cumulative ACK was delayed by the hole in front of them, so the
+     measurement reflects the loss episode, not the path (Karn's rule
+     extended the way BSD's timed-segment scheme behaves in practice). *)
+  let sample = if t.in_recovery then None else rtt_sample t ack in
+  (match sample with Some s -> Rto.observe t.rto s | None -> ());
+  forget_acked t ack;
+  t.stats.Tcp_stats.segments_acked <- t.stats.Tcp_stats.segments_acked + newly;
+  let info =
+    {
+      Cc.ack;
+      newly_acked = growth_credit;
+      rtt_sample = sample;
+      flight_before;
+      now = now_sec t;
+    }
+  in
+  t.snd_una <- ack;
+  if t.next_seq < t.snd_una then t.next_seq <- t.snd_una;
+  if t.in_recovery then begin
+    if ack > t.recover then begin
+      t.cc.Cc.on_full_ack info;
+      t.in_recovery <- false;
+      t.dup_acks <- 0;
+      Hashtbl.reset t.rtx_in_recovery
+    end
+    else if t.sack_enabled then begin
+      t.cc.Cc.on_partial_ack info;
+      (* The scoreboard decides what to resend; no blind head retransmit. *)
+      try_send_sack t
+    end
+    else if t.cc.Cc.partial_ack_stays then begin
+      t.cc.Cc.on_partial_ack info;
+      (* Retransmit the next hole immediately (NewReno). *)
+      send_segment t t.snd_una
+    end
+    else begin
+      (* Classic Reno: any advancing ACK ends recovery. *)
+      t.cc.Cc.on_full_ack info;
+      t.in_recovery <- false;
+      t.dup_acks <- 0
+    end
+  end
+  else begin
+    t.cc.Cc.on_new_ack info;
+    t.dup_acks <- 0
+  end;
+  Rto.reset_backoff t.rto;
+  restart_rto t;
+  try_send t;
+  record_cwnd t
+
+let on_dup_ack t =
+  t.stats.Tcp_stats.dup_acks <- t.stats.Tcp_stats.dup_acks + 1;
+  if t.in_recovery then begin
+    t.cc.Cc.dup_ack_inflate ();
+    if t.sack_enabled then try_send_sack t else try_send t
+  end
+  else begin
+    t.dup_acks <- t.dup_acks + 1;
+    (* RFC 3042 limited transmit: the first two duplicate ACKs release one
+       new segment each (beyond cwnd by at most two), keeping enough data
+       moving to reach the third duplicate instead of stalling into RTO. *)
+    if
+      t.limited_transmit && t.dup_acks <= 2 && backlog t > 0
+      && flight t < window t + 2
+    then begin
+      send_segment t t.next_seq;
+      t.next_seq <- t.next_seq + 1
+    end;
+    if t.dup_acks = 3 then begin
+      t.stats.Tcp_stats.fast_retransmits <- t.stats.Tcp_stats.fast_retransmits + 1;
+      t.cc.Cc.enter_recovery ~flight:(flight t) ~now:(now_sec t);
+      if t.cc.Cc.uses_fast_recovery then begin
+        t.in_recovery <- true;
+        t.recover <- t.max_sent - 1
+      end
+      else
+        (* Tahoe: restart from the ACK point in slow start. *)
+        t.next_seq <- t.snd_una + 1;
+      if t.sack_enabled then begin
+        Hashtbl.reset t.rtx_in_recovery;
+        (* The first retransmission is unconditional (RFC 6675 S5 step 4.1):
+           pipe usually still exceeds the halved window here. *)
+        let first = Option.value (next_hole t) ~default:t.snd_una in
+        Hashtbl.replace t.rtx_in_recovery first ();
+        send_segment t first;
+        try_send_sack t
+      end
+      else begin
+        send_segment t t.snd_una;
+        try_send t
+      end;
+      restart_rto t
+    end
+  end;
+  record_cwnd t
+
+(* React to an ECE echo at most once per RTT: halving repeatedly within
+   one window's feedback would over-correct (RFC 3168 §6.1.2 semantics). *)
+let on_ece t =
+  let now = now_sec t in
+  if now >= t.ecn_holdoff_until && flight t > 0 && not t.in_recovery then begin
+    t.ecn_reactions <- t.ecn_reactions + 1;
+    t.cc.Cc.on_ecn ~flight:(flight t) ~now;
+    let rtt = Option.value (Rto.srtt t.rto) ~default:1.0 in
+    t.ecn_holdoff_until <- now +. rtt;
+    record_cwnd t
+  end
+
+let handle_packet t p =
+  match p.Packet.payload with
+  | Packet.Tcp_ack { ack; ece; sack } ->
+      t.stats.Tcp_stats.acks_received <- t.stats.Tcp_stats.acks_received + 1;
+      record_sack_blocks t sack;
+      if ece then on_ece t;
+      if ack > t.snd_una then on_new_ack t ack
+      else if ack = t.snd_una && flight t > 0 then on_dup_ack t
+  | Packet.Tcp_data _ | Packet.Udp_data _ -> ()
+
+let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
+    ?(limited_transmit = false) ?(pacing = false) sched ~factory ~cc ~rto_params
+    ~flow ~src ~dst ~mss_bytes ~adv_window ~transmit =
+  if adv_window < 1 then invalid_arg "Tcp_sender.create: adv_window < 1";
+  if mss_bytes < 1 then invalid_arg "Tcp_sender.create: mss_bytes < 1";
+  let t =
+    {
+      sched;
+      factory;
+      cc;
+      rto = Rto.create rto_params;
+      flow;
+      src;
+      dst;
+      mss_bytes;
+      adv_window;
+      ecn_capable;
+      sack_enabled = sack;
+      cwnd_validation;
+      limited_transmit;
+      pacing;
+      transmit;
+      stats = Tcp_stats.create ();
+      cwnd_trace = Netstats.Series.create ();
+      send_times = Hashtbl.create 64;
+      scoreboard = Hashtbl.create 64;
+      rtx_in_recovery = Hashtbl.create 16;
+      high_sacked = -1;
+      app_submitted = 0;
+      next_seq = 0;
+      max_sent = 0;
+      snd_una = 0;
+      dup_acks = 0;
+      in_recovery = false;
+      recover = 0;
+      rto_timer = None;
+      ecn_holdoff_until = 0.;
+      ecn_reactions = 0;
+      pace_timer = None;
+      last_paced_send = neg_infinity;
+    }
+  in
+  record_cwnd t;
+  t
+
+let write t n =
+  if n < 0 then invalid_arg "Tcp_sender.write: negative count";
+  t.app_submitted <- t.app_submitted + n;
+  try_send t
+
+let cwnd t = t.cc.Cc.cwnd ()
+
+let ssthresh t = t.cc.Cc.ssthresh ()
+
+let snd_una t = t.snd_una
+
+let stats t = t.stats
+
+let cwnd_trace t = t.cwnd_trace
+
+let in_recovery t = t.in_recovery
+
+let cc_name t = t.cc.Cc.name
+
+let ecn_reactions t = t.ecn_reactions

@@ -1,0 +1,79 @@
+(** The sending half of a TCP connection.
+
+    Owns the send window, duplicate-ACK counting, fast-retransmit /
+    fast-recovery state machine, retransmission timer (with Karn's rule)
+    and go-back-N behaviour after a timeout — everything that is common to
+    the congestion-control variants, which plug in as a {!Cc.handle}.
+
+    The application submits segments with {!write} (1 segment = 1 MSS,
+    matching the paper's one-packet-per-Poisson-arrival sources); segments
+    queue in an unbounded send buffer until the window admits them, which
+    is exactly the mechanism §3.2 blames for slow-start bursts. *)
+
+type t
+
+val create :
+  ?ecn_capable:bool ->
+  ?sack:bool ->
+  ?cwnd_validation:bool ->
+  ?limited_transmit:bool ->
+  ?pacing:bool ->
+  Sim_engine.Scheduler.t ->
+  factory:Netsim.Packet.factory ->
+  cc:Cc.handle ->
+  rto_params:Rto.params ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  mss_bytes:int ->
+  adv_window:int ->
+  transmit:(Netsim.Packet.t -> unit) ->
+  t
+(** [transmit] injects a packet into the network (typically the access
+    link). [adv_window] is the receiver's static advertised window in
+    packets; the effective window is [min cwnd adv_window]. [ecn_capable]
+    (default false) flags outgoing segments as ECN-capable and makes the
+    sender honour ECE echoes (one window reduction per RTT, no
+    retransmission). [sack] (default false) enables selective-repeat
+    recovery: a scoreboard built from the receiver's SACK blocks decides
+    which holes to retransmit, and sending during recovery is governed by
+    the pipe estimate instead of window inflation (RFC 2018/3517,
+    simplified). Pair with {!Sack_cc.handle}. [cwnd_validation] (default
+    false) applies RFC 2861: the window only grows while it is actually
+    the limiting factor, so application-limited flows do not accumulate
+    unused window to burst with later. [limited_transmit] (default false)
+    applies RFC 3042: the first two duplicate ACKs each release one new
+    segment, improving loss recovery for small windows. [pacing] (default
+    false) spreads new transmissions at srtt/cwnd intervals instead of
+    ACK-clocked bursts (Aggarwal–Savage–Anderson TCP pacing);
+    retransmissions are never paced. *)
+
+val write : t -> int -> unit
+(** Submit [n] more segments from the application. *)
+
+val handle_packet : t -> Netsim.Packet.t -> unit
+(** Feed an incoming packet (ACKs; anything else is ignored). *)
+
+val cwnd : t -> float
+val ssthresh : t -> float
+
+val flight : t -> int
+(** Outstanding (sent but unacknowledged) segments. *)
+
+val backlog : t -> int
+(** Segments submitted by the application but not yet transmitted. *)
+
+val snd_una : t -> int
+(** Lowest unacknowledged sequence number. *)
+
+val stats : t -> Tcp_stats.t
+
+val cwnd_trace : t -> Netstats.Series.t
+(** (time, cwnd) recorded at every window change — Figures 5–12. *)
+
+val in_recovery : t -> bool
+
+val cc_name : t -> string
+
+val ecn_reactions : t -> int
+(** How many times the sender reduced its window in response to ECE. *)

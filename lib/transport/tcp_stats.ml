@@ -1,0 +1,40 @@
+type t = {
+  mutable segments_sent : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  mutable dup_acks : int;
+  mutable acks_received : int;
+  mutable segments_acked : int;
+}
+
+let create () =
+  {
+    segments_sent = 0;
+    retransmits = 0;
+    timeouts = 0;
+    fast_retransmits = 0;
+    dup_acks = 0;
+    acks_received = 0;
+    segments_acked = 0;
+  }
+
+let timeout_dupack_ratio t =
+  if t.dup_acks = 0 then 0. else float_of_int t.timeouts /. float_of_int t.dup_acks
+
+let pp ppf t =
+  Format.fprintf ppf
+    "sent=%d rtx=%d timeouts=%d fast_rtx=%d dup_acks=%d acks=%d acked=%d"
+    t.segments_sent t.retransmits t.timeouts t.fast_retransmits t.dup_acks
+    t.acks_received t.segments_acked
+
+let add a b =
+  {
+    segments_sent = a.segments_sent + b.segments_sent;
+    retransmits = a.retransmits + b.retransmits;
+    timeouts = a.timeouts + b.timeouts;
+    fast_retransmits = a.fast_retransmits + b.fast_retransmits;
+    dup_acks = a.dup_acks + b.dup_acks;
+    acks_received = a.acks_received + b.acks_received;
+    segments_acked = a.segments_acked + b.segments_acked;
+  }

@@ -1,0 +1,25 @@
+(** Per-connection TCP counters.
+
+    Figure 13 of the paper plots the ratio of timeouts to duplicate ACKs;
+    both counters live here, along with everything needed for throughput
+    and retransmission accounting. *)
+
+type t = {
+  mutable segments_sent : int;  (** data segments put on the wire *)
+  mutable retransmits : int;  (** of which retransmissions *)
+  mutable timeouts : int;  (** RTO expirations *)
+  mutable fast_retransmits : int;  (** third-dup-ACK retransmissions *)
+  mutable dup_acks : int;  (** duplicate ACKs received *)
+  mutable acks_received : int;  (** total ACK packets *)
+  mutable segments_acked : int;  (** cumulative segments acknowledged *)
+}
+
+val create : unit -> t
+
+val timeout_dupack_ratio : t -> float
+(** [timeouts / dup_acks]; 0 when no duplicate ACK was seen. *)
+
+val pp : Format.formatter -> t -> unit
+
+val add : t -> t -> t
+(** Field-wise sum (for aggregating over clients). *)

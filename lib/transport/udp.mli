@@ -1,0 +1,30 @@
+(** A trivial unreliable transport.
+
+    UDP forwards each application packet to the network immediately, with
+    no flow or congestion control — the paper's control case showing that
+    aggregated Poisson traffic stays Poisson without TCP's modulation. *)
+
+type sender
+
+val create_sender :
+  Sim_engine.Scheduler.t ->
+  factory:Netsim.Packet.factory ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  size_bytes:int ->
+  transmit:(Netsim.Packet.t -> unit) ->
+  sender
+
+val write : sender -> int -> unit
+(** Transmit [n] packets right now. *)
+
+val sent : sender -> int
+
+type receiver
+
+val create_receiver : unit -> receiver
+
+val handle_packet : receiver -> Netsim.Packet.t -> unit
+
+val received : receiver -> int

@@ -1,0 +1,20 @@
+(** TCP Vegas congestion control (Brakmo & Peterson 1995).
+
+    Vegas estimates the number of its own packets queued in the network as
+    [diff = cwnd * (1 - baseRTT/RTT)] once per RTT epoch and steers it into
+    the band [\[alpha, beta\]]: linear increase below [alpha], linear
+    decrease above [beta]. Slow start doubles only every other RTT and ends
+    when [diff] exceeds [gamma]. Loss recovery is Reno-like but with a
+    gentler (3/4) multiplicative decrease, and a timeout restarts from a
+    window of 2. The paper uses [alpha = 1], [beta = 3], [gamma = 1]. *)
+
+type params = {
+  alpha : float;  (** lower queue-occupancy bound, packets *)
+  beta : float;  (** upper queue-occupancy bound, packets *)
+  gamma : float;  (** slow-start exit threshold, packets *)
+}
+
+val default_params : params
+(** alpha 1, beta 3, gamma 1. *)
+
+val handle : ?params:params -> initial_ssthresh:float -> max_window:float -> unit -> Cc.handle

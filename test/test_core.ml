@@ -1,0 +1,757 @@
+(* Tests for the experiment framework: config, scenarios, analytic
+   baselines, fairness, dumbbell wiring, and end-to-end runs. *)
+
+open Burstcore
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+
+(* A small, fast configuration for integration tests. *)
+let tiny ?(clients = 4) ?(duration = 30.) ?(warmup = 5.) () =
+  {
+    (Config.with_clients Config.default clients) with
+    Config.duration_s = duration;
+    warmup_s = warmup;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let config_derived_quantities () =
+  let cfg = Config.default in
+  check_float "rtt_prop" 1.0 (Config.rtt_prop_s cfg);
+  check_close 0.1 "saturation ~41.7" 41.7 (Config.saturation_clients cfg);
+  let cfg40 = Config.with_clients cfg 40 in
+  check_close 1e-6 "offered load fraction" 0.96 (Config.offered_load_fraction cfg40)
+
+let config_rejects_zero_clients () =
+  Alcotest.check_raises "clients" (Invalid_argument "Config.with_clients: clients < 1")
+    (fun () -> ignore (Config.with_clients Config.default 0))
+
+let config_validate_catches_bad_fields () =
+  let ok = tiny () in
+  Config.validate ok;
+  let bad name cfg =
+    Alcotest.check_raises name (Invalid_argument ("Config.validate: " ^ name))
+      (fun () -> Config.validate cfg)
+  in
+  bad "warmup_s" { ok with Config.warmup_s = ok.Config.duration_s };
+  bad "red thresholds" { ok with Config.red_max_th = ok.Config.red_min_th };
+  bad "packet_bytes" { ok with Config.packet_bytes = 20 };
+  bad "adv_window" { ok with Config.adv_window = 0 }
+
+let config_pp_mentions_values () =
+  let s = Format.asprintf "%a" Config.pp Config.default in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("table contains " ^ needle) true
+        (Astring_like.contains s needle))
+    [ "5 Mbps"; "1500 bytes"; "50 packets"; "20 packets" ]
+
+(* ------------------------------------------------------------------ *)
+(* Scenario *)
+
+let scenario_ecn_labels () =
+  Alcotest.(check string) "reno/ecn" "Reno/ECN" (Scenario.label Scenario.reno_ecn);
+  Alcotest.(check string) "vegas/ared" "Vegas/ARED" (Scenario.label Scenario.vegas_ared);
+  Alcotest.(check string) "sack" "SACK" (Scenario.label Scenario.sack);
+  Alcotest.(check string) "sack/red" "SACK/RED" (Scenario.label Scenario.sack_red)
+
+let run_ecn_end_to_end () =
+  (* Heavy enough load that RED marks; ECN scenarios must react without
+     losing goodput. *)
+  let cfg = tiny ~clients:45 ~duration:60. ~warmup:10. () in
+  let m = Run.run cfg Scenario.reno_ecn in
+  Alcotest.(check bool) "marks applied" true (m.Metrics.ecn_marks > 0);
+  Alcotest.(check bool) "senders reacted" true (m.Metrics.ecn_reactions > 0);
+  Alcotest.(check bool) "delivering" true (m.Metrics.delivered > 10_000);
+  (* Plain scenarios never mark. *)
+  let plain = Run.run cfg Scenario.reno in
+  Alcotest.(check int) "no marks on fifo" 0 plain.Metrics.ecn_marks;
+  Alcotest.(check int) "no reactions on fifo" 0 plain.Metrics.ecn_reactions
+
+let run_sack_end_to_end () =
+  let cfg = tiny ~clients:45 ~duration:60. ~warmup:10. () in
+  let m = Run.run cfg Scenario.sack in
+  Alcotest.(check bool) "delivers" true (m.Metrics.delivered > 10_000);
+  let reno = Run.run cfg Scenario.reno in
+  Alcotest.(check bool)
+    (Printf.sprintf "sack timeouts %d <= reno timeouts %d" m.Metrics.timeouts
+       reno.Metrics.timeouts)
+    true
+    (m.Metrics.timeouts <= reno.Metrics.timeouts)
+
+let run_ared_end_to_end () =
+  let cfg = tiny ~clients:45 ~duration:60. ~warmup:10. () in
+  let m = Run.run cfg Scenario.reno_ared in
+  Alcotest.(check bool) "delivers" true (m.Metrics.delivered > 10_000);
+  Alcotest.(check int) "ared does not mark" 0 m.Metrics.ecn_marks
+
+let scenario_labels () =
+  Alcotest.(check string) "udp" "UDP" (Scenario.label Scenario.udp);
+  Alcotest.(check string) "reno" "Reno" (Scenario.label Scenario.reno);
+  Alcotest.(check string) "reno/red" "Reno/RED" (Scenario.label Scenario.reno_red);
+  Alcotest.(check string) "delack" "Reno/DelayAck" (Scenario.label Scenario.reno_delack);
+  Alcotest.(check string) "vegas/red" "Vegas/RED" (Scenario.label Scenario.vegas_red);
+  Alcotest.(check string) "newreno" "NewReno" (Scenario.label Scenario.newreno)
+
+let scenario_series_membership () =
+  Alcotest.(check int) "six paper series" 6 (List.length Scenario.paper_series);
+  Alcotest.(check int) "five tcp series" 5 (List.length Scenario.tcp_series);
+  Alcotest.(check bool) "udp not in tcp series" false
+    (List.exists (Scenario.equal Scenario.udp) Scenario.tcp_series);
+  Alcotest.(check bool) "udp is not tcp" false (Scenario.is_tcp Scenario.udp);
+  Alcotest.(check bool) "vegas is tcp" true (Scenario.is_tcp Scenario.vegas)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic *)
+
+let analytic_poisson_cov () =
+  (* N=25 clients, 10 pkt/s, 1 s bin: mean 250, cov = 1/sqrt(250). *)
+  let cfg = Config.with_clients Config.default 25 in
+  check_close 1e-9 "cov" (1. /. sqrt 250.) (Analytic.poisson_cov cfg);
+  check_close 1e-9 "mean" 250. (Analytic.poisson_mean_per_bin cfg)
+
+let analytic_cov_decreases_with_clients () =
+  let cov n = Analytic.poisson_cov (Config.with_clients Config.default n) in
+  Alcotest.(check bool) "monotone" true (cov 10 > cov 20 && cov 20 > cov 40)
+
+(* ------------------------------------------------------------------ *)
+(* Fairness *)
+
+let fairness_jain () =
+  check_float "equal shares" 1. (Fairness.jain [| 5.; 5.; 5. |]);
+  check_float "all zero" 1. (Fairness.jain [| 0.; 0. |]);
+  (* One user hogging: 1/n *)
+  check_float "monopoly" 0.25 (Fairness.jain [| 1.; 0.; 0.; 0. |]);
+  Alcotest.(check bool) "skewed below 1" true (Fairness.jain [| 9.; 1. |] < 1.)
+
+let fairness_max_min () =
+  check_float "equal" 1. (Fairness.max_min_ratio [| 2.; 2. |]);
+  check_float "ratio" 3. (Fairness.max_min_ratio [| 6.; 2. |]);
+  Alcotest.(check bool) "zero min" true
+    (Fairness.max_min_ratio [| 1.; 0. |] = infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Dumbbell wiring *)
+
+let dumbbell_tcp_roundtrip () =
+  let cfg = tiny ~clients:2 () in
+  let net = Dumbbell.create cfg Scenario.reno in
+  (* Submit directly, no sources. *)
+  Dumbbell.sink net 0 5;
+  Dumbbell.sink net 1 3;
+  Sim_engine.Scheduler.run
+    ~until:(Sim_engine.Time.of_sec 30.)
+    (Dumbbell.scheduler net);
+  Alcotest.(check (array int)) "per-client delivery" [| 5; 3 |]
+    (Dumbbell.per_client_delivered net);
+  Alcotest.(check int) "total" 8 (Dumbbell.delivered_total net);
+  Alcotest.(check bool) "tcp sender exposed" true (Dumbbell.tcp_sender net 0 <> None)
+
+let dumbbell_udp_roundtrip () =
+  let cfg = tiny ~clients:3 () in
+  let net = Dumbbell.create cfg Scenario.udp in
+  List.iter (fun i -> Dumbbell.sink net i 10) [ 0; 1; 2 ];
+  Sim_engine.Scheduler.run
+    ~until:(Sim_engine.Time.of_sec 10.)
+    (Dumbbell.scheduler net);
+  Alcotest.(check int) "all arrive" 30 (Dumbbell.delivered_total net);
+  Alcotest.(check bool) "no tcp sender" true (Dumbbell.tcp_sender net 0 = None);
+  Alcotest.(check int) "zero tcp stats" 0
+    (Dumbbell.tcp_stats_total net).Transport.Tcp_stats.segments_sent
+
+let dumbbell_delivery_latency () =
+  (* One packet: 2 serializations (1500B at 10 and 5 Mbps) + 0.5 s one-way
+     propagation. *)
+  let cfg = tiny ~clients:1 () in
+  let net = Dumbbell.create cfg Scenario.udp in
+  Dumbbell.sink net 0 1;
+  let sched = Dumbbell.scheduler net in
+  Sim_engine.Scheduler.run sched;
+  let expected = 0.25 +. 0.25 +. (1500. *. 8. /. 10e6) +. (1500. *. 8. /. 5e6) in
+  (* The run clock stops at the last event = delivery time. *)
+  check_close 1e-6 "one-way latency" expected
+    (Sim_engine.Time.to_sec (Sim_engine.Scheduler.now sched));
+  Alcotest.(check int) "delivered" 1 (Dumbbell.delivered_total net)
+
+(* ------------------------------------------------------------------ *)
+(* Run + Metrics *)
+
+let run_every_scenario_smoke () =
+  (* One tiny run of every scenario the library exposes: builds, delivers,
+     and respects conservation. *)
+  let cfg = tiny ~clients:5 ~duration:30. ~warmup:5. () in
+  List.iter
+    (fun scenario ->
+      let m = Run.run cfg scenario in
+      let label = Scenario.label m.Metrics.scenario in
+      Alcotest.(check bool) (label ^ " delivers") true (m.Metrics.delivered > 500);
+      Alcotest.(check bool)
+        (label ^ " conservation")
+        true
+        (m.Metrics.delivered <= m.Metrics.gateway_arrivals))
+    [
+      Scenario.udp; Scenario.reno; Scenario.reno_red; Scenario.reno_delack;
+      Scenario.vegas; Scenario.vegas_red; Scenario.tahoe; Scenario.newreno;
+      Scenario.sack; Scenario.sack_red; Scenario.reno_ecn; Scenario.vegas_ecn;
+      Scenario.reno_ared; Scenario.vegas_ared; Scenario.reno_sfq;
+      Scenario.vegas_sfq;
+    ]
+
+let run_conservation () =
+  let cfg = tiny ~clients:6 ~duration:60. () in
+  let m = Run.run cfg Scenario.reno in
+  (* Conservation: everything the gateway accepted either reached the
+     server or is still in flight; with a drained run, delivered (plus
+     receiver-side duplicates) accounts for arrivals - drops. *)
+  Alcotest.(check bool) "arrivals >= delivered" true
+    (m.Metrics.gateway_arrivals >= m.Metrics.delivered);
+  Alcotest.(check bool) "sent >= offered - backlog" true
+    (m.Metrics.segments_sent <= m.Metrics.offered + m.Metrics.retransmits);
+  Alcotest.(check bool) "offered positive" true (m.Metrics.offered > 0);
+  Alcotest.(check bool) "cov positive" true (m.Metrics.cov > 0.)
+
+let run_uncongested_delivers_everything () =
+  let cfg = tiny ~clients:4 ~duration:60. () in
+  let m = Run.run cfg Scenario.reno in
+  (* 4 clients: far below saturation; everything delivered except what is
+     still in flight at the horizon (~1 s RTT x 40 pkt/s). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "delivered %d of %d" m.Metrics.delivered m.Metrics.offered)
+    true
+    (m.Metrics.delivered >= m.Metrics.offered - 60);
+  Alcotest.(check (float 0.01)) "no loss" 0. m.Metrics.loss_pct;
+  Alcotest.(check int) "no timeouts" 0 m.Metrics.timeouts
+
+let run_udp_cov_tracks_poisson () =
+  let cfg = tiny ~clients:10 ~duration:120. ~warmup:10. () in
+  let m = Run.run cfg Scenario.udp in
+  let ratio = m.Metrics.cov /. m.Metrics.analytic_cov in
+  Alcotest.(check bool)
+    (Printf.sprintf "udp cov ratio %.3f in [0.8, 1.25]" ratio)
+    true
+    (ratio > 0.8 && ratio < 1.25)
+
+let run_overload_saturates_throughput () =
+  let cfg = tiny ~clients:60 ~duration:40. ~warmup:10. () in
+  let m = Run.run cfg Scenario.udp in
+  (* Bottleneck 416.7 pkt/s; UDP offered ~600 pkt/s: deliveries pin to
+     capacity and the surplus is dropped. *)
+  let capacity = 416.7 *. cfg.Config.duration_s in
+  Alcotest.(check bool) "throughput at capacity" true
+    (float_of_int m.Metrics.delivered > 0.9 *. capacity
+    && float_of_int m.Metrics.delivered <= 1.02 *. capacity);
+  Alcotest.(check bool) "substantial loss" true (m.Metrics.loss_pct > 10.)
+
+let run_traces_requested_clients () =
+  let cfg = tiny ~clients:3 ~duration:20. () in
+  let m = Run.run ~trace_clients:[ 0; 2 ] cfg Scenario.vegas in
+  Alcotest.(check (list int)) "trace ids" [ 0; 2 ] (List.map fst m.Metrics.cwnd_traces);
+  List.iter
+    (fun (_, s) ->
+      Alcotest.(check bool) "trace non-empty" true (Netstats.Series.length s > 0))
+    m.Metrics.cwnd_traces
+
+let run_cov_ci_present () =
+  let cfg = tiny ~clients:10 ~duration:120. ~warmup:10. () in
+  let m = Run.run cfg Scenario.udp in
+  Alcotest.(check bool) "ci positive" true (m.Metrics.cov_ci95 > 0.);
+  (* The Poisson truth should be inside the (generous) interval. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "|%.4f - %.4f| < 3x%.4f" m.Metrics.cov m.Metrics.analytic_cov
+       m.Metrics.cov_ci95)
+    true
+    (Float.abs (m.Metrics.cov -. m.Metrics.analytic_cov) < 3. *. m.Metrics.cov_ci95)
+
+let run_deterministic () =
+  let cfg = tiny ~clients:5 ~duration:30. () in
+  let a = Run.run cfg Scenario.reno and b = Run.run cfg Scenario.reno in
+  check_float "cov identical" a.Metrics.cov b.Metrics.cov;
+  Alcotest.(check int) "delivered identical" a.Metrics.delivered b.Metrics.delivered;
+  Alcotest.(check int) "timeouts identical" a.Metrics.timeouts b.Metrics.timeouts
+
+let run_seed_sensitivity () =
+  let cfg = tiny ~clients:5 ~duration:30. () in
+  let a = Run.run cfg Scenario.reno in
+  let b = Run.run { cfg with Config.seed = 999L } Scenario.reno in
+  Alcotest.(check bool) "different seeds differ" true
+    (a.Metrics.offered <> b.Metrics.offered || a.Metrics.cov <> b.Metrics.cov)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's headline comparisons, at reduced scale *)
+
+let paper_shape_reno_burstier_than_udp () =
+  let cfg = tiny ~clients:45 ~duration:120. ~warmup:30. () in
+  let reno = Run.run cfg Scenario.reno in
+  let udp = Run.run cfg Scenario.udp in
+  Alcotest.(check bool)
+    (Printf.sprintf "reno cov %.4f > udp cov %.4f" reno.Metrics.cov udp.Metrics.cov)
+    true
+    (reno.Metrics.cov > 1.3 *. udp.Metrics.cov)
+
+let paper_shape_vegas_smoother_than_reno () =
+  let cfg = tiny ~clients:50 ~duration:120. ~warmup:30. () in
+  let reno = Run.run cfg Scenario.reno in
+  let vegas = Run.run cfg Scenario.vegas in
+  Alcotest.(check bool)
+    (Printf.sprintf "vegas %.4f < reno %.4f" vegas.Metrics.cov reno.Metrics.cov)
+    true
+    (vegas.Metrics.cov < reno.Metrics.cov)
+
+let paper_shape_reno_loss_bursts () =
+  (* §3.4: Reno generates "large sequences of packet losses"; Vegas does
+     not. Compare the longest consecutive-drop run under heavy load. *)
+  let cfg = tiny ~clients:55 ~duration:150. ~warmup:30. () in
+  let reno = Run.run cfg Scenario.reno in
+  let vegas = Run.run cfg Scenario.vegas in
+  Alcotest.(check bool)
+    (Printf.sprintf "reno max run %d >= vegas max run %d" reno.Metrics.drop_run_max
+       vegas.Metrics.drop_run_max)
+    true
+    (reno.Metrics.drop_run_max >= vegas.Metrics.drop_run_max);
+  Alcotest.(check bool) "reno has multi-packet bursts" true
+    (reno.Metrics.drop_run_max >= 3)
+
+let paper_shape_timeout_ratio () =
+  let cfg = tiny ~clients:50 ~duration:120. ~warmup:30. () in
+  let reno = Run.run cfg Scenario.reno in
+  let vegas = Run.run cfg Scenario.vegas in
+  Alcotest.(check bool) "reno ratio higher" true
+    (reno.Metrics.timeout_dupack_ratio > vegas.Metrics.timeout_dupack_ratio)
+
+let run_md1_queue_validation () =
+  (* UDP with fixed-size packets through the gateway is literally M/D/1:
+     the sampled queue length must match Pollaczek-Khinchine. *)
+  let cfg = tiny ~clients:20 ~duration:300. ~warmup:0. () in
+  let m = Run.run ~sample_queue:true cfg Scenario.udp in
+  let service = 1500. *. 8. /. 5e6 in
+  let lambda = 20. /. cfg.Config.mean_interarrival_s in
+  let rho = lambda *. service in
+  (* The sampler sees waiting packets only (the one in service has left
+     the queue), so compare against L - rho. *)
+  let expected = Netstats.Queueing.md1_mean_queue ~rho -. rho in
+  let measured =
+    (Netstats.Series.value_summary (Option.get m.Metrics.queue_series)).Netstats.Summary.mean
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.3f vs M/D/1 %.3f" measured expected)
+    true
+    (measured > 0.7 *. expected && measured < 1.3 *. expected)
+
+let run_sfq_end_to_end () =
+  let cfg = tiny ~clients:50 ~duration:120. ~warmup:30. () in
+  let sfq = Run.run cfg Scenario.reno_sfq in
+  let plain = Run.run cfg Scenario.reno in
+  Alcotest.(check bool) "delivers" true (sfq.Metrics.delivered > 20_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "sfq cov %.4f < reno cov %.4f" sfq.Metrics.cov plain.Metrics.cov)
+    true
+    (sfq.Metrics.cov < plain.Metrics.cov)
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization *)
+
+let sync_udp_near_zero () =
+  let cfg = tiny ~clients:10 ~duration:120. ~warmup:20. () in
+  let m = Run.run ~measure_sync:true cfg Scenario.udp in
+  match m.Metrics.sync_index with
+  | None -> Alcotest.fail "expected sync index"
+  | Some v ->
+      Alcotest.(check bool) (Printf.sprintf "udp sync %.4f ~ 0" v) true
+        (Float.abs v < 0.05)
+
+let sync_reno_heavy_load_positive () =
+  let cfg = tiny ~clients:55 ~duration:150. ~warmup:30. () in
+  let reno = Run.run ~measure_sync:true cfg Scenario.reno in
+  let udp = Run.run ~measure_sync:true cfg Scenario.udp in
+  match (reno.Metrics.sync_index, udp.Metrics.sync_index) with
+  | Some r, Some u ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reno sync %.4f > udp sync %.4f + 0.02" r u)
+        true
+        (r > u +. 0.02)
+  | _ -> Alcotest.fail "expected sync indices"
+
+let sync_not_measured_by_default () =
+  let cfg = tiny ~clients:3 ~duration:10. () in
+  let m = Run.run cfg Scenario.reno in
+  Alcotest.(check bool) "none" true (m.Metrics.sync_index = None)
+
+let sync_stagger_and_spread_accepted () =
+  let cfg =
+    { (tiny ~clients:4 ~duration:20. ()) with
+      Config.start_stagger_s = 5.;
+      client_delay_spread_s = 0.1 }
+  in
+  let m = Run.run ~measure_sync:true cfg Scenario.reno in
+  Alcotest.(check bool) "runs and measures" true (m.Metrics.sync_index <> None);
+  Alcotest.(check bool) "delivers" true (m.Metrics.delivered > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Json and Export *)
+
+let json_basic_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "reno \"fast\"\n");
+        ("count", Json.Int 42);
+        ("pi", Json.Float 3.25);
+        ("flag", Json.Bool true);
+        ("nothing", Json.Null);
+        ("xs", Json.List [ Json.Int 1; Json.Float 0.5; Json.String "x" ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok parsed -> Alcotest.(check bool) "roundtrip" true (parsed = v)
+  | Error e -> Alcotest.fail e
+
+let json_parse_errors () =
+  (match Json.parse "{\"a\": }" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Json.parse "[1, 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error");
+  match Json.parse "42 trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let json_member_access () =
+  match Json.parse "{\"cov\": 0.25, \"n\": 3}" with
+  | Ok v ->
+      Alcotest.(check (option (float 1e-9))) "float field" (Some 0.25)
+        (Option.bind (Json.member "cov" v) Json.to_float);
+      Alcotest.(check (option (float 1e-9))) "int widens" (Some 3.)
+        (Option.bind (Json.member "n" v) Json.to_float);
+      Alcotest.(check bool) "missing" true (Json.member "zzz" v = None)
+  | Error e -> Alcotest.fail e
+
+let json_roundtrip_property =
+  QCheck.Test.make ~name:"json roundtrip" ~count:300
+    QCheck.(
+      let base =
+        oneof
+          [
+            map (fun i -> Json.Int i) small_signed_int;
+            map (fun f -> Json.Float f) (float_bound_exclusive 1000.);
+            map (fun s -> Json.String s) (string_small_of (Gen.char_range 'a' 'z'));
+            map (fun b -> Json.Bool b) bool;
+            always Json.Null;
+          ]
+      in
+      map (fun xs -> Json.List xs) (small_list base))
+    (fun v -> Json.parse (Json.to_string v) = Ok v)
+
+let export_csv_shape () =
+  let cfg = tiny ~clients:2 ~duration:10. () in
+  let m = Run.run cfg Scenario.reno in
+  let row = Export.metrics_to_csv_row m in
+  Alcotest.(check int) "field count"
+    (List.length (String.split_on_char ',' Export.csv_header))
+    (List.length (String.split_on_char ',' row));
+  Alcotest.(check bool) "starts with scenario" true
+    (String.length row > 4 && String.sub row 0 4 = "Reno")
+
+let export_json_valid_and_complete () =
+  let cfg = tiny ~clients:2 ~duration:10. () in
+  let sweep = [ (Scenario.reno, [ Run.run cfg Scenario.reno ]) ] in
+  let doc = Json.to_string (Export.sweep_to_json cfg sweep) in
+  match Json.parse doc with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      Alcotest.(check bool) "has config" true (Json.member "config" v <> None);
+      (match Json.member "results" v with
+      | Some (Json.List [ r ]) ->
+          Alcotest.(check bool) "cov present" true
+            (Option.bind (Json.member "cov" r) Json.to_float <> None)
+      | _ -> Alcotest.fail "expected one result")
+
+let run_delay_metrics_sane () =
+  (* Uncongested: one-way delay ~ 0.5 s propagation + ~4 ms serialization. *)
+  let cfg = tiny ~clients:2 ~duration:30. ~warmup:5. () in
+  let m = Run.run cfg Scenario.udp in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean delay %.4f ~ 0.506" m.Metrics.delay_mean_s)
+    true
+    (m.Metrics.delay_mean_s > 0.5 && m.Metrics.delay_mean_s < 0.53);
+  Alcotest.(check bool) "p99 >= mean" true
+    (m.Metrics.delay_p99_s >= m.Metrics.delay_mean_s -. 1e-6);
+  (* Saturated: the full 50-packet buffer adds 120 ms at the p99. *)
+  let cfg60 = tiny ~clients:60 ~duration:40. ~warmup:10. () in
+  let m60 = Run.run cfg60 Scenario.udp in
+  Alcotest.(check bool)
+    (Printf.sprintf "saturated p99 %.3f ~ 0.625" m60.Metrics.delay_p99_s)
+    true
+    (m60.Metrics.delay_p99_s > 0.6 && m60.Metrics.delay_p99_s < 0.65)
+
+(* ------------------------------------------------------------------ *)
+(* Two-way traffic *)
+
+let twoway_oneway_baseline () =
+  (* With no reverse flows the wiring must behave like the dumbbell:
+     everything offered is delivered, low burstiness inflation. *)
+  let cfg = tiny ~clients:6 ~duration:60. ~warmup:10. () in
+  let r = Twoway.run cfg ~cc:Scenario.Reno ~reverse_clients:0 in
+  Alcotest.(check int) "no reverse traffic" 0 r.Twoway.reverse_delivered;
+  Alcotest.(check bool) "forward delivers" true (r.Twoway.forward_delivered > 3000);
+  Alcotest.(check (float 0.01)) "no loss" 0. r.Twoway.forward_loss_pct
+
+let twoway_ack_compression_hurts_reno () =
+  let cfg = tiny ~clients:30 ~duration:150. ~warmup:30. () in
+  let quiet = Twoway.run cfg ~cc:Scenario.Reno ~reverse_clients:0 in
+  let busy = Twoway.run cfg ~cc:Scenario.Reno ~reverse_clients:30 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cov %.4f -> %.4f with reverse load" quiet.Twoway.forward_cov
+       busy.Twoway.forward_cov)
+    true
+    (busy.Twoway.forward_cov > 1.3 *. quiet.Twoway.forward_cov);
+  Alcotest.(check bool) "reverse flows deliver" true
+    (busy.Twoway.reverse_delivered > 10_000)
+
+let twoway_validates () =
+  Alcotest.check_raises "negative" (Invalid_argument "Twoway.run: negative reverse_clients")
+    (fun () ->
+      ignore (Twoway.run (tiny ()) ~cc:Scenario.Reno ~reverse_clients:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Parking lot *)
+
+let parking_lone_flow_fills_pipe () =
+  (* No cross traffic: a lone Vegas flow approaches the utilization bound
+     of a deeply underbuffered path (B = 50 << BDP = 433 packets). *)
+  let r =
+    Parking_lot.run Config.default ~cc:Scenario.Vegas ~hops:2 ~cross_per_hop:0
+      ~duration_s:300.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "share %.2f > 0.5" r.Parking_lot.long_share)
+    true
+    (r.Parking_lot.long_share > 0.5);
+  Alcotest.(check (float 0.)) "no cross traffic" 0. r.Parking_lot.cross_throughput_pps
+
+let parking_long_flow_disadvantaged () =
+  let r =
+    Parking_lot.run Config.default ~cc:Scenario.Reno ~hops:3 ~cross_per_hop:1
+      ~duration_s:120.
+  in
+  Alcotest.(check bool) "long below fair share" true (r.Parking_lot.long_share < 0.9);
+  Alcotest.(check bool) "cross beats long" true
+    (r.Parking_lot.cross_throughput_pps > r.Parking_lot.long_throughput_pps);
+  Alcotest.(check bool) "all flows alive" true (r.Parking_lot.long_throughput_pps > 1.)
+
+let parking_capacity_respected () =
+  let cap = 416.67 in
+  let r =
+    Parking_lot.run Config.default ~cc:Scenario.Vegas ~hops:2 ~cross_per_hop:2
+      ~duration_s:120.
+  in
+  (* Each hop carries the long flow plus its local cross flows. *)
+  Alcotest.(check bool) "hop not oversubscribed" true
+    (r.Parking_lot.long_throughput_pps
+     +. (2. *. r.Parking_lot.cross_throughput_pps)
+    < 1.05 *. cap)
+
+let parking_validates () =
+  Alcotest.check_raises "hops" (Invalid_argument "Parking_lot.run: hops < 1")
+    (fun () ->
+      ignore
+        (Parking_lot.run Config.default ~cc:Scenario.Reno ~hops:0 ~cross_per_hop:1
+           ~duration_s:1.))
+
+(* ------------------------------------------------------------------ *)
+(* Sweep *)
+
+let sweep_distinct_seeds () =
+  let cfg = tiny () in
+  let s1 = Sweep.seed_for cfg Scenario.reno 10 in
+  let s2 = Sweep.seed_for cfg Scenario.reno 20 in
+  let s3 = Sweep.seed_for cfg Scenario.vegas 10 in
+  Alcotest.(check bool) "clients vary seed" true (s1 <> s2);
+  Alcotest.(check bool) "scenario varies seed" true (s1 <> s3)
+
+let sweep_over_clients_shapes () =
+  let cfg = tiny ~duration:20. ~warmup:5. () in
+  let ms = Sweep.over_clients cfg Scenario.udp [ 2; 4 ] in
+  Alcotest.(check (list int)) "client counts" [ 2; 4 ]
+    (List.map (fun m -> m.Metrics.clients) ms)
+
+(* ------------------------------------------------------------------ *)
+(* Figures and rendering *)
+
+let figures_sweep_and_render () =
+  let cfg = tiny ~duration:15. ~warmup:5. () in
+  let sweep = Figures.run_sweep cfg [ 2; 3 ] in
+  Alcotest.(check int) "six scenarios" 6 (List.length sweep);
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Figures.fig2 ppf sweep cfg;
+  Figures.fig3 ppf sweep;
+  Figures.fig4 ppf sweep;
+  Figures.fig13 ppf sweep;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("output mentions " ^ needle) true
+        (Astring_like.contains out needle))
+    [ "Figure 2"; "Figure 3"; "Figure 4"; "Figure 13"; "Reno/RED"; "Poisson" ]
+
+let render_table_alignment () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Render.table ppf ~header:[ "a"; "bb" ] ~rows:[ [ "xxx"; "1" ]; [ "y"; "22" ] ];
+  Format.pp_print_flush ppf ();
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  (match lines with
+  | header :: sep :: _ ->
+      Alcotest.(check bool) "separator dashes" true (String.for_all (( = ) '-') sep);
+      Alcotest.(check int) "widths match" (String.length header) (String.length sep)
+  | _ -> Alcotest.fail "expected at least two lines")
+
+let render_plot_runs () =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Render.plot ppf ~height:5 ~width:20 ~x_min:0. ~x_max:10.
+    ~series:[ ('*', "up", [| 1.; 2.; 3.; 4. |]); ('o', "down", [| 4.; 3.; 2.; 1. |]) ]
+    ();
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "legend" true (Astring_like.contains out "* = up");
+  Alcotest.(check bool) "glyphs plotted" true
+    (String.contains out '*' && String.contains out 'o')
+
+(* ------------------------------------------------------------------ *)
+(* Selfsim extension *)
+
+let selfsim_poisson_udp_short_memory () =
+  let cfg = tiny ~clients:10 ~duration:120. ~warmup:10. () in
+  let row = Selfsim.measure cfg Selfsim.Poisson_src Scenario.udp in
+  Alcotest.(check bool)
+    (Printf.sprintf "H(vt)=%.2f near 0.5" row.Selfsim.hurst_vt)
+    true
+    (row.Selfsim.hurst_vt < 0.7);
+  Alcotest.(check bool) "idc available" true (List.length row.Selfsim.idc > 0)
+
+let selfsim_pareto_raises_hurst () =
+  let cfg = tiny ~clients:10 ~duration:120. ~warmup:10. () in
+  let poisson = Selfsim.measure cfg Selfsim.Poisson_src Scenario.udp in
+  let pareto = Selfsim.measure cfg Selfsim.Pareto_src Scenario.udp in
+  Alcotest.(check bool)
+    (Printf.sprintf "pareto H %.2f > poisson H %.2f" pareto.Selfsim.hurst_vt
+       poisson.Selfsim.hurst_vt)
+    true
+    (pareto.Selfsim.hurst_vt > poisson.Selfsim.hurst_vt)
+
+let suite =
+  [
+    ( "core.config",
+      [
+        Alcotest.test_case "derived quantities" `Quick config_derived_quantities;
+        Alcotest.test_case "rejects zero clients" `Quick config_rejects_zero_clients;
+        Alcotest.test_case "validate catches bad fields" `Quick
+          config_validate_catches_bad_fields;
+        Alcotest.test_case "table rendering" `Quick config_pp_mentions_values;
+      ] );
+    ( "core.scenario",
+      [
+        Alcotest.test_case "labels" `Quick scenario_labels;
+        Alcotest.test_case "series membership" `Quick scenario_series_membership;
+        Alcotest.test_case "ecn labels" `Quick scenario_ecn_labels;
+      ] );
+    ( "core.analytic",
+      [
+        Alcotest.test_case "poisson cov closed form" `Quick analytic_poisson_cov;
+        Alcotest.test_case "cov decreases with aggregation" `Quick
+          analytic_cov_decreases_with_clients;
+      ] );
+    ( "core.fairness",
+      [
+        Alcotest.test_case "jain index" `Quick fairness_jain;
+        Alcotest.test_case "max-min ratio" `Quick fairness_max_min;
+      ] );
+    ( "core.dumbbell",
+      [
+        Alcotest.test_case "tcp roundtrip" `Quick dumbbell_tcp_roundtrip;
+        Alcotest.test_case "udp roundtrip" `Quick dumbbell_udp_roundtrip;
+        Alcotest.test_case "delivery latency" `Quick dumbbell_delivery_latency;
+      ] );
+    ( "core.run",
+      [
+        Alcotest.test_case "every scenario smoke" `Quick run_every_scenario_smoke;
+        Alcotest.test_case "conservation" `Quick run_conservation;
+        Alcotest.test_case "uncongested delivers everything" `Quick
+          run_uncongested_delivers_everything;
+        Alcotest.test_case "udp cov tracks poisson" `Slow run_udp_cov_tracks_poisson;
+        Alcotest.test_case "overload saturates throughput" `Slow
+          run_overload_saturates_throughput;
+        Alcotest.test_case "cwnd traces" `Quick run_traces_requested_clients;
+        Alcotest.test_case "cov confidence interval" `Slow run_cov_ci_present;
+        Alcotest.test_case "deterministic" `Quick run_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick run_seed_sensitivity;
+        Alcotest.test_case "ecn end to end" `Slow run_ecn_end_to_end;
+        Alcotest.test_case "ared end to end" `Slow run_ared_end_to_end;
+        Alcotest.test_case "sack end to end" `Slow run_sack_end_to_end;
+        Alcotest.test_case "m/d/1 queue validation" `Slow run_md1_queue_validation;
+        Alcotest.test_case "sfq end to end" `Slow run_sfq_end_to_end;
+      ] );
+    ( "core.paper_shapes",
+      [
+        Alcotest.test_case "reno burstier than udp" `Slow paper_shape_reno_burstier_than_udp;
+        Alcotest.test_case "vegas smoother than reno" `Slow paper_shape_vegas_smoother_than_reno;
+        Alcotest.test_case "reno timeout ratio higher" `Slow paper_shape_timeout_ratio;
+        Alcotest.test_case "reno loss bursts longer" `Slow paper_shape_reno_loss_bursts;
+      ] );
+    ( "core.sync",
+      [
+        Alcotest.test_case "udp near zero" `Slow sync_udp_near_zero;
+        Alcotest.test_case "reno heavy load positive" `Slow sync_reno_heavy_load_positive;
+        Alcotest.test_case "off by default" `Quick sync_not_measured_by_default;
+        Alcotest.test_case "stagger and spread accepted" `Quick
+          sync_stagger_and_spread_accepted;
+      ] );
+    ( "core.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick json_basic_roundtrip;
+        Alcotest.test_case "parse errors" `Quick json_parse_errors;
+        Alcotest.test_case "member access" `Quick json_member_access;
+        QCheck_alcotest.to_alcotest json_roundtrip_property;
+      ] );
+    ( "core.export",
+      [
+        Alcotest.test_case "csv shape" `Quick export_csv_shape;
+        Alcotest.test_case "json valid and complete" `Quick export_json_valid_and_complete;
+        Alcotest.test_case "delay metrics sane" `Slow run_delay_metrics_sane;
+      ] );
+    ( "core.twoway",
+      [
+        Alcotest.test_case "one-way baseline" `Quick twoway_oneway_baseline;
+        Alcotest.test_case "ack compression hurts reno" `Slow
+          twoway_ack_compression_hurts_reno;
+        Alcotest.test_case "validation" `Quick twoway_validates;
+      ] );
+    ( "core.parking_lot",
+      [
+        Alcotest.test_case "lone flow fills the pipe" `Slow parking_lone_flow_fills_pipe;
+        Alcotest.test_case "long flow disadvantaged" `Slow parking_long_flow_disadvantaged;
+        Alcotest.test_case "capacity respected" `Slow parking_capacity_respected;
+        Alcotest.test_case "validation" `Quick parking_validates;
+      ] );
+    ( "core.sweep",
+      [
+        Alcotest.test_case "distinct seeds" `Quick sweep_distinct_seeds;
+        Alcotest.test_case "over clients" `Quick sweep_over_clients_shapes;
+      ] );
+    ( "core.figures",
+      [
+        Alcotest.test_case "sweep and render all figures" `Slow figures_sweep_and_render;
+        Alcotest.test_case "table alignment" `Quick render_table_alignment;
+        Alcotest.test_case "plot rendering" `Quick render_plot_runs;
+      ] );
+    ( "core.selfsim",
+      [
+        Alcotest.test_case "poisson/udp short memory" `Slow selfsim_poisson_udp_short_memory;
+        Alcotest.test_case "pareto raises hurst" `Slow selfsim_pareto_raises_hurst;
+      ] );
+  ]

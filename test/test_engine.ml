@@ -1,0 +1,331 @@
+(* Tests for the discrete-event engine: Time, Heap, Event_queue, Scheduler,
+   Rng. *)
+
+open Sim_engine
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let time_roundtrip () =
+  check_float "sec roundtrip" 1.25 (Time.to_sec (Time.of_sec 1.25));
+  check_float "ms" 0.002 (Time.to_sec (Time.of_ms 2.));
+  check_float "us" 3e-6 (Time.to_sec (Time.of_us 3.))
+
+let time_arithmetic () =
+  let a = Time.of_sec 2. and b = Time.of_sec 0.5 in
+  check_float "add" 2.5 (Time.to_sec (Time.add a b));
+  check_float "diff" 1.5 (Time.to_sec (Time.diff a b));
+  check_float "mul" 1.0 (Time.to_sec (Time.mul b 2.));
+  Alcotest.(check bool) "lt" true Time.(b < a);
+  Alcotest.(check bool) "ge" true Time.(a >= a);
+  check_float "min" 0.5 (Time.to_sec (Time.min a b));
+  check_float "max" 2.0 (Time.to_sec (Time.max a b))
+
+let time_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Time.of_sec: negative or non-finite")
+    (fun () -> ignore (Time.of_sec (-1.)));
+  Alcotest.check_raises "nan" (Invalid_argument "Time.of_sec: negative or non-finite")
+    (fun () -> ignore (Time.of_sec Float.nan));
+  Alcotest.check_raises "diff negative" (Invalid_argument "Time.diff: negative result")
+    (fun () -> ignore (Time.diff (Time.of_sec 1.) (Time.of_sec 2.)))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+module Int_heap = Heap.Make (Int)
+
+let heap_basic () =
+  let h = Int_heap.create () in
+  Alcotest.(check bool) "empty" true (Int_heap.is_empty h);
+  List.iter (Int_heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  Alcotest.(check int) "length" 6 (Int_heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Int_heap.peek h);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 8; 9 ] (Int_heap.to_sorted_list h);
+  Alcotest.(check int) "non-destructive" 6 (Int_heap.length h);
+  Alcotest.(check (option int)) "pop" (Some 1) (Int_heap.pop h);
+  Alcotest.(check (option int)) "pop2" (Some 2) (Int_heap.pop h);
+  Int_heap.clear h;
+  Alcotest.(check (option int)) "cleared" None (Int_heap.pop h)
+
+let heap_pop_exn_empty () =
+  let h = Int_heap.create () in
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Int_heap.pop_exn h))
+
+let heap_sort_property =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.push h) xs;
+      Int_heap.to_sorted_list h = List.sort Int.compare xs)
+
+let heap_interleaved_property =
+  QCheck.Test.make ~name:"heap min under interleaved push/pop" ~count:200
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = Int_heap.create () in
+      let model = ref [] in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            Int_heap.push h v;
+            model := v :: !model;
+            true
+          end
+          else begin
+            let expected =
+              match List.sort Int.compare !model with
+              | [] -> None
+              | m :: _ ->
+                  model := List.tl (List.sort Int.compare !model);
+                  Some m
+            in
+            Int_heap.pop h = expected
+          end)
+        ops)
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue *)
+
+let eq_fires_in_time_order () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Event_queue.schedule q (Time.of_sec 3.) (note "c"));
+  ignore (Event_queue.schedule q (Time.of_sec 1.) (note "a"));
+  ignore (Event_queue.schedule q (Time.of_sec 2.) (note "b"));
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, action) ->
+        action ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let eq_fifo_within_timestamp () =
+  let q = Event_queue.create () in
+  let log = ref [] in
+  let t = Time.of_sec 1. in
+  List.iter
+    (fun i -> ignore (Event_queue.schedule q t (fun () -> log := i :: !log)))
+    [ 1; 2; 3; 4 ];
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, action) ->
+        action ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3; 4 ] (List.rev !log)
+
+let eq_cancel () =
+  let q = Event_queue.create () in
+  let fired = ref false in
+  let h = Event_queue.schedule q (Time.of_sec 1.) (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Event_queue.is_pending h);
+  Event_queue.cancel q h;
+  Alcotest.(check bool) "not pending" false (Event_queue.is_pending h);
+  Alcotest.(check int) "live count" 0 (Event_queue.length q);
+  Alcotest.(check bool) "empty pop" true (Event_queue.pop q = None);
+  Alcotest.(check bool) "never fired" false !fired;
+  (* double cancel is a no-op *)
+  Event_queue.cancel q h;
+  Alcotest.(check int) "still 0" 0 (Event_queue.length q)
+
+let eq_next_time_skips_cancelled () =
+  let q = Event_queue.create () in
+  let h1 = Event_queue.schedule q (Time.of_sec 1.) ignore in
+  ignore (Event_queue.schedule q (Time.of_sec 2.) ignore);
+  Event_queue.cancel q h1;
+  match Event_queue.next_time q with
+  | Some t -> check_float "next is 2" 2. (Time.to_sec t)
+  | None -> Alcotest.fail "expected an event"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let sched_runs_and_advances_clock () =
+  let s = Scheduler.create () in
+  let seen = ref [] in
+  ignore (Scheduler.at s (Time.of_sec 1.) (fun () -> seen := Time.to_sec (Scheduler.now s) :: !seen));
+  ignore (Scheduler.after s (Time.of_sec 0.5) (fun () -> seen := Time.to_sec (Scheduler.now s) :: !seen));
+  Scheduler.run s;
+  Alcotest.(check (list (float 1e-9))) "clock at fire times" [ 0.5; 1. ] (List.rev !seen);
+  Alcotest.(check int) "fired" 2 (Scheduler.events_processed s)
+
+let sched_until_bounds_and_advances () =
+  let s = Scheduler.create () in
+  let fired = ref 0 in
+  ignore (Scheduler.at s (Time.of_sec 1.) (fun () -> incr fired));
+  ignore (Scheduler.at s (Time.of_sec 5.) (fun () -> incr fired));
+  Scheduler.run ~until:(Time.of_sec 2.) s;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  check_float "clock at horizon" 2. (Time.to_sec (Scheduler.now s));
+  Alcotest.(check int) "one pending" 1 (Scheduler.pending s);
+  Scheduler.run s;
+  Alcotest.(check int) "rest fired" 2 !fired
+
+let sched_nested_scheduling () =
+  let s = Scheduler.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then ignore (Scheduler.after s (Time.of_sec 1.) tick)
+  in
+  ignore (Scheduler.after s (Time.of_sec 1.) tick);
+  Scheduler.run s;
+  Alcotest.(check int) "chain of 5" 5 !count;
+  check_float "final clock" 5. (Time.to_sec (Scheduler.now s))
+
+let sched_stop () =
+  let s = Scheduler.create () in
+  let count = ref 0 in
+  ignore (Scheduler.at s (Time.of_sec 1.) (fun () -> incr count; Scheduler.stop s));
+  ignore (Scheduler.at s (Time.of_sec 2.) (fun () -> incr count));
+  Scheduler.run s;
+  Alcotest.(check int) "stopped after first" 1 !count
+
+let sched_rejects_past () =
+  let s = Scheduler.create () in
+  ignore (Scheduler.at s (Time.of_sec 1.) ignore);
+  Scheduler.run s;
+  Alcotest.check_raises "past" (Invalid_argument "Scheduler.at: time in the past")
+    (fun () -> ignore (Scheduler.at s (Time.of_sec 0.5) ignore))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let rng_deterministic () =
+  let a = Rng.create ~seed:42L and b = Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "same stream" true (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let rng_different_seeds () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  Alcotest.(check bool) "different" false (Rng.bits64 a = Rng.bits64 b)
+
+let rng_split_independent () =
+  let parent = Rng.create ~seed:7L in
+  let c1 = Rng.split parent in
+  let c2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" false (Rng.bits64 c1 = Rng.bits64 c2)
+
+let rng_split_named_stable () =
+  let mk () = Rng.create ~seed:7L in
+  let a = Rng.split_named (mk ()) "alpha" in
+  let b = Rng.split_named (mk ()) "alpha" in
+  let c = Rng.split_named (mk ()) "beta" in
+  Alcotest.(check bool) "same label same stream" true (Rng.bits64 a = Rng.bits64 b);
+  Alcotest.(check bool) "distinct labels differ" false (Rng.bits64 a = Rng.bits64 c)
+
+let mean_of n f =
+  let s = ref 0. in
+  for _ = 1 to n do
+    s := !s +. f ()
+  done;
+  !s /. float_of_int n
+
+let rng_float_uniform_mean () =
+  let r = Rng.create ~seed:11L in
+  let m = mean_of 100_000 (fun () -> Rng.float r) in
+  Alcotest.(check (float 0.01)) "mean ~ 0.5" 0.5 m
+
+let rng_float_range () =
+  let r = Rng.create ~seed:12L in
+  for _ = 1 to 1000 do
+    let v = Rng.float_range r 2. 5. in
+    Alcotest.(check bool) "in range" true (v >= 2. && v < 5.)
+  done
+
+let rng_exponential_mean () =
+  let r = Rng.create ~seed:13L in
+  let m = mean_of 100_000 (fun () -> Rng.exponential r ~mean:0.1) in
+  Alcotest.(check (float 0.003)) "mean ~ 0.1" 0.1 m
+
+let rng_pareto_properties () =
+  let r = Rng.create ~seed:14L in
+  (* shape 2.5, scale 1: mean = shape*scale/(shape-1) = 5/3 *)
+  let m = mean_of 200_000 (fun () -> Rng.pareto r ~shape:2.5 ~scale:1.) in
+  Alcotest.(check (float 0.05)) "pareto mean" (5. /. 3.) m;
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above scale" true (Rng.pareto r ~shape:1.5 ~scale:2. >= 2.)
+  done
+
+let rng_gaussian_moments () =
+  let r = Rng.create ~seed:15L in
+  let w = Netstats.Welford.create () in
+  for _ = 1 to 100_000 do
+    Netstats.Welford.add w (Rng.gaussian r ~mean:3. ~std:2.)
+  done;
+  Alcotest.(check (float 0.05)) "mean" 3. (Netstats.Welford.mean w);
+  Alcotest.(check (float 0.1)) "std" 2. (Netstats.Welford.std w)
+
+let rng_int_bounds () =
+  let r = Rng.create ~seed:16L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    Alcotest.(check bool) "0..6" true (v >= 0 && v < 7)
+  done
+
+let rng_bool_probability () =
+  let r = Rng.create ~seed:17L in
+  let hits = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bool r 0.3 then incr hits
+  done;
+  Alcotest.(check (float 0.01)) "p ~ 0.3" 0.3 (float_of_int !hits /. float_of_int n)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "engine.time",
+      [
+        Alcotest.test_case "roundtrip" `Quick time_roundtrip;
+        Alcotest.test_case "arithmetic" `Quick time_arithmetic;
+        Alcotest.test_case "invalid inputs" `Quick time_invalid;
+      ] );
+    ( "engine.heap",
+      [
+        Alcotest.test_case "basic operations" `Quick heap_basic;
+        Alcotest.test_case "pop_exn on empty" `Quick heap_pop_exn_empty;
+      ]
+      @ qsuite [ heap_sort_property; heap_interleaved_property ] );
+    ( "engine.event_queue",
+      [
+        Alcotest.test_case "time order" `Quick eq_fires_in_time_order;
+        Alcotest.test_case "fifo within timestamp" `Quick eq_fifo_within_timestamp;
+        Alcotest.test_case "cancel" `Quick eq_cancel;
+        Alcotest.test_case "next_time skips cancelled" `Quick eq_next_time_skips_cancelled;
+      ] );
+    ( "engine.scheduler",
+      [
+        Alcotest.test_case "runs and advances clock" `Quick sched_runs_and_advances_clock;
+        Alcotest.test_case "until bounds run" `Quick sched_until_bounds_and_advances;
+        Alcotest.test_case "nested scheduling" `Quick sched_nested_scheduling;
+        Alcotest.test_case "stop" `Quick sched_stop;
+        Alcotest.test_case "rejects past times" `Quick sched_rejects_past;
+      ] );
+    ( "engine.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick rng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick rng_different_seeds;
+        Alcotest.test_case "split independence" `Quick rng_split_independent;
+        Alcotest.test_case "split_named stability" `Quick rng_split_named_stable;
+        Alcotest.test_case "uniform mean" `Quick rng_float_uniform_mean;
+        Alcotest.test_case "float_range bounds" `Quick rng_float_range;
+        Alcotest.test_case "exponential mean" `Quick rng_exponential_mean;
+        Alcotest.test_case "pareto mean and support" `Quick rng_pareto_properties;
+        Alcotest.test_case "gaussian moments" `Quick rng_gaussian_moments;
+        Alcotest.test_case "int bounds" `Quick rng_int_bounds;
+        Alcotest.test_case "bool probability" `Quick rng_bool_probability;
+      ] );
+  ]

@@ -1,0 +1,6 @@
+(* Aggregates every suite into one Alcotest runner. *)
+
+let () =
+  Alcotest.run "burstsim"
+    (Test_engine.suite @ Test_stats.suite @ Test_net.suite @ Test_transport.suite
+   @ Test_traffic.suite @ Test_fluid.suite @ Test_core.suite)

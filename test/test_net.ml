@@ -1,0 +1,678 @@
+(* Tests for the network layer: units, packets, queues, links, routing,
+   monitors. *)
+
+open Netsim
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let mk_packet ?(flow = 0) ?(src = 1) ?(dst = 0) ?(size = 1000) ?(seq = 0) factory =
+  Packet.make factory ~flow ~src ~dst ~size_bytes:size ~sent_at:Time.zero
+    (Packet.Tcp_data { seq; is_retransmit = false })
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let units_transmission_time () =
+  (* 1000 bytes at 1 Mbps = 8 ms *)
+  let bw = Units.mbps 1. in
+  check_float "tx time" 0.008 (Time.to_sec (Units.transmission_time bw ~bytes:1000));
+  check_float "bytes/s" 125000. (Units.bytes_per_sec bw);
+  check_float "kbps" 5000. (Units.to_bps (Units.kbps 5.));
+  check_float "gbps" 2e9 (Units.to_bps (Units.gbps 2.))
+
+let units_invalid () =
+  Alcotest.check_raises "zero" (Invalid_argument "Units.bps: non-positive") (fun () ->
+      ignore (Units.bps 0.))
+
+(* ------------------------------------------------------------------ *)
+(* Packet *)
+
+let packet_uids_unique () =
+  let f = Packet.factory () in
+  let a = mk_packet f and b = mk_packet f in
+  Alcotest.(check bool) "distinct uids" true (a.Packet.uid <> b.Packet.uid)
+
+let packet_classifiers () =
+  let f = Packet.factory () in
+  let data = mk_packet ~seq:7 f in
+  let ack =
+    Packet.make f ~flow:0 ~src:0 ~dst:1 ~size_bytes:40 ~sent_at:Time.zero
+      (Packet.Tcp_ack { ack = 3; ece = false; sack = [] })
+  in
+  let udp =
+    Packet.make f ~flow:0 ~src:1 ~dst:0 ~size_bytes:100 ~sent_at:Time.zero
+      (Packet.Udp_data { seq = 9 })
+  in
+  Alcotest.(check bool) "data is data" true (Packet.is_data data);
+  Alcotest.(check bool) "ack not data" false (Packet.is_data ack);
+  Alcotest.(check bool) "udp is data" true (Packet.is_data udp);
+  Alcotest.(check (option int)) "seq data" (Some 7) (Packet.seq data);
+  Alcotest.(check (option int)) "seq ack" None (Packet.seq ack);
+  Alcotest.(check (option int)) "seq udp" (Some 9) (Packet.seq udp);
+  Alcotest.(check bool) "not rtx" false (Packet.is_retransmit data)
+
+(* ------------------------------------------------------------------ *)
+(* Droptail *)
+
+let droptail_capacity () =
+  let f = Packet.factory () in
+  let q = Droptail.create ~capacity:2 in
+  Alcotest.(check bool) "first" true (Droptail.enqueue q (mk_packet f) = `Enqueued);
+  Alcotest.(check bool) "second" true (Droptail.enqueue q (mk_packet f) = `Enqueued);
+  Alcotest.(check bool) "third dropped" true (Droptail.enqueue q (mk_packet f) = `Dropped);
+  Alcotest.(check int) "length" 2 (Droptail.length q);
+  ignore (Droptail.dequeue q);
+  Alcotest.(check bool) "room again" true (Droptail.enqueue q (mk_packet f) = `Enqueued)
+
+let droptail_fifo_order () =
+  let f = Packet.factory () in
+  let q = Droptail.create ~capacity:10 in
+  let ps = List.init 5 (fun i -> mk_packet ~seq:i f) in
+  List.iter (fun p -> ignore (Droptail.enqueue q p)) ps;
+  let out = List.init 5 (fun _ -> Option.get (Droptail.dequeue q)) in
+  Alcotest.(check (list (option int)))
+    "fifo"
+    (List.map Packet.seq ps)
+    (List.map Packet.seq out);
+  Alcotest.(check bool) "drained" true (Droptail.dequeue q = None)
+
+(* ------------------------------------------------------------------ *)
+(* RED *)
+
+let red_params capacity =
+  {
+    Red.min_th = 5.;
+    max_th = 15.;
+    max_p = 0.1;
+    w_q = 0.5;
+    (* fast-moving average so tests converge quickly *)
+    capacity;
+    idle_packet_time = 0.001;
+    ecn_mark = false;
+    adaptive = false;
+  }
+
+let red_no_drops_below_min_th () =
+  let f = Packet.factory () in
+  let rng = Rng.create ~seed:1L in
+  let q = Red.create ~rng (red_params 100) in
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "enqueue %d" i)
+      true
+      (Red.enqueue q ~now:Time.zero (mk_packet f) = `Enqueued)
+  done;
+  Alcotest.(check int) "queued" 4 (Red.length q)
+
+let red_always_drops_above_max_th () =
+  let f = Packet.factory () in
+  let rng = Rng.create ~seed:2L in
+  let q = Red.create ~rng (red_params 100) in
+  (* Fill to 40 without dequeue: average chases instantaneous with w_q=0.5,
+     so it passes max_th = 15 well before 40. *)
+  let results = List.init 40 (fun _ -> Red.enqueue q ~now:Time.zero (mk_packet f)) in
+  Alcotest.(check bool) "avg above max_th" true (Red.avg q > 15.);
+  let last = List.nth results 39 in
+  Alcotest.(check bool) "forced drop" true (last = `Dropped)
+
+let red_physical_capacity () =
+  let f = Packet.factory () in
+  let rng = Rng.create ~seed:3L in
+  (* min_th huge: RED never early-drops, only physical overflow. *)
+  let q =
+    Red.create ~rng
+      { (red_params 3) with Red.min_th = 1000.; max_th = 2000.; w_q = 0.001 }
+  in
+  let r = List.init 5 (fun _ -> Red.enqueue q ~now:Time.zero (mk_packet f)) in
+  Alcotest.(check int) "held 3" 3 (Red.length q);
+  Alcotest.(check bool) "4th dropped" true (List.nth r 3 = `Dropped)
+
+let red_early_drop_probabilistic () =
+  let f = Packet.factory () in
+  let rng = Rng.create ~seed:4L in
+  let q = Red.create ~rng (red_params 1000) in
+  (* Hold the queue between thresholds and count early drops. *)
+  let drops = ref 0 and total = 5000 in
+  for _ = 1 to total do
+    (match Red.enqueue q ~now:Time.zero (mk_packet f) with
+    | `Dropped -> incr drops
+    | `Enqueued -> ());
+    (* keep instantaneous length near 10 (between 5 and 15) *)
+    while Red.length q > 10 do
+      ignore (Red.dequeue q ~now:Time.zero)
+    done
+  done;
+  let rate = float_of_int !drops /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "early-drop rate %.3f in (0, 0.3)" rate)
+    true
+    (rate > 0.005 && rate < 0.3)
+
+let red_average_decays_when_idle () =
+  let f = Packet.factory () in
+  let rng = Rng.create ~seed:5L in
+  let q = Red.create ~rng (red_params 100) in
+  for _ = 1 to 10 do
+    ignore (Red.enqueue q ~now:Time.zero (mk_packet f))
+  done;
+  let avg_busy = Red.avg q in
+  while Red.length q > 0 do
+    ignore (Red.dequeue q ~now:(Time.of_sec 1.))
+  done;
+  ignore (Red.enqueue q ~now:(Time.of_sec 10.) (mk_packet f));
+  Alcotest.(check bool) "decayed" true (Red.avg q < avg_busy /. 2.)
+
+let mk_ecn_packet f =
+  Packet.make f ~ecn_capable:true ~flow:0 ~src:1 ~dst:0 ~size_bytes:1000
+    ~sent_at:Time.zero
+    (Packet.Tcp_data { seq = 0; is_retransmit = false })
+
+let red_marks_instead_of_dropping () =
+  let f = Packet.factory () in
+  let rng = Rng.create ~seed:7L in
+  (* max_p = 1 in the marking band: every arrival between thresholds gets
+     an early "drop", which for capable packets becomes a CE mark. *)
+  let q =
+    Red.create ~rng { (red_params 1000) with Red.max_p = 1.; ecn_mark = true }
+  in
+  (* Push the average between min_th (5) and max_th (15). *)
+  let enqueued = ref 0 and dropped = ref 0 in
+  for _ = 1 to 200 do
+    (match Red.enqueue q ~now:Time.zero (mk_ecn_packet f) with
+    | `Enqueued -> incr enqueued
+    | `Dropped -> incr dropped);
+    while Red.length q > 10 do
+      ignore (Red.dequeue q ~now:Time.zero)
+    done
+  done;
+  Alcotest.(check bool) "marks happened" true (Red.marks q > 0);
+  Alcotest.(check int) "no early drops of capable packets" 0 !dropped
+
+let red_drops_non_capable_despite_ecn_mode () =
+  let f = Packet.factory () in
+  let rng = Rng.create ~seed:8L in
+  let q =
+    Red.create ~rng { (red_params 1000) with Red.max_p = 1.; ecn_mark = true }
+  in
+  let dropped = ref 0 in
+  for _ = 1 to 200 do
+    (match Red.enqueue q ~now:Time.zero (mk_packet f) with
+    | `Dropped -> incr dropped
+    | `Enqueued -> ());
+    while Red.length q > 10 do
+      ignore (Red.dequeue q ~now:Time.zero)
+    done
+  done;
+  Alcotest.(check bool) "non-capable still dropped" true (!dropped > 0);
+  Alcotest.(check int) "no marks" 0 (Red.marks q)
+
+let red_adaptive_max_p_moves () =
+  let f = Packet.factory () in
+  let rng = Rng.create ~seed:9L in
+  let q = Red.create ~rng { (red_params 1000) with Red.adaptive = true } in
+  let initial = Red.current_max_p q in
+  (* Sustained congestion above max_th: max_p scales up (one step per 0.5 s). *)
+  let now = ref 0.0 in
+  for _ = 1 to 100 do
+    now := !now +. 0.1;
+    ignore (Red.enqueue q ~now:(Time.of_sec !now) (mk_packet f))
+  done;
+  Alcotest.(check bool) "scaled up under congestion" true
+    (Red.current_max_p q > initial);
+  (* Long quiet period with an empty queue: max_p scales back down. *)
+  while Red.length q > 0 do
+    ignore (Red.dequeue q ~now:(Time.of_sec !now))
+  done;
+  let high = Red.current_max_p q in
+  for _ = 1 to 100 do
+    now := !now +. 1.0;
+    ignore (Red.enqueue q ~now:(Time.of_sec !now) (mk_packet f));
+    ignore (Red.dequeue q ~now:(Time.of_sec !now))
+  done;
+  Alcotest.(check bool) "scaled down when idle" true (Red.current_max_p q < high)
+
+let red_validates_params () =
+  let rng = Rng.create ~seed:6L in
+  Alcotest.check_raises "thresholds" (Invalid_argument "Red.create: bad thresholds")
+    (fun () -> ignore (Red.create ~rng { (red_params 10) with Red.max_th = 1. }))
+
+(* ------------------------------------------------------------------ *)
+(* SFQ *)
+
+let sfq_round_robin_service () =
+  let f = Packet.factory () in
+  let q = Sfq.create ~buckets:4 ~capacity:100 () in
+  (* Find two flows in different buckets. *)
+  let flow_a = 0 in
+  let flow_b =
+    let rec find fl =
+      if Sfq.bucket_of_flow q fl <> Sfq.bucket_of_flow q flow_a then fl else find (fl + 1)
+    in
+    find 1
+  in
+  (* 3 packets of A then 3 of B: round-robin interleaves the service. *)
+  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_a f))) [ 1; 2; 3 ];
+  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_b f))) [ 1; 2; 3 ];
+  let order = List.init 6 (fun _ -> (Option.get (Sfq.dequeue q)).Packet.flow) in
+  let rec alternates = function
+    | a :: b :: rest -> a <> b && alternates (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "interleaved service %s"
+       (String.concat "," (List.map string_of_int order)))
+    true (alternates order)
+
+let sfq_overflow_penalizes_longest () =
+  let f = Packet.factory () in
+  let q = Sfq.create ~buckets:4 ~capacity:4 () in
+  let flow_a = 0 in
+  let flow_b =
+    let rec find fl =
+      if Sfq.bucket_of_flow q fl <> Sfq.bucket_of_flow q flow_a then fl else find (fl + 1)
+    in
+    find 1
+  in
+  (* Fill the whole buffer with the hog A. *)
+  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_a f))) [ 1; 2; 3; 4 ];
+  (* B's arrival evicts one of A's packets rather than being dropped. *)
+  (match Sfq.enqueue q (mk_packet ~flow:flow_b f) with
+  | `Enqueued_dropping victim ->
+      Alcotest.(check int) "victim from hog" flow_a victim.Packet.flow
+  | `Enqueued | `Dropped -> Alcotest.fail "expected eviction");
+  (* A's own arrival at a full buffer with A longest is refused. *)
+  (match Sfq.enqueue q (mk_packet ~flow:flow_a f) with
+  | `Dropped -> ()
+  | `Enqueued | `Enqueued_dropping _ -> Alcotest.fail "expected drop of the hog");
+  Alcotest.(check int) "capacity held" 4 (Sfq.length q)
+
+let sfq_single_flow_fifo () =
+  let f = Packet.factory () in
+  let q = Sfq.create ~capacity:10 () in
+  List.iter (fun i -> ignore (Sfq.enqueue q (mk_packet ~seq:i f))) [ 0; 1; 2 ];
+  let seqs = List.init 3 (fun _ -> Packet.seq (Option.get (Sfq.dequeue q))) in
+  Alcotest.(check (list (option int))) "fifo within flow"
+    [ Some 0; Some 1; Some 2 ] seqs;
+  Alcotest.(check bool) "drained" true (Sfq.dequeue q = None)
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let link_delivery_timing () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let delivered = ref [] in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 10.)
+      ~queue:(Queue_disc.droptail ~capacity:100)
+      ~deliver:(fun p ->
+        delivered := (Time.to_sec (Scheduler.now sched), p) :: !delivered)
+  in
+  (* 1000 B at 1 Mbps = 8 ms serialize + 10 ms propagate = 18 ms. *)
+  Link.send link (mk_packet ~size:1000 f);
+  Scheduler.run sched;
+  match !delivered with
+  | [ (at, _) ] -> check_float "arrival time" 0.018 at
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let link_pipelining () =
+  (* Two packets: serialization is sequential (8ms each), propagation
+     overlaps: arrivals at 18 ms and 26 ms. *)
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let times = ref [] in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 10.)
+      ~queue:(Queue_disc.droptail ~capacity:100)
+      ~deliver:(fun _ -> times := Time.to_sec (Scheduler.now sched) :: !times)
+  in
+  Link.send link (mk_packet ~size:1000 f);
+  Link.send link (mk_packet ~size:1000 f);
+  Scheduler.run sched;
+  Alcotest.(check (list (float 1e-9))) "pipelined" [ 0.018; 0.026 ] (List.rev !times)
+
+let link_preserves_order () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let seqs = ref [] in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:100)
+      ~deliver:(fun p -> seqs := Option.get (Packet.seq p) :: !seqs)
+  in
+  List.iter (fun i -> Link.send link (mk_packet ~seq:i f)) [ 0; 1; 2; 3; 4 ];
+  Scheduler.run sched;
+  Alcotest.(check (list int)) "order" [ 0; 1; 2; 3; 4 ] (List.rev !seqs)
+
+let link_drops_and_counters () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.kbps 1.) (* very slow *)
+      ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:2)
+      ~deliver:ignore
+  in
+  let drops = ref 0 in
+  Link.on_drop link (fun _ _ -> incr drops);
+  (* First starts transmitting immediately (leaves queue), next two queue,
+     remaining two drop. *)
+  List.iter (fun i -> Link.send link (mk_packet ~seq:i f)) [ 0; 1; 2; 3; 4 ];
+  Alcotest.(check int) "arrivals" 5 (Link.arrivals link);
+  Alcotest.(check int) "drops" 2 (Link.drops link);
+  Alcotest.(check int) "listener drops" 2 !drops;
+  Scheduler.run sched;
+  Alcotest.(check int) "departures" 3 (Link.departures link);
+  Alcotest.(check int) "bytes" 3000 (Link.bytes_delivered link)
+
+let link_listeners_fire () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:10)
+      ~deliver:ignore
+  in
+  let arrivals = ref 0 and departs = ref 0 in
+  Link.on_arrival link (fun _ _ -> incr arrivals);
+  Link.on_depart link (fun _ _ -> incr departs);
+  Link.send link (mk_packet f);
+  Scheduler.run sched;
+  Alcotest.(check int) "arrival listener" 1 !arrivals;
+  Alcotest.(check int) "depart listener" 1 !departs
+
+(* ------------------------------------------------------------------ *)
+(* Router *)
+
+let router_routes_by_destination () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let to_a = ref 0 and to_b = ref 0 in
+  let mk_link deliver =
+    Link.create sched ~name:"x" ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:10)
+      ~deliver
+  in
+  let la = mk_link (fun _ -> incr to_a) and lb = mk_link (fun _ -> incr to_b) in
+  let r = Router.create ~name:"gw" in
+  Router.add_route r ~dst:1 la;
+  Router.set_default r lb;
+  Router.receive r (mk_packet ~dst:1 f);
+  Router.receive r (mk_packet ~dst:9 f);
+  Router.receive r (mk_packet ~dst:1 f);
+  Scheduler.run sched;
+  Alcotest.(check int) "to a" 2 !to_a;
+  Alcotest.(check int) "to b (default)" 1 !to_b;
+  Alcotest.(check int) "forwarded" 3 (Router.forwarded r)
+
+let router_no_route_fails () =
+  let f = Packet.factory () in
+  let r = Router.create ~name:"gw" in
+  Alcotest.check_raises "no route" (Failure "Router gw: no route for destination 5")
+    (fun () -> Router.receive r (mk_packet ~dst:5 f))
+
+let router_duplicate_route_rejected () =
+  let sched = Scheduler.create () in
+  let l =
+    Link.create sched ~name:"x" ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:1)
+      ~deliver:ignore
+  in
+  let r = Router.create ~name:"gw" in
+  Router.add_route r ~dst:1 l;
+  Alcotest.check_raises "dup"
+    (Invalid_argument "Router.add_route(gw): duplicate route for 1") (fun () ->
+      Router.add_route r ~dst:1 l)
+
+(* ------------------------------------------------------------------ *)
+(* Node and Monitor *)
+
+let node_handler_dispatch () =
+  let f = Packet.factory () in
+  let n = Node.create ~id:3 in
+  let got = ref None in
+  Node.set_handler n (fun p -> got := Some p);
+  let p = mk_packet ~dst:3 f in
+  Node.receive n p;
+  Alcotest.(check int) "received count" 1 (Node.received n);
+  Alcotest.(check bool) "handler saw packet" true (!got = Some p)
+
+let monitor_arrival_binner_counts_data_only () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:100)
+      ~deliver:ignore
+  in
+  let binned = Monitor.arrival_binner link ~origin:0. ~width:1. in
+  Link.send link (mk_packet f);
+  Link.send link
+    (Packet.make f ~flow:0 ~src:0 ~dst:1 ~size_bytes:40 ~sent_at:Time.zero
+       (Packet.Tcp_ack { ack = 0; ece = false; sack = [] }));
+  Scheduler.run sched;
+  Alcotest.(check int) "counts only data" 1 (Netstats.Binned.total binned)
+
+let monitor_drop_runs () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.kbps 1.) (* glacial *)
+      ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:2)
+      ~deliver:ignore
+  in
+  let runs = Monitor.drop_run_recorder link in
+  (* 1 transmits, 2 queue, then: drop drop, accept (after dequeue), drop. *)
+  List.iter (fun i -> Link.send link (mk_packet ~seq:i f)) [ 0; 1; 2 ];
+  Link.send link (mk_packet ~seq:3 f);
+  Link.send link (mk_packet ~seq:4 f);
+  (* free one slot, then one acceptance breaks the run, then another drop *)
+  Scheduler.run ~until:(Time.of_sec 9.) sched;
+  Link.send link (mk_packet ~seq:5 f);
+  Link.send link (mk_packet ~seq:6 f);
+  Alcotest.(check (list int)) "runs" [ 2; 1 ] (runs ())
+
+let monitor_queue_sampler () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
+      ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:100)
+      ~deliver:ignore
+  in
+  let series =
+    Monitor.queue_sampler sched link ~every:(Time.of_sec 0.25) ~until:(Time.of_sec 2.)
+  in
+  (* Three packets: one transmitting, two queued initially. *)
+  List.iter (fun _ -> Link.send link (mk_packet ~size:1000 f)) [ 1; 2; 3 ];
+  Scheduler.run sched;
+  let values = Netstats.Series.values series in
+  Alcotest.(check bool) "saw queue of 2" true (Array.exists (fun v -> v = 2.) values);
+  Alcotest.(check bool) "saw empty queue" true (Array.exists (fun v -> v = 0.) values)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer *)
+
+let tracer_records_lifecycle () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let tracer = Tracer.create () in
+  let link =
+    Link.create sched ~name:"lnk" ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
+      ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:1)
+      ~deliver:ignore
+  in
+  Tracer.attach tracer link;
+  (* First transmits, second queues, third drops. *)
+  List.iter (fun i -> Link.send link (mk_packet ~flow:i ~seq:i f)) [ 0; 1; 2 ];
+  Scheduler.run sched;
+  let evs = Tracer.events tracer in
+  let kinds = Array.to_list (Array.map (fun e -> e.Tracer.kind) evs) in
+  Alcotest.(check int) "6 events" 6 (List.length kinds);
+  Alcotest.(check int) "3 arrivals" 3
+    (List.length (List.filter (( = ) Tracer.Arrive) kinds));
+  Alcotest.(check int) "1 drop" 1 (List.length (List.filter (( = ) Tracer.Drop) kinds));
+  Alcotest.(check int) "2 deliveries" 2
+    (List.length (List.filter (( = ) Tracer.Deliver) kinds));
+  (* Drops are attributed to the right flow. *)
+  Alcotest.(check int) "flow 2 dropped" 1 (List.length (Tracer.drops_of_flow tracer 2));
+  Alcotest.(check int) "flow 0 clean" 0 (List.length (Tracer.drops_of_flow tracer 0))
+
+let tracer_per_flow_and_bytes () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let tracer = Tracer.create () in
+  let link =
+    Link.create sched ~name:"lnk" ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:100)
+      ~deliver:ignore
+  in
+  Tracer.attach tracer link;
+  List.iter (fun fl -> Link.send link (mk_packet ~flow:fl f)) [ 0; 0; 1 ];
+  Scheduler.run sched;
+  let arrivals = Tracer.per_flow_counts tracer Tracer.Arrive in
+  Alcotest.(check (option int)) "flow 0 twice" (Some 2) (Hashtbl.find_opt arrivals 0);
+  Alcotest.(check (option int)) "flow 1 once" (Some 1) (Hashtbl.find_opt arrivals 1);
+  let bytes = Tracer.delivered_bytes_between tracer ~link:"lnk" 0. 10. in
+  Alcotest.(check int) "all bytes delivered" 3000 bytes
+
+let tracer_text_format () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let tracer = Tracer.create () in
+  let link =
+    Link.create sched ~name:"bottleneck" ~bandwidth:(Units.mbps 10.)
+      ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:10)
+      ~deliver:ignore
+  in
+  Tracer.attach tracer link;
+  Link.send link (mk_packet ~flow:7 ~seq:42 f);
+  Scheduler.run sched;
+  let line = Format.asprintf "%a" Tracer.pp_event (Tracer.events tracer).(0) in
+  Alcotest.(check bool) "has link name" true (Astring_like.contains line "bottleneck");
+  Alcotest.(check bool) "has flow" true (Astring_like.contains line "flow=7");
+  Alcotest.(check bool) "has seq" true (Astring_like.contains line "seq=42");
+  Alcotest.(check bool) "arrive marker" true (String.length line > 0 && line.[0] = '+')
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let sfq_conservation_property =
+  QCheck.Test.make ~name:"sfq conserves packets" ~count:100
+    QCheck.(pair (int_bound 50) (small_list (pair (int_bound 7) bool)))
+    (fun (cap, ops) ->
+      QCheck.assume (cap >= 1);
+      let f = Packet.factory () in
+      let q = Sfq.create ~buckets:4 ~capacity:cap () in
+      let enqueued = ref 0 and evicted = ref 0 and dequeued = ref 0 in
+      List.iter
+        (fun (flow, push) ->
+          if push then
+            match Sfq.enqueue q (mk_packet ~flow f) with
+            | `Enqueued -> incr enqueued
+            | `Dropped -> ()
+            | `Enqueued_dropping _ ->
+                incr enqueued;
+                incr evicted
+          else
+            match Sfq.dequeue q with Some _ -> incr dequeued | None -> ())
+        ops;
+      Sfq.length q = !enqueued - !evicted - !dequeued && Sfq.length q <= cap)
+
+let red_capacity_property =
+  QCheck.Test.make ~name:"red never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 20) (small_list bool))
+    (fun (cap, ops) ->
+      let f = Packet.factory () in
+      let rng = Rng.create ~seed:77L in
+      let q = Red.create ~rng (red_params cap) in
+      List.for_all
+        (fun push ->
+          if push then begin
+            ignore (Red.enqueue q ~now:Time.zero (mk_packet f));
+            Red.length q <= cap
+          end
+          else begin
+            ignore (Red.dequeue q ~now:Time.zero);
+            true
+          end)
+        ops)
+
+let suite =
+  [
+    ( "net.units",
+      [
+        Alcotest.test_case "transmission time" `Quick units_transmission_time;
+        Alcotest.test_case "invalid bandwidth" `Quick units_invalid;
+      ] );
+    ( "net.packet",
+      [
+        Alcotest.test_case "unique uids" `Quick packet_uids_unique;
+        Alcotest.test_case "classifiers" `Quick packet_classifiers;
+      ] );
+    ( "net.droptail",
+      [
+        Alcotest.test_case "capacity" `Quick droptail_capacity;
+        Alcotest.test_case "fifo order" `Quick droptail_fifo_order;
+      ] );
+    ( "net.red",
+      [
+        Alcotest.test_case "no drops below min_th" `Quick red_no_drops_below_min_th;
+        Alcotest.test_case "forced drops above max_th" `Quick red_always_drops_above_max_th;
+        Alcotest.test_case "physical capacity" `Quick red_physical_capacity;
+        Alcotest.test_case "probabilistic early drop" `Quick red_early_drop_probabilistic;
+        Alcotest.test_case "average decays when idle" `Quick red_average_decays_when_idle;
+        Alcotest.test_case "ecn marks instead of dropping" `Quick red_marks_instead_of_dropping;
+        Alcotest.test_case "non-capable packets still drop" `Quick
+          red_drops_non_capable_despite_ecn_mode;
+        Alcotest.test_case "adaptive max_p tracks load" `Quick red_adaptive_max_p_moves;
+        Alcotest.test_case "validates parameters" `Quick red_validates_params;
+      ] );
+    ( "net.sfq",
+      [
+        Alcotest.test_case "round-robin service" `Quick sfq_round_robin_service;
+        Alcotest.test_case "overflow penalizes longest" `Quick sfq_overflow_penalizes_longest;
+        Alcotest.test_case "single flow is fifo" `Quick sfq_single_flow_fifo;
+      ] );
+    ( "net.link",
+      [
+        Alcotest.test_case "serialization + propagation" `Quick link_delivery_timing;
+        Alcotest.test_case "pipelining" `Quick link_pipelining;
+        Alcotest.test_case "order preservation" `Quick link_preserves_order;
+        Alcotest.test_case "drops and counters" `Quick link_drops_and_counters;
+        Alcotest.test_case "listeners" `Quick link_listeners_fire;
+      ] );
+    ( "net.router",
+      [
+        Alcotest.test_case "routes by destination" `Quick router_routes_by_destination;
+        Alcotest.test_case "missing route fails" `Quick router_no_route_fails;
+        Alcotest.test_case "duplicate route rejected" `Quick router_duplicate_route_rejected;
+      ] );
+    ( "net.node",
+      [ Alcotest.test_case "handler dispatch" `Quick node_handler_dispatch ] );
+    ( "net.tracer",
+      [
+        Alcotest.test_case "records packet lifecycle" `Quick tracer_records_lifecycle;
+        Alcotest.test_case "per-flow counts and bytes" `Quick tracer_per_flow_and_bytes;
+        Alcotest.test_case "text format" `Quick tracer_text_format;
+      ] );
+    ( "net.properties",
+      [
+        QCheck_alcotest.to_alcotest sfq_conservation_property;
+        QCheck_alcotest.to_alcotest red_capacity_property;
+      ] );
+    ( "net.monitor",
+      [
+        Alcotest.test_case "arrival binner counts data" `Quick
+          monitor_arrival_binner_counts_data_only;
+        Alcotest.test_case "queue sampler" `Quick monitor_queue_sampler;
+        Alcotest.test_case "drop runs" `Quick monitor_drop_runs;
+      ] );
+  ]

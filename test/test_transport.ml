@@ -1,0 +1,911 @@
+(* Tests for the transport layer: RTO estimation, congestion-control
+   variants, the TCP sender/receiver engines, and lossy-path properties. *)
+
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+module Packet = Netsim.Packet
+open Transport
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_close tol = Alcotest.(check (float tol))
+
+(* ------------------------------------------------------------------ *)
+(* Rto *)
+
+let rto_before_samples () =
+  let r = Rto.create Rto.default_params in
+  check_float "initial" 3.0 (Rto.rto r);
+  Alcotest.(check (option (float 0.))) "no srtt" None (Rto.srtt r)
+
+let rto_after_sample () =
+  let r = Rto.create Rto.default_params in
+  Rto.observe r 1.0;
+  (* srtt = 1.0, rttvar = 0.5 -> rto = 1 + 4*0.5 = 3, above min 1. *)
+  check_float "first sample" 3.0 (Rto.rto r);
+  (* Repeated identical samples shrink rttvar towards 0; rto floors at
+     srtt + granularity but never below min_rto. *)
+  for _ = 1 to 50 do
+    Rto.observe r 1.0
+  done;
+  check_close 0.2 "converged" 1.1 (Rto.rto r)
+
+let rto_backoff_doubles_and_caps () =
+  let r = Rto.create Rto.default_params in
+  Rto.observe r 1.0;
+  let base = Rto.rto r in
+  Rto.backoff r;
+  check_float "doubled" (Stdlib.min 64. (base *. 2.)) (Rto.rto r);
+  for _ = 1 to 20 do
+    Rto.backoff r
+  done;
+  check_float "capped at max" 64. (Rto.rto r);
+  Rto.reset_backoff r;
+  check_float "reset" base (Rto.rto r)
+
+let rto_sample_resets_backoff () =
+  let r = Rto.create Rto.default_params in
+  Rto.observe r 1.0;
+  Rto.backoff r;
+  Rto.observe r 1.0;
+  Alcotest.(check bool) "sample cleared backoff" true (Rto.rto r < 4.)
+
+let rto_quantization () =
+  let r = Rto.create Rto.default_params in
+  Rto.observe r 0.949;
+  (* quantized to 0.9 with granularity 0.1 *)
+  check_close 1e-6 "srtt quantized" 0.9 (Option.get (Rto.srtt r))
+
+let rto_min_clamp () =
+  let r = Rto.create Rto.default_params in
+  for _ = 1 to 60 do
+    Rto.observe r 0.01
+  done;
+  check_float "min rto" 1.0 (Rto.rto r)
+
+(* ------------------------------------------------------------------ *)
+(* Congestion-control variants (driven directly) *)
+
+let info ?(ack = 1) ?(newly = 1) ?rtt ?(flight = 1) ?(now = 0.) () =
+  { Cc.ack; newly_acked = newly; rtt_sample = rtt; flight_before = flight; now }
+
+let reno_slow_start_then_avoidance () =
+  let h = Reno.handle ~initial_ssthresh:4. ~max_window:100. in
+  check_float "initial cwnd" 1. (h.Cc.cwnd ());
+  h.Cc.on_new_ack (info ());
+  check_float "ss +1" 2. (h.Cc.cwnd ());
+  h.Cc.on_new_ack (info ~newly:2 ());
+  check_float "ss doubling" 4. (h.Cc.cwnd ());
+  (* at ssthresh: congestion avoidance, +1/cwnd per ack *)
+  h.Cc.on_new_ack (info ());
+  check_float "ca increment" 4.25 (h.Cc.cwnd ())
+
+let reno_caps_at_max_window () =
+  let h = Reno.handle ~initial_ssthresh:100. ~max_window:8. in
+  h.Cc.on_new_ack (info ~newly:20 ());
+  check_float "capped" 8. (h.Cc.cwnd ())
+
+let reno_fast_recovery_cycle () =
+  let h = Reno.handle ~initial_ssthresh:64. ~max_window:64. in
+  h.Cc.on_new_ack (info ~newly:15 ());
+  check_float "grown" 16. (h.Cc.cwnd ());
+  h.Cc.enter_recovery ~flight:16 ~now:0.;
+  check_float "ssthresh halved" 8. (h.Cc.ssthresh ());
+  check_float "inflated" 11. (h.Cc.cwnd ());
+  h.Cc.dup_ack_inflate ();
+  check_float "inflate +1" 12. (h.Cc.cwnd ());
+  h.Cc.on_full_ack (info ());
+  check_float "deflated to ssthresh" 8. (h.Cc.cwnd ())
+
+let reno_timeout_resets () =
+  let h = Reno.handle ~initial_ssthresh:64. ~max_window:64. in
+  h.Cc.on_new_ack (info ~newly:15 ());
+  h.Cc.on_timeout ~flight:16 ~now:0.;
+  check_float "cwnd 1" 1. (h.Cc.cwnd ());
+  check_float "ssthresh halved" 8. (h.Cc.ssthresh ())
+
+let reno_halving_floor () =
+  let h = Reno.handle ~initial_ssthresh:64. ~max_window:64. in
+  h.Cc.on_timeout ~flight:1 ~now:0.;
+  check_float "ssthresh floor 2" 2. (h.Cc.ssthresh ())
+
+let tahoe_loss_restarts_slow_start () =
+  let h = Tahoe.handle ~initial_ssthresh:64. ~max_window:64. in
+  Alcotest.(check bool) "no fast recovery" false h.Cc.uses_fast_recovery;
+  h.Cc.on_new_ack (info ~newly:15 ());
+  h.Cc.enter_recovery ~flight:16 ~now:0.;
+  check_float "cwnd back to 1" 1. (h.Cc.cwnd ());
+  check_float "ssthresh halved" 8. (h.Cc.ssthresh ())
+
+let newreno_partial_ack () =
+  let h = Newreno.handle ~initial_ssthresh:64. ~max_window:64. in
+  Alcotest.(check bool) "partial stays" true h.Cc.partial_ack_stays;
+  h.Cc.on_new_ack (info ~newly:15 ());
+  h.Cc.enter_recovery ~flight:16 ~now:0.;
+  let before = h.Cc.cwnd () in
+  h.Cc.on_partial_ack (info ~newly:4 ());
+  check_float "deflate by acked minus one" (before -. 3.) (h.Cc.cwnd ())
+
+let vegas_epoch_adjustments () =
+  let params = { Vegas.alpha = 1.; beta = 3.; gamma = 1. } in
+  let h = Vegas.handle ~params ~initial_ssthresh:64. ~max_window:64. () in
+  check_float "vegas starts at 2" 2. (h.Cc.cwnd ());
+  (* End slow start: epoch with diff > gamma. baseRTT=1.0, rtt=2.0,
+     cwnd=2 -> diff = 2*(1-0.5) = 1.0; need > 1, use rtt 3: diff=1.33. *)
+  h.Cc.on_new_ack (info ~ack:1 ~rtt:1.0 ~flight:1 ());
+  (* epoch_mark was 0, so ack=1 ends an epoch; base=1.0, mean=1.0, diff=0:
+     still slow start, grow epoch toggles. *)
+  h.Cc.on_new_ack (info ~ack:5 ~rtt:3.0 ~flight:2 ());
+  (* This ack passes the new mark (1+1=2): epoch ends with mean rtt 3.0;
+     diff = cwnd*(1-1/3) > 1 -> exit slow start with 7/8 decrease. *)
+  let w = h.Cc.cwnd () in
+  Alcotest.(check bool) "left slow start" true (w >= 2. && w < 4.);
+  (* Now in CA. diff < alpha -> +1. Make an epoch with rtt == base. *)
+  let mark = 5 + 2 in
+  h.Cc.on_new_ack (info ~ack:(mark + 1) ~rtt:1.0 ~flight:3 ());
+  check_float "ca linear increase" (w +. 1.) (h.Cc.cwnd ());
+  (* diff > beta -> -1: rtt big. Next mark = prev ack + flight. *)
+  let mark2 = mark + 1 + 3 in
+  h.Cc.on_new_ack (info ~ack:(mark2 + 1) ~rtt:10.0 ~flight:3 ());
+  check_float "ca linear decrease" w (h.Cc.cwnd ())
+
+let vegas_gentler_recovery () =
+  let h = Vegas.handle ~initial_ssthresh:64. ~max_window:64. () in
+  (* Grow a bit in slow start. *)
+  h.Cc.on_new_ack (info ~ack:1 ~newly:6 ~rtt:1.0 ());
+  let w = h.Cc.cwnd () in
+  h.Cc.enter_recovery ~flight:8 ~now:0.;
+  check_float "3/4 decrease + inflation" ((w *. 0.75) +. 3.) (h.Cc.cwnd ());
+  h.Cc.on_timeout ~flight:8 ~now:0.;
+  check_float "timeout to 2" 2. (h.Cc.cwnd ())
+
+let vegas_rejects_bad_params () =
+  Alcotest.check_raises "beta < alpha"
+    (Invalid_argument "Vegas.handle: bad alpha/beta/gamma") (fun () ->
+      ignore
+        (Vegas.handle
+           ~params:{ Vegas.alpha = 3.; beta = 1.; gamma = 1. }
+           ~initial_ssthresh:1. ~max_window:1. ()))
+
+(* ------------------------------------------------------------------ *)
+(* Tcp_sender driven by hand-crafted ACKs *)
+
+type harness = {
+  sched : Scheduler.t;
+  factory : Packet.factory;
+  sender : Tcp_sender.t;
+  outbox : Packet.t list ref;
+}
+
+let make_harness ?(cc = `Reno) ?(adv_window = 64) ?(cwnd_validation = false)
+    ?(limited_transmit = false) ?(pacing = false) () =
+  let sched = Scheduler.create () in
+  let factory = Packet.factory () in
+  let outbox = ref [] in
+  let adv = float_of_int adv_window in
+  let cc =
+    match cc with
+    | `Reno -> Reno.handle ~initial_ssthresh:adv ~max_window:adv
+    | `Tahoe -> Tahoe.handle ~initial_ssthresh:adv ~max_window:adv
+    | `Newreno -> Newreno.handle ~initial_ssthresh:adv ~max_window:adv
+  in
+  let sender =
+    Tcp_sender.create ~cwnd_validation ~limited_transmit ~pacing sched ~factory ~cc
+      ~rto_params:Rto.default_params ~flow:0 ~src:1 ~dst:0 ~mss_bytes:1000
+      ~adv_window
+      ~transmit:(fun p -> outbox := p :: !outbox)
+  in
+  { sched; factory; sender; outbox }
+
+let sent_seqs h = List.rev_map (fun p -> Option.get (Packet.seq p)) !(h.outbox)
+
+let take_outbox h =
+  let out = List.rev !(h.outbox) in
+  h.outbox := [];
+  out
+
+let ack h n =
+  let p =
+    Packet.make h.factory ~flow:0 ~src:0 ~dst:1 ~size_bytes:40
+      ~sent_at:(Scheduler.now h.sched) (Packet.Tcp_ack { ack = n; ece = false; sack = [] })
+  in
+  Tcp_sender.handle_packet h.sender p
+
+let advance h dt = Scheduler.run ~until:(Time.add (Scheduler.now h.sched) (Time.of_sec dt)) h.sched
+
+let sender_initial_window_one () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 10;
+  Alcotest.(check (list int)) "only seq 0" [ 0 ] (sent_seqs h);
+  Alcotest.(check int) "flight" 1 (Tcp_sender.flight h.sender);
+  Alcotest.(check int) "backlog" 9 (Tcp_sender.backlog h.sender)
+
+let sender_slow_start_doubling () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 100;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  (* cwnd 2: sends 1 and 2 *)
+  Alcotest.(check (list int)) "two more" [ 1; 2 ] (List.map (fun p -> Option.get (Packet.seq p)) (take_outbox h));
+  advance h 0.1;
+  ack h 3;
+  (* cwnd 4: sends 3,4,5,6 *)
+  Alcotest.(check int) "four more" 4 (List.length (take_outbox h));
+  check_float "cwnd 4" 4. (Tcp_sender.cwnd h.sender)
+
+let sender_respects_adv_window () =
+  let h = make_harness ~adv_window:3 () in
+  Tcp_sender.write h.sender 100;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  advance h 0.1;
+  ack h 3;
+  (* cwnd would be 4 but adv window caps usable window at 3 *)
+  Alcotest.(check int) "flight capped" 3 (Tcp_sender.flight h.sender)
+
+let sender_fast_retransmit_on_three_dupacks () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 20;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  advance h 0.1;
+  ack h 3;
+  (* flight now seqs 3..6 *)
+  ignore (take_outbox h);
+  (* Loss of 3: three dup ACKs for 3. *)
+  ack h 3;
+  ack h 3;
+  Alcotest.(check int) "not yet" 0 (List.length (take_outbox h));
+  ack h 3;
+  let out = take_outbox h in
+  Alcotest.(check bool) "retransmitted head" true
+    (List.exists (fun p -> Packet.seq p = Some 3 && Packet.is_retransmit p) out);
+  Alcotest.(check bool) "in recovery" true (Tcp_sender.in_recovery h.sender);
+  let st = Tcp_sender.stats h.sender in
+  Alcotest.(check int) "fast rtx counted" 1 st.Tcp_stats.fast_retransmits;
+  Alcotest.(check int) "dup acks counted" 3 st.Tcp_stats.dup_acks;
+  (* A new cumulative ACK ends recovery and deflates. *)
+  advance h 0.1;
+  ack h 7;
+  Alcotest.(check bool) "recovery over" false (Tcp_sender.in_recovery h.sender);
+  check_float "deflated to ssthresh" (Tcp_sender.ssthresh h.sender)
+    (Tcp_sender.cwnd h.sender)
+
+let sender_timeout_and_backoff () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 5;
+  ignore (take_outbox h);
+  (* No ACKs: initial RTO 3 s. *)
+  advance h 3.5;
+  let st = Tcp_sender.stats h.sender in
+  Alcotest.(check int) "one timeout" 1 st.Tcp_stats.timeouts;
+  Alcotest.(check bool) "head retransmitted" true
+    (List.exists (fun p -> Packet.seq p = Some 0 && Packet.is_retransmit p) (take_outbox h));
+  check_float "cwnd collapsed" 1. (Tcp_sender.cwnd h.sender);
+  (* Backed-off timer: next expiry ~6 s later. *)
+  advance h 5.;
+  Alcotest.(check int) "no early second timeout" 1 (Tcp_sender.stats h.sender).Tcp_stats.timeouts;
+  advance h 2.;
+  Alcotest.(check int) "second timeout" 2 (Tcp_sender.stats h.sender).Tcp_stats.timeouts
+
+let sender_no_timeout_when_idle () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 1;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  (* Flight empty: timer cancelled, nothing fires. *)
+  advance h 10.;
+  Alcotest.(check int) "no timeouts" 0 (Tcp_sender.stats h.sender).Tcp_stats.timeouts
+
+let sender_ignores_old_acks () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 5;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  ack h 0;
+  (* stale: below snd_una *)
+  Alcotest.(check int) "snd_una unchanged" 1 (Tcp_sender.snd_una h.sender);
+  Alcotest.(check int) "no dup acks counted" 0 (Tcp_sender.stats h.sender).Tcp_stats.dup_acks
+
+let sender_dupacks_ignored_when_nothing_outstanding () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 1;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  ack h 1;
+  ack h 1;
+  ack h 1;
+  Alcotest.(check int) "no fast rtx" 0 (Tcp_sender.stats h.sender).Tcp_stats.fast_retransmits
+
+let sender_tahoe_no_recovery_state () =
+  let h = make_harness ~cc:`Tahoe () in
+  Tcp_sender.write h.sender 20;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  advance h 0.1;
+  ack h 3;
+  ignore (take_outbox h);
+  ack h 3;
+  ack h 3;
+  ack h 3;
+  Alcotest.(check bool) "tahoe never in recovery" false (Tcp_sender.in_recovery h.sender);
+  check_float "cwnd 1" 1. (Tcp_sender.cwnd h.sender);
+  Alcotest.(check int) "fast rtx counted" 1 (Tcp_sender.stats h.sender).Tcp_stats.fast_retransmits
+
+let sender_cwnd_trace_records () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 10;
+  advance h 0.1;
+  ack h 1;
+  Alcotest.(check bool) "trace non-empty" true
+    (Netstats.Series.length (Tcp_sender.cwnd_trace h.sender) >= 2)
+
+let ack_ece h n =
+  let p =
+    Packet.make h.factory ~flow:0 ~src:0 ~dst:1 ~size_bytes:40
+      ~sent_at:(Scheduler.now h.sched) (Packet.Tcp_ack { ack = n; ece = true; sack = [] })
+  in
+  Tcp_sender.handle_packet h.sender p
+
+let sender_ece_halves_once_per_rtt () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 100;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  advance h 0.1;
+  ack h 3;
+  advance h 0.1;
+  ack h 7;
+  (* cwnd = 8, flight 8. Two ECE acks in the same RTT: one reaction. *)
+  let before = Tcp_sender.cwnd h.sender in
+  ack_ece h 8;
+  let after_first = Tcp_sender.cwnd h.sender in
+  Alcotest.(check bool) "window reduced" true (after_first < before);
+  ack_ece h 9;
+  check_float "second ECE ignored within the RTT"
+    (after_first +. 1. /. after_first) (* the new ACK still grows by 1/cwnd *)
+    (Tcp_sender.cwnd h.sender)
+
+let sender_non_ecn_ignores_ece () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 10;
+  ignore (take_outbox h);
+  advance h 0.1;
+  ack h 1;
+  let before = Tcp_sender.cwnd h.sender in
+  ack_ece h 1;
+  (* duplicate ACK with ECE: reaction happens (sender always honours ECE;
+     capability only controls the flag on outgoing data) *)
+  Alcotest.(check bool) "reacted" true (Tcp_sender.cwnd h.sender <= before)
+
+let sender_cwnd_validation_blocks_idle_growth () =
+  (* App-limited: only 4 segments ever written. After seq 3 goes out the
+     flow has 1 in flight against a window of 4, so the final ACK must not
+     grow a validated window. *)
+  let grow validation =
+    let h = make_harness ~cwnd_validation:validation () in
+    Tcp_sender.write h.sender 4;
+    ignore (take_outbox h);
+    advance h 0.1;
+    ack h 1;
+    (* cwnd 2, sends 1 and 2 *)
+    advance h 0.1;
+    ack h 3;
+    (* cwnd 4, sends 3 (backlog empty): flight 1 *)
+    let before = Tcp_sender.cwnd h.sender in
+    advance h 0.1;
+    ack h 4;
+    Tcp_sender.cwnd h.sender -. before
+  in
+  Alcotest.(check bool) "no growth with validation" true (grow true <= 0.);
+  Alcotest.(check bool) "growth without" true (grow false > 0.)
+
+let sender_limited_transmit_releases_segments () =
+  let run limited =
+    let h = make_harness ~limited_transmit:limited () in
+    Tcp_sender.write h.sender 50;
+    ignore (take_outbox h);
+    advance h 0.1;
+    ack h 1;
+    advance h 0.1;
+    ack h 3;
+    (* window 4, flight 4 (seqs 3-6). *)
+    ignore (take_outbox h);
+    ack h 3;
+    ack h 3;
+    List.length (take_outbox h)
+  in
+  Alcotest.(check int) "two new segments on first two dupacks" 2 (run true);
+  Alcotest.(check int) "nothing without RFC 3042" 0 (run false)
+
+let sender_pacing_spreads_window () =
+  (* With srtt established at ~1 s and cwnd 4, a paced sender must space
+     new segments ~250 ms apart instead of releasing them back-to-back. *)
+  let h = make_harness ~pacing:true () in
+  Tcp_sender.write h.sender 100;
+  ignore (take_outbox h);
+  advance h 1.0;
+  ack h 1;
+  (* srtt ~ 1 s now; cwnd 2. *)
+  advance h 1.0;
+  ack h 2;
+  ignore (take_outbox h);
+  (* cwnd 3: watch the next sends spread out. *)
+  advance h 0.05;
+  let immediately = List.length (take_outbox h) in
+  advance h 2.0;
+  let later = List.length (take_outbox h) in
+  Alcotest.(check bool)
+    (Printf.sprintf "at most 1 right away (got %d), rest paced (%d later)"
+       immediately later)
+    true
+    (immediately <= 1 && later >= 1)
+
+let loop_pacing_transfer_completes () =
+  (* End-to-end sanity: a paced sender still completes a transfer. *)
+  let lsched = Scheduler.create () in
+  let factory = Packet.factory () in
+  let receiver_cell = ref None and sender_cell = ref None in
+  let wire target p =
+    ignore
+      (Scheduler.after lsched (Time.of_sec 0.05) (fun () ->
+           match target with
+           | `R -> Tcp_receiver.handle_packet (Option.get !receiver_cell) p
+           | `S -> Tcp_sender.handle_packet (Option.get !sender_cell) p))
+  in
+  let sender =
+    Tcp_sender.create ~pacing:true lsched ~factory
+      ~cc:(Reno.handle ~initial_ssthresh:64. ~max_window:64.)
+      ~rto_params:Rto.default_params ~flow:0 ~src:1 ~dst:0 ~mss_bytes:1000
+      ~adv_window:64
+      ~transmit:(fun p -> wire `R p)
+  in
+  let receiver =
+    Tcp_receiver.create lsched ~factory ~flow:0 ~src:0 ~dst:1 ~ack_bytes:40
+      ~delayed_ack:false
+      ~transmit:(fun p -> wire `S p)
+  in
+  sender_cell := Some sender;
+  receiver_cell := Some receiver;
+  Tcp_sender.write sender 200;
+  Scheduler.run ~until:(Time.of_sec 120.) lsched;
+  Alcotest.(check int) "all delivered" 200 (Tcp_receiver.delivered receiver)
+
+(* ------------------------------------------------------------------ *)
+(* Tcp_receiver *)
+
+type rharness = {
+  rsched : Scheduler.t;
+  rfactory : Packet.factory;
+  receiver : Tcp_receiver.t;
+  acks : Packet.t list ref;
+}
+
+let make_receiver ?(delayed_ack = false) ?(sack = false) () =
+  let rsched = Scheduler.create () in
+  let rfactory = Packet.factory () in
+  let acks = ref [] in
+  let receiver =
+    Tcp_receiver.create ~sack rsched ~factory:rfactory ~flow:0 ~src:0 ~dst:1
+      ~ack_bytes:40 ~delayed_ack
+      ~transmit:(fun p -> acks := p :: !acks)
+  in
+  { rsched; rfactory; receiver; acks }
+
+let data rh seq =
+  Packet.make rh.rfactory ~flow:0 ~src:1 ~dst:0 ~size_bytes:1000
+    ~sent_at:(Scheduler.now rh.rsched)
+    (Packet.Tcp_data { seq; is_retransmit = false })
+
+let ack_values rh =
+  List.rev_map
+    (fun p ->
+      match p.Packet.payload with Packet.Tcp_ack { ack; _ } -> ack | _ -> -1)
+    !(rh.acks)
+
+let receiver_in_order () =
+  let rh = make_receiver () in
+  List.iter (fun s -> Tcp_receiver.handle_packet rh.receiver (data rh s)) [ 0; 1; 2 ];
+  Alcotest.(check int) "delivered" 3 (Tcp_receiver.delivered rh.receiver);
+  Alcotest.(check (list int)) "cumulative acks" [ 1; 2; 3 ] (ack_values rh)
+
+let receiver_out_of_order_dup_acks () =
+  let rh = make_receiver () in
+  List.iter (fun s -> Tcp_receiver.handle_packet rh.receiver (data rh s)) [ 0; 2; 3; 4 ];
+  (* 2,3,4 out of order: each produces a duplicate ACK of 1. *)
+  Alcotest.(check (list int)) "dup acks" [ 1; 1; 1; 1 ] (ack_values rh);
+  Alcotest.(check int) "only seq 0 delivered" 1 (Tcp_receiver.delivered rh.receiver);
+  (* Filling the hole delivers everything buffered. *)
+  Tcp_receiver.handle_packet rh.receiver (data rh 1);
+  Alcotest.(check int) "all delivered" 5 (Tcp_receiver.delivered rh.receiver);
+  Alcotest.(check (list int)) "jump ack" [ 1; 1; 1; 1; 5 ] (ack_values rh)
+
+let receiver_duplicate_data () =
+  let rh = make_receiver () in
+  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  Alcotest.(check int) "delivered once" 1 (Tcp_receiver.delivered rh.receiver);
+  Alcotest.(check int) "dup discarded" 1 (Tcp_receiver.duplicates_discarded rh.receiver);
+  Alcotest.(check (list int)) "re-ack" [ 1; 1 ] (ack_values rh)
+
+let receiver_delayed_ack_every_second () =
+  let rh = make_receiver ~delayed_ack:true () in
+  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  Alcotest.(check int) "first held" 0 (List.length !(rh.acks));
+  Tcp_receiver.handle_packet rh.receiver (data rh 1);
+  Alcotest.(check (list int)) "acked on second" [ 2 ] (ack_values rh)
+
+let receiver_delayed_ack_timer () =
+  let rh = make_receiver ~delayed_ack:true () in
+  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  Scheduler.run ~until:(Time.of_sec 0.1) rh.rsched;
+  Alcotest.(check int) "still held at 100ms" 0 (List.length !(rh.acks));
+  Scheduler.run ~until:(Time.of_sec 0.25) rh.rsched;
+  Alcotest.(check (list int)) "timer fired by 250ms" [ 1 ] (ack_values rh)
+
+let last_sack rh =
+  match !(rh.acks) with
+  | p :: _ -> (
+      match p.Packet.payload with Packet.Tcp_ack { sack; _ } -> sack | _ -> [])
+  | [] -> []
+
+let receiver_sack_blocks () =
+  let rh = make_receiver ~sack:true () in
+  (* Receive 0, then 2,3, then 6: two out-of-order blocks. *)
+  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  Alcotest.(check (list (pair int int))) "no blocks in order" [] (last_sack rh);
+  Tcp_receiver.handle_packet rh.receiver (data rh 2);
+  Tcp_receiver.handle_packet rh.receiver (data rh 3);
+  Alcotest.(check (list (pair int int))) "one block" [ (2, 4) ] (last_sack rh);
+  Tcp_receiver.handle_packet rh.receiver (data rh 6);
+  Alcotest.(check (list (pair int int))) "two blocks" [ (2, 4); (6, 7) ] (last_sack rh);
+  (* Filling the first hole merges and shrinks the report. *)
+  Tcp_receiver.handle_packet rh.receiver (data rh 1);
+  Alcotest.(check (list (pair int int))) "remaining block" [ (6, 7) ] (last_sack rh)
+
+let receiver_no_sack_blocks_when_disabled () =
+  let rh = make_receiver () in
+  Tcp_receiver.handle_packet rh.receiver (data rh 3);
+  Alcotest.(check (list (pair int int))) "empty" [] (last_sack rh)
+
+let receiver_echoes_ce_as_ece () =
+  let rh = make_receiver () in
+  let p = data rh 0 in
+  p.Packet.ecn_ce <- true;
+  Tcp_receiver.handle_packet rh.receiver p;
+  (* The ACK for the marked segment carries ECE; the next one does not. *)
+  Tcp_receiver.handle_packet rh.receiver (data rh 1);
+  let eces =
+    List.rev_map
+      (fun p ->
+        match p.Packet.payload with Packet.Tcp_ack { ece; _ } -> ece | _ -> false)
+      !(rh.acks)
+  in
+  Alcotest.(check (list bool)) "ece once" [ true; false ] eces
+
+let receiver_delayed_ack_ooo_immediate () =
+  let rh = make_receiver ~delayed_ack:true () in
+  Tcp_receiver.handle_packet rh.receiver (data rh 3);
+  Alcotest.(check (list int)) "immediate dup ack" [ 0 ] (ack_values rh)
+
+(* ------------------------------------------------------------------ *)
+(* Sender + receiver end-to-end over a simple wire *)
+
+type loop = {
+  lsched : Scheduler.t;
+  lsender : Tcp_sender.t;
+  lreceiver : Tcp_receiver.t;
+  data_sent : int ref;
+}
+
+(* Wire both directions with a fixed one-way delay; [drop] decides data
+   packet loss (by uid). ACKs are never dropped. *)
+let make_loop ?(cc = `Reno) ?(delay = 0.05) ~drop () =
+  let lsched = Scheduler.create () in
+  let factory = Packet.factory () in
+  let data_sent = ref 0 in
+  let receiver_cell = ref None and sender_cell = ref None in
+  let wire target p =
+    ignore
+      (Scheduler.after lsched (Time.of_sec delay) (fun () ->
+           match target with
+           | `To_receiver -> Tcp_receiver.handle_packet (Option.get !receiver_cell) p
+           | `To_sender -> Tcp_sender.handle_packet (Option.get !sender_cell) p))
+  in
+  let adv = 64. in
+  let cc =
+    match cc with
+    | `Reno -> Reno.handle ~initial_ssthresh:adv ~max_window:adv
+    | `Newreno -> Newreno.handle ~initial_ssthresh:adv ~max_window:adv
+    | `Tahoe -> Tahoe.handle ~initial_ssthresh:adv ~max_window:adv
+    | `Vegas -> Vegas.handle ~initial_ssthresh:adv ~max_window:adv ()
+  in
+  let lsender =
+    Tcp_sender.create lsched ~factory ~cc ~rto_params:Rto.default_params ~flow:0
+      ~src:1 ~dst:0 ~mss_bytes:1000 ~adv_window:64
+      ~transmit:(fun p ->
+        incr data_sent;
+        if not (drop p) then wire `To_receiver p)
+  in
+  let lreceiver =
+    Tcp_receiver.create lsched ~factory ~flow:0 ~src:0 ~dst:1 ~ack_bytes:40
+      ~delayed_ack:false
+      ~transmit:(fun p -> wire `To_sender p)
+  in
+  sender_cell := Some lsender;
+  receiver_cell := Some lreceiver;
+  { lsched; lsender; lreceiver; data_sent }
+
+let loop_lossless_transfer () =
+  let l = make_loop ~drop:(fun _ -> false) () in
+  Tcp_sender.write l.lsender 200;
+  Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
+  Alcotest.(check int) "all delivered" 200 (Tcp_receiver.delivered l.lreceiver);
+  Alcotest.(check int) "no retransmits" 0 (Tcp_sender.stats l.lsender).Tcp_stats.retransmits;
+  Alcotest.(check int) "no timeouts" 0 (Tcp_sender.stats l.lsender).Tcp_stats.timeouts
+
+let loop_single_loss_fast_retransmit () =
+  let dropped = ref false in
+  (* Drop the first transmission of seq 10 only. *)
+  let drop p =
+    match p.Packet.payload with
+    | Packet.Tcp_data { seq = 10; is_retransmit = false } when not !dropped ->
+        dropped := true;
+        true
+    | _ -> false
+  in
+  let l = make_loop ~drop () in
+  Tcp_sender.write l.lsender 100;
+  Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
+  Alcotest.(check int) "all delivered despite loss" 100 (Tcp_receiver.delivered l.lreceiver);
+  let st = Tcp_sender.stats l.lsender in
+  Alcotest.(check int) "recovered by fast retransmit" 1 st.Tcp_stats.fast_retransmits;
+  Alcotest.(check int) "no timeout needed" 0 st.Tcp_stats.timeouts
+
+let loop_loss_of_last_segment_needs_timeout () =
+  (* The final segment has no successors to generate dup ACKs: only the
+     retransmission timer can recover it. *)
+  let dropped = ref false in
+  let drop p =
+    match p.Packet.payload with
+    | Packet.Tcp_data { seq = 4; is_retransmit = false } when not !dropped ->
+        dropped := true;
+        true
+    | _ -> false
+  in
+  let l = make_loop ~drop () in
+  Tcp_sender.write l.lsender 5;
+  Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
+  Alcotest.(check int) "all delivered" 5 (Tcp_receiver.delivered l.lreceiver);
+  Alcotest.(check bool) "timeout used" true
+    ((Tcp_sender.stats l.lsender).Tcp_stats.timeouts >= 1)
+
+let loop_random_loss_property ~cc ~seed ~loss_rate ~count () =
+  let rng = Rng.create ~seed in
+  let drop p = Packet.is_data p && Rng.bool rng loss_rate in
+  let l = make_loop ~cc ~drop () in
+  Tcp_sender.write l.lsender count;
+  Scheduler.run ~until:(Time.of_sec 2000.) l.lsched;
+  Alcotest.(check int)
+    (Printf.sprintf "complete under %.0f%% loss" (loss_rate *. 100.))
+    count
+    (Tcp_receiver.delivered l.lreceiver);
+  Alcotest.(check bool) "loss caused retransmits" true
+    ((Tcp_sender.stats l.lsender).Tcp_stats.retransmits > 0)
+
+let loop_reno_random_loss () =
+  loop_random_loss_property ~cc:`Reno ~seed:101L ~loss_rate:0.05 ~count:500 ()
+
+let loop_newreno_random_loss () =
+  loop_random_loss_property ~cc:`Newreno ~seed:102L ~loss_rate:0.10 ~count:500 ()
+
+let loop_tahoe_random_loss () =
+  loop_random_loss_property ~cc:`Tahoe ~seed:103L ~loss_rate:0.05 ~count:300 ()
+
+let loop_vegas_random_loss () =
+  loop_random_loss_property ~cc:`Vegas ~seed:104L ~loss_rate:0.05 ~count:300 ()
+
+let loop_heavy_loss_still_completes () =
+  loop_random_loss_property ~cc:`Reno ~seed:105L ~loss_rate:0.3 ~count:100 ()
+
+(* ------------------------------------------------------------------ *)
+(* SACK sender over the wire *)
+
+(* Like make_loop but with SACK enabled on both ends. *)
+let make_sack_loop ?(delay = 0.05) ~drop () =
+  let lsched = Scheduler.create () in
+  let factory = Packet.factory () in
+  let data_sent = ref 0 in
+  let receiver_cell = ref None and sender_cell = ref None in
+  let wire target p =
+    ignore
+      (Scheduler.after lsched (Time.of_sec delay) (fun () ->
+           match target with
+           | `To_receiver -> Tcp_receiver.handle_packet (Option.get !receiver_cell) p
+           | `To_sender -> Tcp_sender.handle_packet (Option.get !sender_cell) p))
+  in
+  let cc = Sack_cc.handle ~initial_ssthresh:64. ~max_window:64. in
+  let lsender =
+    Tcp_sender.create ~sack:true lsched ~factory ~cc ~rto_params:Rto.default_params
+      ~flow:0 ~src:1 ~dst:0 ~mss_bytes:1000 ~adv_window:64
+      ~transmit:(fun p ->
+        incr data_sent;
+        if not (drop p) then wire `To_receiver p)
+  in
+  let lreceiver =
+    Tcp_receiver.create ~sack:true lsched ~factory ~flow:0 ~src:0 ~dst:1
+      ~ack_bytes:40 ~delayed_ack:false
+      ~transmit:(fun p -> wire `To_sender p)
+  in
+  sender_cell := Some lsender;
+  receiver_cell := Some lreceiver;
+  { lsched; lsender; lreceiver; data_sent }
+
+let sack_recovers_multiple_losses_without_timeout () =
+  (* Drop three segments of one window. Reno would need timeouts; SACK's
+     scoreboard retransmits all three holes inside one recovery. *)
+  let dropped = Hashtbl.create 4 in
+  let drop p =
+    match p.Packet.payload with
+    | Packet.Tcp_data { seq = (10 | 12 | 14) as seq; is_retransmit = false }
+      when not (Hashtbl.mem dropped seq) ->
+        Hashtbl.replace dropped seq ();
+        true
+    | _ -> false
+  in
+  let l = make_sack_loop ~drop () in
+  Tcp_sender.write l.lsender 100;
+  Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
+  Alcotest.(check int) "all delivered" 100 (Tcp_receiver.delivered l.lreceiver);
+  let st = Tcp_sender.stats l.lsender in
+  Alcotest.(check int) "no timeout" 0 st.Tcp_stats.timeouts;
+  Alcotest.(check int) "exactly the three holes resent" 3 st.Tcp_stats.retransmits
+
+let reno_same_losses_needs_timeout () =
+  (* The contrast case for the test above, same drop pattern under Reno. *)
+  let dropped = Hashtbl.create 4 in
+  let drop p =
+    match p.Packet.payload with
+    | Packet.Tcp_data { seq = (10 | 12 | 14) as seq; is_retransmit = false }
+      when not (Hashtbl.mem dropped seq) ->
+        Hashtbl.replace dropped seq ();
+        true
+    | _ -> false
+  in
+  let l = make_loop ~cc:`Reno ~drop () in
+  Tcp_sender.write l.lsender 100;
+  Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
+  Alcotest.(check int) "still completes" 100 (Tcp_receiver.delivered l.lreceiver);
+  Alcotest.(check bool) "but pays extra recovery rounds" true
+    ((Tcp_sender.stats l.lsender).Tcp_stats.timeouts >= 1
+    || (Tcp_sender.stats l.lsender).Tcp_stats.fast_retransmits >= 2)
+
+let sack_random_loss_completes () =
+  let rng = Rng.create ~seed:106L in
+  let drop p = Packet.is_data p && Rng.bool rng 0.1 in
+  let l = make_sack_loop ~drop () in
+  Tcp_sender.write l.lsender 500;
+  Scheduler.run ~until:(Time.of_sec 2000.) l.lsched;
+  Alcotest.(check int) "complete under 10% loss" 500
+    (Tcp_receiver.delivered l.lreceiver)
+
+(* ------------------------------------------------------------------ *)
+(* Udp *)
+
+let udp_immediate_transmission () =
+  let sched = Scheduler.create () in
+  let factory = Packet.factory () in
+  let out = ref [] in
+  let s =
+    Udp.create_sender sched ~factory ~flow:0 ~src:1 ~dst:0 ~size_bytes:500
+      ~transmit:(fun p -> out := p :: !out)
+  in
+  Udp.write s 3;
+  Alcotest.(check int) "all sent now" 3 (List.length !out);
+  Alcotest.(check int) "sent counter" 3 (Udp.sent s);
+  let r = Udp.create_receiver () in
+  List.iter (Udp.handle_packet r) !out;
+  Alcotest.(check int) "received" 3 (Udp.received r)
+
+let udp_ignores_tcp () =
+  let factory = Packet.factory () in
+  let r = Udp.create_receiver () in
+  Udp.handle_packet r
+    (Packet.make factory ~flow:0 ~src:1 ~dst:0 ~size_bytes:40 ~sent_at:Time.zero
+       (Packet.Tcp_ack { ack = 1; ece = false; sack = [] }));
+  Alcotest.(check int) "not counted" 0 (Udp.received r)
+
+let suite =
+  [
+    ( "transport.rto",
+      [
+        Alcotest.test_case "initial value" `Quick rto_before_samples;
+        Alcotest.test_case "after samples" `Quick rto_after_sample;
+        Alcotest.test_case "backoff doubles and caps" `Quick rto_backoff_doubles_and_caps;
+        Alcotest.test_case "sample resets backoff" `Quick rto_sample_resets_backoff;
+        Alcotest.test_case "quantization" `Quick rto_quantization;
+        Alcotest.test_case "min clamp" `Quick rto_min_clamp;
+      ] );
+    ( "transport.cc",
+      [
+        Alcotest.test_case "reno slow start / avoidance" `Quick reno_slow_start_then_avoidance;
+        Alcotest.test_case "reno max window cap" `Quick reno_caps_at_max_window;
+        Alcotest.test_case "reno fast recovery cycle" `Quick reno_fast_recovery_cycle;
+        Alcotest.test_case "reno timeout reset" `Quick reno_timeout_resets;
+        Alcotest.test_case "halving floor of 2" `Quick reno_halving_floor;
+        Alcotest.test_case "tahoe restarts slow start" `Quick tahoe_loss_restarts_slow_start;
+        Alcotest.test_case "newreno partial ack" `Quick newreno_partial_ack;
+        Alcotest.test_case "vegas epoch adjustments" `Quick vegas_epoch_adjustments;
+        Alcotest.test_case "vegas gentler recovery" `Quick vegas_gentler_recovery;
+        Alcotest.test_case "vegas parameter validation" `Quick vegas_rejects_bad_params;
+      ] );
+    ( "transport.sender",
+      [
+        Alcotest.test_case "initial window of one" `Quick sender_initial_window_one;
+        Alcotest.test_case "slow-start doubling" `Quick sender_slow_start_doubling;
+        Alcotest.test_case "advertised window cap" `Quick sender_respects_adv_window;
+        Alcotest.test_case "fast retransmit on 3 dup ACKs" `Quick
+          sender_fast_retransmit_on_three_dupacks;
+        Alcotest.test_case "timeout and exponential backoff" `Quick sender_timeout_and_backoff;
+        Alcotest.test_case "no timeout when idle" `Quick sender_no_timeout_when_idle;
+        Alcotest.test_case "old acks ignored" `Quick sender_ignores_old_acks;
+        Alcotest.test_case "dup acks need outstanding data" `Quick
+          sender_dupacks_ignored_when_nothing_outstanding;
+        Alcotest.test_case "tahoe loss handling" `Quick sender_tahoe_no_recovery_state;
+        Alcotest.test_case "cwnd trace recorded" `Quick sender_cwnd_trace_records;
+        Alcotest.test_case "ece halves once per rtt" `Quick sender_ece_halves_once_per_rtt;
+        Alcotest.test_case "rfc2861 validation" `Quick sender_cwnd_validation_blocks_idle_growth;
+        Alcotest.test_case "rfc3042 limited transmit" `Quick
+          sender_limited_transmit_releases_segments;
+        Alcotest.test_case "pacing spreads the window" `Quick sender_pacing_spreads_window;
+        Alcotest.test_case "paced transfer completes" `Quick loop_pacing_transfer_completes;
+        Alcotest.test_case "ece on dup ack" `Quick sender_non_ecn_ignores_ece;
+      ] );
+    ( "transport.receiver",
+      [
+        Alcotest.test_case "in-order delivery" `Quick receiver_in_order;
+        Alcotest.test_case "out-of-order dup acks" `Quick receiver_out_of_order_dup_acks;
+        Alcotest.test_case "duplicate data re-acked" `Quick receiver_duplicate_data;
+        Alcotest.test_case "delayed ack every second segment" `Quick
+          receiver_delayed_ack_every_second;
+        Alcotest.test_case "delayed ack 200ms timer" `Quick receiver_delayed_ack_timer;
+        Alcotest.test_case "out-of-order acked immediately" `Quick
+          receiver_delayed_ack_ooo_immediate;
+        Alcotest.test_case "ce echoed as ece once" `Quick receiver_echoes_ce_as_ece;
+      ] );
+    ( "transport.loop",
+      [
+        Alcotest.test_case "lossless bulk transfer" `Quick loop_lossless_transfer;
+        Alcotest.test_case "single loss -> fast retransmit" `Quick
+          loop_single_loss_fast_retransmit;
+        Alcotest.test_case "tail loss -> timeout" `Quick loop_loss_of_last_segment_needs_timeout;
+        Alcotest.test_case "reno survives 5% random loss" `Slow loop_reno_random_loss;
+        Alcotest.test_case "newreno survives 10% random loss" `Slow loop_newreno_random_loss;
+        Alcotest.test_case "tahoe survives 5% random loss" `Slow loop_tahoe_random_loss;
+        Alcotest.test_case "vegas survives 5% random loss" `Slow loop_vegas_random_loss;
+        Alcotest.test_case "30% loss still completes" `Slow loop_heavy_loss_still_completes;
+      ] );
+    ( "transport.sack",
+      [
+        Alcotest.test_case "receiver reports blocks" `Quick receiver_sack_blocks;
+        Alcotest.test_case "no blocks when disabled" `Quick
+          receiver_no_sack_blocks_when_disabled;
+        Alcotest.test_case "multi-loss recovery without timeout" `Quick
+          sack_recovers_multiple_losses_without_timeout;
+        Alcotest.test_case "reno contrast case" `Quick reno_same_losses_needs_timeout;
+        Alcotest.test_case "random loss completeness" `Slow sack_random_loss_completes;
+      ] );
+    ( "transport.udp",
+      [
+        Alcotest.test_case "immediate transmission" `Quick udp_immediate_transmission;
+        Alcotest.test_case "ignores tcp packets" `Quick udp_ignores_tcp;
+      ] );
+  ]
