@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures fast clean
+.PHONY: all build test bench figures fast check clean
 
 all: build
 
@@ -22,6 +22,17 @@ figures:
 # Smoke-test everything at reduced scale.
 fast:
 	dune exec bench/main.exe -- --fast --skip-micro
+
+# CI gate: build, unit + cram tests, then a telemetry smoke run whose
+# report must validate, plus the events/sec overhead baseline.
+check:
+	dune build @all
+	dune runtest
+	dune exec bin/main.exe -- table1 --fast \
+	  --telemetry=/tmp/burstsim-report.json \
+	  --trace-out=/tmp/burstsim-trace.ndjson
+	dune exec bin/main.exe -- report-check /tmp/burstsim-report.json
+	dune exec bench/main.exe -- --fast --only telemetry
 
 clean:
 	dune clean

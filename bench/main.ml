@@ -18,7 +18,7 @@ let args =
     ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel microbenchmarks");
     ( "--only",
       Arg.String (fun s -> only := Some s),
-      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | micro" );
+      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | micro" );
   ]
 
 let section name = Format.fprintf std "@.==== %s ====@.@." name
@@ -108,6 +108,73 @@ let run_sync () =
   Burstcore.Sync.report std cfg (if !fast then [ 30; 60 ] else [ 20; 30; 40; 50; 60 ]);
   Format.fprintf std "@.";
   Burstcore.Sync.desync_ablation std cfg ~clients:50
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: events/sec with and without a probe             *)
+
+(* The acceptance bar is that telemetry, when off, costs < 2% events/sec
+   against this recorded baseline. Both configurations run the same seed,
+   so the event count is identical and only wall time differs; min-of-N
+   suppresses scheduler noise. *)
+let run_telemetry_bench () =
+  section "Telemetry overhead (events/sec)";
+  let cfg =
+    {
+      (Burstcore.Config.with_clients (config ()) 30) with
+      Burstcore.Config.duration_s = (if !fast then 10. else 30.);
+      warmup_s = 2.;
+    }
+  in
+  let scenario = Burstcore.Scenario.reno in
+  let reps = 3 in
+  let min_wall f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Telemetry.Perf.wall_clock_s () in
+      f ();
+      let dt = Telemetry.Perf.wall_clock_s () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let baseline_wall = min_wall (fun () -> ignore (Burstcore.Run.run cfg scenario)) in
+  let events = ref 0 in
+  let probed_wall =
+    min_wall (fun () ->
+        let probe = Telemetry.Probe.create () in
+        ignore (Burstcore.Run.run ~probe cfg scenario);
+        events := Telemetry.Probe.events_total probe)
+  in
+  let eps wall = if wall > 0. then float_of_int !events /. wall else 0. in
+  let overhead_pct =
+    if baseline_wall > 0. then
+      100. *. (probed_wall -. baseline_wall) /. baseline_wall
+    else 0.
+  in
+  Format.fprintf std "events per run        %12d@." !events;
+  Format.fprintf std "baseline (no probe)   %12.0f ev/s  (%.4f s)@."
+    (eps baseline_wall) baseline_wall;
+  Format.fprintf std "probed                %12.0f ev/s  (%.4f s)@."
+    (eps probed_wall) probed_wall;
+  Format.fprintf std "probe overhead        %12.2f %%@." overhead_pct;
+  let json =
+    Burstcore.Json.Obj
+      [
+        ("scenario", Burstcore.Json.String (Burstcore.Scenario.label scenario));
+        ("clients", Burstcore.Json.Int cfg.Burstcore.Config.clients);
+        ("duration_s", Burstcore.Json.Float cfg.Burstcore.Config.duration_s);
+        ("reps", Burstcore.Json.Int reps);
+        ("events", Burstcore.Json.Int !events);
+        ("baseline_wall_s", Burstcore.Json.Float baseline_wall);
+        ("probed_wall_s", Burstcore.Json.Float probed_wall);
+        ("baseline_events_per_sec", Burstcore.Json.Float (eps baseline_wall));
+        ("probed_events_per_sec", Burstcore.Json.Float (eps probed_wall));
+        ("probe_overhead_pct", Burstcore.Json.Float overhead_pct);
+      ]
+  in
+  Burstcore.Export.write_file "BENCH_telemetry.json"
+    (Burstcore.Json.to_string json ^ "\n");
+  Format.fprintf std "wrote BENCH_telemetry.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator primitives                *)
@@ -242,5 +309,6 @@ let () =
   if wants "fluid" then run_fluid ();
   if wants "parking" then run_parking_lot ();
   if wants "twoway" then run_twoway ();
+  if wants "telemetry" then run_telemetry_bench ();
   if (not !skip_micro) && wants "micro" then run_micro ();
   Format.pp_print_flush std ()

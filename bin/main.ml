@@ -71,15 +71,110 @@ let scenario_conv =
 let progress label = Format.eprintf "running %s...@." label
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry options (shared by the simulation subcommands)            *)
+
+type tele_opts = {
+  report_out : string option; (* None = off, Some "-" = stderr *)
+  trace_out : string option;
+  want_progress : bool;
+}
+
+let tele_term =
+  let report_out =
+    let doc =
+      "Collect run telemetry (phase timings, event counts, queue high-water \
+       marks, events/sec) and write the JSON report to $(docv), or to stderr \
+       when $(docv) is omitted."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "telemetry" ] ~docv:"FILE" ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Write every simulation event (packet, TCP congestion decision, RED \
+       queue decision) as one NDJSON line to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let want_progress =
+    let doc = "Report per-run progress with an ETA on stderr." in
+    Arg.(value & flag & info [ "progress" ] ~doc)
+  in
+  Term.(
+    const (fun report_out trace_out want_progress ->
+        { report_out; trace_out; want_progress })
+    $ report_out $ trace_out $ want_progress)
+
+(* Build the probe + sinks a subcommand asked for, run [f probe notify]
+   under the "total" phase, emit the report, and return [f]'s result.
+   [notify] is the after-each-run hook; it feeds the progress reporter. *)
+let open_sink path =
+  try open_out path
+  with Sys_error msg ->
+    Format.eprintf "burstsim: cannot open %s@." msg;
+    exit 1
+
+let with_telemetry ~label ?(total_runs = 0) opts f =
+  if opts.report_out = None && opts.trace_out = None && not opts.want_progress
+  then f None (fun (_ : string) -> ())
+  else begin
+    let probe = Telemetry.Probe.create () in
+    let trace_oc = Option.map open_sink opts.trace_out in
+    (match trace_oc with
+    | Some oc ->
+        ignore
+          (Telemetry.Event_bus.subscribe probe.Telemetry.Probe.bus
+             (Telemetry.Event_bus.ndjson_writer oc))
+    | None -> ());
+    let reporter =
+      if opts.want_progress && total_runs > 0 then
+        Some (Telemetry.Progress.create ~total:total_runs ())
+      else None
+    in
+    let notify point =
+      match reporter with
+      | Some r ->
+          Telemetry.Progress.step r
+            ~events:(Telemetry.Probe.events_total probe)
+            point
+      | None -> ()
+    in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Option.iter close_out trace_oc)
+        (fun () ->
+          Telemetry.Probe.time (Some probe) "total" (fun () ->
+              f (Some probe) notify))
+    in
+    (match reporter with Some r -> Telemetry.Progress.finish r | None -> ());
+    let report = Telemetry.Report.of_probe ~label probe in
+    (match opts.report_out with
+    | Some "-" ->
+        prerr_endline
+          (Burstcore.Json.to_string (Telemetry.Report.to_json report))
+    | Some path -> (
+        match Burstcore.Export.write_run_report path report with
+        | () -> Format.eprintf "wrote telemetry report to %s@." path
+        | exception Sys_error msg ->
+            Format.eprintf "burstsim: cannot write %s@." msg;
+            exit 1)
+    | None -> ());
+    result
+  end
+
+(* ------------------------------------------------------------------ *)
 (* table1                                                              *)
 
 let table1_cmd =
-  let run duration seed fast =
-    Burstcore.Figures.table1 std (base_config ~duration ~seed ~fast)
+  let run duration seed fast tele =
+    with_telemetry ~label:"table1" tele (fun _probe _notify ->
+        Burstcore.Figures.table1 std (base_config ~duration ~seed ~fast))
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Print the simulation parameters (Table 1).")
-    Term.(const run $ duration $ seed $ fast)
+    Term.(const run $ duration $ seed $ fast $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* fig N                                                               *)
@@ -88,8 +183,8 @@ let fig_number =
   let doc = "Figure number (2-13)." in
   Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
 
-let render_sweep_figure n cfg counts =
-  let sweep = Burstcore.Figures.run_sweep ~progress cfg counts in
+let render_sweep_figure ?probe ?notify n cfg counts =
+  let sweep = Burstcore.Figures.run_sweep ?probe ?notify ~progress cfg counts in
   match n with
   | 2 -> Burstcore.Figures.fig2 std sweep cfg
   | 3 -> Burstcore.Figures.fig3 std sweep
@@ -97,20 +192,28 @@ let render_sweep_figure n cfg counts =
   | 13 -> Burstcore.Figures.fig13 std sweep
   | _ -> assert false
 
+let n_paper_series = List.length Burstcore.Scenario.paper_series
+
 let replicates_opt =
   let doc = "Independent seeds per point (figure 2 only)." in
   Arg.(value & opt int 1 & info [ "replicates" ] ~docv:"R" ~doc)
 
 let fig_cmd =
-  let run n duration seed fast clients_list replicates =
+  let run n duration seed fast clients_list replicates tele =
     let cfg = base_config ~duration ~seed ~fast in
+    let counts = sweep_counts ~fast ~clients_list in
+    let sweep_runs = n_paper_series * List.length counts in
     match n with
     | 2 when replicates > 1 ->
-        Burstcore.Figures.fig2_replicated std cfg
-          (sweep_counts ~fast ~clients_list)
-          ~replicates
+        with_telemetry ~label:"fig 2 (replicated)"
+          ~total_runs:(sweep_runs * replicates) tele (fun probe notify ->
+            Burstcore.Figures.fig2_replicated ?probe ~notify std cfg counts
+              ~replicates)
     | 2 | 3 | 4 | 13 ->
-        render_sweep_figure n cfg (sweep_counts ~fast ~clients_list)
+        with_telemetry
+          ~label:(Printf.sprintf "fig %d" n)
+          ~total_runs:sweep_runs tele
+          (fun probe notify -> render_sweep_figure ?probe ~notify n cfg counts)
     | _ -> (
         match
           List.find_opt
@@ -118,42 +221,64 @@ let fig_cmd =
             Burstcore.Figures.cwnd_figures
         with
         | Some (k, scenario, clients) ->
-            Burstcore.Figures.fig_cwnd std cfg ~scenario ~clients
-              ~label:(Printf.sprintf "Figure %d" k)
+            with_telemetry
+              ~label:(Printf.sprintf "fig %d" k)
+              ~total_runs:1 tele
+              (fun probe notify ->
+                Burstcore.Figures.fig_cwnd ?probe std cfg ~scenario ~clients
+                  ~label:(Printf.sprintf "Figure %d" k);
+                notify
+                  (Printf.sprintf "%s n=%d"
+                     (Burstcore.Scenario.label scenario)
+                     clients))
         | None ->
             Format.eprintf "no such figure: %d (valid: 2-13)@." n;
             exit 1)
   in
   Cmd.v
     (Cmd.info "fig" ~doc:"Regenerate one figure of the paper.")
-    Term.(const run $ fig_number $ duration $ seed $ fast $ clients_list $ replicates_opt)
+    Term.(
+      const run $ fig_number $ duration $ seed $ fast $ clients_list
+      $ replicates_opt $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* all                                                                 *)
 
 let all_cmd =
-  let run duration seed fast clients_list =
+  let run duration seed fast clients_list tele =
     let cfg = base_config ~duration ~seed ~fast in
-    Burstcore.Figures.table1 std cfg;
-    let sweep = Burstcore.Figures.run_sweep ~progress cfg (sweep_counts ~fast ~clients_list) in
-    Format.fprintf std "@.";
-    Burstcore.Figures.fig2 std sweep cfg;
-    Format.fprintf std "@.";
-    Burstcore.Figures.fig3 std sweep;
-    Format.fprintf std "@.";
-    Burstcore.Figures.fig4 std sweep;
-    Format.fprintf std "@.";
-    Burstcore.Figures.fig13 std sweep;
-    List.iter
-      (fun (k, scenario, clients) ->
+    let counts = sweep_counts ~fast ~clients_list in
+    let total_runs =
+      (n_paper_series * List.length counts)
+      + List.length Burstcore.Figures.cwnd_figures
+    in
+    with_telemetry ~label:"all" ~total_runs tele (fun probe notify ->
+        Burstcore.Figures.table1 std cfg;
+        let sweep =
+          Burstcore.Figures.run_sweep ?probe ~notify ~progress cfg counts
+        in
         Format.fprintf std "@.";
-        Burstcore.Figures.fig_cwnd std cfg ~scenario ~clients
-          ~label:(Printf.sprintf "Figure %d" k))
-      Burstcore.Figures.cwnd_figures
+        Burstcore.Figures.fig2 std sweep cfg;
+        Format.fprintf std "@.";
+        Burstcore.Figures.fig3 std sweep;
+        Format.fprintf std "@.";
+        Burstcore.Figures.fig4 std sweep;
+        Format.fprintf std "@.";
+        Burstcore.Figures.fig13 std sweep;
+        List.iter
+          (fun (k, scenario, clients) ->
+            Format.fprintf std "@.";
+            Burstcore.Figures.fig_cwnd ?probe std cfg ~scenario ~clients
+              ~label:(Printf.sprintf "Figure %d" k);
+            notify
+              (Printf.sprintf "fig %d: %s n=%d" k
+                 (Burstcore.Scenario.label scenario)
+                 clients))
+          Burstcore.Figures.cwnd_figures)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure.")
-    Term.(const run $ duration $ seed $ fast $ clients_list)
+    Term.(const run $ duration $ seed $ fast $ clients_list $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* run — one custom experiment                                         *)
@@ -175,11 +300,18 @@ let run_cmd =
     let doc = "Print the metrics as a JSON document instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run scenario clients duration seed fast json =
+  let run scenario clients duration seed fast json tele =
     let cfg =
       Burstcore.Config.with_clients (base_config ~duration ~seed ~fast) clients
     in
-    let m = Burstcore.Run.run ~trace_clients:[ 0 ] cfg scenario in
+    let m =
+      with_telemetry ~label:(Burstcore.Scenario.label scenario)
+        ~total_runs:1 tele (fun probe notify ->
+          let m = Burstcore.Run.run ?probe ~trace_clients:[ 0 ] cfg scenario in
+          notify
+            (Printf.sprintf "%s n=%d" (Burstcore.Scenario.label scenario) clients);
+          m)
+    in
     if json then
       Format.fprintf std "%s@."
         (Burstcore.Json.to_string
@@ -199,7 +331,8 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one scenario and print its metrics.")
-    Term.(const run $ scenario $ clients $ duration $ seed $ fast $ json)
+    Term.(
+      const run $ scenario $ clients $ duration $ seed $ fast $ json $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace — packet-level event trace of the bottleneck                  *)
@@ -217,16 +350,23 @@ let trace_cmd =
     let doc = "Output file; stdout when omitted." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run scenario clients out duration seed fast =
+  let run scenario clients out duration seed fast tele =
     let cfg =
       Burstcore.Config.with_clients (base_config ~duration ~seed ~fast) clients
     in
     let tracer = Netsim.Tracer.create () in
     let m =
-      Burstcore.Run.run
-        ~prepare:(fun net ->
-          Netsim.Tracer.attach tracer (Burstcore.Dumbbell.bottleneck net))
-        cfg scenario
+      with_telemetry ~label:(Burstcore.Scenario.label scenario) ~total_runs:1
+        tele (fun probe notify ->
+          let m =
+            Burstcore.Run.run ?probe
+              ~prepare:(fun net ->
+                Netsim.Tracer.attach tracer (Burstcore.Dumbbell.bottleneck net))
+              cfg scenario
+          in
+          notify
+            (Printf.sprintf "%s n=%d" (Burstcore.Scenario.label scenario) clients);
+          m)
     in
     (match out with
     | Some path ->
@@ -242,7 +382,7 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:
          "Run one scenario and emit an ns-style packet event trace of the           bottleneck link.")
-    Term.(const run $ scenario $ clients $ out $ duration $ seed $ fast)
+    Term.(const run $ scenario $ clients $ out $ duration $ seed $ fast $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* selfsim — extension: heavy-tailed sources vs Poisson                *)
@@ -306,10 +446,15 @@ let export_cmd =
     let doc = "Output file." in
     Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run format out duration seed fast clients_list =
+  let run format out duration seed fast clients_list tele =
     let cfg = base_config ~duration ~seed ~fast in
+    let counts = sweep_counts ~fast ~clients_list in
     let sweep =
-      Burstcore.Figures.run_sweep ~progress cfg (sweep_counts ~fast ~clients_list)
+      with_telemetry ~label:"export"
+        ~total_runs:(n_paper_series * List.length counts)
+        tele
+        (fun probe notify ->
+          Burstcore.Figures.run_sweep ?probe ~notify ~progress cfg counts)
     in
     let contents =
       match format with
@@ -322,7 +467,9 @@ let export_cmd =
   Cmd.v
     (Cmd.info "export"
        ~doc:"Run the paper sweep and write the results as JSON or CSV.")
-    Term.(const run $ format $ out $ duration $ seed $ fast $ clients_list)
+    Term.(
+      const run $ format $ out $ duration $ seed $ fast $ clients_list
+      $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* parking — multi-hop fairness experiment                            *)
@@ -354,6 +501,42 @@ let twoway_cmd =
     Term.(const run $ duration $ seed $ fast $ clients_list)
 
 (* ------------------------------------------------------------------ *)
+(* report-check — validate a --telemetry report file                   *)
+
+let report_check_cmd =
+  let file =
+    let doc = "Report file written by --telemetry=FILE." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic =
+      try open_in file
+      with Sys_error msg ->
+        Format.eprintf "burstsim: cannot read %s@." msg;
+        exit 1
+    in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let checked =
+      Result.bind (Burstcore.Json.parse contents) Telemetry.Report.validate
+    in
+    match checked with
+    | Ok () -> print_endline "report ok"
+    | Error msg ->
+        Format.eprintf "%s: invalid telemetry report: %s@." file msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "report-check"
+       ~doc:
+         "Validate a JSON telemetry report written by --telemetry=FILE (used \
+          by 'make check').")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
@@ -361,6 +544,6 @@ let main =
        ~doc:
          "Reproduction of 'On the Burstiness of the TCP Congestion-Control \
           Mechanism in a Distributed Computing System' (ICDCS 2000).")
-    [ table1_cmd; fig_cmd; all_cmd; run_cmd; trace_cmd; selfsim_cmd; sync_cmd; fluid_cmd; parking_cmd; twoway_cmd; export_cmd ]
+    [ table1_cmd; fig_cmd; all_cmd; run_cmd; trace_cmd; selfsim_cmd; sync_cmd; fluid_cmd; parking_cmd; twoway_cmd; export_cmd; report_check_cmd ]
 
 let () = exit (Cmd.eval main)

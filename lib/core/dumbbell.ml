@@ -53,9 +53,9 @@ let red_params cfg ~ecn_mark ~adaptive =
     adaptive;
   }
 
-let gateway_queue cfg scenario rng =
+let gateway_queue ?bus cfg scenario rng =
   let red ~ecn_mark ~adaptive =
-    Queue_disc.red
+    Queue_disc.red ?bus ~name:"gateway"
       ~rng:(Rng.split_named rng "red-gateway")
       (red_params cfg ~ecn_mark ~adaptive)
   in
@@ -66,7 +66,7 @@ let gateway_queue cfg scenario rng =
   | Scenario.Red_adaptive -> red ~ecn_mark:false ~adaptive:true
   | Scenario.Sfq_gw -> Queue_disc.sfq ~capacity:cfg.Config.buffer_packets ()
 
-let create cfg scenario =
+let create ?bus cfg scenario =
   Config.validate cfg;
   let n = cfg.Config.clients in
   let sched = Scheduler.create () in
@@ -93,7 +93,7 @@ let create cfg scenario =
     end
   in
   let bottleneck_delay = Time.of_sec cfg.Config.bottleneck_delay_s in
-  let gateway_queue = gateway_queue cfg scenario rng in
+  let gateway_queue = gateway_queue ?bus cfg scenario rng in
   let bottleneck =
     Link.create sched ~name:"bottleneck" ~bandwidth:bottleneck_bw
       ~delay:bottleneck_delay ~queue:gateway_queue
@@ -139,7 +139,7 @@ let create cfg scenario =
             let sender =
               Transport.Tcp_sender.create ~ecn_capable ~sack
                 ~cwnd_validation:cfg.Config.cwnd_validation
-                ~pacing:cfg.Config.pacing sched ~factory
+                ~pacing:cfg.Config.pacing ?bus sched ~factory
                 ~cc:(make_cc cfg cc) ~rto_params:cfg.Config.rto ~flow:i
                 ~src:(client_id i) ~dst:server_id
                 ~mss_bytes:cfg.Config.packet_bytes
@@ -206,6 +206,8 @@ let tcp_stats_total t =
           Transport.Tcp_stats.add acc (Transport.Tcp_sender.stats sender)
       | Udp_end _ -> acc)
     (Transport.Tcp_stats.create ()) t.endpoints
+
+let gateway_queue_high_water_mark t = Queue_disc.high_water_mark t.gateway_queue
 
 let gateway_marks t =
   match t.gateway_queue with

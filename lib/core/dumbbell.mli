@@ -8,8 +8,11 @@
 
 type t
 
-val create : Config.t -> Scenario.t -> t
-(** Fresh scheduler, RNG streams, topology and transports. *)
+val create : ?bus:Telemetry.Event_bus.t -> Config.t -> Scenario.t -> t
+(** Fresh scheduler, RNG streams, topology and transports. When [bus] is
+    given it is wired into the RED gateway queue (as ["gateway"]) and
+    every TCP sender, so queue-discipline decisions and congestion
+    reactions publish there. *)
 
 val scheduler : t -> Sim_engine.Scheduler.t
 
@@ -41,6 +44,9 @@ val tcp_stats_total : t -> Transport.Tcp_stats.t
 val segments_sent_total : t -> int
 (** Data packets put on the wire by all clients (TCP: includes
     retransmissions; UDP: datagrams). *)
+
+val gateway_queue_high_water_mark : t -> int
+(** Peak gateway queue occupancy (packets) seen so far. *)
 
 val gateway_marks : t -> int
 (** ECN CE marks applied by the gateway queue (0 for FIFO / non-ECN RED). *)

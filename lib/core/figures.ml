@@ -3,11 +3,11 @@ type sweep_result = (Scenario.t * Metrics.t list) list
 let default_client_counts =
   [ 2; 5; 10; 15; 20; 25; 30; 34; 36; 38; 39; 40; 42; 46; 50; 55; 60 ]
 
-let run_sweep ?(progress = fun _ -> ()) cfg ns =
+let run_sweep ?probe ?notify ?(progress = fun _ -> ()) cfg ns =
   List.map
     (fun scenario ->
       progress (Scenario.label scenario);
-      (scenario, Sweep.over_clients cfg scenario ns))
+      (scenario, Sweep.over_clients ?probe ?notify cfg scenario ns))
     Scenario.paper_series
 
 let table1 ppf cfg =
@@ -105,12 +105,13 @@ let fig13 ppf sweep =
   plot_series ppf sweep ~scenarios:Scenario.tcp_series ~extra_first_series:[]
     ~cell:(fun m -> m.Metrics.timeout_dupack_ratio)
 
-let fig2_replicated ppf cfg ns ~replicates =
+let fig2_replicated ?probe ?notify ppf cfg ns ~replicates =
   Format.fprintf ppf
     "Figure 2 (replicated): c.o.v. as mean +/- std over %d seeds@.@." replicates;
   let per_scenario =
     List.map
-      (fun scenario -> (scenario, Sweep.replicated cfg scenario ~replicates ns))
+      (fun scenario ->
+        (scenario, Sweep.replicated ?probe ?notify cfg scenario ~replicates ns))
       Scenario.paper_series
   in
   let header =
@@ -143,11 +144,11 @@ let cwnd_figures =
     (12, Scenario.vegas, 60);
   ]
 
-let fig_cwnd ppf cfg ~scenario ~clients ~label =
+let fig_cwnd ?probe ppf cfg ~scenario ~clients ~label =
   let cfg = Config.with_clients cfg clients in
   let trace_clients = [ 0; clients / 2; clients - 1 ] in
   let trace_clients = List.sort_uniq Int.compare trace_clients in
-  let m = Run.run ~trace_clients cfg scenario in
+  let m = Run.run ?probe ~trace_clients cfg scenario in
   Format.fprintf ppf
     "%s: congestion window evolution, %s, %d clients (traced clients %s)@.@." label
     (Scenario.label scenario) clients
@@ -183,13 +184,13 @@ let fig_cwnd ppf cfg ~scenario ~clients ~label =
     m.Metrics.timeouts m.Metrics.fast_retransmits m.Metrics.loss_pct m.Metrics.cov
     m.Metrics.analytic_cov
 
-let queue_occupancy ppf cfg ~clients =
+let queue_occupancy ?probe ppf cfg ~clients =
   Format.fprintf ppf
     "Extension figure: gateway queue occupancy, %d clients (B = %d)@.@." clients
     cfg.Config.buffer_packets;
   let cfg = Config.with_clients cfg clients in
   let sampled scenario =
-    let m = Run.run ~sample_queue:true cfg scenario in
+    let m = Run.run ?probe ~sample_queue:true cfg scenario in
     (m, Option.get m.Metrics.queue_series)
   in
   let reno_m, reno_q = sampled Scenario.reno in

@@ -9,9 +9,17 @@ type sweep_result = (Scenario.t * Metrics.t list) list
 val default_client_counts : int list
 (** The swept x-axis: 2..60 clients, denser around the 38/39 crossover. *)
 
-val run_sweep : ?progress:(string -> unit) -> Config.t -> int list -> sweep_result
+val run_sweep :
+  ?probe:Telemetry.Probe.t ->
+  ?notify:(string -> unit) ->
+  ?progress:(string -> unit) ->
+  Config.t ->
+  int list ->
+  sweep_result
 (** Runs the six paper scenarios over the given client counts.
-    [progress] is called with a label before each run. *)
+    [progress] is called with a scenario label before each series;
+    [notify] with a point label after each individual run (see
+    {!Sweep.over_clients}); [probe] instruments every run. *)
 
 val table1 : Format.formatter -> Config.t -> unit
 
@@ -20,7 +28,13 @@ val fig2 : Format.formatter -> sweep_result -> Config.t -> unit
     including the analytic Poisson baseline. *)
 
 val fig2_replicated :
-  Format.formatter -> Config.t -> int list -> replicates:int -> unit
+  ?probe:Telemetry.Probe.t ->
+  ?notify:(string -> unit) ->
+  Format.formatter ->
+  Config.t ->
+  int list ->
+  replicates:int ->
+  unit
 (** Figure 2 with [replicates] independent seeds per point, reported as
     mean +/- sample standard deviation. Runs its own sweep. *)
 
@@ -34,6 +48,7 @@ val fig13 : Format.formatter -> sweep_result -> unit
 (** Ratio of timeouts to duplicate ACKs vs #clients (TCP variants). *)
 
 val fig_cwnd :
+  ?probe:Telemetry.Probe.t ->
   Format.formatter ->
   Config.t ->
   scenario:Scenario.t ->
@@ -46,7 +61,8 @@ val fig_cwnd :
 val cwnd_figures : (int * Scenario.t * int) list
 (** [(figure number, scenario, clients)] for Figures 5–12. *)
 
-val queue_occupancy : Format.formatter -> Config.t -> clients:int -> unit
+val queue_occupancy :
+  ?probe:Telemetry.Probe.t -> Format.formatter -> Config.t -> clients:int -> unit
 (** Extension figure: gateway queue-length evolution for Reno vs Vegas at
     the same load, with summary statistics — §3.3's claim that Vegas needs
     far less buffer, shown directly. *)

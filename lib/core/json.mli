@@ -1,11 +1,15 @@
 (** Minimal self-contained JSON, for exporting experiment results.
 
+    An alias of {!Telemetry.Json} (where the implementation lives, so the
+    telemetry library can serialise without depending on burstcore); the
+    type equality below makes values interchangeable between the two.
+
     Encoder and parser for the JSON subset the exporter emits (all of
     RFC 8259 except surrogate-pair escapes). Round-trip property:
     [parse (to_string v) = Ok v] for every value built from these
     constructors with finite floats. *)
 
-type t =
+type t = Telemetry.Json.t =
   | Null
   | Bool of bool
   | Int of int

@@ -2,139 +2,227 @@ module Time = Sim_engine.Time
 module Scheduler = Sim_engine.Scheduler
 module Rng = Sim_engine.Rng
 
-let run ?(trace_clients = []) ?(sample_queue = false) ?(measure_sync = false)
-    ?(prepare = fun (_ : Dumbbell.t) -> ()) cfg scenario =
-  let net = Dumbbell.create cfg scenario in
-  prepare net;
-  let sched = Dumbbell.scheduler net in
-  let bottleneck = Dumbbell.bottleneck net in
-  let horizon = Time.of_sec cfg.Config.duration_s in
-  let binner =
-    Netsim.Monitor.arrival_binner bottleneck ~origin:cfg.Config.warmup_s
-      ~width:(Config.rtt_prop_s cfg)
+let run ?probe ?(trace_clients = []) ?(sample_queue = false)
+    ?(measure_sync = false) ?(prepare = fun (_ : Dumbbell.t) -> ()) cfg scenario
+    =
+  let time name f = Telemetry.Probe.time probe name f in
+  (* Only hand the bus to producers when someone is listening: with no
+     subscribers the hot path must not pay for per-packet publishes. *)
+  let bus =
+    match probe with
+    | Some p when Telemetry.Event_bus.has_subscribers p.Telemetry.Probe.bus ->
+        Some p.Telemetry.Probe.bus
+    | Some _ | None -> None
   in
-  let per_flow_binners =
-    if measure_sync && cfg.Config.clients >= 2 then begin
-      let binners =
-        Array.init cfg.Config.clients (fun _ ->
-            Netstats.Binned.create ~origin:cfg.Config.warmup_s
-              ~width:(Config.rtt_prop_s cfg) ())
-      in
-      Netsim.Link.on_arrival bottleneck (fun now p ->
-          let flow = p.Netsim.Packet.flow in
-          if Netsim.Packet.is_data p && flow >= 0 && flow < Array.length binners
-          then
-            Netstats.Binned.record binners.(flow) (Time.to_sec now));
-      Some binners
-    end
-    else None
-  in
-  let drop_runs = Netsim.Monitor.drop_run_recorder bottleneck in
-  let delay_stats = Netstats.Welford.create () in
-  let delay_p99 = Netstats.P2_quantile.create ~q:0.99 in
-  Netsim.Link.on_depart bottleneck (fun now p ->
-      if Netsim.Packet.is_data p && Time.to_sec now >= cfg.Config.warmup_s then begin
-        let delay = Time.to_sec now -. Time.to_sec p.Netsim.Packet.sent_at in
-        Netstats.Welford.add delay_stats delay;
-        Netstats.P2_quantile.add delay_p99 delay
-      end);
-  let queue_series =
-    if sample_queue then
-      Some
-        (Netsim.Monitor.queue_sampler sched bottleneck ~every:(Time.of_ms 10.)
-           ~until:horizon)
-    else None
-  in
-  let sources =
-    List.init cfg.Config.clients (fun i ->
-        let rng = Rng.split_named (Dumbbell.rng net) (Printf.sprintf "client-%d" i) in
-        let start =
-          if cfg.Config.start_stagger_s > 0. then
-            Time.of_sec (Rng.float rng *. cfg.Config.start_stagger_s)
-          else Time.zero
+  let ( net,
+        sched,
+        bottleneck,
+        horizon,
+        binner,
+        per_flow_binners,
+        drop_run_list,
+        delay_stats,
+        delay_p99,
+        queue_series,
+        sources ) =
+    time "setup" (fun () ->
+        let net = Dumbbell.create ?bus cfg scenario in
+        prepare net;
+        let sched = Dumbbell.scheduler net in
+        let bottleneck = Dumbbell.bottleneck net in
+        (match bus with
+        | Some b -> Netsim.Link.publish bottleneck b
+        | None -> ());
+        let horizon = Time.of_sec cfg.Config.duration_s in
+        let binner =
+          Netsim.Monitor.arrival_binner bottleneck ~origin:cfg.Config.warmup_s
+            ~width:(Config.rtt_prop_s cfg)
         in
-        Traffic.Poisson.start sched ~rng ~mean_interarrival:cfg.Config.mean_interarrival_s
-          ~start ~until:horizon ~sink:(Dumbbell.sink net i))
-  in
-  Scheduler.run ~until:horizon sched;
-  let counts = Netstats.Binned.counts binner ~upto:cfg.Config.duration_s in
-  (* A run shorter than the warm-up has no complete measurement bins. *)
-  let cov, mean_per_bin =
-    if Array.length counts < 2 then (0., 0.)
-    else begin
-      let summary = Netstats.Summary.of_array counts in
-      (summary.Netstats.Summary.cov, summary.Netstats.Summary.mean)
-    end
-  in
-  let cov_ci95 =
-    if Array.length counts >= 20 then
-      (Netstats.Batch_means.cov_interval counts).Netstats.Batch_means.half_width_95
-    else 0.
-  in
-  let offered =
-    List.fold_left (fun acc s -> acc + s.Traffic.Source.generated ()) 0 sources
-  in
-  let per_client = Dumbbell.per_client_delivered net in
-  let stats = Dumbbell.tcp_stats_total net in
-  let arrivals = Netsim.Link.arrivals bottleneck in
-  let drops = Netsim.Link.drops bottleneck in
-  let loss_pct =
-    if arrivals = 0 then 0. else 100. *. float_of_int drops /. float_of_int arrivals
-  in
-  let sync_index =
-    match per_flow_binners with
-    | None -> None
-    | Some binners ->
-        let rows =
-          Array.map
-            (fun b -> Netstats.Binned.counts b ~upto:cfg.Config.duration_s)
-            binners
+        let per_flow_binners =
+          if measure_sync && cfg.Config.clients >= 2 then begin
+            let binners =
+              Array.init cfg.Config.clients (fun _ ->
+                  Netstats.Binned.create ~origin:cfg.Config.warmup_s
+                    ~width:(Config.rtt_prop_s cfg) ())
+            in
+            Netsim.Link.on_arrival bottleneck (fun now p ->
+                let flow = p.Netsim.Packet.flow in
+                if
+                  Netsim.Packet.is_data p && flow >= 0
+                  && flow < Array.length binners
+                then Netstats.Binned.record binners.(flow) (Time.to_sec now));
+            Some binners
+          end
+          else None
         in
-        if Array.length rows.(0) < 2 then None
-        else Some (Netstats.Correlation.mean_pairwise rows)
+        let drop_run_list = Netsim.Monitor.drop_run_recorder bottleneck in
+        let delay_stats = Netstats.Welford.create () in
+        let delay_p99 = Netstats.P2_quantile.create ~q:0.99 in
+        let delay_hist =
+          match probe with
+          | Some p ->
+              Some
+                (Telemetry.Registry.histogram p.Telemetry.Probe.registry
+                   ~help:"Bottleneck one-way delay of data packets" ~lo:0.
+                   ~hi:5. ~bins:50 "packet_delay_seconds")
+          | None -> None
+        in
+        Netsim.Link.on_depart bottleneck (fun now p ->
+            if
+              Netsim.Packet.is_data p && Time.to_sec now >= cfg.Config.warmup_s
+            then begin
+              let delay =
+                Time.to_sec now -. Time.to_sec p.Netsim.Packet.sent_at
+              in
+              Netstats.Welford.add delay_stats delay;
+              Netstats.P2_quantile.add delay_p99 delay;
+              match delay_hist with
+              | Some h -> Telemetry.Registry.observe h delay
+              | None -> ()
+            end);
+        let queue_series =
+          if sample_queue then
+            Some
+              (Netsim.Monitor.queue_sampler sched bottleneck
+                 ~every:(Time.of_ms 10.) ~until:horizon)
+          else None
+        in
+        let sources =
+          List.init cfg.Config.clients (fun i ->
+              let rng =
+                Rng.split_named (Dumbbell.rng net)
+                  (Printf.sprintf "client-%d" i)
+              in
+              let start =
+                if cfg.Config.start_stagger_s > 0. then
+                  Time.of_sec (Rng.float rng *. cfg.Config.start_stagger_s)
+                else Time.zero
+              in
+              Traffic.Poisson.start sched ~rng
+                ~mean_interarrival:cfg.Config.mean_interarrival_s ~start
+                ~until:horizon ~sink:(Dumbbell.sink net i))
+        in
+        ( net,
+          sched,
+          bottleneck,
+          horizon,
+          binner,
+          per_flow_binners,
+          drop_run_list,
+          delay_stats,
+          delay_p99,
+          queue_series,
+          sources ))
   in
-  let cwnd_traces =
-    List.filter_map
-      (fun i ->
-        match Dumbbell.tcp_sender net i with
-        | Some sender -> Some (i, Transport.Tcp_sender.cwnd_trace sender)
-        | None -> None)
-      trace_clients
+  let run_wall =
+    let t0 = Telemetry.Perf.wall_clock_s () in
+    Scheduler.run ~until:horizon sched;
+    let dt = Telemetry.Perf.wall_clock_s () -. t0 in
+    (match probe with
+    | Some p -> Telemetry.Perf.add_s p.Telemetry.Probe.phases "run" dt
+    | None -> ());
+    dt
   in
-  {
-    Metrics.scenario;
-    clients = cfg.Config.clients;
-    cov;
-    cov_ci95;
-    analytic_cov = Analytic.poisson_cov cfg;
-    mean_per_bin;
-    offered;
-    delivered = Dumbbell.delivered_total net;
-    segments_sent = Dumbbell.segments_sent_total net;
-    gateway_arrivals = arrivals;
-    gateway_drops = drops;
-    loss_pct;
-    timeouts = stats.Transport.Tcp_stats.timeouts;
-    fast_retransmits = stats.Transport.Tcp_stats.fast_retransmits;
-    retransmits = stats.Transport.Tcp_stats.retransmits;
-    dup_acks = stats.Transport.Tcp_stats.dup_acks;
-    timeout_dupack_ratio = Transport.Tcp_stats.timeout_dupack_ratio stats;
-    per_client_delivered = per_client;
-    jain_fairness = Fairness.jain (Array.map float_of_int per_client);
-    sync_index;
-    ecn_marks = Dumbbell.gateway_marks net;
-    ecn_reactions = Dumbbell.ecn_reactions_total net;
-    delay_mean_s = Netstats.Welford.mean delay_stats;
-    delay_p99_s =
-      (if Netstats.P2_quantile.count delay_p99 = 0 then 0.
-       else Netstats.P2_quantile.quantile delay_p99);
-    drop_run_max = List.fold_left Stdlib.max 0 (drop_runs ());
-    drop_run_mean =
-      (let runs = drop_runs () in
-       if runs = [] then 0.
-       else
-         float_of_int (List.fold_left ( + ) 0 runs)
-         /. float_of_int (List.length runs));
-    cwnd_traces;
-    queue_series;
-  }
+  let metrics =
+    time "collect" (fun () ->
+        let counts = Netstats.Binned.counts binner ~upto:cfg.Config.duration_s in
+        (* A run shorter than the warm-up has no complete measurement bins. *)
+        let cov, mean_per_bin =
+          if Array.length counts < 2 then (0., 0.)
+          else begin
+            let summary = Netstats.Summary.of_array counts in
+            (summary.Netstats.Summary.cov, summary.Netstats.Summary.mean)
+          end
+        in
+        let cov_ci95 =
+          if Array.length counts >= 20 then
+            (Netstats.Batch_means.cov_interval counts)
+              .Netstats.Batch_means.half_width_95
+          else 0.
+        in
+        let offered =
+          List.fold_left
+            (fun acc s -> acc + s.Traffic.Source.generated ())
+            0 sources
+        in
+        let per_client = Dumbbell.per_client_delivered net in
+        let stats = Dumbbell.tcp_stats_total net in
+        let arrivals = Netsim.Link.arrivals bottleneck in
+        let drops = Netsim.Link.drops bottleneck in
+        let loss_pct =
+          if arrivals = 0 then 0.
+          else 100. *. float_of_int drops /. float_of_int arrivals
+        in
+        let sync_index =
+          match per_flow_binners with
+          | None -> None
+          | Some binners ->
+              let rows =
+                Array.map
+                  (fun b -> Netstats.Binned.counts b ~upto:cfg.Config.duration_s)
+                  binners
+              in
+              if Array.length rows.(0) < 2 then None
+              else Some (Netstats.Correlation.mean_pairwise rows)
+        in
+        let cwnd_traces =
+          List.filter_map
+            (fun i ->
+              match Dumbbell.tcp_sender net i with
+              | Some sender ->
+                  Some (i, Transport.Tcp_sender.cwnd_trace sender)
+              | None -> None)
+            trace_clients
+        in
+        let drop_runs = drop_run_list () in
+        {
+          Metrics.scenario;
+          clients = cfg.Config.clients;
+          cov;
+          cov_ci95;
+          analytic_cov = Analytic.poisson_cov cfg;
+          mean_per_bin;
+          offered;
+          delivered = Dumbbell.delivered_total net;
+          segments_sent = Dumbbell.segments_sent_total net;
+          gateway_arrivals = arrivals;
+          gateway_drops = drops;
+          loss_pct;
+          timeouts = stats.Transport.Tcp_stats.timeouts;
+          fast_retransmits = stats.Transport.Tcp_stats.fast_retransmits;
+          retransmits = stats.Transport.Tcp_stats.retransmits;
+          dup_acks = stats.Transport.Tcp_stats.dup_acks;
+          timeout_dupack_ratio = Transport.Tcp_stats.timeout_dupack_ratio stats;
+          per_client_delivered = per_client;
+          jain_fairness = Fairness.jain (Array.map float_of_int per_client);
+          sync_index;
+          ecn_marks = Dumbbell.gateway_marks net;
+          ecn_reactions = Dumbbell.ecn_reactions_total net;
+          delay_mean_s = Netstats.Welford.mean delay_stats;
+          delay_p99_s =
+            (if Netstats.P2_quantile.count delay_p99 = 0 then 0.
+             else Netstats.P2_quantile.quantile delay_p99);
+          drop_run_max = List.fold_left Stdlib.max 0 drop_runs;
+          drop_run_mean =
+            (if drop_runs = [] then 0.
+             else
+               float_of_int (List.fold_left ( + ) 0 drop_runs)
+               /. float_of_int (List.length drop_runs));
+          cwnd_traces;
+          queue_series;
+        })
+  in
+  (match probe with
+  | Some p ->
+      Telemetry.Probe.note_run p
+        ~label:
+          (Printf.sprintf "%s n=%d" (Scenario.label scenario)
+             cfg.Config.clients)
+        ~sim_s:cfg.Config.duration_s ~wall_s:run_wall
+        ~events:(Scheduler.events_processed sched)
+        ~event_queue_hwm:(Scheduler.queue_high_water_mark sched)
+        ~gateway_queue_hwm:(Dumbbell.gateway_queue_high_water_mark net)
+        ~arrivals:(Netsim.Link.arrivals bottleneck)
+        ~drops:(Netsim.Link.drops bottleneck)
+  | None -> ());
+  metrics

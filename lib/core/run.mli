@@ -2,6 +2,7 @@
     monitors, run to the configured duration, and collect {!Metrics}. *)
 
 val run :
+  ?probe:Telemetry.Probe.t ->
   ?trace_clients:int list ->
   ?sample_queue:bool ->
   ?measure_sync:bool ->
@@ -9,7 +10,12 @@ val run :
   Config.t ->
   Scenario.t ->
   Metrics.t
-(** [trace_clients] selects client indices whose congestion-window
+(** [probe] (default absent) instruments the run: the setup/run/collect
+    phases are timed, scheduler and gateway counters are folded into the
+    probe's registry after the run, a [packet_delay_seconds] histogram is
+    observed, and — only while the probe's bus has subscribers — the
+    bottleneck link, RED gateway and TCP senders publish their events
+    there. [trace_clients] selects client indices whose congestion-window
     evolution is recorded (ignored for UDP); [sample_queue] (default
     false) additionally samples the gateway queue length every 10 ms;
     [measure_sync] (default false) computes {!Metrics.t.sync_index} from

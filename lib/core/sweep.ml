@@ -2,16 +2,22 @@ let seed_for cfg scenario n =
   let h = Hashtbl.hash (Scenario.label scenario, n) in
   Int64.logxor cfg.Config.seed (Int64.of_int ((h * 2654435761) land max_int))
 
-let over_clients cfg scenario ns =
+let point_label scenario n = Printf.sprintf "%s n=%d" (Scenario.label scenario) n
+
+let over_clients ?probe ?(notify = fun (_ : string) -> ()) cfg scenario ns =
   List.map
     (fun n ->
       let cfg = Config.with_clients cfg n in
       let cfg = { cfg with Config.seed = seed_for cfg scenario n } in
-      Run.run cfg scenario)
+      let m = Run.run ?probe cfg scenario in
+      notify (point_label scenario n);
+      m)
     ns
 
-let grid cfg scenarios ns =
-  List.map (fun scenario -> (scenario, over_clients cfg scenario ns)) scenarios
+let grid ?probe ?notify cfg scenarios ns =
+  List.map
+    (fun scenario -> (scenario, over_clients ?probe ?notify cfg scenario ns))
+    scenarios
 
 type replicated = {
   scenario : Scenario.t;
@@ -25,7 +31,8 @@ type replicated = {
   timeout_dupack_mean : float;
 }
 
-let replicated cfg scenario ~replicates ns =
+let replicated ?probe ?(notify = fun (_ : string) -> ()) cfg scenario
+    ~replicates ns =
   if replicates < 1 then invalid_arg "Sweep.replicated: replicates < 1";
   List.map
     (fun n ->
@@ -36,11 +43,12 @@ let replicated cfg scenario ~replicates ns =
       for r = 1 to replicates do
         let cfg = Config.with_clients cfg n in
         let seed = Int64.add (seed_for cfg scenario n) (Int64.of_int (r * 7919)) in
-        let m = Run.run { cfg with Config.seed = seed } scenario in
+        let m = Run.run ?probe { cfg with Config.seed = seed } scenario in
         Netstats.Welford.add cov m.Metrics.cov;
         Netstats.Welford.add delivered (float_of_int m.Metrics.delivered);
         Netstats.Welford.add loss m.Metrics.loss_pct;
-        Netstats.Welford.add ratio m.Metrics.timeout_dupack_ratio
+        Netstats.Welford.add ratio m.Metrics.timeout_dupack_ratio;
+        notify (Printf.sprintf "%s r=%d" (point_label scenario n) r)
       done;
       {
         scenario;

@@ -6,10 +6,24 @@
 
 val seed_for : Config.t -> Scenario.t -> int -> int64
 
-val over_clients : Config.t -> Scenario.t -> int list -> Metrics.t list
-(** One run per client count. *)
+val over_clients :
+  ?probe:Telemetry.Probe.t ->
+  ?notify:(string -> unit) ->
+  Config.t ->
+  Scenario.t ->
+  int list ->
+  Metrics.t list
+(** One run per client count. [probe] instruments each run (see
+    {!Run.run}); [notify] is called with a point label ("scenario n=N")
+    after each run completes — hook progress reporting there. *)
 
-val grid : Config.t -> Scenario.t list -> int list -> (Scenario.t * Metrics.t list) list
+val grid :
+  ?probe:Telemetry.Probe.t ->
+  ?notify:(string -> unit) ->
+  Config.t ->
+  Scenario.t list ->
+  int list ->
+  (Scenario.t * Metrics.t list) list
 (** The full (scenario x clients) grid driving Figures 2, 3, 4 and 13. *)
 
 (** {2 Replicated runs}
@@ -31,6 +45,13 @@ type replicated = {
 }
 
 val replicated :
-  Config.t -> Scenario.t -> replicates:int -> int list -> replicated list
-(** [replicates] independent seeds per (scenario, client-count) point.
+  ?probe:Telemetry.Probe.t ->
+  ?notify:(string -> unit) ->
+  Config.t ->
+  Scenario.t ->
+  replicates:int ->
+  int list ->
+  replicated list
+(** [replicates] independent seeds per (scenario, client-count) point;
+    [notify] fires after every replicate ("scenario n=N r=R").
     @raise Invalid_argument if [replicates < 1]. *)

@@ -15,18 +15,26 @@ module H = Heap.Make (struct
     if c <> 0 then c else Int.compare a.seq b.seq
 end)
 
-type t = { heap : H.t; mutable next_seq : int; mutable live : int }
+type t = {
+  heap : H.t;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable hwm : int;
+}
 
-let create () = { heap = H.create (); next_seq = 0; live = 0 }
+let create () = { heap = H.create (); next_seq = 0; live = 0; hwm = 0 }
 
 let length q = q.live
 
 let is_empty q = q.live = 0
 
+let high_water_mark q = q.hwm
+
 let schedule q at action =
   let entry = { at; seq = q.next_seq; action; cancelled = false } in
   q.next_seq <- q.next_seq + 1;
   q.live <- q.live + 1;
+  if q.live > q.hwm then q.hwm <- q.live;
   H.push q.heap entry;
   entry
 

@@ -16,6 +16,10 @@ val length : t -> int
 
 val is_empty : t -> bool
 
+val high_water_mark : t -> int
+(** Peak number of live events ever queued at once. Lazily cancelled
+    events stop counting as soon as they are cancelled. *)
+
 val schedule : t -> Time.t -> (unit -> unit) -> handle
 (** [schedule q at action] enqueues [action] to fire at time [at]. *)
 

@@ -50,3 +50,5 @@ let run ?until t =
 let events_processed t = t.fired
 
 let pending t = Event_queue.length t.queue
+
+let queue_high_water_mark t = Event_queue.high_water_mark t.queue

@@ -35,3 +35,6 @@ val events_processed : t -> int
 
 val pending : t -> int
 (** Live events still queued. *)
+
+val queue_high_water_mark : t -> int
+(** Peak number of live events ever queued at once. *)

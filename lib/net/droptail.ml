@@ -1,13 +1,14 @@
-type t = { q : Packet.t Queue.t; capacity : int }
+type t = { q : Packet.t Queue.t; capacity : int; mutable hwm : int }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Droptail.create: capacity < 1";
-  { q = Queue.create (); capacity }
+  { q = Queue.create (); capacity; hwm = 0 }
 
 let enqueue t p =
   if Queue.length t.q >= t.capacity then `Dropped
   else begin
     Queue.push p t.q;
+    if Queue.length t.q > t.hwm then t.hwm <- Queue.length t.q;
     `Enqueued
   end
 
@@ -16,3 +17,5 @@ let dequeue t = Queue.take_opt t.q
 let length t = Queue.length t.q
 
 let capacity t = t.capacity
+
+let high_water_mark t = t.hwm

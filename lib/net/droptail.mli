@@ -15,3 +15,6 @@ val dequeue : t -> Packet.t option
 val length : t -> int
 
 val capacity : t -> int
+
+val high_water_mark : t -> int
+(** Peak queue occupancy (packets) seen so far. *)

@@ -76,6 +76,8 @@ let send t p =
 
 let queue_length t = Queue_disc.length t.queue
 
+let queue_high_water_mark t = Queue_disc.high_water_mark t.queue
+
 let on_arrival t f = t.arrival_listeners <- t.arrival_listeners @ [ f ]
 
 let on_drop t f = t.drop_listeners <- t.drop_listeners @ [ f ]
@@ -91,3 +93,21 @@ let departures t = t.departures
 let bytes_delivered t = t.bytes_delivered
 
 let name t = t.name
+
+let publish t bus =
+  let packet_event kind now (p : Packet.t) =
+    Telemetry.Event_bus.publish bus
+      (Telemetry.Event_bus.Packet
+         {
+           time = Time.to_sec now;
+           kind;
+           link = t.name;
+           flow = p.Packet.flow;
+           seq = Packet.seq p;
+           size_bytes = p.Packet.size_bytes;
+           uid = p.Packet.uid;
+         })
+  in
+  on_arrival t (packet_event Telemetry.Event_bus.Arrival);
+  on_drop t (packet_event Telemetry.Event_bus.Drop);
+  on_depart t (packet_event Telemetry.Event_bus.Depart)

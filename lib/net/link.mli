@@ -22,6 +22,9 @@ val send : t -> Packet.t -> unit
 
 val queue_length : t -> int
 
+val queue_high_water_mark : t -> int
+(** Peak queue occupancy (packets) seen so far. *)
+
 (** {2 Instrumentation}
 
     Listeners observe, in order: every arrival (before the drop decision),
@@ -37,3 +40,7 @@ val departures : t -> int
 val bytes_delivered : t -> int
 
 val name : t -> string
+
+val publish : t -> Telemetry.Event_bus.t -> unit
+(** Mirror this link's arrival/drop/departure events onto the bus as
+    [Packet] events tagged with the link's name. *)

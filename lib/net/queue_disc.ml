@@ -2,7 +2,7 @@ type t = Droptail of Droptail.t | Red of Red.t | Sfq of Sfq.t
 
 let droptail ~capacity = Droptail (Droptail.create ~capacity)
 
-let red ~rng params = Red (Red.create ~rng params)
+let red ?bus ?name ~rng params = Red (Red.create ?bus ?name ~rng params)
 
 let sfq ?buckets ~capacity () = Sfq (Sfq.create ?buckets ~capacity ())
 
@@ -23,3 +23,9 @@ let length t =
   | Droptail q -> Droptail.length q
   | Red q -> Red.length q
   | Sfq q -> Sfq.length q
+
+let high_water_mark t =
+  match t with
+  | Droptail q -> Droptail.high_water_mark q
+  | Red q -> Red.high_water_mark q
+  | Sfq q -> Sfq.high_water_mark q

@@ -7,7 +7,8 @@ type t = Droptail of Droptail.t | Red of Red.t | Sfq of Sfq.t
 
 val droptail : capacity:int -> t
 
-val red : rng:Sim_engine.Rng.t -> Red.params -> t
+val red :
+  ?bus:Telemetry.Event_bus.t -> ?name:string -> rng:Sim_engine.Rng.t -> Red.params -> t
 
 val sfq : ?buckets:int -> capacity:int -> unit -> t
 
@@ -22,3 +23,6 @@ val enqueue :
 val dequeue : t -> now:Sim_engine.Time.t -> Packet.t option
 
 val length : t -> int
+
+val high_water_mark : t -> int
+(** Peak occupancy (packets) seen so far, whatever the discipline. *)

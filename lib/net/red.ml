@@ -25,15 +25,18 @@ type t = {
   p : params;
   q : Packet.t Queue.t;
   rng : Sim_engine.Rng.t;
+  bus : Telemetry.Event_bus.t option;
+  name : string;
   mutable avg : float;
   mutable count : int; (* arrivals since the last early drop; -1 = below min_th *)
   mutable idle_since : float option; (* when the queue last went empty *)
   mutable max_p : float; (* live value; scaled by the adaptive mode *)
   mutable marks : int;
   mutable last_adapt : float; (* adaptive max_p moves at most every 0.5 s *)
+  mutable hwm : int;
 }
 
-let create ~rng p =
+let create ?bus ?(name = "red") ~rng p =
   if p.min_th <= 0. || p.max_th <= p.min_th then invalid_arg "Red.create: bad thresholds";
   if p.max_p <= 0. || p.max_p > 1. then invalid_arg "Red.create: bad max_p";
   if p.w_q <= 0. || p.w_q > 1. then invalid_arg "Red.create: bad w_q";
@@ -42,12 +45,15 @@ let create ~rng p =
     p;
     q = Queue.create ();
     rng;
+    bus;
+    name;
     avg = 0.;
     count = -1;
     idle_since = Some 0.;
     max_p = p.max_p;
     marks = 0;
     last_adapt = 0.;
+    hwm = 0;
   }
 
 let update_avg t now =
@@ -78,8 +84,19 @@ let update_avg t now =
 
 let accept t p =
   Queue.push p t.q;
+  if Queue.length t.q > t.hwm then t.hwm <- Queue.length t.q;
   t.idle_since <- None;
   `Enqueued
+
+(* Narrate the drop/mark decision: link-level drop counts cannot tell a
+   forced drop from an early one, or see marks at all. *)
+let emit t now kind (packet : Packet.t) =
+  match t.bus with
+  | None -> ()
+  | Some bus ->
+      Telemetry.Event_bus.publish bus
+        (Telemetry.Event_bus.Queue
+           { time = now; kind; queue = t.name; flow = packet.Packet.flow; avg = t.avg })
 
 let enqueue t ~now packet =
   let now = Sim_engine.Time.to_sec now in
@@ -87,6 +104,7 @@ let enqueue t ~now packet =
   if Queue.length t.q >= t.p.capacity then begin
     (* Physical overflow: forced drop. *)
     t.count <- 0;
+    emit t now Telemetry.Event_bus.Forced_drop packet;
     `Dropped
   end
   else if t.avg < t.p.min_th then begin
@@ -95,6 +113,7 @@ let enqueue t ~now packet =
   end
   else if t.avg >= t.p.max_th then begin
     t.count <- 0;
+    emit t now Telemetry.Event_bus.Forced_drop packet;
     `Dropped
   end
   else begin
@@ -108,9 +127,13 @@ let enqueue t ~now packet =
         (* Signal congestion without losing the packet. *)
         packet.Packet.ecn_ce <- true;
         t.marks <- t.marks + 1;
+        emit t now Telemetry.Event_bus.Ecn_mark packet;
         accept t packet
       end
-      else `Dropped
+      else begin
+        emit t now Telemetry.Event_bus.Early_drop packet;
+        `Dropped
+      end
     end
     else accept t packet
   end
@@ -129,3 +152,5 @@ let avg t = t.avg
 let marks t = t.marks
 
 let current_max_p t = t.max_p
+
+let high_water_mark t = t.hwm

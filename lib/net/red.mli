@@ -34,7 +34,12 @@ val default_params : capacity:int -> min_th:float -> max_th:float -> params
 
 type t
 
-val create : rng:Sim_engine.Rng.t -> params -> t
+val create :
+  ?bus:Telemetry.Event_bus.t -> ?name:string -> rng:Sim_engine.Rng.t -> params -> t
+(** When [bus] is given, every internal decision — early drop, forced
+    drop (overflow or [avg >= max_th]), ECN mark — publishes a
+    [Queue] event tagged with [name] (default ["red"]) carrying the
+    average-queue estimate at the decision. *)
 
 val enqueue : t -> now:Sim_engine.Time.t -> Packet.t -> [ `Enqueued | `Dropped ]
 (** In [ecn_mark] mode an early "drop" of an ECN-capable packet instead
@@ -52,3 +57,6 @@ val marks : t -> int
 
 val current_max_p : t -> float
 (** The live [max_p] (changes over time under [adaptive]). *)
+
+val high_water_mark : t -> int
+(** Peak physical queue occupancy (packets) seen so far. *)

@@ -6,6 +6,7 @@ type t = {
   perturbation : int;
   mutable total : int;
   mutable next : int; (* round-robin service pointer *)
+  mutable hwm : int;
 }
 
 let create ?(buckets = 16) ?(perturbation = 0) ~capacity () =
@@ -17,6 +18,7 @@ let create ?(buckets = 16) ?(perturbation = 0) ~capacity () =
     perturbation;
     total = 0;
     next = 0;
+    hwm = 0;
   }
 
 let bucket_of_flow t flow =
@@ -38,6 +40,7 @@ let enqueue t p =
   if t.total < t.capacity then begin
     Queue.push p t.buckets.(idx);
     t.total <- t.total + 1;
+    if t.total > t.hwm then t.hwm <- t.total;
     `Enqueued
   end
   else begin
@@ -70,3 +73,5 @@ let dequeue t =
 let length t = t.total
 
 let occupancy t = Array.map Queue.length t.buckets
+
+let high_water_mark t = t.hwm

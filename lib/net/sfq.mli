@@ -28,3 +28,6 @@ val bucket_of_flow : t -> int -> int
 
 val occupancy : t -> int array
 (** Per-bucket queue lengths. *)
+
+val high_water_mark : t -> int
+(** Peak total occupancy (packets across all buckets) seen so far. *)

@@ -48,6 +48,30 @@ let attach t link =
   Link.on_drop link (fun now p -> record t Drop name now p);
   Link.on_depart link (fun now p -> record t Deliver name now p)
 
+let attach_bus t bus =
+  ignore
+    (Telemetry.Event_bus.subscribe bus (function
+      | Telemetry.Event_bus.Packet p ->
+          let kind =
+            match p.kind with
+            | Telemetry.Event_bus.Arrival -> Arrive
+            | Telemetry.Event_bus.Drop -> Drop
+            | Telemetry.Event_bus.Depart -> Deliver
+          in
+          push t
+            {
+              time = p.time;
+              kind;
+              link = p.link;
+              flow = p.flow;
+              seq = p.seq;
+              size_bytes = p.size_bytes;
+              uid = p.uid;
+            }
+      | Telemetry.Event_bus.Tcp _ | Telemetry.Event_bus.Queue _
+      | Telemetry.Event_bus.Custom _ ->
+          ()))
+
 let length t = t.size
 
 let events t = Array.sub t.data 0 t.size

@@ -31,6 +31,10 @@ val create : ?capacity_hint:int -> unit -> t
 val attach : t -> Link.t -> unit
 (** Start recording this link's events; a tracer may watch many links. *)
 
+val attach_bus : t -> Telemetry.Event_bus.t -> unit
+(** Record every [Packet] event published on the bus (other event kinds
+    are ignored); equivalent to {!attach} when links publish there. *)
+
 val length : t -> int
 
 val events : t -> event array

@@ -1,0 +1,81 @@
+(** The simulation event bus: one typed publish/subscribe channel.
+
+    Generalises the hard-wired [Link.on_arrival/on_drop/on_depart] +
+    [Tracer] pattern: producers (links, queue disciplines, TCP senders)
+    publish typed events; any number of subscribers (tracers, NDJSON
+    sinks, ad-hoc analysis closures) observe them in subscription order.
+    Publishing with no subscribers is a counter bump and an iteration
+    over an empty array — producers hold a [t option] and simply skip
+    publishing when telemetry is off, so the simulation hot path pays
+    nothing in the default configuration.
+
+    Every event serialises to one JSON object (NDJSON when
+    newline-separated) and parses back exactly: for any event [e],
+    [of_ndjson_line (to_ndjson e) = Ok e]. *)
+
+type packet_kind = Arrival | Drop | Depart
+
+type tcp_kind = Timeout | Fast_retransmit | Cwnd_cut | Ecn_reaction
+
+type queue_kind = Ecn_mark | Early_drop | Forced_drop
+
+type event =
+  | Packet of {
+      time : float;
+      kind : packet_kind;
+      link : string;
+      flow : int;
+      seq : int option;  (** [None] for ACKs, like the tracer *)
+      size_bytes : int;
+      uid : int;
+    }  (** A link-level packet event (queue arrival, drop, delivery). *)
+  | Tcp of { time : float; kind : tcp_kind; flow : int; cwnd : float }
+      (** A congestion-control decision; [cwnd] is the window {e after}
+          the reaction, in segments. *)
+  | Queue of {
+      time : float;
+      kind : queue_kind;
+      queue : string;
+      flow : int;
+      avg : float;  (** RED's average-queue estimate at the decision *)
+    }  (** A queue-discipline decision RED makes internally (an early or
+          forced drop, or a CE mark) that plain link drop counts cannot
+          distinguish. *)
+  | Custom of { time : float; name : string; value : float }
+      (** Escape hatch for experiment-specific instrumentation. *)
+
+val time : event -> float
+
+type t
+
+type subscription
+
+val create : unit -> t
+
+val subscribe : t -> (event -> unit) -> subscription
+(** Subscribers are invoked in subscription order on every publish. *)
+
+val unsubscribe : t -> subscription -> unit
+(** A no-op if already unsubscribed. *)
+
+val has_subscribers : t -> bool
+
+val publish : t -> event -> unit
+
+val published : t -> int
+(** Total events published so far (whether or not anyone listened). *)
+
+(** {2 NDJSON serialisation} *)
+
+val to_json : event -> Json.t
+
+val of_json : Json.t -> (event, string) result
+
+val to_ndjson : event -> string
+(** One-line JSON, no trailing newline. *)
+
+val of_ndjson_line : string -> (event, string) result
+
+val ndjson_writer : out_channel -> event -> unit
+(** A ready-made subscriber that appends one NDJSON line per event. The
+    caller owns (and flushes/closes) the channel. *)

@@ -1,0 +1,281 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then invalid_arg "Json: non-finite float";
+  (* Shortest representation that still contains a decimal marker, so the
+     parser reads it back as a Float. *)
+  let s = Printf.sprintf "%.17g" f in
+  let shorter = Printf.sprintf "%.12g" f in
+  let s = if float_of_string shorter = f then shorter else s in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then s
+  else s ^ ".0"
+
+let rec encode buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_into buf s
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          encode buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_into buf k;
+          Buffer.add_char buf ':';
+          encode buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  encode buf v;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.pp_print_string ppf (float_repr f)
+  | String s ->
+      let buf = Buffer.create (String.length s + 2) in
+      escape_into buf s;
+      Format.pp_print_string ppf (Buffer.contents buf)
+  | List xs ->
+      Format.fprintf ppf "[@[<v>%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+        xs
+  | Obj fields ->
+      let field ppf (k, v) =
+        let buf = Buffer.create (String.length k + 2) in
+        escape_into buf k;
+        Format.fprintf ppf "%s: %a" (Buffer.contents buf) pp v
+      in
+      Format.fprintf ppf "{@[<v>%a@]}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") field)
+        fields
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+exception Parse_error of int * string
+
+type state = { src : string; mutable pos : int }
+
+let error st msg = raise (Parse_error (st.pos, msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some got when got = c -> advance st
+  | Some got -> error st (Printf.sprintf "expected %c, found %c" c got)
+  | None -> error st (Printf.sprintf "expected %c, found end of input" c)
+
+let literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    value
+  end
+  else error st ("invalid literal, expected " ^ word)
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> begin
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some 'r' ->
+            Buffer.add_char buf '\r';
+            advance st;
+            go ()
+        | Some 't' ->
+            Buffer.add_char buf '\t';
+            advance st;
+            go ()
+        | Some '"' ->
+            Buffer.add_char buf '"';
+            advance st;
+            go ()
+        | Some '\\' ->
+            Buffer.add_char buf '\\';
+            advance st;
+            go ()
+        | Some '/' ->
+            Buffer.add_char buf '/';
+            advance st;
+            go ()
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.src then error st "bad \\u escape";
+            let hex = String.sub st.src st.pos 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> error st "bad \\u escape"
+            in
+            st.pos <- st.pos + 4;
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else error st "\\u escape above 0x7f unsupported";
+            go ()
+        | _ -> error st "bad escape"
+      end
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_number_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek st with Some c -> is_number_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  let is_float =
+    String.contains text '.' || String.contains text 'e' || String.contains text 'E'
+  in
+  if is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error st ("bad number " ^ text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> error st ("bad number " ^ text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' ->
+      advance st;
+      String (parse_string_body st)
+  | Some '[' -> begin
+      advance st;
+      skip_ws st;
+      match peek st with
+      | Some ']' ->
+          advance st;
+          List []
+      | _ ->
+          let rec elems acc =
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                elems (v :: acc)
+            | Some ']' ->
+                advance st;
+                List (List.rev (v :: acc))
+            | _ -> error st "expected , or ]"
+          in
+          elems []
+    end
+  | Some '{' -> begin
+      advance st;
+      skip_ws st;
+      match peek st with
+      | Some '}' ->
+          advance st;
+          Obj []
+      | _ ->
+          let rec fields acc =
+            skip_ws st;
+            expect st '"';
+            let key = parse_string_body st in
+            skip_ws st;
+            expect st ':';
+            let v = parse_value st in
+            skip_ws st;
+            match peek st with
+            | Some ',' ->
+                advance st;
+                fields ((key, v) :: acc)
+            | Some '}' ->
+                advance st;
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> error st "expected , or }"
+          in
+          fields []
+    end
+  | Some _ -> parse_number st
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length src then error st "trailing content";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "at offset %d: %s" pos msg)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | String _ | List _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | Null | Bool _ | String _ | List _ | Obj _ -> None

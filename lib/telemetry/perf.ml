@@ -1,0 +1,29 @@
+let wall_clock_s = Unix.gettimeofday
+
+type phases = { mutable items : (string * float ref) list (* first-use order *) }
+
+let phases () = { items = [] }
+
+let slot t name =
+  match List.assoc_opt name t.items with
+  | Some r -> r
+  | None ->
+      let r = ref 0. in
+      t.items <- t.items @ [ (name, r) ];
+      r
+
+let add_s t name dt = slot t name := !(slot t name) +. dt
+
+let time t name f =
+  let t0 = wall_clock_s () in
+  Fun.protect ~finally:(fun () -> add_s t name (wall_clock_s () -. t0)) f
+
+let duration_s t name =
+  match List.assoc_opt name t.items with Some r -> !r | None -> 0.
+
+let durations_s t = List.map (fun (name, r) -> (name, !r)) t.items
+
+let total_s t = List.fold_left (fun acc (_, r) -> acc +. !r) 0. t.items
+
+let to_json t =
+  Json.Obj (List.map (fun (name, r) -> (name, Json.Float !r)) t.items)

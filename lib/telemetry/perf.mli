@@ -1,0 +1,33 @@
+(** Wall-clock instrumentation: where does the real time go?
+
+    A {!phases} accumulator maps phase names (e.g. ["setup"], ["run"],
+    ["collect"]) to summed wall-clock durations. Phases are created on
+    first use and keep first-use order; timing the same name repeatedly
+    accumulates, so one accumulator can span a whole sweep. *)
+
+val wall_clock_s : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); only differences are
+    meaningful. *)
+
+type phases
+
+val phases : unit -> phases
+
+val time : phases -> string -> (unit -> 'a) -> 'a
+(** [time p name f] runs [f] and adds its wall-clock duration to [name]
+    (also on exception). *)
+
+val add_s : phases -> string -> float -> unit
+(** Credit [name] with an externally measured duration. *)
+
+val duration_s : phases -> string -> float
+(** Accumulated seconds for [name]; 0 if never timed. *)
+
+val durations_s : phases -> (string * float) list
+(** All phases in first-use order. *)
+
+val total_s : phases -> float
+(** Sum over all phases (note: nested phases count twice). *)
+
+val to_json : phases -> Json.t
+(** An object mapping phase name to seconds. *)

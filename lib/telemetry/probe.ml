@@ -1,0 +1,59 @@
+type t = {
+  registry : Registry.t;
+  bus : Event_bus.t;
+  phases : Perf.phases;
+}
+
+let create () =
+  { registry = Registry.create (); bus = Event_bus.create (); phases = Perf.phases () }
+
+let time probe name f =
+  match probe with Some p -> Perf.time p.phases name f | None -> f ()
+
+let m_runs = "sim_runs_total"
+
+let m_events = "sim_events_total"
+
+let m_sim_seconds = "sim_seconds_total"
+
+let m_run_wall = "sim_run_wall_seconds_total"
+
+let m_eq_hwm = "event_queue_high_water_mark"
+
+let m_gw_hwm = "gateway_queue_high_water_mark"
+
+let m_arrivals = "gateway_arrivals_total"
+
+let m_drops = "gateway_drops_total"
+
+let note_run t ~label ~sim_s ~wall_s ~events ~event_queue_hwm ~gateway_queue_hwm
+    ~arrivals ~drops =
+  let r = t.registry in
+  Registry.inc (Registry.counter r ~help:"Simulation runs completed" m_runs);
+  Registry.inc ~by:events
+    (Registry.counter r ~help:"Scheduler events fired" m_events);
+  Registry.add (Registry.gauge r ~help:"Simulated seconds" m_sim_seconds) sim_s;
+  Registry.add
+    (Registry.gauge r ~help:"Wall-clock seconds in the run phase" m_run_wall)
+    wall_s;
+  Registry.set_max
+    (Registry.gauge r ~help:"Peak pending scheduler events" m_eq_hwm)
+    (float_of_int event_queue_hwm);
+  Registry.set_max
+    (Registry.gauge r ~help:"Peak gateway queue occupancy (packets)" m_gw_hwm)
+    (float_of_int gateway_queue_hwm);
+  Registry.inc ~by:arrivals
+    (Registry.counter r ~help:"Gateway packet arrivals" m_arrivals);
+  Registry.inc ~by:drops (Registry.counter r ~help:"Gateway packet drops" m_drops);
+  let labels = [ ("run", label) ] in
+  Registry.inc ~by:events
+    (Registry.counter r ~labels ~help:"Scheduler events fired per run"
+       "run_events_total");
+  Registry.add
+    (Registry.gauge r ~labels ~help:"Run-phase wall seconds per run"
+       "run_wall_seconds")
+    wall_s
+
+let runs_total t = Registry.counter_value (Registry.counter t.registry m_runs)
+
+let events_total t = Registry.counter_value (Registry.counter t.registry m_events)

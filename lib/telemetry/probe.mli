@@ -1,0 +1,56 @@
+(** A probe bundles the three telemetry facilities — metric registry,
+    event bus, phase timers — into the single handle that threads through
+    the simulator as a [Probe.t option]. [None] means telemetry is off
+    and every helper below degrades to a no-op.
+
+    Metric names used by {!note_run} are exposed as [m_*] constants so
+    reporters and tests never spell them twice. *)
+
+type t = {
+  registry : Registry.t;
+  bus : Event_bus.t;
+  phases : Perf.phases;
+}
+
+val create : unit -> t
+
+val time : t option -> string -> (unit -> 'a) -> 'a
+(** [time probe name f] times [f] under phase [name] when the probe is
+    present, and is exactly [f ()] when it is [None]. *)
+
+(** {2 Well-known metric names} *)
+
+val m_runs : string  (** counter: simulation runs completed *)
+
+val m_events : string  (** counter: scheduler events fired, all runs *)
+
+val m_sim_seconds : string  (** gauge: simulated seconds, summed *)
+
+val m_run_wall : string  (** gauge: wall seconds inside the run phase *)
+
+val m_eq_hwm : string  (** gauge: event-queue high-water mark (max) *)
+
+val m_gw_hwm : string  (** gauge: gateway-queue high-water mark (max) *)
+
+val m_arrivals : string  (** counter: gateway packet arrivals *)
+
+val m_drops : string  (** counter: gateway packet drops *)
+
+val note_run :
+  t ->
+  label:string ->
+  sim_s:float ->
+  wall_s:float ->
+  events:int ->
+  event_queue_hwm:int ->
+  gateway_queue_hwm:int ->
+  arrivals:int ->
+  drops:int ->
+  unit
+(** Fold one completed run into the registry: bump the aggregate
+    counters and gauges above and record the per-run labelled series
+    [run_events_total{run=label}] and [run_wall_seconds{run=label}]. *)
+
+val runs_total : t -> int
+
+val events_total : t -> int

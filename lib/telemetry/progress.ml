@@ -1,0 +1,62 @@
+type t = {
+  out : out_channel;
+  now : unit -> float;
+  total : int;
+  started : float;
+  mutable completed : int;
+  mutable last_events : int;
+}
+
+let create ?(out = stderr) ?(now = Perf.wall_clock_s) ~total () =
+  { out; now; total; started = now (); completed = 0; last_events = 0 }
+
+let format_duration s =
+  let s = Float.max 0. s in
+  if s < 60. then Printf.sprintf "%.0fs" s
+  else if s < 3600. then
+    Printf.sprintf "%.0fm%02.0fs" (Float.of_int (int_of_float s / 60))
+      (Float.rem s 60.)
+  else
+    Printf.sprintf "%.0fh%02.0fm"
+      (Float.of_int (int_of_float s / 3600))
+      (Float.of_int (int_of_float s mod 3600 / 60))
+
+let format_rate r =
+  if r >= 1e6 then Printf.sprintf "%.2fM ev/s" (r /. 1e6)
+  else if r >= 1e3 then Printf.sprintf "%.1fk ev/s" (r /. 1e3)
+  else Printf.sprintf "%.0f ev/s" r
+
+let width t = String.length (string_of_int t.total)
+
+let step t ?events label =
+  t.completed <- t.completed + 1;
+  (match events with Some e -> t.last_events <- e | None -> ());
+  let elapsed = t.now () -. t.started in
+  let eta =
+    if t.completed = 0 then 0.
+    else elapsed /. float_of_int t.completed *. float_of_int (t.total - t.completed)
+  in
+  let rate =
+    match events with
+    | Some e when elapsed > 0. ->
+        "  " ^ format_rate (float_of_int e /. elapsed)
+    | _ -> ""
+  in
+  Printf.fprintf t.out "[%*d/%d] %-24s elapsed %-7s eta %-7s%s\n" (width t)
+    t.completed t.total label
+    (format_duration elapsed)
+    (format_duration eta) rate;
+  flush t.out
+
+let finish t =
+  let elapsed = t.now () -. t.started in
+  let rate =
+    if t.last_events > 0 && elapsed > 0. then
+      Printf.sprintf " (%s)" (format_rate (float_of_int t.last_events /. elapsed))
+    else ""
+  in
+  Printf.fprintf t.out "done: %d/%d runs in %s%s\n" t.completed t.total
+    (format_duration elapsed) rate;
+  flush t.out
+
+let completed t = t.completed

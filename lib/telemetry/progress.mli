@@ -1,0 +1,31 @@
+(** Sweep progress reporting: one line per completed run on stderr with
+    elapsed time, an ETA extrapolated from the mean pace so far, and an
+    optional events/sec rate.
+
+    The clock and output channel are injectable so tests can drive the
+    reporter deterministically. *)
+
+type t
+
+val create : ?out:out_channel -> ?now:(unit -> float) -> total:int -> unit -> t
+(** Defaults: [out] is [stderr], [now] is {!Perf.wall_clock_s}. [total]
+    is the number of runs expected; [create] records the start time. *)
+
+val step : t -> ?events:int -> string -> unit
+(** [step t ~events label] marks one more run (described by [label])
+    complete and prints a progress line. [events] is the cumulative
+    event count across all completed runs; when given, the line carries
+    an events/sec rate over elapsed wall time. Flushes [out]. *)
+
+val finish : t -> unit
+(** Print the closing summary line. Flushes [out]. *)
+
+val completed : t -> int
+
+(** {2 Formatting helpers} *)
+
+val format_duration : float -> string
+(** ["42s"], ["3m09s"], ["2h05m"]. *)
+
+val format_rate : float -> string
+(** ["850 ev/s"], ["1.2k ev/s"], ["3.10M ev/s"]. *)

@@ -1,0 +1,230 @@
+type labels = (string * string) list
+
+type counter = { mutable count : int }
+
+type gauge = { mutable value : float }
+
+type histogram = {
+  hist : Netstats.Histogram.t;
+  stats : Netstats.Welford.t;
+  p50_est : Netstats.P2_quantile.t;
+  p99_est : Netstats.P2_quantile.t;
+}
+
+type cell = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type metric = { name : string; help : string; labels : labels; cell : cell }
+
+type t = {
+  tbl : (string * labels, metric) Hashtbl.t;
+  mutable rev_order : metric list; (* newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 32; rev_order = [] }
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let canonical labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+(* Get-or-create: [make] builds a fresh cell, [same] projects an existing
+   one (None = registered under another kind). *)
+let register t ~help ~labels name make same =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Registry: invalid metric name %S" name);
+  let labels = canonical labels in
+  match Hashtbl.find_opt t.tbl (name, labels) with
+  | Some m -> (
+      match same m.cell with
+      | Some cell -> cell
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Registry: %s is already registered as a %s" name
+               (kind_name m.cell)))
+  | None ->
+      let cell, boxed = make () in
+      let m = { name; help; labels; cell = boxed } in
+      Hashtbl.add t.tbl (name, labels) m;
+      t.rev_order <- m :: t.rev_order;
+      cell
+
+let counter t ?(help = "") ?(labels = []) name =
+  register t ~help ~labels name
+    (fun () ->
+      let c = { count = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | Gauge _ | Histogram _ -> None)
+
+let gauge t ?(help = "") ?(labels = []) name =
+  register t ~help ~labels name
+    (fun () ->
+      let g = { value = 0. } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
+
+let histogram t ?(help = "") ?(labels = []) ~lo ~hi ~bins name =
+  register t ~help ~labels name
+    (fun () ->
+      let h =
+        {
+          hist = Netstats.Histogram.create ~lo ~hi ~bins;
+          stats = Netstats.Welford.create ();
+          p50_est = Netstats.P2_quantile.create ~q:0.5;
+          p99_est = Netstats.P2_quantile.create ~q:0.99;
+        }
+      in
+      (h, Histogram h))
+    (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+
+let inc ?(by = 1) c = c.count <- c.count + by
+
+let counter_value c = c.count
+
+let set g v = g.value <- v
+
+let add g v = g.value <- g.value +. v
+
+let set_max g v = if v > g.value then g.value <- v
+
+let gauge_value g = g.value
+
+let observe h v =
+  Netstats.Histogram.add h.hist v;
+  Netstats.Welford.add h.stats v;
+  Netstats.P2_quantile.add h.p50_est v;
+  Netstats.P2_quantile.add h.p99_est v
+
+let observations h = Netstats.Welford.count h.stats
+
+let p50 h = if observations h = 0 then 0. else Netstats.P2_quantile.quantile h.p50_est
+
+let p99 h = if observations h = 0 then 0. else Netstats.P2_quantile.quantile h.p99_est
+
+(* ------------------------------------------------------------------ *)
+(* Exposition *)
+
+let metrics t = List.rev t.rev_order
+
+(* Cumulative buckets with Prometheus [le] semantics; the underflow
+   bucket folds into the first finite bound, the overflow into +Inf. *)
+let buckets h =
+  let edges = Netstats.Histogram.bin_edges h.hist in
+  let counts = Netstats.Histogram.bin_counts h.hist in
+  let cum = ref (Netstats.Histogram.underflow h.hist) in
+  let finite =
+    Array.to_list
+      (Array.mapi
+         (fun i c ->
+           cum := !cum + c;
+           (Some edges.(i + 1), !cum))
+         counts)
+  in
+  finite @ [ (None, Netstats.Histogram.count h.hist) ]
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) labels)
+
+let metric_json m =
+  let base = [ ("name", Json.String m.name) ] in
+  let help = if m.help = "" then [] else [ ("help", Json.String m.help) ] in
+  let labels = if m.labels = [] then [] else [ ("labels", labels_json m.labels) ] in
+  let payload =
+    match m.cell with
+    | Counter c -> [ ("type", Json.String "counter"); ("value", Json.Int c.count) ]
+    | Gauge g -> [ ("type", Json.String "gauge"); ("value", Json.Float g.value) ]
+    | Histogram h ->
+        let n = observations h in
+        [
+          ("type", Json.String "histogram");
+          ("count", Json.Int n);
+          ("sum", Json.Float (Netstats.Welford.sum h.stats));
+          ("mean", Json.Float (Netstats.Welford.mean h.stats));
+          ("min", Json.Float (if n = 0 then 0. else Netstats.Welford.min h.stats));
+          ("max", Json.Float (if n = 0 then 0. else Netstats.Welford.max h.stats));
+          ("p50", Json.Float (p50 h));
+          ("p99", Json.Float (p99 h));
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (le, count) ->
+                   Json.Obj
+                     [
+                       ( "le",
+                         match le with
+                         | Some e -> Json.Float e
+                         | None -> Json.String "+Inf" );
+                       ("count", Json.Int count);
+                     ])
+                 (buckets h)) );
+        ]
+  in
+  Json.Obj (base @ help @ labels @ payload)
+
+let to_json t = Json.List (List.map metric_json (metrics t))
+
+let prom_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) labels)
+      ^ "}"
+
+let prom_number f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let prom_series buf m =
+  match m.cell with
+  | Counter c ->
+      Printf.bprintf buf "%s%s %d\n" m.name (prom_labels m.labels) c.count
+  | Gauge g ->
+      Printf.bprintf buf "%s%s %s\n" m.name (prom_labels m.labels)
+        (prom_number g.value)
+  | Histogram h ->
+      List.iter
+        (fun (le, count) ->
+          let le = match le with Some e -> prom_number e | None -> "+Inf" in
+          Printf.bprintf buf "%s_bucket%s %d\n" m.name
+            (prom_labels (m.labels @ [ ("le", le) ]))
+            count)
+        (buckets h);
+      Printf.bprintf buf "%s_sum%s %s\n" m.name (prom_labels m.labels)
+        (prom_number (Netstats.Welford.sum h.stats));
+      Printf.bprintf buf "%s_count%s %d\n" m.name (prom_labels m.labels)
+        (observations h)
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let all = metrics t in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem seen m.name) then begin
+        Hashtbl.add seen m.name ();
+        if m.help <> "" then Printf.bprintf buf "# HELP %s %s\n" m.name m.help;
+        Printf.bprintf buf "# TYPE %s %s\n" m.name (kind_name m.cell);
+        List.iter (fun m' -> if m'.name = m.name then prom_series buf m') all
+      end)
+    all;
+  Buffer.contents buf

@@ -1,0 +1,91 @@
+(** The metric registry: named, labelled counters, gauges and histograms.
+
+    A registry is a flat namespace of time-series cells. Registration is
+    get-or-create keyed on [(name, sorted labels)], so independent
+    components can share a series simply by naming it; registering an
+    existing name with a different metric kind is a programming error and
+    raises. Cells are plain mutable records — updating one is a couple of
+    machine instructions, cheap enough for per-run (though not per-event)
+    hot paths.
+
+    Histograms combine three estimators from [Netstats]: a fixed-bin
+    {!Netstats.Histogram} for the bucket counts, a {!Netstats.Welford}
+    accumulator for count/sum/mean/min/max, and two
+    {!Netstats.P2_quantile} markers for online p50/p99.
+
+    Snapshots come in two flavours: {!to_json} (machine-readable, parses
+    back with [Json.parse]) and {!to_prometheus} (the text exposition
+    format, for eyeballs and scrapers). *)
+
+type t
+(** A registry. *)
+
+type labels = (string * string) list
+(** Label pairs; order is irrelevant (canonicalised on registration). *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {2 Registration (get-or-create)}
+
+    Metric names must match [[A-Za-z_][A-Za-z0-9_]*].
+    @raise Invalid_argument on an invalid name or a kind mismatch with an
+    already-registered series. [help] is kept from the first
+    registration. *)
+
+val counter : t -> ?help:string -> ?labels:labels -> string -> counter
+val gauge : t -> ?help:string -> ?labels:labels -> string -> gauge
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:labels ->
+  lo:float ->
+  hi:float ->
+  bins:int ->
+  string ->
+  histogram
+(** Bucket layout ([lo], [hi], [bins]) is fixed by the first
+    registration; later calls with the same key return the existing
+    series and ignore their layout arguments. *)
+
+(** {2 Updates} *)
+
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+val add : gauge -> float -> unit
+(** Accumulate into the gauge (for float totals such as seconds). *)
+
+val set_max : gauge -> float -> unit
+(** High-water-mark update: keep the maximum of the current value and
+    [v]. Gauges start at 0, so this tracks maxima of non-negative
+    quantities. *)
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val observations : histogram -> int
+
+val p50 : histogram -> float
+(** Online median estimate; 0 before the first observation. *)
+
+val p99 : histogram -> float
+(** Online 99th-percentile estimate; 0 before the first observation. *)
+
+(** {2 Exposition} *)
+
+val to_json : t -> Json.t
+(** A [Json.List] of metric objects in registration order. Counters and
+    gauges carry a ["value"]; histograms carry count/sum/mean/min/max,
+    p50/p99, and cumulative ["buckets"] (Prometheus-style [le] upper
+    bounds, final bucket [le = "+Inf"]). *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition: [# HELP] / [# TYPE] per metric name, one
+    sample line per series, histograms as [_bucket]/[_sum]/[_count]. *)

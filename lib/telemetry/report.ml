@@ -1,0 +1,95 @@
+type t = {
+  label : string;
+  runs : int;
+  events_fired : int;
+  event_queue_hwm : int;
+  gateway_queue_hwm : int;
+  sim_time_s : float;
+  run_wall_s : float;
+  wall_s : float;
+  events_per_sec : float;
+  sim_wall_ratio : float;
+  bus_events : int;
+  phases : (string * float) list;
+  metrics : Json.t;
+}
+
+let of_probe ?(label = "run") (p : Probe.t) =
+  let r = p.Probe.registry in
+  let gauge name = Registry.gauge_value (Registry.gauge r name) in
+  let events_fired = Probe.events_total p in
+  let sim_time_s = gauge Probe.m_sim_seconds in
+  let run_wall_s = gauge Probe.m_run_wall in
+  let total = Perf.duration_s p.Probe.phases "total" in
+  let wall_s = if total > 0. then total else Perf.total_s p.Probe.phases in
+  let rate x = if run_wall_s > 0. then x /. run_wall_s else 0. in
+  {
+    label;
+    runs = Probe.runs_total p;
+    events_fired;
+    event_queue_hwm = int_of_float (gauge Probe.m_eq_hwm);
+    gateway_queue_hwm = int_of_float (gauge Probe.m_gw_hwm);
+    sim_time_s;
+    run_wall_s;
+    wall_s;
+    events_per_sec = rate (float_of_int events_fired);
+    sim_wall_ratio = rate sim_time_s;
+    bus_events = Event_bus.published p.Probe.bus;
+    phases = Perf.durations_s p.Probe.phases;
+    metrics = Registry.to_json r;
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("label", Json.String t.label);
+      ("runs", Json.Int t.runs);
+      ("events_fired", Json.Int t.events_fired);
+      ("event_queue_hwm", Json.Int t.event_queue_hwm);
+      ("gateway_queue_hwm", Json.Int t.gateway_queue_hwm);
+      ("sim_time_s", Json.Float t.sim_time_s);
+      ("run_wall_s", Json.Float t.run_wall_s);
+      ("wall_s", Json.Float t.wall_s);
+      ("events_per_sec", Json.Float t.events_per_sec);
+      ("sim_wall_ratio", Json.Float t.sim_wall_ratio);
+      ("bus_events", Json.Int t.bus_events);
+      ("phases", Json.Obj (List.map (fun (n, s) -> (n, Json.Float s)) t.phases));
+      ("metrics", t.metrics);
+    ]
+
+let required_fields =
+  [
+    "label";
+    "runs";
+    "events_fired";
+    "event_queue_hwm";
+    "gateway_queue_hwm";
+    "events_per_sec";
+    "phases";
+    "metrics";
+  ]
+
+let validate j =
+  match j with
+  | Json.Obj _ ->
+      let missing =
+        List.filter (fun f -> Json.member f j = None) required_fields
+      in
+      let shape_errors =
+        (match Json.member "phases" j with
+        | Some (Json.Obj _) | None -> []
+        | Some _ -> [ "phases is not an object" ])
+        @
+        match Json.member "metrics" j with
+        | Some (Json.List _) | None -> []
+        | Some _ -> [ "metrics is not a list" ]
+      in
+      if missing = [] && shape_errors = [] then Ok ()
+      else
+        Error
+          (String.concat "; "
+             ((match missing with
+              | [] -> []
+              | _ -> [ "missing fields: " ^ String.concat ", " missing ])
+             @ shape_errors))
+  | _ -> Error "report is not a JSON object"

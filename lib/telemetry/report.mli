@@ -1,0 +1,35 @@
+(** The end-of-run JSON report: a summary snapshot of a {!Probe.t}.
+
+    The report is the machine-readable contract behind [--telemetry]:
+    {!required_fields} lists the keys every report carries, and
+    {!validate} checks a parsed document against that contract (used by
+    the [report-check] subcommand and [make check]). *)
+
+type t = {
+  label : string;
+  runs : int;
+  events_fired : int;
+  event_queue_hwm : int;
+  gateway_queue_hwm : int;
+  sim_time_s : float;
+  run_wall_s : float;  (** wall seconds inside the run phase only *)
+  wall_s : float;  (** total wall seconds (all phases) *)
+  events_per_sec : float;
+  sim_wall_ratio : float;
+  bus_events : int;
+  phases : (string * float) list;
+  metrics : Json.t;  (** [Registry.to_json] dump *)
+}
+
+val of_probe : ?label:string -> Probe.t -> t
+(** Rates are derived from the run phase: [events_per_sec] and
+    [sim_wall_ratio] are 0 when no run time was recorded. [wall_s] is
+    the "total" phase when one was timed, otherwise the sum of phases. *)
+
+val to_json : t -> Json.t
+
+val required_fields : string list
+
+val validate : Json.t -> (unit, string) result
+(** Check that a parsed report is an object carrying every required
+    field, with [phases] an object and [metrics] a list. *)

@@ -17,6 +17,7 @@ type t = {
   cwnd_validation : bool;
   limited_transmit : bool;
   pacing : bool;
+  bus : Telemetry.Event_bus.t option;
   transmit : Packet.t -> unit;
   stats : Tcp_stats.t;
   cwnd_trace : Netstats.Series.t;
@@ -47,6 +48,15 @@ let now_sec t = Time.to_sec (Scheduler.now t.sched)
 
 let record_cwnd t =
   Netstats.Series.add t.cwnd_trace (now_sec t) (t.cc.Cc.cwnd ())
+
+(* Publish a congestion decision; [cwnd] is read after the reaction. *)
+let publish_tcp t kind =
+  match t.bus with
+  | None -> ()
+  | Some bus ->
+      Telemetry.Event_bus.publish bus
+        (Telemetry.Event_bus.Tcp
+           { time = now_sec t; kind; flow = t.flow; cwnd = t.cc.Cc.cwnd () })
 
 let window t =
   Stdlib.max 1 (Stdlib.min (int_of_float (t.cc.Cc.cwnd ())) t.adv_window)
@@ -168,6 +178,8 @@ and on_rto_fire t =
     t.stats.Tcp_stats.timeouts <- t.stats.Tcp_stats.timeouts + 1;
     Rto.backoff t.rto;
     t.cc.Cc.on_timeout ~flight:(flight t) ~now:(now_sec t);
+    publish_tcp t Telemetry.Event_bus.Timeout;
+    publish_tcp t Telemetry.Event_bus.Cwnd_cut;
     t.dup_acks <- 0;
     t.in_recovery <- false;
     (* Pessimistic after a timeout: discard SACK state and go back. *)
@@ -286,6 +298,8 @@ let on_dup_ack t =
     if t.dup_acks = 3 then begin
       t.stats.Tcp_stats.fast_retransmits <- t.stats.Tcp_stats.fast_retransmits + 1;
       t.cc.Cc.enter_recovery ~flight:(flight t) ~now:(now_sec t);
+      publish_tcp t Telemetry.Event_bus.Fast_retransmit;
+      publish_tcp t Telemetry.Event_bus.Cwnd_cut;
       if t.cc.Cc.uses_fast_recovery then begin
         t.in_recovery <- true;
         t.recover <- t.max_sent - 1
@@ -318,6 +332,8 @@ let on_ece t =
   if now >= t.ecn_holdoff_until && flight t > 0 && not t.in_recovery then begin
     t.ecn_reactions <- t.ecn_reactions + 1;
     t.cc.Cc.on_ecn ~flight:(flight t) ~now;
+    publish_tcp t Telemetry.Event_bus.Ecn_reaction;
+    publish_tcp t Telemetry.Event_bus.Cwnd_cut;
     let rtt = Option.value (Rto.srtt t.rto) ~default:1.0 in
     t.ecn_holdoff_until <- now +. rtt;
     record_cwnd t
@@ -334,8 +350,8 @@ let handle_packet t p =
   | Packet.Tcp_data _ | Packet.Udp_data _ -> ()
 
 let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
-    ?(limited_transmit = false) ?(pacing = false) sched ~factory ~cc ~rto_params
-    ~flow ~src ~dst ~mss_bytes ~adv_window ~transmit =
+    ?(limited_transmit = false) ?(pacing = false) ?bus sched ~factory ~cc
+    ~rto_params ~flow ~src ~dst ~mss_bytes ~adv_window ~transmit =
   if adv_window < 1 then invalid_arg "Tcp_sender.create: adv_window < 1";
   if mss_bytes < 1 then invalid_arg "Tcp_sender.create: mss_bytes < 1";
   let t =
@@ -354,6 +370,7 @@ let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
       cwnd_validation;
       limited_transmit;
       pacing;
+      bus;
       transmit;
       stats = Tcp_stats.create ();
       cwnd_trace = Netstats.Series.create ();

@@ -18,6 +18,7 @@ val create :
   ?cwnd_validation:bool ->
   ?limited_transmit:bool ->
   ?pacing:bool ->
+  ?bus:Telemetry.Event_bus.t ->
   Sim_engine.Scheduler.t ->
   factory:Netsim.Packet.factory ->
   cc:Cc.handle ->
@@ -46,7 +47,10 @@ val create :
     segment, improving loss recovery for small windows. [pacing] (default
     false) spreads new transmissions at srtt/cwnd intervals instead of
     ACK-clocked bursts (Aggarwal–Savage–Anderson TCP pacing);
-    retransmissions are never paced. *)
+    retransmissions are never paced. [bus] (default absent) publishes a
+    [Tcp] event for every congestion decision: [Timeout],
+    [Fast_retransmit] and [Ecn_reaction], each followed by a [Cwnd_cut]
+    carrying the post-reaction window. *)
 
 val write : t -> int -> unit
 (** Submit [n] more segments from the application. *)

@@ -41,3 +41,30 @@ trace subcommand's deterministic run line).
 
   $ ../bin/main.exe run --scenario udp -n 2 --duration 30 2>/dev/null | head -1 | cut -d' ' -f1
   UDP
+
+--telemetry writes a report that report-check validates; table1 runs no
+simulation, so the NDJSON trace stays empty.
+
+  $ ../bin/main.exe table1 --fast --telemetry=report.json --trace-out=trace.ndjson > /dev/null
+  wrote telemetry report to report.json
+  $ ../bin/main.exe report-check report.json
+  report ok
+  $ wc -l < trace.ndjson
+  0
+
+A simulated run fills the trace with packet events (the discriminator
+field leads every line) and its report validates too.
+
+  $ ../bin/main.exe run --scenario reno -n 2 --duration 6 --fast --telemetry=run-report.json --trace-out=run-trace.ndjson > /dev/null
+  wrote telemetry report to run-report.json
+  $ ../bin/main.exe report-check run-report.json
+  report ok
+  $ head -c 17 run-trace.ndjson
+  {"event":"packet"
+
+Corrupt reports are rejected.
+
+  $ echo '{"label":"x"}' > broken.json
+  $ ../bin/main.exe report-check broken.json
+  broken.json: invalid telemetry report: missing fields: runs, events_fired, event_queue_hwm, gateway_queue_hwm, events_per_sec, phases, metrics
+  [1]

@@ -138,6 +138,24 @@ let eq_cancel () =
   Event_queue.cancel q h;
   Alcotest.(check int) "still 0" 0 (Event_queue.length q)
 
+let eq_high_water_mark () =
+  let q = Event_queue.create () in
+  Alcotest.(check int) "starts at 0" 0 (Event_queue.high_water_mark q);
+  ignore (Event_queue.schedule q (Time.of_sec 1.) ignore);
+  let h2 = Event_queue.schedule q (Time.of_sec 2.) ignore in
+  ignore (Event_queue.schedule q (Time.of_sec 3.) ignore);
+  Alcotest.(check int) "tracks peak" 3 (Event_queue.high_water_mark q);
+  (* Pop the t=1 event and cancel the t=2 one: live drops to 1. *)
+  ignore (Event_queue.pop q);
+  Event_queue.cancel q h2;
+  Alcotest.(check int) "peak survives drain" 3 (Event_queue.high_water_mark q);
+  (* Refilling below the old peak leaves it; exceeding it moves it. *)
+  ignore (Event_queue.schedule q (Time.of_sec 4.) ignore);
+  ignore (Event_queue.schedule q (Time.of_sec 5.) ignore);
+  Alcotest.(check int) "below peak: unchanged" 3 (Event_queue.high_water_mark q);
+  ignore (Event_queue.schedule q (Time.of_sec 6.) ignore);
+  Alcotest.(check int) "new peak" 4 (Event_queue.high_water_mark q)
+
 let eq_next_time_skips_cancelled () =
   let q = Event_queue.create () in
   let h1 = Event_queue.schedule q (Time.of_sec 1.) ignore in
@@ -190,6 +208,15 @@ let sched_stop () =
   ignore (Scheduler.at s (Time.of_sec 2.) (fun () -> incr count));
   Scheduler.run s;
   Alcotest.(check int) "stopped after first" 1 !count
+
+let sched_queue_high_water_mark () =
+  let s = Scheduler.create () in
+  (* Each tick keeps one successor pending, so the peak is the initial 3. *)
+  List.iter
+    (fun t -> ignore (Scheduler.at s (Time.of_sec t) ignore))
+    [ 1.; 2.; 3. ];
+  Scheduler.run s;
+  Alcotest.(check int) "peak pending" 3 (Scheduler.queue_high_water_mark s)
 
 let sched_rejects_past () =
   let s = Scheduler.create () in
@@ -305,6 +332,7 @@ let suite =
         Alcotest.test_case "fifo within timestamp" `Quick eq_fifo_within_timestamp;
         Alcotest.test_case "cancel" `Quick eq_cancel;
         Alcotest.test_case "next_time skips cancelled" `Quick eq_next_time_skips_cancelled;
+        Alcotest.test_case "high-water mark" `Quick eq_high_water_mark;
       ] );
     ( "engine.scheduler",
       [
@@ -312,6 +340,7 @@ let suite =
         Alcotest.test_case "until bounds run" `Quick sched_until_bounds_and_advances;
         Alcotest.test_case "nested scheduling" `Quick sched_nested_scheduling;
         Alcotest.test_case "stop" `Quick sched_stop;
+        Alcotest.test_case "queue high-water mark" `Quick sched_queue_high_water_mark;
         Alcotest.test_case "rejects past times" `Quick sched_rejects_past;
       ] );
     ( "engine.rng",

@@ -67,6 +67,21 @@ let droptail_capacity () =
   ignore (Droptail.dequeue q);
   Alcotest.(check bool) "room again" true (Droptail.enqueue q (mk_packet f) = `Enqueued)
 
+let droptail_high_water_mark () =
+  let f = Packet.factory () in
+  let q = Droptail.create ~capacity:5 in
+  Alcotest.(check int) "starts at 0" 0 (Droptail.high_water_mark q);
+  List.iter (fun _ -> ignore (Droptail.enqueue q (mk_packet f))) [ 1; 2; 3 ];
+  ignore (Droptail.dequeue q);
+  ignore (Droptail.dequeue q);
+  Alcotest.(check int) "peak survives dequeues" 3 (Droptail.high_water_mark q);
+  ignore (Droptail.enqueue q (mk_packet f));
+  Alcotest.(check int) "below peak: unchanged" 3 (Droptail.high_water_mark q);
+  (* The dispatching wrapper reports the same number. *)
+  let qd = Queue_disc.droptail ~capacity:2 in
+  ignore (Queue_disc.enqueue qd ~now:Time.zero (mk_packet f));
+  Alcotest.(check int) "queue_disc dispatch" 1 (Queue_disc.high_water_mark qd)
+
 let droptail_fifo_order () =
   let f = Packet.factory () in
   let q = Droptail.create ~capacity:10 in
@@ -561,6 +576,55 @@ let tracer_text_format () =
   Alcotest.(check bool) "has seq" true (Astring_like.contains line "seq=42");
   Alcotest.(check bool) "arrive marker" true (String.length line > 0 && line.[0] = '+')
 
+let tracer_attach_bus_matches_attach () =
+  (* Two identical links: one watched directly, one through the bus. The
+     tracer must record the same trace either way. *)
+  let record via =
+    let sched = Scheduler.create () in
+    let f = Packet.factory () in
+    let tracer = Tracer.create () in
+    let link =
+      Link.create sched ~name:"lnk" ~bandwidth:(Units.kbps 8.) ~delay:(Time.of_ms 1.)
+        ~queue:(Queue_disc.droptail ~capacity:1)
+        ~deliver:ignore
+    in
+    via tracer link;
+    List.iter (fun i -> Link.send link (mk_packet ~flow:i ~seq:i f)) [ 0; 1; 2 ];
+    Scheduler.run sched;
+    Array.to_list
+      (Array.map
+         (fun e -> (e.Tracer.kind, e.Tracer.flow, e.Tracer.seq, e.Tracer.time))
+         (Tracer.events tracer))
+  in
+  let direct = record Tracer.attach in
+  let bused =
+    record (fun tracer link ->
+        let bus = Telemetry.Event_bus.create () in
+        Tracer.attach_bus tracer bus;
+        Link.publish link bus;
+        (* Non-packet traffic on the bus is ignored by the tracer. *)
+        Telemetry.Event_bus.publish bus
+          (Telemetry.Event_bus.Tcp
+             { time = 0.; kind = Telemetry.Event_bus.Timeout; flow = 0; cwnd = 1. }))
+  in
+  Alcotest.(check int) "same event count" (List.length direct) (List.length bused);
+  Alcotest.(check bool) "identical traces" true (direct = bused)
+
+let link_queue_high_water_mark () =
+  let sched = Scheduler.create () in
+  let f = Packet.factory () in
+  let link =
+    Link.create sched ~name:"l" ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
+      ~delay:(Time.of_ms 1.)
+      ~queue:(Queue_disc.droptail ~capacity:10)
+      ~deliver:ignore
+  in
+  (* One transmits immediately; the other three peak the queue at 3. *)
+  List.iter (fun _ -> Link.send link (mk_packet f)) [ 1; 2; 3; 4 ];
+  Scheduler.run sched;
+  Alcotest.(check int) "drained" 0 (Link.queue_length link);
+  Alcotest.(check int) "peak was 3" 3 (Link.queue_high_water_mark link)
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -620,6 +684,7 @@ let suite =
     ( "net.droptail",
       [
         Alcotest.test_case "capacity" `Quick droptail_capacity;
+        Alcotest.test_case "high-water mark" `Quick droptail_high_water_mark;
         Alcotest.test_case "fifo order" `Quick droptail_fifo_order;
       ] );
     ( "net.red",
@@ -648,6 +713,7 @@ let suite =
         Alcotest.test_case "order preservation" `Quick link_preserves_order;
         Alcotest.test_case "drops and counters" `Quick link_drops_and_counters;
         Alcotest.test_case "listeners" `Quick link_listeners_fire;
+        Alcotest.test_case "queue high-water mark" `Quick link_queue_high_water_mark;
       ] );
     ( "net.router",
       [
@@ -662,6 +728,8 @@ let suite =
         Alcotest.test_case "records packet lifecycle" `Quick tracer_records_lifecycle;
         Alcotest.test_case "per-flow counts and bytes" `Quick tracer_per_flow_and_bytes;
         Alcotest.test_case "text format" `Quick tracer_text_format;
+        Alcotest.test_case "bus attachment matches direct" `Quick
+          tracer_attach_bus_matches_attach;
       ] );
     ( "net.properties",
       [

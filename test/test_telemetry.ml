@@ -1,0 +1,433 @@
+(* Tests for the telemetry subsystem: registry, event bus, perf phases,
+   progress reporting, report contract, and probe integration with Run. *)
+
+open Telemetry
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let registry_get_or_create () =
+  let r = Registry.create () in
+  let a = Registry.counter r "requests_total" in
+  let b = Registry.counter r "requests_total" in
+  Registry.inc a;
+  Registry.inc ~by:2 b;
+  (* Same key -> same cell, regardless of which handle updated it. *)
+  Alcotest.(check int) "shared cell" 3 (Registry.counter_value a);
+  Alcotest.(check int) "shared cell (b)" 3 (Registry.counter_value b)
+
+let registry_labels_canonicalised () =
+  let r = Registry.create () in
+  let a = Registry.counter r ~labels:[ ("x", "1"); ("y", "2") ] "m" in
+  let b = Registry.counter r ~labels:[ ("y", "2"); ("x", "1") ] "m" in
+  let other = Registry.counter r ~labels:[ ("x", "9") ] "m" in
+  Registry.inc a;
+  Alcotest.(check int) "label order irrelevant" 1 (Registry.counter_value b);
+  Alcotest.(check int) "distinct labels distinct" 0 (Registry.counter_value other)
+
+let registry_kind_mismatch_raises () =
+  let r = Registry.create () in
+  ignore (Registry.counter r "m");
+  Alcotest.(check bool) "gauge over counter raises" true
+    (try
+       ignore (Registry.gauge r "m");
+       false
+     with Invalid_argument _ -> true)
+
+let registry_invalid_name_raises () =
+  let r = Registry.create () in
+  Alcotest.(check bool) "bad name raises" true
+    (try
+       ignore (Registry.counter r "9bad name");
+       false
+     with Invalid_argument _ -> true)
+
+let registry_gauge_set_max () =
+  let r = Registry.create () in
+  let g = Registry.gauge r "hwm" in
+  Registry.set_max g 5.;
+  Registry.set_max g 3.;
+  check_float "keeps max" 5. (Registry.gauge_value g);
+  Registry.set_max g 7.;
+  check_float "raises to new max" 7. (Registry.gauge_value g);
+  let acc = Registry.gauge r "acc" in
+  Registry.add acc 1.5;
+  Registry.add acc 2.5;
+  check_float "add accumulates" 4. (Registry.gauge_value acc)
+
+let registry_histogram_quantiles () =
+  let r = Registry.create () in
+  let h = Registry.histogram r ~lo:0. ~hi:100. ~bins:20 "lat" in
+  for i = 1 to 1000 do
+    Registry.observe h (float_of_int (i mod 100))
+  done;
+  Alcotest.(check int) "count" 1000 (Registry.observations h);
+  Alcotest.(check (float 5.)) "p50 near 50" 50. (Registry.p50 h);
+  Alcotest.(check (float 5.)) "p99 near 99" 99. (Registry.p99 h)
+
+let registry_json_roundtrip () =
+  let r = Registry.create () in
+  Registry.inc (Registry.counter r ~help:"hits" "hits_total");
+  Registry.set (Registry.gauge r "level") 2.5;
+  Registry.observe (Registry.histogram r ~lo:0. ~hi:1. ~bins:4 "h") 0.3;
+  let s = Json.to_string (Registry.to_json r) in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "registry json does not parse: %s" e
+  | Ok (Json.List metrics) ->
+      Alcotest.(check int) "three metrics" 3 (List.length metrics)
+  | Ok _ -> Alcotest.fail "expected a list"
+
+let registry_prometheus_text () =
+  let r = Registry.create () in
+  Registry.inc (Registry.counter r ~help:"total hits" "hits_total");
+  Registry.observe (Registry.histogram r ~lo:0. ~hi:1. ~bins:2 "lat") 0.3;
+  let text = Registry.to_prometheus r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "contains %S" needle)
+        true
+        (Astring_like.contains text needle))
+    [ "# HELP hits_total total hits"; "# TYPE hits_total counter";
+      "hits_total 1"; "# TYPE lat histogram"; "lat_bucket"; "le=\"+Inf\"";
+      "lat_count 1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Event bus *)
+
+let sample_events =
+  [
+    Event_bus.Packet
+      {
+        time = 1.25;
+        kind = Event_bus.Arrival;
+        link = "bottleneck";
+        flow = 3;
+        seq = Some 17;
+        size_bytes = 1000;
+        uid = 42;
+      };
+    Event_bus.Packet
+      {
+        time = 1.5;
+        kind = Event_bus.Drop;
+        link = "bottleneck";
+        flow = 4;
+        seq = None;
+        size_bytes = 40;
+        uid = 43;
+      };
+    Event_bus.Tcp { time = 2.; kind = Event_bus.Timeout; flow = 1; cwnd = 1. };
+    Event_bus.Queue
+      {
+        time = 3.;
+        kind = Event_bus.Early_drop;
+        queue = "gateway";
+        flow = 2;
+        avg = 7.5;
+      };
+    Event_bus.Custom { time = 4.; name = "phase_mark"; value = 1. };
+  ]
+
+let bus_pub_sub_order () =
+  let bus = Event_bus.create () in
+  Alcotest.(check bool) "no subscribers" false (Event_bus.has_subscribers bus);
+  let log = ref [] in
+  let _s1 = Event_bus.subscribe bus (fun _ -> log := "a" :: !log) in
+  let s2 = Event_bus.subscribe bus (fun _ -> log := "b" :: !log) in
+  Alcotest.(check bool) "has subscribers" true (Event_bus.has_subscribers bus);
+  Event_bus.publish bus (List.hd sample_events);
+  Alcotest.(check (list string)) "subscription order" [ "a"; "b" ] (List.rev !log);
+  Event_bus.unsubscribe bus s2;
+  Event_bus.unsubscribe bus s2 (* no-op *);
+  Event_bus.publish bus (List.hd sample_events);
+  Alcotest.(check (list string)) "after unsubscribe" [ "a"; "b"; "a" ] (List.rev !log);
+  Alcotest.(check int) "published counts everything" 2 (Event_bus.published bus)
+
+let bus_published_without_subscribers () =
+  let bus = Event_bus.create () in
+  List.iter (Event_bus.publish bus) sample_events;
+  Alcotest.(check int) "counter still bumps" (List.length sample_events)
+    (Event_bus.published bus)
+
+let bus_ndjson_roundtrip () =
+  List.iter
+    (fun e ->
+      let line = Event_bus.to_ndjson e in
+      Alcotest.(check bool) "one line" false (String.contains line '\n');
+      match Event_bus.of_ndjson_line line with
+      | Ok e' -> Alcotest.(check bool) "round-trips" true (e = e')
+      | Error msg -> Alcotest.failf "parse failed on %s: %s" line msg)
+    sample_events
+
+let bus_ndjson_event_field_first () =
+  let line = Event_bus.to_ndjson (List.hd sample_events) in
+  Alcotest.(check string) "discriminator leads" "{\"event\":\"packet\""
+    (String.sub line 0 17)
+
+let bus_of_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Event_bus.of_ndjson_line s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "not json"; "{}"; "{\"event\":\"nope\",\"time\":0}"; "[1,2]" ]
+
+let event_gen =
+  let open QCheck.Gen in
+  let time = map (fun i -> float_of_int i /. 16.) (int_bound 100_000) in
+  let pos = int_bound 10_000 in
+  let name = oneofl [ "a"; "gateway"; "bottleneck"; "x_1" ] in
+  frequency
+    [
+      ( 4,
+        map
+          (fun ((time, kind, link), (flow, seq, size_bytes, uid)) ->
+            Event_bus.Packet { time; kind; link; flow; seq; size_bytes; uid })
+          (pair
+             (triple time
+                (oneofl [ Event_bus.Arrival; Event_bus.Drop; Event_bus.Depart ])
+                name)
+             (quad pos (option pos) pos pos)) );
+      ( 2,
+        map
+          (fun (time, kind, flow, cwnd) ->
+            Event_bus.Tcp { time; kind; flow; cwnd = float_of_int cwnd /. 8. })
+          (quad time
+             (oneofl
+                [
+                  Event_bus.Timeout; Event_bus.Fast_retransmit;
+                  Event_bus.Cwnd_cut; Event_bus.Ecn_reaction;
+                ])
+             pos pos) );
+      ( 2,
+        map
+          (fun (time, kind, queue, flow, avg) ->
+            Event_bus.Queue { time; kind; queue; flow; avg = float_of_int avg /. 4. })
+          (tup5 time
+             (oneofl [ Event_bus.Ecn_mark; Event_bus.Early_drop; Event_bus.Forced_drop ])
+             name pos pos) );
+      ( 1,
+        map
+          (fun (time, name, v) ->
+            Event_bus.Custom { time; name; value = float_of_int v /. 2. })
+          (triple time name pos) );
+    ]
+
+let bus_roundtrip_property =
+  QCheck.Test.make ~name:"ndjson round-trip on random events" ~count:500
+    (QCheck.make event_gen)
+    (fun e -> Event_bus.of_ndjson_line (Event_bus.to_ndjson e) = Ok e)
+
+(* ------------------------------------------------------------------ *)
+(* Perf phases *)
+
+let perf_phases_accumulate () =
+  let p = Perf.phases () in
+  check_float "untimed is 0" 0. (Perf.duration_s p "setup");
+  Perf.add_s p "setup" 0.5;
+  Perf.add_s p "run" 1.;
+  Perf.add_s p "setup" 0.25;
+  check_float "accumulates" 0.75 (Perf.duration_s p "setup");
+  Alcotest.(check (list string)) "first-use order" [ "setup"; "run" ]
+    (List.map fst (Perf.durations_s p));
+  check_float "total" 1.75 (Perf.total_s p);
+  let timed = Perf.time p "extra" (fun () -> 42) in
+  Alcotest.(check int) "time returns result" 42 timed;
+  Alcotest.(check bool) "timed phase recorded" true
+    (List.mem_assoc "extra" (Perf.durations_s p))
+
+(* ------------------------------------------------------------------ *)
+(* Progress *)
+
+let with_buffer_channel f =
+  let path = Filename.temp_file "burstsim_progress" ".txt" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      f oc;
+      close_out oc;
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s)
+
+let progress_lines () =
+  let clock = ref 0. in
+  let now () = !clock in
+  let text =
+    with_buffer_channel (fun oc ->
+        let p = Progress.create ~out:oc ~now ~total:4 () in
+        clock := 10.;
+        Progress.step p ~events:10_000 "Reno n=2";
+        Alcotest.(check int) "one completed" 1 (Progress.completed p);
+        clock := 20.;
+        Progress.step p "Reno n=4";
+        Progress.finish p)
+  in
+  Alcotest.(check bool) "shows counter" true (Astring_like.contains text "1/4");
+  Alcotest.(check bool) "shows label" true (Astring_like.contains text "Reno n=2");
+  (* After 1 of 4 runs in 10 s, the remaining 3 extrapolate to 30 s. *)
+  Alcotest.(check bool) "eta extrapolates" true (Astring_like.contains text "30s");
+  Alcotest.(check bool) "rate when events given" true
+    (Astring_like.contains text "ev/s")
+
+let progress_formatting () =
+  Alcotest.(check string) "seconds" "42s" (Progress.format_duration 42.);
+  Alcotest.(check string) "minutes" "3m09s" (Progress.format_duration 189.);
+  Alcotest.(check string) "hours" "2h05m" (Progress.format_duration 7500.);
+  Alcotest.(check string) "plain rate" "850 ev/s" (Progress.format_rate 850.);
+  Alcotest.(check string) "kilo rate" "1.2k ev/s" (Progress.format_rate 1230.);
+  Alcotest.(check string) "mega rate" "3.10M ev/s" (Progress.format_rate 3.1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Report *)
+
+let report_of_probe_validates () =
+  let probe = Probe.create () in
+  Probe.note_run probe ~label:"t" ~sim_s:10. ~wall_s:0.5 ~events:1000
+    ~event_queue_hwm:42 ~gateway_queue_hwm:7 ~arrivals:900 ~drops:3;
+  let report = Report.of_probe ~label:"test" probe in
+  Alcotest.(check int) "runs" 1 report.Report.runs;
+  Alcotest.(check int) "events" 1000 report.Report.events_fired;
+  Alcotest.(check int) "eq hwm" 42 report.Report.event_queue_hwm;
+  check_float "rate" 2000. report.Report.events_per_sec;
+  let json = Report.to_json report in
+  (match Report.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fresh report invalid: %s" e);
+  (* And it survives a print/parse cycle. *)
+  match Json.parse (Json.to_string json) with
+  | Ok j -> (
+      match Report.validate j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "parsed report invalid: %s" e)
+  | Error e -> Alcotest.failf "report does not parse: %s" e
+
+let report_validate_rejects () =
+  (match Report.validate (Json.String "nope") with
+  | Ok () -> Alcotest.fail "accepted a non-object"
+  | Error _ -> ());
+  let probe = Probe.create () in
+  let json = Report.to_json (Report.of_probe probe) in
+  match json with
+  | Json.Obj fields ->
+      List.iter
+        (fun required ->
+          let mutilated = Json.Obj (List.remove_assoc required fields) in
+          match Report.validate mutilated with
+          | Ok () -> Alcotest.failf "accepted report without %s" required
+          | Error msg ->
+              Alcotest.(check bool) "error names the field" true
+                (Astring_like.contains msg required))
+        Report.required_fields
+  | _ -> Alcotest.fail "report is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Probe + Run integration *)
+
+let small_config clients =
+  {
+    (Burstcore.Config.with_clients Burstcore.Config.default clients) with
+    Burstcore.Config.duration_s = 6.;
+    warmup_s = 1.;
+  }
+
+let probe_instruments_a_run () =
+  let probe = Probe.create () in
+  ignore (Burstcore.Run.run ~probe (small_config 5) Burstcore.Scenario.reno);
+  Alcotest.(check int) "one run" 1 (Probe.runs_total probe);
+  Alcotest.(check bool) "events counted" true (Probe.events_total probe > 0);
+  let phases = List.map fst (Perf.durations_s probe.Probe.phases) in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " phase timed") true (List.mem name phases))
+    [ "setup"; "run"; "collect" ];
+  let hwm =
+    Registry.gauge_value (Registry.gauge probe.Probe.registry Probe.m_eq_hwm)
+  in
+  Alcotest.(check bool) "event-queue hwm positive" true (hwm > 0.);
+  match Report.validate (Report.to_json (Report.of_probe probe)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "run report invalid: %s" e
+
+let probe_bus_sees_packet_and_tcp_events () =
+  let probe = Probe.create () in
+  let packets = ref 0 and tcp = ref 0 and last_time = ref 0. in
+  let monotone = ref true in
+  ignore
+    (Event_bus.subscribe probe.Probe.bus (fun e ->
+         let t = Event_bus.time e in
+         if t < !last_time then monotone := false;
+         last_time := t;
+         match e with
+         | Event_bus.Packet _ -> incr packets
+         | Event_bus.Tcp _ -> incr tcp
+         | _ -> ()));
+  (* 20 clients against Table 1's 10-packet buffer forces loss events. *)
+  ignore (Burstcore.Run.run ~probe (small_config 20) Burstcore.Scenario.reno);
+  Alcotest.(check bool) "packet events flow" true (!packets > 0);
+  Alcotest.(check bool) "congestion produces tcp events" true (!tcp > 0);
+  Alcotest.(check bool) "timestamps non-decreasing" true !monotone;
+  Alcotest.(check int) "published matches deliveries"
+    (!packets + !tcp)
+    (Event_bus.published probe.Probe.bus)
+
+let probe_run_deterministic_under_telemetry () =
+  let run probe = Burstcore.Run.run ?probe (small_config 5) Burstcore.Scenario.reno in
+  let bare = run None and probed = run (Some (Probe.create ())) in
+  Alcotest.(check int) "delivered unchanged" bare.Burstcore.Metrics.delivered
+    probed.Burstcore.Metrics.delivered;
+  check_float "loss unchanged" bare.Burstcore.Metrics.loss_pct
+    probed.Burstcore.Metrics.loss_pct
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "telemetry.registry",
+      [
+        Alcotest.test_case "get-or-create" `Quick registry_get_or_create;
+        Alcotest.test_case "labels canonicalised" `Quick registry_labels_canonicalised;
+        Alcotest.test_case "kind mismatch raises" `Quick registry_kind_mismatch_raises;
+        Alcotest.test_case "invalid name raises" `Quick registry_invalid_name_raises;
+        Alcotest.test_case "gauge set_max / add" `Quick registry_gauge_set_max;
+        Alcotest.test_case "histogram quantiles" `Quick registry_histogram_quantiles;
+        Alcotest.test_case "json round-trip" `Quick registry_json_roundtrip;
+        Alcotest.test_case "prometheus text" `Quick registry_prometheus_text;
+      ] );
+    ( "telemetry.event_bus",
+      [
+        Alcotest.test_case "pub/sub order" `Quick bus_pub_sub_order;
+        Alcotest.test_case "published without subscribers" `Quick
+          bus_published_without_subscribers;
+        Alcotest.test_case "ndjson round-trip" `Quick bus_ndjson_roundtrip;
+        Alcotest.test_case "event field first" `Quick bus_ndjson_event_field_first;
+        Alcotest.test_case "rejects garbage" `Quick bus_of_json_rejects_garbage;
+      ]
+      @ qsuite [ bus_roundtrip_property ] );
+    ( "telemetry.perf",
+      [ Alcotest.test_case "phases accumulate" `Quick perf_phases_accumulate ] );
+    ( "telemetry.progress",
+      [
+        Alcotest.test_case "progress lines" `Quick progress_lines;
+        Alcotest.test_case "formatting" `Quick progress_formatting;
+      ] );
+    ( "telemetry.report",
+      [
+        Alcotest.test_case "of_probe validates" `Quick report_of_probe_validates;
+        Alcotest.test_case "validate rejects" `Quick report_validate_rejects;
+      ] );
+    ( "telemetry.integration",
+      [
+        Alcotest.test_case "probe instruments a run" `Quick probe_instruments_a_run;
+        Alcotest.test_case "bus sees packet and tcp events" `Quick
+          probe_bus_sees_packet_and_tcp_events;
+        Alcotest.test_case "telemetry does not perturb results" `Quick
+          probe_run_deterministic_under_telemetry;
+      ] );
+  ]
