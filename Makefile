@@ -23,16 +23,20 @@ figures:
 fast:
 	dune exec bench/main.exe -- --fast --skip-micro
 
-# CI gate: build, unit + cram tests, then a telemetry smoke run whose
-# report must validate, plus the events/sec overhead baseline.
+# CI gate: build, unit + cram tests (including the parallel determinism
+# suite, re-run explicitly so a filtered runtest cannot skip it), then a
+# telemetry smoke run whose report must validate, plus the events/sec
+# overhead baseline and the sequential-vs-parallel sweep timing.
 check:
 	dune build @all
 	dune runtest
+	dune exec test/test_main.exe -- test parallel
 	dune exec bin/main.exe -- table1 --fast \
 	  --telemetry=/tmp/burstsim-report.json \
 	  --trace-out=/tmp/burstsim-trace.ndjson
 	dune exec bin/main.exe -- report-check /tmp/burstsim-report.json
 	dune exec bench/main.exe -- --fast --only telemetry
+	dune exec bench/main.exe -- --fast --only parallel
 
 clean:
 	dune clean

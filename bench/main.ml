@@ -18,7 +18,7 @@ let args =
     ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel microbenchmarks");
     ( "--only",
       Arg.String (fun s -> only := Some s),
-      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | micro" );
+      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | parallel | micro" );
   ]
 
 let section name = Format.fprintf std "@.==== %s ====@.@." name
@@ -177,6 +177,75 @@ let run_telemetry_bench () =
   Format.fprintf std "wrote BENCH_telemetry.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Parallel sweep: sequential vs domain-fanned wall time               *)
+
+(* One replicated Reno sweep, run twice: sequentially and fanned over
+   [Domain.recommended_domain_count ()] domains. The two result lists
+   must compare equal — the pool guarantees bit-identical metrics — so
+   the only thing allowed to change is wall time. Speedup depends on the
+   machine; the recorded [domains] field says what was available. *)
+let run_parallel_bench () =
+  section "Parallel sweep (sequential vs domains)";
+  let cfg =
+    {
+      (config ()) with
+      Burstcore.Config.duration_s = (if !fast then 10. else 30.);
+      warmup_s = 2.;
+    }
+  in
+  let ns = if !fast then [ 10; 20 ] else [ 10; 20; 30 ] in
+  let replicates = 4 in
+  let scenario = Burstcore.Scenario.reno in
+  let timed f =
+    let t0 = Telemetry.Perf.wall_clock_s () in
+    let r = f () in
+    (r, Telemetry.Perf.wall_clock_s () -. t0)
+  in
+  let seq, seq_wall =
+    timed (fun () -> Burstcore.Sweep.replicated cfg scenario ~replicates ns)
+  in
+  let domains = Domain.recommended_domain_count () in
+  let par, par_wall =
+    timed (fun () ->
+        Parallel.Pool.with_pool ~domains (fun pool ->
+            Burstcore.Sweep.replicated ~pool cfg scenario ~replicates ns))
+  in
+  let deterministic = par = seq in
+  let speedup = if par_wall > 0. then seq_wall /. par_wall else 0. in
+  Format.fprintf std
+    "points                %12d  (%d client counts x %d replicates)@."
+    (List.length ns * replicates)
+    (List.length ns) replicates;
+  Format.fprintf std "domains               %12d@." domains;
+  Format.fprintf std "sequential            %12.4f s@." seq_wall;
+  Format.fprintf std "parallel              %12.4f s@." par_wall;
+  Format.fprintf std "speedup               %12.2fx@." speedup;
+  Format.fprintf std "bit-identical results %12s@."
+    (if deterministic then "yes" else "NO");
+  if not deterministic then begin
+    Format.eprintf "parallel sweep diverged from the sequential one@.";
+    exit 1
+  end;
+  let json =
+    Burstcore.Json.Obj
+      [
+        ("scenario", Burstcore.Json.String (Burstcore.Scenario.label scenario));
+        ( "clients",
+          Burstcore.Json.List (List.map (fun n -> Burstcore.Json.Int n) ns) );
+        ("replicates", Burstcore.Json.Int replicates);
+        ("duration_s", Burstcore.Json.Float cfg.Burstcore.Config.duration_s);
+        ("domains", Burstcore.Json.Int domains);
+        ("sequential_wall_s", Burstcore.Json.Float seq_wall);
+        ("parallel_wall_s", Burstcore.Json.Float par_wall);
+        ("speedup", Burstcore.Json.Float speedup);
+        ("deterministic", Burstcore.Json.Bool deterministic);
+      ]
+  in
+  Burstcore.Export.write_file "BENCH_parallel.json"
+    (Burstcore.Json.to_string json ^ "\n");
+  Format.fprintf std "wrote BENCH_parallel.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator primitives                *)
 
 module Micro = struct
@@ -310,5 +379,6 @@ let () =
   if wants "parking" then run_parking_lot ();
   if wants "twoway" then run_twoway ();
   if wants "telemetry" then run_telemetry_bench ();
+  if wants "parallel" then run_parallel_bench ();
   if (not !skip_micro) && wants "micro" then run_micro ();
   Format.pp_print_flush std ()

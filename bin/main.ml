@@ -70,6 +70,23 @@ let scenario_conv =
 
 let progress label = Format.eprintf "running %s...@." label
 
+let jobs =
+  let doc =
+    "Fan independent simulation points across $(docv) domains. Results are \
+     bit-identical for every value; only wall-clock time changes. The default \
+     1 runs everything sequentially on the calling domain."
+  in
+  let jobs_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "JOBS must be at least 1")
+      | None -> Error (`Msg (Printf.sprintf "invalid job count %S" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt jobs_conv 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* Telemetry options (shared by the simulation subcommands)            *)
 
@@ -106,6 +123,20 @@ let tele_term =
     const (fun report_out trace_out want_progress ->
         { report_out; trace_out; want_progress })
     $ report_out $ trace_out $ want_progress)
+
+(* Run [f] with a pool of [jobs] domains, or without one when sequential.
+   Event tracing needs the single ordered stream only a sequential run
+   produces, so the combination is rejected rather than silently losing
+   or interleaving trace lines. *)
+let with_jobs ~jobs tele f =
+  if jobs > 1 && tele.trace_out <> None then begin
+    Format.eprintf
+      "burstsim: --trace-out cannot be combined with --jobs > 1 (the event \
+       trace needs a single ordered stream)@.";
+    exit 1
+  end;
+  if jobs <= 1 then f None
+  else Parallel.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
 
 (* Build the probe + sinks a subcommand asked for, run [f probe notify]
    under the "total" phase, emit the report, and return [f]'s result.
@@ -183,8 +214,8 @@ let fig_number =
   let doc = "Figure number (2-13)." in
   Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
 
-let render_sweep_figure ?probe ?notify n cfg counts =
-  let sweep = Burstcore.Figures.run_sweep ?probe ?notify ~progress cfg counts in
+let render_sweep_figure ?pool ?probe ?notify n cfg counts =
+  let sweep = Burstcore.Figures.run_sweep ?pool ?probe ?notify ~progress cfg counts in
   match n with
   | 2 -> Burstcore.Figures.fig2 std sweep cfg
   | 3 -> Burstcore.Figures.fig3 std sweep
@@ -199,21 +230,24 @@ let replicates_opt =
   Arg.(value & opt int 1 & info [ "replicates" ] ~docv:"R" ~doc)
 
 let fig_cmd =
-  let run n duration seed fast clients_list replicates tele =
+  let run n duration seed fast clients_list replicates jobs tele =
     let cfg = base_config ~duration ~seed ~fast in
     let counts = sweep_counts ~fast ~clients_list in
     let sweep_runs = n_paper_series * List.length counts in
     match n with
     | 2 when replicates > 1 ->
-        with_telemetry ~label:"fig 2 (replicated)"
-          ~total_runs:(sweep_runs * replicates) tele (fun probe notify ->
-            Burstcore.Figures.fig2_replicated ?probe ~notify std cfg counts
-              ~replicates)
+        with_jobs ~jobs tele (fun pool ->
+            with_telemetry ~label:"fig 2 (replicated)"
+              ~total_runs:(sweep_runs * replicates) tele (fun probe notify ->
+                Burstcore.Figures.fig2_replicated ?pool ?probe ~notify std cfg
+                  counts ~replicates))
     | 2 | 3 | 4 | 13 ->
-        with_telemetry
-          ~label:(Printf.sprintf "fig %d" n)
-          ~total_runs:sweep_runs tele
-          (fun probe notify -> render_sweep_figure ?probe ~notify n cfg counts)
+        with_jobs ~jobs tele (fun pool ->
+            with_telemetry
+              ~label:(Printf.sprintf "fig %d" n)
+              ~total_runs:sweep_runs tele
+              (fun probe notify ->
+                render_sweep_figure ?pool ?probe ~notify n cfg counts))
     | _ -> (
         match
           List.find_opt
@@ -239,23 +273,24 @@ let fig_cmd =
     (Cmd.info "fig" ~doc:"Regenerate one figure of the paper.")
     Term.(
       const run $ fig_number $ duration $ seed $ fast $ clients_list
-      $ replicates_opt $ tele_term)
+      $ replicates_opt $ jobs $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* all                                                                 *)
 
 let all_cmd =
-  let run duration seed fast clients_list tele =
+  let run duration seed fast clients_list jobs tele =
     let cfg = base_config ~duration ~seed ~fast in
     let counts = sweep_counts ~fast ~clients_list in
     let total_runs =
       (n_paper_series * List.length counts)
       + List.length Burstcore.Figures.cwnd_figures
     in
+    with_jobs ~jobs tele @@ fun pool ->
     with_telemetry ~label:"all" ~total_runs tele (fun probe notify ->
         Burstcore.Figures.table1 std cfg;
         let sweep =
-          Burstcore.Figures.run_sweep ?probe ~notify ~progress cfg counts
+          Burstcore.Figures.run_sweep ?pool ?probe ~notify ~progress cfg counts
         in
         Format.fprintf std "@.";
         Burstcore.Figures.fig2 std sweep cfg;
@@ -278,7 +313,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure.")
-    Term.(const run $ duration $ seed $ fast $ clients_list $ tele_term)
+    Term.(const run $ duration $ seed $ fast $ clients_list $ jobs $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* run — one custom experiment                                         *)
@@ -446,15 +481,16 @@ let export_cmd =
     let doc = "Output file." in
     Arg.(required & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
   in
-  let run format out duration seed fast clients_list tele =
+  let run format out duration seed fast clients_list jobs tele =
     let cfg = base_config ~duration ~seed ~fast in
     let counts = sweep_counts ~fast ~clients_list in
     let sweep =
+      with_jobs ~jobs tele @@ fun pool ->
       with_telemetry ~label:"export"
         ~total_runs:(n_paper_series * List.length counts)
         tele
         (fun probe notify ->
-          Burstcore.Figures.run_sweep ?probe ~notify ~progress cfg counts)
+          Burstcore.Figures.run_sweep ?pool ?probe ~notify ~progress cfg counts)
     in
     let contents =
       match format with
@@ -468,7 +504,7 @@ let export_cmd =
     (Cmd.info "export"
        ~doc:"Run the paper sweep and write the results as JSON or CSV.")
     Term.(
-      const run $ format $ out $ duration $ seed $ fast $ clients_list
+      const run $ format $ out $ duration $ seed $ fast $ clients_list $ jobs
       $ tele_term)
 
 (* ------------------------------------------------------------------ *)

@@ -69,7 +69,13 @@ let gateway_queue ?bus cfg scenario rng =
 let create ?bus cfg scenario =
   Config.validate cfg;
   let n = cfg.Config.clients in
-  let sched = Scheduler.create () in
+  (* Pre-size the event queue for the steady state: each client holds at
+     most a window of data segments plus ACKs in flight (two events per
+     packet: tx-done and delivery), plus per-flow timers and a small
+     fixed overhead for sampling/warmup events. Over-estimating only
+     costs a few words; under-estimating just means one array doubling. *)
+  let queue_capacity = 64 + (n * ((4 * cfg.Config.adv_window) + 8)) in
+  let sched = Scheduler.create ~queue_capacity () in
   let rng = Rng.create ~seed:cfg.Config.seed in
   let factory = Netsim.Packet.factory () in
   let router = Router.create ~name:"gateway" in

@@ -3,12 +3,20 @@ type sweep_result = (Scenario.t * Metrics.t list) list
 let default_client_counts =
   [ 2; 5; 10; 15; 20; 25; 30; 34; 36; 38; 39; 40; 42; 46; 50; 55; 60 ]
 
-let run_sweep ?probe ?notify ?(progress = fun _ -> ()) cfg ns =
-  List.map
-    (fun scenario ->
-      progress (Scenario.label scenario);
-      (scenario, Sweep.over_clients ?probe ?notify cfg scenario ns))
-    Scenario.paper_series
+let run_sweep ?pool ?probe ?notify ?(progress = fun _ -> ()) cfg ns =
+  match pool with
+  | None ->
+      List.map
+        (fun scenario ->
+          progress (Scenario.label scenario);
+          (scenario, Sweep.over_clients ?probe ?notify cfg scenario ns))
+        Scenario.paper_series
+  | Some _ ->
+      (* The grid form lets points from different series run
+         concurrently; series boundaries no longer order execution, so
+         all scenario labels are announced up front. *)
+      List.iter (fun s -> progress (Scenario.label s)) Scenario.paper_series;
+      Sweep.grid ?pool ?probe ?notify cfg Scenario.paper_series ns
 
 let table1 ppf cfg =
   Format.fprintf ppf "Table 1: simulation parameters@.@.%a@." Config.pp cfg
@@ -105,13 +113,13 @@ let fig13 ppf sweep =
   plot_series ppf sweep ~scenarios:Scenario.tcp_series ~extra_first_series:[]
     ~cell:(fun m -> m.Metrics.timeout_dupack_ratio)
 
-let fig2_replicated ?probe ?notify ppf cfg ns ~replicates =
+let fig2_replicated ?pool ?probe ?notify ppf cfg ns ~replicates =
   Format.fprintf ppf
     "Figure 2 (replicated): c.o.v. as mean +/- std over %d seeds@.@." replicates;
   let per_scenario =
     List.map
       (fun scenario ->
-        (scenario, Sweep.replicated ?probe ?notify cfg scenario ~replicates ns))
+        (scenario, Sweep.replicated ?pool ?probe ?notify cfg scenario ~replicates ns))
       Scenario.paper_series
   in
   let header =

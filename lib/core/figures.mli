@@ -10,6 +10,7 @@ val default_client_counts : int list
 (** The swept x-axis: 2..60 clients, denser around the 38/39 crossover. *)
 
 val run_sweep :
+  ?pool:Parallel.Pool.t ->
   ?probe:Telemetry.Probe.t ->
   ?notify:(string -> unit) ->
   ?progress:(string -> unit) ->
@@ -19,7 +20,9 @@ val run_sweep :
 (** Runs the six paper scenarios over the given client counts.
     [progress] is called with a scenario label before each series;
     [notify] with a point label after each individual run (see
-    {!Sweep.over_clients}); [probe] instruments every run. *)
+    {!Sweep.over_clients}); [probe] instruments every run. With [pool],
+    points from every series run concurrently (results unchanged — see
+    {!Sweep}); [progress] then fires for all series up front. *)
 
 val table1 : Format.formatter -> Config.t -> unit
 
@@ -28,6 +31,7 @@ val fig2 : Format.formatter -> sweep_result -> Config.t -> unit
     including the analytic Poisson baseline. *)
 
 val fig2_replicated :
+  ?pool:Parallel.Pool.t ->
   ?probe:Telemetry.Probe.t ->
   ?notify:(string -> unit) ->
   Format.formatter ->
@@ -36,7 +40,8 @@ val fig2_replicated :
   replicates:int ->
   unit
 (** Figure 2 with [replicates] independent seeds per point, reported as
-    mean +/- sample standard deviation. Runs its own sweep. *)
+    mean +/- sample standard deviation. Runs its own sweep, fanned over
+    [pool] when given. *)
 
 val fig3 : Format.formatter -> sweep_result -> unit
 (** Total packets successfully delivered vs #clients (TCP variants). *)

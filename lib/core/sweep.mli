@@ -2,11 +2,23 @@
 
     Every run gets a distinct deterministic seed derived from the base
     configuration's seed, the scenario label and the client count, so
-    series are independent but reproducible. *)
+    series are independent but reproducible.
+
+    {b Parallel execution.} Each sweep takes an optional
+    {!Parallel.Pool.t}. Without one (or with a one-domain pool) points
+    run sequentially on the calling domain. With a pool, points fan out
+    across its domains; because every point derives its own seed and
+    owns its own simulation state, the returned metric lists and
+    {!replicated} records are bit-identical to the sequential path.
+    When a [probe] is given, each point records into a private probe
+    and the workers' telemetry folds into [probe] (in input order) when
+    the sweep returns; [notify] may fire from worker domains, serialized
+    so calls never overlap, but in a nondeterministic order. *)
 
 val seed_for : Config.t -> Scenario.t -> int -> int64
 
 val over_clients :
+  ?pool:Parallel.Pool.t ->
   ?probe:Telemetry.Probe.t ->
   ?notify:(string -> unit) ->
   Config.t ->
@@ -18,13 +30,16 @@ val over_clients :
     after each run completes — hook progress reporting there. *)
 
 val grid :
+  ?pool:Parallel.Pool.t ->
   ?probe:Telemetry.Probe.t ->
   ?notify:(string -> unit) ->
   Config.t ->
   Scenario.t list ->
   int list ->
   (Scenario.t * Metrics.t list) list
-(** The full (scenario x clients) grid driving Figures 2, 3, 4 and 13. *)
+(** The full (scenario x clients) grid driving Figures 2, 3, 4 and 13.
+    With a pool, the grid is flattened so every (scenario, clients)
+    point can run concurrently, not just points within one series. *)
 
 (** {2 Replicated runs}
 
@@ -45,6 +60,7 @@ type replicated = {
 }
 
 val replicated :
+  ?pool:Parallel.Pool.t ->
   ?probe:Telemetry.Probe.t ->
   ?notify:(string -> unit) ->
   Config.t ->
@@ -53,5 +69,7 @@ val replicated :
   int list ->
   replicated list
 (** [replicates] independent seeds per (scenario, client-count) point;
-    [notify] fires after every replicate ("scenario n=N r=R").
+    [notify] fires after every replicate ("scenario n=N r=R"). With a
+    pool, individual replicates run concurrently and the per-point
+    summaries are folded afterwards in replicate order.
     @raise Invalid_argument if [replicates < 1]. *)

@@ -22,7 +22,8 @@ type t = {
   mutable hwm : int;
 }
 
-let create () = { heap = H.create (); next_seq = 0; live = 0; hwm = 0 }
+let create ?capacity () =
+  { heap = H.create ?capacity (); next_seq = 0; live = 0; hwm = 0 }
 
 let length q = q.live
 
@@ -66,3 +67,31 @@ let pop q =
       e.cancelled <- true;
       q.live <- q.live - 1;
       Some (e.at, e.action)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation-free drain path (the scheduler's inner loop) *)
+
+let nil = { at = Time.zero; seq = -1; action = ignore; cancelled = true }
+
+let is_nil h = h == nil
+
+let time_of h = h.at
+
+let action_of h = h.action
+
+let rec pop_if_before q horizon =
+  if H.is_empty q.heap then nil
+  else begin
+    let e = H.top_exn q.heap in
+    if e.cancelled then begin
+      H.drop_top q.heap;
+      pop_if_before q horizon
+    end
+    else if Time.(e.at > horizon) then nil
+    else begin
+      H.drop_top q.heap;
+      e.cancelled <- true;
+      q.live <- q.live - 1;
+      e
+    end
+  end

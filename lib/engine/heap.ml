@@ -8,22 +8,28 @@ module Make (Elt : ORDERED) = struct
   type t = {
     mutable data : Elt.t array;
     (* [data.(0 .. size-1)] is a binary min-heap; slots beyond [size] hold
-       stale elements kept only to satisfy the array type. *)
+       stale elements kept only to satisfy the array type. The backing
+       array cannot be allocated before the first push (there is no
+       [Elt.t] witness), so the capacity hint is kept aside and honoured
+       by the first [grow]. *)
     mutable size : int;
+    capacity_hint : int;
   }
 
   let create ?(capacity = 64) () =
     if capacity < 1 then invalid_arg "Heap.create: capacity < 1";
-    { data = [||]; size = 0 }
+    { data = [||]; size = 0; capacity_hint = capacity }
 
   let length h = h.size
 
   let is_empty h = h.size = 0
 
+  let capacity h = Array.length h.data
+
   let grow h elt =
     let cap = Array.length h.data in
     if h.size = cap then begin
-      let ncap = Stdlib.max 64 (2 * cap) in
+      let ncap = if cap = 0 then h.capacity_hint else 2 * cap in
       let ndata = Array.make ncap elt in
       Array.blit h.data 0 ndata 0 h.size;
       h.data <- ndata
@@ -61,6 +67,19 @@ module Make (Elt : ORDERED) = struct
 
   let peek h = if h.size = 0 then None else Some h.data.(0)
 
+  let top_exn h =
+    if h.size = 0 then invalid_arg "Heap.top_exn: empty heap";
+    h.data.(0)
+
+  let drop_top h =
+    if h.size > 0 then begin
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h.data h.size 0
+      end
+    end
+
   let pop h =
     if h.size = 0 then None
     else begin
@@ -86,7 +105,9 @@ module Make (Elt : ORDERED) = struct
     done
 
   let to_sorted_list h =
-    let copy = { data = Array.sub h.data 0 h.size; size = h.size } in
+    let copy =
+      { data = Array.sub h.data 0 h.size; size = h.size; capacity_hint = h.capacity_hint }
+    in
     let rec drain acc =
       match pop copy with None -> List.rev acc | Some e -> drain (e :: acc)
     in

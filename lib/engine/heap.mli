@@ -13,15 +13,30 @@ module Make (Elt : ORDERED) : sig
   type t
 
   val create : ?capacity:int -> unit -> t
-  (** Fresh empty heap. [capacity] is an initial size hint (default 64). *)
+  (** Fresh empty heap. [capacity] is the size of the backing array's
+      first allocation (default 64), made lazily at the first {!push};
+      pass the expected peak to avoid doubling-and-copying on the way
+      up. @raise Invalid_argument when [capacity < 1]. *)
 
   val length : t -> int
   val is_empty : t -> bool
+
+  val capacity : t -> int
+  (** Current backing-array size; 0 until the first {!push}. *)
 
   val push : t -> Elt.t -> unit
 
   val peek : t -> Elt.t option
   (** Smallest element, without removing it. *)
+
+  val top_exn : t -> Elt.t
+  (** Smallest element without the option box — the allocation-free
+      sibling of {!peek} for hot loops.
+      @raise Invalid_argument on an empty heap. *)
+
+  val drop_top : t -> unit
+  (** Remove the smallest element (no-op when empty) without allocating
+      the [option] that {!pop} returns. *)
 
   val pop : t -> Elt.t option
   (** Removes and returns the smallest element. *)

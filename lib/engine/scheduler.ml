@@ -7,8 +7,13 @@ type t = {
   mutable fired : int;
 }
 
-let create () =
-  { queue = Event_queue.create (); clock = Time.zero; stopped = false; fired = 0 }
+let create ?queue_capacity () =
+  {
+    queue = Event_queue.create ?capacity:queue_capacity ();
+    clock = Time.zero;
+    stopped = false;
+    fired = 0;
+  }
 
 let now t = t.clock
 
@@ -24,23 +29,19 @@ let stop t = t.stopped <- true
 
 let run ?until t =
   t.stopped <- false;
-  let horizon_reached at =
-    match until with None -> false | Some u -> Time.(at > u)
-  in
+  (* The allocation-free drain: one [pop_if_before] per event, no
+     option/pair boxes (see Event_queue). *)
+  let horizon = match until with Some u -> u | None -> Time.never in
   let rec loop () =
-    if t.stopped then ()
-    else
-      match Event_queue.next_time t.queue with
-      | None -> ()
-      | Some at when horizon_reached at -> ()
-      | Some _ -> (
-          match Event_queue.pop t.queue with
-          | None -> ()
-          | Some (at, action) ->
-              t.clock <- at;
-              t.fired <- t.fired + 1;
-              action ();
-              loop ())
+    if not t.stopped then begin
+      let e = Event_queue.pop_if_before t.queue horizon in
+      if not (Event_queue.is_nil e) then begin
+        t.clock <- Event_queue.time_of e;
+        t.fired <- t.fired + 1;
+        Event_queue.action_of e ();
+        loop ()
+      end
+    end
   in
   loop ();
   match until with

@@ -8,7 +8,10 @@ type t
 
 type handle = Event_queue.handle
 
-val create : unit -> t
+val create : ?queue_capacity:int -> unit -> t
+(** [queue_capacity] pre-sizes the event queue (see
+    {!Event_queue.create}); pass the expected peak pending-event count
+    to avoid growth copies in long runs. *)
 
 val now : t -> Time.t
 (** Current virtual time. *)

@@ -4,6 +4,8 @@ type span = t
 
 let zero = 0.
 
+let never = infinity
+
 let of_sec s =
   if not (Float.is_finite s) || s < 0. then
     invalid_arg "Time.of_sec: negative or non-finite";

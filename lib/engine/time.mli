@@ -13,6 +13,11 @@ type span = t
 
 val zero : t
 
+val never : t
+(** A time later than every constructible time ({!of_sec} rejects
+    non-finite inputs), for "no horizon" comparisons. Do not do
+    arithmetic with it. *)
+
 val of_sec : float -> t
 (** [of_sec s] is the time [s] seconds after the origin. Raises
     [Invalid_argument] if [s] is negative or not finite. *)

@@ -9,6 +9,15 @@ type t = {
   queue : Queue_disc.t;
   deliver : Packet.t -> unit;
   mutable busy : bool;
+  in_flight : Packet.t Queue.t;
+  (* Packets serializing or propagating, in serialization order. The two
+     continuations below are allocated once per link instead of once per
+     packet: serialization completions and deliveries each fire in FIFO
+     order (a constant propagation delay after strictly increasing
+     serialization finish times), so the head of [in_flight] is always
+     the packet the next delivery event is for. *)
+  mutable on_tx_done : unit -> unit;
+  mutable on_deliver : unit -> unit;
   mutable arrival_listeners : (Time.t -> Packet.t -> unit) list;
   mutable drop_listeners : (Time.t -> Packet.t -> unit) list;
   mutable depart_listeners : (Time.t -> Packet.t -> unit) list;
@@ -18,46 +27,61 @@ type t = {
   mutable bytes_delivered : int;
 }
 
-let create sched ~name ~bandwidth ~delay ~queue ~deliver =
-  {
-    sched;
-    name;
-    bandwidth;
-    delay;
-    queue;
-    deliver;
-    busy = false;
-    arrival_listeners = [];
-    drop_listeners = [];
-    depart_listeners = [];
-    arrivals = 0;
-    drops = 0;
-    departures = 0;
-    bytes_delivered = 0;
-  }
-
 let notify listeners now p = List.iter (fun f -> f now p) listeners
 
 (* Serialize the head-of-line packet, then pipeline: delivery happens
-   [delay] after serialization ends, while the next packet serializes. *)
+   [delay] after serialization ends, while the next packet serializes.
+   The continuations are the link's preallocated [on_tx_done] and
+   [on_deliver]; the packet travels via [in_flight] rather than being
+   captured in a fresh closure per transmission. *)
 let rec try_transmit t =
   if not t.busy then begin
     match Queue_disc.dequeue t.queue ~now:(Scheduler.now t.sched) with
     | None -> ()
     | Some p ->
         t.busy <- true;
+        Queue.push p t.in_flight;
         let tx = Units.transmission_time t.bandwidth ~bytes:p.Packet.size_bytes in
-        ignore
-          (Scheduler.after t.sched tx (fun () ->
-               t.busy <- false;
-               ignore
-                 (Scheduler.after t.sched t.delay (fun () ->
-                      t.departures <- t.departures + 1;
-                      t.bytes_delivered <- t.bytes_delivered + p.Packet.size_bytes;
-                      notify t.depart_listeners (Scheduler.now t.sched) p;
-                      t.deliver p));
-               try_transmit t))
+        ignore (Scheduler.after t.sched tx t.on_tx_done)
   end
+
+and tx_done t =
+  t.busy <- false;
+  ignore (Scheduler.after t.sched t.delay t.on_deliver);
+  try_transmit t
+
+and deliver_head t =
+  let p = Queue.pop t.in_flight in
+  t.departures <- t.departures + 1;
+  t.bytes_delivered <- t.bytes_delivered + p.Packet.size_bytes;
+  notify t.depart_listeners (Scheduler.now t.sched) p;
+  t.deliver p
+
+let create sched ~name ~bandwidth ~delay ~queue ~deliver =
+  let t =
+    {
+      sched;
+      name;
+      bandwidth;
+      delay;
+      queue;
+      deliver;
+      busy = false;
+      in_flight = Queue.create ();
+      on_tx_done = ignore;
+      on_deliver = ignore;
+      arrival_listeners = [];
+      drop_listeners = [];
+      depart_listeners = [];
+      arrivals = 0;
+      drops = 0;
+      departures = 0;
+      bytes_delivered = 0;
+    }
+  in
+  t.on_tx_done <- (fun () -> tx_done t);
+  t.on_deliver <- (fun () -> deliver_head t);
+  t
 
 let send t p =
   let now = Scheduler.now t.sched in

@@ -1,0 +1,43 @@
+(** A fixed-size pool of OCaml 5 domains with an order-preserving map.
+
+    The pool owns [domains - 1] worker domains plus the calling domain,
+    which participates in every {!map}, so [create ~domains:1] spawns
+    nothing and {!map} degrades to [List.map]. Work is distributed
+    through a shared FIFO task queue: each list element becomes one task,
+    workers pull the next task as they finish the last, and results are
+    written into a slot fixed by the element's input position — so the
+    returned list is always in input order no matter which domain ran
+    which element, and a pure [f] makes [map] observationally identical
+    to [List.map f].
+
+    The pool is built for coarse tasks (whole simulation runs, tens of
+    milliseconds and up); the per-task cost is a couple of mutex
+    operations, so do not feed it per-packet work.
+
+    A pool is not reentrant: call {!map} from one domain at a time, and
+    never from inside a task running on the same pool. *)
+
+type t
+
+val create : domains:int -> t
+(** Spawn a pool of [domains] total domains ([domains - 1] workers).
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** The [domains] the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs], fanning the
+    calls out across the pool's domains, and returns the results in
+    input order. If any call raises, the first exception observed is
+    re-raised in the caller after all in-flight tasks have finished;
+    the remaining queued tasks still run. [f] must not touch mutable
+    state shared between elements.
+    @raise Invalid_argument if the pool has been {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent; the pool is unusable after. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exception. *)

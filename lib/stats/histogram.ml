@@ -31,6 +31,16 @@ let underflow t = t.under
 
 let overflow t = t.over
 
+let merge_into ~into src =
+  if
+    into.lo <> src.lo || into.hi <> src.hi
+    || Array.length into.bins <> Array.length src.bins
+  then invalid_arg "Histogram.merge_into: bucket layouts differ";
+  Array.iteri (fun i c -> into.bins.(i) <- into.bins.(i) + c) src.bins;
+  into.under <- into.under + src.under;
+  into.over <- into.over + src.over;
+  into.total <- into.total + src.total
+
 let bin_edges t =
   let nbins = Array.length t.bins in
   let w = (t.hi -. t.lo) /. float_of_int nbins in

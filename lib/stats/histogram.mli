@@ -16,6 +16,12 @@ val bin_counts : t -> int array
 val underflow : t -> int
 val overflow : t -> int
 
+val merge_into : into:t -> t -> unit
+(** Adds [src]'s bin, underflow and overflow counts into [into], as if
+    every value had been {!add}ed to [into] directly.
+    @raise Invalid_argument if the two layouts ([lo], [hi], bin count)
+    differ. *)
+
 val bin_edges : t -> float array
 (** [bins + 1] edges. *)
 

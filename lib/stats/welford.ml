@@ -52,3 +52,11 @@ let merge a b =
     let m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. float_of_int n) in
     { n; mean; m2; min = Stdlib.min a.min b.min; max = Stdlib.max a.max b.max }
   end
+
+let merge_into ~into src =
+  let m = merge into src in
+  into.n <- m.n;
+  into.mean <- m.mean;
+  into.m2 <- m.m2;
+  into.min <- m.min;
+  into.max <- m.max

@@ -37,3 +37,6 @@ val cov : t -> float
 
 val merge : t -> t -> t
 (** Combines two accumulators as if all samples were added to one. *)
+
+val merge_into : into:t -> t -> unit
+(** In-place {!merge}: folds [src] into [into], leaving [src] untouched. *)

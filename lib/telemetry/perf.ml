@@ -18,6 +18,9 @@ let time t name f =
   let t0 = wall_clock_s () in
   Fun.protect ~finally:(fun () -> add_s t name (wall_clock_s () -. t0)) f
 
+let merge_into ~into src =
+  List.iter (fun (name, r) -> add_s into name !r) src.items
+
 let duration_s t name =
   match List.assoc_opt name t.items with Some r -> !r | None -> 0.
 

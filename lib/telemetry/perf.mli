@@ -20,6 +20,10 @@ val time : phases -> string -> (unit -> 'a) -> 'a
 val add_s : phases -> string -> float -> unit
 (** Credit [name] with an externally measured duration. *)
 
+val merge_into : into:phases -> phases -> unit
+(** Adds each of [src]'s phase totals into [into] (creating phases as
+    needed, in [src]'s order); [src] is left untouched. *)
+
 val duration_s : phases -> string -> float
 (** Accumulated seconds for [name]; 0 if never timed. *)
 

@@ -54,6 +54,22 @@ let note_run t ~label ~sim_s ~wall_s ~events ~event_queue_hwm ~gateway_queue_hwm
        "run_wall_seconds")
     wall_s
 
+(* How each well-known gauge combines when a worker probe folds into the
+   main one: high-water marks keep the max, seconds totals accumulate,
+   anything else keeps last-write semantics. *)
+let gauge_merge_rule ~name ~labels:_ =
+  if String.equal name m_eq_hwm || String.equal name m_gw_hwm then `Max
+  else if
+    String.equal name m_sim_seconds
+    || String.equal name m_run_wall
+    || String.equal name "run_wall_seconds"
+  then `Sum
+  else `Set
+
+let merge ~into src =
+  Registry.merge ~gauge_rule:gauge_merge_rule ~into:into.registry src.registry;
+  Perf.merge_into ~into:into.phases src.phases
+
 let runs_total t = Registry.counter_value (Registry.counter t.registry m_runs)
 
 let events_total t = Registry.counter_value (Registry.counter t.registry m_events)

@@ -51,6 +51,14 @@ val note_run :
     counters and gauges above and record the per-run labelled series
     [run_events_total{run=label}] and [run_wall_seconds{run=label}]. *)
 
+val merge : into:t -> t -> unit
+(** Fold a worker probe into the main one after a parallel sweep:
+    registry series merge with run-aware gauge rules (high-water marks
+    take the max, seconds totals sum, other gauges keep last-write) and
+    phase timers accumulate. Event-bus subscriptions are deliberately
+    not transferred — workers publish to their own bus while they run.
+    [src] is left untouched. *)
+
 val runs_total : t -> int
 
 val events_total : t -> int

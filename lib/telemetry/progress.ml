@@ -3,12 +3,23 @@ type t = {
   now : unit -> float;
   total : int;
   started : float;
+  mutex : Mutex.t;
+  (* Serializes [step]/[finish] so concurrent sweep workers emit whole
+     lines and consistent counts. *)
   mutable completed : int;
   mutable last_events : int;
 }
 
 let create ?(out = stderr) ?(now = Perf.wall_clock_s) ~total () =
-  { out; now; total; started = now (); completed = 0; last_events = 0 }
+  {
+    out;
+    now;
+    total;
+    started = now ();
+    mutex = Mutex.create ();
+    completed = 0;
+    last_events = 0;
+  }
 
 let format_duration s =
   let s = Float.max 0. s in
@@ -29,6 +40,7 @@ let format_rate r =
 let width t = String.length (string_of_int t.total)
 
 let step t ?events label =
+  Mutex.protect t.mutex @@ fun () ->
   t.completed <- t.completed + 1;
   (match events with Some e -> t.last_events <- e | None -> ());
   let elapsed = t.now () -. t.started in
@@ -49,6 +61,7 @@ let step t ?events label =
   flush t.out
 
 let finish t =
+  Mutex.protect t.mutex @@ fun () ->
   let elapsed = t.now () -. t.started in
   let rate =
     if t.last_events > 0 && elapsed > 0. then

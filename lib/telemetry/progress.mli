@@ -3,7 +3,11 @@
     optional events/sec rate.
 
     The clock and output channel are injectable so tests can drive the
-    reporter deterministically. *)
+    reporter deterministically.
+
+    {!step} and {!finish} are serialized behind an internal mutex, so a
+    single reporter can be shared by the worker domains of a parallel
+    sweep. *)
 
 type t
 

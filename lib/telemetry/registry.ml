@@ -7,8 +7,8 @@ type gauge = { mutable value : float }
 type histogram = {
   hist : Netstats.Histogram.t;
   stats : Netstats.Welford.t;
-  p50_est : Netstats.P2_quantile.t;
-  p99_est : Netstats.P2_quantile.t;
+  mutable p50_est : Netstats.P2_quantile.t;
+  mutable p99_est : Netstats.P2_quantile.t;
 }
 
 type cell = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -108,6 +108,66 @@ let observations h = Netstats.Welford.count h.stats
 let p50 h = if observations h = 0 then 0. else Netstats.P2_quantile.quantile h.p50_est
 
 let p99 h = if observations h = 0 then 0. else Netstats.P2_quantile.quantile h.p99_est
+
+(* ------------------------------------------------------------------ *)
+(* Merging *)
+
+type gauge_rule = [ `Set | `Sum | `Max ]
+
+(* P2 marker states cannot be combined exactly (they are nonlinear
+   functions of the sample order), so after merging the bucket counts we
+   rebuild both estimators from a bounded, deterministic replay of the
+   merged histogram: each bin contributes its midpoint, scaled so the
+   replay never exceeds [quantile_replay_cap] samples. The result is an
+   approximation bounded by the bin width, which is the same resolution
+   the buckets themselves offer. *)
+let quantile_replay_cap = 1024
+
+let rebuild_quantiles h =
+  let p50_est = Netstats.P2_quantile.create ~q:0.5 in
+  let p99_est = Netstats.P2_quantile.create ~q:0.99 in
+  let total = Netstats.Histogram.count h.hist in
+  if total > 0 then begin
+    let edges = Netstats.Histogram.bin_edges h.hist in
+    let counts = Netstats.Histogram.bin_counts h.hist in
+    let reps c =
+      if total <= quantile_replay_cap then c
+      else if c = 0 then 0
+      else Stdlib.max 1 (c * quantile_replay_cap / total)
+    in
+    let feed x c =
+      for _ = 1 to reps c do
+        Netstats.P2_quantile.add p50_est x;
+        Netstats.P2_quantile.add p99_est x
+      done
+    in
+    feed edges.(0) (Netstats.Histogram.underflow h.hist);
+    Array.iteri (fun i c -> feed ((edges.(i) +. edges.(i + 1)) /. 2.) c) counts;
+    feed edges.(Array.length edges - 1) (Netstats.Histogram.overflow h.hist)
+  end;
+  h.p50_est <- p50_est;
+  h.p99_est <- p99_est
+
+let merge ?(gauge_rule = fun ~name:_ ~labels:_ -> `Set) ~into src =
+  List.iter
+    (fun m ->
+      match m.cell with
+      | Counter c -> inc ~by:c.count (counter into ~help:m.help ~labels:m.labels m.name)
+      | Gauge g -> (
+          let dst = gauge into ~help:m.help ~labels:m.labels m.name in
+          match gauge_rule ~name:m.name ~labels:m.labels with
+          | `Set -> set dst g.value
+          | `Sum -> add dst g.value
+          | `Max -> set_max dst g.value)
+      | Histogram h ->
+          let edges = Netstats.Histogram.bin_edges h.hist in
+          let lo = edges.(0) and hi = edges.(Array.length edges - 1) in
+          let bins = Array.length edges - 1 in
+          let dst = histogram into ~help:m.help ~labels:m.labels ~lo ~hi ~bins m.name in
+          Netstats.Histogram.merge_into ~into:dst.hist h.hist;
+          Netstats.Welford.merge_into ~into:dst.stats h.stats;
+          rebuild_quantiles dst)
+    (List.rev src.rev_order)
 
 (* ------------------------------------------------------------------ *)
 (* Exposition *)

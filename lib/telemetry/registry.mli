@@ -78,6 +78,32 @@ val p50 : histogram -> float
 val p99 : histogram -> float
 (** Online 99th-percentile estimate; 0 before the first observation. *)
 
+(** {2 Merging}
+
+    Parallel sweeps give each worker domain a private registry and fold
+    the workers' series into the main one afterwards, so no cell is ever
+    shared between domains. *)
+
+type gauge_rule = [ `Set | `Sum | `Max ]
+(** How a gauge combines on merge: [`Set] (last write wins, the
+    default), [`Sum] (accumulating gauges such as seconds totals), or
+    [`Max] (high-water marks). *)
+
+val merge :
+  ?gauge_rule:(name:string -> labels:labels -> gauge_rule) -> into:t -> t -> unit
+(** [merge ~into src] folds every series of [src] into [into], creating
+    missing series with [src]'s help text and bucket layout. Counters
+    add; gauges combine per [gauge_rule] (default [`Set]); histogram
+    bucket counts and moments (count/sum/mean/variance/min/max) combine
+    exactly, as if every observation had gone to [into]. The p50/p99
+    estimates of a merged histogram are rebuilt from its buckets —
+    P{^2} marker state cannot be combined exactly — so after a merge
+    they are approximations at bucket-width resolution. [src] is left
+    untouched.
+    @raise Invalid_argument if a series exists in both registries with
+    different kinds, or if two histograms share a name but not a bucket
+    layout. *)
+
 (** {2 Exposition} *)
 
 val to_json : t -> Json.t

@@ -3,4 +3,5 @@
 let () =
   Alcotest.run "burstsim"
     (Test_engine.suite @ Test_stats.suite @ Test_net.suite @ Test_transport.suite
-   @ Test_traffic.suite @ Test_fluid.suite @ Test_core.suite @ Test_telemetry.suite)
+   @ Test_traffic.suite @ Test_fluid.suite @ Test_core.suite
+   @ Test_telemetry.suite @ Test_parallel.suite)

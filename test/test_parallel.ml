@@ -1,0 +1,179 @@
+(* Tests for the domain pool and the determinism guarantee of parallel
+   sweeps: fanning points across domains must change nothing but wall
+   time. *)
+
+module Pool = Parallel.Pool
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let pool_create_validates () =
+  Alcotest.(check bool) "domains < 1 raises" true
+    (try
+       ignore (Pool.create ~domains:0);
+       false
+     with Invalid_argument _ -> true);
+  let pool = Pool.create ~domains:1 in
+  Alcotest.(check int) "size" 1 (Pool.size pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *)
+
+let pool_map_basics () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool (fun x -> x) []);
+      Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map pool (fun x -> x * x) [ 3 ]);
+      Alcotest.(check (list int))
+        "order preserved" [ 2; 4; 6; 8; 10 ]
+        (Pool.map pool (fun x -> 2 * x) [ 1; 2; 3; 4; 5 ]))
+
+let pool_map_reusable () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      for i = 1 to 5 do
+        let n = 10 * i in
+        let expected = List.init n (fun j -> j + 1) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "map #%d" i)
+          expected
+          (Pool.map pool (fun x -> x + 1) (List.init n Fun.id))
+      done)
+
+exception Boom of int
+
+let pool_map_propagates_exception () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check bool) "exception re-raised" true
+        (try
+           ignore
+             (Pool.map pool
+                (fun x -> if x = 7 then raise (Boom x) else x)
+                (List.init 20 Fun.id));
+           false
+         with Boom 7 -> true);
+      (* The pool survives a failed map. *)
+      Alcotest.(check (list int)) "still usable" [ 1; 2; 3 ]
+        (Pool.map pool Fun.id [ 1; 2; 3 ]))
+
+let pool_map_after_shutdown_raises () =
+  let pool = Pool.create ~domains:2 in
+  Pool.shutdown pool;
+  Alcotest.(check bool) "map after shutdown raises" true
+    (try
+       ignore (Pool.map pool Fun.id [ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let pool_map_equals_list_map =
+  QCheck.Test.make ~name:"Pool.map f = List.map f" ~count:50
+    QCheck.(pair (int_range 1 4) (small_list small_int))
+    (fun (domains, xs) ->
+      let f x = (x * 31) + 7 in
+      Pool.with_pool ~domains (fun pool -> Pool.map pool f xs) = List.map f xs)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep determinism: domains must not change any result *)
+
+let tiny_config =
+  {
+    (Burstcore.Config.with_clients Burstcore.Config.default 5) with
+    Burstcore.Config.duration_s = 4.;
+    warmup_s = 1.;
+  }
+
+let ns = [ 2; 4; 6 ]
+
+let metrics_fingerprint ms =
+  (* Every field, through the canonical JSON encoding — floats included,
+     so any bit-level divergence shows up. *)
+  String.concat "\n"
+    (List.map
+       (fun m -> Burstcore.Json.to_string (Burstcore.Export.metrics_to_json m))
+       ms)
+
+let sweep_deterministic_across_domains () =
+  let run domains =
+    Pool.with_pool ~domains (fun pool ->
+        Burstcore.Sweep.over_clients ~pool tiny_config Burstcore.Scenario.reno ns)
+  in
+  let seq = run 1 and par = run 4 in
+  Alcotest.(check string) "metrics bit-identical"
+    (metrics_fingerprint seq) (metrics_fingerprint par)
+
+let grid_deterministic_across_domains () =
+  let scenarios = [ Burstcore.Scenario.reno; Burstcore.Scenario.vegas ] in
+  let run domains =
+    Pool.with_pool ~domains (fun pool ->
+        Burstcore.Sweep.grid ~pool tiny_config scenarios ns)
+  in
+  let seq = run 1 and par = run 4 in
+  List.iter2
+    (fun (s_seq, ms_seq) (s_par, ms_par) ->
+      Alcotest.(check bool) "same scenario" true
+        (Burstcore.Scenario.equal s_seq s_par);
+      Alcotest.(check string)
+        ("series bit-identical: " ^ Burstcore.Scenario.label s_seq)
+        (metrics_fingerprint ms_seq) (metrics_fingerprint ms_par))
+    seq par
+
+let replicated_deterministic_across_domains () =
+  let run domains =
+    Pool.with_pool ~domains (fun pool ->
+        Burstcore.Sweep.replicated ~pool tiny_config Burstcore.Scenario.reno
+          ~replicates:3 ns)
+  in
+  let seq = run 1 and par = run 4 in
+  (* The records are plain floats and ints; (=) is bit-exact here. *)
+  Alcotest.(check bool) "replicated records bit-identical" true (seq = par)
+
+let parallel_probe_totals_match_sequential () =
+  let totals domains =
+    let probe = Telemetry.Probe.create () in
+    Pool.with_pool ~domains (fun pool ->
+        ignore
+          (Burstcore.Sweep.over_clients ~pool ~probe tiny_config
+             Burstcore.Scenario.reno ns));
+    (Telemetry.Probe.runs_total probe, Telemetry.Probe.events_total probe)
+  in
+  let seq_runs, seq_events = totals 1 and par_runs, par_events = totals 4 in
+  Alcotest.(check int) "runs merge to same total" seq_runs par_runs;
+  Alcotest.(check int) "event counts merge to same total" seq_events par_events
+
+let parallel_notify_counts_match () =
+  let count domains =
+    let seen = Atomic.make 0 in
+    Pool.with_pool ~domains (fun pool ->
+        ignore
+          (Burstcore.Sweep.replicated ~pool
+             ~notify:(fun _ -> Atomic.incr seen)
+             tiny_config Burstcore.Scenario.reno ~replicates:2 ns));
+    Atomic.get seen
+  in
+  Alcotest.(check int) "notify fires once per point" (count 1) (count 4)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suite =
+  [
+    ( "parallel.pool",
+      [
+        Alcotest.test_case "create validates" `Quick pool_create_validates;
+        Alcotest.test_case "map basics" `Quick pool_map_basics;
+        Alcotest.test_case "map reusable" `Quick pool_map_reusable;
+        Alcotest.test_case "exception propagation" `Quick
+          pool_map_propagates_exception;
+        Alcotest.test_case "map after shutdown raises" `Quick
+          pool_map_after_shutdown_raises;
+      ]
+      @ qsuite [ pool_map_equals_list_map ] );
+    ( "parallel.determinism",
+      [
+        Alcotest.test_case "over_clients 1 vs 4 domains" `Quick
+          sweep_deterministic_across_domains;
+        Alcotest.test_case "grid 1 vs 4 domains" `Quick
+          grid_deterministic_across_domains;
+        Alcotest.test_case "replicated 1 vs 4 domains" `Quick
+          replicated_deterministic_across_domains;
+        Alcotest.test_case "probe totals merge" `Quick
+          parallel_probe_totals_match_sequential;
+        Alcotest.test_case "notify count" `Quick parallel_notify_counts_match;
+      ] );
+  ]

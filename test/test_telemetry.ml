@@ -95,6 +95,116 @@ let registry_prometheus_text () =
       "lat_count 1" ]
 
 (* ------------------------------------------------------------------ *)
+(* Registry / probe merging *)
+
+let registry_merge_counters_sum () =
+  let a = Registry.create () and b = Registry.create () in
+  Registry.inc ~by:3 (Registry.counter a ~help:"hits" "c_total");
+  Registry.inc ~by:4 (Registry.counter b "c_total");
+  Registry.inc ~by:5 (Registry.counter b ~labels:[ ("k", "v") ] "c_total");
+  Registry.inc (Registry.counter b "only_in_b");
+  Registry.merge ~into:a b;
+  Alcotest.(check int) "counters sum" 7
+    (Registry.counter_value (Registry.counter a "c_total"));
+  Alcotest.(check int) "labelled series separate" 5
+    (Registry.counter_value (Registry.counter a ~labels:[ ("k", "v") ] "c_total"));
+  Alcotest.(check int) "missing series created" 1
+    (Registry.counter_value (Registry.counter a "only_in_b"))
+
+let registry_merge_gauge_rules () =
+  let fresh v =
+    let r = Registry.create () in
+    Registry.set (Registry.gauge r "g") v;
+    r
+  in
+  let last_write = fresh 1.5 in
+  Registry.merge ~into:last_write (fresh 0.5);
+  check_float "default is last-write" 0.5
+    (Registry.gauge_value (Registry.gauge last_write "g"));
+  let maxed = fresh 1.5 in
+  Registry.merge ~gauge_rule:(fun ~name:_ ~labels:_ -> `Max) ~into:maxed (fresh 0.5);
+  check_float "max keeps larger" 1.5
+    (Registry.gauge_value (Registry.gauge maxed "g"));
+  let summed = fresh 1.5 in
+  Registry.merge ~gauge_rule:(fun ~name:_ ~labels:_ -> `Sum) ~into:summed (fresh 0.5);
+  check_float "sum accumulates" 2.
+    (Registry.gauge_value (Registry.gauge summed "g"))
+
+let registry_merge_histograms_combine () =
+  let observe_all h vs = List.iter (Registry.observe h) vs in
+  let xs = [ 1.; 3.; 5.; 7.; 9.; 11. ] and ys = [ 2.; 4.; 6.; 8.; 40. ] in
+  let a = Registry.create () and b = Registry.create () in
+  let ha = Registry.histogram a ~lo:0. ~hi:20. ~bins:10 "lat" in
+  let hb = Registry.histogram b ~lo:0. ~hi:20. ~bins:10 "lat" in
+  observe_all ha xs;
+  observe_all hb ys;
+  Registry.merge ~into:a b;
+  (* Reference: every observation into one histogram, in one stream. *)
+  let all = Registry.create () in
+  let href = Registry.histogram all ~lo:0. ~hi:20. ~bins:10 "lat" in
+  observe_all href (xs @ ys);
+  Alcotest.(check int) "count" (Registry.observations href)
+    (Registry.observations ha);
+  (* Compare the exposed JSON fields: moments and buckets must match the
+     single-stream reference exactly (Welford merge is exact on these
+     inputs); p50/p99 only to bucket resolution. *)
+  let payload r =
+    match Registry.to_json r with
+    | Json.List [ Json.Obj fields ] -> fields
+    | _ -> Alcotest.fail "unexpected registry json shape"
+  in
+  let merged = payload a and reference = payload all in
+  List.iter
+    (fun key ->
+      Alcotest.(check string)
+        (key ^ " matches single-stream")
+        (Json.to_string (List.assoc key reference))
+        (Json.to_string (List.assoc key merged)))
+    [ "count"; "min"; "max"; "buckets" ];
+  let approx key tol =
+    match (List.assoc key merged, List.assoc key reference) with
+    | Json.Float m, Json.Float r -> Alcotest.(check (float tol)) key r m
+    | _ -> Alcotest.failf "%s is not a float" key
+  in
+  approx "sum" 1e-9;
+  approx "mean" 1e-9;
+  approx "p50" 2.;
+  (* one bin width *)
+  approx "p99" 40.
+(* p99 sits in the overflow bucket; the replay clamps it to [hi]. *)
+
+let registry_merge_layout_mismatch_raises () =
+  let a = Registry.create () and b = Registry.create () in
+  ignore (Registry.histogram a ~lo:0. ~hi:10. ~bins:5 "h");
+  Registry.observe (Registry.histogram b ~lo:0. ~hi:20. ~bins:5 "h") 1.;
+  Alcotest.(check bool) "layout mismatch raises" true
+    (try
+       Registry.merge ~into:a b;
+       false
+     with Invalid_argument _ -> true)
+
+let probe_merge_report_validates () =
+  let main = Probe.create () and worker = Probe.create () in
+  Probe.note_run main ~label:"a" ~sim_s:10. ~wall_s:0.5 ~events:1000
+    ~event_queue_hwm:42 ~gateway_queue_hwm:7 ~arrivals:900 ~drops:3;
+  Probe.note_run worker ~label:"b" ~sim_s:10. ~wall_s:0.25 ~events:500
+    ~event_queue_hwm:99 ~gateway_queue_hwm:5 ~arrivals:450 ~drops:1;
+  Perf.add_s worker.Probe.phases "run" 0.25;
+  Probe.merge ~into:main worker;
+  Alcotest.(check int) "runs sum" 2 (Probe.runs_total main);
+  Alcotest.(check int) "events sum" 1500 (Probe.events_total main);
+  let gauge name =
+    Registry.gauge_value (Registry.gauge main.Probe.registry name)
+  in
+  check_float "hwm is max" 99. (gauge Probe.m_eq_hwm);
+  check_float "sim seconds sum" 20. (gauge Probe.m_sim_seconds);
+  check_float "wall seconds sum" 0.75 (gauge Probe.m_run_wall);
+  check_float "phases accumulate" 0.25 (Perf.duration_s main.Probe.phases "run");
+  match Report.validate (Report.to_json (Report.of_probe ~label:"merged" main)) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merged report invalid: %s" e
+
+(* ------------------------------------------------------------------ *)
 (* Event bus *)
 
 let sample_events =
@@ -399,6 +509,14 @@ let suite =
         Alcotest.test_case "histogram quantiles" `Quick registry_histogram_quantiles;
         Alcotest.test_case "json round-trip" `Quick registry_json_roundtrip;
         Alcotest.test_case "prometheus text" `Quick registry_prometheus_text;
+        Alcotest.test_case "merge: counters sum" `Quick registry_merge_counters_sum;
+        Alcotest.test_case "merge: gauge rules" `Quick registry_merge_gauge_rules;
+        Alcotest.test_case "merge: histograms combine" `Quick
+          registry_merge_histograms_combine;
+        Alcotest.test_case "merge: layout mismatch raises" `Quick
+          registry_merge_layout_mismatch_raises;
+        Alcotest.test_case "probe merge report validates" `Quick
+          probe_merge_report_validates;
       ] );
     ( "telemetry.event_bus",
       [
