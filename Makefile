@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures fast check clean
+.PHONY: all build test bench bench-alloc figures fast check clean
 
 all: build
 
@@ -15,6 +15,12 @@ test:
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
+# Allocation-budget gate on its own: events/sec and GC words/event for
+# a Reno N=50 run, written to BENCH_alloc.json. Exits non-zero when
+# minor words/event exceeds the committed threshold.
+bench-alloc:
+	dune exec bench/main.exe -- --only alloc --fast
+
 # Just the paper's figures, at paper scale.
 figures:
 	dune exec bin/main.exe -- all
@@ -26,7 +32,9 @@ fast:
 # CI gate: build, unit + cram tests (including the parallel determinism
 # suite, re-run explicitly so a filtered runtest cannot skip it), then a
 # telemetry smoke run whose report must validate, plus the events/sec
-# overhead baseline and the sequential-vs-parallel sweep timing.
+# overhead baseline, the sequential-vs-parallel sweep timing, and the
+# allocation budget (fails when words/event regresses past the
+# committed threshold).
 check:
 	dune build @all
 	dune runtest
@@ -37,6 +45,7 @@ check:
 	dune exec bin/main.exe -- report-check /tmp/burstsim-report.json
 	dune exec bench/main.exe -- --fast --only telemetry
 	dune exec bench/main.exe -- --fast --only parallel
+	dune exec bench/main.exe -- --fast --only alloc
 
 clean:
 	dune clean

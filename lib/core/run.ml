@@ -114,14 +114,16 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
           queue_series,
           sources ))
   in
-  let run_wall =
+  let run_wall, run_gc =
+    let g0 = Telemetry.Perf.gc_read () in
     let t0 = Telemetry.Perf.wall_clock_s () in
     Scheduler.run ~until:horizon sched;
     let dt = Telemetry.Perf.wall_clock_s () -. t0 in
+    let gc = Telemetry.Perf.gc_since g0 in
     (match probe with
     | Some p -> Telemetry.Perf.add_s p.Telemetry.Probe.phases "run" dt
     | None -> ());
-    dt
+    (dt, gc)
   in
   let metrics =
     time "collect" (fun () ->
@@ -175,6 +177,13 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
             trace_clients
         in
         let drop_runs = drop_run_list () in
+        (* One pass for max, sum and count — the list can hold one entry
+           per loss episode of a long run. *)
+        let drop_max, drop_sum, drop_count =
+          List.fold_left
+            (fun (mx, sum, n) len -> (Stdlib.max mx len, sum + len, n + 1))
+            (0, 0, 0) drop_runs
+        in
         {
           Metrics.scenario;
           clients = cfg.Config.clients;
@@ -202,12 +211,10 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
           delay_p99_s =
             (if Netstats.P2_quantile.count delay_p99 = 0 then 0.
              else Netstats.P2_quantile.quantile delay_p99);
-          drop_run_max = List.fold_left Stdlib.max 0 drop_runs;
+          drop_run_max = drop_max;
           drop_run_mean =
-            (if drop_runs = [] then 0.
-             else
-               float_of_int (List.fold_left ( + ) 0 drop_runs)
-               /. float_of_int (List.length drop_runs));
+            (if drop_count = 0 then 0.
+             else float_of_int drop_sum /. float_of_int drop_count);
           cwnd_traces;
           queue_series;
         })
@@ -224,5 +231,6 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
         ~gateway_queue_hwm:(Dumbbell.gateway_queue_high_water_mark net)
         ~arrivals:(Netsim.Link.arrivals bottleneck)
         ~drops:(Netsim.Link.drops bottleneck)
+        ~gc:run_gc ()
   | None -> ());
   metrics

@@ -1,29 +1,71 @@
-type entry = {
-  at : Time.t;
-  seq : int;
-  action : unit -> unit;
-  mutable cancelled : bool;
-}
+(* The pending-event set, stored as a slab of parallel arrays plus a
+   binary min-heap of slot indices. Nothing on the schedule/pop cycle
+   allocates once the slab has warmed up:
 
-type handle = entry
+   - a scheduled event occupies a {e slot} — its time, sequence number,
+     generation and action live in parallel arrays, not in a per-event
+     record;
+   - popped and cancelled slots are recycled through a free stack;
+   - a handle is a single immediate [int] packing (slot, generation), so
+     returning one from [schedule] costs nothing and a stale handle —
+     one whose slot has since been recycled — is recognised by its
+     generation and ignored by [cancel]/[is_pending].
 
-module H = Heap.Make (struct
-  type t = entry
+   Cancellation stays lazy: a cancelled slot remains in the heap and is
+   skipped (and only then recycled) when it surfaces. Slots popped by
+   [pop_if_before] are recycled {e deferred} — at the next queue
+   operation — so the caller can still read [time_of]/[action_of]
+   without the slot being reused under it. *)
 
-  let compare a b =
-    let c = Time.compare a.at b.at in
-    if c <> 0 then c else Int.compare a.seq b.seq
-end)
+(* A handle packs the generation in the low [gen_bits] bits and the slot
+   index above them. Generations wrap at 2^30, so mistaking a stale
+   handle for a live one takes a slot recycled exactly 2^30 times
+   between taking and using the handle. *)
+let gen_bits = 30
+
+let gen_mask = (1 lsl gen_bits) - 1
+
+type handle = int
 
 type t = {
-  heap : H.t;
+  mutable cap : int; (* slab capacity; all arrays below share it *)
+  mutable at : Time.t array; (* per-slot scheduled time *)
+  mutable seq : int array; (* per-slot schedule order; FIFO tie-break *)
+  mutable gen : int array; (* per-slot recycle count *)
+  mutable act : (unit -> unit) array;
+  mutable dead : bool array; (* fired or cancelled *)
+  mutable heap : int array; (* min-heap of slots, ordered by (at, seq) *)
+  mutable heap_size : int;
+  mutable free : int array; (* stack of recycled slots *)
+  mutable free_top : int;
+  mutable fresh : int; (* next never-used slot *)
+  mutable deferred : int; (* slot awaiting recycle after pop_if_before *)
   mutable next_seq : int;
   mutable live : int;
   mutable hwm : int;
 }
 
-let create ?capacity () =
-  { heap = H.create ?capacity (); next_seq = 0; live = 0; hwm = 0 }
+let nop () = ()
+
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Event_queue.create: capacity < 1";
+  {
+    cap = capacity;
+    at = Array.make capacity Time.zero;
+    seq = Array.make capacity 0;
+    gen = Array.make capacity 0;
+    act = Array.make capacity nop;
+    dead = Array.make capacity true;
+    heap = Array.make capacity 0;
+    heap_size = 0;
+    free = Array.make capacity 0;
+    free_top = 0;
+    fresh = 0;
+    deferred = -1;
+    next_seq = 0;
+    live = 0;
+    hwm = 0;
+  }
 
 let length q = q.live
 
@@ -31,67 +73,193 @@ let is_empty q = q.live = 0
 
 let high_water_mark q = q.hwm
 
-let schedule q at action =
-  let entry = { at; seq = q.next_seq; action; cancelled = false } in
+(* ------------------------------------------------------------------ *)
+(* Slab bookkeeping *)
+
+let grow q =
+  let ncap = 2 * q.cap in
+  let extend a fill =
+    let na = Array.make ncap fill in
+    Array.blit a 0 na 0 q.cap;
+    na
+  in
+  q.at <- extend q.at Time.zero;
+  q.seq <- extend q.seq 0;
+  q.gen <- extend q.gen 0;
+  q.act <- extend q.act nop;
+  q.dead <- extend q.dead true;
+  q.heap <- extend q.heap 0;
+  q.free <- extend q.free 0;
+  q.cap <- ncap
+
+(* Put [slot] back on the free stack; bumping the generation is what
+   invalidates every handle to the slot's previous occupant. Dropping
+   the action reference matters too: it is what lets a fired event's
+   closure (and whatever it captured) be collected. *)
+let recycle q slot =
+  q.gen.(slot) <- q.gen.(slot) + 1;
+  q.act.(slot) <- nop;
+  q.free.(q.free_top) <- slot;
+  q.free_top <- q.free_top + 1
+
+let flush_deferred q =
+  if q.deferred >= 0 then begin
+    recycle q q.deferred;
+    q.deferred <- -1
+  end
+
+let alloc_slot q =
+  if q.free_top > 0 then begin
+    q.free_top <- q.free_top - 1;
+    q.free.(q.free_top)
+  end
+  else begin
+    if q.fresh = q.cap then grow q;
+    let slot = q.fresh in
+    q.fresh <- q.fresh + 1;
+    slot
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Slot heap, ordered by (time, seq) *)
+
+let lt q a b =
+  let c = Time.compare q.at.(a) q.at.(b) in
+  if c <> 0 then c < 0 else q.seq.(a) < q.seq.(b)
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt q q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < q.heap_size && lt q q.heap.(l) q.heap.(i) then l else i in
+  let smallest =
+    if r < q.heap_size && lt q q.heap.(r) q.heap.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(smallest);
+    q.heap.(smallest) <- tmp;
+    sift_down q smallest
+  end
+
+let heap_push q slot =
+  q.heap.(q.heap_size) <- slot;
+  q.heap_size <- q.heap_size + 1;
+  sift_up q (q.heap_size - 1)
+
+let heap_drop_top q =
+  q.heap_size <- q.heap_size - 1;
+  if q.heap_size > 0 then begin
+    q.heap.(0) <- q.heap.(q.heap_size);
+    sift_down q 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public operations *)
+
+let pack slot g = (slot lsl gen_bits) lor (g land gen_mask)
+
+let slot_of h = h lsr gen_bits
+
+let schedule q when_ action =
+  flush_deferred q;
+  let slot = alloc_slot q in
+  q.at.(slot) <- when_;
+  q.seq.(slot) <- q.next_seq;
+  q.act.(slot) <- action;
+  q.dead.(slot) <- false;
   q.next_seq <- q.next_seq + 1;
   q.live <- q.live + 1;
   if q.live > q.hwm then q.hwm <- q.live;
-  H.push q.heap entry;
-  entry
+  heap_push q slot;
+  pack slot q.gen.(slot)
 
-let cancel q handle =
-  if not handle.cancelled then begin
-    handle.cancelled <- true;
-    q.live <- q.live - 1
+let valid q h =
+  h >= 0
+  &&
+  let slot = slot_of h in
+  slot < q.fresh && q.gen.(slot) land gen_mask = h land gen_mask
+
+let cancel q h =
+  if valid q h then begin
+    let slot = slot_of h in
+    if not q.dead.(slot) then begin
+      q.dead.(slot) <- true;
+      q.live <- q.live - 1
+    end
   end
 
-let is_pending handle = not handle.cancelled
+let is_pending q h = valid q h && not q.dead.(slot_of h)
 
-(* Drop cancelled entries sitting at the top of the heap. *)
+(* Drop dead slots sitting at the top of the heap; they leave the heap
+   here and only here, so recycling them is immediate and safe. *)
 let rec skim q =
-  match H.peek q.heap with
-  | Some e when e.cancelled ->
-      ignore (H.pop q.heap);
+  if q.heap_size > 0 then begin
+    let slot = q.heap.(0) in
+    if q.dead.(slot) then begin
+      heap_drop_top q;
+      recycle q slot;
       skim q
-  | _ -> ()
+    end
+  end
 
 let next_time q =
+  flush_deferred q;
   skim q;
-  match H.peek q.heap with Some e -> Some e.at | None -> None
+  if q.heap_size = 0 then None else Some q.at.(q.heap.(0))
 
 let pop q =
+  flush_deferred q;
   skim q;
-  match H.pop q.heap with
-  | None -> None
-  | Some e ->
-      e.cancelled <- true;
-      q.live <- q.live - 1;
-      Some (e.at, e.action)
+  if q.heap_size = 0 then None
+  else begin
+    let slot = q.heap.(0) in
+    heap_drop_top q;
+    q.dead.(slot) <- true;
+    q.live <- q.live - 1;
+    let time = q.at.(slot) and action = q.act.(slot) in
+    recycle q slot;
+    Some (time, action)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Allocation-free drain path (the scheduler's inner loop) *)
 
-let nil = { at = Time.zero; seq = -1; action = ignore; cancelled = true }
+let nil : handle = -1
 
-let is_nil h = h == nil
+let is_nil h = h < 0
 
-let time_of h = h.at
+let time_of q h = q.at.(slot_of h)
 
-let action_of h = h.action
+let action_of q h = q.act.(slot_of h)
 
 let rec pop_if_before q horizon =
-  if H.is_empty q.heap then nil
+  flush_deferred q;
+  if q.heap_size = 0 then nil
   else begin
-    let e = H.top_exn q.heap in
-    if e.cancelled then begin
-      H.drop_top q.heap;
+    let slot = q.heap.(0) in
+    if q.dead.(slot) then begin
+      heap_drop_top q;
+      recycle q slot;
       pop_if_before q horizon
     end
-    else if Time.(e.at > horizon) then nil
+    else if Time.(q.at.(slot) > horizon) then nil
     else begin
-      H.drop_top q.heap;
-      e.cancelled <- true;
+      heap_drop_top q;
+      q.dead.(slot) <- true;
       q.live <- q.live - 1;
-      e
+      (* Recycle at the next queue operation, not now: the caller still
+         reads [time_of]/[action_of] through the returned handle. *)
+      q.deferred <- slot;
+      pack slot q.gen.(slot)
     end
   end

@@ -2,15 +2,27 @@
 
     Events scheduled for the same instant fire in scheduling order (FIFO
     within a timestamp), which makes runs deterministic. Cancellation is
-    lazy: a cancelled event stays in the heap but is skipped on pop. *)
+    lazy: a cancelled event stays in the heap but is skipped on pop.
+
+    The queue is built for an allocation-free inner loop: events live in
+    a slab of parallel arrays, popped and cancelled slots are recycled
+    through a free list, and a {!handle} is an immediate integer packing
+    the slot with a generation counter — so steady-state
+    [schedule]/[pop_if_before] cycles allocate nothing, and a stale
+    handle (whose slot was recycled for a newer event) is recognised and
+    ignored by {!cancel} and {!is_pending}. *)
 
 type t
 
 type handle
-(** Identifies a scheduled event so it can be cancelled. *)
+(** Identifies a scheduled event so it can be cancelled. Immediate (an
+    [int] under the hood): keeping or dropping one costs no heap.
+    Handles are guarded by a 30-bit generation counter, so a stale
+    handle is only ever mistaken for a live one if its slot is recycled
+    exactly [2^30] times between taking and using it. *)
 
 val create : ?capacity:int -> unit -> t
-(** [capacity] pre-sizes the backing heap (default 64) so a run whose
+(** [capacity] pre-sizes the slab and heap (default 64) so a run whose
     peak pending-event count is known — or was measured by telemetry's
     high-water mark — never pays for array doubling. *)
 
@@ -24,12 +36,14 @@ val high_water_mark : t -> int
     events stop counting as soon as they are cancelled. *)
 
 val schedule : t -> Time.t -> (unit -> unit) -> handle
-(** [schedule q at action] enqueues [action] to fire at time [at]. *)
+(** [schedule q at action] enqueues [action] to fire at time [at].
+    Allocates nothing when a recycled slot is available. *)
 
 val cancel : t -> handle -> unit
-(** Cancels the event; a no-op if it already fired or was cancelled. *)
+(** Cancels the event; a no-op if it already fired, was cancelled, or
+    the handle is stale. *)
 
-val is_pending : handle -> bool
+val is_pending : t -> handle -> bool
 
 val next_time : t -> Time.t option
 (** Timestamp of the earliest live event. *)
@@ -41,9 +55,9 @@ val pop : t -> (Time.t * (unit -> unit)) option
 
     {!pop} allocates an option and a pair per event; on the simulator's
     hot loop (one call per event, millions per run) that is measurable
-    GC traffic. {!pop_if_before} instead returns the internal entry
-    itself — {!nil} when there is nothing to run — so draining the
-    queue allocates nothing. *)
+    GC traffic. {!pop_if_before} instead returns the event's handle —
+    {!nil} when there is nothing to run — so draining the queue
+    allocates nothing. *)
 
 val nil : handle
 (** Sentinel meaning "no event"; compare with {!is_nil}. *)
@@ -53,10 +67,13 @@ val is_nil : handle -> bool
 val pop_if_before : t -> Time.t -> handle
 (** [pop_if_before q horizon] removes and returns the earliest live
     event whose time is [<= horizon], or {!nil} when the queue is empty
-    or the earliest event lies beyond the horizon (it stays queued). *)
+    or the earliest event lies beyond the horizon (it stays queued).
+    The returned handle is readable via {!time_of}/{!action_of} only
+    until the next operation on [q] (its slot is then recycled); read
+    both before running the action. *)
 
-val time_of : handle -> Time.t
-(** Scheduled time of a handle returned by {!pop_if_before}. *)
+val time_of : t -> handle -> Time.t
+(** Scheduled time of a handle just returned by {!pop_if_before}. *)
 
-val action_of : handle -> unit -> unit
-(** Action of a handle returned by {!pop_if_before}. *)
+val action_of : t -> handle -> unit -> unit
+(** Action of a handle just returned by {!pop_if_before}. *)

@@ -1,29 +1,40 @@
-type t = { mutable state : int64 }
+(* SplitMix-style mixing on the native 63-bit [int]. OCaml [int]
+   arithmetic wraps modulo 2^63 and ints are immediate, so a [bits] call
+   touches no heap at all — the previous [Int64] implementation boxed
+   roughly six intermediates per draw, and the generator fires once per
+   Poisson interarrival, per RED drop decision and per start stagger.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The constants are the SplitMix64 ones truncated to fit an OCaml int
+   literal (62 bits), kept odd so the multiplies stay bijective modulo
+   2^63. This is a distinct stream from the old Int64 generator; the
+   golden vectors in test/test_engine.ml pin the new one. *)
 
-(* SplitMix64 output mixing (Steele, Lea & Flood, OOPSLA 2014). *)
-let mix64 z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+type t = { mutable state : int }
 
-let create ~seed = { state = mix64 seed }
+let golden_gamma = 0x1E3779B97F4A7C15
 
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix64 t.state
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x34D049BB133111EB in
+  z lxor (z lsr 31)
 
-let split t = { state = bits64 t }
+let create ~seed = { state = mix (Int64.to_int seed) }
+
+let bits t =
+  t.state <- t.state + golden_gamma;
+  mix t.state
+
+let bits64 t = Int64.of_int (bits t)
+
+let split t = { state = bits t }
 
 let split_named t label =
   let h = Hashtbl.hash label in
-  { state = mix64 (Int64.logxor t.state (Int64.of_int h)) }
+  { state = mix (t.state lxor h) }
 
-(* 53 uniform mantissa bits, as in standard doubles-from-int64 recipes. *)
-let float t =
-  let bits = Int64.shift_right_logical (bits64 t) 11 in
-  Int64.to_float bits *. 0x1.0p-53
+(* 53 uniform mantissa bits out of the 63 available, as in the standard
+   doubles-from-random-bits recipe. *)
+let float t = float_of_int (bits t lsr 10) *. 0x1.0p-53
 
 let float_range t lo hi =
   if not (lo < hi) then invalid_arg "Rng.float_range: lo >= hi";
@@ -32,9 +43,8 @@ let float_range t lo hi =
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: n <= 0";
   (* Rejection-free for simulation purposes: modulo bias is negligible for
-     n << 2^64, and determinism matters more than perfect uniformity. *)
-  let v = Int64.shift_right_logical (bits64 t) 1 in
-  Int64.to_int (Int64.rem v (Int64.of_int n))
+     n << 2^62, and determinism matters more than perfect uniformity. *)
+  (bits t lsr 1) mod n
 
 let bool t p =
   if p < 0. || p > 1. then invalid_arg "Rng.bool: p outside [0,1]";

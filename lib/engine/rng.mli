@@ -1,13 +1,23 @@
 (** Deterministic pseudo-random numbers for simulation.
 
-    The generator is SplitMix64: fast, statistically solid for simulation
-    purposes, and — crucially — {e splittable}, so each simulated component
-    can own an independent stream derived deterministically from one master
-    seed. Two runs with the same seed produce identical event sequences. *)
+    The generator is SplitMix-style mixing over the native 63-bit [int]:
+    fast, allocation-free (ints are immediate; the previous [Int64]
+    implementation boxed every intermediate), statistically solid for
+    simulation purposes, and — crucially — {e splittable}, so each
+    simulated component can own an independent stream derived
+    deterministically from one master seed. Two runs with the same seed
+    produce identical event sequences.
+
+    The stream changed when the generator moved from [Int64] to native
+    [int] arithmetic (the mixing constants are truncated to 62-bit
+    literals); golden vectors for the current stream are pinned in the
+    engine test suite. *)
 
 type t
 
 val create : seed:int64 -> t
+(** The seed is accepted as [int64] for API stability; it is folded into
+    the native 63-bit state (the top bit of the seed is ignored). *)
 
 val split : t -> t
 (** A new generator whose stream is independent of (and deterministically
@@ -18,8 +28,14 @@ val split_named : t -> string -> t
     label and not on the order of [split] calls. Does not advance the
     parent. *)
 
+val bits : t -> int
+(** Next 63 random bits as a native int (may be negative when the top
+    bit is set). The primitive every other draw is built on; allocates
+    nothing. *)
+
 val bits64 : t -> int64
-(** Next raw 64 random bits. *)
+(** {!bits} sign-extended to [int64]; kept for tests and external
+    consumers that want a fixed-width value. Boxes its result. *)
 
 val float : t -> float
 (** Uniform in [\[0, 1)]. *)

@@ -1,5 +1,9 @@
 type handle = Event_queue.handle
 
+let nil = Event_queue.nil
+
+let is_nil = Event_queue.is_nil
+
 type t = {
   queue : Event_queue.t;
   mutable clock : Time.t;
@@ -36,9 +40,10 @@ let run ?until t =
     if not t.stopped then begin
       let e = Event_queue.pop_if_before t.queue horizon in
       if not (Event_queue.is_nil e) then begin
-        t.clock <- Event_queue.time_of e;
+        t.clock <- Event_queue.time_of t.queue e;
+        let action = Event_queue.action_of t.queue e in
         t.fired <- t.fired + 1;
-        Event_queue.action_of e ();
+        action ();
         loop ()
       end
     end

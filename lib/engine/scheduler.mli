@@ -8,6 +8,14 @@ type t
 
 type handle = Event_queue.handle
 
+val nil : handle
+(** Sentinel meaning "no event". Components that re-arm a timer per
+    packet keep a [handle] field initialised to [nil] instead of a
+    [handle option] — an immediate int where the option would allocate
+    on every re-arm. *)
+
+val is_nil : handle -> bool
+
 val create : ?queue_capacity:int -> unit -> t
 (** [queue_capacity] pre-sizes the event queue (see
     {!Event_queue.create}); pass the expected peak pending-event count

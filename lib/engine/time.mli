@@ -1,11 +1,19 @@
 (** Simulation time.
 
-    Time is a non-negative number of virtual seconds since the start of the
-    simulation. It is kept abstract so that code cannot accidentally mix
-    times with other floating-point quantities (rates, sizes, ...). *)
+    Time is a non-negative count of virtual {e nanoseconds} since the
+    start of the simulation, represented as a native [int]. An OCaml
+    [int] is immediate, so times are never boxed — an event timestamp
+    costs zero heap words and {!compare} is a single integer compare.
+    The type stays abstract so code cannot accidentally mix times with
+    other numeric quantities (rates, sizes, ...).
+
+    Resolution is 1 ns; [of_sec]/[of_ms]/[of_us] round to the nearest
+    tick. The representable horizon is [2^62 - 2] ns, about 146 years
+    of simulated time. Range validation happens at construction only;
+    {!add}, {!diff} and comparisons are raw integer operations. *)
 
 type t
-(** A point in virtual time, in seconds. *)
+(** A point in virtual time, in nanosecond ticks. *)
 
 type span = t
 (** A duration. Durations and absolute times share the representation but
@@ -15,17 +23,25 @@ val zero : t
 
 val never : t
 (** A time later than every constructible time ({!of_sec} rejects
-    non-finite inputs), for "no horizon" comparisons. Do not do
-    arithmetic with it. *)
+    values beyond the tick horizon), for "no horizon" comparisons. Do
+    not do arithmetic with it. *)
 
 val of_sec : float -> t
-(** [of_sec s] is the time [s] seconds after the origin. Raises
-    [Invalid_argument] if [s] is negative or not finite. *)
+(** [of_sec s] is the time [s] seconds after the origin, rounded to the
+    nearest nanosecond. Raises [Invalid_argument] if [s] is negative,
+    not finite, or beyond the tick horizon. *)
 
 val to_sec : t -> float
 
 val of_ms : float -> t
 val of_us : float -> t
+
+val of_ns : int -> t
+(** [of_ns n] is exactly [n] ticks. Raises [Invalid_argument] if [n] is
+    negative. Exact — no rounding — so tests can pin tick values. *)
+
+val to_ns : t -> int
+(** Exact tick count; the inverse of {!of_ns}. *)
 
 val add : t -> span -> t
 
@@ -33,7 +49,8 @@ val diff : t -> t -> span
 (** [diff a b] is [a - b]. Raises [Invalid_argument] if [b > a]. *)
 
 val mul : span -> float -> span
-(** [mul d k] scales duration [d] by a non-negative factor [k]. *)
+(** [mul d k] scales duration [d] by a non-negative factor [k], rounding
+    to the nearest tick. *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool

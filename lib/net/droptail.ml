@@ -1,20 +1,20 @@
-type t = { q : Packet.t Queue.t; capacity : int; mutable hwm : int }
+type t = { q : Packet.t Ring.t; capacity : int; mutable hwm : int }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Droptail.create: capacity < 1";
-  { q = Queue.create (); capacity; hwm = 0 }
+  { q = Ring.create (); capacity; hwm = 0 }
 
 let enqueue t p =
-  if Queue.length t.q >= t.capacity then `Dropped
+  if Ring.length t.q >= t.capacity then `Dropped
   else begin
-    Queue.push p t.q;
-    if Queue.length t.q > t.hwm then t.hwm <- Queue.length t.q;
+    Ring.push t.q p;
+    if Ring.length t.q > t.hwm then t.hwm <- Ring.length t.q;
     `Enqueued
   end
 
-let dequeue t = Queue.take_opt t.q
+let dequeue t = Ring.pop_opt t.q
 
-let length t = Queue.length t.q
+let length t = Ring.length t.q
 
 let capacity t = t.capacity
 

@@ -9,7 +9,7 @@ type t = {
   queue : Queue_disc.t;
   deliver : Packet.t -> unit;
   mutable busy : bool;
-  in_flight : Packet.t Queue.t;
+  in_flight : Packet.t Ring.t;
   (* Packets serializing or propagating, in serialization order. The two
      continuations below are allocated once per link instead of once per
      packet: serialization completions and deliveries each fire in FIFO
@@ -18,6 +18,8 @@ type t = {
      the packet the next delivery event is for. *)
   mutable on_tx_done : unit -> unit;
   mutable on_deliver : unit -> unit;
+  (* Listener lists are stored newest-first so registration is O(1);
+     [notify] walks them back-to-front to keep registration order. *)
   mutable arrival_listeners : (Time.t -> Packet.t -> unit) list;
   mutable drop_listeners : (Time.t -> Packet.t -> unit) list;
   mutable depart_listeners : (Time.t -> Packet.t -> unit) list;
@@ -27,7 +29,12 @@ type t = {
   mutable bytes_delivered : int;
 }
 
-let notify listeners now p = List.iter (fun f -> f now p) listeners
+let rec notify listeners now p =
+  match listeners with
+  | [] -> ()
+  | f :: rest ->
+      notify rest now p;
+      f now p
 
 (* Serialize the head-of-line packet, then pipeline: delivery happens
    [delay] after serialization ends, while the next packet serializes.
@@ -40,7 +47,7 @@ let rec try_transmit t =
     | None -> ()
     | Some p ->
         t.busy <- true;
-        Queue.push p t.in_flight;
+        Ring.push t.in_flight p;
         let tx = Units.transmission_time t.bandwidth ~bytes:p.Packet.size_bytes in
         ignore (Scheduler.after t.sched tx t.on_tx_done)
   end
@@ -51,7 +58,7 @@ and tx_done t =
   try_transmit t
 
 and deliver_head t =
-  let p = Queue.pop t.in_flight in
+  let p = Ring.pop_exn t.in_flight in
   t.departures <- t.departures + 1;
   t.bytes_delivered <- t.bytes_delivered + p.Packet.size_bytes;
   notify t.depart_listeners (Scheduler.now t.sched) p;
@@ -67,7 +74,7 @@ let create sched ~name ~bandwidth ~delay ~queue ~deliver =
       queue;
       deliver;
       busy = false;
-      in_flight = Queue.create ();
+      in_flight = Ring.create ();
       on_tx_done = ignore;
       on_deliver = ignore;
       arrival_listeners = [];
@@ -102,11 +109,11 @@ let queue_length t = Queue_disc.length t.queue
 
 let queue_high_water_mark t = Queue_disc.high_water_mark t.queue
 
-let on_arrival t f = t.arrival_listeners <- t.arrival_listeners @ [ f ]
+let on_arrival t f = t.arrival_listeners <- f :: t.arrival_listeners
 
-let on_drop t f = t.drop_listeners <- t.drop_listeners @ [ f ]
+let on_drop t f = t.drop_listeners <- f :: t.drop_listeners
 
-let on_depart t f = t.depart_listeners <- t.depart_listeners @ [ f ]
+let on_depart t f = t.depart_listeners <- f :: t.depart_listeners
 
 let arrivals t = t.arrivals
 

@@ -26,8 +26,35 @@ let m_arrivals = "gateway_arrivals_total"
 
 let m_drops = "gateway_drops_total"
 
+let m_minor_words = "gc_minor_words_total"
+
+let m_promoted_words = "gc_promoted_words_total"
+
+let m_major_collections = "gc_major_collections_total"
+
+let m_words_per_event = "gc_minor_words_per_event"
+
+(* Keep the words/event ratio consistent with the totals it is derived
+   from; recomputed after every note_run and after merges. *)
+let refresh_words_per_event t =
+  let r = t.registry in
+  let minor =
+    Registry.gauge_value
+      (Registry.gauge r ~help:"Minor-heap words allocated during runs"
+         m_minor_words)
+  in
+  let events =
+    Registry.counter_value
+      (Registry.counter r ~help:"Scheduler events fired" m_events)
+  in
+  if events > 0 then
+    Registry.set
+      (Registry.gauge r ~help:"Minor-heap words allocated per scheduler event"
+         m_words_per_event)
+      (minor /. float_of_int events)
+
 let note_run t ~label ~sim_s ~wall_s ~events ~event_queue_hwm ~gateway_queue_hwm
-    ~arrivals ~drops =
+    ~arrivals ~drops ?(gc = Perf.gc_zero) () =
   let r = t.registry in
   Registry.inc (Registry.counter r ~help:"Simulation runs completed" m_runs);
   Registry.inc ~by:events
@@ -45,6 +72,17 @@ let note_run t ~label ~sim_s ~wall_s ~events ~event_queue_hwm ~gateway_queue_hwm
   Registry.inc ~by:arrivals
     (Registry.counter r ~help:"Gateway packet arrivals" m_arrivals);
   Registry.inc ~by:drops (Registry.counter r ~help:"Gateway packet drops" m_drops);
+  Registry.add
+    (Registry.gauge r ~help:"Minor-heap words allocated during runs"
+       m_minor_words)
+    gc.Perf.minor_words;
+  Registry.add
+    (Registry.gauge r ~help:"Words promoted to the major heap during runs"
+       m_promoted_words)
+    gc.Perf.promoted_words;
+  Registry.inc ~by:gc.Perf.major_collections
+    (Registry.counter r ~help:"Major GC cycles during runs" m_major_collections);
+  refresh_words_per_event t;
   let labels = [ ("run", label) ] in
   Registry.inc ~by:events
     (Registry.counter r ~labels ~help:"Scheduler events fired per run"
@@ -63,12 +101,17 @@ let gauge_merge_rule ~name ~labels:_ =
     String.equal name m_sim_seconds
     || String.equal name m_run_wall
     || String.equal name "run_wall_seconds"
+    || String.equal name m_minor_words
+    || String.equal name m_promoted_words
   then `Sum
   else `Set
 
 let merge ~into src =
   Registry.merge ~gauge_rule:gauge_merge_rule ~into:into.registry src.registry;
-  Perf.merge_into ~into:into.phases src.phases
+  Perf.merge_into ~into:into.phases src.phases;
+  (* The per-event ratio is not mergeable (last-write would keep one
+     worker's value); rebuild it from the merged totals. *)
+  refresh_words_per_event into
 
 let runs_total t = Registry.counter_value (Registry.counter t.registry m_runs)
 

@@ -36,6 +36,20 @@ val m_arrivals : string  (** counter: gateway packet arrivals *)
 
 val m_drops : string  (** counter: gateway packet drops *)
 
+val m_minor_words : string
+(** gauge: minor-heap words allocated during runs, summed *)
+
+val m_promoted_words : string
+(** gauge: words promoted to the major heap during runs, summed *)
+
+val m_major_collections : string
+(** counter: major GC cycles observed during runs *)
+
+val m_words_per_event : string
+(** gauge: minor words per scheduler event, derived from the totals
+    above after every {!note_run} and {!merge} — the allocation-budget
+    number the bench gate watches *)
+
 val note_run :
   t ->
   label:string ->
@@ -46,10 +60,15 @@ val note_run :
   gateway_queue_hwm:int ->
   arrivals:int ->
   drops:int ->
+  ?gc:Perf.gc_counters ->
+  unit ->
   unit
 (** Fold one completed run into the registry: bump the aggregate
     counters and gauges above and record the per-run labelled series
-    [run_events_total{run=label}] and [run_wall_seconds{run=label}]. *)
+    [run_events_total{run=label}] and [run_wall_seconds{run=label}].
+    [gc] is the GC-counter delta measured across the run phase
+    (default {!Perf.gc_zero}, meaning "not measured"); it feeds the
+    [gc_*] series and refreshes {!m_words_per_event}. *)
 
 val merge : into:t -> t -> unit
 (** Fold a worker probe into the main one after a parallel sweep:

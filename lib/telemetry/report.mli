@@ -16,6 +16,9 @@ type t = {
   wall_s : float;  (** total wall seconds (all phases) *)
   events_per_sec : float;
   sim_wall_ratio : float;
+  words_per_event : float;
+      (** minor-heap words allocated per scheduler event, 0 when GC
+          counters were not recorded *)
   bus_events : int;
   phases : (string * float) list;
   metrics : Json.t;  (** [Registry.to_json] dump *)

@@ -5,13 +5,21 @@ module Rng = Sim_engine.Rng
 let start sched ~rng ~mean_interarrival ~start ~until ~sink =
   if mean_interarrival <= 0. then invalid_arg "Poisson.start: mean <= 0";
   let sink, source = Source.counted sink in
-  let rec arm at =
-    let next = Time.add at (Time.of_sec (Rng.exponential rng ~mean:mean_interarrival)) in
-    if Time.(next <= until) then
-      ignore
-        (Scheduler.at sched next (fun () ->
-             sink 1;
-             arm next))
+  (* One event is outstanding at a time, so a single mutable cell can
+     carry the arrival time into the one preallocated [tick] closure —
+     scheduling an arrival then allocates nothing. *)
+  let at = ref start in
+  let rec tick () =
+    sink 1;
+    arm ()
+  and arm () =
+    let next =
+      Time.add !at (Time.of_sec (Rng.exponential rng ~mean:mean_interarrival))
+    in
+    if Time.(next <= until) then begin
+      at := next;
+      ignore (Scheduler.at sched next tick)
+    end
   in
-  arm start;
+  arm ();
   source

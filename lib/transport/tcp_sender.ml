@@ -21,9 +21,11 @@ type t = {
   transmit : Packet.t -> unit;
   stats : Tcp_stats.t;
   cwnd_trace : Netstats.Series.t;
-  (* seq -> (send time, clean): clean segments were never retransmitted and
-     may be RTT-sampled (Karn's rule). *)
-  send_times : (int, float * bool) Hashtbl.t;
+  (* seq -> send time in ticks, [lnot]-encoded when the segment was
+     retransmitted: clean (non-negative) entries may be RTT-sampled
+     (Karn's rule). An immediate int where a [(float * bool)] pair would
+     cost a tuple and a boxed float per segment sent. *)
+  send_times : (int, int) Hashtbl.t;
   (* SACK scoreboard: sequences the receiver reports holding (RFC 2018),
      and sequences already retransmitted in the current recovery so each
      hole is resent once per recovery (RFC 3517-lite). *)
@@ -37,11 +39,16 @@ type t = {
   mutable dup_acks : int;
   mutable in_recovery : bool;
   mutable recover : int; (* highest seq outstanding when recovery began *)
-  mutable rto_timer : Scheduler.handle option;
+  (* Timer handles use [Scheduler.nil] for "unarmed" and the actions are
+     preallocated below: re-arming per ACK must not build an option or a
+     closure. *)
+  mutable rto_timer : Scheduler.handle;
+  mutable on_rto : unit -> unit;
   mutable ecn_holdoff_until : float; (* react to ECE at most once per RTT *)
   mutable ecn_reactions : int;
-  mutable pace_timer : Scheduler.handle option;
-  mutable last_paced_send : float;
+  mutable pace_timer : Scheduler.handle;
+  mutable on_pace : unit -> unit;
+  mutable last_paced_send : Time.t; (* [Time.never] until the first paced send *)
 }
 
 let now_sec t = Time.to_sec (Scheduler.now t.sched)
@@ -70,18 +77,16 @@ let backlog t = t.app_submitted - t.next_seq
 let pipe t = flight t - Hashtbl.length t.scoreboard
 
 let cancel_rto t =
-  match t.rto_timer with
-  | Some h ->
-      Scheduler.cancel t.sched h;
-      t.rto_timer <- None
-  | None -> ()
+  if not (Scheduler.is_nil t.rto_timer) then begin
+    Scheduler.cancel t.sched t.rto_timer;
+    t.rto_timer <- Scheduler.nil
+  end
 
 let rec arm_rto t =
-  match t.rto_timer with
-  | Some _ -> ()
-  | None ->
-      let delay = Time.of_sec (Rto.rto t.rto) in
-      t.rto_timer <- Some (Scheduler.after t.sched delay (fun () -> on_rto_fire t))
+  if Scheduler.is_nil t.rto_timer then begin
+    let delay = Time.of_sec (Rto.rto t.rto) in
+    t.rto_timer <- Scheduler.after t.sched delay t.on_rto
+  end
 
 and restart_rto t =
   cancel_rto t;
@@ -97,10 +102,10 @@ and send_segment t seq =
   t.stats.Tcp_stats.segments_sent <- t.stats.Tcp_stats.segments_sent + 1;
   if is_retransmit then begin
     t.stats.Tcp_stats.retransmits <- t.stats.Tcp_stats.retransmits + 1;
-    Hashtbl.replace t.send_times seq (now_sec t, false)
+    Hashtbl.replace t.send_times seq (lnot (Time.to_ns (Scheduler.now t.sched)))
   end
   else begin
-    Hashtbl.replace t.send_times seq (now_sec t, true);
+    Hashtbl.replace t.send_times seq (Time.to_ns (Scheduler.now t.sched));
     t.max_sent <- seq + 1
   end;
   arm_rto t;
@@ -120,29 +125,29 @@ and burst_send t =
    trip. Retransmissions bypass pacing. Before the first RTT sample the
    interval is zero and pacing degenerates to ACK clocking. *)
 and pace_send t =
-  match t.pace_timer with
-  | Some _ -> ()
-  | None ->
-      if backlog t > 0 && flight t < window t then begin
-        let interval =
-          match Rto.srtt t.rto with
-          | Some srtt -> srtt /. Stdlib.max 1. (t.cc.Cc.cwnd ())
-          | None -> 0.
-        in
-        let due = t.last_paced_send +. interval in
-        if due <= now_sec t then begin
-          t.last_paced_send <- now_sec t;
-          send_segment t t.next_seq;
-          t.next_seq <- t.next_seq + 1;
-          pace_send t
-        end
-        else
-          t.pace_timer <-
-            Some
-              (Scheduler.at t.sched (Time.of_sec due) (fun () ->
-                   t.pace_timer <- None;
-                   pace_send t))
+  if Scheduler.is_nil t.pace_timer then begin
+    if backlog t > 0 && flight t < window t then begin
+      let interval =
+        match Rto.srtt t.rto with
+        | Some srtt -> Time.of_sec (srtt /. Stdlib.max 1. (t.cc.Cc.cwnd ()))
+        | None -> Time.zero
+      in
+      let now = Scheduler.now t.sched in
+      (* Compare in ticks, not re-derived float seconds: the armed
+         timer fires at exactly [due], so the send below is taken. *)
+      let due =
+        if Time.compare t.last_paced_send Time.never = 0 then now
+        else Time.add t.last_paced_send interval
+      in
+      if Time.(due <= now) then begin
+        t.last_paced_send <- now;
+        send_segment t t.next_seq;
+        t.next_seq <- t.next_seq + 1;
+        pace_send t
       end
+      else t.pace_timer <- Scheduler.at t.sched due t.on_pace
+    end
+  end
 
 (* During SACK recovery the window is governed by [pipe]: fill the lowest
    un-SACKed, not-yet-retransmitted holes first, then new data. A segment
@@ -173,7 +178,7 @@ and try_send_sack t =
   done
 
 and on_rto_fire t =
-  t.rto_timer <- None;
+  t.rto_timer <- Scheduler.nil;
   if flight t > 0 then begin
     t.stats.Tcp_stats.timeouts <- t.stats.Tcp_stats.timeouts + 1;
     Rto.backoff t.rto;
@@ -195,8 +200,8 @@ and on_rto_fire t =
 
 let rtt_sample t ack =
   match Hashtbl.find_opt t.send_times (ack - 1) with
-  | Some (sent_at, true) -> Some (now_sec t -. sent_at)
-  | Some (_, false) | None -> None
+  | Some ns when ns >= 0 -> Some (now_sec t -. Time.to_sec (Time.of_ns ns))
+  | Some _ | None -> None
 
 let forget_acked t ack =
   for seq = t.snd_una to ack - 1 do
@@ -385,13 +390,20 @@ let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
       dup_acks = 0;
       in_recovery = false;
       recover = 0;
-      rto_timer = None;
+      rto_timer = Scheduler.nil;
+      on_rto = ignore;
       ecn_holdoff_until = 0.;
       ecn_reactions = 0;
-      pace_timer = None;
-      last_paced_send = neg_infinity;
+      pace_timer = Scheduler.nil;
+      on_pace = ignore;
+      last_paced_send = Time.never;
     }
   in
+  t.on_rto <- (fun () -> on_rto_fire t);
+  t.on_pace <-
+    (fun () ->
+      t.pace_timer <- Scheduler.nil;
+      pace_send t);
   record_cwnd t;
   t
 

@@ -301,17 +301,25 @@ let paper_shape_vegas_smoother_than_reno () =
 
 let paper_shape_reno_loss_bursts () =
   (* §3.4: Reno generates "large sequences of packet losses"; Vegas does
-     not. Compare the longest consecutive-drop run under heavy load. *)
-  let cfg = tiny ~clients:55 ~duration:150. ~warmup:30. () in
-  let reno = Run.run cfg Scenario.reno in
-  let vegas = Run.run cfg Scenario.vegas in
+     not. The longest consecutive-drop run of a single seed is an extreme
+     statistic and therefore noisy, so take the max over a few replicate
+     seeds before comparing. *)
+  let seeds = [ 1L; 2L; 3L ] in
+  let max_run scenario =
+    List.fold_left
+      (fun acc seed ->
+        let cfg =
+          { (tiny ~clients:55 ~duration:150. ~warmup:30. ()) with Config.seed }
+        in
+        Stdlib.max acc (Run.run cfg scenario).Metrics.drop_run_max)
+      0 seeds
+  in
+  let reno = max_run Scenario.reno in
+  let vegas = max_run Scenario.vegas in
   Alcotest.(check bool)
-    (Printf.sprintf "reno max run %d >= vegas max run %d" reno.Metrics.drop_run_max
-       vegas.Metrics.drop_run_max)
-    true
-    (reno.Metrics.drop_run_max >= vegas.Metrics.drop_run_max);
-  Alcotest.(check bool) "reno has multi-packet bursts" true
-    (reno.Metrics.drop_run_max >= 3)
+    (Printf.sprintf "reno max run %d >= vegas max run %d" reno vegas)
+    true (reno >= vegas);
+  Alcotest.(check bool) "reno has multi-packet bursts" true (reno >= 3)
 
 let paper_shape_timeout_ratio () =
   let cfg = tiny ~clients:50 ~duration:120. ~warmup:30. () in
@@ -340,14 +348,28 @@ let run_md1_queue_validation () =
     (measured > 0.7 *. expected && measured < 1.3 *. expected)
 
 let run_sfq_end_to_end () =
-  let cfg = tiny ~clients:50 ~duration:120. ~warmup:30. () in
-  let sfq = Run.run cfg Scenario.reno_sfq in
-  let plain = Run.run cfg Scenario.reno in
-  Alcotest.(check bool) "delivers" true (sfq.Metrics.delivered > 20_000);
+  (* A single seed is too noisy for the cov comparison (the two are within
+     ~10% of each other), so compare means over a few replicate seeds. *)
+  let seeds = [ 1L; 2L; 3L ] in
+  let mean_cov scenario =
+    let covs =
+      List.map
+        (fun seed ->
+          let cfg =
+            { (tiny ~clients:50 ~duration:120. ~warmup:30. ()) with Config.seed }
+          in
+          let m = Run.run cfg scenario in
+          Alcotest.(check bool) "delivers" true (m.Metrics.delivered > 20_000);
+          m.Metrics.cov)
+        seeds
+    in
+    List.fold_left ( +. ) 0. covs /. float_of_int (List.length covs)
+  in
+  let sfq = mean_cov Scenario.reno_sfq in
+  let plain = mean_cov Scenario.reno in
   Alcotest.(check bool)
-    (Printf.sprintf "sfq cov %.4f < reno cov %.4f" sfq.Metrics.cov plain.Metrics.cov)
-    true
-    (sfq.Metrics.cov < plain.Metrics.cov)
+    (Printf.sprintf "sfq mean cov %.4f < reno mean cov %.4f" sfq plain)
+    true (sfq < plain)
 
 (* ------------------------------------------------------------------ *)
 (* Synchronization *)

@@ -186,9 +186,23 @@ let registry_merge_layout_mismatch_raises () =
 let probe_merge_report_validates () =
   let main = Probe.create () and worker = Probe.create () in
   Probe.note_run main ~label:"a" ~sim_s:10. ~wall_s:0.5 ~events:1000
-    ~event_queue_hwm:42 ~gateway_queue_hwm:7 ~arrivals:900 ~drops:3;
+    ~event_queue_hwm:42 ~gateway_queue_hwm:7 ~arrivals:900 ~drops:3
+    ~gc:
+      {
+        Perf.minor_words = 10_000.;
+        promoted_words = 100.;
+        major_collections = 1;
+      }
+    ();
   Probe.note_run worker ~label:"b" ~sim_s:10. ~wall_s:0.25 ~events:500
-    ~event_queue_hwm:99 ~gateway_queue_hwm:5 ~arrivals:450 ~drops:1;
+    ~event_queue_hwm:99 ~gateway_queue_hwm:5 ~arrivals:450 ~drops:1
+    ~gc:
+      {
+        Perf.minor_words = 5_000.;
+        promoted_words = 50.;
+        major_collections = 0;
+      }
+    ();
   Perf.add_s worker.Probe.phases "run" 0.25;
   Probe.merge ~into:main worker;
   Alcotest.(check int) "runs sum" 2 (Probe.runs_total main);
@@ -200,6 +214,9 @@ let probe_merge_report_validates () =
   check_float "sim seconds sum" 20. (gauge Probe.m_sim_seconds);
   check_float "wall seconds sum" 0.75 (gauge Probe.m_run_wall);
   check_float "phases accumulate" 0.25 (Perf.duration_s main.Probe.phases "run");
+  check_float "minor words sum" 15_000. (gauge Probe.m_minor_words);
+  check_float "words/event recomputed after merge" 10.
+    (gauge Probe.m_words_per_event);
   match Report.validate (Report.to_json (Report.of_probe ~label:"merged" main)) with
   | Ok () -> ()
   | Error e -> Alcotest.failf "merged report invalid: %s" e
@@ -400,7 +417,14 @@ let progress_formatting () =
 let report_of_probe_validates () =
   let probe = Probe.create () in
   Probe.note_run probe ~label:"t" ~sim_s:10. ~wall_s:0.5 ~events:1000
-    ~event_queue_hwm:42 ~gateway_queue_hwm:7 ~arrivals:900 ~drops:3;
+    ~event_queue_hwm:42 ~gateway_queue_hwm:7 ~arrivals:900 ~drops:3
+    ~gc:
+      {
+        Perf.minor_words = 4_000.;
+        promoted_words = 40.;
+        major_collections = 0;
+      }
+    ();
   let report = Report.of_probe ~label:"test" probe in
   Alcotest.(check int) "runs" 1 report.Report.runs;
   Alcotest.(check int) "events" 1000 report.Report.events_fired;
