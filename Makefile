@@ -15,9 +15,11 @@ test:
 bench:
 	dune exec bench/main.exe 2>&1 | tee bench_output.txt
 
-# Allocation-budget gate on its own: events/sec and GC words/event for
-# a Reno N=50 run, written to BENCH_alloc.json. Exits non-zero when
-# minor words/event exceeds the committed threshold.
+# Allocation-budget gate on its own: per-scenario GC words/event rows
+# (Reno 6.0, Reno/RED 8.0, Vegas 8.0 minor words/event) written to
+# BENCH_alloc.json. Exits non-zero when any scenario exceeds its
+# committed threshold or leaks pool slots; the full (non --fast) run
+# additionally enforces the Reno events/sec floor.
 bench-alloc:
 	dune exec bench/main.exe -- --only alloc --fast
 
@@ -33,8 +35,9 @@ fast:
 # suite, re-run explicitly so a filtered runtest cannot skip it), then a
 # telemetry smoke run whose report must validate, plus the events/sec
 # overhead baseline, the sequential-vs-parallel sweep timing, and the
-# allocation budget (fails when words/event regresses past the
-# committed threshold).
+# allocation budget (fails when any scenario's minor words/event
+# regresses past its committed threshold — 6.0 for the Reno N=50 row —
+# and re-validated from the written BENCH_alloc.json by report-check).
 check:
 	dune build @all
 	dune runtest
@@ -46,6 +49,7 @@ check:
 	dune exec bench/main.exe -- --fast --only telemetry
 	dune exec bench/main.exe -- --fast --only parallel
 	dune exec bench/main.exe -- --fast --only alloc
+	dune exec bin/main.exe -- report-check --kind=alloc BENCH_alloc.json
 
 clean:
 	dune clean

@@ -196,106 +196,173 @@ let run_telemetry_bench () =
 let alloc_baseline_minor_words_per_event = 30.48
 let alloc_baseline_events_per_sec = 1_311_337.
 
-(* Regression gate: the optimised inner loop measures 14.16 minor
-   words/event (deterministic for a fixed seed); the threshold is
-   baseline/2, so the committed "at least 2x less than before" claim
-   stays enforced with ~7% headroom. *)
-let alloc_minor_words_per_event_threshold = 15.24
+(* Per-scenario allocation budgets. The packet-pool rewrite measures
+   ~3 minor words/event on Reno/drop-tail (down from 14.16 with heap
+   packets); each row gates its own committed ceiling with headroom for
+   GC-counter jitter. The primary Reno/drop-tail row also carries the
+   committed events/sec floor: 1.15x over the 1.79M ev/s recorded before
+   the pool landed. Wall-clock gates are machine-sensitive, so only that
+   row has one, and it is enforced only on full-length runs — under
+   [--fast] the wall time is a few milliseconds and the ratio is noise,
+   so the floor prints as informational there. *)
+type alloc_budget = {
+  ab_scenario : Burstcore.Scenario.t;
+  words_threshold : float;
+  min_events_per_sec : float option;
+}
+
+let alloc_budgets =
+  [
+    {
+      ab_scenario = Burstcore.Scenario.reno;
+      words_threshold = 6.0;
+      min_events_per_sec = Some 2_060_000.;
+    };
+    {
+      ab_scenario = Burstcore.Scenario.reno_red;
+      words_threshold = 8.0;
+      min_events_per_sec = None;
+    };
+    {
+      ab_scenario = Burstcore.Scenario.vegas;
+      words_threshold = 8.0;
+      min_events_per_sec = None;
+    };
+  ]
 
 let run_alloc_bench () =
   section "Allocation budget (events/sec, GC words/event)";
   let cfg =
     {
       (Burstcore.Config.with_clients (config ()) 50) with
-      Burstcore.Config.duration_s = (if !fast then 10. else 30.);
+      (* Full mode simulates long enough that the best-of wall time is a
+         few hundred ms — at 30 s the whole run fits in ~50 ms and the
+         events/sec figure swings ±20% with scheduler noise. *)
+      Burstcore.Config.duration_s = (if !fast then 10. else 180.);
       warmup_s = 2.;
     }
   in
-  let scenario = Burstcore.Scenario.reno in
-  let reps = 3 in
+  let reps = if !fast then 3 else 5 in
   (* Same seed every rep: the event count and allocation profile are
      deterministic, only wall time varies; keep the fastest rep. The GC
      figures come from the probe's run-phase counters (what [note_run]
      records), so they cover exactly the inner loop the gate is about —
      setup and metric collection are excluded, which also keeps
-     words/event independent of the run duration. *)
-  let best_wall = ref infinity in
-  let events = ref 0 in
-  let minor_words = ref 0. in
-  let promoted_words = ref 0. in
-  let major_collections = ref 0 in
-  for _ = 1 to reps do
-    let probe = Telemetry.Probe.create () in
-    let t0 = Telemetry.Perf.wall_clock_s () in
-    ignore (Burstcore.Run.run ~probe cfg scenario);
-    let dt = Telemetry.Perf.wall_clock_s () -. t0 in
-    if dt < !best_wall then begin
-      let r = probe.Telemetry.Probe.registry in
-      best_wall := dt;
-      events := Telemetry.Probe.events_total probe;
-      minor_words :=
-        Telemetry.Registry.gauge_value
-          (Telemetry.Registry.gauge r Telemetry.Probe.m_minor_words);
-      promoted_words :=
-        Telemetry.Registry.gauge_value
-          (Telemetry.Registry.gauge r Telemetry.Probe.m_promoted_words);
-      major_collections :=
-        Telemetry.Registry.counter_value
-          (Telemetry.Registry.counter r Telemetry.Probe.m_major_collections)
-    end
-  done;
-  let fe = float_of_int (Stdlib.max 1 !events) in
-  let eps = if !best_wall > 0. then fe /. !best_wall else 0. in
-  let wpe = !minor_words /. fe in
-  let ppe = !promoted_words /. fe in
+     words/event independent of the run duration. Every run also passes
+     [Run.run]'s pool-leak check (live handles must drain to zero), so a
+     row in the report doubles as a leak-free certificate. *)
+  let measure scenario =
+    let best_wall = ref infinity in
+    let events = ref 0 in
+    let minor_words = ref 0. in
+    let promoted_words = ref 0. in
+    let major_collections = ref 0 in
+    for _ = 1 to reps do
+      let probe = Telemetry.Probe.create () in
+      let t0 = Telemetry.Perf.wall_clock_s () in
+      ignore (Burstcore.Run.run ~probe cfg scenario);
+      let dt = Telemetry.Perf.wall_clock_s () -. t0 in
+      if dt < !best_wall then begin
+        let r = probe.Telemetry.Probe.registry in
+        best_wall := dt;
+        events := Telemetry.Probe.events_total probe;
+        minor_words :=
+          Telemetry.Registry.gauge_value
+            (Telemetry.Registry.gauge r Telemetry.Probe.m_minor_words);
+        promoted_words :=
+          Telemetry.Registry.gauge_value
+            (Telemetry.Registry.gauge r Telemetry.Probe.m_promoted_words);
+        major_collections :=
+          Telemetry.Registry.counter_value
+            (Telemetry.Registry.counter r Telemetry.Probe.m_major_collections)
+      end
+    done;
+    let fe = float_of_int (Stdlib.max 1 !events) in
+    let eps = if !best_wall > 0. then fe /. !best_wall else 0. in
+    (!events, !best_wall, eps, !minor_words /. fe, !promoted_words /. fe,
+     !major_collections)
+  in
   let ratio num den = if den > 0. then num /. den else 0. in
-  Format.fprintf std "events per run        %12d@." !events;
-  Format.fprintf std "wall (best of %d)     %13.4f s@." reps !best_wall;
-  Format.fprintf std "events/sec            %12.0f@." eps;
-  Format.fprintf std "minor words/event     %12.2f@." wpe;
-  Format.fprintf std "promoted words/event  %12.4f@." ppe;
-  Format.fprintf std "major collections     %12d@." !major_collections;
-  Format.fprintf std "baseline words/event  %12.2f  (%.2fx reduction)@."
-    alloc_baseline_minor_words_per_event
-    (ratio alloc_baseline_minor_words_per_event wpe);
-  Format.fprintf std "baseline events/sec   %12.0f  (%.2fx speedup)@."
-    alloc_baseline_events_per_sec
-    (ratio eps alloc_baseline_events_per_sec);
+  let failed = ref false in
+  let rows =
+    List.map
+      (fun budget ->
+        let label = Burstcore.Scenario.label budget.ab_scenario in
+        let events, wall, eps, wpe, ppe, majors = measure budget.ab_scenario in
+        Format.fprintf std "@.%s@." label;
+        Format.fprintf std "  events per run        %12d@." events;
+        Format.fprintf std "  wall (best of %d)     %13.4f s@." reps wall;
+        Format.fprintf std "  events/sec            %12.0f@." eps;
+        Format.fprintf std "  minor words/event     %12.2f  (budget %.2f)@."
+          wpe budget.words_threshold;
+        Format.fprintf std "  promoted words/event  %12.4f@." ppe;
+        Format.fprintf std "  major collections     %12d@." majors;
+        if wpe > budget.words_threshold then begin
+          Format.eprintf
+            "allocation regression (%s): %.2f minor words/event exceeds the \
+             committed threshold %.2f@."
+            label wpe budget.words_threshold;
+          failed := true
+        end;
+        (match budget.min_events_per_sec with
+        | Some floor ->
+            Format.fprintf std
+              "  baseline words/event  %12.2f  (%.2fx reduction)@."
+              alloc_baseline_minor_words_per_event
+              (ratio alloc_baseline_minor_words_per_event wpe);
+            Format.fprintf std
+              "  baseline events/sec   %12.0f  (%.2fx speedup)@."
+              alloc_baseline_events_per_sec
+              (ratio eps alloc_baseline_events_per_sec);
+            if eps < floor then
+              if !fast then
+                Format.fprintf std
+                  "  (events/sec floor %.0f not enforced under --fast)@." floor
+              else begin
+                Format.eprintf
+                  "throughput regression (%s): %.0f events/sec is below the \
+                   committed floor %.0f@."
+                  label eps floor;
+                failed := true
+              end
+        | None -> ());
+        Burstcore.Json.Obj
+          [
+            ("scenario", Burstcore.Json.String label);
+            ("clients", Burstcore.Json.Int cfg.Burstcore.Config.clients);
+            ("events", Burstcore.Json.Int events);
+            ("wall_s", Burstcore.Json.Float wall);
+            ("events_per_sec", Burstcore.Json.Float eps);
+            ("minor_words_per_event", Burstcore.Json.Float wpe);
+            ("promoted_words_per_event", Burstcore.Json.Float ppe);
+            ("major_collections", Burstcore.Json.Int majors);
+            ( "threshold_minor_words_per_event",
+              Burstcore.Json.Float budget.words_threshold );
+            ( "min_events_per_sec",
+              match budget.min_events_per_sec with
+              | Some f -> Burstcore.Json.Float f
+              | None -> Burstcore.Json.Null );
+            ("leak_free", Burstcore.Json.Bool true);
+          ])
+      alloc_budgets
+  in
   let json =
     Burstcore.Json.Obj
       [
-        ("scenario", Burstcore.Json.String (Burstcore.Scenario.label scenario));
         ("clients", Burstcore.Json.Int cfg.Burstcore.Config.clients);
         ("duration_s", Burstcore.Json.Float cfg.Burstcore.Config.duration_s);
         ("reps", Burstcore.Json.Int reps);
-        ("events", Burstcore.Json.Int !events);
-        ("wall_s", Burstcore.Json.Float !best_wall);
-        ("events_per_sec", Burstcore.Json.Float eps);
-        ("minor_words_per_event", Burstcore.Json.Float wpe);
-        ("promoted_words_per_event", Burstcore.Json.Float ppe);
-        ("major_collections", Burstcore.Json.Int !major_collections);
         ( "baseline_minor_words_per_event",
           Burstcore.Json.Float alloc_baseline_minor_words_per_event );
         ( "baseline_events_per_sec",
           Burstcore.Json.Float alloc_baseline_events_per_sec );
-        ( "minor_words_reduction",
-          Burstcore.Json.Float (ratio alloc_baseline_minor_words_per_event wpe)
-        );
-        ("events_per_sec_speedup", Burstcore.Json.Float (ratio eps alloc_baseline_events_per_sec));
-        ( "threshold_minor_words_per_event",
-          Burstcore.Json.Float alloc_minor_words_per_event_threshold );
+        ("rows", Burstcore.Json.List rows);
       ]
   in
   Burstcore.Export.write_file "BENCH_alloc.json"
     (Burstcore.Json.to_string json ^ "\n");
-  Format.fprintf std "wrote BENCH_alloc.json@.";
-  if wpe > alloc_minor_words_per_event_threshold then begin
-    Format.eprintf
-      "allocation regression: %.2f minor words/event exceeds the committed \
-       threshold %.2f@."
-      wpe alloc_minor_words_per_event_threshold;
-    exit 1
-  end
+  Format.fprintf std "@.wrote BENCH_alloc.json@.";
+  if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Parallel sweep: sequential vs domain-fanned wall time               *)
@@ -337,7 +404,12 @@ let run_parallel_bench () =
   in
   let domains = !pool_size in
   let deterministic = par = seq in
-  let speedup = if par_wall > 0. then seq_wall /. par_wall else 0. in
+  (* With one domain the "parallel" path degrades to an inline map, so
+     the ratio measures nothing but noise — report it as skipped rather
+     than commit a meaningless (often < 1) figure. *)
+  let speedup =
+    if domains < 2 || par_wall <= 0. then None else Some (seq_wall /. par_wall)
+  in
   Format.fprintf std
     "points                %12d  (%d client counts x %d replicates)@."
     (List.length ns * replicates)
@@ -345,17 +417,22 @@ let run_parallel_bench () =
   Format.fprintf std "domains               %12d@." domains;
   Format.fprintf std "sequential            %12.4f s@." seq_wall;
   Format.fprintf std "parallel              %12.4f s@." par_wall;
-  Format.fprintf std "speedup               %12.2fx@." speedup;
+  (match speedup with
+  | Some s -> Format.fprintf std "speedup               %12.2fx@." s
+  | None ->
+      Format.fprintf std "speedup               %12s@." "skipped (1 domain)");
   Format.fprintf std "bit-identical results %12s@."
     (if deterministic then "yes" else "NO");
   if not deterministic then begin
     Format.eprintf "parallel sweep diverged from the sequential one@.";
     exit 1
   end;
-  if domains > 1 && speedup < 1.05 then
-    Format.fprintf std
-      "warning: %d domains yielded only %.2fx — check machine load@." domains
-      speedup;
+  (match speedup with
+  | Some s when s < 1.05 ->
+      Format.fprintf std
+        "warning: %d domains yielded only %.2fx — check machine load@." domains
+        s
+  | Some _ | None -> ());
   let json =
     Burstcore.Json.Obj
       [
@@ -367,7 +444,10 @@ let run_parallel_bench () =
         ("domains", Burstcore.Json.Int domains);
         ("sequential_wall_s", Burstcore.Json.Float seq_wall);
         ("parallel_wall_s", Burstcore.Json.Float par_wall);
-        ("speedup", Burstcore.Json.Float speedup);
+        ( "speedup",
+          match speedup with
+          | Some s -> Burstcore.Json.Float s
+          | None -> Burstcore.Json.Null );
         ("deterministic", Burstcore.Json.Bool deterministic);
       ]
   in
@@ -416,13 +496,14 @@ module Micro = struct
 
   let red_enqueue_dequeue =
     let rng = Sim_engine.Rng.create ~seed:2L in
+    let pool = Netsim.Packet_pool.create () in
     let params = Netsim.Red.default_params ~capacity:50 ~min_th:10. ~max_th:40. in
-    let red = Netsim.Red.create ~rng params in
-    let factory = Netsim.Packet.factory () in
+    let red = Netsim.Red.create ~rng ~pool params in
+    (* One live handle recycled through the queue; RED never frees, so a
+       drop just leaves it valid for the next iteration. *)
     let packet =
-      Netsim.Packet.make factory ~flow:0 ~src:1 ~dst:0 ~size_bytes:1500
-        ~sent_at:Sim_engine.Time.zero
-        (Netsim.Packet.Tcp_data { seq = 0; is_retransmit = false })
+      Netsim.Packet_pool.alloc_data pool ~flow:0 ~src:1 ~dst:0 ~size_bytes:1500
+        ~sent_at:Sim_engine.Time.zero ~seq:0 ~is_retransmit:false ()
     in
     Test.make ~name:"red enqueue+dequeue"
       (Staged.stage (fun () ->

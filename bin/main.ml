@@ -396,7 +396,8 @@ let trace_cmd =
           let m =
             Burstcore.Run.run ?probe
               ~prepare:(fun net ->
-                Netsim.Tracer.attach tracer (Burstcore.Dumbbell.bottleneck net))
+                Netsim.Tracer.attach tracer (Burstcore.Dumbbell.pool net)
+                  (Burstcore.Dumbbell.bottleneck net))
               cfg scenario
           in
           notify
@@ -544,7 +545,17 @@ let report_check_cmd =
     let doc = "Report file written by --telemetry=FILE." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
+  let kind =
+    let doc =
+      "Report schema to check: $(b,telemetry) for a --telemetry=FILE report, \
+       $(b,alloc) for the BENCH_alloc.json allocation-budget sweep."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("telemetry", `Telemetry); ("alloc", `Alloc) ]) `Telemetry
+      & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let run kind file =
     let ic =
       try open_in file
       with Sys_error msg ->
@@ -556,27 +567,30 @@ let report_check_cmd =
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    let checked =
-      Result.bind (Burstcore.Json.parse contents) Telemetry.Report.validate
+    let validate, what =
+      match kind with
+      | `Telemetry -> (Telemetry.Report.validate, "telemetry report")
+      | `Alloc -> (Telemetry.Report.validate_alloc, "alloc report")
     in
-    match checked with
-    | Ok () -> print_endline "report ok"
+    match Result.bind (Burstcore.Json.parse contents) validate with
+    | Ok () -> print_endline (what ^ " ok")
     | Error msg ->
-        Format.eprintf "%s: invalid telemetry report: %s@." file msg;
+        Format.eprintf "%s: invalid %s: %s@." file what msg;
         exit 1
   in
   Cmd.v
     (Cmd.info "report-check"
        ~doc:
-         "Validate a JSON telemetry report written by --telemetry=FILE (used \
-          by 'make check').")
-    Term.(const run $ file)
+         "Validate a JSON report: a --telemetry=FILE run report, or with \
+          --kind=alloc the BENCH_alloc.json allocation sweep (both used by \
+          'make check').")
+    Term.(const run $ kind $ file)
 
 (* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
-    (Cmd.info "burstsim" ~version:"1.0.0"
+    (Cmd.info "burstsim" ~version:"1.3.0"
        ~doc:
          "Reproduction of 'On the Burstiness of the TCP Congestion-Control \
           Mechanism in a Distributed Computing System' (ICDCS 2000).")

@@ -21,7 +21,8 @@ let () =
   let metrics =
     Burstcore.Run.run
       ~prepare:(fun net ->
-        Netsim.Tracer.attach tracer (Burstcore.Dumbbell.bottleneck net))
+        Netsim.Tracer.attach tracer (Burstcore.Dumbbell.pool net)
+                  (Burstcore.Dumbbell.bottleneck net))
       cfg Burstcore.Scenario.reno
   in
   Format.printf "run: %a@.@." Burstcore.Metrics.pp_row metrics;

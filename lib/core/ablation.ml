@@ -180,7 +180,7 @@ let cov_at_bin cfg scenario width =
   let net = Dumbbell.create cfg scenario in
   let sched = Dumbbell.scheduler net in
   let binner =
-    Netsim.Monitor.arrival_binner (Dumbbell.bottleneck net)
+    Netsim.Monitor.arrival_binner (Dumbbell.pool net) (Dumbbell.bottleneck net)
       ~origin:cfg.Config.warmup_s ~width
   in
   List.iter

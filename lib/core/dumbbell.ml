@@ -6,6 +6,7 @@ module Node = Netsim.Node
 module Router = Netsim.Router
 module Units = Netsim.Units
 module Queue_disc = Netsim.Queue_disc
+module Packet_pool = Netsim.Packet_pool
 
 type endpoint =
   | Tcp_end of Transport.Tcp_sender.t * Transport.Tcp_receiver.t
@@ -14,8 +15,11 @@ type endpoint =
 type t = {
   sched : Scheduler.t;
   rng : Rng.t;
+  pool : Packet_pool.t;
   bottleneck : Link.t;
   reverse_bottleneck : Link.t;
+  up_links : Link.t array;
+  down_links : Link.t array;
   gateway_queue : Queue_disc.t;
   endpoints : endpoint array;
 }
@@ -53,10 +57,11 @@ let red_params cfg ~ecn_mark ~adaptive =
     adaptive;
   }
 
-let gateway_queue ?bus cfg scenario rng =
+let gateway_queue ?bus cfg scenario rng pool =
   let red ~ecn_mark ~adaptive =
     Queue_disc.red ?bus ~name:"gateway"
       ~rng:(Rng.split_named rng "red-gateway")
+      ~pool
       (red_params cfg ~ecn_mark ~adaptive)
   in
   match scenario.Scenario.gateway with
@@ -64,9 +69,9 @@ let gateway_queue ?bus cfg scenario rng =
   | Scenario.Red -> red ~ecn_mark:false ~adaptive:false
   | Scenario.Red_ecn -> red ~ecn_mark:true ~adaptive:false
   | Scenario.Red_adaptive -> red ~ecn_mark:false ~adaptive:true
-  | Scenario.Sfq_gw -> Queue_disc.sfq ~capacity:cfg.Config.buffer_packets ()
+  | Scenario.Sfq_gw -> Queue_disc.sfq ~pool ~capacity:cfg.Config.buffer_packets ()
 
-let create ?bus cfg scenario =
+let create ?bus ?(trace_clients = []) cfg scenario =
   Config.validate cfg;
   let n = cfg.Config.clients in
   (* Pre-size the event queue for the steady state: each client holds at
@@ -77,10 +82,16 @@ let create ?bus cfg scenario =
   let queue_capacity = 64 + (n * ((4 * cfg.Config.adv_window) + 8)) in
   let sched = Scheduler.create ~queue_capacity () in
   let rng = Rng.create ~seed:cfg.Config.seed in
-  let factory = Netsim.Packet.factory () in
-  let router = Router.create ~name:"gateway" in
-  let server = Node.create ~id:server_id in
-  let client_nodes = Array.init n (fun i -> Node.create ~id:(client_id i)) in
+  (* Live packets at any instant: per client a window of data plus the
+     matching ACKs, plus whatever sits in the gateway buffer. *)
+  let pool =
+    Packet_pool.create
+      ~capacity:(64 + (n * ((2 * cfg.Config.adv_window) + 4)) + cfg.Config.buffer_packets)
+      ()
+  in
+  let router = Router.create ~name:"gateway" ~pool in
+  let server = Node.create ~id:server_id ~pool in
+  let client_nodes = Array.init n (fun i -> Node.create ~id:(client_id i) ~pool) in
   let client_bw = Units.mbps cfg.Config.client_bandwidth_mbps in
   let bottleneck_bw = Units.mbps cfg.Config.bottleneck_bandwidth_mbps in
   (* Per-client propagation delays: homogeneous by default, optionally
@@ -99,16 +110,17 @@ let create ?bus cfg scenario =
     end
   in
   let bottleneck_delay = Time.of_sec cfg.Config.bottleneck_delay_s in
-  let gateway_queue = gateway_queue ?bus cfg scenario rng in
+  let gateway_queue = gateway_queue ?bus cfg scenario rng pool in
   let bottleneck =
     Link.create sched ~name:"bottleneck" ~bandwidth:bottleneck_bw
-      ~delay:bottleneck_delay ~queue:gateway_queue
+      ~delay:bottleneck_delay ~queue:gateway_queue ~pool
       ~deliver:(Node.receive server)
   in
   let reverse_bottleneck =
     Link.create sched ~name:"bottleneck-rev" ~bandwidth:bottleneck_bw
       ~delay:bottleneck_delay
       ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+      ~pool
       ~deliver:(Router.receive router)
   in
   Router.set_default router bottleneck;
@@ -118,6 +130,7 @@ let create ?bus cfg scenario =
           ~name:(Printf.sprintf "up-%d" i)
           ~bandwidth:client_bw ~delay:(client_delay i)
           ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+          ~pool
           ~deliver:(Router.receive router))
   in
   let down_links =
@@ -126,6 +139,7 @@ let create ?bus cfg scenario =
           ~name:(Printf.sprintf "down-%d" i)
           ~bandwidth:client_bw ~delay:(client_delay i)
           ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+          ~pool
           ~deliver:(Node.receive client_nodes.(i)))
   in
   Array.iteri (fun i link -> Router.add_route router ~dst:(client_id i) link) down_links;
@@ -134,18 +148,20 @@ let create ?bus cfg scenario =
         match scenario.Scenario.transport with
         | Scenario.Udp ->
             let sender =
-              Transport.Udp.create_sender sched ~factory ~flow:i ~src:(client_id i)
+              Transport.Udp.create_sender sched ~pool ~flow:i ~src:(client_id i)
                 ~dst:server_id ~size_bytes:cfg.Config.packet_bytes
                 ~transmit:(Link.send up_links.(i))
             in
-            Udp_end (sender, Transport.Udp.create_receiver ())
+            Udp_end (sender, Transport.Udp.create_receiver ~pool ())
         | Scenario.Tcp { cc; delayed_ack } ->
             let ecn_capable = scenario.Scenario.gateway = Scenario.Red_ecn in
             let sack = cc = Scenario.Sack in
             let sender =
               Transport.Tcp_sender.create ~ecn_capable ~sack
                 ~cwnd_validation:cfg.Config.cwnd_validation
-                ~pacing:cfg.Config.pacing ?bus sched ~factory
+                ~pacing:cfg.Config.pacing
+                ~trace_cwnd:(List.mem i trace_clients)
+                ?bus sched ~pool
                 ~cc:(make_cc cfg cc) ~rto_params:cfg.Config.rto ~flow:i
                 ~src:(client_id i) ~dst:server_id
                 ~mss_bytes:cfg.Config.packet_bytes
@@ -153,35 +169,53 @@ let create ?bus cfg scenario =
                 ~transmit:(Link.send up_links.(i))
             in
             let receiver =
-              Transport.Tcp_receiver.create ~sack sched ~factory ~flow:i
+              Transport.Tcp_receiver.create ~sack sched ~pool ~flow:i
                 ~src:server_id ~dst:(client_id i) ~ack_bytes:cfg.Config.ack_bytes
                 ~delayed_ack
                 ~transmit:(Link.send reverse_bottleneck)
             in
             Tcp_end (sender, receiver))
   in
-  Node.set_handler server (fun p ->
-      let flow = p.Netsim.Packet.flow in
+  Node.set_handler server (fun h ->
+      let flow = Packet_pool.flow pool h in
       if flow >= 0 && flow < n then
         match endpoints.(flow) with
-        | Tcp_end (_, receiver) -> Transport.Tcp_receiver.handle_packet receiver p
-        | Udp_end (_, receiver) -> Transport.Udp.handle_packet receiver p);
+        | Tcp_end (_, receiver) -> Transport.Tcp_receiver.handle_packet receiver h
+        | Udp_end (_, receiver) -> Transport.Udp.handle_packet receiver h);
   Array.iteri
     (fun i node ->
-      Node.set_handler node (fun p ->
+      Node.set_handler node (fun h ->
           match endpoints.(i) with
-          | Tcp_end (sender, _) -> Transport.Tcp_sender.handle_packet sender p
+          | Tcp_end (sender, _) -> Transport.Tcp_sender.handle_packet sender h
           | Udp_end _ -> ()))
     client_nodes;
-  { sched; rng; bottleneck; reverse_bottleneck; gateway_queue; endpoints }
+  {
+    sched;
+    rng;
+    pool;
+    bottleneck;
+    reverse_bottleneck;
+    up_links;
+    down_links;
+    gateway_queue;
+    endpoints;
+  }
 
 let scheduler t = t.sched
 
 let rng t = t.rng
 
+let pool t = t.pool
+
 let bottleneck t = t.bottleneck
 
 let reverse_bottleneck t = t.reverse_bottleneck
+
+let reclaim t =
+  Link.reclaim t.bottleneck;
+  Link.reclaim t.reverse_bottleneck;
+  Array.iter Link.reclaim t.up_links;
+  Array.iter Link.reclaim t.down_links
 
 let clients t = Array.length t.endpoints
 

@@ -8,16 +8,28 @@
 
 type t
 
-val create : ?bus:Telemetry.Event_bus.t -> Config.t -> Scenario.t -> t
-(** Fresh scheduler, RNG streams, topology and transports. When [bus] is
-    given it is wired into the RED gateway queue (as ["gateway"]) and
-    every TCP sender, so queue-discipline decisions and congestion
-    reactions publish there. *)
+val create :
+  ?bus:Telemetry.Event_bus.t -> ?trace_clients:int list -> Config.t -> Scenario.t -> t
+(** Fresh scheduler, RNG streams, packet pool, topology and transports.
+    When [bus] is given it is wired into the RED gateway queue (as
+    ["gateway"]) and every TCP sender, so queue-discipline decisions and
+    congestion reactions publish there. [trace_clients] (default none)
+    lists client indices whose senders record a congestion-window trace;
+    tracing costs boxed floats per ACK, so it is opt-in. *)
 
 val scheduler : t -> Sim_engine.Scheduler.t
 
 val rng : t -> Sim_engine.Rng.t
 (** The run's master RNG; split it for sources. *)
+
+val pool : t -> Netsim.Packet_pool.t
+(** The packet pool every node, link and transport of this topology
+    allocates from. *)
+
+val reclaim : t -> unit
+(** Free every packet still queued or in flight on any link — call after
+    the scheduler stops so {!Netsim.Packet_pool.live} returns 0 for a
+    leak-free run. *)
 
 val bottleneck : t -> Netsim.Link.t
 (** The gateway → server link whose queue is the discipline under test. *)

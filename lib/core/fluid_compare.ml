@@ -20,7 +20,9 @@ let capacity_pps cfg =
    window is lifted well above the bandwidth-delay product. *)
 let measure cfg scenario ~flows =
   let cfg = { (Config.with_clients cfg flows) with Config.adv_window = 600 } in
-  let net = Dumbbell.create cfg scenario in
+  (* Every flow's cwnd trace is consumed below, so tracing must be on for
+     all of them (it is opt-in per client since the trace allocates). *)
+  let net = Dumbbell.create ~trace_clients:(List.init flows Fun.id) cfg scenario in
   let sched = Dumbbell.scheduler net in
   let horizon = Time.of_sec cfg.Config.duration_s in
   let half = cfg.Config.duration_s /. 2. in

@@ -35,11 +35,21 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
   if cross_per_hop < 0 then invalid_arg "Parking_lot.run: negative cross_per_hop";
   let cfg = { cfg with Config.adv_window } in
   let sched = Scheduler.create () in
-  let factory = Netsim.Packet.factory () in
+  let pool =
+    Netsim.Packet_pool.create
+      ~capacity:
+        (64
+        + ((1 + (hops * cross_per_hop)) * ((2 * adv_window) + 4))
+        + ((hops + 1) * cfg.Config.buffer_packets))
+      ()
+  in
   let bottleneck_bw = Units.mbps cfg.Config.bottleneck_bandwidth_mbps in
   let access_bw = Units.mbps cfg.Config.client_bandwidth_mbps in
   let hop_delay = Time.of_sec cfg.Config.bottleneck_delay_s in
-  let routers = Array.init (hops + 1) (fun k -> Router.create ~name:(Printf.sprintf "R%d" k)) in
+  let routers =
+    Array.init (hops + 1) (fun k ->
+        Router.create ~name:(Printf.sprintf "R%d" k) ~pool)
+  in
   (* Forward bottlenecks F_k : R_k -> R_k+1 and lossless reverses. *)
   let forward =
     Array.init hops (fun k ->
@@ -47,6 +57,7 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
           ~name:(Printf.sprintf "hop-%d" k)
           ~bandwidth:bottleneck_bw ~delay:hop_delay
           ~queue:(Queue_disc.droptail ~capacity:cfg.Config.buffer_packets)
+          ~pool
           ~deliver:(Router.receive routers.(k + 1)))
   in
   let reverse =
@@ -55,19 +66,21 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
           ~name:(Printf.sprintf "hop-%d-rev" k)
           ~bandwidth:bottleneck_bw ~delay:hop_delay
           ~queue:(Queue_disc.droptail ~capacity:1_000_000)
+          ~pool
           ~deliver:(Router.receive routers.(k)))
   in
   (* Endpoint bookkeeping: node, its router, its access links. *)
   let endpoints : (int, endpoint) Hashtbl.t = Hashtbl.create 16 in
   let nodes : (int, Node.t) Hashtbl.t = Hashtbl.create 16 in
   let attach ~id ~router_idx =
-    let node = Node.create ~id in
+    let node = Node.create ~id ~pool in
     Hashtbl.replace nodes id node;
     let up =
       Link.create sched
         ~name:(Printf.sprintf "up-%d" id)
         ~bandwidth:access_bw ~delay:access_delay
         ~queue:(Queue_disc.droptail ~capacity:1_000_000)
+        ~pool
         ~deliver:(Router.receive routers.(router_idx))
     in
     let down =
@@ -75,6 +88,7 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
         ~name:(Printf.sprintf "down-%d" id)
         ~bandwidth:access_bw ~delay:access_delay
         ~queue:(Queue_disc.droptail ~capacity:1_000_000)
+        ~pool
         ~deliver:(Node.receive node)
     in
     (node, up, down)
@@ -109,13 +123,13 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
     in
     let sack = cc = Scenario.Sack in
     let sender =
-      Transport.Tcp_sender.create ~sack sched ~factory ~cc:cc_handle
+      Transport.Tcp_sender.create ~sack sched ~pool ~cc:cc_handle
         ~rto_params:cfg.Config.rto ~flow ~src:src_id ~dst:dst_id
         ~mss_bytes:cfg.Config.packet_bytes ~adv_window:adv
         ~transmit:(Link.send src_up)
     in
     let receiver =
-      Transport.Tcp_receiver.create ~sack sched ~factory ~flow ~src:dst_id
+      Transport.Tcp_receiver.create ~sack sched ~pool ~flow ~src:dst_id
         ~dst:src_id ~ack_bytes:cfg.Config.ack_bytes ~delayed_ack:false
         ~transmit:(Link.send dst_up)
     in
@@ -140,10 +154,10 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
   Hashtbl.iter
     (fun id node ->
       let ep = Hashtbl.find endpoints id in
-      Node.set_handler node (fun p ->
+      Node.set_handler node (fun h ->
           match ep with
-          | { sender = Some s; _ } -> Transport.Tcp_sender.handle_packet s p
-          | { receiver = Some r; _ } -> Transport.Tcp_receiver.handle_packet r p
+          | { sender = Some s; _ } -> Transport.Tcp_sender.handle_packet s h
+          | { receiver = Some r; _ } -> Transport.Tcp_receiver.handle_packet r h
           | _ -> ()))
     nodes;
   (* Greedy sources everywhere. *)

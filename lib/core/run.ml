@@ -26,17 +26,18 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
         queue_series,
         sources ) =
     time "setup" (fun () ->
-        let net = Dumbbell.create ?bus cfg scenario in
+        let net = Dumbbell.create ?bus ~trace_clients cfg scenario in
         prepare net;
         let sched = Dumbbell.scheduler net in
+        let pool = Dumbbell.pool net in
         let bottleneck = Dumbbell.bottleneck net in
         (match bus with
         | Some b -> Netsim.Link.publish bottleneck b
         | None -> ());
         let horizon = Time.of_sec cfg.Config.duration_s in
         let binner =
-          Netsim.Monitor.arrival_binner bottleneck ~origin:cfg.Config.warmup_s
-            ~width:(Config.rtt_prop_s cfg)
+          Netsim.Monitor.arrival_binner pool bottleneck
+            ~origin:cfg.Config.warmup_s ~width:(Config.rtt_prop_s cfg)
         in
         let per_flow_binners =
           if measure_sync && cfg.Config.clients >= 2 then begin
@@ -45,10 +46,11 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
                   Netstats.Binned.create ~origin:cfg.Config.warmup_s
                     ~width:(Config.rtt_prop_s cfg) ())
             in
-            Netsim.Link.on_arrival bottleneck (fun now p ->
-                let flow = p.Netsim.Packet.flow in
+            Netsim.Link.on_arrival bottleneck (fun now h ->
+                let flow = Netsim.Packet_pool.flow pool h in
                 if
-                  Netsim.Packet.is_data p && flow >= 0
+                  Netsim.Packet_pool.is_data pool h
+                  && flow >= 0
                   && flow < Array.length binners
                 then Netstats.Binned.record binners.(flow) (Time.to_sec now));
             Some binners
@@ -67,12 +69,14 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
                    ~hi:5. ~bins:50 "packet_delay_seconds")
           | None -> None
         in
-        Netsim.Link.on_depart bottleneck (fun now p ->
+        Netsim.Link.on_depart bottleneck (fun now h ->
             if
-              Netsim.Packet.is_data p && Time.to_sec now >= cfg.Config.warmup_s
+              Netsim.Packet_pool.is_data pool h
+              && Time.to_sec now >= cfg.Config.warmup_s
             then begin
               let delay =
-                Time.to_sec now -. Time.to_sec p.Netsim.Packet.sent_at
+                Time.to_sec now
+                -. Time.to_sec (Netsim.Packet_pool.sent_at pool h)
               in
               Netstats.Welford.add delay_stats delay;
               Netstats.P2_quantile.add delay_p99 delay;
@@ -125,6 +129,13 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
     | None -> ());
     (dt, gc)
   in
+  (* End-of-run sweep: links free whatever the horizon left queued or in
+     flight, and a nonzero live count afterwards means some layer dropped
+     a handle without freeing it — fail loudly rather than leak. *)
+  Dumbbell.reclaim net;
+  let live = Netsim.Packet_pool.live (Dumbbell.pool net) in
+  if live <> 0 then
+    failwith (Printf.sprintf "Run.run: %d packet(s) leaked from the pool" live);
   let metrics =
     time "collect" (fun () ->
         let counts = Netstats.Binned.counts binner ~upto:cfg.Config.duration_s in

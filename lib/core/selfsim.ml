@@ -53,7 +53,7 @@ let measure cfg kind scenario =
   let sched = Dumbbell.scheduler net in
   let horizon = Time.of_sec cfg.Config.duration_s in
   let binner =
-    Netsim.Monitor.arrival_binner (Dumbbell.bottleneck net)
+    Netsim.Monitor.arrival_binner (Dumbbell.pool net) (Dumbbell.bottleneck net)
       ~origin:cfg.Config.warmup_s ~width:bin_width
   in
   attach_sources cfg kind net sched horizon;

@@ -45,9 +45,16 @@ let run cfg ~cc ~reverse_clients =
   let n = cfg.Config.clients in
   let sched = Scheduler.create () in
   let rng = Rng.create ~seed:cfg.Config.seed in
-  let factory = Netsim.Packet.factory () in
-  let gw = Router.create ~name:"gw" in
-  let svr = Router.create ~name:"svr" in
+  let pool =
+    Netsim.Packet_pool.create
+      ~capacity:
+        (64
+        + ((n + reverse_clients) * ((2 * cfg.Config.adv_window) + 4))
+        + (2 * cfg.Config.buffer_packets))
+      ()
+  in
+  let gw = Router.create ~name:"gw" ~pool in
+  let svr = Router.create ~name:"svr" ~pool in
   let bw_bottleneck = Units.mbps cfg.Config.bottleneck_bandwidth_mbps in
   let bw_access = Units.mbps cfg.Config.client_bandwidth_mbps in
   let bottleneck_delay = Time.of_sec cfg.Config.bottleneck_delay_s in
@@ -57,26 +64,31 @@ let run cfg ~cc ~reverse_clients =
   let fwd_bottleneck =
     Link.create sched ~name:"fwd" ~bandwidth:bw_bottleneck ~delay:bottleneck_delay
       ~queue:(Queue_disc.droptail ~capacity:cfg.Config.buffer_packets)
+      ~pool
       ~deliver:(Router.receive svr)
   in
   let rev_bottleneck =
     Link.create sched ~name:"rev" ~bandwidth:bw_bottleneck ~delay:bottleneck_delay
       ~queue:(Queue_disc.droptail ~capacity:cfg.Config.buffer_packets)
+      ~pool
       ~deliver:(Router.receive gw)
   in
   Router.set_default gw fwd_bottleneck;
   Router.set_default svr rev_bottleneck;
-  let handlers : (int, Netsim.Packet.t -> unit) Hashtbl.t = Hashtbl.create 64 in
+  let handlers : (int, Netsim.Packet_pool.handle -> unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
   let attach id =
-    let node = Node.create ~id in
-    Node.set_handler node (fun p ->
-        match Hashtbl.find_opt handlers id with Some f -> f p | None -> ());
+    let node = Node.create ~id ~pool in
+    Node.set_handler node (fun h ->
+        match Hashtbl.find_opt handlers id with Some f -> f h | None -> ());
     let router = if gateway_side id then gw else svr in
     let up =
       Link.create sched
         ~name:(Printf.sprintf "up-%d" id)
         ~bandwidth:bw_access ~delay:access_delay
         ~queue:(Queue_disc.droptail ~capacity:1_000_000)
+        ~pool
         ~deliver:(Router.receive router)
     in
     let down =
@@ -84,6 +96,7 @@ let run cfg ~cc ~reverse_clients =
         ~name:(Printf.sprintf "down-%d" id)
         ~bandwidth:bw_access ~delay:access_delay
         ~queue:(Queue_disc.droptail ~capacity:1_000_000)
+        ~pool
         ~deliver:(Node.receive node)
     in
     Router.add_route router ~dst:id down;
@@ -93,13 +106,13 @@ let run cfg ~cc ~reverse_clients =
     let src_up = attach src_id in
     let dst_up = attach dst_id in
     let sender =
-      Transport.Tcp_sender.create sched ~factory ~cc:(make_cc cfg cc)
+      Transport.Tcp_sender.create sched ~pool ~cc:(make_cc cfg cc)
         ~rto_params:cfg.Config.rto ~flow ~src:src_id ~dst:dst_id
         ~mss_bytes:cfg.Config.packet_bytes ~adv_window:cfg.Config.adv_window
         ~transmit:(Link.send src_up)
     in
     let receiver =
-      Transport.Tcp_receiver.create sched ~factory ~flow ~src:dst_id ~dst:src_id
+      Transport.Tcp_receiver.create sched ~pool ~flow ~src:dst_id ~dst:src_id
         ~ack_bytes:cfg.Config.ack_bytes ~delayed_ack:false
         ~transmit:(Link.send dst_up)
     in
@@ -117,7 +130,7 @@ let run cfg ~cc ~reverse_clients =
   (* Burstiness of the forward aggregate only: data packets on the forward
      bottleneck (ACKs of reverse flows also cross it but are not data). *)
   let binner =
-    Netsim.Monitor.arrival_binner fwd_bottleneck ~origin:cfg.Config.warmup_s
+    Netsim.Monitor.arrival_binner pool fwd_bottleneck ~origin:cfg.Config.warmup_s
       ~width:(Config.rtt_prop_s cfg)
   in
   let horizon = Time.of_sec cfg.Config.duration_s in

@@ -55,6 +55,17 @@ let exponential t ~mean =
   let u = 1. -. float t in
   -.mean *. log u
 
+(* Same draw as [exponential] followed by [Time.of_sec]'s rounding, fused
+   into one function so the intermediate float never crosses a call
+   boundary (which would box it — no flambda). The [float] body is
+   inlined for the same reason. Must stay bit-identical to
+   [Time.of_sec (exponential t ~mean)]. *)
+let exponential_ns t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential_ns: mean <= 0";
+  let u = 1. -. (float_of_int (bits t lsr 10) *. 0x1.0p-53) in
+  let x = -.mean *. log u in
+  int_of_float (Float.round (x *. 1_000_000_000.))
+
 let pareto t ~shape ~scale =
   if shape <= 0. || scale <= 0. then invalid_arg "Rng.pareto: non-positive parameter";
   let u = 1. -. float t in

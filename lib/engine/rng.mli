@@ -52,6 +52,12 @@ val bool : t -> float -> bool
 val exponential : t -> mean:float -> float
 (** Exponentially distributed with the given mean. Requires [mean > 0]. *)
 
+val exponential_ns : t -> mean:float -> int
+(** [exponential_ns t ~mean] draws the same variate as {!exponential}
+    (the [mean] is in seconds) and returns it rounded to integer
+    nanoseconds, bit-identical to [Time.of_sec (exponential t ~mean)]
+    but without boxing the intermediate float. Requires [mean > 0]. *)
+
 val pareto : t -> shape:float -> scale:float -> float
 (** Pareto distributed: [P(X > x) = (scale/x)^shape] for [x >= scale].
     Requires [shape > 0] and [scale > 0]. *)

@@ -1,18 +1,18 @@
-type t = { q : Packet.t Ring.t; capacity : int; mutable hwm : int }
+type t = { q : Packet_pool.handle Ring.t; capacity : int; mutable hwm : int }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Droptail.create: capacity < 1";
   { q = Ring.create (); capacity; hwm = 0 }
 
-let enqueue t p =
+let enqueue t h =
   if Ring.length t.q >= t.capacity then `Dropped
   else begin
-    Ring.push t.q p;
+    Ring.push t.q h;
     if Ring.length t.q > t.hwm then t.hwm <- Ring.length t.q;
     `Enqueued
   end
 
-let dequeue t = Ring.pop_opt t.q
+let dequeue t = if Ring.is_empty t.q then Packet_pool.nil else Ring.pop_exn t.q
 
 let length t = Ring.length t.q
 

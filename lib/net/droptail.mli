@@ -8,9 +8,10 @@ type t
 val create : capacity:int -> t
 (** @raise Invalid_argument if [capacity < 1]. *)
 
-val enqueue : t -> Packet.t -> [ `Enqueued | `Dropped ]
+val enqueue : t -> Packet_pool.handle -> [ `Enqueued | `Dropped ]
 
-val dequeue : t -> Packet.t option
+val dequeue : t -> Packet_pool.handle
+(** The head handle, or {!Packet_pool.nil} when empty. *)
 
 val length : t -> int
 

@@ -7,9 +7,10 @@ type t = {
   bandwidth : Units.bandwidth;
   delay : Time.span;
   queue : Queue_disc.t;
-  deliver : Packet.t -> unit;
+  pool : Packet_pool.t;
+  deliver : Packet_pool.handle -> unit;
   mutable busy : bool;
-  in_flight : Packet.t Ring.t;
+  in_flight : Packet_pool.handle Ring.t;
   (* Packets serializing or propagating, in serialization order. The two
      continuations below are allocated once per link instead of once per
      packet: serialization completions and deliveries each fire in FIFO
@@ -20,21 +21,21 @@ type t = {
   mutable on_deliver : unit -> unit;
   (* Listener lists are stored newest-first so registration is O(1);
      [notify] walks them back-to-front to keep registration order. *)
-  mutable arrival_listeners : (Time.t -> Packet.t -> unit) list;
-  mutable drop_listeners : (Time.t -> Packet.t -> unit) list;
-  mutable depart_listeners : (Time.t -> Packet.t -> unit) list;
+  mutable arrival_listeners : (Time.t -> Packet_pool.handle -> unit) list;
+  mutable drop_listeners : (Time.t -> Packet_pool.handle -> unit) list;
+  mutable depart_listeners : (Time.t -> Packet_pool.handle -> unit) list;
   mutable arrivals : int;
   mutable drops : int;
   mutable departures : int;
   mutable bytes_delivered : int;
 }
 
-let rec notify listeners now p =
+let rec notify listeners now h =
   match listeners with
   | [] -> ()
   | f :: rest ->
-      notify rest now p;
-      f now p
+      notify rest now h;
+      f now h
 
 (* Serialize the head-of-line packet, then pipeline: delivery happens
    [delay] after serialization ends, while the next packet serializes.
@@ -43,13 +44,15 @@ let rec notify listeners now p =
    captured in a fresh closure per transmission. *)
 let rec try_transmit t =
   if not t.busy then begin
-    match Queue_disc.dequeue t.queue ~now:(Scheduler.now t.sched) with
-    | None -> ()
-    | Some p ->
-        t.busy <- true;
-        Ring.push t.in_flight p;
-        let tx = Units.transmission_time t.bandwidth ~bytes:p.Packet.size_bytes in
-        ignore (Scheduler.after t.sched tx t.on_tx_done)
+    let h = Queue_disc.dequeue t.queue ~now:(Scheduler.now t.sched) in
+    if not (Packet_pool.is_nil h) then begin
+      t.busy <- true;
+      Ring.push t.in_flight h;
+      let tx =
+        Units.transmission_time t.bandwidth ~bytes:(Packet_pool.size_bytes t.pool h)
+      in
+      ignore (Scheduler.after t.sched tx t.on_tx_done)
+    end
   end
 
 and tx_done t =
@@ -58,13 +61,13 @@ and tx_done t =
   try_transmit t
 
 and deliver_head t =
-  let p = Ring.pop_exn t.in_flight in
+  let h = Ring.pop_exn t.in_flight in
   t.departures <- t.departures + 1;
-  t.bytes_delivered <- t.bytes_delivered + p.Packet.size_bytes;
-  notify t.depart_listeners (Scheduler.now t.sched) p;
-  t.deliver p
+  t.bytes_delivered <- t.bytes_delivered + Packet_pool.size_bytes t.pool h;
+  notify t.depart_listeners (Scheduler.now t.sched) h;
+  t.deliver h
 
-let create sched ~name ~bandwidth ~delay ~queue ~deliver =
+let create sched ~name ~bandwidth ~delay ~queue ~pool ~deliver =
   let t =
     {
       sched;
@@ -72,6 +75,7 @@ let create sched ~name ~bandwidth ~delay ~queue ~deliver =
       bandwidth;
       delay;
       queue;
+      pool;
       deliver;
       busy = false;
       in_flight = Ring.create ();
@@ -90,19 +94,23 @@ let create sched ~name ~bandwidth ~delay ~queue ~deliver =
   t.on_deliver <- (fun () -> deliver_head t);
   t
 
-let send t p =
+(* The link owns every drop: the packet is freed here, after the drop
+   listeners have seen it, so monitors and tracers read live fields. *)
+let send t h =
   let now = Scheduler.now t.sched in
   t.arrivals <- t.arrivals + 1;
-  notify t.arrival_listeners now p;
-  match Queue_disc.enqueue t.queue ~now p with
+  notify t.arrival_listeners now h;
+  match Queue_disc.enqueue t.queue ~now h with
   | `Dropped ->
       t.drops <- t.drops + 1;
-      notify t.drop_listeners now p
+      notify t.drop_listeners now h;
+      Packet_pool.free t.pool h
   | `Enqueued -> try_transmit t
   | `Enqueued_dropping victim ->
       (* SFQ admitted the arrival but pushed out another flow's packet. *)
       t.drops <- t.drops + 1;
       notify t.drop_listeners now victim;
+      Packet_pool.free t.pool victim;
       try_transmit t
 
 let queue_length t = Queue_disc.length t.queue
@@ -125,18 +133,32 @@ let bytes_delivered t = t.bytes_delivered
 
 let name t = t.name
 
+let reclaim t =
+  let rec drain () =
+    let h = Queue_disc.dequeue t.queue ~now:(Scheduler.now t.sched) in
+    if not (Packet_pool.is_nil h) then begin
+      Packet_pool.free t.pool h;
+      drain ()
+    end
+  in
+  drain ();
+  while not (Ring.is_empty t.in_flight) do
+    Packet_pool.free t.pool (Ring.pop_exn t.in_flight)
+  done;
+  t.busy <- false
+
 let publish t bus =
-  let packet_event kind now (p : Packet.t) =
+  let packet_event kind now h =
     Telemetry.Event_bus.publish bus
       (Telemetry.Event_bus.Packet
          {
            time = Time.to_sec now;
            kind;
            link = t.name;
-           flow = p.Packet.flow;
-           seq = Packet.seq p;
-           size_bytes = p.Packet.size_bytes;
-           uid = p.Packet.uid;
+           flow = Packet_pool.flow t.pool h;
+           seq = Packet_pool.seq_opt t.pool h;
+           size_bytes = Packet_pool.size_bytes t.pool h;
+           uid = Packet_pool.uid t.pool h;
          })
   in
   on_arrival t (packet_event Telemetry.Event_bus.Arrival);

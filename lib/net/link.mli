@@ -3,7 +3,12 @@
     Packets sent on the link enter the queueing discipline; the link drains
     the queue at its bandwidth (serialization delay) and delivers each
     packet [delay] seconds after its serialization completes (propagation
-    pipeline, as in ns). A full-duplex link is a pair of these. *)
+    pipeline, as in ns). A full-duplex link is a pair of these.
+
+    Packets are {!Packet_pool.handle}s. The link {e owns every drop}: a
+    packet the discipline refuses (or an SFQ eviction victim) is freed
+    here, after the drop listeners have observed it. Delivered packets
+    pass to [deliver], whose callee takes ownership. *)
 
 type t
 
@@ -13,26 +18,34 @@ val create :
   bandwidth:Units.bandwidth ->
   delay:Sim_engine.Time.span ->
   queue:Queue_disc.t ->
-  deliver:(Packet.t -> unit) ->
+  pool:Packet_pool.t ->
+  deliver:(Packet_pool.handle -> unit) ->
   t
-(** [deliver] is invoked at the receiving end of the link. *)
+(** [deliver] is invoked at the receiving end of the link and takes
+    ownership of the handle. *)
 
-val send : t -> Packet.t -> unit
-(** Offer a packet to the link's queue; may drop per the discipline. *)
+val send : t -> Packet_pool.handle -> unit
+(** Offer a packet to the link's queue; may drop (and then free) per the
+    discipline. *)
 
 val queue_length : t -> int
 
 val queue_high_water_mark : t -> int
 (** Peak queue occupancy (packets) seen so far. *)
 
+val reclaim : t -> unit
+(** Free every packet still queued or in flight on this link — the
+    end-of-run sweep that lets the pool's live count reach zero when the
+    horizon cut the simulation mid-transfer. *)
+
 (** {2 Instrumentation}
 
     Listeners observe, in order: every arrival (before the drop decision),
     every drop, and every departure (delivery at the far end). *)
 
-val on_arrival : t -> (Sim_engine.Time.t -> Packet.t -> unit) -> unit
-val on_drop : t -> (Sim_engine.Time.t -> Packet.t -> unit) -> unit
-val on_depart : t -> (Sim_engine.Time.t -> Packet.t -> unit) -> unit
+val on_arrival : t -> (Sim_engine.Time.t -> Packet_pool.handle -> unit) -> unit
+val on_drop : t -> (Sim_engine.Time.t -> Packet_pool.handle -> unit) -> unit
+val on_depart : t -> (Sim_engine.Time.t -> Packet_pool.handle -> unit) -> unit
 
 val arrivals : t -> int
 val drops : t -> int

@@ -1,10 +1,10 @@
 module Time = Sim_engine.Time
 module Scheduler = Sim_engine.Scheduler
 
-let arrival_binner ?(data_only = true) link ~origin ~width =
+let arrival_binner ?(data_only = true) pool link ~origin ~width =
   let binned = Netstats.Binned.create ~origin ~width () in
-  Link.on_arrival link (fun now p ->
-      if (not data_only) || Packet.is_data p then
+  Link.on_arrival link (fun now h ->
+      if (not data_only) || Packet_pool.is_data pool h then
         Netstats.Binned.record binned (Time.to_sec now));
   binned
 

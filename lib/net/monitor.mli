@@ -7,6 +7,7 @@
 
 val arrival_binner :
   ?data_only:bool ->
+  Packet_pool.t ->
   Link.t ->
   origin:float ->
   width:float ->

@@ -1,13 +1,21 @@
-type t = { id : int; mutable handler : Packet.t -> unit; mutable received : int }
+type t = {
+  id : int;
+  pool : Packet_pool.t;
+  mutable handler : Packet_pool.handle -> unit;
+  mutable received : int;
+}
 
-let create ~id = { id; handler = ignore; received = 0 }
+let create ~id ~pool = { id; pool; handler = ignore; received = 0 }
 
 let id t = t.id
 
 let set_handler t f = t.handler <- f
 
-let receive t p =
+(* The node is the packet's sink: the handler reads whatever fields it
+   needs, then the slot goes back to the pool. *)
+let receive t h =
   t.received <- t.received + 1;
-  t.handler p
+  t.handler h;
+  Packet_pool.free t.pool h
 
 let received t = t.received

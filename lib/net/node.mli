@@ -2,18 +2,21 @@
 
     A node is an addressable endpoint whose handler consumes packets
     delivered by an incoming link; transports register themselves as
-    handlers. *)
+    handlers. The node is a packet {e sink}: after the handler returns,
+    {!receive} frees the handle back to the pool — handlers must not
+    retain it. *)
 
 type t
 
-val create : id:int -> t
+val create : id:int -> pool:Packet_pool.t -> t
 
 val id : t -> int
 
-val set_handler : t -> (Packet.t -> unit) -> unit
+val set_handler : t -> (Packet_pool.handle -> unit) -> unit
 (** Replaces the current handler. The default handler ignores packets. *)
 
-val receive : t -> Packet.t -> unit
+val receive : t -> Packet_pool.handle -> unit
+(** Run the handler, then free the packet. *)
 
 val received : t -> int
 (** Total packets this node's handler has been given. *)

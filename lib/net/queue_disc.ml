@@ -2,15 +2,19 @@ type t = Droptail of Droptail.t | Red of Red.t | Sfq of Sfq.t
 
 let droptail ~capacity = Droptail (Droptail.create ~capacity)
 
-let red ?bus ?name ~rng params = Red (Red.create ?bus ?name ~rng params)
+let red ?bus ?name ~rng ~pool params = Red (Red.create ?bus ?name ~rng ~pool params)
 
-let sfq ?buckets ~capacity () = Sfq (Sfq.create ?buckets ~capacity ())
+let sfq ?buckets ~pool ~capacity () = Sfq (Sfq.create ?buckets ~pool ~capacity ())
 
-let enqueue t ~now p =
+let enqueue t ~now h =
   match t with
-  | Droptail q -> (Droptail.enqueue q p :> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet.t ])
-  | Red q -> (Red.enqueue q ~now p :> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet.t ])
-  | Sfq q -> Sfq.enqueue q p
+  | Droptail q ->
+      (Droptail.enqueue q h
+        :> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet_pool.handle ])
+  | Red q ->
+      (Red.enqueue q ~now h
+        :> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet_pool.handle ])
+  | Sfq q -> Sfq.enqueue q h
 
 let dequeue t ~now =
   match t with

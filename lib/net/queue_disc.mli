@@ -1,26 +1,34 @@
 (** A gateway queueing discipline: drop-tail FIFO, RED, or SFQ.
 
     The closed variant keeps link code free of functors while still letting
-    tests pattern-match on the concrete discipline. *)
+    tests pattern-match on the concrete discipline. Queued packets are
+    {!Packet_pool.handle}s; the discipline never frees them — ownership
+    of a dropped packet stays with the link. *)
 
 type t = Droptail of Droptail.t | Red of Red.t | Sfq of Sfq.t
 
 val droptail : capacity:int -> t
 
 val red :
-  ?bus:Telemetry.Event_bus.t -> ?name:string -> rng:Sim_engine.Rng.t -> Red.params -> t
+  ?bus:Telemetry.Event_bus.t ->
+  ?name:string ->
+  rng:Sim_engine.Rng.t ->
+  pool:Packet_pool.t ->
+  Red.params ->
+  t
 
-val sfq : ?buckets:int -> capacity:int -> unit -> t
+val sfq : ?buckets:int -> pool:Packet_pool.t -> capacity:int -> unit -> t
 
 val enqueue :
   t ->
   now:Sim_engine.Time.t ->
-  Packet.t ->
-  [ `Enqueued | `Dropped | `Enqueued_dropping of Packet.t ]
+  Packet_pool.handle ->
+  [ `Enqueued | `Dropped | `Enqueued_dropping of Packet_pool.handle ]
 (** [`Enqueued_dropping victim] (SFQ only): the arrival was admitted at
     the cost of discarding [victim] from another queue. *)
 
-val dequeue : t -> now:Sim_engine.Time.t -> Packet.t option
+val dequeue : t -> now:Sim_engine.Time.t -> Packet_pool.handle
+(** The head handle, or {!Packet_pool.nil} when empty. *)
 
 val length : t -> int
 

@@ -23,33 +23,35 @@ let default_params ~capacity ~min_th ~max_th =
 
 type t = {
   p : params;
-  q : Packet.t Queue.t;
+  q : Packet_pool.handle Ring.t;
+  pool : Packet_pool.t;
   rng : Sim_engine.Rng.t;
   bus : Telemetry.Event_bus.t option;
   name : string;
   mutable avg : float;
   mutable count : int; (* arrivals since the last early drop; -1 = below min_th *)
-  mutable idle_since : float option; (* when the queue last went empty *)
+  mutable idle_since : float; (* when the queue last went empty; nan = busy *)
   mutable max_p : float; (* live value; scaled by the adaptive mode *)
   mutable marks : int;
   mutable last_adapt : float; (* adaptive max_p moves at most every 0.5 s *)
   mutable hwm : int;
 }
 
-let create ?bus ?(name = "red") ~rng p =
+let create ?bus ?(name = "red") ~rng ~pool p =
   if p.min_th <= 0. || p.max_th <= p.min_th then invalid_arg "Red.create: bad thresholds";
   if p.max_p <= 0. || p.max_p > 1. then invalid_arg "Red.create: bad max_p";
   if p.w_q <= 0. || p.w_q > 1. then invalid_arg "Red.create: bad w_q";
   if p.capacity < 1 then invalid_arg "Red.create: bad capacity";
   {
     p;
-    q = Queue.create ();
+    q = Ring.create ();
+    pool;
     rng;
     bus;
     name;
     avg = 0.;
     count = -1;
-    idle_since = Some 0.;
+    idle_since = 0.;
     max_p = p.max_p;
     marks = 0;
     last_adapt = 0.;
@@ -57,16 +59,15 @@ let create ?bus ?(name = "red") ~rng p =
   }
 
 let update_avg t now =
-  let qlen = float_of_int (Queue.length t.q) in
-  (match t.idle_since with
-  | Some since when qlen = 0. ->
-      (* Age the average over the idle period as if [m] small packets had
-         departed (FJ93 §4). *)
-      let idle = Stdlib.max 0. (now -. since) in
-      let m = idle /. t.p.idle_packet_time in
-      t.avg <- t.avg *. ((1. -. t.p.w_q) ** m);
-      t.idle_since <- None
-  | _ -> ());
+  let qlen = float_of_int (Ring.length t.q) in
+  if qlen = 0. && not (Float.is_nan t.idle_since) then begin
+    (* Age the average over the idle period as if [m] small packets had
+       departed (FJ93 §4). *)
+    let idle = Stdlib.max 0. (now -. t.idle_since) in
+    let m = idle /. t.p.idle_packet_time in
+    t.avg <- t.avg *. ((1. -. t.p.w_q) ** m);
+    t.idle_since <- Float.nan
+  end;
   t.avg <- ((1. -. t.p.w_q) *. t.avg) +. (t.p.w_q *. qlen);
   (* Self-Configuring RED: steer max_p so the average stays in band,
      adjusting at most once per half second so one congestion episode does
@@ -82,38 +83,44 @@ let update_avg t now =
     end
   end
 
-let accept t p =
-  Queue.push p t.q;
-  if Queue.length t.q > t.hwm then t.hwm <- Queue.length t.q;
-  t.idle_since <- None;
+let accept t h =
+  Ring.push t.q h;
+  if Ring.length t.q > t.hwm then t.hwm <- Ring.length t.q;
+  t.idle_since <- Float.nan;
   `Enqueued
 
 (* Narrate the drop/mark decision: link-level drop counts cannot tell a
    forced drop from an early one, or see marks at all. *)
-let emit t now kind (packet : Packet.t) =
+let emit t now kind h =
   match t.bus with
   | None -> ()
   | Some bus ->
       Telemetry.Event_bus.publish bus
         (Telemetry.Event_bus.Queue
-           { time = now; kind; queue = t.name; flow = packet.Packet.flow; avg = t.avg })
+           {
+             time = now;
+             kind;
+             queue = t.name;
+             flow = Packet_pool.flow t.pool h;
+             avg = t.avg;
+           })
 
-let enqueue t ~now packet =
+let enqueue t ~now h =
   let now = Sim_engine.Time.to_sec now in
   update_avg t now;
-  if Queue.length t.q >= t.p.capacity then begin
+  if Ring.length t.q >= t.p.capacity then begin
     (* Physical overflow: forced drop. *)
     t.count <- 0;
-    emit t now Telemetry.Event_bus.Forced_drop packet;
+    emit t now Telemetry.Event_bus.Forced_drop h;
     `Dropped
   end
   else if t.avg < t.p.min_th then begin
     t.count <- -1;
-    accept t packet
+    accept t h
   end
   else if t.avg >= t.p.max_th then begin
     t.count <- 0;
-    emit t now Telemetry.Event_bus.Forced_drop packet;
+    emit t now Telemetry.Event_bus.Forced_drop h;
     `Dropped
   end
   else begin
@@ -123,29 +130,30 @@ let enqueue t ~now packet =
     let pa = if denom <= 0. then 1. else pb /. denom in
     if Sim_engine.Rng.bool t.rng (Stdlib.min 1. pa) then begin
       t.count <- 0;
-      if t.p.ecn_mark && packet.Packet.ecn_capable then begin
+      if t.p.ecn_mark && Packet_pool.ecn_capable t.pool h then begin
         (* Signal congestion without losing the packet. *)
-        packet.Packet.ecn_ce <- true;
+        Packet_pool.set_ecn_ce t.pool h;
         t.marks <- t.marks + 1;
-        emit t now Telemetry.Event_bus.Ecn_mark packet;
-        accept t packet
+        emit t now Telemetry.Event_bus.Ecn_mark h;
+        accept t h
       end
       else begin
-        emit t now Telemetry.Event_bus.Early_drop packet;
+        emit t now Telemetry.Event_bus.Early_drop h;
         `Dropped
       end
     end
-    else accept t packet
+    else accept t h
   end
 
 let dequeue t ~now =
-  match Queue.take_opt t.q with
-  | None -> None
-  | Some p ->
-      if Queue.is_empty t.q then t.idle_since <- Some (Sim_engine.Time.to_sec now);
-      Some p
+  if Ring.is_empty t.q then Packet_pool.nil
+  else begin
+    let h = Ring.pop_exn t.q in
+    if Ring.is_empty t.q then t.idle_since <- Sim_engine.Time.to_sec now;
+    h
+  end
 
-let length t = Queue.length t.q
+let length t = Ring.length t.q
 
 let avg t = t.avg
 

@@ -35,17 +35,26 @@ val default_params : capacity:int -> min_th:float -> max_th:float -> params
 type t
 
 val create :
-  ?bus:Telemetry.Event_bus.t -> ?name:string -> rng:Sim_engine.Rng.t -> params -> t
-(** When [bus] is given, every internal decision — early drop, forced
-    drop (overflow or [avg >= max_th]), ECN mark — publishes a
-    [Queue] event tagged with [name] (default ["red"]) carrying the
-    average-queue estimate at the decision. *)
+  ?bus:Telemetry.Event_bus.t ->
+  ?name:string ->
+  rng:Sim_engine.Rng.t ->
+  pool:Packet_pool.t ->
+  params ->
+  t
+(** Packets are handles into [pool]. When [bus] is given, every internal
+    decision — early drop, forced drop (overflow or [avg >= max_th]),
+    ECN mark — publishes a [Queue] event tagged with [name] (default
+    ["red"]) carrying the average-queue estimate at the decision. *)
 
-val enqueue : t -> now:Sim_engine.Time.t -> Packet.t -> [ `Enqueued | `Dropped ]
+val enqueue :
+  t -> now:Sim_engine.Time.t -> Packet_pool.handle -> [ `Enqueued | `Dropped ]
 (** In [ecn_mark] mode an early "drop" of an ECN-capable packet instead
-    sets its CE bit and enqueues it. *)
+    sets its CE bit and enqueues it. A [`Dropped] packet is {e not}
+    freed here: the link owns the drop and frees after notifying its
+    listeners. *)
 
-val dequeue : t -> now:Sim_engine.Time.t -> Packet.t option
+val dequeue : t -> now:Sim_engine.Time.t -> Packet_pool.handle
+(** The head handle, or {!Packet_pool.nil} when empty. *)
 
 val length : t -> int
 

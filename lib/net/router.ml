@@ -1,11 +1,13 @@
 type t = {
   name : string;
+  pool : Packet_pool.t;
   routes : (int, Link.t) Hashtbl.t;
   mutable default : Link.t option;
   mutable forwarded : int;
 }
 
-let create ~name = { name; routes = Hashtbl.create 16; default = None; forwarded = 0 }
+let create ~name ~pool =
+  { name; pool; routes = Hashtbl.create 16; default = None; forwarded = 0 }
 
 let add_route t ~dst link =
   if Hashtbl.mem t.routes dst then
@@ -14,16 +16,16 @@ let add_route t ~dst link =
 
 let set_default t link = t.default <- Some link
 
-let receive t p =
+let receive t h =
   t.forwarded <- t.forwarded + 1;
-  match Hashtbl.find_opt t.routes p.Packet.dst with
-  | Some link -> Link.send link p
+  match Hashtbl.find_opt t.routes (Packet_pool.dst t.pool h) with
+  | Some link -> Link.send link h
   | None -> (
       match t.default with
-      | Some link -> Link.send link p
+      | Some link -> Link.send link h
       | None ->
           failwith
             (Printf.sprintf "Router %s: no route for destination %d" t.name
-               p.Packet.dst))
+               (Packet_pool.dst t.pool h)))
 
 let forwarded t = t.forwarded

@@ -2,11 +2,12 @@
 
     The gateway in the paper's dumbbell is a router with one route per
     client (the reverse direction) plus a default route onto the bottleneck
-    link. *)
+    link. Forwarding passes handle ownership straight to the outgoing
+    link; the router itself never frees. *)
 
 type t
 
-val create : name:string -> t
+val create : name:string -> pool:Packet_pool.t -> t
 
 val add_route : t -> dst:int -> Link.t -> unit
 (** Packets addressed to node [dst] are forwarded on the given link.
@@ -15,7 +16,7 @@ val add_route : t -> dst:int -> Link.t -> unit
 val set_default : t -> Link.t -> unit
 (** Route for destinations with no explicit entry. *)
 
-val receive : t -> Packet.t -> unit
+val receive : t -> Packet_pool.handle -> unit
 (** Forward a packet. @raise Failure if no route matches. *)
 
 val forwarded : t -> int

@@ -1,7 +1,8 @@
 (* Buckets need head access (service and longest-queue drop) and tail
-   insertion: the standard Queue does both. *)
+   insertion; rings do both without a per-push cell. *)
 type t = {
-  buckets : Packet.t Queue.t array;
+  buckets : Packet_pool.handle Ring.t array;
+  pool : Packet_pool.t;
   capacity : int;
   perturbation : int;
   mutable total : int;
@@ -9,11 +10,12 @@ type t = {
   mutable hwm : int;
 }
 
-let create ?(buckets = 16) ?(perturbation = 0) ~capacity () =
+let create ?(buckets = 16) ?(perturbation = 0) ~pool ~capacity () =
   if capacity < 1 then invalid_arg "Sfq.create: capacity < 1";
   if buckets < 1 then invalid_arg "Sfq.create: buckets < 1";
   {
-    buckets = Array.init buckets (fun _ -> Queue.create ());
+    buckets = Array.init buckets (fun _ -> Ring.create ());
+    pool;
     capacity;
     perturbation;
     total = 0;
@@ -28,17 +30,17 @@ let longest_bucket t =
   let best = ref 0 and best_len = ref (-1) in
   Array.iteri
     (fun i q ->
-      if Queue.length q > !best_len then begin
+      if Ring.length q > !best_len then begin
         best := i;
-        best_len := Queue.length q
+        best_len := Ring.length q
       end)
     t.buckets;
   !best
 
-let enqueue t p =
-  let idx = bucket_of_flow t p.Packet.flow in
+let enqueue t h =
+  let idx = bucket_of_flow t (Packet_pool.flow t.pool h) in
   if t.total < t.capacity then begin
-    Queue.push p t.buckets.(idx);
+    Ring.push t.buckets.(idx) h;
     t.total <- t.total + 1;
     if t.total > t.hwm then t.hwm <- t.total;
     `Enqueued
@@ -47,8 +49,8 @@ let enqueue t p =
     let longest = longest_bucket t in
     if longest = idx then `Dropped
     else begin
-      let victim = Queue.pop t.buckets.(longest) in
-      Queue.push p t.buckets.(idx);
+      let victim = Ring.pop_exn t.buckets.(longest) in
+      Ring.push t.buckets.(idx) h;
       `Enqueued_dropping victim
     end
   end
@@ -56,22 +58,23 @@ let enqueue t p =
 let dequeue t =
   let n = Array.length t.buckets in
   let rec scan tried =
-    if tried = n then None
+    if tried = n then Packet_pool.nil
     else begin
       let idx = (t.next + tried) mod n in
-      match Queue.take_opt t.buckets.(idx) with
-      | Some p ->
-          t.total <- t.total - 1;
-          (* Resume after this bucket next time. *)
-          t.next <- (idx + 1) mod n;
-          Some p
-      | None -> scan (tried + 1)
+      if Ring.is_empty t.buckets.(idx) then scan (tried + 1)
+      else begin
+        let h = Ring.pop_exn t.buckets.(idx) in
+        t.total <- t.total - 1;
+        (* Resume after this bucket next time. *)
+        t.next <- (idx + 1) mod n;
+        h
+      end
     end
   in
   scan 0
 
 let length t = t.total
 
-let occupancy t = Array.map Queue.length t.buckets
+let occupancy t = Array.map Ring.length t.buckets
 
 let high_water_mark t = t.hwm

@@ -10,16 +10,23 @@
 
 type t
 
-val create : ?buckets:int -> ?perturbation:int -> capacity:int -> unit -> t
-(** [buckets] defaults to 16; [perturbation] salts the flow hash.
+val create :
+  ?buckets:int -> ?perturbation:int -> pool:Packet_pool.t -> capacity:int -> unit -> t
+(** [buckets] defaults to 16; [perturbation] salts the flow hash;
+    packets are handles into [pool].
     @raise Invalid_argument if [capacity < 1] or [buckets < 1]. *)
 
-val enqueue : t -> Packet.t -> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet.t ]
+val enqueue :
+  t ->
+  Packet_pool.handle ->
+  [ `Enqueued | `Dropped | `Enqueued_dropping of Packet_pool.handle ]
 (** [`Enqueued_dropping victim]: the arriving packet was admitted but
-    [victim] (from the longest bucket) was discarded to make room. *)
+    [victim] (from the longest bucket) was discarded to make room. The
+    victim is not freed here — the link owns the drop. *)
 
-val dequeue : t -> Packet.t option
-(** Round-robin across non-empty buckets. *)
+val dequeue : t -> Packet_pool.handle
+(** Round-robin across non-empty buckets; {!Packet_pool.nil} when
+    empty. *)
 
 val length : t -> int
 

@@ -30,23 +30,23 @@ let push t e =
   t.data.(t.size) <- e;
   t.size <- t.size + 1
 
-let record t kind link now (p : Packet.t) =
+let record t pool kind link now h =
   push t
     {
       time = Time.to_sec now;
       kind;
       link;
-      flow = p.Packet.flow;
-      seq = Packet.seq p;
-      size_bytes = p.Packet.size_bytes;
-      uid = p.Packet.uid;
+      flow = Packet_pool.flow pool h;
+      seq = Packet_pool.seq_opt pool h;
+      size_bytes = Packet_pool.size_bytes pool h;
+      uid = Packet_pool.uid pool h;
     }
 
-let attach t link =
+let attach t pool link =
   let name = Link.name link in
-  Link.on_arrival link (fun now p -> record t Arrive name now p);
-  Link.on_drop link (fun now p -> record t Drop name now p);
-  Link.on_depart link (fun now p -> record t Deliver name now p)
+  Link.on_arrival link (fun now h -> record t pool Arrive name now h);
+  Link.on_drop link (fun now h -> record t pool Drop name now h);
+  Link.on_depart link (fun now h -> record t pool Deliver name now h)
 
 let attach_bus t bus =
   ignore

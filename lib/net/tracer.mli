@@ -28,7 +28,7 @@ type t
 
 val create : ?capacity_hint:int -> unit -> t
 
-val attach : t -> Link.t -> unit
+val attach : t -> Packet_pool.t -> Link.t -> unit
 (** Start recording this link's events; a tracer may watch many links. *)
 
 val attach_bus : t -> Telemetry.Event_bus.t -> unit

@@ -14,7 +14,12 @@ let to_bps b = b
 
 let transmission_time b ~bytes =
   if bytes < 0 then invalid_arg "Units.transmission_time: negative size";
-  Sim_engine.Time.of_sec (float_of_int (8 * bytes) /. b)
+  (* [Time.of_sec]'s rounding, inlined so the seconds value never crosses
+     a call boundary (a boxed float per packet transmission otherwise).
+     Bandwidths are validated finite-positive at construction, so the
+     of_sec range check reduces to the of_ns non-negativity check. *)
+  let s = float_of_int (8 * bytes) /. b in
+  Sim_engine.Time.of_ns (int_of_float (Float.round (s *. 1e9)))
 
 let bytes_per_sec b = b /. 8.
 

@@ -72,6 +72,85 @@ let required_fields =
     "metrics";
   ]
 
+(* BENCH_alloc.json: the allocation-budget sweep written by the bench
+   runner. A header describes the sweep; each row is one scenario with
+   its measured GC figures and the committed budget it was checked
+   against. *)
+
+let alloc_required_fields =
+  [
+    "clients";
+    "duration_s";
+    "reps";
+    "baseline_minor_words_per_event";
+    "baseline_events_per_sec";
+    "rows";
+  ]
+
+let alloc_row_required_fields =
+  [
+    "scenario";
+    "clients";
+    "events";
+    "wall_s";
+    "events_per_sec";
+    "minor_words_per_event";
+    "promoted_words_per_event";
+    "major_collections";
+    "threshold_minor_words_per_event";
+    "min_events_per_sec";
+    "leak_free";
+  ]
+
+let validate_alloc_row row =
+  match row with
+  | Json.Obj _ -> (
+      let label =
+        match Json.member "scenario" row with
+        | Some (Json.String s) -> s
+        | _ -> "<unnamed row>"
+      in
+      let missing =
+        List.filter (fun f -> Json.member f row = None) alloc_row_required_fields
+      in
+      if missing <> [] then
+        [ label ^ ": missing fields: " ^ String.concat ", " missing ]
+      else
+        let number f = Option.bind (Json.member f row) Json.to_float in
+        (match (number "minor_words_per_event", number "threshold_minor_words_per_event")
+         with
+        | Some wpe, Some threshold when wpe > threshold ->
+            [
+              Printf.sprintf "%s: minor_words_per_event %.4f exceeds threshold %g"
+                label wpe threshold;
+            ]
+        | Some _, Some _ -> []
+        | _ -> [ label ^ ": words_per_event fields are not numbers" ])
+        @
+        match Json.member "leak_free" row with
+        | Some (Json.Bool true) -> []
+        | Some (Json.Bool false) -> [ label ^ ": leak_free is false" ]
+        | _ -> [ label ^ ": leak_free is not a bool" ])
+  | _ -> [ "row is not an object" ]
+
+let validate_alloc j =
+  match j with
+  | Json.Obj _ -> (
+      let missing =
+        List.filter (fun f -> Json.member f j = None) alloc_required_fields
+      in
+      if missing <> [] then
+        Error ("missing fields: " ^ String.concat ", " missing)
+      else
+        match Json.member "rows" j with
+        | Some (Json.List []) -> Error "rows is empty"
+        | Some (Json.List rows) -> (
+            match List.concat_map validate_alloc_row rows with
+            | [] -> Ok ()
+            | errors -> Error (String.concat "; " errors))
+        | _ -> Error "rows is not a list")
+  | _ -> Error "alloc report is not a JSON object"
+
 let validate j =
   match j with
   | Json.Obj _ ->

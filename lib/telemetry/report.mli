@@ -36,3 +36,16 @@ val required_fields : string list
 val validate : Json.t -> (unit, string) result
 (** Check that a parsed report is an object carrying every required
     field, with [phases] an object and [metrics] a list. *)
+
+val alloc_required_fields : string list
+val alloc_row_required_fields : string list
+
+val validate_alloc : Json.t -> (unit, string) result
+(** Check a BENCH_alloc.json document written by the bench runner's
+    allocation gate: the sweep header fields, a non-empty [rows] list,
+    and for every row the full column set plus the committed
+    invariants — [minor_words_per_event] within
+    [threshold_minor_words_per_event] and [leak_free] true. The
+    events/sec floor is deliberately not re-checked here: it is
+    wall-clock sensitive and enforced by the bench itself (full mode
+    only). *)

@@ -14,7 +14,7 @@ let start sched ~rng ~mean_interarrival ~start ~until ~sink =
     arm ()
   and arm () =
     let next =
-      Time.add !at (Time.of_sec (Rng.exponential rng ~mean:mean_interarrival))
+      Time.add !at (Time.of_ns (Rng.exponential_ns rng ~mean:mean_interarrival))
     in
     if Time.(next <= until) then begin
       at := next;

@@ -1,10 +1,11 @@
 type ack_info = {
-  ack : int;
-  newly_acked : int;
-  rtt_sample : float option;
-  flight_before : int;
-  now : float;
+  mutable ack : int;
+  mutable newly_acked : int;
+  mutable rtt_ns : int;
+  mutable flight_before : int;
 }
+
+let make_ack_info () = { ack = 0; newly_acked = 0; rtt_ns = -1; flight_before = 0 }
 
 type handle = {
   name : string;
@@ -21,11 +22,15 @@ type handle = {
   partial_ack_stays : bool;
 }
 
-let slow_start_and_avoidance ~cwnd ~ssthresh ~max_window newly_acked =
-  for _ = 1 to newly_acked do
-    if !cwnd < !ssthresh then cwnd := !cwnd +. 1.
-    else cwnd := !cwnd +. (1. /. !cwnd)
-  done;
-  if !cwnd > max_window then cwnd := max_window
+type window = { mutable cwnd : float; mutable ssthresh : float }
 
-let halve_flight ~flight = Stdlib.max (float_of_int flight /. 2.) 2.
+let slow_start_and_avoidance w ~max_window newly_acked =
+  for _ = 1 to newly_acked do
+    if w.cwnd < w.ssthresh then w.cwnd <- w.cwnd +. 1.
+    else w.cwnd <- w.cwnd +. (1. /. w.cwnd)
+  done;
+  if w.cwnd > max_window then w.cwnd <- max_window
+
+let halve_flight ~flight =
+  let half = float_of_int flight /. 2. in
+  if half > 2. then half else 2.

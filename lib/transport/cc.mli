@@ -7,12 +7,21 @@
     private state. Windows are in packets and may be fractional. *)
 
 type ack_info = {
-  ack : int;  (** cumulative ACK: next expected sequence *)
-  newly_acked : int;  (** segments this ACK newly covers *)
-  rtt_sample : float option;  (** clean (Karn) RTT sample, seconds *)
-  flight_before : int;  (** outstanding segments before this ACK *)
-  now : float;  (** virtual time, seconds *)
+  mutable ack : int;  (** cumulative ACK: next expected sequence *)
+  mutable newly_acked : int;  (** segments this ACK newly covers *)
+  mutable rtt_ns : int;
+      (** clean (Karn) RTT sample in integer nanoseconds; negative when
+          this ACK carries no usable sample *)
+  mutable flight_before : int;  (** outstanding segments before this ACK *)
 }
+(** Mutable and all-immediate on purpose: the engine keeps {e one}
+    [ack_info] per connection and rewrites it for every ACK, so the
+    per-ACK hot path allocates neither a record nor a boxed float.
+    Variants must read the fields during the callback and copy what they
+    need — the record is dead the moment the callback returns. *)
+
+val make_ack_info : unit -> ack_info
+(** A scratch [ack_info] (no sample, all counters zero). *)
 
 type handle = {
   name : string;
@@ -44,8 +53,12 @@ type handle = {
 
 (** {2 Helpers shared by AIMD-family variants} *)
 
-val slow_start_and_avoidance :
-  cwnd:float ref -> ssthresh:float ref -> max_window:float -> int -> unit
+type window = { mutable cwnd : float; mutable ssthresh : float }
+(** The AIMD pair shared by Tahoe/Reno/NewReno/SACK. All-float on
+    purpose: the record is flat, so the per-ACK mutations store unboxed
+    doubles ([float ref] cells would box on every assignment). *)
+
+val slow_start_and_avoidance : window -> max_window:float -> int -> unit
 (** Apply the standard per-ACK window growth for [newly_acked] segments:
     +1 per segment below ssthresh, +1/cwnd per segment above. *)
 

@@ -8,48 +8,99 @@ type params = {
 let default_params =
   { granularity = 0.1; min_rto = 1.0; max_rto = 64.0; initial_rto = 3.0 }
 
-type t = {
-  p : params;
-  mutable srtt : float;
-  mutable rttvar : float;
-  mutable have_sample : bool;
-  mutable backoff_factor : float;
-}
+(* The estimator floats live in a flat float array rather than mutable
+   record fields: stores into a mixed record box the float every time,
+   and [observe]/[rto] run once per ACK. Indices below. *)
+let i_srtt = 0
+
+let i_rttvar = 1
+
+let i_backoff = 2
+
+type t = { p : params; s : float array; mutable have_sample : bool }
 
 let create p =
   if p.granularity <= 0. || p.min_rto <= 0. || p.max_rto < p.min_rto then
     invalid_arg "Rto.create: bad params";
-  { p; srtt = 0.; rttvar = 0.; have_sample = false; backoff_factor = 1. }
+  { p; s = [| 0.; 0.; 1. |]; have_sample = false }
 
-let quantize t sample = Float.round (sample /. t.p.granularity) *. t.p.granularity
-
+(* [observe] and [observe_ns] share this body textually: a shared helper
+   taking the sample as a float argument would box it at every call
+   (no cross-function float unboxing without flambda). *)
 let observe t sample =
   if sample < 0. then invalid_arg "Rto.observe: negative sample";
-  let m = quantize t sample in
+  let m = Float.round (sample /. t.p.granularity) *. t.p.granularity in
   if not t.have_sample then begin
     (* RFC 6298 initialization. *)
-    t.srtt <- m;
-    t.rttvar <- m /. 2.;
+    t.s.(i_srtt) <- m;
+    t.s.(i_rttvar) <- m /. 2.;
     t.have_sample <- true
   end
   else begin
     (* alpha = 1/8, beta = 1/4 *)
-    t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. m));
-    t.srtt <- (0.875 *. t.srtt) +. (0.125 *. m)
+    t.s.(i_rttvar) <-
+      (0.75 *. t.s.(i_rttvar)) +. (0.25 *. Float.abs (t.s.(i_srtt) -. m));
+    t.s.(i_srtt) <- (0.875 *. t.s.(i_srtt)) +. (0.125 *. m)
   end;
-  t.backoff_factor <- 1.
+  t.s.(i_backoff) <- 1.
 
-let rto t =
+let observe_ns t ns =
+  if ns < 0 then invalid_arg "Rto.observe_ns: negative sample";
+  let sample = float_of_int ns *. 1e-9 in
+  let m = Float.round (sample /. t.p.granularity) *. t.p.granularity in
+  if not t.have_sample then begin
+    t.s.(i_srtt) <- m;
+    t.s.(i_rttvar) <- m /. 2.;
+    t.have_sample <- true
+  end
+  else begin
+    t.s.(i_rttvar) <-
+      (0.75 *. t.s.(i_rttvar)) +. (0.25 *. Float.abs (t.s.(i_srtt) -. m));
+    t.s.(i_srtt) <- (0.875 *. t.s.(i_srtt)) +. (0.125 *. m)
+  end;
+  t.s.(i_backoff) <- 1.
+
+(* Explicit comparisons instead of the polymorphic [Stdlib.min]/[max]:
+   no value here is ever NaN, and the polymorphic versions box both
+   operands on every call. *)
+let rto_seconds t =
   let base =
     if not t.have_sample then t.p.initial_rto
-    else t.srtt +. Stdlib.max t.p.granularity (4. *. t.rttvar)
+    else begin
+      let spread = 4. *. t.s.(i_rttvar) in
+      let spread = if spread < t.p.granularity then t.p.granularity else spread in
+      t.s.(i_srtt) +. spread
+    end
   in
-  Stdlib.min t.p.max_rto (Stdlib.max t.p.min_rto (base *. t.backoff_factor))
+  let v = base *. t.s.(i_backoff) in
+  let v = if v < t.p.min_rto then t.p.min_rto else v in
+  if v > t.p.max_rto then t.p.max_rto else v
 
-let backoff t = t.backoff_factor <- Stdlib.min (t.backoff_factor *. 2.) 64.
+let rto t = rto_seconds t
 
-let reset_backoff t = t.backoff_factor <- 1.
+(* Same computation, ns result, body repeated so the intermediate float
+   never crosses a call boundary (which would box it). The tick count
+   matches [Time.of_sec (rto t)] bit for bit. *)
+let rto_ns t =
+  let base =
+    if not t.have_sample then t.p.initial_rto
+    else begin
+      let spread = 4. *. t.s.(i_rttvar) in
+      let spread = if spread < t.p.granularity then t.p.granularity else spread in
+      t.s.(i_srtt) +. spread
+    end
+  in
+  let v = base *. t.s.(i_backoff) in
+  let v = if v < t.p.min_rto then t.p.min_rto else v in
+  let v = if v > t.p.max_rto then t.p.max_rto else v in
+  int_of_float (Float.round (v *. 1e9))
 
-let srtt t = if t.have_sample then Some t.srtt else None
+let backoff t =
+  let b = t.s.(i_backoff) *. 2. in
+  t.s.(i_backoff) <- (if b > 64. then 64. else b)
 
-let rttvar t = if t.have_sample then Some t.rttvar else None
+let reset_backoff t = t.s.(i_backoff) <- 1.
+
+let srtt t = if t.have_sample then Some t.s.(i_srtt) else None
+
+let rttvar t = if t.have_sample then Some t.s.(i_rttvar) else None

@@ -22,8 +22,16 @@ val create : params -> t
 val observe : t -> float -> unit
 (** Feed one clean RTT sample (seconds). Resets any backoff. *)
 
+val observe_ns : t -> int -> unit
+(** [observe] for a sample in integer nanoseconds — the hot-path entry:
+    an immediate argument crosses the call unboxed, a float would not. *)
+
 val rto : t -> float
 (** Current timeout, including backoff, clamped to [\[min_rto, max_rto\]]. *)
+
+val rto_ns : t -> int
+(** [rto] in integer nanoseconds; equals [Time.to_ns (Time.of_sec (rto t))]
+    without materialising the intermediate float. *)
 
 val backoff : t -> unit
 (** Doubles the timeout (cap at [max_rto]); call on each expiry. *)

@@ -1,16 +1,15 @@
 let handle ~initial_ssthresh ~max_window =
-  let cwnd = ref 1. and ssthresh = ref initial_ssthresh in
+  let w = { Cc.cwnd = 1.; ssthresh = initial_ssthresh } in
   let halve ~flight =
-    ssthresh := Cc.halve_flight ~flight;
-    cwnd := !ssthresh
+    w.Cc.ssthresh <- Cc.halve_flight ~flight;
+    w.Cc.cwnd <- w.Cc.ssthresh
   in
   {
     Cc.name = "sack";
-    cwnd = (fun () -> !cwnd);
-    ssthresh = (fun () -> !ssthresh);
+    cwnd = (fun () -> w.Cc.cwnd);
+    ssthresh = (fun () -> w.Cc.ssthresh);
     on_new_ack =
-      (fun info ->
-        Cc.slow_start_and_avoidance ~cwnd ~ssthresh ~max_window info.Cc.newly_acked);
+      (fun info -> Cc.slow_start_and_avoidance w ~max_window info.Cc.newly_acked);
     enter_recovery = (fun ~flight ~now:_ -> halve ~flight);
     (* No inflation: the engine's pipe accounting admits new segments. *)
     dup_ack_inflate = ignore;
@@ -18,8 +17,8 @@ let handle ~initial_ssthresh ~max_window =
     on_full_ack = (fun _ -> ());
     on_timeout =
       (fun ~flight ~now:_ ->
-        ssthresh := Cc.halve_flight ~flight;
-        cwnd := 1.);
+        w.Cc.ssthresh <- Cc.halve_flight ~flight;
+        w.Cc.cwnd <- 1.);
     on_ecn = (fun ~flight ~now:_ -> halve ~flight);
     uses_fast_recovery = true;
     partial_ack_stays = true;

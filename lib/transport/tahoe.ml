@@ -1,16 +1,15 @@
 let handle ~initial_ssthresh ~max_window =
-  let cwnd = ref 1. and ssthresh = ref initial_ssthresh in
+  let w = { Cc.cwnd = 1.; ssthresh = initial_ssthresh } in
   let loss ~flight =
-    ssthresh := Cc.halve_flight ~flight;
-    cwnd := 1.
+    w.Cc.ssthresh <- Cc.halve_flight ~flight;
+    w.Cc.cwnd <- 1.
   in
   {
     Cc.name = "tahoe";
-    cwnd = (fun () -> !cwnd);
-    ssthresh = (fun () -> !ssthresh);
+    cwnd = (fun () -> w.Cc.cwnd);
+    ssthresh = (fun () -> w.Cc.ssthresh);
     on_new_ack =
-      (fun info ->
-        Cc.slow_start_and_avoidance ~cwnd ~ssthresh ~max_window info.Cc.newly_acked);
+      (fun info -> Cc.slow_start_and_avoidance w ~max_window info.Cc.newly_acked);
     enter_recovery = (fun ~flight ~now:_ -> loss ~flight);
     dup_ack_inflate = ignore;
     on_partial_ack = (fun _ -> ());

@@ -1,55 +1,36 @@
 module Time = Sim_engine.Time
 module Scheduler = Sim_engine.Scheduler
-module Packet = Netsim.Packet
+module Pool = Netsim.Packet_pool
 
 let delack_delay = Time.of_ms 200.
 
 type t = {
   sched : Scheduler.t;
-  factory : Packet.factory;
+  pool : Pool.t;
   flow : int;
   src : int;
   dst : int;
   ack_bytes : int;
   delayed_ack : bool;
   sack : bool;
-  transmit : Packet.t -> unit;
+  transmit : Pool.handle -> unit;
   out_of_order : (int, unit) Hashtbl.t;
   mutable expected : int;
   mutable unacked_segments : int; (* in-order segments not yet ACKed *)
-  mutable delack_timer : Scheduler.handle option;
+  (* [Scheduler.nil] = unarmed; the action is preallocated so arming the
+     200 ms timer per flight of segments builds no closure. *)
+  mutable delack_timer : Scheduler.handle;
+  mutable on_delack : unit -> unit;
   mutable acks_sent : int;
   mutable duplicates : int;
   mutable pending_ece : bool; (* a CE-marked segment arrived; echo it *)
 }
 
-let create ?(sack = false) sched ~factory ~flow ~src ~dst ~ack_bytes ~delayed_ack
-    ~transmit =
-  {
-    sched;
-    factory;
-    flow;
-    src;
-    dst;
-    ack_bytes;
-    delayed_ack;
-    sack;
-    transmit;
-    out_of_order = Hashtbl.create 16;
-    expected = 0;
-    unacked_segments = 0;
-    delack_timer = None;
-    acks_sent = 0;
-    duplicates = 0;
-    pending_ece = false;
-  }
-
 let cancel_delack t =
-  match t.delack_timer with
-  | Some h ->
-      Scheduler.cancel t.sched h;
-      t.delack_timer <- None
-  | None -> ()
+  if not (Scheduler.is_nil t.delack_timer) then begin
+    Scheduler.cancel t.sched t.delack_timer;
+    t.delack_timer <- Scheduler.nil
+  end
 
 (* RFC 2018: report the out-of-order data as up to four contiguous
    [(first, last_exclusive)] blocks. *)
@@ -79,18 +60,44 @@ let send_ack t =
   let ece = t.pending_ece in
   t.pending_ece <- false;
   let p =
-    Packet.make t.factory ~flow:t.flow ~src:t.src ~dst:t.dst
-      ~size_bytes:t.ack_bytes ~sent_at:(Scheduler.now t.sched)
-      (Packet.Tcp_ack { ack = t.expected; ece; sack = sack_blocks t })
+    Pool.alloc_ack t.pool ~flow:t.flow ~src:t.src ~dst:t.dst
+      ~size_bytes:t.ack_bytes ~sent_at:(Scheduler.now t.sched) ~ack:t.expected
+      ~ece ~sack:(sack_blocks t) ()
   in
   t.transmit p
 
+let create ?(sack = false) sched ~pool ~flow ~src ~dst ~ack_bytes ~delayed_ack
+    ~transmit =
+  let t =
+    {
+      sched;
+      pool;
+      flow;
+      src;
+      dst;
+      ack_bytes;
+      delayed_ack;
+      sack;
+      transmit;
+      out_of_order = Hashtbl.create 16;
+      expected = 0;
+      unacked_segments = 0;
+      delack_timer = Scheduler.nil;
+      on_delack = ignore;
+      acks_sent = 0;
+      duplicates = 0;
+      pending_ece = false;
+    }
+  in
+  t.on_delack <-
+    (fun () ->
+      t.delack_timer <- Scheduler.nil;
+      send_ack t);
+  t
+
 let schedule_delack t =
-  match t.delack_timer with
-  | Some _ -> ()
-  | None -> t.delack_timer <- Some (Scheduler.after t.sched delack_delay (fun () ->
-        t.delack_timer <- None;
-        send_ack t))
+  if Scheduler.is_nil t.delack_timer then
+    t.delack_timer <- Scheduler.after t.sched delack_delay t.on_delack
 
 let on_in_order t =
   t.expected <- t.expected + 1;
@@ -109,10 +116,11 @@ let on_in_order t =
     if t.unacked_segments >= 2 then send_ack t else schedule_delack t
   end
 
-let handle_packet t p =
-  match p.Packet.payload with
-  | Packet.Tcp_data { seq; _ } ->
-      if p.Packet.ecn_ce then t.pending_ece <- true;
+let handle_packet t h =
+  match Pool.kind t.pool h with
+  | Pool.Tcp_data ->
+      if Pool.ecn_ce t.pool h then t.pending_ece <- true;
+      let seq = Pool.seq t.pool h in
       if seq = t.expected then on_in_order t
       else if seq > t.expected then begin
         if Hashtbl.mem t.out_of_order seq then t.duplicates <- t.duplicates + 1
@@ -124,7 +132,7 @@ let handle_packet t p =
         t.duplicates <- t.duplicates + 1;
         send_ack t
       end
-  | Packet.Tcp_ack _ | Packet.Udp_data _ -> ()
+  | Pool.Tcp_ack | Pool.Udp_data -> ()
 
 let delivered t = t.expected
 

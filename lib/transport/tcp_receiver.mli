@@ -12,20 +12,21 @@ type t
 val create :
   ?sack:bool ->
   Sim_engine.Scheduler.t ->
-  factory:Netsim.Packet.factory ->
+  pool:Netsim.Packet_pool.t ->
   flow:int ->
   src:int ->
   dst:int ->
   ack_bytes:int ->
   delayed_ack:bool ->
-  transmit:(Netsim.Packet.t -> unit) ->
+  transmit:(Netsim.Packet_pool.handle -> unit) ->
   t
 (** [src] is the receiver's node (ACK source); [dst] the sender's.
     [sack] (default false) attaches RFC 2018 selective-acknowledgment
     blocks describing buffered out-of-order data to every ACK. *)
 
-val handle_packet : t -> Netsim.Packet.t -> unit
-(** Feed an incoming packet (TCP data; anything else is ignored). *)
+val handle_packet : t -> Netsim.Packet_pool.handle -> unit
+(** Feed an incoming packet (TCP data; anything else is ignored). The
+    caller keeps ownership: the handle is read, never freed. *)
 
 val delivered : t -> int
 (** Segments delivered to the application in order. *)

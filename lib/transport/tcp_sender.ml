@@ -1,10 +1,10 @@
 module Time = Sim_engine.Time
 module Scheduler = Sim_engine.Scheduler
-module Packet = Netsim.Packet
+module Pool = Netsim.Packet_pool
 
 type t = {
   sched : Scheduler.t;
-  factory : Packet.factory;
+  pool : Pool.t;
   cc : Cc.handle;
   rto : Rto.t;
   flow : int;
@@ -17,20 +17,26 @@ type t = {
   cwnd_validation : bool;
   limited_transmit : bool;
   pacing : bool;
+  trace_cwnd : bool;
   bus : Telemetry.Event_bus.t option;
-  transmit : Packet.t -> unit;
+  transmit : Pool.handle -> unit;
   stats : Tcp_stats.t;
   cwnd_trace : Netstats.Series.t;
   (* seq -> send time in ticks, [lnot]-encoded when the segment was
      retransmitted: clean (non-negative) entries may be RTT-sampled
-     (Karn's rule). An immediate int where a [(float * bool)] pair would
-     cost a tuple and a boxed float per segment sent. *)
-  send_times : (int, int) Hashtbl.t;
+     (Karn's rule). Live sequences span at most [adv_window + 2]
+     (limited transmit), a sliding window — so a direct-mapped array
+     indexed by [seq land st_mask] is collision-free and replaces the
+     Hashtbl (one cons per segment) with two stores. [min_int] = empty. *)
+  send_times : int array;
+  st_mask : int;
   (* SACK scoreboard: sequences the receiver reports holding (RFC 2018),
      and sequences already retransmitted in the current recovery so each
      hole is resent once per recovery (RFC 3517-lite). *)
   scoreboard : (int, unit) Hashtbl.t;
   rtx_in_recovery : (int, unit) Hashtbl.t;
+  (* Rewritten in place for every ACK; see {!Cc.ack_info}. *)
+  info : Cc.ack_info;
   mutable high_sacked : int; (* highest sequence the receiver has SACKed *)
   mutable app_submitted : int;
   mutable next_seq : int; (* next new segment to put on the wire *)
@@ -53,8 +59,11 @@ type t = {
 
 let now_sec t = Time.to_sec (Scheduler.now t.sched)
 
+(* The trace costs boxed floats per ACK, so it is recorded only for the
+   clients a figure actually plots. *)
 let record_cwnd t =
-  Netstats.Series.add t.cwnd_trace (now_sec t) (t.cc.Cc.cwnd ())
+  if t.trace_cwnd then
+    Netstats.Series.add t.cwnd_trace (now_sec t) (t.cc.Cc.cwnd ())
 
 (* Publish a congestion decision; [cwnd] is read after the reaction. *)
 let publish_tcp t kind =
@@ -84,7 +93,7 @@ let cancel_rto t =
 
 let rec arm_rto t =
   if Scheduler.is_nil t.rto_timer then begin
-    let delay = Time.of_sec (Rto.rto t.rto) in
+    let delay = Time.of_ns (Rto.rto_ns t.rto) in
     t.rto_timer <- Scheduler.after t.sched delay t.on_rto
   end
 
@@ -94,18 +103,18 @@ and restart_rto t =
 
 and send_segment t seq =
   let is_retransmit = seq < t.max_sent in
+  let now = Scheduler.now t.sched in
   let p =
-    Packet.make t.factory ~ecn_capable:t.ecn_capable ~flow:t.flow ~src:t.src
-      ~dst:t.dst ~size_bytes:t.mss_bytes ~sent_at:(Scheduler.now t.sched)
-      (Packet.Tcp_data { seq; is_retransmit })
+    Pool.alloc_data t.pool ~ecn_capable:t.ecn_capable ~flow:t.flow ~src:t.src
+      ~dst:t.dst ~size_bytes:t.mss_bytes ~sent_at:now ~seq ~is_retransmit ()
   in
   t.stats.Tcp_stats.segments_sent <- t.stats.Tcp_stats.segments_sent + 1;
   if is_retransmit then begin
     t.stats.Tcp_stats.retransmits <- t.stats.Tcp_stats.retransmits + 1;
-    Hashtbl.replace t.send_times seq (lnot (Time.to_ns (Scheduler.now t.sched)))
+    t.send_times.(seq land t.st_mask) <- lnot (Time.to_ns now)
   end
   else begin
-    Hashtbl.replace t.send_times seq (Time.to_ns (Scheduler.now t.sched));
+    t.send_times.(seq land t.st_mask) <- Time.to_ns now;
     t.max_sent <- seq + 1
   end;
   arm_rto t;
@@ -198,16 +207,19 @@ and on_rto_fire t =
     record_cwnd t
   end
 
-let rtt_sample t ack =
-  match Hashtbl.find_opt t.send_times (ack - 1) with
-  | Some ns when ns >= 0 -> Some (now_sec t -. Time.to_sec (Time.of_ns ns))
-  | Some _ | None -> None
+(* Clean RTT sample for the segment [ack] covers, in integer ns;
+   negative when the slot is empty or the segment was retransmitted. *)
+let rtt_sample_ns t ack =
+  let sent = t.send_times.((ack - 1) land t.st_mask) in
+  if sent >= 0 then Time.to_ns (Scheduler.now t.sched) - sent else -1
 
 let forget_acked t ack =
   for seq = t.snd_una to ack - 1 do
-    Hashtbl.remove t.send_times seq;
-    Hashtbl.remove t.scoreboard seq;
-    Hashtbl.remove t.rtx_in_recovery seq
+    t.send_times.(seq land t.st_mask) <- min_int;
+    if t.sack_enabled then begin
+      Hashtbl.remove t.scoreboard seq;
+      Hashtbl.remove t.rtx_in_recovery seq
+    end
   done
 
 let record_sack_blocks t blocks =
@@ -234,19 +246,15 @@ let on_new_ack t ack =
      their cumulative ACK was delayed by the hole in front of them, so the
      measurement reflects the loss episode, not the path (Karn's rule
      extended the way BSD's timed-segment scheme behaves in practice). *)
-  let sample = if t.in_recovery then None else rtt_sample t ack in
-  (match sample with Some s -> Rto.observe t.rto s | None -> ());
+  let rtt_ns = if t.in_recovery then -1 else rtt_sample_ns t ack in
+  if rtt_ns >= 0 then Rto.observe_ns t.rto rtt_ns;
   forget_acked t ack;
   t.stats.Tcp_stats.segments_acked <- t.stats.Tcp_stats.segments_acked + newly;
-  let info =
-    {
-      Cc.ack;
-      newly_acked = growth_credit;
-      rtt_sample = sample;
-      flight_before;
-      now = now_sec t;
-    }
-  in
+  let info = t.info in
+  info.Cc.ack <- ack;
+  info.Cc.newly_acked <- growth_credit;
+  info.Cc.rtt_ns <- rtt_ns;
+  info.Cc.flight_before <- flight_before;
   t.snd_una <- ack;
   if t.next_seq < t.snd_una then t.next_seq <- t.snd_una;
   if t.in_recovery then begin
@@ -344,25 +352,34 @@ let on_ece t =
     record_cwnd t
   end
 
-let handle_packet t p =
-  match p.Packet.payload with
-  | Packet.Tcp_ack { ack; ece; sack } ->
+let handle_packet t h =
+  match Pool.kind t.pool h with
+  | Pool.Tcp_ack ->
       t.stats.Tcp_stats.acks_received <- t.stats.Tcp_stats.acks_received + 1;
-      record_sack_blocks t sack;
-      if ece then on_ece t;
+      if t.sack_enabled then record_sack_blocks t (Pool.sack t.pool h);
+      if Pool.ece t.pool h then on_ece t;
+      let ack = Pool.ack t.pool h in
       if ack > t.snd_una then on_new_ack t ack
       else if ack = t.snd_una && flight t > 0 then on_dup_ack t
-  | Packet.Tcp_data _ | Packet.Udp_data _ -> ()
+  | Pool.Tcp_data | Pool.Udp_data -> ()
+
+let next_pow2 n =
+  let rec go v = if v >= n then v else go (v * 2) in
+  go 16
 
 let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
-    ?(limited_transmit = false) ?(pacing = false) ?bus sched ~factory ~cc
-    ~rto_params ~flow ~src ~dst ~mss_bytes ~adv_window ~transmit =
+    ?(limited_transmit = false) ?(pacing = false) ?(trace_cwnd = false) ?bus
+    sched ~pool ~cc ~rto_params ~flow ~src ~dst ~mss_bytes ~adv_window ~transmit
+    =
   if adv_window < 1 then invalid_arg "Tcp_sender.create: adv_window < 1";
   if mss_bytes < 1 then invalid_arg "Tcp_sender.create: mss_bytes < 1";
+  (* Live sequences span [snd_una, max_sent) <= adv_window + 2; the +4
+     margin keeps the direct-mapped table collision-free. *)
+  let st_size = next_pow2 (adv_window + 4) in
   let t =
     {
       sched;
-      factory;
+      pool;
       cc;
       rto = Rto.create rto_params;
       flow;
@@ -375,13 +392,16 @@ let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
       cwnd_validation;
       limited_transmit;
       pacing;
+      trace_cwnd;
       bus;
       transmit;
       stats = Tcp_stats.create ();
       cwnd_trace = Netstats.Series.create ();
-      send_times = Hashtbl.create 64;
+      send_times = Array.make st_size min_int;
+      st_mask = st_size - 1;
       scoreboard = Hashtbl.create 64;
       rtx_in_recovery = Hashtbl.create 16;
+      info = Cc.make_ack_info ();
       high_sacked = -1;
       app_submitted = 0;
       next_seq = 0;

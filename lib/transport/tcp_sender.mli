@@ -18,9 +18,10 @@ val create :
   ?cwnd_validation:bool ->
   ?limited_transmit:bool ->
   ?pacing:bool ->
+  ?trace_cwnd:bool ->
   ?bus:Telemetry.Event_bus.t ->
   Sim_engine.Scheduler.t ->
-  factory:Netsim.Packet.factory ->
+  pool:Netsim.Packet_pool.t ->
   cc:Cc.handle ->
   rto_params:Rto.params ->
   flow:int ->
@@ -28,7 +29,7 @@ val create :
   dst:int ->
   mss_bytes:int ->
   adv_window:int ->
-  transmit:(Netsim.Packet.t -> unit) ->
+  transmit:(Netsim.Packet_pool.handle -> unit) ->
   t
 (** [transmit] injects a packet into the network (typically the access
     link). [adv_window] is the receiver's static advertised window in
@@ -47,7 +48,10 @@ val create :
     segment, improving loss recovery for small windows. [pacing] (default
     false) spreads new transmissions at srtt/cwnd intervals instead of
     ACK-clocked bursts (Aggarwal–Savage–Anderson TCP pacing);
-    retransmissions are never paced. [bus] (default absent) publishes a
+    retransmissions are never paced. [trace_cwnd] (default false)
+    records (time, cwnd) into {!cwnd_trace} at every window change —
+    off unless a figure plots this sender, because the trace costs boxed
+    floats per ACK. [bus] (default absent) publishes a
     [Tcp] event for every congestion decision: [Timeout],
     [Fast_retransmit] and [Ecn_reaction], each followed by a [Cwnd_cut]
     carrying the post-reaction window. *)
@@ -55,8 +59,9 @@ val create :
 val write : t -> int -> unit
 (** Submit [n] more segments from the application. *)
 
-val handle_packet : t -> Netsim.Packet.t -> unit
-(** Feed an incoming packet (ACKs; anything else is ignored). *)
+val handle_packet : t -> Netsim.Packet_pool.handle -> unit
+(** Feed an incoming packet (ACKs; anything else is ignored). The
+    caller keeps ownership: the handle is read, never freed. *)
 
 val cwnd : t -> float
 val ssthresh : t -> float
@@ -73,7 +78,8 @@ val snd_una : t -> int
 val stats : t -> Tcp_stats.t
 
 val cwnd_trace : t -> Netstats.Series.t
-(** (time, cwnd) recorded at every window change — Figures 5–12. *)
+(** (time, cwnd) recorded at every window change — Figures 5–12.
+    Empty unless the sender was created with [trace_cwnd:true]. *)
 
 val in_recovery : t -> bool
 

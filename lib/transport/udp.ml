@@ -1,27 +1,27 @@
 module Scheduler = Sim_engine.Scheduler
-module Packet = Netsim.Packet
+module Pool = Netsim.Packet_pool
 
 type sender = {
   sched : Scheduler.t;
-  factory : Packet.factory;
+  pool : Pool.t;
   flow : int;
   src : int;
   dst : int;
   size_bytes : int;
-  transmit : Packet.t -> unit;
+  transmit : Pool.handle -> unit;
   mutable next_seq : int;
 }
 
-let create_sender sched ~factory ~flow ~src ~dst ~size_bytes ~transmit =
-  { sched; factory; flow; src; dst; size_bytes; transmit; next_seq = 0 }
+let create_sender sched ~pool ~flow ~src ~dst ~size_bytes ~transmit =
+  { sched; pool; flow; src; dst; size_bytes; transmit; next_seq = 0 }
 
 let write t n =
   if n < 0 then invalid_arg "Udp.write: negative count";
   for _ = 1 to n do
     let p =
-      Packet.make t.factory ~flow:t.flow ~src:t.src ~dst:t.dst
-        ~size_bytes:t.size_bytes ~sent_at:(Scheduler.now t.sched)
-        (Packet.Udp_data { seq = t.next_seq })
+      Pool.alloc_udp t.pool ~flow:t.flow ~src:t.src ~dst:t.dst
+        ~size_bytes:t.size_bytes ~sent_at:(Scheduler.now t.sched) ~seq:t.next_seq
+        ()
     in
     t.next_seq <- t.next_seq + 1;
     t.transmit p
@@ -29,13 +29,13 @@ let write t n =
 
 let sent t = t.next_seq
 
-type receiver = { mutable received : int }
+type receiver = { rpool : Pool.t; mutable received : int }
 
-let create_receiver () = { received = 0 }
+let create_receiver ~pool () = { rpool = pool; received = 0 }
 
-let handle_packet t p =
-  match p.Packet.payload with
-  | Packet.Udp_data _ -> t.received <- t.received + 1
-  | Packet.Tcp_data _ | Packet.Tcp_ack _ -> ()
+let handle_packet t h =
+  match Pool.kind t.rpool h with
+  | Pool.Udp_data -> t.received <- t.received + 1
+  | Pool.Tcp_data | Pool.Tcp_ack -> ()
 
 let received t = t.received

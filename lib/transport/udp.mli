@@ -8,23 +8,25 @@ type sender
 
 val create_sender :
   Sim_engine.Scheduler.t ->
-  factory:Netsim.Packet.factory ->
+  pool:Netsim.Packet_pool.t ->
   flow:int ->
   src:int ->
   dst:int ->
   size_bytes:int ->
-  transmit:(Netsim.Packet.t -> unit) ->
+  transmit:(Netsim.Packet_pool.handle -> unit) ->
   sender
 
 val write : sender -> int -> unit
-(** Transmit [n] packets right now. *)
+(** Emit [n] datagrams immediately, sequence-numbered consecutively. *)
 
 val sent : sender -> int
 
 type receiver
 
-val create_receiver : unit -> receiver
+val create_receiver : pool:Netsim.Packet_pool.t -> unit -> receiver
 
-val handle_packet : receiver -> Netsim.Packet.t -> unit
+val handle_packet : receiver -> Netsim.Packet_pool.handle -> unit
+(** Count an incoming datagram (non-UDP packets are ignored). The caller
+    keeps ownership: the handle is read, never freed. *)
 
 val received : receiver -> int

@@ -48,7 +48,7 @@ simulation, so the NDJSON trace stays empty.
   $ ../bin/main.exe table1 --fast --telemetry=report.json --trace-out=trace.ndjson > /dev/null
   wrote telemetry report to report.json
   $ ../bin/main.exe report-check report.json
-  report ok
+  telemetry report ok
   $ wc -l < trace.ndjson
   0
 
@@ -58,7 +58,7 @@ field leads every line) and its report validates too.
   $ ../bin/main.exe run --scenario reno -n 2 --duration 6 --fast --telemetry=run-report.json --trace-out=run-trace.ndjson > /dev/null
   wrote telemetry report to run-report.json
   $ ../bin/main.exe report-check run-report.json
-  report ok
+  telemetry report ok
   $ head -c 17 run-trace.ndjson
   {"event":"packet"
 
@@ -67,6 +67,30 @@ Corrupt reports are rejected.
   $ echo '{"label":"x"}' > broken.json
   $ ../bin/main.exe report-check broken.json
   broken.json: invalid telemetry report: missing fields: runs, events_fired, event_queue_hwm, gateway_queue_hwm, events_per_sec, phases, metrics
+  [1]
+
+--kind=alloc checks the allocation-budget sweep schema: a passing row
+is accepted, a row over its own words/event budget is rejected, and a
+leak is rejected.
+
+  $ cat > alloc.json <<'EOF'
+  > {"clients":50,"duration_s":30.0,"reps":3,
+  >  "baseline_minor_words_per_event":30.48,"baseline_events_per_sec":1311337.0,
+  >  "rows":[{"scenario":"Reno","clients":50,"events":100,"wall_s":0.1,
+  >           "events_per_sec":1000.0,"minor_words_per_event":5.8,
+  >           "promoted_words_per_event":0.02,"major_collections":0,
+  >           "threshold_minor_words_per_event":6.0,"min_events_per_sec":null,
+  >           "leak_free":true}]}
+  > EOF
+  $ ../bin/main.exe report-check --kind=alloc alloc.json
+  alloc report ok
+  $ sed 's/"minor_words_per_event":5.8/"minor_words_per_event":6.5/' alloc.json > alloc-over.json
+  $ ../bin/main.exe report-check --kind=alloc alloc-over.json
+  alloc-over.json: invalid alloc report: Reno: minor_words_per_event 6.5000 exceeds threshold 6
+  [1]
+  $ sed 's/"leak_free":true/"leak_free":false/' alloc.json > alloc-leak.json
+  $ ../bin/main.exe report-check --kind=alloc alloc-leak.json
+  alloc-leak.json: invalid alloc report: Reno: leak_free is false
   [1]
 
 --jobs rejects zero and negative counts at parse time.

@@ -264,6 +264,34 @@ let run_cov_ci_present () =
     true
     (Float.abs (m.Metrics.cov -. m.Metrics.analytic_cov) < 3. *. m.Metrics.cov_ci95)
 
+let run_trace_digest_pinned () =
+  (* Trace-equivalence gate for the packet-pool refactor: the full NDJSON
+     event stream of a reference run is pinned by digest. Any change to
+     packet identity, event ordering, or numeric paths that alters a single
+     byte of the trace fails here. The digest was recorded from the
+     heap-packet implementation before pooling, so passing means the pooled
+     engine is event-for-event identical to it. *)
+  let cfg = tiny ~clients:4 ~duration:5. ~warmup:1. () in
+  let probe = Telemetry.Probe.create () in
+  let buf = Buffer.create (1 lsl 15) in
+  ignore
+    (Telemetry.Event_bus.subscribe probe.Telemetry.Probe.bus (fun ev ->
+         Buffer.add_string buf (Telemetry.Event_bus.to_ndjson ev);
+         Buffer.add_char buf '\n'));
+  ignore (Run.run ~probe cfg Scenario.reno);
+  let trace = Buffer.contents buf in
+  Alcotest.(check int) "trace length" 28432 (String.length trace);
+  Alcotest.(check string) "trace digest" "06737bcfca22b5f3d9986c42f3195862"
+    (Digest.to_hex (Digest.string trace))
+
+let run_releases_every_pooled_packet () =
+  (* Run.run drains the network at the horizon and fails loudly if any
+     packet slot is still live; a normal run across queue disciplines must
+     therefore complete without raising. *)
+  List.iter
+    (fun scenario -> ignore (Run.run (tiny ~clients:8 ~duration:20. ()) scenario))
+    [ Scenario.reno; Scenario.reno_red; Scenario.reno_sfq; Scenario.udp ]
+
 let run_deterministic () =
   let cfg = tiny ~clients:5 ~duration:30. () in
   let a = Run.run cfg Scenario.reno and b = Run.run cfg Scenario.reno in
@@ -711,6 +739,8 @@ let suite =
         Alcotest.test_case "cwnd traces" `Quick run_traces_requested_clients;
         Alcotest.test_case "cov confidence interval" `Slow run_cov_ci_present;
         Alcotest.test_case "deterministic" `Quick run_deterministic;
+        Alcotest.test_case "pinned trace digest" `Quick run_trace_digest_pinned;
+        Alcotest.test_case "pool drained after runs" `Quick run_releases_every_pooled_packet;
         Alcotest.test_case "seed sensitivity" `Quick run_seed_sensitivity;
         Alcotest.test_case "ecn end to end" `Slow run_ecn_end_to_end;
         Alcotest.test_case "ared end to end" `Slow run_ared_end_to_end;

@@ -1,16 +1,17 @@
-(* Tests for the network layer: units, packets, queues, links, routing,
-   monitors. *)
+(* Tests for the network layer: units, pooled packets, queues, links,
+   routing, monitors. *)
 
 open Netsim
 module Time = Sim_engine.Time
 module Scheduler = Sim_engine.Scheduler
 module Rng = Sim_engine.Rng
+module Pool = Packet_pool
 
 let check_float = Alcotest.(check (float 1e-9))
 
-let mk_packet ?(flow = 0) ?(src = 1) ?(dst = 0) ?(size = 1000) ?(seq = 0) factory =
-  Packet.make factory ~flow ~src ~dst ~size_bytes:size ~sent_at:Time.zero
-    (Packet.Tcp_data { seq; is_retransmit = false })
+let mk_packet ?(flow = 0) ?(src = 1) ?(dst = 0) ?(size = 1000) ?(seq = 0) pool =
+  Pool.alloc_data pool ~flow ~src ~dst ~size_bytes:size ~sent_at:Time.zero ~seq
+    ~is_retransmit:false ()
 
 (* ------------------------------------------------------------------ *)
 (* Units *)
@@ -28,71 +29,137 @@ let units_invalid () =
       ignore (Units.bps 0.))
 
 (* ------------------------------------------------------------------ *)
-(* Packet *)
+(* Packet pool *)
 
-let packet_uids_unique () =
-  let f = Packet.factory () in
-  let a = mk_packet f and b = mk_packet f in
-  Alcotest.(check bool) "distinct uids" true (a.Packet.uid <> b.Packet.uid)
+let pool_uids_unique () =
+  let pool = Pool.create () in
+  let a = mk_packet pool and b = mk_packet pool in
+  Alcotest.(check bool) "distinct uids" true (Pool.uid pool a <> Pool.uid pool b)
 
-let packet_classifiers () =
-  let f = Packet.factory () in
-  let data = mk_packet ~seq:7 f in
+let pool_classifiers () =
+  let pool = Pool.create () in
+  let data = mk_packet ~seq:7 pool in
   let ack =
-    Packet.make f ~flow:0 ~src:0 ~dst:1 ~size_bytes:40 ~sent_at:Time.zero
-      (Packet.Tcp_ack { ack = 3; ece = false; sack = [] })
+    Pool.alloc_ack pool ~flow:0 ~src:0 ~dst:1 ~size_bytes:40 ~sent_at:Time.zero
+      ~ack:3 ~ece:false ~sack:[] ()
   in
   let udp =
-    Packet.make f ~flow:0 ~src:1 ~dst:0 ~size_bytes:100 ~sent_at:Time.zero
-      (Packet.Udp_data { seq = 9 })
+    Pool.alloc_udp pool ~flow:0 ~src:1 ~dst:0 ~size_bytes:100 ~sent_at:Time.zero
+      ~seq:9 ()
   in
-  Alcotest.(check bool) "data is data" true (Packet.is_data data);
-  Alcotest.(check bool) "ack not data" false (Packet.is_data ack);
-  Alcotest.(check bool) "udp is data" true (Packet.is_data udp);
-  Alcotest.(check (option int)) "seq data" (Some 7) (Packet.seq data);
-  Alcotest.(check (option int)) "seq ack" None (Packet.seq ack);
-  Alcotest.(check (option int)) "seq udp" (Some 9) (Packet.seq udp);
-  Alcotest.(check bool) "not rtx" false (Packet.is_retransmit data)
+  Alcotest.(check bool) "data is data" true (Pool.is_data pool data);
+  Alcotest.(check bool) "ack not data" false (Pool.is_data pool ack);
+  Alcotest.(check bool) "udp is data" true (Pool.is_data pool udp);
+  Alcotest.(check (option int)) "seq data" (Some 7) (Pool.seq_opt pool data);
+  Alcotest.(check (option int)) "seq ack" None (Pool.seq_opt pool ack);
+  Alcotest.(check (option int)) "seq udp" (Some 9) (Pool.seq_opt pool udp);
+  Alcotest.(check int) "ack word" 3 (Pool.ack pool ack);
+  Alcotest.(check bool) "not rtx" false (Pool.is_retransmit pool data)
+
+let pool_stale_handle_raises () =
+  let pool = Pool.create () in
+  let h = mk_packet ~seq:11 pool in
+  Alcotest.(check int) "live before free" 1 (Pool.live pool);
+  Pool.free pool h;
+  Alcotest.(check int) "live after free" 0 (Pool.live pool);
+  (* Every accessor must reject the stale handle loudly. *)
+  let expect_invalid label f =
+    match f () with
+    | _ -> Alcotest.failf "%s: stale handle accepted" label
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "flow" (fun () -> Pool.flow pool h);
+  expect_invalid "seq" (fun () -> Pool.seq pool h);
+  expect_invalid "size" (fun () -> Pool.size_bytes pool h);
+  expect_invalid "kind" (fun () -> Pool.kind pool h);
+  expect_invalid "double free" (fun () -> Pool.free pool h);
+  expect_invalid "nil" (fun () -> Pool.flow pool Pool.nil)
+
+let pool_recycled_slot_does_not_alias () =
+  let pool = Pool.create () in
+  let a = mk_packet ~flow:1 ~seq:100 pool in
+  Pool.free pool a;
+  (* The next allocation reuses a's slot (LIFO free list) but must get a
+     fresh generation: the old handle stays dead, the new one reads the
+     new packet's fields. *)
+  let b = mk_packet ~flow:2 ~seq:200 pool in
+  Alcotest.(check bool) "handles differ" true (a <> b);
+  Alcotest.(check int) "new fields" 200 (Pool.seq pool b);
+  Alcotest.(check int) "new flow" 2 (Pool.flow pool b);
+  (match Pool.flow pool a with
+  | _ -> Alcotest.fail "old handle reads recycled slot"
+  | exception Invalid_argument _ -> ());
+  Pool.free pool b;
+  Alcotest.(check int) "drained" 0 (Pool.live pool)
+
+let pool_accounting () =
+  let pool = Pool.create ~capacity:2 () in
+  let hs = List.init 5 (fun i -> mk_packet ~seq:i pool) in
+  Alcotest.(check int) "live" 5 (Pool.live pool);
+  Alcotest.(check int) "high water" 5 (Pool.high_water_mark pool);
+  Alcotest.(check int) "allocated" 5 (Pool.allocated pool);
+  List.iter (Pool.free pool) hs;
+  Alcotest.(check int) "drained" 0 (Pool.live pool);
+  ignore (mk_packet pool);
+  Alcotest.(check int) "peak survives" 5 (Pool.high_water_mark pool);
+  Alcotest.(check int) "allocated keeps counting" 6 (Pool.allocated pool)
+
+let pool_sack_side_table () =
+  let pool = Pool.create () in
+  let blocks = [ (4, 6); (9, 12) ] in
+  let h =
+    Pool.alloc_ack pool ~flow:3 ~src:0 ~dst:1 ~size_bytes:40 ~sent_at:Time.zero
+      ~ack:4 ~ece:true ~sack:blocks ()
+  in
+  Alcotest.(check bool) "ece" true (Pool.ece pool h);
+  Alcotest.(check (list (pair int int))) "sack blocks" blocks (Pool.sack pool h);
+  Pool.free pool h;
+  (* Recycling the slot must not leak the old SACK list into a fresh ACK. *)
+  let h2 =
+    Pool.alloc_ack pool ~flow:3 ~src:0 ~dst:1 ~size_bytes:40 ~sent_at:Time.zero
+      ~ack:5 ~ece:false ~sack:[] ()
+  in
+  Alcotest.(check (list (pair int int))) "fresh ack has no sack" [] (Pool.sack pool h2)
 
 (* ------------------------------------------------------------------ *)
 (* Droptail *)
 
 let droptail_capacity () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let q = Droptail.create ~capacity:2 in
-  Alcotest.(check bool) "first" true (Droptail.enqueue q (mk_packet f) = `Enqueued);
-  Alcotest.(check bool) "second" true (Droptail.enqueue q (mk_packet f) = `Enqueued);
-  Alcotest.(check bool) "third dropped" true (Droptail.enqueue q (mk_packet f) = `Dropped);
+  Alcotest.(check bool) "first" true (Droptail.enqueue q (mk_packet pool) = `Enqueued);
+  Alcotest.(check bool) "second" true (Droptail.enqueue q (mk_packet pool) = `Enqueued);
+  Alcotest.(check bool) "third dropped" true (Droptail.enqueue q (mk_packet pool) = `Dropped);
   Alcotest.(check int) "length" 2 (Droptail.length q);
   ignore (Droptail.dequeue q);
-  Alcotest.(check bool) "room again" true (Droptail.enqueue q (mk_packet f) = `Enqueued)
+  Alcotest.(check bool) "room again" true (Droptail.enqueue q (mk_packet pool) = `Enqueued)
 
 let droptail_high_water_mark () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let q = Droptail.create ~capacity:5 in
   Alcotest.(check int) "starts at 0" 0 (Droptail.high_water_mark q);
-  List.iter (fun _ -> ignore (Droptail.enqueue q (mk_packet f))) [ 1; 2; 3 ];
+  List.iter (fun _ -> ignore (Droptail.enqueue q (mk_packet pool))) [ 1; 2; 3 ];
   ignore (Droptail.dequeue q);
   ignore (Droptail.dequeue q);
   Alcotest.(check int) "peak survives dequeues" 3 (Droptail.high_water_mark q);
-  ignore (Droptail.enqueue q (mk_packet f));
+  ignore (Droptail.enqueue q (mk_packet pool));
   Alcotest.(check int) "below peak: unchanged" 3 (Droptail.high_water_mark q);
   (* The dispatching wrapper reports the same number. *)
   let qd = Queue_disc.droptail ~capacity:2 in
-  ignore (Queue_disc.enqueue qd ~now:Time.zero (mk_packet f));
+  ignore (Queue_disc.enqueue qd ~now:Time.zero (mk_packet pool));
   Alcotest.(check int) "queue_disc dispatch" 1 (Queue_disc.high_water_mark qd)
 
 let droptail_fifo_order () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let q = Droptail.create ~capacity:10 in
-  let ps = List.init 5 (fun i -> mk_packet ~seq:i f) in
+  let ps = List.init 5 (fun i -> mk_packet ~seq:i pool) in
   List.iter (fun p -> ignore (Droptail.enqueue q p)) ps;
-  let out = List.init 5 (fun _ -> Option.get (Droptail.dequeue q)) in
-  Alcotest.(check (list (option int)))
+  let out = List.init 5 (fun _ -> Droptail.dequeue q) in
+  Alcotest.(check (list int))
     "fifo"
-    (List.map Packet.seq ps)
-    (List.map Packet.seq out);
-  Alcotest.(check bool) "drained" true (Droptail.dequeue q = None)
+    (List.map (Pool.seq pool) ps)
+    (List.map (Pool.seq pool) out);
+  Alcotest.(check bool) "drained" true (Pool.is_nil (Droptail.dequeue q))
 
 (* ------------------------------------------------------------------ *)
 (* RED *)
@@ -111,53 +178,54 @@ let red_params capacity =
   }
 
 let red_no_drops_below_min_th () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:1L in
-  let q = Red.create ~rng (red_params 100) in
+  let q = Red.create ~rng ~pool (red_params 100) in
   for i = 0 to 3 do
     Alcotest.(check bool)
       (Printf.sprintf "enqueue %d" i)
       true
-      (Red.enqueue q ~now:Time.zero (mk_packet f) = `Enqueued)
+      (Red.enqueue q ~now:Time.zero (mk_packet pool) = `Enqueued)
   done;
   Alcotest.(check int) "queued" 4 (Red.length q)
 
 let red_always_drops_above_max_th () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:2L in
-  let q = Red.create ~rng (red_params 100) in
+  let q = Red.create ~rng ~pool (red_params 100) in
   (* Fill to 40 without dequeue: average chases instantaneous with w_q=0.5,
      so it passes max_th = 15 well before 40. *)
-  let results = List.init 40 (fun _ -> Red.enqueue q ~now:Time.zero (mk_packet f)) in
+  let results = List.init 40 (fun _ -> Red.enqueue q ~now:Time.zero (mk_packet pool)) in
   Alcotest.(check bool) "avg above max_th" true (Red.avg q > 15.);
   let last = List.nth results 39 in
   Alcotest.(check bool) "forced drop" true (last = `Dropped)
 
 let red_physical_capacity () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:3L in
   (* min_th huge: RED never early-drops, only physical overflow. *)
   let q =
-    Red.create ~rng
+    Red.create ~rng ~pool
       { (red_params 3) with Red.min_th = 1000.; max_th = 2000.; w_q = 0.001 }
   in
-  let r = List.init 5 (fun _ -> Red.enqueue q ~now:Time.zero (mk_packet f)) in
+  let r = List.init 5 (fun _ -> Red.enqueue q ~now:Time.zero (mk_packet pool)) in
   Alcotest.(check int) "held 3" 3 (Red.length q);
   Alcotest.(check bool) "4th dropped" true (List.nth r 3 = `Dropped)
 
 let red_early_drop_probabilistic () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:4L in
-  let q = Red.create ~rng (red_params 1000) in
+  let q = Red.create ~rng ~pool (red_params 1000) in
   (* Hold the queue between thresholds and count early drops. *)
   let drops = ref 0 and total = 5000 in
   for _ = 1 to total do
-    (match Red.enqueue q ~now:Time.zero (mk_packet f) with
+    (match Red.enqueue q ~now:Time.zero (mk_packet pool) with
     | `Dropped -> incr drops
     | `Enqueued -> ());
     (* keep instantaneous length near 10 (between 5 and 15) *)
     while Red.length q > 10 do
-      ignore (Red.dequeue q ~now:Time.zero)
+      let h = Red.dequeue q ~now:Time.zero in
+      Pool.free pool h
     done
   done;
   let rate = float_of_int !drops /. float_of_int total in
@@ -167,99 +235,104 @@ let red_early_drop_probabilistic () =
     (rate > 0.005 && rate < 0.3)
 
 let red_average_decays_when_idle () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:5L in
-  let q = Red.create ~rng (red_params 100) in
+  let q = Red.create ~rng ~pool (red_params 100) in
   for _ = 1 to 10 do
-    ignore (Red.enqueue q ~now:Time.zero (mk_packet f))
+    ignore (Red.enqueue q ~now:Time.zero (mk_packet pool))
   done;
   let avg_busy = Red.avg q in
   while Red.length q > 0 do
-    ignore (Red.dequeue q ~now:(Time.of_sec 1.))
+    Pool.free pool (Red.dequeue q ~now:(Time.of_sec 1.))
   done;
-  ignore (Red.enqueue q ~now:(Time.of_sec 10.) (mk_packet f));
+  ignore (Red.enqueue q ~now:(Time.of_sec 10.) (mk_packet pool));
   Alcotest.(check bool) "decayed" true (Red.avg q < avg_busy /. 2.)
 
-let mk_ecn_packet f =
-  Packet.make f ~ecn_capable:true ~flow:0 ~src:1 ~dst:0 ~size_bytes:1000
-    ~sent_at:Time.zero
-    (Packet.Tcp_data { seq = 0; is_retransmit = false })
+let mk_ecn_packet pool =
+  Pool.alloc_data pool ~ecn_capable:true ~flow:0 ~src:1 ~dst:0 ~size_bytes:1000
+    ~sent_at:Time.zero ~seq:0 ~is_retransmit:false ()
 
 let red_marks_instead_of_dropping () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:7L in
   (* max_p = 1 in the marking band: every arrival between thresholds gets
      an early "drop", which for capable packets becomes a CE mark. *)
   let q =
-    Red.create ~rng { (red_params 1000) with Red.max_p = 1.; ecn_mark = true }
+    Red.create ~rng ~pool { (red_params 1000) with Red.max_p = 1.; ecn_mark = true }
   in
   (* Push the average between min_th (5) and max_th (15). *)
   let enqueued = ref 0 and dropped = ref 0 in
+  let saw_ce = ref false in
   for _ = 1 to 200 do
-    (match Red.enqueue q ~now:Time.zero (mk_ecn_packet f) with
+    (match Red.enqueue q ~now:Time.zero (mk_ecn_packet pool) with
     | `Enqueued -> incr enqueued
     | `Dropped -> incr dropped);
     while Red.length q > 10 do
-      ignore (Red.dequeue q ~now:Time.zero)
+      let h = Red.dequeue q ~now:Time.zero in
+      if Pool.ecn_ce pool h then saw_ce := true;
+      Pool.free pool h
     done
   done;
   Alcotest.(check bool) "marks happened" true (Red.marks q > 0);
+  Alcotest.(check bool) "CE bit visible on dequeued packets" true !saw_ce;
   Alcotest.(check int) "no early drops of capable packets" 0 !dropped
 
 let red_drops_non_capable_despite_ecn_mode () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:8L in
   let q =
-    Red.create ~rng { (red_params 1000) with Red.max_p = 1.; ecn_mark = true }
+    Red.create ~rng ~pool { (red_params 1000) with Red.max_p = 1.; ecn_mark = true }
   in
   let dropped = ref 0 in
   for _ = 1 to 200 do
-    (match Red.enqueue q ~now:Time.zero (mk_packet f) with
+    (match Red.enqueue q ~now:Time.zero (mk_packet pool) with
     | `Dropped -> incr dropped
     | `Enqueued -> ());
     while Red.length q > 10 do
-      ignore (Red.dequeue q ~now:Time.zero)
+      Pool.free pool (Red.dequeue q ~now:Time.zero)
     done
   done;
   Alcotest.(check bool) "non-capable still dropped" true (!dropped > 0);
   Alcotest.(check int) "no marks" 0 (Red.marks q)
 
 let red_adaptive_max_p_moves () =
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:9L in
-  let q = Red.create ~rng { (red_params 1000) with Red.adaptive = true } in
+  let q = Red.create ~rng ~pool { (red_params 1000) with Red.adaptive = true } in
   let initial = Red.current_max_p q in
   (* Sustained congestion above max_th: max_p scales up (one step per 0.5 s). *)
   let now = ref 0.0 in
   for _ = 1 to 100 do
     now := !now +. 0.1;
-    ignore (Red.enqueue q ~now:(Time.of_sec !now) (mk_packet f))
+    ignore (Red.enqueue q ~now:(Time.of_sec !now) (mk_packet pool))
   done;
   Alcotest.(check bool) "scaled up under congestion" true
     (Red.current_max_p q > initial);
   (* Long quiet period with an empty queue: max_p scales back down. *)
   while Red.length q > 0 do
-    ignore (Red.dequeue q ~now:(Time.of_sec !now))
+    Pool.free pool (Red.dequeue q ~now:(Time.of_sec !now))
   done;
   let high = Red.current_max_p q in
   for _ = 1 to 100 do
     now := !now +. 1.0;
-    ignore (Red.enqueue q ~now:(Time.of_sec !now) (mk_packet f));
-    ignore (Red.dequeue q ~now:(Time.of_sec !now))
+    ignore (Red.enqueue q ~now:(Time.of_sec !now) (mk_packet pool));
+    let h = Red.dequeue q ~now:(Time.of_sec !now) in
+    if not (Pool.is_nil h) then Pool.free pool h
   done;
   Alcotest.(check bool) "scaled down when idle" true (Red.current_max_p q < high)
 
 let red_validates_params () =
+  let pool = Pool.create () in
   let rng = Rng.create ~seed:6L in
   Alcotest.check_raises "thresholds" (Invalid_argument "Red.create: bad thresholds")
-    (fun () -> ignore (Red.create ~rng { (red_params 10) with Red.max_th = 1. }))
+    (fun () -> ignore (Red.create ~rng ~pool { (red_params 10) with Red.max_th = 1. }))
 
 (* ------------------------------------------------------------------ *)
 (* SFQ *)
 
 let sfq_round_robin_service () =
-  let f = Packet.factory () in
-  let q = Sfq.create ~buckets:4 ~capacity:100 () in
+  let pool = Pool.create () in
+  let q = Sfq.create ~buckets:4 ~pool ~capacity:100 () in
   (* Find two flows in different buckets. *)
   let flow_a = 0 in
   let flow_b =
@@ -269,9 +342,9 @@ let sfq_round_robin_service () =
     find 1
   in
   (* 3 packets of A then 3 of B: round-robin interleaves the service. *)
-  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_a f))) [ 1; 2; 3 ];
-  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_b f))) [ 1; 2; 3 ];
-  let order = List.init 6 (fun _ -> (Option.get (Sfq.dequeue q)).Packet.flow) in
+  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_a pool))) [ 1; 2; 3 ];
+  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_b pool))) [ 1; 2; 3 ];
+  let order = List.init 6 (fun _ -> Pool.flow pool (Sfq.dequeue q)) in
   let rec alternates = function
     | a :: b :: rest -> a <> b && alternates (b :: rest)
     | _ -> true
@@ -282,8 +355,8 @@ let sfq_round_robin_service () =
     true (alternates order)
 
 let sfq_overflow_penalizes_longest () =
-  let f = Packet.factory () in
-  let q = Sfq.create ~buckets:4 ~capacity:4 () in
+  let pool = Pool.create () in
+  let q = Sfq.create ~buckets:4 ~pool ~capacity:4 () in
   let flow_a = 0 in
   let flow_b =
     let rec find fl =
@@ -292,151 +365,183 @@ let sfq_overflow_penalizes_longest () =
     find 1
   in
   (* Fill the whole buffer with the hog A. *)
-  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_a f))) [ 1; 2; 3; 4 ];
+  List.iter (fun _ -> ignore (Sfq.enqueue q (mk_packet ~flow:flow_a pool))) [ 1; 2; 3; 4 ];
   (* B's arrival evicts one of A's packets rather than being dropped. *)
-  (match Sfq.enqueue q (mk_packet ~flow:flow_b f) with
+  (match Sfq.enqueue q (mk_packet ~flow:flow_b pool) with
   | `Enqueued_dropping victim ->
-      Alcotest.(check int) "victim from hog" flow_a victim.Packet.flow
+      Alcotest.(check int) "victim from hog" flow_a (Pool.flow pool victim)
   | `Enqueued | `Dropped -> Alcotest.fail "expected eviction");
   (* A's own arrival at a full buffer with A longest is refused. *)
-  (match Sfq.enqueue q (mk_packet ~flow:flow_a f) with
+  (match Sfq.enqueue q (mk_packet ~flow:flow_a pool) with
   | `Dropped -> ()
   | `Enqueued | `Enqueued_dropping _ -> Alcotest.fail "expected drop of the hog");
   Alcotest.(check int) "capacity held" 4 (Sfq.length q)
 
 let sfq_single_flow_fifo () =
-  let f = Packet.factory () in
-  let q = Sfq.create ~capacity:10 () in
-  List.iter (fun i -> ignore (Sfq.enqueue q (mk_packet ~seq:i f))) [ 0; 1; 2 ];
-  let seqs = List.init 3 (fun _ -> Packet.seq (Option.get (Sfq.dequeue q))) in
-  Alcotest.(check (list (option int))) "fifo within flow"
-    [ Some 0; Some 1; Some 2 ] seqs;
-  Alcotest.(check bool) "drained" true (Sfq.dequeue q = None)
+  let pool = Pool.create () in
+  let q = Sfq.create ~pool ~capacity:10 () in
+  List.iter (fun i -> ignore (Sfq.enqueue q (mk_packet ~seq:i pool))) [ 0; 1; 2 ];
+  let seqs = List.init 3 (fun _ -> Pool.seq pool (Sfq.dequeue q)) in
+  Alcotest.(check (list int)) "fifo within flow" [ 0; 1; 2 ] seqs;
+  Alcotest.(check bool) "drained" true (Pool.is_nil (Sfq.dequeue q))
 
 (* ------------------------------------------------------------------ *)
 (* Link *)
 
+let mk_link ?(capacity = 100) sched pool ~bandwidth ~delay ~deliver =
+  Link.create sched ~name:"l" ~bandwidth ~delay
+    ~queue:(Queue_disc.droptail ~capacity)
+    ~pool ~deliver
+
 let link_delivery_timing () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let delivered = ref [] in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 10.)
-      ~queue:(Queue_disc.droptail ~capacity:100)
-      ~deliver:(fun p ->
-        delivered := (Time.to_sec (Scheduler.now sched), p) :: !delivered)
+    mk_link sched pool ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 10.)
+      ~deliver:(fun h ->
+        delivered := Time.to_sec (Scheduler.now sched) :: !delivered;
+        Pool.free pool h)
   in
   (* 1000 B at 1 Mbps = 8 ms serialize + 10 ms propagate = 18 ms. *)
-  Link.send link (mk_packet ~size:1000 f);
+  Link.send link (mk_packet ~size:1000 pool);
   Scheduler.run sched;
-  match !delivered with
-  | [ (at, _) ] -> check_float "arrival time" 0.018 at
-  | _ -> Alcotest.fail "expected exactly one delivery"
+  (match !delivered with
+  | [ at ] -> check_float "arrival time" 0.018 at
+  | _ -> Alcotest.fail "expected exactly one delivery");
+  Alcotest.(check int) "no leak" 0 (Pool.live pool)
 
 let link_pipelining () =
   (* Two packets: serialization is sequential (8ms each), propagation
      overlaps: arrivals at 18 ms and 26 ms. *)
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let times = ref [] in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 10.)
-      ~queue:(Queue_disc.droptail ~capacity:100)
-      ~deliver:(fun _ -> times := Time.to_sec (Scheduler.now sched) :: !times)
+    mk_link sched pool ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 10.)
+      ~deliver:(fun h ->
+        times := Time.to_sec (Scheduler.now sched) :: !times;
+        Pool.free pool h)
   in
-  Link.send link (mk_packet ~size:1000 f);
-  Link.send link (mk_packet ~size:1000 f);
+  Link.send link (mk_packet ~size:1000 pool);
+  Link.send link (mk_packet ~size:1000 pool);
   Scheduler.run sched;
   Alcotest.(check (list (float 1e-9))) "pipelined" [ 0.018; 0.026 ] (List.rev !times)
 
 let link_preserves_order () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let seqs = ref [] in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:100)
-      ~deliver:(fun p -> seqs := Option.get (Packet.seq p) :: !seqs)
+    mk_link sched pool ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
+      ~deliver:(fun h ->
+        seqs := Pool.seq pool h :: !seqs;
+        Pool.free pool h)
   in
-  List.iter (fun i -> Link.send link (mk_packet ~seq:i f)) [ 0; 1; 2; 3; 4 ];
+  List.iter (fun i -> Link.send link (mk_packet ~seq:i pool)) [ 0; 1; 2; 3; 4 ];
   Scheduler.run sched;
   Alcotest.(check (list int)) "order" [ 0; 1; 2; 3; 4 ] (List.rev !seqs)
 
 let link_drops_and_counters () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.kbps 1.) (* very slow *)
+    mk_link ~capacity:2 sched pool ~bandwidth:(Units.kbps 1.) (* very slow *)
       ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:2)
-      ~deliver:ignore
+      ~deliver:(Pool.free pool)
   in
   let drops = ref 0 in
   Link.on_drop link (fun _ _ -> incr drops);
   (* First starts transmitting immediately (leaves queue), next two queue,
      remaining two drop. *)
-  List.iter (fun i -> Link.send link (mk_packet ~seq:i f)) [ 0; 1; 2; 3; 4 ];
+  List.iter (fun i -> Link.send link (mk_packet ~seq:i pool)) [ 0; 1; 2; 3; 4 ];
   Alcotest.(check int) "arrivals" 5 (Link.arrivals link);
   Alcotest.(check int) "drops" 2 (Link.drops link);
   Alcotest.(check int) "listener drops" 2 !drops;
+  (* The link owns its drops: the two refused packets are already back in
+     the pool while the other three are still queued or in flight. *)
+  Alcotest.(check int) "dropped packets freed" 3 (Pool.live pool);
   Scheduler.run sched;
   Alcotest.(check int) "departures" 3 (Link.departures link);
-  Alcotest.(check int) "bytes" 3000 (Link.bytes_delivered link)
+  Alcotest.(check int) "bytes" 3000 (Link.bytes_delivered link);
+  Alcotest.(check int) "all freed after run" 0 (Pool.live pool)
 
 let link_listeners_fire () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:10)
-      ~deliver:ignore
+    mk_link ~capacity:10 sched pool ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 1.)
+      ~deliver:(Pool.free pool)
   in
   let arrivals = ref 0 and departs = ref 0 in
   Link.on_arrival link (fun _ _ -> incr arrivals);
   Link.on_depart link (fun _ _ -> incr departs);
-  Link.send link (mk_packet f);
+  Link.send link (mk_packet pool);
   Scheduler.run sched;
   Alcotest.(check int) "arrival listener" 1 !arrivals;
   Alcotest.(check int) "depart listener" 1 !departs
+
+let link_reclaim_drains_pool () =
+  let sched = Scheduler.create () in
+  let pool = Pool.create () in
+  let link =
+    mk_link ~capacity:10 sched pool ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
+      ~delay:(Time.of_ms 1.)
+      ~deliver:(Pool.free pool)
+  in
+  List.iter (fun _ -> Link.send link (mk_packet pool)) [ 1; 2; 3; 4 ];
+  (* Stop mid-transfer: one packet in flight, three queued. *)
+  Scheduler.run ~until:(Time.of_sec 0.5) sched;
+  Alcotest.(check bool) "packets outstanding" true (Pool.live pool > 0);
+  Link.reclaim link;
+  Alcotest.(check int) "reclaim drains" 0 (Pool.live pool)
 
 (* ------------------------------------------------------------------ *)
 (* Router *)
 
 let router_routes_by_destination () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let to_a = ref 0 and to_b = ref 0 in
-  let mk_link deliver =
-    Link.create sched ~name:"x" ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:10)
+  let mk deliver =
+    mk_link ~capacity:10 sched pool ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
       ~deliver
   in
-  let la = mk_link (fun _ -> incr to_a) and lb = mk_link (fun _ -> incr to_b) in
-  let r = Router.create ~name:"gw" in
+  let la =
+    mk (fun h ->
+        incr to_a;
+        Pool.free pool h)
+  in
+  let lb =
+    mk (fun h ->
+        incr to_b;
+        Pool.free pool h)
+  in
+  let r = Router.create ~name:"gw" ~pool in
   Router.add_route r ~dst:1 la;
   Router.set_default r lb;
-  Router.receive r (mk_packet ~dst:1 f);
-  Router.receive r (mk_packet ~dst:9 f);
-  Router.receive r (mk_packet ~dst:1 f);
+  Router.receive r (mk_packet ~dst:1 pool);
+  Router.receive r (mk_packet ~dst:9 pool);
+  Router.receive r (mk_packet ~dst:1 pool);
   Scheduler.run sched;
   Alcotest.(check int) "to a" 2 !to_a;
   Alcotest.(check int) "to b (default)" 1 !to_b;
   Alcotest.(check int) "forwarded" 3 (Router.forwarded r)
 
 let router_no_route_fails () =
-  let f = Packet.factory () in
-  let r = Router.create ~name:"gw" in
+  let pool = Pool.create () in
+  let r = Router.create ~name:"gw" ~pool in
   Alcotest.check_raises "no route" (Failure "Router gw: no route for destination 5")
-    (fun () -> Router.receive r (mk_packet ~dst:5 f))
+    (fun () -> Router.receive r (mk_packet ~dst:5 pool))
 
 let router_duplicate_route_rejected () =
   let sched = Scheduler.create () in
+  let pool = Pool.create () in
   let l =
-    Link.create sched ~name:"x" ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:1)
-      ~deliver:ignore
+    mk_link ~capacity:1 sched pool ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 1.)
+      ~deliver:(Pool.free pool)
   in
-  let r = Router.create ~name:"gw" in
+  let r = Router.create ~name:"gw" ~pool in
   Router.add_route r ~dst:1 l;
   Alcotest.check_raises "dup"
     (Invalid_argument "Router.add_route(gw): duplicate route for 1") (fun () ->
@@ -446,65 +551,68 @@ let router_duplicate_route_rejected () =
 (* Node and Monitor *)
 
 let node_handler_dispatch () =
-  let f = Packet.factory () in
-  let n = Node.create ~id:3 in
-  let got = ref None in
-  Node.set_handler n (fun p -> got := Some p);
-  let p = mk_packet ~dst:3 f in
+  let pool = Pool.create () in
+  let n = Node.create ~id:3 ~pool in
+  let got = ref (-1) in
+  Node.set_handler n (fun h -> got := Pool.uid pool h);
+  let p = mk_packet ~dst:3 pool in
+  let uid = Pool.uid pool p in
   Node.receive n p;
   Alcotest.(check int) "received count" 1 (Node.received n);
-  Alcotest.(check bool) "handler saw packet" true (!got = Some p)
+  Alcotest.(check int) "handler saw packet" uid !got;
+  (* The node is a sink: the handle is dead once the handler returns. *)
+  Alcotest.(check int) "freed at sink" 0 (Pool.live pool);
+  (match Pool.flow pool p with
+  | _ -> Alcotest.fail "handle survived the sink"
+  | exception Invalid_argument _ -> ())
 
 let monitor_arrival_binner_counts_data_only () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:100)
-      ~deliver:ignore
+    mk_link sched pool ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
+      ~deliver:(Pool.free pool)
   in
-  let binned = Monitor.arrival_binner link ~origin:0. ~width:1. in
-  Link.send link (mk_packet f);
+  let binned = Monitor.arrival_binner pool link ~origin:0. ~width:1. in
+  Link.send link (mk_packet pool);
   Link.send link
-    (Packet.make f ~flow:0 ~src:0 ~dst:1 ~size_bytes:40 ~sent_at:Time.zero
-       (Packet.Tcp_ack { ack = 0; ece = false; sack = [] }));
+    (Pool.alloc_ack pool ~flow:0 ~src:0 ~dst:1 ~size_bytes:40 ~sent_at:Time.zero
+       ~ack:0 ~ece:false ~sack:[] ());
   Scheduler.run sched;
   Alcotest.(check int) "counts only data" 1 (Netstats.Binned.total binned)
 
 let monitor_drop_runs () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.kbps 1.) (* glacial *)
+    mk_link ~capacity:2 sched pool ~bandwidth:(Units.kbps 1.) (* glacial *)
       ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:2)
-      ~deliver:ignore
+      ~deliver:(Pool.free pool)
   in
   let runs = Monitor.drop_run_recorder link in
   (* 1 transmits, 2 queue, then: drop drop, accept (after dequeue), drop. *)
-  List.iter (fun i -> Link.send link (mk_packet ~seq:i f)) [ 0; 1; 2 ];
-  Link.send link (mk_packet ~seq:3 f);
-  Link.send link (mk_packet ~seq:4 f);
+  List.iter (fun i -> Link.send link (mk_packet ~seq:i pool)) [ 0; 1; 2 ];
+  Link.send link (mk_packet ~seq:3 pool);
+  Link.send link (mk_packet ~seq:4 pool);
   (* free one slot, then one acceptance breaks the run, then another drop *)
   Scheduler.run ~until:(Time.of_sec 9.) sched;
-  Link.send link (mk_packet ~seq:5 f);
-  Link.send link (mk_packet ~seq:6 f);
+  Link.send link (mk_packet ~seq:5 pool);
+  Link.send link (mk_packet ~seq:6 pool);
   Alcotest.(check (list int)) "runs" [ 2; 1 ] (runs ())
 
 let monitor_queue_sampler () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
+    mk_link sched pool ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
       ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:100)
-      ~deliver:ignore
+      ~deliver:(Pool.free pool)
   in
   let series =
     Monitor.queue_sampler sched link ~every:(Time.of_sec 0.25) ~until:(Time.of_sec 2.)
   in
   (* Three packets: one transmitting, two queued initially. *)
-  List.iter (fun _ -> Link.send link (mk_packet ~size:1000 f)) [ 1; 2; 3 ];
+  List.iter (fun _ -> Link.send link (mk_packet ~size:1000 pool)) [ 1; 2; 3 ];
   Scheduler.run sched;
   let values = Netstats.Series.values series in
   Alcotest.(check bool) "saw queue of 2" true (Array.exists (fun v -> v = 2.) values);
@@ -515,17 +623,16 @@ let monitor_queue_sampler () =
 
 let tracer_records_lifecycle () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let tracer = Tracer.create () in
   let link =
-    Link.create sched ~name:"lnk" ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
+    mk_link ~capacity:1 sched pool ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
       ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:1)
-      ~deliver:ignore
+      ~deliver:(Pool.free pool)
   in
-  Tracer.attach tracer link;
+  Tracer.attach tracer pool link;
   (* First transmits, second queues, third drops. *)
-  List.iter (fun i -> Link.send link (mk_packet ~flow:i ~seq:i f)) [ 0; 1; 2 ];
+  List.iter (fun i -> Link.send link (mk_packet ~flow:i ~seq:i pool)) [ 0; 1; 2 ];
   Scheduler.run sched;
   let evs = Tracer.events tracer in
   let kinds = Array.to_list (Array.map (fun e -> e.Tracer.kind) evs) in
@@ -541,34 +648,34 @@ let tracer_records_lifecycle () =
 
 let tracer_per_flow_and_bytes () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let tracer = Tracer.create () in
   let link =
-    Link.create sched ~name:"lnk" ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:100)
-      ~deliver:ignore
+    mk_link sched pool ~bandwidth:(Units.mbps 10.) ~delay:(Time.of_ms 1.)
+      ~deliver:(Pool.free pool)
   in
-  Tracer.attach tracer link;
-  List.iter (fun fl -> Link.send link (mk_packet ~flow:fl f)) [ 0; 0; 1 ];
+  Tracer.attach tracer pool link;
+  List.iter (fun fl -> Link.send link (mk_packet ~flow:fl pool)) [ 0; 0; 1 ];
   Scheduler.run sched;
   let arrivals = Tracer.per_flow_counts tracer Tracer.Arrive in
   Alcotest.(check (option int)) "flow 0 twice" (Some 2) (Hashtbl.find_opt arrivals 0);
   Alcotest.(check (option int)) "flow 1 once" (Some 1) (Hashtbl.find_opt arrivals 1);
-  let bytes = Tracer.delivered_bytes_between tracer ~link:"lnk" 0. 10. in
+  let bytes = Tracer.delivered_bytes_between tracer ~link:"l" 0. 10. in
   Alcotest.(check int) "all bytes delivered" 3000 bytes
 
 let tracer_text_format () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let tracer = Tracer.create () in
   let link =
     Link.create sched ~name:"bottleneck" ~bandwidth:(Units.mbps 10.)
       ~delay:(Time.of_ms 1.)
       ~queue:(Queue_disc.droptail ~capacity:10)
-      ~deliver:ignore
+      ~pool
+      ~deliver:(Pool.free pool)
   in
-  Tracer.attach tracer link;
-  Link.send link (mk_packet ~flow:7 ~seq:42 f);
+  Tracer.attach tracer pool link;
+  Link.send link (mk_packet ~flow:7 ~seq:42 pool);
   Scheduler.run sched;
   let line = Format.asprintf "%a" Tracer.pp_event (Tracer.events tracer).(0) in
   Alcotest.(check bool) "has link name" true (Astring_like.contains line "bottleneck");
@@ -581,15 +688,14 @@ let tracer_attach_bus_matches_attach () =
      tracer must record the same trace either way. *)
   let record via =
     let sched = Scheduler.create () in
-    let f = Packet.factory () in
+    let pool = Pool.create () in
     let tracer = Tracer.create () in
     let link =
-      Link.create sched ~name:"lnk" ~bandwidth:(Units.kbps 8.) ~delay:(Time.of_ms 1.)
-        ~queue:(Queue_disc.droptail ~capacity:1)
-        ~deliver:ignore
+      mk_link ~capacity:1 sched pool ~bandwidth:(Units.kbps 8.) ~delay:(Time.of_ms 1.)
+        ~deliver:(Pool.free pool)
     in
-    via tracer link;
-    List.iter (fun i -> Link.send link (mk_packet ~flow:i ~seq:i f)) [ 0; 1; 2 ];
+    via tracer pool link;
+    List.iter (fun i -> Link.send link (mk_packet ~flow:i ~seq:i pool)) [ 0; 1; 2 ];
     Scheduler.run sched;
     Array.to_list
       (Array.map
@@ -598,7 +704,7 @@ let tracer_attach_bus_matches_attach () =
   in
   let direct = record Tracer.attach in
   let bused =
-    record (fun tracer link ->
+    record (fun tracer _pool link ->
         let bus = Telemetry.Event_bus.create () in
         Tracer.attach_bus tracer bus;
         Link.publish link bus;
@@ -612,15 +718,14 @@ let tracer_attach_bus_matches_attach () =
 
 let link_queue_high_water_mark () =
   let sched = Scheduler.create () in
-  let f = Packet.factory () in
+  let pool = Pool.create () in
   let link =
-    Link.create sched ~name:"l" ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
+    mk_link sched pool ~bandwidth:(Units.kbps 8.) (* 1 s per 1000 B *)
       ~delay:(Time.of_ms 1.)
-      ~queue:(Queue_disc.droptail ~capacity:10)
-      ~deliver:ignore
+      ~deliver:(Pool.free pool)
   in
   (* One transmits immediately; the other three peak the queue at 3. *)
-  List.iter (fun _ -> Link.send link (mk_packet f)) [ 1; 2; 3; 4 ];
+  List.iter (fun _ -> Link.send link (mk_packet pool)) [ 1; 2; 3; 4 ];
   Scheduler.run sched;
   Alcotest.(check int) "drained" 0 (Link.queue_length link);
   Alcotest.(check int) "peak was 3" 3 (Link.queue_high_water_mark link)
@@ -633,20 +738,25 @@ let sfq_conservation_property =
     QCheck.(pair (int_bound 50) (small_list (pair (int_bound 7) bool)))
     (fun (cap, ops) ->
       QCheck.assume (cap >= 1);
-      let f = Packet.factory () in
-      let q = Sfq.create ~buckets:4 ~capacity:cap () in
+      let pool = Pool.create () in
+      let q = Sfq.create ~buckets:4 ~pool ~capacity:cap () in
       let enqueued = ref 0 and evicted = ref 0 and dequeued = ref 0 in
       List.iter
         (fun (flow, push) ->
           if push then
-            match Sfq.enqueue q (mk_packet ~flow f) with
+            match Sfq.enqueue q (mk_packet ~flow pool) with
             | `Enqueued -> incr enqueued
             | `Dropped -> ()
             | `Enqueued_dropping _ ->
                 incr enqueued;
                 incr evicted
-          else
-            match Sfq.dequeue q with Some _ -> incr dequeued | None -> ())
+          else begin
+            let h = Sfq.dequeue q in
+            if not (Pool.is_nil h) then begin
+              Pool.free pool h;
+              incr dequeued
+            end
+          end)
         ops;
       Sfq.length q = !enqueued - !evicted - !dequeued && Sfq.length q <= cap)
 
@@ -654,20 +764,45 @@ let red_capacity_property =
   QCheck.Test.make ~name:"red never exceeds capacity" ~count:100
     QCheck.(pair (int_range 1 20) (small_list bool))
     (fun (cap, ops) ->
-      let f = Packet.factory () in
+      let pool = Pool.create () in
       let rng = Rng.create ~seed:77L in
-      let q = Red.create ~rng (red_params cap) in
+      let q = Red.create ~rng ~pool (red_params cap) in
       List.for_all
         (fun push ->
           if push then begin
-            ignore (Red.enqueue q ~now:Time.zero (mk_packet f));
+            ignore (Red.enqueue q ~now:Time.zero (mk_packet pool));
             Red.length q <= cap
           end
           else begin
-            ignore (Red.dequeue q ~now:Time.zero);
+            let h = Red.dequeue q ~now:Time.zero in
+            if not (Pool.is_nil h) then Pool.free pool h;
             true
           end)
         ops)
+
+let pool_handle_roundtrip_property =
+  QCheck.Test.make ~name:"pool free/realloc never aliases" ~count:200
+    QCheck.(small_list bool)
+    (fun ops ->
+      let pool = Pool.create ~capacity:2 () in
+      let live = ref [] in
+      let next_seq = ref 0 in
+      List.iter
+        (fun push ->
+          if push then begin
+            incr next_seq;
+            live := (mk_packet ~seq:!next_seq pool, !next_seq) :: !live
+          end
+          else
+            match !live with
+            | [] -> ()
+            | (h, _) :: rest ->
+                Pool.free pool h;
+                live := rest)
+        ops;
+      (* Every surviving handle still reads its own packet's fields. *)
+      List.for_all (fun (h, seq) -> Pool.seq pool h = seq) !live
+      && Pool.live pool = List.length !live)
 
 let suite =
   [
@@ -676,10 +811,15 @@ let suite =
         Alcotest.test_case "transmission time" `Quick units_transmission_time;
         Alcotest.test_case "invalid bandwidth" `Quick units_invalid;
       ] );
-    ( "net.packet",
+    ( "net.pool",
       [
-        Alcotest.test_case "unique uids" `Quick packet_uids_unique;
-        Alcotest.test_case "classifiers" `Quick packet_classifiers;
+        Alcotest.test_case "unique uids" `Quick pool_uids_unique;
+        Alcotest.test_case "classifiers" `Quick pool_classifiers;
+        Alcotest.test_case "stale handle raises" `Quick pool_stale_handle_raises;
+        Alcotest.test_case "recycled slot does not alias" `Quick
+          pool_recycled_slot_does_not_alias;
+        Alcotest.test_case "live accounting" `Quick pool_accounting;
+        Alcotest.test_case "sack side table" `Quick pool_sack_side_table;
       ] );
     ( "net.droptail",
       [
@@ -714,6 +854,7 @@ let suite =
         Alcotest.test_case "drops and counters" `Quick link_drops_and_counters;
         Alcotest.test_case "listeners" `Quick link_listeners_fire;
         Alcotest.test_case "queue high-water mark" `Quick link_queue_high_water_mark;
+        Alcotest.test_case "reclaim drains pool" `Quick link_reclaim_drains_pool;
       ] );
     ( "net.router",
       [
@@ -735,6 +876,7 @@ let suite =
       [
         QCheck_alcotest.to_alcotest sfq_conservation_property;
         QCheck_alcotest.to_alcotest red_capacity_property;
+        QCheck_alcotest.to_alcotest pool_handle_roundtrip_property;
       ] );
     ( "net.monitor",
       [

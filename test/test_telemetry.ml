@@ -461,6 +461,73 @@ let report_validate_rejects () =
         Report.required_fields
   | _ -> Alcotest.fail "report is not an object"
 
+let alloc_row ?(wpe = 5.8) ?(threshold = 6.0) ?(leak_free = true) () =
+  Json.Obj
+    [
+      ("scenario", Json.String "Reno");
+      ("clients", Json.Int 50);
+      ("events", Json.Int 1000);
+      ("wall_s", Json.Float 0.1);
+      ("events_per_sec", Json.Float 1e4);
+      ("minor_words_per_event", Json.Float wpe);
+      ("promoted_words_per_event", Json.Float 0.02);
+      ("major_collections", Json.Int 0);
+      ("threshold_minor_words_per_event", Json.Float threshold);
+      ("min_events_per_sec", Json.Null);
+      ("leak_free", Json.Bool leak_free);
+    ]
+
+let alloc_doc rows =
+  Json.Obj
+    [
+      ("clients", Json.Int 50);
+      ("duration_s", Json.Float 30.);
+      ("reps", Json.Int 3);
+      ("baseline_minor_words_per_event", Json.Float 30.48);
+      ("baseline_events_per_sec", Json.Float 1.3e6);
+      ("rows", Json.List rows);
+    ]
+
+let report_validate_alloc_accepts () =
+  match Report.validate_alloc (alloc_doc [ alloc_row () ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a well-formed alloc report: %s" e
+
+let report_validate_alloc_rejects () =
+  let expect_error name doc needle =
+    match Report.validate_alloc doc with
+    | Ok () -> Alcotest.failf "accepted %s" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error mentions %s (got: %s)" name needle msg)
+          true
+          (Astring_like.contains msg needle)
+  in
+  expect_error "a non-object" (Json.String "nope") "not a JSON object";
+  expect_error "empty rows" (alloc_doc []) "rows is empty";
+  expect_error "over-budget row"
+    (alloc_doc [ alloc_row ~wpe:6.5 () ])
+    "exceeds threshold";
+  expect_error "leaking row"
+    (alloc_doc [ alloc_row ~leak_free:false () ])
+    "leak_free is false";
+  (* One bad row fails the whole document even next to good ones. *)
+  expect_error "mixed rows"
+    (alloc_doc [ alloc_row (); alloc_row ~wpe:9.9 () ])
+    "exceeds threshold";
+  match alloc_doc [ alloc_row () ] with
+  | Json.Obj fields ->
+      List.iter
+        (fun required ->
+          let mutilated = Json.Obj (List.remove_assoc required fields) in
+          match Report.validate_alloc mutilated with
+          | Ok () -> Alcotest.failf "accepted alloc report without %s" required
+          | Error msg ->
+              Alcotest.(check bool) "error names the field" true
+                (Astring_like.contains msg required))
+        Report.alloc_required_fields
+  | _ -> Alcotest.fail "alloc doc is not an object"
+
 (* ------------------------------------------------------------------ *)
 (* Probe + Run integration *)
 
@@ -563,6 +630,8 @@ let suite =
       [
         Alcotest.test_case "of_probe validates" `Quick report_of_probe_validates;
         Alcotest.test_case "validate rejects" `Quick report_validate_rejects;
+        Alcotest.test_case "alloc schema accepts" `Quick report_validate_alloc_accepts;
+        Alcotest.test_case "alloc schema rejects" `Quick report_validate_alloc_rejects;
       ] );
     ( "telemetry.integration",
       [

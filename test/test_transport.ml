@@ -4,7 +4,7 @@
 module Time = Sim_engine.Time
 module Scheduler = Sim_engine.Scheduler
 module Rng = Sim_engine.Rng
-module Packet = Netsim.Packet
+module Pool = Netsim.Packet_pool
 open Transport
 
 let check_float = Alcotest.(check (float 1e-9))
@@ -63,11 +63,38 @@ let rto_min_clamp () =
   done;
   check_float "min rto" 1.0 (Rto.rto r)
 
+let rto_ns_api_matches_float_api () =
+  (* The integer-ns entry points are the hot-path versions of observe/rto;
+     they must track the float API tick for tick. *)
+  let a = Rto.create Rto.default_params in
+  let b = Rto.create Rto.default_params in
+  List.iter
+    (fun ns ->
+      Rto.observe a (float_of_int ns *. 1e-9);
+      Rto.observe_ns b ns)
+    [ 949_000_000; 1_000_000_000; 213_000_000; 3_700_000_000 ];
+  check_float "same srtt" (Option.get (Rto.srtt a)) (Option.get (Rto.srtt b));
+  check_float "same rttvar" (Option.get (Rto.rttvar a)) (Option.get (Rto.rttvar b));
+  Alcotest.(check int) "rto_ns = of_sec (rto)"
+    (Time.to_ns (Time.of_sec (Rto.rto a)))
+    (Rto.rto_ns b);
+  Rto.backoff b;
+  let c = Rto.create Rto.default_params in
+  Alcotest.(check int) "initial rto_ns"
+    (Time.to_ns (Time.of_sec (Rto.rto c)))
+    (Rto.rto_ns c)
+
 (* ------------------------------------------------------------------ *)
 (* Congestion-control variants (driven directly) *)
 
-let info ?(ack = 1) ?(newly = 1) ?rtt ?(flight = 1) ?(now = 0.) () =
-  { Cc.ack; newly_acked = newly; rtt_sample = rtt; flight_before = flight; now }
+let info ?(ack = 1) ?(newly = 1) ?rtt ?(flight = 1) () =
+  {
+    Cc.ack;
+    newly_acked = newly;
+    rtt_ns =
+      (match rtt with Some s -> int_of_float (s *. 1e9) | None -> -1);
+    flight_before = flight;
+  }
 
 let reno_slow_start_then_avoidance () =
   let h = Reno.handle ~initial_ssthresh:4. ~max_window:100. in
@@ -172,15 +199,15 @@ let vegas_rejects_bad_params () =
 
 type harness = {
   sched : Scheduler.t;
-  factory : Packet.factory;
+  pool : Pool.t;
   sender : Tcp_sender.t;
-  outbox : Packet.t list ref;
+  outbox : Pool.handle list ref;
 }
 
 let make_harness ?(cc = `Reno) ?(adv_window = 64) ?(cwnd_validation = false)
-    ?(limited_transmit = false) ?(pacing = false) () =
+    ?(limited_transmit = false) ?(pacing = false) ?(trace_cwnd = false) () =
   let sched = Scheduler.create () in
-  let factory = Packet.factory () in
+  let pool = Pool.create () in
   let outbox = ref [] in
   let adv = float_of_int adv_window in
   let cc =
@@ -190,26 +217,34 @@ let make_harness ?(cc = `Reno) ?(adv_window = 64) ?(cwnd_validation = false)
     | `Newreno -> Newreno.handle ~initial_ssthresh:adv ~max_window:adv
   in
   let sender =
-    Tcp_sender.create ~cwnd_validation ~limited_transmit ~pacing sched ~factory ~cc
-      ~rto_params:Rto.default_params ~flow:0 ~src:1 ~dst:0 ~mss_bytes:1000
-      ~adv_window
+    Tcp_sender.create ~cwnd_validation ~limited_transmit ~pacing ~trace_cwnd sched
+      ~pool ~cc ~rto_params:Rto.default_params ~flow:0 ~src:1 ~dst:0
+      ~mss_bytes:1000 ~adv_window
       ~transmit:(fun p -> outbox := p :: !outbox)
   in
-  { sched; factory; sender; outbox }
+  { sched; pool; sender; outbox }
 
-let sent_seqs h = List.rev_map (fun p -> Option.get (Packet.seq p)) !(h.outbox)
+let sent_seqs h = List.rev_map (Pool.seq h.pool) !(h.outbox)
 
+(* Drain the outbox, returning (seq, is_retransmit) in send order; the
+   handles are freed (the harness is the network, and the network is done
+   with them once the test has looked). *)
 let take_outbox h =
   let out = List.rev !(h.outbox) in
   h.outbox := [];
-  out
+  let described =
+    List.map (fun p -> (Pool.seq h.pool p, Pool.is_retransmit h.pool p)) out
+  in
+  List.iter (Pool.free h.pool) out;
+  described
 
 let ack h n =
   let p =
-    Packet.make h.factory ~flow:0 ~src:0 ~dst:1 ~size_bytes:40
-      ~sent_at:(Scheduler.now h.sched) (Packet.Tcp_ack { ack = n; ece = false; sack = [] })
+    Pool.alloc_ack h.pool ~flow:0 ~src:0 ~dst:1 ~size_bytes:40
+      ~sent_at:(Scheduler.now h.sched) ~ack:n ~ece:false ~sack:[] ()
   in
-  Tcp_sender.handle_packet h.sender p
+  Tcp_sender.handle_packet h.sender p;
+  Pool.free h.pool p
 
 let advance h dt = Scheduler.run ~until:(Time.add (Scheduler.now h.sched) (Time.of_sec dt)) h.sched
 
@@ -227,7 +262,7 @@ let sender_slow_start_doubling () =
   advance h 0.1;
   ack h 1;
   (* cwnd 2: sends 1 and 2 *)
-  Alcotest.(check (list int)) "two more" [ 1; 2 ] (List.map (fun p -> Option.get (Packet.seq p)) (take_outbox h));
+  Alcotest.(check (list int)) "two more" [ 1; 2 ] (List.map fst (take_outbox h));
   advance h 0.1;
   ack h 3;
   (* cwnd 4: sends 3,4,5,6 *)
@@ -262,7 +297,7 @@ let sender_fast_retransmit_on_three_dupacks () =
   ack h 3;
   let out = take_outbox h in
   Alcotest.(check bool) "retransmitted head" true
-    (List.exists (fun p -> Packet.seq p = Some 3 && Packet.is_retransmit p) out);
+    (List.exists (fun (seq, rtx) -> seq = 3 && rtx) out);
   Alcotest.(check bool) "in recovery" true (Tcp_sender.in_recovery h.sender);
   let st = Tcp_sender.stats h.sender in
   Alcotest.(check int) "fast rtx counted" 1 st.Tcp_stats.fast_retransmits;
@@ -283,7 +318,7 @@ let sender_timeout_and_backoff () =
   let st = Tcp_sender.stats h.sender in
   Alcotest.(check int) "one timeout" 1 st.Tcp_stats.timeouts;
   Alcotest.(check bool) "head retransmitted" true
-    (List.exists (fun p -> Packet.seq p = Some 0 && Packet.is_retransmit p) (take_outbox h));
+    (List.exists (fun (seq, rtx) -> seq = 0 && rtx) (take_outbox h));
   check_float "cwnd collapsed" 1. (Tcp_sender.cwnd h.sender);
   (* Backed-off timer: next expiry ~6 s later. *)
   advance h 5.;
@@ -340,19 +375,28 @@ let sender_tahoe_no_recovery_state () =
   Alcotest.(check int) "fast rtx counted" 1 (Tcp_sender.stats h.sender).Tcp_stats.fast_retransmits
 
 let sender_cwnd_trace_records () =
-  let h = make_harness () in
+  let h = make_harness ~trace_cwnd:true () in
   Tcp_sender.write h.sender 10;
   advance h 0.1;
   ack h 1;
   Alcotest.(check bool) "trace non-empty" true
     (Netstats.Series.length (Tcp_sender.cwnd_trace h.sender) >= 2)
 
+let sender_cwnd_trace_off_by_default () =
+  let h = make_harness () in
+  Tcp_sender.write h.sender 10;
+  advance h 0.1;
+  ack h 1;
+  Alcotest.(check int) "no trace unless requested" 0
+    (Netstats.Series.length (Tcp_sender.cwnd_trace h.sender))
+
 let ack_ece h n =
   let p =
-    Packet.make h.factory ~flow:0 ~src:0 ~dst:1 ~size_bytes:40
-      ~sent_at:(Scheduler.now h.sched) (Packet.Tcp_ack { ack = n; ece = true; sack = [] })
+    Pool.alloc_ack h.pool ~flow:0 ~src:0 ~dst:1 ~size_bytes:40
+      ~sent_at:(Scheduler.now h.sched) ~ack:n ~ece:true ~sack:[] ()
   in
-  Tcp_sender.handle_packet h.sender p
+  Tcp_sender.handle_packet h.sender p;
+  Pool.free h.pool p
 
 let sender_ece_halves_once_per_rtt () =
   let h = make_harness () in
@@ -452,24 +496,25 @@ let sender_pacing_spreads_window () =
 let loop_pacing_transfer_completes () =
   (* End-to-end sanity: a paced sender still completes a transfer. *)
   let lsched = Scheduler.create () in
-  let factory = Packet.factory () in
+  let pool = Pool.create () in
   let receiver_cell = ref None and sender_cell = ref None in
   let wire target p =
     ignore
       (Scheduler.after lsched (Time.of_sec 0.05) (fun () ->
-           match target with
+           (match target with
            | `R -> Tcp_receiver.handle_packet (Option.get !receiver_cell) p
-           | `S -> Tcp_sender.handle_packet (Option.get !sender_cell) p))
+           | `S -> Tcp_sender.handle_packet (Option.get !sender_cell) p);
+           Pool.free pool p))
   in
   let sender =
-    Tcp_sender.create ~pacing:true lsched ~factory
+    Tcp_sender.create ~pacing:true lsched ~pool
       ~cc:(Reno.handle ~initial_ssthresh:64. ~max_window:64.)
       ~rto_params:Rto.default_params ~flow:0 ~src:1 ~dst:0 ~mss_bytes:1000
       ~adv_window:64
       ~transmit:(fun p -> wire `R p)
   in
   let receiver =
-    Tcp_receiver.create lsched ~factory ~flow:0 ~src:0 ~dst:1 ~ack_bytes:40
+    Tcp_receiver.create lsched ~pool ~flow:0 ~src:0 ~dst:1 ~ack_bytes:40
       ~delayed_ack:false
       ~transmit:(fun p -> wire `S p)
   in
@@ -484,68 +529,73 @@ let loop_pacing_transfer_completes () =
 
 type rharness = {
   rsched : Scheduler.t;
-  rfactory : Packet.factory;
+  rpool : Pool.t;
   receiver : Tcp_receiver.t;
-  acks : Packet.t list ref;
+  acks : Pool.handle list ref;
 }
 
 let make_receiver ?(delayed_ack = false) ?(sack = false) () =
   let rsched = Scheduler.create () in
-  let rfactory = Packet.factory () in
+  let rpool = Pool.create () in
   let acks = ref [] in
   let receiver =
-    Tcp_receiver.create ~sack rsched ~factory:rfactory ~flow:0 ~src:0 ~dst:1
+    Tcp_receiver.create ~sack rsched ~pool:rpool ~flow:0 ~src:0 ~dst:1
       ~ack_bytes:40 ~delayed_ack
       ~transmit:(fun p -> acks := p :: !acks)
   in
-  { rsched; rfactory; receiver; acks }
+  { rsched; rpool; receiver; acks }
 
 let data rh seq =
-  Packet.make rh.rfactory ~flow:0 ~src:1 ~dst:0 ~size_bytes:1000
-    ~sent_at:(Scheduler.now rh.rsched)
-    (Packet.Tcp_data { seq; is_retransmit = false })
+  Pool.alloc_data rh.rpool ~flow:0 ~src:1 ~dst:0 ~size_bytes:1000
+    ~sent_at:(Scheduler.now rh.rsched) ~seq ~is_retransmit:false ()
+
+(* Feed a data segment and free it afterwards (handle_packet reads only). *)
+let recv rh seq =
+  let p = data rh seq in
+  Tcp_receiver.handle_packet rh.receiver p;
+  Pool.free rh.rpool p
 
 let ack_values rh =
   List.rev_map
     (fun p ->
-      match p.Packet.payload with Packet.Tcp_ack { ack; _ } -> ack | _ -> -1)
+      if Pool.kind rh.rpool p = Pool.Tcp_ack then Pool.ack rh.rpool p else -1)
     !(rh.acks)
 
 let receiver_in_order () =
   let rh = make_receiver () in
-  List.iter (fun s -> Tcp_receiver.handle_packet rh.receiver (data rh s)) [ 0; 1; 2 ];
+  List.iter (recv rh) [ 0; 1; 2 ];
   Alcotest.(check int) "delivered" 3 (Tcp_receiver.delivered rh.receiver);
   Alcotest.(check (list int)) "cumulative acks" [ 1; 2; 3 ] (ack_values rh)
 
 let receiver_out_of_order_dup_acks () =
   let rh = make_receiver () in
-  List.iter (fun s -> Tcp_receiver.handle_packet rh.receiver (data rh s)) [ 0; 2; 3; 4 ];
+  List.iter (recv rh) [ 0; 2; 3; 4 ];
   (* 2,3,4 out of order: each produces a duplicate ACK of 1. *)
   Alcotest.(check (list int)) "dup acks" [ 1; 1; 1; 1 ] (ack_values rh);
   Alcotest.(check int) "only seq 0 delivered" 1 (Tcp_receiver.delivered rh.receiver);
   (* Filling the hole delivers everything buffered. *)
-  Tcp_receiver.handle_packet rh.receiver (data rh 1);
+  recv rh 1;
   Alcotest.(check int) "all delivered" 5 (Tcp_receiver.delivered rh.receiver);
   Alcotest.(check (list int)) "jump ack" [ 1; 1; 1; 1; 5 ] (ack_values rh)
 
 let receiver_duplicate_data () =
   let rh = make_receiver () in
-  Tcp_receiver.handle_packet rh.receiver (data rh 0);
-  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  recv rh 0;
+  recv rh 0;
   Alcotest.(check int) "delivered once" 1 (Tcp_receiver.delivered rh.receiver);
   Alcotest.(check int) "dup discarded" 1 (Tcp_receiver.duplicates_discarded rh.receiver);
   Alcotest.(check (list int)) "re-ack" [ 1; 1 ] (ack_values rh)
 
 let receiver_delayed_ack_every_second () =
   let rh = make_receiver ~delayed_ack:true () in
-  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  recv rh 0;
   Alcotest.(check int) "first held" 0 (List.length !(rh.acks));
-  Tcp_receiver.handle_packet rh.receiver (data rh 1);
+  recv rh 1;
   Alcotest.(check (list int)) "acked on second" [ 2 ] (ack_values rh)
 
 let receiver_delayed_ack_timer () =
   let rh = make_receiver ~delayed_ack:true () in
-  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  recv rh 0;
   Scheduler.run ~until:(Time.of_sec 0.1) rh.rsched;
   Alcotest.(check int) "still held at 100ms" 0 (List.length !(rh.acks));
   Scheduler.run ~until:(Time.of_sec 0.25) rh.rsched;
@@ -553,47 +603,47 @@ let receiver_delayed_ack_timer () =
 
 let last_sack rh =
   match !(rh.acks) with
-  | p :: _ -> (
-      match p.Packet.payload with Packet.Tcp_ack { sack; _ } -> sack | _ -> [])
-  | [] -> []
+  | p :: _ when Pool.kind rh.rpool p = Pool.Tcp_ack -> Pool.sack rh.rpool p
+  | _ -> []
 
 let receiver_sack_blocks () =
   let rh = make_receiver ~sack:true () in
   (* Receive 0, then 2,3, then 6: two out-of-order blocks. *)
-  Tcp_receiver.handle_packet rh.receiver (data rh 0);
+  recv rh 0;
   Alcotest.(check (list (pair int int))) "no blocks in order" [] (last_sack rh);
-  Tcp_receiver.handle_packet rh.receiver (data rh 2);
-  Tcp_receiver.handle_packet rh.receiver (data rh 3);
+  recv rh 2;
+  recv rh 3;
   Alcotest.(check (list (pair int int))) "one block" [ (2, 4) ] (last_sack rh);
-  Tcp_receiver.handle_packet rh.receiver (data rh 6);
+  recv rh 6;
   Alcotest.(check (list (pair int int))) "two blocks" [ (2, 4); (6, 7) ] (last_sack rh);
   (* Filling the first hole merges and shrinks the report. *)
-  Tcp_receiver.handle_packet rh.receiver (data rh 1);
+  recv rh 1;
   Alcotest.(check (list (pair int int))) "remaining block" [ (6, 7) ] (last_sack rh)
 
 let receiver_no_sack_blocks_when_disabled () =
   let rh = make_receiver () in
-  Tcp_receiver.handle_packet rh.receiver (data rh 3);
+  recv rh 3;
   Alcotest.(check (list (pair int int))) "empty" [] (last_sack rh)
 
 let receiver_echoes_ce_as_ece () =
   let rh = make_receiver () in
   let p = data rh 0 in
-  p.Packet.ecn_ce <- true;
+  Pool.set_ecn_ce rh.rpool p;
   Tcp_receiver.handle_packet rh.receiver p;
+  Pool.free rh.rpool p;
   (* The ACK for the marked segment carries ECE; the next one does not. *)
-  Tcp_receiver.handle_packet rh.receiver (data rh 1);
+  recv rh 1;
   let eces =
     List.rev_map
       (fun p ->
-        match p.Packet.payload with Packet.Tcp_ack { ece; _ } -> ece | _ -> false)
+        Pool.kind rh.rpool p = Pool.Tcp_ack && Pool.ece rh.rpool p)
       !(rh.acks)
   in
   Alcotest.(check (list bool)) "ece once" [ true; false ] eces
 
 let receiver_delayed_ack_ooo_immediate () =
   let rh = make_receiver ~delayed_ack:true () in
-  Tcp_receiver.handle_packet rh.receiver (data rh 3);
+  recv rh 3;
   Alcotest.(check (list int)) "immediate dup ack" [ 0 ] (ack_values rh)
 
 (* ------------------------------------------------------------------ *)
@@ -601,24 +651,28 @@ let receiver_delayed_ack_ooo_immediate () =
 
 type loop = {
   lsched : Scheduler.t;
+  lpool : Pool.t;
   lsender : Tcp_sender.t;
   lreceiver : Tcp_receiver.t;
   data_sent : int ref;
 }
 
 (* Wire both directions with a fixed one-way delay; [drop] decides data
-   packet loss (by uid). ACKs are never dropped. *)
+   packet loss (given the pool and the handle). ACKs are never dropped.
+   The wire owns every packet in flight: it frees after the far end has
+   read it, and a dropped packet is freed on the spot. *)
 let make_loop ?(cc = `Reno) ?(delay = 0.05) ~drop () =
   let lsched = Scheduler.create () in
-  let factory = Packet.factory () in
+  let lpool = Pool.create () in
   let data_sent = ref 0 in
   let receiver_cell = ref None and sender_cell = ref None in
   let wire target p =
     ignore
       (Scheduler.after lsched (Time.of_sec delay) (fun () ->
-           match target with
+           (match target with
            | `To_receiver -> Tcp_receiver.handle_packet (Option.get !receiver_cell) p
-           | `To_sender -> Tcp_sender.handle_packet (Option.get !sender_cell) p))
+           | `To_sender -> Tcp_sender.handle_packet (Option.get !sender_cell) p);
+           Pool.free lpool p))
   in
   let adv = 64. in
   let cc =
@@ -629,40 +683,47 @@ let make_loop ?(cc = `Reno) ?(delay = 0.05) ~drop () =
     | `Vegas -> Vegas.handle ~initial_ssthresh:adv ~max_window:adv ()
   in
   let lsender =
-    Tcp_sender.create lsched ~factory ~cc ~rto_params:Rto.default_params ~flow:0
+    Tcp_sender.create lsched ~pool:lpool ~cc ~rto_params:Rto.default_params ~flow:0
       ~src:1 ~dst:0 ~mss_bytes:1000 ~adv_window:64
       ~transmit:(fun p ->
         incr data_sent;
-        if not (drop p) then wire `To_receiver p)
+        if drop lpool p then Pool.free lpool p else wire `To_receiver p)
   in
   let lreceiver =
-    Tcp_receiver.create lsched ~factory ~flow:0 ~src:0 ~dst:1 ~ack_bytes:40
+    Tcp_receiver.create lsched ~pool:lpool ~flow:0 ~src:0 ~dst:1 ~ack_bytes:40
       ~delayed_ack:false
       ~transmit:(fun p -> wire `To_sender p)
   in
   sender_cell := Some lsender;
   receiver_cell := Some lreceiver;
-  { lsched; lsender; lreceiver; data_sent }
+  { lsched; lpool; lsender; lreceiver; data_sent }
 
 let loop_lossless_transfer () =
-  let l = make_loop ~drop:(fun _ -> false) () in
+  let l = make_loop ~drop:(fun _ _ -> false) () in
   Tcp_sender.write l.lsender 200;
   Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
   Alcotest.(check int) "all delivered" 200 (Tcp_receiver.delivered l.lreceiver);
   Alcotest.(check int) "no retransmits" 0 (Tcp_sender.stats l.lsender).Tcp_stats.retransmits;
-  Alcotest.(check int) "no timeouts" 0 (Tcp_sender.stats l.lsender).Tcp_stats.timeouts
+  Alcotest.(check int) "no timeouts" 0 (Tcp_sender.stats l.lsender).Tcp_stats.timeouts;
+  Alcotest.(check int) "wire leaked nothing" 0 (Pool.live l.lpool)
+
+(* Drop the first transmission of [seq] only. *)
+let drop_first_transmission_of seq =
+  let dropped = ref false in
+  fun pool p ->
+    if
+      (not !dropped)
+      && Pool.kind pool p = Pool.Tcp_data
+      && Pool.seq pool p = seq
+      && not (Pool.is_retransmit pool p)
+    then begin
+      dropped := true;
+      true
+    end
+    else false
 
 let loop_single_loss_fast_retransmit () =
-  let dropped = ref false in
-  (* Drop the first transmission of seq 10 only. *)
-  let drop p =
-    match p.Packet.payload with
-    | Packet.Tcp_data { seq = 10; is_retransmit = false } when not !dropped ->
-        dropped := true;
-        true
-    | _ -> false
-  in
-  let l = make_loop ~drop () in
+  let l = make_loop ~drop:(drop_first_transmission_of 10) () in
   Tcp_sender.write l.lsender 100;
   Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
   Alcotest.(check int) "all delivered despite loss" 100 (Tcp_receiver.delivered l.lreceiver);
@@ -673,15 +734,7 @@ let loop_single_loss_fast_retransmit () =
 let loop_loss_of_last_segment_needs_timeout () =
   (* The final segment has no successors to generate dup ACKs: only the
      retransmission timer can recover it. *)
-  let dropped = ref false in
-  let drop p =
-    match p.Packet.payload with
-    | Packet.Tcp_data { seq = 4; is_retransmit = false } when not !dropped ->
-        dropped := true;
-        true
-    | _ -> false
-  in
-  let l = make_loop ~drop () in
+  let l = make_loop ~drop:(drop_first_transmission_of 4) () in
   Tcp_sender.write l.lsender 5;
   Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
   Alcotest.(check int) "all delivered" 5 (Tcp_receiver.delivered l.lreceiver);
@@ -690,7 +743,7 @@ let loop_loss_of_last_segment_needs_timeout () =
 
 let loop_random_loss_property ~cc ~seed ~loss_rate ~count () =
   let rng = Rng.create ~seed in
-  let drop p = Packet.is_data p && Rng.bool rng loss_rate in
+  let drop pool p = Pool.is_data pool p && Rng.bool rng loss_rate in
   let l = make_loop ~cc ~drop () in
   Tcp_sender.write l.lsender count;
   Scheduler.run ~until:(Time.of_sec 2000.) l.lsched;
@@ -699,7 +752,8 @@ let loop_random_loss_property ~cc ~seed ~loss_rate ~count () =
     count
     (Tcp_receiver.delivered l.lreceiver);
   Alcotest.(check bool) "loss caused retransmits" true
-    ((Tcp_sender.stats l.lsender).Tcp_stats.retransmits > 0)
+    ((Tcp_sender.stats l.lsender).Tcp_stats.retransmits > 0);
+  Alcotest.(check int) "wire leaked nothing" 0 (Pool.live l.lpool)
 
 let loop_reno_random_loss () =
   loop_random_loss_property ~cc:`Reno ~seed:101L ~loss_rate:0.05 ~count:500 ()
@@ -722,46 +776,51 @@ let loop_heavy_loss_still_completes () =
 (* Like make_loop but with SACK enabled on both ends. *)
 let make_sack_loop ?(delay = 0.05) ~drop () =
   let lsched = Scheduler.create () in
-  let factory = Packet.factory () in
+  let lpool = Pool.create () in
   let data_sent = ref 0 in
   let receiver_cell = ref None and sender_cell = ref None in
   let wire target p =
     ignore
       (Scheduler.after lsched (Time.of_sec delay) (fun () ->
-           match target with
+           (match target with
            | `To_receiver -> Tcp_receiver.handle_packet (Option.get !receiver_cell) p
-           | `To_sender -> Tcp_sender.handle_packet (Option.get !sender_cell) p))
+           | `To_sender -> Tcp_sender.handle_packet (Option.get !sender_cell) p);
+           Pool.free lpool p))
   in
   let cc = Sack_cc.handle ~initial_ssthresh:64. ~max_window:64. in
   let lsender =
-    Tcp_sender.create ~sack:true lsched ~factory ~cc ~rto_params:Rto.default_params
+    Tcp_sender.create ~sack:true lsched ~pool:lpool ~cc ~rto_params:Rto.default_params
       ~flow:0 ~src:1 ~dst:0 ~mss_bytes:1000 ~adv_window:64
       ~transmit:(fun p ->
         incr data_sent;
-        if not (drop p) then wire `To_receiver p)
+        if drop lpool p then Pool.free lpool p else wire `To_receiver p)
   in
   let lreceiver =
-    Tcp_receiver.create ~sack:true lsched ~factory ~flow:0 ~src:0 ~dst:1
+    Tcp_receiver.create ~sack:true lsched ~pool:lpool ~flow:0 ~src:0 ~dst:1
       ~ack_bytes:40 ~delayed_ack:false
       ~transmit:(fun p -> wire `To_sender p)
   in
   sender_cell := Some lsender;
   receiver_cell := Some lreceiver;
-  { lsched; lsender; lreceiver; data_sent }
+  { lsched; lpool; lsender; lreceiver; data_sent }
+
+(* Drop the first transmission of each sequence number in [seqs]. *)
+let drop_first_transmissions seqs =
+  let dropped = Hashtbl.create 4 in
+  fun pool p ->
+    let seq = if Pool.kind pool p = Pool.Tcp_data then Pool.seq pool p else -1 in
+    if List.mem seq seqs && (not (Pool.is_retransmit pool p))
+       && not (Hashtbl.mem dropped seq)
+    then begin
+      Hashtbl.replace dropped seq ();
+      true
+    end
+    else false
 
 let sack_recovers_multiple_losses_without_timeout () =
   (* Drop three segments of one window. Reno would need timeouts; SACK's
      scoreboard retransmits all three holes inside one recovery. *)
-  let dropped = Hashtbl.create 4 in
-  let drop p =
-    match p.Packet.payload with
-    | Packet.Tcp_data { seq = (10 | 12 | 14) as seq; is_retransmit = false }
-      when not (Hashtbl.mem dropped seq) ->
-        Hashtbl.replace dropped seq ();
-        true
-    | _ -> false
-  in
-  let l = make_sack_loop ~drop () in
+  let l = make_sack_loop ~drop:(drop_first_transmissions [ 10; 12; 14 ]) () in
   Tcp_sender.write l.lsender 100;
   Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
   Alcotest.(check int) "all delivered" 100 (Tcp_receiver.delivered l.lreceiver);
@@ -771,16 +830,7 @@ let sack_recovers_multiple_losses_without_timeout () =
 
 let reno_same_losses_needs_timeout () =
   (* The contrast case for the test above, same drop pattern under Reno. *)
-  let dropped = Hashtbl.create 4 in
-  let drop p =
-    match p.Packet.payload with
-    | Packet.Tcp_data { seq = (10 | 12 | 14) as seq; is_retransmit = false }
-      when not (Hashtbl.mem dropped seq) ->
-        Hashtbl.replace dropped seq ();
-        true
-    | _ -> false
-  in
-  let l = make_loop ~cc:`Reno ~drop () in
+  let l = make_loop ~cc:`Reno ~drop:(drop_first_transmissions [ 10; 12; 14 ]) () in
   Tcp_sender.write l.lsender 100;
   Scheduler.run ~until:(Time.of_sec 60.) l.lsched;
   Alcotest.(check int) "still completes" 100 (Tcp_receiver.delivered l.lreceiver);
@@ -790,7 +840,7 @@ let reno_same_losses_needs_timeout () =
 
 let sack_random_loss_completes () =
   let rng = Rng.create ~seed:106L in
-  let drop p = Packet.is_data p && Rng.bool rng 0.1 in
+  let drop pool p = Pool.is_data pool p && Rng.bool rng 0.1 in
   let l = make_sack_loop ~drop () in
   Tcp_sender.write l.lsender 500;
   Scheduler.run ~until:(Time.of_sec 2000.) l.lsched;
@@ -802,25 +852,30 @@ let sack_random_loss_completes () =
 
 let udp_immediate_transmission () =
   let sched = Scheduler.create () in
-  let factory = Packet.factory () in
+  let pool = Pool.create () in
   let out = ref [] in
   let s =
-    Udp.create_sender sched ~factory ~flow:0 ~src:1 ~dst:0 ~size_bytes:500
+    Udp.create_sender sched ~pool ~flow:0 ~src:1 ~dst:0 ~size_bytes:500
       ~transmit:(fun p -> out := p :: !out)
   in
   Udp.write s 3;
   Alcotest.(check int) "all sent now" 3 (List.length !out);
   Alcotest.(check int) "sent counter" 3 (Udp.sent s);
-  let r = Udp.create_receiver () in
+  let r = Udp.create_receiver ~pool () in
   List.iter (Udp.handle_packet r) !out;
-  Alcotest.(check int) "received" 3 (Udp.received r)
+  List.iter (Pool.free pool) !out;
+  Alcotest.(check int) "received" 3 (Udp.received r);
+  Alcotest.(check int) "drained" 0 (Pool.live pool)
 
 let udp_ignores_tcp () =
-  let factory = Packet.factory () in
-  let r = Udp.create_receiver () in
-  Udp.handle_packet r
-    (Packet.make factory ~flow:0 ~src:1 ~dst:0 ~size_bytes:40 ~sent_at:Time.zero
-       (Packet.Tcp_ack { ack = 1; ece = false; sack = [] }));
+  let pool = Pool.create () in
+  let r = Udp.create_receiver ~pool () in
+  let p =
+    Pool.alloc_ack pool ~flow:0 ~src:1 ~dst:0 ~size_bytes:40 ~sent_at:Time.zero
+      ~ack:1 ~ece:false ~sack:[] ()
+  in
+  Udp.handle_packet r p;
+  Pool.free pool p;
   Alcotest.(check int) "not counted" 0 (Udp.received r)
 
 let suite =
@@ -833,6 +888,7 @@ let suite =
         Alcotest.test_case "sample resets backoff" `Quick rto_sample_resets_backoff;
         Alcotest.test_case "quantization" `Quick rto_quantization;
         Alcotest.test_case "min clamp" `Quick rto_min_clamp;
+        Alcotest.test_case "integer-ns api matches" `Quick rto_ns_api_matches_float_api;
       ] );
     ( "transport.cc",
       [
@@ -861,6 +917,7 @@ let suite =
           sender_dupacks_ignored_when_nothing_outstanding;
         Alcotest.test_case "tahoe loss handling" `Quick sender_tahoe_no_recovery_state;
         Alcotest.test_case "cwnd trace recorded" `Quick sender_cwnd_trace_records;
+        Alcotest.test_case "cwnd trace off by default" `Quick sender_cwnd_trace_off_by_default;
         Alcotest.test_case "ece halves once per rtt" `Quick sender_ece_halves_once_per_rtt;
         Alcotest.test_case "rfc2861 validation" `Quick sender_cwnd_validation_blocks_idle_growth;
         Alcotest.test_case "rfc3042 limited transmit" `Quick
