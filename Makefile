@@ -47,6 +47,7 @@ check:
 	  --trace-out=/tmp/burstsim-trace.ndjson
 	dune exec bin/main.exe -- report-check /tmp/burstsim-report.json
 	dune exec bench/main.exe -- --fast --only telemetry
+	dune exec bin/main.exe -- report-check --kind=bench-telemetry BENCH_telemetry.json
 	dune exec bench/main.exe -- --fast --only parallel
 	dune exec bench/main.exe -- --fast --only alloc
 	dune exec bin/main.exe -- report-check --kind=alloc BENCH_alloc.json

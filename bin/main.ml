@@ -93,6 +93,7 @@ let jobs =
 type tele_opts = {
   report_out : string option; (* None = off, Some "-" = stderr *)
   trace_out : string option;
+  record_out : string option;
   want_progress : bool;
 }
 
@@ -115,26 +116,28 @@ let tele_term =
     in
     Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
   in
+  let record_out =
+    let doc =
+      "Record every simulation event plus lifecycle records (congestion \
+       phases, RTT samples, receiver reordering, run markers) in the binary \
+       flight-recorder format to $(docv); query the file with the 'trace \
+       decode/stats/grep/spans' subcommands. Unlike --trace-out the recorder \
+       is allocation-free on the hot path and works with --jobs > 1."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "record-out" ] ~docv:"FILE" ~doc)
+  in
   let want_progress =
     let doc = "Report per-run progress with an ETA on stderr." in
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
   Term.(
-    const (fun report_out trace_out want_progress ->
-        { report_out; trace_out; want_progress })
-    $ report_out $ trace_out $ want_progress)
+    const (fun report_out trace_out record_out want_progress ->
+        { report_out; trace_out; record_out; want_progress })
+    $ report_out $ trace_out $ record_out $ want_progress)
 
-(* Run [f] with a pool of [jobs] domains, or without one when sequential.
-   Event tracing needs the single ordered stream only a sequential run
-   produces, so the combination is rejected rather than silently losing
-   or interleaving trace lines. *)
-let with_jobs ~jobs tele f =
-  if jobs > 1 && tele.trace_out <> None then begin
-    Format.eprintf
-      "burstsim: --trace-out cannot be combined with --jobs > 1 (the event \
-       trace needs a single ordered stream)@.";
-    exit 1
-  end;
+(* Run [f] with a pool of [jobs] domains, or without one when sequential. *)
+let with_jobs ~jobs f =
   if jobs <= 1 then f None
   else Parallel.Pool.with_pool ~domains:jobs (fun pool -> f (Some pool))
 
@@ -147,18 +150,55 @@ let open_sink path =
     Format.eprintf "burstsim: cannot open %s@." msg;
     exit 1
 
-let with_telemetry ~label ?(total_runs = 0) opts f =
-  if opts.report_out = None && opts.trace_out = None && not opts.want_progress
+(* Decode the parity records of the accumulated flight-recorder segments
+   back into the NDJSON stream the live bus tracer would have produced —
+   the --trace-out path under --jobs > 1, where no single ordered bus
+   stream exists during the run. *)
+let decode_segments_to_ndjson probe oc =
+  List.iter
+    (fun r ->
+      let interns = Telemetry.Recorder.intern_array r in
+      let lookup i =
+        if i >= 0 && i < Array.length interns then interns.(i)
+        else Printf.sprintf "?%d" i
+      in
+      Telemetry.Recorder.iter_merged r (fun ~lane:_ ~seq:_ words off ->
+          match Telemetry.Record.event_of_record ~lookup words off with
+          | Some e -> Telemetry.Event_bus.ndjson_writer oc e
+          | None -> ()))
+    (Telemetry.Probe.segments probe)
+
+let with_telemetry ~label ?(total_runs = 0) ?(jobs = 1) opts f =
+  (match (opts.record_out, opts.trace_out) with
+  | Some r, Some t when r = t ->
+      Format.eprintf
+        "burstsim: --record-out and --trace-out name the same file %s@." r;
+      exit 1
+  | _ -> ());
+  if
+    opts.report_out = None && opts.trace_out = None && opts.record_out = None
+    && not opts.want_progress
   then f None (fun (_ : string) -> ())
   else begin
     let probe = Telemetry.Probe.create () in
+    (* --record-out captures the full lifecycle stream; --trace-out under
+       --jobs > 1 records parity events per domain instead of streaming
+       from the bus, then decodes them at the end so the file stays
+       byte-identical to a sequential run's. *)
+    (match opts.record_out with
+    | Some _ ->
+        Telemetry.Probe.set_recording probe Telemetry.Recorder.default_config
+    | None ->
+        if opts.trace_out <> None && jobs > 1 then
+          Telemetry.Probe.set_recording probe
+            { Telemetry.Recorder.default_config with lifecycle = false });
     let trace_oc = Option.map open_sink opts.trace_out in
     (match trace_oc with
-    | Some oc ->
+    | Some oc when jobs <= 1 ->
         ignore
           (Telemetry.Event_bus.subscribe probe.Telemetry.Probe.bus
              (Telemetry.Event_bus.ndjson_writer oc))
-    | None -> ());
+    | Some _ | None -> ());
     let reporter =
       if opts.want_progress && total_runs > 0 then
         Some (Telemetry.Progress.create ~total:total_runs ())
@@ -176,10 +216,24 @@ let with_telemetry ~label ?(total_runs = 0) opts f =
       Fun.protect
         ~finally:(fun () -> Option.iter close_out trace_oc)
         (fun () ->
-          Telemetry.Probe.time (Some probe) "total" (fun () ->
-              f (Some probe) notify))
+          let result =
+            Telemetry.Probe.time (Some probe) "total" (fun () ->
+                f (Some probe) notify)
+          in
+          (match trace_oc with
+          | Some oc when jobs > 1 -> decode_segments_to_ndjson probe oc
+          | Some _ | None -> ());
+          result)
     in
     (match reporter with Some r -> Telemetry.Progress.finish r | None -> ());
+    (match opts.record_out with
+    | Some path ->
+        let oc = open_sink path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> Telemetry.Probe.write_segments probe oc);
+        Format.eprintf "wrote flight recording to %s@." path
+    | None -> ());
     let report = Telemetry.Report.of_probe ~label probe in
     (match opts.report_out with
     | Some "-" ->
@@ -236,16 +290,16 @@ let fig_cmd =
     let sweep_runs = n_paper_series * List.length counts in
     match n with
     | 2 when replicates > 1 ->
-        with_jobs ~jobs tele (fun pool ->
+        with_jobs ~jobs (fun pool ->
             with_telemetry ~label:"fig 2 (replicated)"
-              ~total_runs:(sweep_runs * replicates) tele (fun probe notify ->
+              ~total_runs:(sweep_runs * replicates) ~jobs tele (fun probe notify ->
                 Burstcore.Figures.fig2_replicated ?pool ?probe ~notify std cfg
                   counts ~replicates))
     | 2 | 3 | 4 | 13 ->
-        with_jobs ~jobs tele (fun pool ->
+        with_jobs ~jobs (fun pool ->
             with_telemetry
               ~label:(Printf.sprintf "fig %d" n)
-              ~total_runs:sweep_runs tele
+              ~total_runs:sweep_runs ~jobs tele
               (fun probe notify ->
                 render_sweep_figure ?pool ?probe ~notify n cfg counts))
     | _ -> (
@@ -286,8 +340,8 @@ let all_cmd =
       (n_paper_series * List.length counts)
       + List.length Burstcore.Figures.cwnd_figures
     in
-    with_jobs ~jobs tele @@ fun pool ->
-    with_telemetry ~label:"all" ~total_runs tele (fun probe notify ->
+    with_jobs ~jobs @@ fun pool ->
+    with_telemetry ~label:"all" ~total_runs ~jobs tele (fun probe notify ->
         Burstcore.Figures.table1 std cfg;
         let sweep =
           Burstcore.Figures.run_sweep ?pool ?probe ~notify ~progress cfg counts
@@ -372,6 +426,201 @@ let run_cmd =
 (* ------------------------------------------------------------------ *)
 (* trace — packet-level event trace of the bottleneck                  *)
 
+(* --- trace query subcommands: read a --record-out file back --- *)
+
+let recording_pos =
+  let doc = "Flight recording written by --record-out." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let query_out =
+  let doc = "Output file; stdout when omitted." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let read_recording path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg ->
+      Format.eprintf "burstsim: cannot read %s@." msg;
+      exit 1
+  in
+  match
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> Telemetry.Recorder.read_segments ic)
+  with
+  | [] ->
+      Format.eprintf "burstsim: %s: empty recording@." path;
+      exit 1
+  | segments -> segments
+  | exception Failure msg ->
+      Format.eprintf "burstsim: %s: %s@." path msg;
+      exit 1
+
+let with_query_out out f =
+  match out with
+  | None -> f stdout
+  | Some path ->
+      let oc = open_sink path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let iter_records segments f =
+  List.iter
+    (fun seg ->
+      let lookup = Telemetry.Recorder.seg_lookup seg in
+      Telemetry.Recorder.iter_segment seg (fun ~lane ~seq words off ->
+          f seg lookup ~lane ~seq words off))
+    segments
+
+let trace_decode_cmd =
+  let run file out =
+    let segments = read_recording file in
+    with_query_out out (fun oc ->
+        iter_records segments (fun _seg lookup ~lane:_ ~seq:_ words off ->
+            output_string oc
+              (Telemetry.Record.ndjson_of_record ~lookup words off);
+            output_char oc '\n'))
+  in
+  Cmd.v
+    (Cmd.info "decode"
+       ~doc:
+         "Decode a flight recording to NDJSON, one event per line. For a \
+          recording made by --trace-out under --jobs > 1 semantics, parity \
+          events serialize byte-identically to the live tracer's output.")
+    Term.(const run $ recording_pos $ query_out)
+
+let trace_stats_cmd =
+  let run file =
+    let segments = read_recording file in
+    List.iter
+      (fun seg ->
+        let counts = Array.make (Telemetry.Record.max_kind + 1) 0 in
+        let first = ref max_int and last = ref min_int and total = ref 0 in
+        Telemetry.Recorder.iter_segment seg (fun ~lane:_ ~seq:_ words off ->
+            incr total;
+            let tick = words.(off) and kind = words.(off + 1) in
+            if tick < !first then first := tick;
+            if tick > !last then last := tick;
+            if kind >= 0 && kind < Array.length counts then
+              counts.(kind) <- counts.(kind) + 1);
+        Format.fprintf std "segment %S@." (Telemetry.Recorder.seg_label seg);
+        List.iter
+          (fun l ->
+            Format.fprintf std "  lane %d: %d recorded, %d retained, %d dropped@."
+              (Telemetry.Recorder.read_lane_id l)
+              (Telemetry.Recorder.read_lane_total l)
+              (Telemetry.Recorder.read_lane_retained l)
+              (Telemetry.Recorder.read_lane_dropped l))
+          (Telemetry.Recorder.seg_lanes seg);
+        if !total > 0 then
+          Format.fprintf std "  ticks %.6f .. %.6f s (%d records)@."
+            (Telemetry.Record.time_of_tick !first)
+            (Telemetry.Record.time_of_tick !last)
+            !total;
+        Array.iteri
+          (fun kind n ->
+            if n > 0 then
+              Format.fprintf std "  %-20s %d@."
+                (Telemetry.Record.kind_label kind)
+                n)
+          counts)
+      segments
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Summarize a flight recording: per-segment lanes, drop accounting, \
+          tick range and record counts by kind.")
+    Term.(const run $ recording_pos)
+
+let trace_grep_cmd =
+  let flow_opt =
+    let doc = "Only records of flow $(docv)." in
+    Arg.(value & opt (some int) None & info [ "flow" ] ~docv:"N" ~doc)
+  in
+  let kind_opt =
+    let doc =
+      "Only records of kind $(docv) (a kind label as printed by 'trace \
+       stats', e.g. packet_drop or tcp_phase)."
+    in
+    Arg.(value & opt (some string) None & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let from_opt =
+    let doc = "Only records at or after $(docv) simulated seconds." in
+    Arg.(value & opt (some float) None & info [ "from" ] ~docv:"SECONDS" ~doc)
+  in
+  let to_opt =
+    let doc = "Only records at or before $(docv) simulated seconds." in
+    Arg.(value & opt (some float) None & info [ "to" ] ~docv:"SECONDS" ~doc)
+  in
+  let run file flow kind tfrom tto out =
+    let kind_code =
+      match kind with
+      | None -> None
+      | Some label -> (
+          match Telemetry.Record.kind_of_label label with
+          | Some c -> Some c
+          | None ->
+              Format.eprintf "burstsim: unknown record kind %S@." label;
+              exit 1)
+    in
+    let segments = read_recording file in
+    with_query_out out (fun oc ->
+        iter_records segments (fun _seg lookup ~lane:_ ~seq:_ words off ->
+            let tick = words.(off) in
+            let t = Telemetry.Record.time_of_tick tick in
+            let keep =
+              (match flow with None -> true | Some f -> words.(off + 2) = f)
+              && (match kind_code with
+                 | None -> true
+                 | Some k -> words.(off + 1) = k)
+              && (match tfrom with None -> true | Some s -> t >= s)
+              && match tto with None -> true | Some s -> t <= s
+            in
+            if keep then begin
+              output_string oc
+                (Telemetry.Record.ndjson_of_record ~lookup words off);
+              output_char oc '\n'
+            end))
+  in
+  Cmd.v
+    (Cmd.info "grep"
+       ~doc:
+         "Filter a flight recording by flow, kind and time range; print \
+          matches as NDJSON.")
+    Term.(
+      const run $ recording_pos $ flow_opt $ kind_opt $ from_opt $ to_opt
+      $ query_out)
+
+let trace_spans_cmd =
+  let prometheus =
+    let doc =
+      "Print the span histograms in Prometheus text exposition format \
+       instead of the summary table."
+    in
+    Arg.(value & flag & info [ "prometheus" ] ~doc)
+  in
+  let run file prometheus =
+    let segments = read_recording file in
+    let registry = Telemetry.Registry.create () in
+    List.iter (fun seg -> Telemetry.Spans.of_segment ~registry seg) segments;
+    if prometheus then print_string (Telemetry.Registry.to_prometheus registry)
+    else
+      List.iter
+        (fun (name, h) ->
+          let n = Telemetry.Registry.observations h in
+          if n = 0 then Format.fprintf std "%-18s no samples@." name
+          else
+            Format.fprintf std "%-18s n=%-8d p50=%.6gs p99=%.6gs@." name n
+              (Telemetry.Registry.p50 h) (Telemetry.Registry.p99 h))
+        (Telemetry.Spans.histograms registry)
+  in
+  Cmd.v
+    (Cmd.info "spans"
+       ~doc:
+         "Derive lifecycle spans (packet sojourn, RTT samples, congestion \
+          phases) from a flight recording and print their distributions.")
+    Term.(const run $ recording_pos $ prometheus)
+
 let trace_cmd =
   let scenario =
     let doc = "Scenario to trace." in
@@ -414,11 +663,17 @@ let trace_cmd =
     | None -> Netsim.Tracer.output tracer stdout);
     Format.eprintf "%a@." Burstcore.Metrics.pp_row m
   in
-  Cmd.v
+  Cmd.group
+    ~default:
+      Term.(
+        const run $ scenario $ clients $ out $ duration $ seed $ fast
+        $ tele_term)
     (Cmd.info "trace"
        ~doc:
-         "Run one scenario and emit an ns-style packet event trace of the           bottleneck link.")
-    Term.(const run $ scenario $ clients $ out $ duration $ seed $ fast $ tele_term)
+         "Run one scenario and emit an ns-style packet event trace of the \
+          bottleneck link, or (with a subcommand) query a binary flight \
+          recording written by --record-out.")
+    [ trace_decode_cmd; trace_stats_cmd; trace_grep_cmd; trace_spans_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* selfsim — extension: heavy-tailed sources vs Poisson                *)
@@ -486,10 +741,10 @@ let export_cmd =
     let cfg = base_config ~duration ~seed ~fast in
     let counts = sweep_counts ~fast ~clients_list in
     let sweep =
-      with_jobs ~jobs tele @@ fun pool ->
+      with_jobs ~jobs @@ fun pool ->
       with_telemetry ~label:"export"
         ~total_runs:(n_paper_series * List.length counts)
-        tele
+        ~jobs tele
         (fun probe notify ->
           Burstcore.Figures.run_sweep ?pool ?probe ~notify ~progress cfg counts)
     in
@@ -548,11 +803,19 @@ let report_check_cmd =
   let kind =
     let doc =
       "Report schema to check: $(b,telemetry) for a --telemetry=FILE report, \
-       $(b,alloc) for the BENCH_alloc.json allocation-budget sweep."
+       $(b,alloc) for the BENCH_alloc.json allocation-budget sweep, \
+       $(b,bench-telemetry) for the BENCH_telemetry.json overhead report."
     in
     Arg.(
       value
-      & opt (enum [ ("telemetry", `Telemetry); ("alloc", `Alloc) ]) `Telemetry
+      & opt
+          (enum
+             [
+               ("telemetry", `Telemetry);
+               ("alloc", `Alloc);
+               ("bench-telemetry", `Bench_telemetry);
+             ])
+          `Telemetry
       & info [ "kind" ] ~docv:"KIND" ~doc)
   in
   let run kind file =
@@ -571,6 +834,8 @@ let report_check_cmd =
       match kind with
       | `Telemetry -> (Telemetry.Report.validate, "telemetry report")
       | `Alloc -> (Telemetry.Report.validate_alloc, "alloc report")
+      | `Bench_telemetry ->
+          (Telemetry.Report.validate_bench_telemetry, "bench-telemetry report")
     in
     match Result.bind (Burstcore.Json.parse contents) validate with
     | Ok () -> print_endline (what ^ " ok")
@@ -581,9 +846,10 @@ let report_check_cmd =
   Cmd.v
     (Cmd.info "report-check"
        ~doc:
-         "Validate a JSON report: a --telemetry=FILE run report, or with \
-          --kind=alloc the BENCH_alloc.json allocation sweep (both used by \
-          'make check').")
+         "Validate a JSON report: a --telemetry=FILE run report, with \
+          --kind=alloc the BENCH_alloc.json allocation sweep, or with \
+          --kind=bench-telemetry the BENCH_telemetry.json overhead report \
+          (all used by 'make check').")
     Term.(const run $ kind $ file)
 
 (* ------------------------------------------------------------------ *)

@@ -57,9 +57,9 @@ let red_params cfg ~ecn_mark ~adaptive =
     adaptive;
   }
 
-let gateway_queue ?bus cfg scenario rng pool =
+let gateway_queue ?bus ?recorder cfg scenario rng pool =
   let red ~ecn_mark ~adaptive =
-    Queue_disc.red ?bus ~name:"gateway"
+    Queue_disc.red ?bus ?recorder ~name:"gateway"
       ~rng:(Rng.split_named rng "red-gateway")
       ~pool
       (red_params cfg ~ecn_mark ~adaptive)
@@ -71,8 +71,18 @@ let gateway_queue ?bus cfg scenario rng pool =
   | Scenario.Red_adaptive -> red ~ecn_mark:false ~adaptive:true
   | Scenario.Sfq_gw -> Queue_disc.sfq ~pool ~capacity:cfg.Config.buffer_packets ()
 
-let create ?bus ?(trace_clients = []) cfg scenario =
+let create ?bus ?recorder ?(trace_clients = []) cfg scenario =
   Config.validate cfg;
+  (* Lifecycle-only recorder hooks (queue-discipline drops, router
+     retransmit forwards, receiver reordering) stay unwired in parity
+     mode so the binary stream decodes byte-identical to the live
+     tracer. TCP senders always get the recorder: their records are the
+     binary twins of the bus events. *)
+  let lifecycle_recorder =
+    match recorder with
+    | Some r when Telemetry.Recorder.lifecycle r -> Some r
+    | _ -> None
+  in
   let n = cfg.Config.clients in
   (* Pre-size the event queue for the steady state: each client holds at
      most a window of data segments plus ACKs in flight (two events per
@@ -89,7 +99,7 @@ let create ?bus ?(trace_clients = []) cfg scenario =
       ~capacity:(64 + (n * ((2 * cfg.Config.adv_window) + 4)) + cfg.Config.buffer_packets)
       ()
   in
-  let router = Router.create ~name:"gateway" ~pool in
+  let router = Router.create ?recorder:lifecycle_recorder ~name:"gateway" ~pool () in
   let server = Node.create ~id:server_id ~pool in
   let client_nodes = Array.init n (fun i -> Node.create ~id:(client_id i) ~pool) in
   let client_bw = Units.mbps cfg.Config.client_bandwidth_mbps in
@@ -110,7 +120,13 @@ let create ?bus ?(trace_clients = []) cfg scenario =
     end
   in
   let bottleneck_delay = Time.of_sec cfg.Config.bottleneck_delay_s in
-  let gateway_queue = gateway_queue ?bus cfg scenario rng pool in
+  let gateway_queue =
+    gateway_queue ?bus ?recorder:lifecycle_recorder cfg scenario rng pool
+  in
+  (match lifecycle_recorder with
+  | Some recorder ->
+      Queue_disc.set_recorder gateway_queue ~recorder ~pool ~name:"gateway"
+  | None -> ());
   let bottleneck =
     Link.create sched ~name:"bottleneck" ~bandwidth:bottleneck_bw
       ~delay:bottleneck_delay ~queue:gateway_queue ~pool
@@ -161,7 +177,7 @@ let create ?bus ?(trace_clients = []) cfg scenario =
                 ~cwnd_validation:cfg.Config.cwnd_validation
                 ~pacing:cfg.Config.pacing
                 ~trace_cwnd:(List.mem i trace_clients)
-                ?bus sched ~pool
+                ?bus ?recorder sched ~pool
                 ~cc:(make_cc cfg cc) ~rto_params:cfg.Config.rto ~flow:i
                 ~src:(client_id i) ~dst:server_id
                 ~mss_bytes:cfg.Config.packet_bytes
@@ -169,7 +185,7 @@ let create ?bus ?(trace_clients = []) cfg scenario =
                 ~transmit:(Link.send up_links.(i))
             in
             let receiver =
-              Transport.Tcp_receiver.create ~sack sched ~pool ~flow:i
+              Transport.Tcp_receiver.create ~sack ?recorder sched ~pool ~flow:i
                 ~src:server_id ~dst:(client_id i) ~ack_bytes:cfg.Config.ack_bytes
                 ~delayed_ack
                 ~transmit:(Link.send reverse_bottleneck)

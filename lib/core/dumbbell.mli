@@ -9,13 +9,22 @@
 type t
 
 val create :
-  ?bus:Telemetry.Event_bus.t -> ?trace_clients:int list -> Config.t -> Scenario.t -> t
+  ?bus:Telemetry.Event_bus.t ->
+  ?recorder:Telemetry.Recorder.t ->
+  ?trace_clients:int list ->
+  Config.t ->
+  Scenario.t ->
+  t
 (** Fresh scheduler, RNG streams, packet pool, topology and transports.
     When [bus] is given it is wired into the RED gateway queue (as
     ["gateway"]) and every TCP sender, so queue-discipline decisions and
-    congestion reactions publish there. [trace_clients] (default none)
-    lists client indices whose senders record a congestion-window trace;
-    tracing costs boxed floats per ACK, so it is opt-in. *)
+    congestion reactions publish there. When [recorder] is given, TCP
+    senders log congestion decisions to it; if the recorder is in
+    lifecycle mode, the gateway queue discipline, router and receivers
+    are wired too (drops, retransmit forwards, reordering).
+    [trace_clients] (default none) lists client indices whose senders
+    record a congestion-window trace; tracing costs boxed floats per
+    ACK, so it is opt-in. *)
 
 val scheduler : t -> Sim_engine.Scheduler.t
 

@@ -48,7 +48,7 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
   let hop_delay = Time.of_sec cfg.Config.bottleneck_delay_s in
   let routers =
     Array.init (hops + 1) (fun k ->
-        Router.create ~name:(Printf.sprintf "R%d" k) ~pool)
+        Router.create ~name:(Printf.sprintf "R%d" k) ~pool ())
   in
   (* Forward bottlenecks F_k : R_k -> R_k+1 and lossless reverses. *)
   let forward =

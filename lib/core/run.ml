@@ -14,6 +14,15 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
         Some p.Telemetry.Probe.bus
     | Some _ | None -> None
   in
+  let run_label =
+    Printf.sprintf "%s n=%d" (Scenario.label scenario) cfg.Config.clients
+  in
+  (* One recorder = one segment per run; the probe accumulates them. *)
+  let recorder =
+    match probe with
+    | Some p -> Telemetry.Probe.start_recorder p ~label:run_label
+    | None -> None
+  in
   let ( net,
         sched,
         bottleneck,
@@ -26,13 +35,33 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
         queue_series,
         sources ) =
     time "setup" (fun () ->
-        let net = Dumbbell.create ?bus ~trace_clients cfg scenario in
+        let net = Dumbbell.create ?bus ?recorder ~trace_clients cfg scenario in
         prepare net;
         let sched = Dumbbell.scheduler net in
         let pool = Dumbbell.pool net in
         let bottleneck = Dumbbell.bottleneck net in
         (match bus with
         | Some b -> Netsim.Link.publish bottleneck b
+        | None -> ());
+        (* Mirror the bus gating: only the bottleneck records per-packet
+           queue events, so the binary stream decodes byte-identical to
+           the live tracer. *)
+        (match recorder with
+        | Some r ->
+            Netsim.Link.record bottleneck r;
+            if Telemetry.Recorder.lifecycle r then begin
+              let lane = Telemetry.Recorder.lane r 0 in
+              let sid = Telemetry.Recorder.intern r run_label in
+              Scheduler.set_instrument sched
+                ~on_run_start:(fun clock ->
+                  Telemetry.Recorder.record lane ~tick:(Time.to_ns clock)
+                    ~kind:Telemetry.Record.run_start ~flow:(-1) ~a:0 ~b:0 ~c:0
+                    ~sid ~depth:0)
+                ~on_run_end:(fun clock fired ->
+                  Telemetry.Recorder.record lane ~tick:(Time.to_ns clock)
+                    ~kind:Telemetry.Record.run_end ~flow:(-1) ~a:fired ~b:0
+                    ~c:0 ~sid ~depth:0)
+            end
         | None -> ());
         let horizon = Time.of_sec cfg.Config.duration_s in
         let binner =
@@ -230,12 +259,17 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
           queue_series;
         })
   in
+  (* Lifecycle spans fold the retained records into the probe's metric
+     registry while the recorder is still live (tick counters restart
+     per segment, so this must happen per run). *)
+  (match (probe, recorder) with
+  | Some p, Some r when Telemetry.Recorder.lifecycle r ->
+      time "spans" (fun () ->
+          Telemetry.Spans.of_recorder ~registry:p.Telemetry.Probe.registry r)
+  | _ -> ());
   (match probe with
   | Some p ->
-      Telemetry.Probe.note_run p
-        ~label:
-          (Printf.sprintf "%s n=%d" (Scenario.label scenario)
-             cfg.Config.clients)
+      Telemetry.Probe.note_run p ~label:run_label
         ~sim_s:cfg.Config.duration_s ~wall_s:run_wall
         ~events:(Scheduler.events_processed sched)
         ~event_queue_hwm:(Scheduler.queue_high_water_mark sched)

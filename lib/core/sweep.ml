@@ -34,7 +34,7 @@ let fan ?pool ?probe ~notify ~label items f =
       let tagged =
         Parallel.Pool.map pool
           (fun x ->
-            let worker = Option.map (fun _ -> Telemetry.Probe.create ()) probe in
+            let worker = Option.map Telemetry.Probe.create_like probe in
             let r = f ?probe:worker x in
             note (label x);
             (r, worker))

@@ -53,8 +53,8 @@ let run cfg ~cc ~reverse_clients =
         + (2 * cfg.Config.buffer_packets))
       ()
   in
-  let gw = Router.create ~name:"gw" ~pool in
-  let svr = Router.create ~name:"svr" ~pool in
+  let gw = Router.create ~name:"gw" ~pool () in
+  let svr = Router.create ~name:"svr" ~pool () in
   let bw_bottleneck = Units.mbps cfg.Config.bottleneck_bandwidth_mbps in
   let bw_access = Units.mbps cfg.Config.client_bandwidth_mbps in
   let bottleneck_delay = Time.of_sec cfg.Config.bottleneck_delay_s in

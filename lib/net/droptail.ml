@@ -1,11 +1,42 @@
-type t = { q : Packet_pool.handle Ring.t; capacity : int; mutable hwm : int }
+type t = {
+  q : Packet_pool.handle Ring.t;
+  capacity : int;
+  mutable hwm : int;
+  (* Optional flight-recorder wiring (set post-construction): records
+     the discipline's forced-drop decisions with queue-name attribution,
+     which link-level drop counts cannot provide. *)
+  mutable rlane : Telemetry.Recorder.lane option;
+  mutable rsid : int;
+  mutable rpool : Packet_pool.t option;
+}
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Droptail.create: capacity < 1";
-  { q = Ring.create (); capacity; hwm = 0 }
+  { q = Ring.create (); capacity; hwm = 0; rlane = None; rsid = 0; rpool = None }
 
-let enqueue t h =
-  if Ring.length t.q >= t.capacity then `Dropped
+let set_recorder t ~recorder ~pool ~name =
+  t.rlane <- Some (Telemetry.Recorder.lane recorder 0);
+  t.rsid <- Telemetry.Recorder.intern recorder name;
+  t.rpool <- Some pool
+
+let record_drop t now h =
+  match (t.rlane, t.rpool) with
+  | Some lane, Some pool ->
+      (* The queue "average" of a drop-tail gateway is its instantaneous
+         length. *)
+      let bits = Telemetry.Record.bits_of_nonneg_int (Ring.length t.q) in
+      Telemetry.Recorder.record lane ~tick:now
+        ~kind:Telemetry.Record.queue_forced_drop
+        ~flow:(Packet_pool.flow pool h) ~a:(Packet_pool.uid pool h)
+        ~b:(bits lsr 32) ~c:(bits land 0xFFFF_FFFF)
+        ~sid:t.rsid ~depth:(Ring.length t.q)
+  | _ -> ()
+
+let enqueue ?(now = 0) t h =
+  if Ring.length t.q >= t.capacity then begin
+    record_drop t now h;
+    `Dropped
+  end
   else begin
     Ring.push t.q h;
     if Ring.length t.q > t.hwm then t.hwm <- Ring.length t.q;

@@ -8,7 +8,15 @@ type t
 val create : capacity:int -> t
 (** @raise Invalid_argument if [capacity < 1]. *)
 
-val enqueue : t -> Packet_pool.handle -> [ `Enqueued | `Dropped ]
+val set_recorder :
+  t -> recorder:Telemetry.Recorder.t -> pool:Packet_pool.t -> name:string -> unit
+(** Wire a flight recorder: forced-drop decisions write a
+    [queue_forced_drop] record tagged with [name], carrying the
+    instantaneous queue length. *)
+
+val enqueue : ?now:int -> t -> Packet_pool.handle -> [ `Enqueued | `Dropped ]
+(** [now] is the integer-nanosecond tick stamped on recorder records
+    (defaults to 0 when no recorder is wired). *)
 
 val dequeue : t -> Packet_pool.handle
 (** The head handle, or {!Packet_pool.nil} when empty. *)

@@ -164,3 +164,28 @@ let publish t bus =
   on_arrival t (packet_event Telemetry.Event_bus.Arrival);
   on_drop t (packet_event Telemetry.Event_bus.Drop);
   on_depart t (packet_event Telemetry.Event_bus.Depart)
+
+(* The binary twin of [publish]: the same three hook sites writing
+   fixed-width records instead of bus events, so a recorded stream
+   decodes to exactly the NDJSON the tracer would have produced. The
+   listeners only do integer loads and stores. *)
+let record t recorder =
+  let lane = Telemetry.Recorder.lane recorder 0 in
+  let sid = Telemetry.Recorder.intern recorder t.name in
+  let pool = t.pool in
+  (* Eta-expanded per-hook listeners: a partially-applied closure would
+     route every call through the generic currying path, and these three
+     fire for most events of a recorded run. *)
+  let packet_record kind now h =
+    let slot = Packet_pool.slot_exn pool h in
+    Telemetry.Recorder.record lane ~tick:(Time.to_ns now) ~kind
+      ~flow:(Packet_pool.flow_at pool slot)
+      ~a:(Packet_pool.uid_at pool slot)
+      ~b:(Packet_pool.size_bytes_at pool slot)
+      ~c:(Packet_pool.data_seq_at pool slot ~default:Telemetry.Record.no_seq)
+      ~sid
+      ~depth:(Queue_disc.length t.queue)
+  in
+  on_arrival t (fun now h -> packet_record Telemetry.Record.packet_arrival now h);
+  on_drop t (fun now h -> packet_record Telemetry.Record.packet_drop now h);
+  on_depart t (fun now h -> packet_record Telemetry.Record.packet_depart now h)

@@ -57,3 +57,8 @@ val name : t -> string
 val publish : t -> Telemetry.Event_bus.t -> unit
 (** Mirror this link's arrival/drop/departure events onto the bus as
     [Packet] events tagged with the link's name. *)
+
+val record : t -> Telemetry.Recorder.t -> unit
+(** The binary twin of {!publish}: write a fixed-width flight-recorder
+    record (with the instantaneous queue depth) at the same three hook
+    sites. Allocation-free per event. *)

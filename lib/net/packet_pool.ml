@@ -232,9 +232,27 @@ let is_data t h = t.flags.(slot_of t h) land 3 <> kind_ack
 
 let is_retransmit t h = t.flags.(slot_of t h) land f_retransmit <> 0
 
+(* One validated load for the router's per-forward recorder check. *)
+let is_retransmitted_data t h =
+  let f = t.flags.(slot_of t h) in
+  f land 3 <> kind_ack && f land f_retransmit <> 0
+
 let seq t h = t.word.(slot_of t h)
 
 let ack = seq
+
+let slot_exn = slot_of
+
+let uid_at t slot = Array.unsafe_get t.uid slot
+
+let flow_at t slot = Array.unsafe_get t.flow slot
+
+let size_bytes_at t slot = Array.unsafe_get t.size slot
+
+let data_seq_at t slot ~default =
+  if Array.unsafe_get t.flags slot land 3 <> kind_ack then
+    Array.unsafe_get t.word slot
+  else default
 
 let seq_opt t h =
   let slot = slot_of t h in

@@ -113,6 +113,10 @@ val is_data : t -> handle -> bool
 
 val is_retransmit : t -> handle -> bool
 
+val is_retransmitted_data : t -> handle -> bool
+(** [is_data && is_retransmit] in a single validated load — the router
+    asks this of every forwarded packet when a recorder is wired. *)
+
 val seq : t -> handle -> int
 (** The sequence-or-ack word: data/UDP sequence number, or the
     cumulative ack of a [Tcp_ack]. *)
@@ -126,6 +130,28 @@ val seq_opt : t -> handle -> int option
 
 val ece : t -> handle -> bool
 val sack : t -> handle -> (int * int) list
+
+(** {2 Batched field reads}
+
+    The flight recorder reads four fields per packet hook; validating
+    the handle once and reading the rest unchecked keeps the recorded
+    hot path under the overhead budget. [slot_exn] performs the full
+    generation check of the plain accessors; the [_at] readers trust
+    the returned slot and must only ever be fed one. *)
+
+val slot_exn : t -> handle -> int
+(** The handle's slot, after the same staleness check as every plain
+    accessor. @raise Invalid_argument on a stale or [nil] handle. *)
+
+val uid_at : t -> int -> int
+
+val flow_at : t -> int -> int
+
+val size_bytes_at : t -> int -> int
+
+val data_seq_at : t -> int -> default:int -> int
+(** The data/UDP sequence number, or [default] for an ACK — the
+    unchecked twin of {!seq_opt}. *)
 
 (** {2 Accounting} *)
 

@@ -2,19 +2,28 @@ type t = Droptail of Droptail.t | Red of Red.t | Sfq of Sfq.t
 
 let droptail ~capacity = Droptail (Droptail.create ~capacity)
 
-let red ?bus ?name ~rng ~pool params = Red (Red.create ?bus ?name ~rng ~pool params)
+let red ?bus ?recorder ?name ~rng ~pool params =
+  Red (Red.create ?bus ?recorder ?name ~rng ~pool params)
 
 let sfq ?buckets ~pool ~capacity () = Sfq (Sfq.create ?buckets ~pool ~capacity ())
+
+(* Wire the flight recorder to the discipline's own decision points
+   (RED takes its recorder at construction). *)
+let set_recorder t ~recorder ~pool ~name =
+  match t with
+  | Droptail q -> Droptail.set_recorder q ~recorder ~pool ~name
+  | Sfq q -> Sfq.set_recorder q ~recorder ~name
+  | Red _ -> ()
 
 let enqueue t ~now h =
   match t with
   | Droptail q ->
-      (Droptail.enqueue q h
+      (Droptail.enqueue ~now:(Sim_engine.Time.to_ns now) q h
         :> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet_pool.handle ])
   | Red q ->
       (Red.enqueue q ~now h
         :> [ `Enqueued | `Dropped | `Enqueued_dropping of Packet_pool.handle ])
-  | Sfq q -> Sfq.enqueue q h
+  | Sfq q -> Sfq.enqueue ~now:(Sim_engine.Time.to_ns now) q h
 
 let dequeue t ~now =
   match t with

@@ -11,6 +11,7 @@ val droptail : capacity:int -> t
 
 val red :
   ?bus:Telemetry.Event_bus.t ->
+  ?recorder:Telemetry.Recorder.t ->
   ?name:string ->
   rng:Sim_engine.Rng.t ->
   pool:Packet_pool.t ->
@@ -18,6 +19,12 @@ val red :
   t
 
 val sfq : ?buckets:int -> pool:Packet_pool.t -> capacity:int -> unit -> t
+
+val set_recorder :
+  t -> recorder:Telemetry.Recorder.t -> pool:Packet_pool.t -> name:string -> unit
+(** Wire the flight recorder to the discipline's own drop decisions
+    (drop-tail and SFQ; RED takes its recorder at construction and this
+    is a no-op for it). *)
 
 val enqueue :
   t ->

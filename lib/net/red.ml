@@ -27,6 +27,8 @@ type t = {
   pool : Packet_pool.t;
   rng : Sim_engine.Rng.t;
   bus : Telemetry.Event_bus.t option;
+  rlane : Telemetry.Recorder.lane option;
+  rsid : int;
   name : string;
   mutable avg : float;
   mutable count : int; (* arrivals since the last early drop; -1 = below min_th *)
@@ -37,17 +39,25 @@ type t = {
   mutable hwm : int;
 }
 
-let create ?bus ?(name = "red") ~rng ~pool p =
+let create ?bus ?recorder ?(name = "red") ~rng ~pool p =
   if p.min_th <= 0. || p.max_th <= p.min_th then invalid_arg "Red.create: bad thresholds";
   if p.max_p <= 0. || p.max_p > 1. then invalid_arg "Red.create: bad max_p";
   if p.w_q <= 0. || p.w_q > 1. then invalid_arg "Red.create: bad w_q";
   if p.capacity < 1 then invalid_arg "Red.create: bad capacity";
+  let rlane = Option.map (fun r -> Telemetry.Recorder.lane r 0) recorder in
+  let rsid =
+    match recorder with
+    | None -> 0
+    | Some r -> Telemetry.Recorder.intern r name
+  in
   {
     p;
     q = Ring.create ();
     pool;
     rng;
     bus;
+    rlane;
+    rsid;
     name;
     avg = 0.;
     count = -1;
@@ -91,8 +101,8 @@ let accept t h =
 
 (* Narrate the drop/mark decision: link-level drop counts cannot tell a
    forced drop from an early one, or see marks at all. *)
-let emit t now kind h =
-  match t.bus with
+let emit t now tick kind rkind h =
+  (match t.bus with
   | None -> ()
   | Some bus ->
       Telemetry.Event_bus.publish bus
@@ -103,15 +113,29 @@ let emit t now kind h =
              queue = t.name;
              flow = Packet_pool.flow t.pool h;
              avg = t.avg;
-           })
+           }));
+  match t.rlane with
+  | None -> ()
+  | Some lane ->
+      (* The average rides as exact IEEE-754 bits so decoding reproduces
+         the bus event byte for byte. *)
+      Telemetry.Recorder.record lane ~tick ~kind:rkind
+        ~flow:(Packet_pool.flow t.pool h)
+        ~a:(Packet_pool.uid t.pool h)
+        ~b:(Telemetry.Record.float_hi t.avg)
+        ~c:(Telemetry.Record.float_lo t.avg)
+        ~sid:t.rsid
+        ~depth:(Ring.length t.q)
 
 let enqueue t ~now h =
+  let tick = Sim_engine.Time.to_ns now in
   let now = Sim_engine.Time.to_sec now in
   update_avg t now;
   if Ring.length t.q >= t.p.capacity then begin
     (* Physical overflow: forced drop. *)
     t.count <- 0;
-    emit t now Telemetry.Event_bus.Forced_drop h;
+    emit t now tick Telemetry.Event_bus.Forced_drop
+      Telemetry.Record.queue_forced_drop h;
     `Dropped
   end
   else if t.avg < t.p.min_th then begin
@@ -120,7 +144,8 @@ let enqueue t ~now h =
   end
   else if t.avg >= t.p.max_th then begin
     t.count <- 0;
-    emit t now Telemetry.Event_bus.Forced_drop h;
+    emit t now tick Telemetry.Event_bus.Forced_drop
+      Telemetry.Record.queue_forced_drop h;
     `Dropped
   end
   else begin
@@ -134,11 +159,13 @@ let enqueue t ~now h =
         (* Signal congestion without losing the packet. *)
         Packet_pool.set_ecn_ce t.pool h;
         t.marks <- t.marks + 1;
-        emit t now Telemetry.Event_bus.Ecn_mark h;
+        emit t now tick Telemetry.Event_bus.Ecn_mark
+          Telemetry.Record.queue_ecn_mark h;
         accept t h
       end
       else begin
-        emit t now Telemetry.Event_bus.Early_drop h;
+        emit t now tick Telemetry.Event_bus.Early_drop
+          Telemetry.Record.queue_early_drop h;
         `Dropped
       end
     end

@@ -7,7 +7,11 @@
 
 type t
 
-val create : name:string -> pool:Packet_pool.t -> t
+val create :
+  ?recorder:Telemetry.Recorder.t -> name:string -> pool:Packet_pool.t -> unit -> t
+(** When [recorder] is given, retransmitted data segments forwarded by
+    the router write a [router_rtx_forward] lifecycle record stamped
+    with the segment's send time. *)
 
 val add_route : t -> dst:int -> Link.t -> unit
 (** Packets addressed to node [dst] are forwarded on the given link.

@@ -8,6 +8,11 @@ type t = {
   mutable total : int;
   mutable next : int; (* round-robin service pointer *)
   mutable hwm : int;
+  (* Optional flight-recorder wiring (set post-construction): records
+     the discipline's drop decisions — including push-out victims, which
+     only SFQ produces — with queue-name attribution. *)
+  mutable rlane : Telemetry.Recorder.lane option;
+  mutable rsid : int;
 }
 
 let create ?(buckets = 16) ?(perturbation = 0) ~pool ~capacity () =
@@ -21,7 +26,24 @@ let create ?(buckets = 16) ?(perturbation = 0) ~pool ~capacity () =
     total = 0;
     next = 0;
     hwm = 0;
+    rlane = None;
+    rsid = 0;
   }
+
+let set_recorder t ~recorder ~name =
+  t.rlane <- Some (Telemetry.Recorder.lane recorder 0);
+  t.rsid <- Telemetry.Recorder.intern recorder name
+
+let record_drop t now h =
+  match t.rlane with
+  | None -> ()
+  | Some lane ->
+      let bits = Telemetry.Record.bits_of_nonneg_int t.total in
+      Telemetry.Recorder.record lane ~tick:now
+        ~kind:Telemetry.Record.queue_forced_drop
+        ~flow:(Packet_pool.flow t.pool h) ~a:(Packet_pool.uid t.pool h)
+        ~b:(bits lsr 32) ~c:(bits land 0xFFFF_FFFF)
+        ~sid:t.rsid ~depth:t.total
 
 let bucket_of_flow t flow =
   Hashtbl.hash (flow, t.perturbation) mod Array.length t.buckets
@@ -37,7 +59,7 @@ let longest_bucket t =
     t.buckets;
   !best
 
-let enqueue t h =
+let enqueue ?(now = 0) t h =
   let idx = bucket_of_flow t (Packet_pool.flow t.pool h) in
   if t.total < t.capacity then begin
     Ring.push t.buckets.(idx) h;
@@ -47,9 +69,13 @@ let enqueue t h =
   end
   else begin
     let longest = longest_bucket t in
-    if longest = idx then `Dropped
+    if longest = idx then begin
+      record_drop t now h;
+      `Dropped
+    end
     else begin
       let victim = Ring.pop_exn t.buckets.(longest) in
+      record_drop t now victim;
       Ring.push t.buckets.(idx) h;
       `Enqueued_dropping victim
     end

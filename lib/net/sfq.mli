@@ -16,13 +16,20 @@ val create :
     packets are handles into [pool].
     @raise Invalid_argument if [capacity < 1] or [buckets < 1]. *)
 
+val set_recorder : t -> recorder:Telemetry.Recorder.t -> name:string -> unit
+(** Wire a flight recorder: drop decisions (including push-out victims)
+    write a [queue_forced_drop] record tagged with [name], carrying the
+    total occupancy. *)
+
 val enqueue :
+  ?now:int ->
   t ->
   Packet_pool.handle ->
   [ `Enqueued | `Dropped | `Enqueued_dropping of Packet_pool.handle ]
 (** [`Enqueued_dropping victim]: the arriving packet was admitted but
     [victim] (from the longest bucket) was discarded to make room. The
-    victim is not freed here — the link owns the drop. *)
+    victim is not freed here — the link owns the drop. [now] is the
+    integer-nanosecond tick stamped on recorder records. *)
 
 val dequeue : t -> Packet_pool.handle
 (** Round-robin across non-empty buckets; {!Packet_pool.nil} when

@@ -1,6 +1,13 @@
+type scale = Linear | Log
+
 type t = {
+  scale : scale;
   lo : float;
   hi : float;
+  (* Cached [log lo] and [log hi -. log lo] for the Log fast path; both
+     are 0. for Linear histograms. *)
+  log_lo : float;
+  log_span : float;
   bins : int array;
   mutable under : int;
   mutable over : int;
@@ -10,7 +17,45 @@ type t = {
 let create ~lo ~hi ~bins =
   if not (lo < hi) then invalid_arg "Histogram.create: lo >= hi";
   if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
-  { lo; hi; bins = Array.make bins 0; under = 0; over = 0; total = 0 }
+  {
+    scale = Linear;
+    lo;
+    hi;
+    log_lo = 0.;
+    log_span = 0.;
+    bins = Array.make bins 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
+
+let create_log ~lo ~hi ~bins =
+  if not (lo > 0.) then invalid_arg "Histogram.create_log: lo <= 0";
+  if not (lo < hi) then invalid_arg "Histogram.create_log: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create_log: bins <= 0";
+  let log_lo = log lo in
+  {
+    scale = Log;
+    lo;
+    hi;
+    log_lo;
+    log_span = log hi -. log_lo;
+    bins = Array.make bins 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
+
+let create_like t =
+  {
+    t with
+    bins = Array.make (Array.length t.bins) 0;
+    under = 0;
+    over = 0;
+    total = 0;
+  }
+
+let scale t = t.scale
 
 let add t x =
   t.total <- t.total + 1;
@@ -18,8 +63,13 @@ let add t x =
   else if x >= t.hi then t.over <- t.over + 1
   else begin
     let nbins = Array.length t.bins in
-    let idx = int_of_float ((x -. t.lo) /. (t.hi -. t.lo) *. float_of_int nbins) in
-    let idx = Stdlib.min idx (nbins - 1) in
+    let frac =
+      match t.scale with
+      | Linear -> (x -. t.lo) /. (t.hi -. t.lo)
+      | Log -> (log x -. t.log_lo) /. t.log_span
+    in
+    let idx = int_of_float (frac *. float_of_int nbins) in
+    let idx = Stdlib.max 0 (Stdlib.min idx (nbins - 1)) in
     t.bins.(idx) <- t.bins.(idx) + 1
   end
 
@@ -33,7 +83,7 @@ let overflow t = t.over
 
 let merge_into ~into src =
   if
-    into.lo <> src.lo || into.hi <> src.hi
+    into.scale <> src.scale || into.lo <> src.lo || into.hi <> src.hi
     || Array.length into.bins <> Array.length src.bins
   then invalid_arg "Histogram.merge_into: bucket layouts differ";
   Array.iteri (fun i c -> into.bins.(i) <- into.bins.(i) + c) src.bins;
@@ -43,8 +93,16 @@ let merge_into ~into src =
 
 let bin_edges t =
   let nbins = Array.length t.bins in
-  let w = (t.hi -. t.lo) /. float_of_int nbins in
-  Array.init (nbins + 1) (fun i -> t.lo +. (float_of_int i *. w))
+  match t.scale with
+  | Linear ->
+      let w = (t.hi -. t.lo) /. float_of_int nbins in
+      Array.init (nbins + 1) (fun i -> t.lo +. (float_of_int i *. w))
+  | Log ->
+      Array.init (nbins + 1) (fun i ->
+          if i = 0 then t.lo
+          else if i = nbins then t.hi
+          else
+            exp (t.log_lo +. (t.log_span *. float_of_int i /. float_of_int nbins)))
 
 let pp ppf t =
   let maxc = Array.fold_left Stdlib.max 1 t.bins in

@@ -1,10 +1,24 @@
-(** Fixed-width histogram over floats. *)
+(** Fixed-width histogram over floats, with linear or logarithmic
+    bucket spacing. *)
+
+type scale = Linear | Log
 
 type t
 
 val create : lo:float -> hi:float -> bins:int -> t
-(** Requires [lo < hi] and [bins > 0]. Values outside [\[lo, hi)] are
-    counted in under/overflow buckets. *)
+(** Linear spacing. Requires [lo < hi] and [bins > 0]. Values outside
+    [\[lo, hi)] are counted in under/overflow buckets. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Logarithmic spacing: bin [i] covers
+    [\[lo*(hi/lo)^(i/bins), lo*(hi/lo)^((i+1)/bins))]. Requires
+    [0 < lo < hi] and [bins > 0]. *)
+
+val create_like : t -> t
+(** A fresh, empty histogram with the same layout (scale, bounds and
+    bin count) as the argument. *)
+
+val scale : t -> scale
 
 val add : t -> float -> unit
 
@@ -19,11 +33,12 @@ val overflow : t -> int
 val merge_into : into:t -> t -> unit
 (** Adds [src]'s bin, underflow and overflow counts into [into], as if
     every value had been {!add}ed to [into] directly.
-    @raise Invalid_argument if the two layouts ([lo], [hi], bin count)
-    differ. *)
+    @raise Invalid_argument if the two layouts (scale, [lo], [hi], bin
+    count) differ. *)
 
 val bin_edges : t -> float array
-(** [bins + 1] edges. *)
+(** [bins + 1] edges; for [Log] histograms the first and last edge are
+    exactly [lo] and [hi]. *)
 
 val pp : Format.formatter -> t -> unit
 (** ASCII rendering, one bar per bin. *)

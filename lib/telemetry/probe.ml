@@ -1,11 +1,52 @@
+type recording = {
+  config : Recorder.config;
+  mutable segments_rev : Recorder.t list; (* newest first *)
+}
+
 type t = {
   registry : Registry.t;
   bus : Event_bus.t;
   phases : Perf.phases;
+  mutable recording : recording option;
 }
 
 let create () =
-  { registry = Registry.create (); bus = Event_bus.create (); phases = Perf.phases () }
+  {
+    registry = Registry.create ();
+    bus = Event_bus.create ();
+    phases = Perf.phases ();
+    recording = None;
+  }
+
+let set_recording t config = t.recording <- Some { config; segments_rev = [] }
+
+let recording_config t =
+  match t.recording with None -> None | Some r -> Some r.config
+
+(* Worker probes for parallel sweeps: fresh facilities, same recording
+   configuration. Workers always buffer ([Grow]) — their segments are
+   carried back through {!merge} and written by the main probe. *)
+let create_like src =
+  let t = create () in
+  (match src.recording with
+  | None -> ()
+  | Some r ->
+      set_recording t { r.config with Recorder.overflow = Recorder.Grow });
+  t
+
+let start_recorder t ~label =
+  match t.recording with
+  | None -> None
+  | Some r ->
+      let rec_ = Recorder.create ~label r.config in
+      r.segments_rev <- rec_ :: r.segments_rev;
+      Some rec_
+
+let segments t =
+  match t.recording with None -> [] | Some r -> List.rev r.segments_rev
+
+let write_segments t oc =
+  List.iter (fun r -> Recorder.write_segment oc r) (segments t)
 
 let time probe name f =
   match probe with Some p -> Perf.time p.phases name f | None -> f ()
@@ -109,6 +150,13 @@ let gauge_merge_rule ~name ~labels:_ =
 let merge ~into src =
   Registry.merge ~gauge_rule:gauge_merge_rule ~into:into.registry src.registry;
   Perf.merge_into ~into:into.phases src.phases;
+  (* Worker recorder segments ride along: appended in merge order, which
+     the sweep drives in input order, so the merged record file is
+     deterministic and identical to a sequential run's. *)
+  (match (into.recording, src.recording) with
+  | Some d, Some s -> d.segments_rev <- s.segments_rev @ d.segments_rev
+  | None, Some s -> into.recording <- Some s
+  | _, None -> ());
   (* The per-event ratio is not mergeable (last-write would keep one
      worker's value); rebuild it from the merged totals. *)
   refresh_words_per_event into

@@ -6,13 +6,44 @@
     Metric names used by {!note_run} are exposed as [m_*] constants so
     reporters and tests never spell them twice. *)
 
+type recording = {
+  config : Recorder.config;
+  mutable segments_rev : Recorder.t list; (* newest first *)
+}
+
 type t = {
   registry : Registry.t;
   bus : Event_bus.t;
   phases : Perf.phases;
+  mutable recording : recording option;
 }
 
 val create : unit -> t
+
+(** {2 Flight recording}
+
+    When a recording configuration is set, each run starts its own
+    {!Recorder.t} (one segment per run); segments accumulate on the
+    probe in run order and parallel workers' segments are carried back
+    by {!merge} in input order, so the final record file is
+    deterministic and identical to a sequential run's. *)
+
+val set_recording : t -> Recorder.config -> unit
+
+val recording_config : t -> Recorder.config option
+
+val create_like : t -> t
+(** A fresh probe inheriting only the recording configuration (workers
+    always buffer with [Grow]; their segments travel via {!merge}). *)
+
+val start_recorder : t -> label:string -> Recorder.t option
+(** Begin a new segment for one run; [None] when recording is off. *)
+
+val segments : t -> Recorder.t list
+(** Accumulated segments in run order. *)
+
+val write_segments : t -> out_channel -> unit
+(** Write all segments in order (idempotent per segment). *)
 
 val time : t option -> string -> (unit -> 'a) -> 'a
 (** [time probe name f] times [f] under phase [name] when the probe is

@@ -1,0 +1,296 @@
+(* Fixed-width binary trace records.
+
+   One record is [words] consecutive OCaml ints:
+
+     [tick; kind; flow; a; b; c; sid; depth]
+
+   - [tick]  simulation time in integer nanoseconds (engine ticks);
+   - [kind]  one of the codes below;
+   - [flow]  flow id, or 0 when not applicable;
+   - [a..c]  kind-specific payload words (floats travel as the hi/lo
+     32-bit halves of their IEEE-754 bits in [b]/[c], so decoding is
+     exact);
+   - [sid]   interned-string id (link/queue/label name), 0 = none;
+   - [depth] instantaneous queue depth at the recording site, or 0.
+
+   Kinds 0..10 mirror {!Event_bus.event} one-to-one ("parity" kinds): a
+   recorded stream decodes to byte-identical NDJSON to what the live
+   tracer would have written. Kinds >= 11 are lifecycle extensions that
+   only exist in the binary stream. *)
+
+let words = 8
+
+(* Parity kinds: exactly the Event_bus vocabulary. *)
+let packet_arrival = 0
+let packet_drop = 1
+let packet_depart = 2
+let tcp_timeout = 3
+let tcp_fast_retransmit = 4
+let tcp_cwnd_cut = 5
+let tcp_ecn_reaction = 6
+let queue_ecn_mark = 7
+let queue_early_drop = 8
+let queue_forced_drop = 9
+let custom_value = 10
+
+(* Lifecycle kinds. *)
+let tcp_phase = 11
+let tcp_rtt = 12
+let rcv_out_of_order = 13
+let rcv_duplicate = 14
+let router_rtx_forward = 15
+let run_start = 16
+let run_end = 17
+
+let max_kind = run_end
+
+let is_parity k = k >= packet_arrival && k <= custom_value
+
+let kind_label = function
+  | 0 -> "packet_arrival"
+  | 1 -> "packet_drop"
+  | 2 -> "packet_depart"
+  | 3 -> "tcp_timeout"
+  | 4 -> "tcp_fast_retransmit"
+  | 5 -> "tcp_cwnd_cut"
+  | 6 -> "tcp_ecn_reaction"
+  | 7 -> "queue_ecn_mark"
+  | 8 -> "queue_early_drop"
+  | 9 -> "queue_forced_drop"
+  | 10 -> "custom"
+  | 11 -> "tcp_phase"
+  | 12 -> "tcp_rtt"
+  | 13 -> "rcv_out_of_order"
+  | 14 -> "rcv_duplicate"
+  | 15 -> "router_rtx_forward"
+  | 16 -> "run_start"
+  | 17 -> "run_end"
+  | k -> Printf.sprintf "kind_%d" k
+
+let kind_of_label s =
+  let rec find k = if k > max_kind then None else if String.equal (kind_label k) s then Some k else find (k + 1) in
+  find 0
+
+(* TCP congestion phases carried in the [a] word of [tcp_phase]. *)
+let phase_slow_start = 0
+let phase_cong_avoid = 1
+let phase_recovery = 2
+let phase_timeout = 3
+
+let phase_label = function
+  | 0 -> "slow_start"
+  | 1 -> "cong_avoid"
+  | 2 -> "recovery"
+  | 3 -> "timeout"
+  | p -> Printf.sprintf "phase_%d" p
+
+(* Sentinel for "no sequence number" in the [c] word of packet records
+   (ACKs and UDP datagrams publish [seq = null]). *)
+let no_seq = min_int
+
+(* ------------------------------------------------------------------ *)
+(* Exact float transport: IEEE-754 bits split across two words.       *)
+
+let float_hi f =
+  Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float f) 32)
+
+let float_lo f =
+  Int64.to_int (Int64.logand (Int64.bits_of_float f) 0xFFFF_FFFFL)
+
+(* IEEE-754 bits of [float_of_int n] for small [n >= 0], in pure
+   integer arithmetic: nonnegative doubles keep the sign bit clear, so
+   the whole 63 significant bits fit an OCaml int and no float (or
+   Int64) is ever boxed. Exact for n < 2^52 — plenty for queue depths.
+   [bits lsr 32] and [bits land 0xFFFF_FFFF] are then the {!float_hi} /
+   {!float_lo} words. *)
+let[@inline] bits_of_nonneg_int n =
+  if n <= 0 then 0
+  else begin
+    let k = ref 0 in
+    while n lsr !k > 1 do
+      incr k
+    done;
+    ((1023 + !k) lsl 52) lor ((n lsl (52 - !k)) land 0xF_FFFF_FFFF_FFFF)
+  end
+
+let float_of_parts ~hi ~lo =
+  Int64.float_of_bits
+    (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo))
+
+let time_of_tick tick = float_of_int tick /. 1e9
+
+(* ------------------------------------------------------------------ *)
+(* Binary word codec: 64-bit little-endian, sign-extended. OCaml's
+   63-bit ints round-trip exactly (the written 64-bit value is the
+   sign-extension, and reading truncates it back). *)
+
+let put64 b pos v =
+  Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v asr 8) land 0xff));
+  Bytes.unsafe_set b (pos + 2) (Char.unsafe_chr ((v asr 16) land 0xff));
+  Bytes.unsafe_set b (pos + 3) (Char.unsafe_chr ((v asr 24) land 0xff));
+  Bytes.unsafe_set b (pos + 4) (Char.unsafe_chr ((v asr 32) land 0xff));
+  Bytes.unsafe_set b (pos + 5) (Char.unsafe_chr ((v asr 40) land 0xff));
+  Bytes.unsafe_set b (pos + 6) (Char.unsafe_chr ((v asr 48) land 0xff));
+  Bytes.unsafe_set b (pos + 7) (Char.unsafe_chr ((v asr 56) land 0xff))
+
+let get64 b pos =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v :=
+      Int64.logor (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.get b (pos + i))))
+  done;
+  Int64.to_int !v
+
+(* In-memory lane words: native-endian 64-bit stores/loads through the
+   unaligned bytes primitives. Lanes live in [Bytes] precisely so the
+   major GC never scans them (a multi-MB int array is walked word by
+   word on every major cycle; an equally large Bytes block is O(1) to
+   mark). Native endianness never leaks: the on-disk format always goes
+   through the explicitly little-endian {!put64}/{!get64}. *)
+
+external unsafe_set_word64 : Bytes.t -> int -> int64 -> unit
+  = "%caml_bytes_set64u"
+
+external unsafe_get_word64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+
+let[@inline] set_word b pos v = unsafe_set_word64 b pos (Int64.of_int v)
+
+let[@inline] get_word b pos = Int64.to_int (unsafe_get_word64 b pos)
+
+let encode b ~pos buf ~off =
+  for i = 0 to words - 1 do
+    put64 b (pos + (8 * i)) (Array.unsafe_get buf (off + i))
+  done
+
+let decode b ~pos buf ~off =
+  for i = 0 to words - 1 do
+    Array.unsafe_set buf (off + i) (get64 b (pos + (8 * i)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Decoding records back into events / JSON.                          *)
+
+let event_of_record ~lookup buf off =
+  let tick = buf.(off) and kind = buf.(off + 1) and flow = buf.(off + 2) in
+  let a = buf.(off + 3) and b = buf.(off + 4) and c = buf.(off + 5) in
+  let sid = buf.(off + 6) in
+  let time = time_of_tick tick in
+  let packet k =
+    Some
+      (Event_bus.Packet
+         {
+           time;
+           kind = k;
+           link = lookup sid;
+           flow;
+           seq = (if c = no_seq then None else Some c);
+           size_bytes = b;
+           uid = a;
+         })
+  in
+  let tcp k =
+    Some (Event_bus.Tcp { time; kind = k; flow; cwnd = float_of_parts ~hi:b ~lo:c })
+  in
+  let queue k =
+    Some
+      (Event_bus.Queue
+         { time; kind = k; queue = lookup sid; flow; avg = float_of_parts ~hi:b ~lo:c })
+  in
+  if kind = packet_arrival then packet Event_bus.Arrival
+  else if kind = packet_drop then packet Event_bus.Drop
+  else if kind = packet_depart then packet Event_bus.Depart
+  else if kind = tcp_timeout then tcp Event_bus.Timeout
+  else if kind = tcp_fast_retransmit then tcp Event_bus.Fast_retransmit
+  else if kind = tcp_cwnd_cut then tcp Event_bus.Cwnd_cut
+  else if kind = tcp_ecn_reaction then tcp Event_bus.Ecn_reaction
+  else if kind = queue_ecn_mark then queue Event_bus.Ecn_mark
+  else if kind = queue_early_drop then queue Event_bus.Early_drop
+  else if kind = queue_forced_drop then queue Event_bus.Forced_drop
+  else if kind = custom_value then
+    Some
+      (Event_bus.Custom
+         { time; name = lookup sid; value = float_of_parts ~hi:b ~lo:c })
+  else None
+
+let json_of_record ~lookup buf off =
+  match event_of_record ~lookup buf off with
+  | Some e -> Event_bus.to_json e
+  | None ->
+      let tick = buf.(off) and kind = buf.(off + 1) and flow = buf.(off + 2) in
+      let a = buf.(off + 3) and b = buf.(off + 4) and c = buf.(off + 5) in
+      let sid = buf.(off + 6) in
+      let time = Json.Float (time_of_tick tick) in
+      if kind = tcp_phase then
+        Json.Obj
+          [
+            ("event", Json.String "phase");
+            ("time", time);
+            ("flow", Json.Int flow);
+            ("phase", Json.String (phase_label a));
+            ("cwnd", Json.Float (float_of_parts ~hi:b ~lo:c));
+          ]
+      else if kind = tcp_rtt then
+        Json.Obj
+          [
+            ("event", Json.String "rtt");
+            ("time", time);
+            ("flow", Json.Int flow);
+            ("rtt_ns", Json.Int a);
+          ]
+      else if kind = rcv_out_of_order || kind = rcv_duplicate then
+        Json.Obj
+          [
+            ("event", Json.String "receiver");
+            ("time", time);
+            ( "kind",
+              Json.String
+                (if kind = rcv_out_of_order then "out_of_order" else "duplicate")
+            );
+            ("flow", Json.Int flow);
+            ("seq", Json.Int a);
+          ]
+      else if kind = router_rtx_forward then
+        Json.Obj
+          [
+            ("event", Json.String "router");
+            ("time", time);
+            ("name", Json.String (lookup sid));
+            ("flow", Json.Int flow);
+            ("uid", Json.Int a);
+            ("dst", Json.Int b);
+            ("seq", Json.Int c);
+          ]
+      else if kind = run_start then
+        Json.Obj
+          [
+            ("event", Json.String "run");
+            ("time", time);
+            ("kind", Json.String "start");
+            ("label", Json.String (lookup sid));
+          ]
+      else if kind = run_end then
+        Json.Obj
+          [
+            ("event", Json.String "run");
+            ("time", time);
+            ("kind", Json.String "end");
+            ("label", Json.String (lookup sid));
+            ("events", Json.Int a);
+          ]
+      else
+        Json.Obj
+          [
+            ("event", Json.String (kind_label kind));
+            ("time", time);
+            ("flow", Json.Int flow);
+            ("a", Json.Int a);
+            ("b", Json.Int b);
+            ("c", Json.Int c);
+            ("sid", Json.Int sid);
+            ("depth", Json.Int buf.(off + 7));
+          ]
+
+let ndjson_of_record ~lookup buf off =
+  Json.to_string (json_of_record ~lookup buf off)

@@ -1,0 +1,120 @@
+(** Fixed-width binary trace records: the flight recorder's wire unit.
+
+    A record is {!words} consecutive integer words
+
+    {v [tick; kind; flow; a; b; c; sid; depth] v}
+
+    where [tick] is integer-nanosecond simulation time, [kind] one of
+    the codes below, [sid] an interned-string id (0 = none) and
+    [depth] the instantaneous queue depth at the recording site.
+    Floats travel exactly as the two 32-bit halves of their IEEE-754
+    bits in [b]/[c].
+
+    Kinds [0..10] ("parity" kinds) mirror {!Event_bus.event}
+    one-to-one, so a recorded stream decodes to NDJSON byte-identical
+    to the live tracer's output. Kinds [>= 11] are lifecycle
+    extensions (phases, RTT samples, receiver reordering, router
+    retransmit forwards, run markers) that exist only in the binary
+    stream. *)
+
+val words : int
+(** Words per record (8). *)
+
+(** {1 Kind codes} *)
+
+val packet_arrival : int
+val packet_drop : int
+val packet_depart : int
+val tcp_timeout : int
+val tcp_fast_retransmit : int
+val tcp_cwnd_cut : int
+val tcp_ecn_reaction : int
+val queue_ecn_mark : int
+val queue_early_drop : int
+val queue_forced_drop : int
+val custom_value : int
+val tcp_phase : int
+val tcp_rtt : int
+val rcv_out_of_order : int
+val rcv_duplicate : int
+val router_rtx_forward : int
+val run_start : int
+val run_end : int
+val max_kind : int
+
+val is_parity : int -> bool
+(** True for kinds that map one-to-one onto {!Event_bus.event}. *)
+
+val kind_label : int -> string
+val kind_of_label : string -> int option
+
+(** {1 TCP phase codes} (the [a] word of [tcp_phase] records) *)
+
+val phase_slow_start : int
+val phase_cong_avoid : int
+val phase_recovery : int
+val phase_timeout : int
+val phase_label : int -> string
+
+val no_seq : int
+(** Sentinel in the [c] word of packet records for [seq = None]. *)
+
+(** {1 Exact float transport} *)
+
+val float_hi : float -> int
+(** High 32 bits of [Int64.bits_of_float], in [\[0, 2{^32})]. *)
+
+val float_lo : float -> int
+(** Low 32 bits of [Int64.bits_of_float], in [\[0, 2{^32})]. *)
+
+val bits_of_nonneg_int : int -> int
+(** IEEE-754 bits of [float_of_int n] ([n >= 0], exact below 2{^52})
+    computed in pure integer arithmetic — for hot paths that must not
+    box a float. [bits lsr 32] / [bits land 0xFFFF_FFFF] are the
+    {!float_hi} / {!float_lo} words. *)
+
+val float_of_parts : hi:int -> lo:int -> float
+(** Exact inverse of {!float_hi}/{!float_lo} (including NaN payloads,
+    infinities and negative zero). *)
+
+val time_of_tick : int -> float
+(** [float_of_int tick /. 1e9] — exactly the engine's tick-to-seconds
+    conversion, so decoded timestamps match published ones byte for
+    byte. *)
+
+(** {1 Binary word codec}
+
+    64-bit little-endian two's complement; OCaml's 63-bit ints
+    round-trip exactly. *)
+
+val put64 : Bytes.t -> int -> int -> unit
+val get64 : Bytes.t -> int -> int
+
+val set_word : Bytes.t -> int -> int -> unit
+(** Native-endian unchecked 64-bit store — the in-memory lane format.
+    The caller guarantees [pos + 8 <= length]; disk output must go
+    through the little-endian {!put64} instead. *)
+
+val get_word : Bytes.t -> int -> int
+(** Native-endian unchecked load, twin of {!set_word}. *)
+
+val encode : Bytes.t -> pos:int -> int array -> off:int -> unit
+(** Writes the {!words}-word record at [buf.(off..)] as [8 * words]
+    bytes at [pos]. *)
+
+val decode : Bytes.t -> pos:int -> int array -> off:int -> unit
+(** Inverse of {!encode}. *)
+
+(** {1 Decoding to events / JSON} *)
+
+val event_of_record :
+  lookup:(int -> string) -> int array -> int -> Event_bus.event option
+(** [Some event] for parity kinds, [None] for lifecycle kinds.
+    [lookup] resolves interned-string ids. *)
+
+val json_of_record : lookup:(int -> string) -> int array -> int -> Json.t
+(** JSON for any kind; parity kinds go through
+    {!Event_bus.to_json} so serialization is byte-identical to the
+    live tracer. *)
+
+val ndjson_of_record : lookup:(int -> string) -> int array -> int -> string

@@ -71,19 +71,30 @@ let gauge t ?(help = "") ?(labels = []) name =
       (g, Gauge g))
     (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
 
+let histogram_cell make_hist () =
+  let h =
+    {
+      hist = make_hist ();
+      stats = Netstats.Welford.create ();
+      p50_est = Netstats.P2_quantile.create ~q:0.5;
+      p99_est = Netstats.P2_quantile.create ~q:0.99;
+    }
+  in
+  (h, Histogram h)
+
+let histogram_same = function
+  | Histogram h -> Some h
+  | Counter _ | Gauge _ -> None
+
 let histogram t ?(help = "") ?(labels = []) ~lo ~hi ~bins name =
   register t ~help ~labels name
-    (fun () ->
-      let h =
-        {
-          hist = Netstats.Histogram.create ~lo ~hi ~bins;
-          stats = Netstats.Welford.create ();
-          p50_est = Netstats.P2_quantile.create ~q:0.5;
-          p99_est = Netstats.P2_quantile.create ~q:0.99;
-        }
-      in
-      (h, Histogram h))
-    (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+    (histogram_cell (fun () -> Netstats.Histogram.create ~lo ~hi ~bins))
+    histogram_same
+
+let log_histogram t ?(help = "") ?(labels = []) ~lo ~hi ~bins name =
+  register t ~help ~labels name
+    (histogram_cell (fun () -> Netstats.Histogram.create_log ~lo ~hi ~bins))
+    histogram_same
 
 let inc ?(by = 1) c = c.count <- c.count + by
 
@@ -160,10 +171,13 @@ let merge ?(gauge_rule = fun ~name:_ ~labels:_ -> `Set) ~into src =
           | `Sum -> add dst g.value
           | `Max -> set_max dst g.value)
       | Histogram h ->
-          let edges = Netstats.Histogram.bin_edges h.hist in
-          let lo = edges.(0) and hi = edges.(Array.length edges - 1) in
-          let bins = Array.length edges - 1 in
-          let dst = histogram into ~help:m.help ~labels:m.labels ~lo ~hi ~bins m.name in
+          (* Registering via [create_like] preserves the source's exact
+             bucket layout, including logarithmic spacing. *)
+          let dst =
+            register into ~help:m.help ~labels:m.labels m.name
+              (histogram_cell (fun () -> Netstats.Histogram.create_like h.hist))
+              histogram_same
+          in
           Netstats.Histogram.merge_into ~into:dst.hist h.hist;
           Netstats.Welford.merge_into ~into:dst.stats h.stats;
           rebuild_quantiles dst)

@@ -52,6 +52,19 @@ val histogram :
     registration; later calls with the same key return the existing
     series and ignore their layout arguments. *)
 
+val log_histogram :
+  t ->
+  ?help:string ->
+  ?labels:labels ->
+  lo:float ->
+  hi:float ->
+  bins:int ->
+  string ->
+  histogram
+(** Like {!histogram} but with logarithmically spaced buckets
+    (see {!Netstats.Histogram.create_log}); requires [0 < lo < hi].
+    Suited to latency-style quantities spanning decades. *)
+
 (** {2 Updates} *)
 
 val inc : ?by:int -> counter -> unit

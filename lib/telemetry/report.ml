@@ -151,6 +151,66 @@ let validate_alloc j =
         | _ -> Error "rows is not a list")
   | _ -> Error "alloc report is not a JSON object"
 
+(* BENCH_telemetry.json: the three-configuration overhead benchmark
+   (baseline / probed / probed+recorder). Schema check plus the
+   committed budgets the file itself carries. *)
+let bench_telemetry_required_fields =
+  [
+    "scenario";
+    "clients";
+    "events";
+    "baseline_events_per_sec";
+    "probed_events_per_sec";
+    "recorded_events_per_sec";
+    "probed_run_s";
+    "recorded_run_s";
+    "probe_overhead_pct";
+    "probe_overhead_budget_pct";
+    "recorder_overhead_pct";
+    "recorder_overhead_budget_pct";
+    "recorder_minor_words_per_event_delta";
+    "recorder_words_budget";
+    "recorder_records";
+    "recorder_dropped";
+  ]
+
+let validate_bench_telemetry j =
+  match j with
+  | Json.Obj _ -> (
+      let missing =
+        List.filter
+          (fun f -> Json.member f j = None)
+          bench_telemetry_required_fields
+      in
+      if missing <> [] then
+        Error ("missing fields: " ^ String.concat ", " missing)
+      else
+        let number f = Option.bind (Json.member f j) Json.to_float in
+        let gate what value budget =
+          match (number value, number budget) with
+          | Some v, Some b when v > b ->
+              [ Printf.sprintf "%s %.4f exceeds budget %g" what v b ]
+          | Some _, Some _ -> []
+          | _ -> [ Printf.sprintf "%s fields are not numbers" what ]
+        in
+        let errors =
+          gate "probe overhead pct" "probe_overhead_pct"
+            "probe_overhead_budget_pct"
+          @ gate "recorder overhead pct" "recorder_overhead_pct"
+              "recorder_overhead_budget_pct"
+          @ gate "recorder minor words/event delta"
+              "recorder_minor_words_per_event_delta" "recorder_words_budget"
+          @
+          match number "recorder_records" with
+          | Some r when r > 0. -> []
+          | Some _ -> [ "recorder_records is zero" ]
+          | None -> [ "recorder_records is not a number" ]
+        in
+        match errors with
+        | [] -> Ok ()
+        | errors -> Error (String.concat "; " errors))
+  | _ -> Error "bench-telemetry report is not a JSON object"
+
 let validate j =
   match j with
   | Json.Obj _ ->

@@ -49,3 +49,8 @@ val validate_alloc : Json.t -> (unit, string) result
     events/sec floor is deliberately not re-checked here: it is
     wall-clock sensitive and enforced by the bench itself (full mode
     only). *)
+
+val validate_bench_telemetry : Json.t -> (unit, string) result
+(** Validate a BENCH_telemetry.json overhead report: required fields
+    plus the probe/recorder overhead and allocation budgets the file
+    carries ([report-check --kind=bench-telemetry]). *)

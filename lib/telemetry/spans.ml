@@ -1,0 +1,95 @@
+(* Lifecycle spans derived from a flight-recorder stream.
+
+   Three span families, all accumulated into log-scale histograms in
+   the metric registry:
+
+   - packet sojourn: [packet_arrival] to [packet_depart] on the same
+     (link, uid); a [packet_drop] cancels the pending span;
+   - RTT samples: the [tcp_rtt] records emitted by senders on
+     Karn-valid ACKs;
+   - flow phases: durations between [tcp_phase] transitions, labelled
+     by the phase being left; spans still open when the stream ends
+     are closed at the [run_end] marker (or the last tick seen).
+
+   The accumulator is stream-order-driven and assumes one segment
+   (ticks restart between segments): call it once per segment. *)
+
+let sojourn_hist registry =
+  Registry.log_histogram registry
+    ~help:"Packet sojourn through a recorded link (enqueue to depart)"
+    ~lo:1e-5 ~hi:100. ~bins:40 "trace_packet_sojourn_seconds"
+
+let rtt_hist registry =
+  Registry.log_histogram registry
+    ~help:"Sender RTT samples from the flight recorder" ~lo:1e-3 ~hi:100.
+    ~bins:40 "trace_rtt_seconds"
+
+let phase_hist registry p =
+  Registry.log_histogram registry
+    ~help:"Time spent in each TCP congestion phase"
+    ~labels:[ ("phase", Record.phase_label p) ]
+    ~lo:1e-4 ~hi:1000. ~bins:40 "trace_phase_seconds"
+
+let accumulate ~registry iter =
+  let sojourn = sojourn_hist registry in
+  let rtt = rtt_hist registry in
+  let phase_hists =
+    [|
+      phase_hist registry Record.phase_slow_start;
+      phase_hist registry Record.phase_cong_avoid;
+      phase_hist registry Record.phase_recovery;
+      phase_hist registry Record.phase_timeout;
+    |]
+  in
+  let observe_phase p dticks =
+    if p >= 0 && p < Array.length phase_hists then
+      Registry.observe phase_hists.(p) (Record.time_of_tick dticks)
+  in
+  let pending : (int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let phases : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+  let last_tick = ref 0 in
+  let end_tick = ref (-1) in
+  iter (fun ~lane:_ ~seq:_ buf off ->
+      let tick = buf.(off) and kind = buf.(off + 1) in
+      if tick > !last_tick then last_tick := tick;
+      if kind = Record.packet_arrival then
+        (* sid in off+6 names the link, a in off+3 is the packet uid *)
+        Hashtbl.replace pending (buf.(off + 6), buf.(off + 3)) tick
+      else if kind = Record.packet_depart then begin
+        let key = (buf.(off + 6), buf.(off + 3)) in
+        match Hashtbl.find_opt pending key with
+        | Some t0 ->
+            Hashtbl.remove pending key;
+            Registry.observe sojourn (Record.time_of_tick (tick - t0))
+        | None -> ()
+      end
+      else if kind = Record.packet_drop then
+        Hashtbl.remove pending (buf.(off + 6), buf.(off + 3))
+      else if kind = Record.tcp_rtt then
+        Registry.observe rtt (Record.time_of_tick buf.(off + 3))
+      else if kind = Record.tcp_phase then begin
+        let flow = buf.(off + 2) and p = buf.(off + 3) in
+        (match Hashtbl.find_opt phases flow with
+        | Some (p0, t0) -> observe_phase p0 (tick - t0)
+        | None -> ());
+        Hashtbl.replace phases flow (p, tick)
+      end
+      else if kind = Record.run_end then end_tick := tick);
+  let close = if !end_tick >= 0 then !end_tick else !last_tick in
+  Hashtbl.iter
+    (fun _flow (p, t0) -> if close > t0 then observe_phase p (close - t0))
+    phases
+
+let histograms registry =
+  [
+    ("packet_sojourn", sojourn_hist registry);
+    ("rtt", rtt_hist registry);
+    ("phase:slow_start", phase_hist registry Record.phase_slow_start);
+    ("phase:cong_avoid", phase_hist registry Record.phase_cong_avoid);
+    ("phase:recovery", phase_hist registry Record.phase_recovery);
+    ("phase:timeout", phase_hist registry Record.phase_timeout);
+  ]
+
+let of_recorder ~registry r = accumulate ~registry (Recorder.iter_merged r)
+
+let of_segment ~registry seg = accumulate ~registry (Recorder.iter_segment seg)

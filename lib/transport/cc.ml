@@ -11,6 +11,10 @@ type handle = {
   name : string;
   cwnd : unit -> float;
   ssthresh : unit -> float;
+  (* Immediate-typed phase query for the flight recorder: the float
+     closures above return boxed floats, so per-ACK phase tracking goes
+     through this bool instead to stay allocation-free. *)
+  in_slow_start : unit -> bool;
   on_new_ack : ack_info -> unit;
   enter_recovery : flight:int -> now:float -> unit;
   dup_ack_inflate : unit -> unit;
@@ -23,6 +27,10 @@ type handle = {
 }
 
 type window = { mutable cwnd : float; mutable ssthresh : float }
+
+(* Both field reads feed straight into the comparison, so this neither
+   boxes nor allocates. *)
+let window_in_slow_start w = w.cwnd < w.ssthresh
 
 let slow_start_and_avoidance w ~max_window newly_acked =
   for _ = 1 to newly_acked do

@@ -27,6 +27,7 @@ type handle = {
   name : string;
   cwnd : unit -> float;
   ssthresh : unit -> float;
+  in_slow_start : unit -> bool;
   on_new_ack : ack_info -> unit;
       (** A cumulative ACK advancing the window, outside recovery. *)
   enter_recovery : flight:int -> now:float -> unit;
@@ -57,6 +58,11 @@ type window = { mutable cwnd : float; mutable ssthresh : float }
 (** The AIMD pair shared by Tahoe/Reno/NewReno/SACK. All-float on
     purpose: the record is flat, so the per-ACK mutations store unboxed
     doubles ([float ref] cells would box on every assignment). *)
+
+val window_in_slow_start : window -> bool
+(** [cwnd < ssthresh] without boxing either float — use this (or an
+    equivalent immediate-typed closure) to implement
+    {!handle.in_slow_start}. *)
 
 val slow_start_and_avoidance : window -> max_window:float -> int -> unit
 (** Apply the standard per-ACK window growth for [newly_acked] segments:

@@ -4,6 +4,7 @@ let handle ~initial_ssthresh ~max_window =
     Cc.name = "reno";
     cwnd = (fun () -> w.Cc.cwnd);
     ssthresh = (fun () -> w.Cc.ssthresh);
+    in_slow_start = (fun () -> Cc.window_in_slow_start w);
     on_new_ack =
       (fun info -> Cc.slow_start_and_avoidance w ~max_window info.Cc.newly_acked);
     enter_recovery =

@@ -14,6 +14,10 @@ type t = {
   delayed_ack : bool;
   sack : bool;
   transmit : Pool.handle -> unit;
+  (* Lifecycle-only flight-recorder lane: out-of-order buffering and
+     duplicate discards. [None] in parity mode so the binary stream
+     stays byte-identical to the live NDJSON tracer. *)
+  rlane : Telemetry.Recorder.lane option;
   out_of_order : (int, unit) Hashtbl.t;
   mutable expected : int;
   mutable unacked_segments : int; (* in-order segments not yet ACKed *)
@@ -66,8 +70,14 @@ let send_ack t =
   in
   t.transmit p
 
-let create ?(sack = false) sched ~pool ~flow ~src ~dst ~ack_bytes ~delayed_ack
-    ~transmit =
+let create ?(sack = false) ?recorder sched ~pool ~flow ~src ~dst ~ack_bytes
+    ~delayed_ack ~transmit =
+  let rlane =
+    match recorder with
+    | Some r when Telemetry.Recorder.lifecycle r ->
+        Some (Telemetry.Recorder.lane r 0)
+    | _ -> None
+  in
   let t =
     {
       sched;
@@ -79,6 +89,7 @@ let create ?(sack = false) sched ~pool ~flow ~src ~dst ~ack_bytes ~delayed_ack
       delayed_ack;
       sack;
       transmit;
+      rlane;
       out_of_order = Hashtbl.create 16;
       expected = 0;
       unacked_segments = 0;
@@ -98,6 +109,14 @@ let create ?(sack = false) sched ~pool ~flow ~src ~dst ~ack_bytes ~delayed_ack
 let schedule_delack t =
   if Scheduler.is_nil t.delack_timer then
     t.delack_timer <- Scheduler.after t.sched delack_delay t.on_delack
+
+let record_rcv t kind seq =
+  match t.rlane with
+  | None -> ()
+  | Some lane ->
+      Telemetry.Recorder.record lane
+        ~tick:(Time.to_ns (Scheduler.now t.sched))
+        ~kind ~flow:t.flow ~a:seq ~b:0 ~c:0 ~sid:0 ~depth:0
 
 let on_in_order t =
   t.expected <- t.expected + 1;
@@ -123,13 +142,20 @@ let handle_packet t h =
       let seq = Pool.seq t.pool h in
       if seq = t.expected then on_in_order t
       else if seq > t.expected then begin
-        if Hashtbl.mem t.out_of_order seq then t.duplicates <- t.duplicates + 1
-        else Hashtbl.replace t.out_of_order seq ();
+        if Hashtbl.mem t.out_of_order seq then begin
+          t.duplicates <- t.duplicates + 1;
+          record_rcv t Telemetry.Record.rcv_duplicate seq
+        end
+        else begin
+          Hashtbl.replace t.out_of_order seq ();
+          record_rcv t Telemetry.Record.rcv_out_of_order seq
+        end;
         (* Out-of-order arrival: ACK immediately (duplicate ACK). *)
         send_ack t
       end
       else begin
         t.duplicates <- t.duplicates + 1;
+        record_rcv t Telemetry.Record.rcv_duplicate seq;
         send_ack t
       end
   | Pool.Tcp_ack | Pool.Udp_data -> ()

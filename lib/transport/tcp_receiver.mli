@@ -11,6 +11,7 @@ type t
 
 val create :
   ?sack:bool ->
+  ?recorder:Telemetry.Recorder.t ->
   Sim_engine.Scheduler.t ->
   pool:Netsim.Packet_pool.t ->
   flow:int ->
@@ -22,7 +23,9 @@ val create :
   t
 (** [src] is the receiver's node (ACK source); [dst] the sender's.
     [sack] (default false) attaches RFC 2018 selective-acknowledgment
-    blocks describing buffered out-of-order data to every ACK. *)
+    blocks describing buffered out-of-order data to every ACK.
+    [recorder] (lifecycle mode only) logs out-of-order buffering and
+    duplicate discards to the flight recorder. *)
 
 val handle_packet : t -> Netsim.Packet_pool.handle -> unit
 (** Feed an incoming packet (TCP data; anything else is ignored). The

@@ -19,6 +19,8 @@ type t = {
   pacing : bool;
   trace_cwnd : bool;
   bus : Telemetry.Event_bus.t option;
+  rlane : Telemetry.Recorder.lane option;
+  r_lifecycle : bool;
   transmit : Pool.handle -> unit;
   stats : Tcp_stats.t;
   cwnd_trace : Netstats.Series.t;
@@ -55,6 +57,11 @@ type t = {
   mutable pace_timer : Scheduler.handle;
   mutable on_pace : unit -> unit;
   mutable last_paced_send : Time.t; (* [Time.never] until the first paced send *)
+  (* Flight-recorder phase tracking: the last recorded congestion phase
+     (-1 = none yet) and whether the flow sits in the post-timeout hole
+     (set on RTO fire, cleared by the next advancing ACK). *)
+  mutable phase : int;
+  mutable timed_out : bool;
 }
 
 let now_sec t = Time.to_sec (Scheduler.now t.sched)
@@ -65,14 +72,64 @@ let record_cwnd t =
   if t.trace_cwnd then
     Netstats.Series.add t.cwnd_trace (now_sec t) (t.cc.Cc.cwnd ())
 
-(* Publish a congestion decision; [cwnd] is read after the reaction. *)
-let publish_tcp t kind =
-  match t.bus with
+(* Publish a congestion decision; [cwnd] is read after the reaction.
+   [rkind] is the flight-recorder twin of [kind]: keeping both writes in
+   one helper guarantees the binary stream and the bus agree on event
+   order, which the byte-parity decode relies on. *)
+let publish_tcp t kind rkind =
+  (match t.bus with
   | None -> ()
   | Some bus ->
       Telemetry.Event_bus.publish bus
         (Telemetry.Event_bus.Tcp
-           { time = now_sec t; kind; flow = t.flow; cwnd = t.cc.Cc.cwnd () })
+           { time = now_sec t; kind; flow = t.flow; cwnd = t.cc.Cc.cwnd () }));
+  match t.rlane with
+  | None -> ()
+  | Some lane ->
+      let cwnd = t.cc.Cc.cwnd () in
+      Telemetry.Recorder.record lane
+        ~tick:(Time.to_ns (Scheduler.now t.sched))
+        ~kind:rkind ~flow:t.flow ~a:0
+        ~b:(Telemetry.Record.float_hi cwnd)
+        ~c:(Telemetry.Record.float_lo cwnd)
+        ~sid:0 ~depth:0
+
+(* Lifecycle phase spans. Recomputed per ACK while outside steady
+   congestion avoidance, so every branch must stay allocation-free —
+   [in_slow_start] is the CC's immediate-typed query, not the boxed
+   [cwnd]/[ssthresh] closures. *)
+let compute_phase t =
+  if t.in_recovery then Telemetry.Record.phase_recovery
+  else if t.timed_out then Telemetry.Record.phase_timeout
+  else if t.cc.Cc.in_slow_start () then Telemetry.Record.phase_slow_start
+  else Telemetry.Record.phase_cong_avoid
+
+let note_phase t =
+  match t.rlane with
+  | Some lane when t.r_lifecycle ->
+      let p = compute_phase t in
+      if p <> t.phase then begin
+        t.phase <- p;
+        let cwnd = t.cc.Cc.cwnd () in
+        Telemetry.Recorder.record lane
+          ~tick:(Time.to_ns (Scheduler.now t.sched))
+          ~kind:Telemetry.Record.tcp_phase ~flow:t.flow ~a:p
+          ~b:(Telemetry.Record.float_hi cwnd)
+          ~c:(Telemetry.Record.float_lo cwnd)
+          ~sid:0 ~depth:0
+      end
+  | _ -> ()
+
+let record_rtt t rtt_ns =
+  match t.rlane with
+  | Some lane when t.r_lifecycle ->
+      (* Integer payload only: this fires on every clean ACK and must
+         not allocate. *)
+      Telemetry.Recorder.record lane
+        ~tick:(Time.to_ns (Scheduler.now t.sched))
+        ~kind:Telemetry.Record.tcp_rtt ~flow:t.flow ~a:rtt_ns ~b:0 ~c:0 ~sid:0
+        ~depth:0
+  | _ -> ()
 
 let window t =
   Stdlib.max 1 (Stdlib.min (int_of_float (t.cc.Cc.cwnd ())) t.adv_window)
@@ -192,8 +249,9 @@ and on_rto_fire t =
     t.stats.Tcp_stats.timeouts <- t.stats.Tcp_stats.timeouts + 1;
     Rto.backoff t.rto;
     t.cc.Cc.on_timeout ~flight:(flight t) ~now:(now_sec t);
-    publish_tcp t Telemetry.Event_bus.Timeout;
-    publish_tcp t Telemetry.Event_bus.Cwnd_cut;
+    publish_tcp t Telemetry.Event_bus.Timeout Telemetry.Record.tcp_timeout;
+    publish_tcp t Telemetry.Event_bus.Cwnd_cut Telemetry.Record.tcp_cwnd_cut;
+    t.timed_out <- true;
     t.dup_acks <- 0;
     t.in_recovery <- false;
     (* Pessimistic after a timeout: discard SACK state and go back. *)
@@ -204,7 +262,8 @@ and on_rto_fire t =
        allows; send_segment re-arms the timer with the backed-off RTO. *)
     t.next_seq <- t.snd_una;
     try_send t;
-    record_cwnd t
+    record_cwnd t;
+    note_phase t
   end
 
 (* Clean RTT sample for the segment [ack] covers, in integer ns;
@@ -247,7 +306,11 @@ let on_new_ack t ack =
      measurement reflects the loss episode, not the path (Karn's rule
      extended the way BSD's timed-segment scheme behaves in practice). *)
   let rtt_ns = if t.in_recovery then -1 else rtt_sample_ns t ack in
-  if rtt_ns >= 0 then Rto.observe_ns t.rto rtt_ns;
+  if rtt_ns >= 0 then begin
+    Rto.observe_ns t.rto rtt_ns;
+    record_rtt t rtt_ns
+  end;
+  t.timed_out <- false;
   forget_acked t ack;
   t.stats.Tcp_stats.segments_acked <- t.stats.Tcp_stats.segments_acked + newly;
   let info = t.info in
@@ -288,7 +351,10 @@ let on_new_ack t ack =
   Rto.reset_backoff t.rto;
   restart_rto t;
   try_send t;
-  record_cwnd t
+  record_cwnd t;
+  (* In steady congestion avoidance an ACK cannot change the phase;
+     everywhere else (slow start, recovery, post-timeout) it can. *)
+  if t.phase <> Telemetry.Record.phase_cong_avoid then note_phase t
 
 let on_dup_ack t =
   t.stats.Tcp_stats.dup_acks <- t.stats.Tcp_stats.dup_acks + 1;
@@ -311,8 +377,9 @@ let on_dup_ack t =
     if t.dup_acks = 3 then begin
       t.stats.Tcp_stats.fast_retransmits <- t.stats.Tcp_stats.fast_retransmits + 1;
       t.cc.Cc.enter_recovery ~flight:(flight t) ~now:(now_sec t);
-      publish_tcp t Telemetry.Event_bus.Fast_retransmit;
-      publish_tcp t Telemetry.Event_bus.Cwnd_cut;
+      publish_tcp t Telemetry.Event_bus.Fast_retransmit
+        Telemetry.Record.tcp_fast_retransmit;
+      publish_tcp t Telemetry.Event_bus.Cwnd_cut Telemetry.Record.tcp_cwnd_cut;
       if t.cc.Cc.uses_fast_recovery then begin
         t.in_recovery <- true;
         t.recover <- t.max_sent - 1
@@ -333,7 +400,8 @@ let on_dup_ack t =
         send_segment t t.snd_una;
         try_send t
       end;
-      restart_rto t
+      restart_rto t;
+      note_phase t
     end
   end;
   record_cwnd t
@@ -345,11 +413,13 @@ let on_ece t =
   if now >= t.ecn_holdoff_until && flight t > 0 && not t.in_recovery then begin
     t.ecn_reactions <- t.ecn_reactions + 1;
     t.cc.Cc.on_ecn ~flight:(flight t) ~now;
-    publish_tcp t Telemetry.Event_bus.Ecn_reaction;
-    publish_tcp t Telemetry.Event_bus.Cwnd_cut;
+    publish_tcp t Telemetry.Event_bus.Ecn_reaction
+      Telemetry.Record.tcp_ecn_reaction;
+    publish_tcp t Telemetry.Event_bus.Cwnd_cut Telemetry.Record.tcp_cwnd_cut;
     let rtt = Option.value (Rto.srtt t.rto) ~default:1.0 in
     t.ecn_holdoff_until <- now +. rtt;
-    record_cwnd t
+    record_cwnd t;
+    note_phase t
   end
 
 let handle_packet t h =
@@ -369,10 +439,16 @@ let next_pow2 n =
 
 let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
     ?(limited_transmit = false) ?(pacing = false) ?(trace_cwnd = false) ?bus
-    sched ~pool ~cc ~rto_params ~flow ~src ~dst ~mss_bytes ~adv_window ~transmit
-    =
+    ?recorder sched ~pool ~cc ~rto_params ~flow ~src ~dst ~mss_bytes
+    ~adv_window ~transmit =
   if adv_window < 1 then invalid_arg "Tcp_sender.create: adv_window < 1";
   if mss_bytes < 1 then invalid_arg "Tcp_sender.create: mss_bytes < 1";
+  let rlane = Option.map (fun r -> Telemetry.Recorder.lane r 0) recorder in
+  let r_lifecycle =
+    match recorder with
+    | Some r -> Telemetry.Recorder.lifecycle r
+    | None -> false
+  in
   (* Live sequences span [snd_una, max_sent) <= adv_window + 2; the +4
      margin keeps the direct-mapped table collision-free. *)
   let st_size = next_pow2 (adv_window + 4) in
@@ -394,6 +470,8 @@ let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
       pacing;
       trace_cwnd;
       bus;
+      rlane;
+      r_lifecycle;
       transmit;
       stats = Tcp_stats.create ();
       cwnd_trace = Netstats.Series.create ();
@@ -417,6 +495,8 @@ let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
       pace_timer = Scheduler.nil;
       on_pace = ignore;
       last_paced_send = Time.never;
+      phase = -1;
+      timed_out = false;
     }
   in
   t.on_rto <- (fun () -> on_rto_fire t);
@@ -425,6 +505,7 @@ let create ?(ecn_capable = false) ?(sack = false) ?(cwnd_validation = false)
       t.pace_timer <- Scheduler.nil;
       pace_send t);
   record_cwnd t;
+  note_phase t;
   t
 
 let write t n =

@@ -20,6 +20,7 @@ val create :
   ?pacing:bool ->
   ?trace_cwnd:bool ->
   ?bus:Telemetry.Event_bus.t ->
+  ?recorder:Telemetry.Recorder.t ->
   Sim_engine.Scheduler.t ->
   pool:Netsim.Packet_pool.t ->
   cc:Cc.handle ->

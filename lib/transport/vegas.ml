@@ -87,6 +87,7 @@ let handle ?(params = default_params) ~initial_ssthresh ~max_window () =
     Cc.name = "vegas";
     cwnd = (fun () -> st.f.cwnd);
     ssthresh = (fun () -> st.f.ssthresh);
+    in_slow_start = (fun () -> st.f.cwnd < st.f.ssthresh);
     on_new_ack = (fun info -> on_new_ack st info);
     enter_recovery =
       (fun ~flight:_ ~now:_ ->

@@ -100,12 +100,14 @@ leak is rejected.
   $ ../bin/main.exe fig 2 --jobs=-3 2>&1 | head -1
   burstsim: option '--jobs': JOBS must be at least 1
 
-Event tracing needs a single ordered stream, so it refuses to combine
-with parallel execution.
+Event tracing composes with parallel execution: workers record into
+per-domain flight-recorder lanes that are decoded at merge time, so the
+NDJSON written under -j 2 is byte-identical to the sequential stream.
 
-  $ ../bin/main.exe fig 2 --duration 6 --clients 2 -j 2 --trace-out x.ndjson
-  burstsim: --trace-out cannot be combined with --jobs > 1 (the event trace needs a single ordered stream)
-  [1]
+  $ ../bin/main.exe fig 2 --duration 6 --clients 2 --trace-out seq-trace.ndjson > /dev/null 2>&1
+  $ ../bin/main.exe fig 2 --duration 6 --clients 2 -j 2 --trace-out j2-trace.ndjson > /dev/null 2>&1
+  $ test -s seq-trace.ndjson && cmp seq-trace.ndjson j2-trace.ndjson && echo identical
+  identical
 
 -j 1 is the sequential path, byte for byte: the same sweep with and
 without the flag produces identical figure output.
@@ -120,3 +122,53 @@ And a 2-domain run is bit-identical to the sequential one.
   $ ../bin/main.exe fig 2 --duration 6 --clients 2,3 -j 2 2> /dev/null > j2.txt
   $ cmp seq.txt j2.txt && echo identical
   identical
+
+--record-out captures a binary flight recording that the trace
+subcommands can query. stats summarizes per segment; decode replays
+parity events as the same NDJSON the live tracer writes.
+
+  $ ../bin/main.exe run --scenario reno -n 2 --duration 6 --trace-out live.ndjson --record-out rec.bin > /dev/null 2>&1
+  $ ../bin/main.exe trace decode rec.bin --out decoded.ndjson
+  $ grep '"event":"packet"' decoded.ndjson > decoded-parity.ndjson
+  $ cmp live.ndjson decoded-parity.ndjson && echo parity
+  parity
+  $ ../bin/main.exe trace stats rec.bin | head -3
+  segment "Reno n=2"
+    lane 0: 261 recorded, 261 retained, 0 dropped
+    ticks 0.000000 .. 6.000000 s (261 records)
+  $ ../bin/main.exe trace grep rec.bin --kind packet_arrival --flow 0 | head -1 | cut -c1-17
+  {"event":"packet"
+  $ ../bin/main.exe trace spans rec.bin | head -1
+  packet_sojourn     n=95       p50=0.259709s p99=0.278411s
+  $ ../bin/main.exe trace grep rec.bin --kind bogus_kind
+  burstsim: unknown record kind "bogus_kind"
+  [1]
+
+A 4-domain sweep's recording decodes byte-identically to the
+sequential one: lanes merge deterministically by (tick, lane, seq).
+
+  $ ../bin/main.exe fig 2 --duration 6 --clients 2,3 --record-out rec-j1.bin > /dev/null 2>&1
+  $ ../bin/main.exe fig 2 --duration 6 --clients 2,3 -j 4 --record-out rec-j4.bin > /dev/null 2>&1
+  $ ../bin/main.exe trace decode rec-j1.bin --out dec-j1.ndjson
+  $ ../bin/main.exe trace decode rec-j4.bin --out dec-j4.ndjson
+  $ test -s dec-j1.ndjson && cmp dec-j1.ndjson dec-j4.ndjson && echo identical
+  identical
+
+--kind=bench-telemetry validates the recorder-overhead benchmark
+report: budgets carried by the file itself are enforced.
+
+  $ cat > bt.json <<'EOF'
+  > {"scenario":"Reno","clients":50,"events":60000,
+  >  "baseline_events_per_sec":3e6,"probed_events_per_sec":2.9e6,
+  >  "recorded_events_per_sec":2.8e6,"probed_run_s":0.02,"recorded_run_s":0.021,
+  >  "probe_overhead_pct":1.0,"probe_overhead_budget_pct":15.0,
+  >  "recorder_overhead_pct":2.0,"recorder_overhead_budget_pct":8.0,
+  >  "recorder_minor_words_per_event_delta":0.01,"recorder_words_budget":0.05,
+  >  "recorder_records":6509,"recorder_dropped":0}
+  > EOF
+  $ ../bin/main.exe report-check --kind=bench-telemetry bt.json
+  bench-telemetry report ok
+  $ sed 's/"recorder_overhead_pct":2.0/"recorder_overhead_pct":9.5/' bt.json > bt-over.json
+  $ ../bin/main.exe report-check --kind=bench-telemetry bt-over.json
+  bt-over.json: invalid bench-telemetry report: recorder overhead pct 9.5000 exceeds budget 8
+  [1]

@@ -284,6 +284,53 @@ let run_trace_digest_pinned () =
   Alcotest.(check string) "trace digest" "06737bcfca22b5f3d9986c42f3195862"
     (Digest.to_hex (Digest.string trace))
 
+
+let run_recorder_parity_with_live_tracer () =
+  (* The flight recorder's parity promise, pinned end to end: run once
+     with both the live NDJSON tracer and a parity-only recorder
+     attached, push the recording through the same segment write /
+     read / decode pipeline the [trace decode] CLI uses, and require
+     the two byte streams to be identical. *)
+  let cfg = tiny ~clients:4 ~duration:5. ~warmup:1. () in
+  let probe = Telemetry.Probe.create () in
+  Telemetry.Probe.set_recording probe
+    {
+      Telemetry.Recorder.capacity = 1 lsl 12;
+      overflow = Telemetry.Recorder.Grow;
+      lifecycle = false;
+    };
+  let live = Buffer.create (1 lsl 15) in
+  ignore
+    (Telemetry.Event_bus.subscribe probe.Telemetry.Probe.bus (fun ev ->
+         Buffer.add_string live (Telemetry.Event_bus.to_ndjson ev);
+         Buffer.add_char live '\n'));
+  ignore (Run.run ~probe cfg Scenario.reno);
+  let path = Filename.temp_file "burstsim_parity" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Telemetry.Probe.write_segments probe oc;
+      close_out oc;
+      let ic = open_in_bin path in
+      let segments =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Telemetry.Recorder.read_segments ic)
+      in
+      let decoded = Buffer.create (1 lsl 15) in
+      List.iter
+        (fun seg ->
+          let lookup = Telemetry.Recorder.seg_lookup seg in
+          Telemetry.Recorder.iter_segment seg (fun ~lane:_ ~seq:_ words off ->
+              Buffer.add_string decoded
+                (Telemetry.Record.ndjson_of_record ~lookup words off);
+              Buffer.add_char decoded '\n'))
+        segments;
+      Alcotest.(check bool) "live trace non-empty" true (Buffer.length live > 0);
+      Alcotest.(check string) "recorder decodes byte-identically"
+        (Buffer.contents live) (Buffer.contents decoded))
+
 let run_releases_every_pooled_packet () =
   (* Run.run drains the network at the horizon and fails loudly if any
      packet slot is still live; a normal run across queue disciplines must
@@ -740,6 +787,8 @@ let suite =
         Alcotest.test_case "cov confidence interval" `Slow run_cov_ci_present;
         Alcotest.test_case "deterministic" `Quick run_deterministic;
         Alcotest.test_case "pinned trace digest" `Quick run_trace_digest_pinned;
+        Alcotest.test_case "recorder parity with live tracer" `Quick
+          run_recorder_parity_with_live_tracer;
         Alcotest.test_case "pool drained after runs" `Quick run_releases_every_pooled_packet;
         Alcotest.test_case "seed sensitivity" `Quick run_seed_sensitivity;
         Alcotest.test_case "ecn end to end" `Slow run_ecn_end_to_end;

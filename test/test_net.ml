@@ -517,7 +517,7 @@ let router_routes_by_destination () =
         incr to_b;
         Pool.free pool h)
   in
-  let r = Router.create ~name:"gw" ~pool in
+  let r = Router.create ~name:"gw" ~pool () in
   Router.add_route r ~dst:1 la;
   Router.set_default r lb;
   Router.receive r (mk_packet ~dst:1 pool);
@@ -530,7 +530,7 @@ let router_routes_by_destination () =
 
 let router_no_route_fails () =
   let pool = Pool.create () in
-  let r = Router.create ~name:"gw" ~pool in
+  let r = Router.create ~name:"gw" ~pool () in
   Alcotest.check_raises "no route" (Failure "Router gw: no route for destination 5")
     (fun () -> Router.receive r (mk_packet ~dst:5 pool))
 
@@ -541,7 +541,7 @@ let router_duplicate_route_rejected () =
     mk_link ~capacity:1 sched pool ~bandwidth:(Units.mbps 1.) ~delay:(Time.of_ms 1.)
       ~deliver:(Pool.free pool)
   in
-  let r = Router.create ~name:"gw" ~pool in
+  let r = Router.create ~name:"gw" ~pool () in
   Router.add_route r ~dst:1 l;
   Alcotest.check_raises "dup"
     (Invalid_argument "Router.add_route(gw): duplicate route for 1") (fun () ->

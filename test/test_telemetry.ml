@@ -586,6 +586,359 @@ let probe_run_deterministic_under_telemetry () =
   check_float "loss unchanged" bare.Burstcore.Metrics.loss_pct
     probed.Burstcore.Metrics.loss_pct
 
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+let rcfg ?(capacity = 16) ?(overflow = Recorder.Drop_oldest)
+    ?(lifecycle = true) () =
+  { Recorder.capacity; overflow; lifecycle }
+
+(* tick = i so merged order equals write order; every other word is a
+   distinct function of i so a shuffled or truncated read-back shows. *)
+let fill lane n =
+  for i = 0 to n - 1 do
+    Recorder.record lane ~tick:i ~kind:(i mod 5) ~flow:(i mod 7) ~a:i
+      ~b:(i * 3) ~c:(-i) ~sid:0 ~depth:(i mod 11)
+  done
+
+let check_fill_record i buf off =
+  Alcotest.(check int) "tick" i buf.(off);
+  Alcotest.(check int) "kind" (i mod 5) buf.(off + 1);
+  Alcotest.(check int) "flow" (i mod 7) buf.(off + 2);
+  Alcotest.(check int) "a" i buf.(off + 3);
+  Alcotest.(check int) "b" (i * 3) buf.(off + 4);
+  Alcotest.(check int) "c" (-i) buf.(off + 5);
+  Alcotest.(check int) "depth" (i mod 11) buf.(off + 7)
+
+let recorder_ring_drops_oldest () =
+  let r = Recorder.create (rcfg ()) in
+  let lane = Recorder.lane r 0 in
+  fill lane 40;
+  Alcotest.(check int) "recorded" 40 (Recorder.recorded lane);
+  Alcotest.(check int) "retained" 16 (Recorder.retained lane);
+  Alcotest.(check int) "dropped" 24 (Recorder.lane_dropped lane);
+  Alcotest.(check int) "total_recorded" 40 (Recorder.total_recorded r);
+  Alcotest.(check int) "total_dropped" 24 (Recorder.total_dropped r);
+  (* The survivors are exactly the newest 16, in order. *)
+  let next = ref 24 in
+  Recorder.iter_lane lane (fun ~seq buf off ->
+      Alcotest.(check int) "seq" !next seq;
+      check_fill_record seq buf off;
+      incr next);
+  Alcotest.(check int) "iterated to the end" 40 !next
+
+let recorder_capacity_rounds_up () =
+  (* 100 rounds up to 128, and a tiny request still gets the 16 floor. *)
+  let r = Recorder.create (rcfg ~capacity:100 ()) in
+  let lane = Recorder.lane r 0 in
+  fill lane 130;
+  Alcotest.(check int) "retained = rounded capacity" 128
+    (Recorder.retained lane);
+  let r = Recorder.create (rcfg ~capacity:1 ()) in
+  let lane = Recorder.lane r 0 in
+  fill lane 20;
+  Alcotest.(check int) "floor capacity" 16 (Recorder.retained lane)
+
+let recorder_grow_keeps_everything () =
+  let r = Recorder.create (rcfg ~overflow:Recorder.Grow ()) in
+  let lane = Recorder.lane r 0 in
+  fill lane 100;
+  Alcotest.(check int) "retained" 100 (Recorder.retained lane);
+  Alcotest.(check int) "dropped" 0 (Recorder.lane_dropped lane);
+  let next = ref 0 in
+  Recorder.iter_lane lane (fun ~seq buf off ->
+      Alcotest.(check int) "seq" !next seq;
+      check_fill_record seq buf off;
+      incr next);
+  Alcotest.(check int) "all records seen" 100 !next
+
+let recorder_merges_lanes_by_tick_then_lane () =
+  let r = Recorder.create (rcfg ~overflow:Recorder.Grow ()) in
+  let l0 = Recorder.lane r 0 and l1 = Recorder.lane r 1 in
+  let put lane tick =
+    Recorder.record lane ~tick ~kind:0 ~flow:0 ~a:0 ~b:0 ~c:0 ~sid:0 ~depth:0
+  in
+  List.iter (put l0) [ 0; 10; 20 ];
+  List.iter (put l1) [ 5; 10; 15 ];
+  let got = ref [] in
+  Recorder.iter_merged r (fun ~lane ~seq:_ buf off ->
+      got := (lane, buf.(off)) :: !got);
+  (* The tick-10 tie goes to the lower lane id. *)
+  Alcotest.(check (list (pair int int)))
+    "merge order"
+    [ (0, 0); (1, 5); (0, 10); (1, 10); (1, 15); (0, 20) ]
+    (List.rev !got)
+
+let with_temp_file f =
+  let path = Filename.temp_file "burstsim_rec" ".bin" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let recorder_segment_round_trip () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      let r1 = Recorder.create ~label:"first seg" (rcfg ~overflow:Recorder.Grow ()) in
+      let sid = Recorder.intern r1 "gateway" in
+      Alcotest.(check int) "intern starts after the reserved id" 1 sid;
+      Alcotest.(check int) "interning is idempotent" sid
+        (Recorder.intern r1 "gateway");
+      fill (Recorder.lane r1 0) 50;
+      Recorder.write_segment oc r1;
+      Alcotest.(check bool) "finished after write" true (Recorder.finished r1);
+      (* A second segment appended to the same channel. *)
+      let r2 = Recorder.create ~label:"second seg" (rcfg ()) in
+      fill (Recorder.lane r2 0) 40;
+      Recorder.write_segment oc r2;
+      close_out oc;
+      let ic = open_in_bin path in
+      let segs = Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          Recorder.read_segments ic)
+      in
+      match segs with
+      | [ s1; s2 ] ->
+          Alcotest.(check string) "label 1" "first seg" (Recorder.seg_label s1);
+          Alcotest.(check string) "label 2" "second seg" (Recorder.seg_label s2);
+          Alcotest.(check string) "intern survives" "gateway"
+            (Recorder.seg_lookup s1 sid);
+          let next = ref 0 in
+          Recorder.iter_segment s1 (fun ~lane ~seq buf off ->
+              Alcotest.(check int) "lane" 0 lane;
+              Alcotest.(check int) "seq" !next seq;
+              check_fill_record seq buf off;
+              incr next);
+          Alcotest.(check int) "segment 1 complete" 50 !next;
+          (* Segment 2 kept only the ring's newest 16, seqs 24..39. *)
+          (match Recorder.seg_lanes s2 with
+          | [ l ] ->
+              Alcotest.(check int) "ring total" 40 (Recorder.read_lane_total l);
+              Alcotest.(check int) "ring dropped" 24
+                (Recorder.read_lane_dropped l);
+              Alcotest.(check int) "ring retained" 16
+                (Recorder.read_lane_retained l)
+          | ls -> Alcotest.failf "expected 1 lane, got %d" (List.length ls));
+          let next = ref 24 in
+          Recorder.iter_segment s2 (fun ~lane:_ ~seq buf off ->
+              Alcotest.(check int) "ring seq" !next seq;
+              check_fill_record seq buf off;
+              incr next)
+      | segs -> Alcotest.failf "expected 2 segments, got %d" (List.length segs))
+
+let recorder_spill_flushes_chunks () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      (* capacity 16 forces several flushes for 100 records. *)
+      let r = Recorder.create ~spill:oc ~label:"spilled" (rcfg ()) in
+      fill (Recorder.lane r 0) 100;
+      Recorder.finish r;
+      close_out oc;
+      let ic = open_in_bin path in
+      let segs = Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          Recorder.read_segments ic)
+      in
+      match segs with
+      | [ s ] ->
+          (match Recorder.seg_lanes s with
+          | [ l ] ->
+              Alcotest.(check int) "nothing lost" 100
+                (Recorder.read_lane_total l);
+              Alcotest.(check int) "nothing dropped" 0
+                (Recorder.read_lane_dropped l);
+              Alcotest.(check int) "all chunks read back" 100
+                (Recorder.read_lane_retained l)
+          | ls -> Alcotest.failf "expected 1 lane, got %d" (List.length ls));
+          let next = ref 0 in
+          Recorder.iter_segment s (fun ~lane:_ ~seq buf off ->
+              Alcotest.(check int) "seq" !next seq;
+              check_fill_record seq buf off;
+              incr next);
+          Alcotest.(check int) "complete" 100 !next
+      | segs -> Alcotest.failf "expected 1 segment, got %d" (List.length segs))
+
+let recorder_read_rejects_garbage () =
+  with_temp_file (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "NOTAFLIGHTRECORDING";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          Alcotest.(check bool) "bad magic fails" true
+            (try
+               ignore (Recorder.read_segments ic);
+               false
+             with Failure _ -> true)))
+
+(* Word-level codecs, including the corners a simulation never hits. *)
+
+let record_codec_corners () =
+  let b = Bytes.create 8 in
+  List.iter
+    (fun v ->
+      Record.put64 b 0 v;
+      Alcotest.(check int) "put64/get64" v (Record.get64 b 0);
+      Record.set_word b 0 v;
+      Alcotest.(check int) "set_word/get_word" v (Record.get_word b 0))
+    [ 0; 1; -1; 42; min_int; max_int; Record.no_seq ]
+
+let qcheck_word_codec =
+  QCheck.Test.make ~name:"64-bit word round-trip" ~count:500
+    QCheck.(frequency [ (4, int); (1, oneofl [ min_int; max_int; 0 ]) ])
+    (fun v ->
+      let b = Bytes.create 8 in
+      Record.put64 b 0 v;
+      Record.set_word b 0 v;
+      Record.get64 b 0 = v && Record.get_word b 0 = v)
+
+let qcheck_float_parts =
+  QCheck.Test.make ~name:"float hi/lo split is exact" ~count:500
+    QCheck.(
+      frequency
+        [ (4, float); (1, oneofl [ 0.; -0.; infinity; neg_infinity; 1e-300 ]) ])
+    (fun f ->
+      let g = Record.float_of_parts ~hi:(Record.float_hi f) ~lo:(Record.float_lo f) in
+      Int64.bits_of_float g = Int64.bits_of_float f)
+
+let qcheck_bits_of_nonneg_int =
+  QCheck.Test.make ~name:"integer float-bits match the FPU" ~count:500
+    QCheck.(
+      frequency
+        [
+          (4, int_bound ((1 lsl 52) - 1));
+          (1, oneofl [ 0; 1; 2; 3; 15; 16; 17; 1 lsl 51; (1 lsl 52) - 1 ]);
+        ])
+    (fun n ->
+      Record.bits_of_nonneg_int n
+      = Int64.to_int (Int64.bits_of_float (float_of_int n)))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle spans *)
+
+let sec t = int_of_float (t *. 1e9)
+
+let spans_from_synthetic_records () =
+  let r = Recorder.create (rcfg ~overflow:Recorder.Grow ()) in
+  let lane = Recorder.lane r 0 in
+  let sid = Recorder.intern r "bottleneck" in
+  let packet kind tick uid =
+    Recorder.record lane ~tick ~kind ~flow:0 ~a:uid ~b:1000 ~c:0 ~sid ~depth:0
+  in
+  (* uid 1 sojourns 0.25 s; uid 2 is dropped, so no span; uid 3 has no
+     arrival, so its depart is ignored. *)
+  packet Record.packet_arrival (sec 1.0) 1;
+  packet Record.packet_arrival (sec 1.1) 2;
+  packet Record.packet_drop (sec 1.2) 2;
+  packet Record.packet_depart (sec 1.25) 1;
+  packet Record.packet_depart (sec 1.3) 3;
+  (* One 5 ms RTT sample. *)
+  Recorder.record lane ~tick:(sec 2.0) ~kind:Record.tcp_rtt ~flow:0
+    ~a:5_000_000 ~b:0 ~c:0 ~sid:0 ~depth:0;
+  (* Flow 3: slow start 1 s..3 s, then congestion avoidance closed by
+     the run_end marker at 4 s. *)
+  let phase tick p =
+    Recorder.record lane ~tick ~kind:Record.tcp_phase ~flow:3 ~a:p ~b:0 ~c:0
+      ~sid:0 ~depth:0
+  in
+  phase (sec 1.0) Record.phase_slow_start;
+  phase (sec 3.0) Record.phase_cong_avoid;
+  Recorder.record lane ~tick:(sec 4.0) ~kind:Record.run_end ~flow:(-1) ~a:0
+    ~b:0 ~c:0 ~sid:0 ~depth:0;
+  let registry = Registry.create () in
+  Spans.of_recorder ~registry r;
+  let n name =
+    match List.assoc_opt name (Spans.histograms registry) with
+    | Some h -> Registry.observations h
+    | None -> Alcotest.failf "no %s histogram" name
+  in
+  Alcotest.(check int) "one sojourn sample" 1 (n "packet_sojourn");
+  Alcotest.(check int) "one rtt sample" 1 (n "rtt");
+  Alcotest.(check int) "one slow-start span" 1 (n "phase:slow_start");
+  Alcotest.(check int) "cong-avoid closed at run_end" 1 (n "phase:cong_avoid");
+  Alcotest.(check int) "no recovery span" 0 (n "phase:recovery");
+  (* Log-scale quantiles land in the right decade. *)
+  let p50 name =
+    match List.assoc_opt name (Spans.histograms registry) with
+    | Some h -> Registry.p50 h
+    | None -> 0.
+  in
+  Alcotest.(check bool) "sojourn ~0.25 s" true
+    (p50 "packet_sojourn" > 0.1 && p50 "packet_sojourn" < 0.7);
+  Alcotest.(check bool) "rtt ~5 ms" true
+    (p50 "rtt" > 0.002 && p50 "rtt" < 0.02);
+  (* And the registry renders them as labelled Prometheus histograms. *)
+  let text = Registry.to_prometheus registry in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "prometheus contains %S" needle)
+        true
+        (Astring_like.contains text needle))
+    [
+      "# HELP trace_packet_sojourn_seconds";
+      "# TYPE trace_packet_sojourn_seconds histogram";
+      "trace_packet_sojourn_seconds_bucket";
+      "trace_packet_sojourn_seconds_sum";
+      "trace_packet_sojourn_seconds_count";
+      "# TYPE trace_rtt_seconds histogram";
+      "# TYPE trace_phase_seconds histogram";
+      "trace_phase_seconds_bucket{phase=";
+      ",le=\"";
+      "phase=\"slow_start\"";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* bench-telemetry report schema *)
+
+let bench_tel_doc ?(drop = "") ?(recorder_overhead = 2.0) ?(words = 0.01)
+    ?(records = 6509) () =
+  let fields =
+    [
+      ("scenario", Json.String "Reno");
+      ("clients", Json.Int 50);
+      ("events", Json.Int 60000);
+      ("baseline_events_per_sec", Json.Float 3e6);
+      ("probed_events_per_sec", Json.Float 2.9e6);
+      ("recorded_events_per_sec", Json.Float 2.8e6);
+      ("probed_run_s", Json.Float 0.02);
+      ("recorded_run_s", Json.Float 0.0205);
+      ("probe_overhead_pct", Json.Float 1.0);
+      ("probe_overhead_budget_pct", Json.Float 15.0);
+      ("recorder_overhead_pct", Json.Float recorder_overhead);
+      ("recorder_overhead_budget_pct", Json.Float 8.0);
+      ("recorder_minor_words_per_event_delta", Json.Float words);
+      ("recorder_words_budget", Json.Float 0.05);
+      ("recorder_records", Json.Int records);
+      ("recorder_dropped", Json.Int 0);
+    ]
+  in
+  Json.Obj (List.filter (fun (k, _) -> k <> drop) fields)
+
+let report_validate_bench_telemetry_accepts () =
+  match Report.validate_bench_telemetry (bench_tel_doc ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a well-formed report: %s" e
+
+let report_validate_bench_telemetry_rejects () =
+  let expect_error name doc needle =
+    match Report.validate_bench_telemetry doc with
+    | Ok () -> Alcotest.failf "accepted %s" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error mentions %s (got: %s)" name needle msg)
+          true
+          (Astring_like.contains msg needle)
+  in
+  expect_error "a non-object" (Json.String "nope") "not a JSON object";
+  expect_error "a missing field"
+    (bench_tel_doc ~drop:"recorder_overhead_pct" ())
+    "missing fields: recorder_overhead_pct";
+  expect_error "overhead above budget"
+    (bench_tel_doc ~recorder_overhead:9.5 ())
+    "exceeds budget";
+  expect_error "allocating recorder"
+    (bench_tel_doc ~words:0.5 ())
+    "words/event delta";
+  expect_error "a silent recorder" (bench_tel_doc ~records:0 ())
+    "recorder_records is zero"
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -632,6 +985,35 @@ let suite =
         Alcotest.test_case "validate rejects" `Quick report_validate_rejects;
         Alcotest.test_case "alloc schema accepts" `Quick report_validate_alloc_accepts;
         Alcotest.test_case "alloc schema rejects" `Quick report_validate_alloc_rejects;
+        Alcotest.test_case "bench-telemetry schema accepts" `Quick
+          report_validate_bench_telemetry_accepts;
+        Alcotest.test_case "bench-telemetry schema rejects" `Quick
+          report_validate_bench_telemetry_rejects;
+      ] );
+    ( "telemetry.recorder",
+      [
+        Alcotest.test_case "ring drops oldest" `Quick recorder_ring_drops_oldest;
+        Alcotest.test_case "capacity rounds up" `Quick
+          recorder_capacity_rounds_up;
+        Alcotest.test_case "grow keeps everything" `Quick
+          recorder_grow_keeps_everything;
+        Alcotest.test_case "merge by (tick, lane, seq)" `Quick
+          recorder_merges_lanes_by_tick_then_lane;
+        Alcotest.test_case "segment round-trip" `Quick
+          recorder_segment_round_trip;
+        Alcotest.test_case "spill flushes chunks" `Quick
+          recorder_spill_flushes_chunks;
+        Alcotest.test_case "read rejects garbage" `Quick
+          recorder_read_rejects_garbage;
+        Alcotest.test_case "codec corners" `Quick record_codec_corners;
+      ]
+      @ qsuite
+          [ qcheck_word_codec; qcheck_float_parts; qcheck_bits_of_nonneg_int ]
+    );
+    ( "telemetry.spans",
+      [
+        Alcotest.test_case "synthetic records to histograms" `Quick
+          spans_from_synthetic_records;
       ] );
     ( "telemetry.integration",
       [
