@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-alloc figures fast check clean
+.PHONY: all build test bench bench-alloc bench-flows figures fast check clean
 
 all: build
 
@@ -23,6 +23,16 @@ bench:
 bench-alloc:
 	dune exec bench/main.exe -- --only alloc --fast
 
+# Flow-scaling gate on its own: one Reno/RED run each at N = 10^3,
+# 10^4 and 10^5 greedy flows in a mean-field regime (capacity, buffer
+# and RED thresholds scale with N), written to BENCH_flows.json. Exits
+# non-zero when a row exceeds 512 bytes/flow, grows a pre-sized slab,
+# leaks a packet or flow row, or (the converged N <= 10^4 rows) lands
+# outside the fluid-model ratio bands; the full (non --fast) run
+# additionally enforces the N = 10^5 events/sec floor.
+bench-flows:
+	dune exec bench/main.exe -- --only flows --fast
+
 # Just the paper's figures, at paper scale.
 figures:
 	dune exec bin/main.exe -- all
@@ -37,7 +47,9 @@ fast:
 # overhead baseline, the sequential-vs-parallel sweep timing, and the
 # allocation budget (fails when any scenario's minor words/event
 # regresses past its committed threshold — 6.0 for the Reno N=50 row —
-# and re-validated from the written BENCH_alloc.json by report-check).
+# and re-validated from the written BENCH_alloc.json by report-check),
+# and the flow-scaling sweep up to N = 10^5 (bytes/flow, slab growth,
+# leak and fluid-ratio gates, re-validated from BENCH_flows.json).
 check:
 	dune build @all
 	dune runtest
@@ -51,6 +63,8 @@ check:
 	dune exec bench/main.exe -- --fast --only parallel
 	dune exec bench/main.exe -- --fast --only alloc
 	dune exec bin/main.exe -- report-check --kind=alloc BENCH_alloc.json
+	dune exec bench/main.exe -- --fast --only flows
+	dune exec bin/main.exe -- report-check --kind=flows BENCH_flows.json
 
 clean:
 	dune clean

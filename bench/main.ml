@@ -18,7 +18,7 @@ let args =
     ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel microbenchmarks");
     ( "--only",
       Arg.String (fun s -> only := Some s),
-      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | parallel | alloc | micro" );
+      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | parallel | alloc | flows | micro" );
   ]
 
 let section name = Format.fprintf std "@.==== %s ====@.@." name
@@ -600,6 +600,294 @@ let run_parallel_bench () =
   Format.fprintf std "wrote BENCH_parallel.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Flow scaling: one run pushed from 10^3 to 10^5 greedy flows         *)
+
+(* Mean-field scaling regime: bottleneck capacity, gateway buffer and
+   RED thresholds all scale linearly with N, so every size solves the
+   same per-flow fluid fixed point and the measured steady state can be
+   validated against [Fluidmodel.Reno_fluid.equilibrium] at any N. The
+   per-flow constants:
+
+   - 16 pkt/s of bottleneck share per flow (0.192 Mbps at 1500 B);
+   - 200 ms round-trip propagation;
+   - adv_window 12: the largest window that keeps the sequence tables at
+     16 slots (sender + receiver rows at 496 bytes, inside the budget)
+     while clearing the AIMD sawtooth's peak, so flows stay
+     congestion-limited;
+   - buffer 10N, RED band [N, 7N] with max_p 0.05.
+
+   The fixed point is w* ~ 8.0 packets, p* ~ 0.031, queue ~ 4.8N — a
+   drop rate low enough that discrete Reno recovers losses with fast
+   retransmit instead of collapsing into RTO backoff (at p ~ 0.1 and
+   w ~ 4, whole windows die and every flow sits in exponential
+   timeout backoff; the fluid ODE knows nothing about timeouts).
+
+   The fluid ratios are gated on the two smaller sizes, which run long
+   enough (~20 equilibrium RTTs) for the AIMD ensemble to converge; the
+   N = 10^5 point is the memory/throughput row — a shorter run whose
+   gates are bytes/flow, zero slab growth, leak-freedom and events/sec,
+   with the fluid ratios reported but not enforced. Unlike the
+   fluid-comparison section this sweep never records cwnd traces (a
+   boxed per-sample list per flow is exactly the O(N) cost it exists to
+   avoid): the model is checked through aggregate queue and throughput
+   only. *)
+
+let flows_bytes_per_flow_budget = 512
+
+(* Committed floor for the N = 10^5 point, full mode only (wall time is
+   machine-dependent; --fast prints but does not enforce). *)
+let flows_min_events_per_sec = 300_000.
+let flows_minor_words_per_event_budget = 8.0
+let flows_throughput_ratio_min, flows_throughput_ratio_max = (0.80, 1.05)
+(* The packet sim settles at ~0.5x the ODE's queue (the ODE has no
+   timeouts, no sub-RTT burstiness, and a first-order RED average); the
+   observable that matters is that the ratio is N-independent, so the
+   band is wide but the scaling is tight. *)
+let flows_queue_ratio_min, flows_queue_ratio_max = (0.35, 1.5)
+
+let run_flows_bench () =
+  section "Flow scaling (greedy Reno/RED flows, N = 10^3 .. 10^5)";
+  let module C = Burstcore.Config in
+  let module Time = Sim_engine.Time in
+  let module Scheduler = Sim_engine.Scheduler in
+  let flows_cfg n duration_s =
+    let f = float_of_int n in
+    {
+      (C.with_clients C.default n) with
+      C.bottleneck_bandwidth_mbps = 0.192 *. f;
+      client_delay_s = 0.05;
+      bottleneck_delay_s = 0.05;
+      adv_window = 12;
+      buffer_packets = 10 * n;
+      red_min_th = f;
+      red_max_th = 7.0 *. f;
+      red_max_p = 0.05;
+      duration_s;
+      warmup_s = duration_s /. 2.;
+    }
+  in
+  (* (size, sim seconds, fluid ratios enforced?) — the converged points
+     need ~20 equilibrium RTTs (r* ~ 0.5 s); the 10^5 point is a short
+     memory/throughput run. *)
+  let points =
+    if !fast then
+      [ (1_000, 8.0, true); (10_000, 8.0, true); (100_000, 2.0, false) ]
+    else [ (1_000, 10.0, true); (10_000, 10.0, true); (100_000, 2.5, false) ]
+  in
+  let failed = ref false in
+  let gate cond fmt =
+    Format.ksprintf
+      (fun msg ->
+        if not cond then begin
+          Format.eprintf "flow-scaling regression: %s@." msg;
+          failed := true
+        end)
+      fmt
+  in
+  let rows =
+    List.map
+      (fun (n, duration_s, fluid_gated) ->
+        let measure_from = 0.6 *. duration_s in
+        let cfg = flows_cfg n duration_s in
+        let net = Burstcore.Dumbbell.create cfg Burstcore.Scenario.reno_red in
+        let sched = Burstcore.Dumbbell.scheduler net in
+        let horizon = Time.of_sec duration_s in
+        let queue_series =
+          Netsim.Monitor.queue_sampler sched
+            (Burstcore.Dumbbell.bottleneck net)
+            ~every:(Time.of_ms 10.) ~until:horizon
+        in
+        (* Deterministic start stagger across the first 200 ms: N
+           synchronized slow starts would otherwise dump N packets into
+           the gateway within one RTT of t = 0. *)
+        for i = 0 to n - 1 do
+          ignore
+            (Traffic.Bulk.start sched
+               ~size:Traffic.Bulk.infinite_backlog_size
+               ~start:(Time.of_sec (0.2 *. float_of_int i /. float_of_int n))
+               ~sink:(Burstcore.Dumbbell.sink net i))
+        done;
+        let delivered_at_mark = ref 0 in
+        ignore
+          (Scheduler.at sched (Time.of_sec measure_from) (fun () ->
+               delivered_at_mark := Burstcore.Dumbbell.delivered_total net));
+        let g0 = Telemetry.Perf.gc_read () in
+        let t0 = Telemetry.Perf.wall_clock_s () in
+        Scheduler.run ~until:horizon sched;
+        let wall = Telemetry.Perf.wall_clock_s () -. t0 in
+        let gc = Telemetry.Perf.gc_since g0 in
+        let events = Scheduler.events_processed sched in
+        let fe = float_of_int (Stdlib.max 1 events) in
+        let eps = if wall > 0. then fe /. wall else 0. in
+        let wpe = gc.Telemetry.Perf.minor_words /. fe in
+        let bytes_per_flow =
+          Burstcore.Dumbbell.flow_table_bytes_per_flow net
+        in
+        let footprint = Burstcore.Dumbbell.flow_table_footprint_bytes net in
+        let ft_growths = Burstcore.Dumbbell.flow_table_growths net in
+        let q_growths = Scheduler.queue_growths sched in
+        let delivered = Burstcore.Dumbbell.delivered_total net in
+        let measured_throughput =
+          float_of_int (delivered - !delivered_at_mark)
+          /. (duration_s -. measure_from)
+        in
+        let measured_queue =
+          let steady =
+            Netstats.Series.between queue_series measure_from duration_s
+          in
+          List.fold_left (fun acc (_, v) -> acc +. v) 0. steady
+          /. float_of_int (Stdlib.max 1 (List.length steady))
+        in
+        (* The two leak sweeps [Run.run] performs, inlined: every packet
+           handle and every flow row must drain back to its slab. *)
+        Burstcore.Dumbbell.reclaim net;
+        let pool_live =
+          Netsim.Packet_pool.live (Burstcore.Dumbbell.pool net)
+        in
+        Burstcore.Dumbbell.release_flows net;
+        let flows_live = Burstcore.Dumbbell.flows_live net in
+        let leak_free = pool_live = 0 && flows_live = 0 in
+        let eq =
+          Fluidmodel.Reno_fluid.equilibrium
+            {
+              Fluidmodel.Reno_fluid.flows = n;
+              capacity_pps =
+                cfg.C.bottleneck_bandwidth_mbps *. 1e6
+                /. float_of_int (8 * cfg.C.packet_bytes);
+              base_rtt_s = C.rtt_prop_s cfg;
+              buffer_packets = float_of_int cfg.C.buffer_packets;
+              red_min_th = cfg.C.red_min_th;
+              red_max_th = cfg.C.red_max_th;
+              red_max_p = cfg.C.red_max_p;
+              avg_gain = 10.;
+            }
+        in
+        let ratio num den = if den > 0. then num /. den else 0. in
+        let queue_ratio =
+          ratio measured_queue eq.Fluidmodel.Reno_fluid.eq_queue
+        in
+        let throughput_ratio =
+          ratio measured_throughput
+            eq.Fluidmodel.Reno_fluid.eq_throughput_pps
+        in
+        Format.fprintf std "@.N = %d flows@." n;
+        Format.fprintf std "  events                %12d@." events;
+        Format.fprintf std "  wall                  %13.4f s@." wall;
+        Format.fprintf std "  events/sec            %12.0f@." eps;
+        Format.fprintf std "  minor words/event     %12.3f  (budget %.2f)@."
+          wpe flows_minor_words_per_event_budget;
+        Format.fprintf std "  bytes/flow            %12d  (budget %d)@."
+          bytes_per_flow flows_bytes_per_flow_budget;
+        Format.fprintf std "  flow-table footprint  %12d bytes@." footprint;
+        Format.fprintf std "  growths (flows/queue) %9d / %d@." ft_growths
+          q_growths;
+        Format.fprintf std "  queue: sim %.0f  fluid %.0f  (ratio %.3f)@."
+          measured_queue eq.Fluidmodel.Reno_fluid.eq_queue queue_ratio;
+        Format.fprintf std
+          "  throughput: sim %.0f  fluid %.0f pps  (ratio %.3f)@."
+          measured_throughput eq.Fluidmodel.Reno_fluid.eq_throughput_pps
+          throughput_ratio;
+        gate
+          (bytes_per_flow <= flows_bytes_per_flow_budget)
+          "N=%d: %d bytes/flow exceeds the committed budget %d" n
+          bytes_per_flow flows_bytes_per_flow_budget;
+        gate (ft_growths = 0)
+          "N=%d: flow tables grew %d time(s) despite pre-sizing" n ft_growths;
+        gate (q_growths = 0)
+          "N=%d: event queue grew %d time(s) despite pre-sizing" n q_growths;
+        gate leak_free "N=%d: leaked %d packet(s), %d flow row(s)" n
+          pool_live flows_live;
+        gate
+          (wpe <= flows_minor_words_per_event_budget)
+          "N=%d: %.3f minor words/event exceeds the budget %.2f" n wpe
+          flows_minor_words_per_event_budget;
+        if fluid_gated then begin
+          gate
+            (throughput_ratio >= flows_throughput_ratio_min
+            && throughput_ratio <= flows_throughput_ratio_max)
+            "N=%d: throughput ratio %.3f outside [%.2f, %.2f]" n
+            throughput_ratio flows_throughput_ratio_min
+            flows_throughput_ratio_max;
+          gate
+            (queue_ratio >= flows_queue_ratio_min
+            && queue_ratio <= flows_queue_ratio_max)
+            "N=%d: queue ratio %.3f outside [%.2f, %.2f]" n queue_ratio
+            flows_queue_ratio_min flows_queue_ratio_max
+        end;
+        if n = 100_000 then
+          if !fast then
+            Format.fprintf std
+              "  (events/sec floor %.0f not enforced under --fast)@."
+              flows_min_events_per_sec
+          else
+            gate
+              (eps >= flows_min_events_per_sec)
+              "N=%d: %.0f events/sec is below the committed floor %.0f" n
+              eps flows_min_events_per_sec;
+        Burstcore.Json.Obj
+          [
+            ("flows", Burstcore.Json.Int n);
+            ("duration_s", Burstcore.Json.Float duration_s);
+            ("fluid_gated", Burstcore.Json.Bool fluid_gated);
+            ("events", Burstcore.Json.Int events);
+            ("wall_s", Burstcore.Json.Float wall);
+            ("events_per_sec", Burstcore.Json.Float eps);
+            ("minor_words_per_event", Burstcore.Json.Float wpe);
+            ( "promoted_words_per_event",
+              Burstcore.Json.Float (gc.Telemetry.Perf.promoted_words /. fe)
+            );
+            ( "major_collections",
+              Burstcore.Json.Int gc.Telemetry.Perf.major_collections );
+            ("bytes_per_flow", Burstcore.Json.Int bytes_per_flow);
+            ("flow_footprint_bytes", Burstcore.Json.Int footprint);
+            ("flow_table_growths", Burstcore.Json.Int ft_growths);
+            ("queue_growths", Burstcore.Json.Int q_growths);
+            ( "queue_capacity",
+              Burstcore.Json.Int (Scheduler.queue_capacity sched) );
+            ( "queue_hwm",
+              Burstcore.Json.Int (Scheduler.queue_high_water_mark sched) );
+            ( "wheel_parked",
+              Burstcore.Json.Int (Scheduler.queue_wheel_parked sched) );
+            ("delivered", Burstcore.Json.Int delivered);
+            ("measured_queue", Burstcore.Json.Float measured_queue);
+            ( "fluid_queue",
+              Burstcore.Json.Float eq.Fluidmodel.Reno_fluid.eq_queue );
+            ("queue_ratio", Burstcore.Json.Float queue_ratio);
+            ( "measured_throughput_pps",
+              Burstcore.Json.Float measured_throughput );
+            ( "fluid_throughput_pps",
+              Burstcore.Json.Float eq.Fluidmodel.Reno_fluid.eq_throughput_pps
+            );
+            ("throughput_ratio", Burstcore.Json.Float throughput_ratio);
+            ("leak_free", Burstcore.Json.Bool leak_free);
+          ])
+      points
+  in
+  let json =
+    Burstcore.Json.Obj
+      [
+        ("per_flow_capacity_pps", Burstcore.Json.Float 16.);
+        ("base_rtt_s", Burstcore.Json.Float 0.2);
+        ( "bytes_per_flow_budget",
+          Burstcore.Json.Int flows_bytes_per_flow_budget );
+        ( "minor_words_per_event_budget",
+          Burstcore.Json.Float flows_minor_words_per_event_budget );
+        ("min_events_per_sec", Burstcore.Json.Float flows_min_events_per_sec);
+        ( "throughput_ratio_min",
+          Burstcore.Json.Float flows_throughput_ratio_min );
+        ( "throughput_ratio_max",
+          Burstcore.Json.Float flows_throughput_ratio_max );
+        ("queue_ratio_min", Burstcore.Json.Float flows_queue_ratio_min);
+        ("queue_ratio_max", Burstcore.Json.Float flows_queue_ratio_max);
+        ("rows", Burstcore.Json.List rows);
+      ]
+  in
+  Burstcore.Export.write_file "BENCH_flows.json"
+    (Burstcore.Json.to_string json ^ "\n");
+  Format.fprintf std "@.wrote BENCH_flows.json@.";
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator primitives                *)
 
 module Micro = struct
@@ -736,5 +1024,6 @@ let () =
   if wants "telemetry" then run_telemetry_bench ();
   if wants "parallel" then run_parallel_bench ();
   if wants "alloc" then run_alloc_bench ();
+  if wants "flows" then run_flows_bench ();
   if (not !skip_micro) && wants "micro" then run_micro ();
   Format.pp_print_flush std ()

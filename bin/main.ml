@@ -804,6 +804,7 @@ let report_check_cmd =
     let doc =
       "Report schema to check: $(b,telemetry) for a --telemetry=FILE report, \
        $(b,alloc) for the BENCH_alloc.json allocation-budget sweep, \
+       $(b,flows) for the BENCH_flows.json flow-scaling sweep, \
        $(b,bench-telemetry) for the BENCH_telemetry.json overhead report."
     in
     Arg.(
@@ -813,6 +814,7 @@ let report_check_cmd =
              [
                ("telemetry", `Telemetry);
                ("alloc", `Alloc);
+               ("flows", `Flows);
                ("bench-telemetry", `Bench_telemetry);
              ])
           `Telemetry
@@ -834,6 +836,7 @@ let report_check_cmd =
       match kind with
       | `Telemetry -> (Telemetry.Report.validate, "telemetry report")
       | `Alloc -> (Telemetry.Report.validate_alloc, "alloc report")
+      | `Flows -> (Telemetry.Report.validate_flows, "flows report")
       | `Bench_telemetry ->
           (Telemetry.Report.validate_bench_telemetry, "bench-telemetry report")
     in
@@ -847,7 +850,8 @@ let report_check_cmd =
     (Cmd.info "report-check"
        ~doc:
          "Validate a JSON report: a --telemetry=FILE run report, with \
-          --kind=alloc the BENCH_alloc.json allocation sweep, or with \
+          --kind=alloc the BENCH_alloc.json allocation sweep, with \
+          --kind=flows the BENCH_flows.json flow-scaling sweep, or with \
           --kind=bench-telemetry the BENCH_telemetry.json overhead report \
           (all used by 'make check').")
     Term.(const run $ kind $ file)
@@ -856,7 +860,7 @@ let report_check_cmd =
 
 let main =
   Cmd.group
-    (Cmd.info "burstsim" ~version:"1.3.0"
+    (Cmd.info "burstsim" ~version:"1.5.0"
        ~doc:
          "Reproduction of 'On the Burstiness of the TCP Congestion-Control \
           Mechanism in a Distributed Computing System' (ICDCS 2000).")

@@ -22,6 +22,10 @@ type t = {
   down_links : Link.t array;
   gateway_queue : Queue_disc.t;
   endpoints : endpoint array;
+  (* The flow-table groups behind the TCP endpoints ([None] for UDP):
+     all N senders share one struct-of-arrays slab, all N receivers
+     another — see {!Transport.Tcp_sender.create_group}. *)
+  flows : (Transport.Tcp_sender.group * Transport.Tcp_receiver.group) option;
 }
 
 let lossless_capacity = 1_000_000
@@ -32,16 +36,15 @@ let server_id = 0
 
 let client_id i = i + 1
 
+(* The {!Transport.Cc.variant} tag plus its parameters, if any; window
+   bounds default to the advertised window inside [create_group]. *)
 let make_cc cfg kind =
-  let adv = float_of_int cfg.Config.adv_window in
   match kind with
-  | Scenario.Tahoe -> Transport.Tahoe.handle ~initial_ssthresh:adv ~max_window:adv
-  | Scenario.Reno -> Transport.Reno.handle ~initial_ssthresh:adv ~max_window:adv
-  | Scenario.Newreno -> Transport.Newreno.handle ~initial_ssthresh:adv ~max_window:adv
-  | Scenario.Vegas ->
-      Transport.Vegas.handle ~params:cfg.Config.vegas ~initial_ssthresh:adv
-        ~max_window:adv ()
-  | Scenario.Sack -> Transport.Sack_cc.handle ~initial_ssthresh:adv ~max_window:adv
+  | Scenario.Tahoe -> (Transport.Cc.Tahoe, None)
+  | Scenario.Reno -> (Transport.Cc.Reno, None)
+  | Scenario.Newreno -> (Transport.Cc.Newreno, None)
+  | Scenario.Vegas -> (Transport.Cc.Vegas, Some cfg.Config.vegas)
+  | Scenario.Sack -> (Transport.Cc.Sack, None)
 
 let red_params cfg ~ecn_mark ~adaptive =
   {
@@ -159,36 +162,54 @@ let create ?bus ?recorder ?(trace_clients = []) cfg scenario =
           ~deliver:(Node.receive client_nodes.(i)))
   in
   Array.iteri (fun i link -> Router.add_route router ~dst:(client_id i) link) down_links;
+  (* One sender group and one receiver group carry every TCP flow:
+     attaching a flow claims a row in each slab, so client count scales
+     without per-flow records, closures or hashtables. Group creation
+     consumes no randomness and schedules nothing, so seed-for-seed
+     behaviour is unchanged from the per-flow-record construction. *)
+  let flows =
+    match scenario.Scenario.transport with
+    | Scenario.Udp -> None
+    | Scenario.Tcp { cc; delayed_ack } ->
+        let ecn_capable = scenario.Scenario.gateway = Scenario.Red_ecn in
+        let sack = cc = Scenario.Sack in
+        let variant, vegas = make_cc cfg cc in
+        let sender_group =
+          Transport.Tcp_sender.create_group ~ecn_capable ~sack
+            ~cwnd_validation:cfg.Config.cwnd_validation
+            ~pacing:cfg.Config.pacing ?bus ?recorder ?vegas ~capacity:n sched
+            ~pool ~cc:variant ~rto_params:cfg.Config.rto
+            ~mss_bytes:cfg.Config.packet_bytes
+            ~adv_window:cfg.Config.adv_window
+            ~transmit:(fun ~flow p -> Link.send up_links.(flow) p)
+        in
+        let receiver_group =
+          Transport.Tcp_receiver.create_group ~sack ?recorder ~capacity:n
+            sched ~pool ~ack_bytes:cfg.Config.ack_bytes ~delayed_ack
+            ~adv_window:cfg.Config.adv_window
+            ~transmit:(fun ~flow:_ p -> Link.send reverse_bottleneck p)
+        in
+        Some (sender_group, receiver_group)
+  in
   let endpoints =
     Array.init n (fun i ->
-        match scenario.Scenario.transport with
-        | Scenario.Udp ->
+        match (flows, scenario.Scenario.transport) with
+        | None, _ | _, Scenario.Udp ->
             let sender =
               Transport.Udp.create_sender sched ~pool ~flow:i ~src:(client_id i)
                 ~dst:server_id ~size_bytes:cfg.Config.packet_bytes
                 ~transmit:(Link.send up_links.(i))
             in
             Udp_end (sender, Transport.Udp.create_receiver ~pool ())
-        | Scenario.Tcp { cc; delayed_ack } ->
-            let ecn_capable = scenario.Scenario.gateway = Scenario.Red_ecn in
-            let sack = cc = Scenario.Sack in
+        | Some (sender_group, receiver_group), Scenario.Tcp _ ->
             let sender =
-              Transport.Tcp_sender.create ~ecn_capable ~sack
-                ~cwnd_validation:cfg.Config.cwnd_validation
-                ~pacing:cfg.Config.pacing
-                ~trace_cwnd:(List.mem i trace_clients)
-                ?bus ?recorder sched ~pool
-                ~cc:(make_cc cfg cc) ~rto_params:cfg.Config.rto ~flow:i
+              Transport.Tcp_sender.attach sender_group ~flow:i
                 ~src:(client_id i) ~dst:server_id
-                ~mss_bytes:cfg.Config.packet_bytes
-                ~adv_window:cfg.Config.adv_window
-                ~transmit:(Link.send up_links.(i))
+                ~trace_cwnd:(List.mem i trace_clients) ()
             in
             let receiver =
-              Transport.Tcp_receiver.create ~sack ?recorder sched ~pool ~flow:i
-                ~src:server_id ~dst:(client_id i) ~ack_bytes:cfg.Config.ack_bytes
-                ~delayed_ack
-                ~transmit:(Link.send reverse_bottleneck)
+              Transport.Tcp_receiver.attach receiver_group ~flow:i
+                ~src:server_id ~dst:(client_id i) ()
             in
             Tcp_end (sender, receiver))
   in
@@ -215,6 +236,7 @@ let create ?bus ?recorder ?(trace_clients = []) cfg scenario =
     down_links;
     gateway_queue;
     endpoints;
+    flows;
   }
 
 let scheduler t = t.sched
@@ -286,3 +308,43 @@ let segments_sent_total t =
           acc + (Transport.Tcp_sender.stats sender).Transport.Tcp_stats.segments_sent
       | Udp_end (sender, _) -> acc + Transport.Udp.sent sender)
     0 t.endpoints
+
+(* ------------------------------------------------------------------ *)
+(* Flow-table accounting (0 / no-op for UDP scenarios) *)
+
+let release_flows t =
+  Array.iter
+    (function
+      | Tcp_end (sender, receiver) ->
+          Transport.Tcp_sender.detach sender;
+          Transport.Tcp_receiver.detach receiver
+      | Udp_end _ -> ())
+    t.endpoints
+
+let flows_live t =
+  match t.flows with
+  | None -> 0
+  | Some (sg, rg) ->
+      Netsim.Flow_table.live (Transport.Tcp_sender.table sg)
+      + Netsim.Flow_table.live (Transport.Tcp_receiver.table rg)
+
+let flow_table_growths t =
+  match t.flows with
+  | None -> 0
+  | Some (sg, rg) ->
+      Netsim.Flow_table.growth_count (Transport.Tcp_sender.table sg)
+      + Netsim.Flow_table.growth_count (Transport.Tcp_receiver.table rg)
+
+let flow_table_bytes_per_flow t =
+  match t.flows with
+  | None -> 0
+  | Some (sg, rg) ->
+      Netsim.Flow_table.bytes_per_flow (Transport.Tcp_sender.table sg)
+      + Netsim.Flow_table.bytes_per_flow (Transport.Tcp_receiver.table rg)
+
+let flow_table_footprint_bytes t =
+  match t.flows with
+  | None -> 0
+  | Some (sg, rg) ->
+      Netsim.Flow_table.footprint_bytes (Transport.Tcp_sender.table sg)
+      + Netsim.Flow_table.footprint_bytes (Transport.Tcp_receiver.table rg)

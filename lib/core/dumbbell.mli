@@ -74,3 +74,28 @@ val gateway_marks : t -> int
 
 val ecn_reactions_total : t -> int
 (** Window reductions the senders performed in response to ECE echoes. *)
+
+(** {2 Flow-table accounting}
+
+    TCP endpoints live as rows of two shared struct-of-arrays slabs
+    (one sender table, one receiver table); UDP scenarios report 0 and
+    release is a no-op. *)
+
+val release_flows : t -> unit
+(** Detach every TCP endpoint, cancelling its timers and freeing its
+    rows — call after metrics are collected so {!flows_live} returns 0
+    for a leak-free run. *)
+
+val flows_live : t -> int
+(** Rows still allocated across both tables. *)
+
+val flow_table_growths : t -> int
+(** Capacity doublings across both tables; 0 means the client-count
+    pre-size held for the whole run. *)
+
+val flow_table_bytes_per_flow : t -> int
+(** Bytes one flow costs across both tables — the figure the flows
+    bench gates (≤ 512 B at the paper's advertised window). *)
+
+val flow_table_footprint_bytes : t -> int
+(** Total slab bytes at current capacity. *)

@@ -109,21 +109,17 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
     let _, dst_up, dst_down = attach ~id:dst_id ~router_idx:dst_router in
     route_all ~dst_id ~at_router:dst_router ~down:dst_down;
     route_all ~dst_id:src_id ~at_router:src_router ~down:src_down;
-    let cc_handle =
-      let fadv = float_of_int adv in
+    let variant, vegas =
       match cc with
-      | Scenario.Tahoe -> Transport.Tahoe.handle ~initial_ssthresh:fadv ~max_window:fadv
-      | Scenario.Reno -> Transport.Reno.handle ~initial_ssthresh:fadv ~max_window:fadv
-      | Scenario.Newreno ->
-          Transport.Newreno.handle ~initial_ssthresh:fadv ~max_window:fadv
-      | Scenario.Vegas ->
-          Transport.Vegas.handle ~params:cfg.Config.vegas ~initial_ssthresh:fadv
-            ~max_window:fadv ()
-      | Scenario.Sack -> Transport.Sack_cc.handle ~initial_ssthresh:fadv ~max_window:fadv
+      | Scenario.Tahoe -> (Transport.Cc.Tahoe, None)
+      | Scenario.Reno -> (Transport.Cc.Reno, None)
+      | Scenario.Newreno -> (Transport.Cc.Newreno, None)
+      | Scenario.Vegas -> (Transport.Cc.Vegas, Some cfg.Config.vegas)
+      | Scenario.Sack -> (Transport.Cc.Sack, None)
     in
     let sack = cc = Scenario.Sack in
     let sender =
-      Transport.Tcp_sender.create ~sack sched ~pool ~cc:cc_handle
+      Transport.Tcp_sender.create ~sack ?vegas sched ~pool ~cc:variant
         ~rto_params:cfg.Config.rto ~flow ~src:src_id ~dst:dst_id
         ~mss_bytes:cfg.Config.packet_bytes ~adv_window:adv
         ~transmit:(Link.send src_up)
@@ -131,6 +127,7 @@ let run ?(adv_window = 600) cfg ~cc ~hops ~cross_per_hop ~duration_s =
     let receiver =
       Transport.Tcp_receiver.create ~sack sched ~pool ~flow ~src:dst_id
         ~dst:src_id ~ack_bytes:cfg.Config.ack_bytes ~delayed_ack:false
+        ~adv_window:adv
         ~transmit:(Link.send dst_up)
     in
     Hashtbl.replace endpoints src_id { sender = Some sender; receiver = None };

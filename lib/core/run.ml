@@ -278,4 +278,13 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
         ~drops:(Netsim.Link.drops bottleneck)
         ~gc:run_gc ()
   | None -> ());
+  (* Flow-table sweep, after every metric that reads sender/receiver
+     rows: detach all endpoints and assert the slabs drained — the
+     flow-level twin of the packet-pool leak check above. *)
+  Dumbbell.release_flows net;
+  let flows_live = Dumbbell.flows_live net in
+  if flows_live <> 0 then
+    failwith
+      (Printf.sprintf "Run.run: %d flow row(s) leaked from the flow tables"
+         flows_live);
   metrics

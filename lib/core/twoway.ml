@@ -30,15 +30,12 @@ let rev_dst_id j = 400 + j
 let gateway_side id = (id >= 100 && id < 200) || id >= 400
 
 let make_cc cfg kind =
-  let adv = float_of_int cfg.Config.adv_window in
   match kind with
-  | Scenario.Tahoe -> Transport.Tahoe.handle ~initial_ssthresh:adv ~max_window:adv
-  | Scenario.Reno -> Transport.Reno.handle ~initial_ssthresh:adv ~max_window:adv
-  | Scenario.Newreno -> Transport.Newreno.handle ~initial_ssthresh:adv ~max_window:adv
-  | Scenario.Vegas ->
-      Transport.Vegas.handle ~params:cfg.Config.vegas ~initial_ssthresh:adv
-        ~max_window:adv ()
-  | Scenario.Sack -> Transport.Sack_cc.handle ~initial_ssthresh:adv ~max_window:adv
+  | Scenario.Tahoe -> (Transport.Cc.Tahoe, None)
+  | Scenario.Reno -> (Transport.Cc.Reno, None)
+  | Scenario.Newreno -> (Transport.Cc.Newreno, None)
+  | Scenario.Vegas -> (Transport.Cc.Vegas, Some cfg.Config.vegas)
+  | Scenario.Sack -> (Transport.Cc.Sack, None)
 
 let run cfg ~cc ~reverse_clients =
   if reverse_clients < 0 then invalid_arg "Twoway.run: negative reverse_clients";
@@ -102,11 +99,12 @@ let run cfg ~cc ~reverse_clients =
     Router.add_route router ~dst:id down;
     up
   in
+  let variant, vegas = make_cc cfg cc in
   let connect ~flow ~src_id ~dst_id =
     let src_up = attach src_id in
     let dst_up = attach dst_id in
     let sender =
-      Transport.Tcp_sender.create sched ~pool ~cc:(make_cc cfg cc)
+      Transport.Tcp_sender.create ?vegas sched ~pool ~cc:variant
         ~rto_params:cfg.Config.rto ~flow ~src:src_id ~dst:dst_id
         ~mss_bytes:cfg.Config.packet_bytes ~adv_window:cfg.Config.adv_window
         ~transmit:(Link.send src_up)
@@ -114,6 +112,7 @@ let run cfg ~cc ~reverse_clients =
     let receiver =
       Transport.Tcp_receiver.create sched ~pool ~flow ~src:dst_id ~dst:src_id
         ~ack_bytes:cfg.Config.ack_bytes ~delayed_ack:false
+        ~adv_window:cfg.Config.adv_window
         ~transmit:(Link.send dst_up)
     in
     Hashtbl.replace handlers src_id (Transport.Tcp_sender.handle_packet sender);

@@ -10,7 +10,12 @@
     the slot with a generation counter — so steady-state
     [schedule]/[pop_if_before] cycles allocate nothing, and a stale
     handle (whose slot was recycled for a newer event) is recognised and
-    ignored by {!cancel} and {!is_pending}. *)
+    ignored by {!cancel} and {!is_pending}.
+
+    Far-out events are parked in a hierarchical {!Timer_wheel} (O(1)
+    schedule/cancel) and flushed into the comparison heap before they
+    can surface, so observable pop order — (time, then scheduling
+    order) — is identical to a heap-only queue. *)
 
 type t
 
@@ -39,6 +44,13 @@ val schedule : t -> Time.t -> (unit -> unit) -> handle
 (** [schedule q at action] enqueues [action] to fire at time [at].
     Allocates nothing when a recycled slot is available. *)
 
+val schedule_keyed : t -> Time.t -> (int -> unit) -> int -> handle
+(** [schedule_keyed q at f key] enqueues the application [f key].
+    Components with many instances (one TCP flow among 10^5) share one
+    [f] and pass their identity as [key], so re-arming a timer stores
+    two words instead of capturing a fresh closure per arm.
+    @raise Invalid_argument if [key = min_int] (reserved). *)
+
 val cancel : t -> handle -> unit
 (** Cancels the event; a no-op if it already fired, was cancelled, or
     the handle is stale. *)
@@ -64,6 +76,15 @@ val nil : handle
 
 val is_nil : handle -> bool
 
+val int_of_handle : handle -> int
+(** The handle's immediate representation, for storing in flat
+    [int array] state rows (struct-of-arrays components). Round-trips
+    through {!handle_of_int}; {!nil} is representable. *)
+
+val handle_of_int : int -> handle
+(** Inverse of {!int_of_handle}. Only meaningful on values produced by
+    {!int_of_handle}. *)
+
 val pop_if_before : t -> Time.t -> handle
 (** [pop_if_before q horizon] removes and returns the earliest live
     event whose time is [<= horizon], or {!nil} when the queue is empty
@@ -76,4 +97,28 @@ val time_of : t -> handle -> Time.t
 (** Scheduled time of a handle just returned by {!pop_if_before}. *)
 
 val action_of : t -> handle -> unit -> unit
-(** Action of a handle just returned by {!pop_if_before}. *)
+(** Action of a handle just returned by {!pop_if_before}. For a slot
+    scheduled with {!schedule_keyed} this returns a fresh closure; the
+    drain loop should use {!fire} instead. *)
+
+val fire : t -> handle -> unit
+(** Run the action of a handle just returned by {!pop_if_before},
+    dispatching keyed actions without materialising a closure. Call
+    before the next operation on the queue (same lifetime rule as
+    {!time_of}). *)
+
+(** {2 Introspection}
+
+    Capacity plumbing for pre-sizing: a run that knows its flow count
+    sizes the slab once and asserts {!growth_count} stayed zero. *)
+
+val capacity : t -> int
+(** Current slab capacity (slots). *)
+
+val growth_count : t -> int
+(** Number of capacity doublings since creation; [0] means the initial
+    [capacity] was never exceeded. *)
+
+val wheel_parked : t -> int
+(** Schedules absorbed by the timer wheel (vs. pushed straight onto the
+    heap); a measure of how much heap churn the wheel saved. *)

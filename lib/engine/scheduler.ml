@@ -34,6 +34,13 @@ let at t when_ action =
 
 let after t delay action = at t (Time.add t.clock delay) action
 
+let at_keyed t when_ f key =
+  if Time.(when_ < t.clock) then
+    invalid_arg "Scheduler.at_keyed: time in the past";
+  Event_queue.schedule_keyed t.queue when_ f key
+
+let after_keyed t delay f key = at_keyed t (Time.add t.clock delay) f key
+
 let cancel t handle = Event_queue.cancel t.queue handle
 
 let stop t = t.stopped <- true
@@ -54,9 +61,8 @@ let run ?until t =
       let e = Event_queue.pop_if_before t.queue horizon in
       if not (Event_queue.is_nil e) then begin
         t.clock <- Event_queue.time_of t.queue e;
-        let action = Event_queue.action_of t.queue e in
         t.fired <- t.fired + 1;
-        action ();
+        Event_queue.fire t.queue e;
         loop ()
       end
     end
@@ -72,3 +78,9 @@ let events_processed t = t.fired
 let pending t = Event_queue.length t.queue
 
 let queue_high_water_mark t = Event_queue.high_water_mark t.queue
+
+let queue_capacity t = Event_queue.capacity t.queue
+
+let queue_growths t = Event_queue.growth_count t.queue
+
+let queue_wheel_parked t = Event_queue.wheel_parked t.queue

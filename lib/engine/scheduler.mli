@@ -31,6 +31,15 @@ val at : t -> Time.t -> (unit -> unit) -> handle
 val after : t -> Time.span -> (unit -> unit) -> handle
 (** [after t delay action] schedules [action] [delay] from now. *)
 
+val at_keyed : t -> Time.t -> (int -> unit) -> int -> handle
+(** [at_keyed t when_ f key] schedules the application [f key] — a
+    shared callback plus an immediate identity — so components with
+    many instances re-arm timers without allocating a closure per arm
+    (see {!Event_queue.schedule_keyed}).
+    @raise Invalid_argument if [when_] is past or [key] is [min_int]. *)
+
+val after_keyed : t -> Time.span -> (int -> unit) -> int -> handle
+
 val cancel : t -> handle -> unit
 
 val stop : t -> unit
@@ -56,3 +65,13 @@ val pending : t -> int
 
 val queue_high_water_mark : t -> int
 (** Peak number of live events ever queued at once. *)
+
+val queue_capacity : t -> int
+(** Current event-slab capacity (see {!Event_queue.capacity}). *)
+
+val queue_growths : t -> int
+(** Event-slab capacity doublings since creation; [0] means the
+    [queue_capacity] hint covered the whole run. *)
+
+val queue_wheel_parked : t -> int
+(** Schedules absorbed by the timer wheel rather than the heap. *)

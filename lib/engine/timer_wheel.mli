@@ -1,0 +1,62 @@
+(** A hierarchical timer wheel over integer items.
+
+    The wheel holds opaque [int] items (the event queue's slab slots),
+    each tagged with a nanosecond firing time, in a hierarchy of rings:
+    level 0 buckets spans of one {e quantum} (2{^quantum_bits} ns),
+    each higher level buckets spans [2^slot_bits] times coarser. Insert
+    and removal are O(1) list pushes; a lazily-advanced cursor expires
+    level-0 buckets and {e cascades} higher-level buckets downward as
+    their start boundary is crossed.
+
+    The wheel is deliberately {e not} an ordered queue: {!advance}
+    hands back every item due by [upto_ns] — possibly up to one quantum
+    early, and in no particular order within a bucket. The caller
+    (see {!Event_queue}) re-inserts flushed items into its comparison
+    heap, so observable firing order is decided there; the wheel only
+    absorbs the schedule/cancel churn of the many timers that never
+    fire (RTO re-arms, pacing gaps, delayed ACKs).
+
+    Items whose delay from the cursor exceeds {!horizon_ns}, or whose
+    time is within one quantum (due "now"), are rejected by {!add} and
+    must be kept in the caller's fallback ordering structure. *)
+
+type t
+
+val create :
+  ?quantum_bits:int -> ?slot_bits:int -> ?levels:int -> ?capacity:int -> unit -> t
+(** Defaults: [quantum_bits = 20] (a ~1.05 ms quantum), [slot_bits = 6]
+    (64 buckets per level), [levels = 4] — an addressable horizon of
+    2{^44} ns, about 4.9 simulated hours, far beyond the 64 s maximum
+    RTO backoff. [capacity] pre-sizes the per-item link arrays; it must
+    cover the caller's slab (see {!ensure_capacity}).
+    @raise Invalid_argument on non-positive parameters or a horizon
+    beyond 2{^60} ns. *)
+
+val count : t -> int
+(** Items currently parked in the wheel. *)
+
+val cursor_ns : t -> int
+(** The expiry frontier: every bucket starting before this time has
+    been flushed. Advances monotonically. *)
+
+val quantum_ns : t -> int
+
+val horizon_ns : t -> int
+(** Width of the addressable window above the cursor. *)
+
+val ensure_capacity : t -> int -> unit
+(** Grow the per-item arrays so items in [0, n) are addressable. *)
+
+val add : t -> item:int -> time_ns:int -> bool
+(** [add t ~item ~time_ns] parks [item] to be flushed when the cursor
+    reaches its bucket. Returns [false] — without storing anything — if
+    the time is within one quantum of the cursor (the caller should
+    treat it as due), at or past the addressable horizon, or beyond the
+    wheel's absolute ceiling. [item] must not already be in the wheel. *)
+
+val advance : t -> upto_ns:int -> flush:(int -> unit) -> unit
+(** Move the cursor to just past [upto_ns], calling [flush] on every
+    item whose time is [<= upto_ns] (bucket granularity: items sharing
+    the final bucket may be flushed up to one quantum early). [flush]
+    must not re-enter the wheel. Cost is amortised: the cursor jumps
+    directly between occupied bucket boundaries. *)

@@ -1,0 +1,177 @@
+(* Struct-of-arrays slab for per-flow connection state — the flow-level
+   twin of {!Packet_pool}. A row is [ints_per_flow] machine words in one
+   flat [int array] plus [floats_per_flow] unboxed doubles in one flat
+   [float array]; a flow is a generation-checked immediate handle, so
+   allocating a flow costs O(row words) of zeroing and no heap blocks at
+   all, and freeing it recycles the row through a free stack.
+
+   Liveness rides on generation parity: a slot's generation is bumped on
+   {e both} alloc and free, so odd = live, even = free, and a single
+   compare in [slot_of] catches stale handles and double-frees without a
+   separate occupancy array. *)
+
+(* Handle layout mirrors Packet_pool/Event_queue: generation in the low
+   [gen_bits] bits, slot index above. Parity halves the effective
+   generation space to 2^29 alloc/free cycles per slot — still far past
+   anything a run performs. *)
+let gen_bits = 30
+
+let gen_mask = (1 lsl gen_bits) - 1
+
+type handle = int
+
+let nil : handle = -1
+
+type t = {
+  ints_per_flow : int;
+  floats_per_flow : int;
+  mutable cap : int;
+  mutable ints : int array; (* cap * ints_per_flow, row-major *)
+  mutable floats : float array; (* cap * floats_per_flow, row-major *)
+  mutable gen : int array; (* odd = live, even = free *)
+  mutable free : int array; (* stack of recycled slots *)
+  mutable free_top : int;
+  mutable fresh : int; (* next never-used slot *)
+  mutable live : int;
+  mutable hwm : int;
+  mutable growths : int;
+}
+
+let create ?(capacity = 16) ~ints_per_flow ~floats_per_flow () =
+  if capacity < 1 then invalid_arg "Flow_table.create: capacity < 1";
+  if ints_per_flow < 1 then invalid_arg "Flow_table.create: ints_per_flow < 1";
+  if floats_per_flow < 0 then
+    invalid_arg "Flow_table.create: floats_per_flow < 0";
+  {
+    ints_per_flow;
+    floats_per_flow;
+    cap = capacity;
+    ints = Array.make (capacity * ints_per_flow) 0;
+    floats = Array.make (Stdlib.max 1 (capacity * floats_per_flow)) 0.;
+    gen = Array.make capacity 0;
+    free = Array.make capacity 0;
+    free_top = 0;
+    fresh = 0;
+    live = 0;
+    hwm = 0;
+    growths = 0;
+  }
+
+let live t = t.live
+
+let high_water_mark t = t.hwm
+
+let capacity t = t.cap
+
+let growth_count t = t.growths
+
+let ints_per_flow t = t.ints_per_flow
+
+let floats_per_flow t = t.floats_per_flow
+
+(* Row words plus the two bookkeeping words every slot carries (its
+   generation and its free-stack cell). *)
+let words_per_flow t = t.ints_per_flow + t.floats_per_flow + 2
+
+let bytes_per_flow t = 8 * words_per_flow t
+
+let footprint_bytes t = 8 * t.cap * words_per_flow t
+
+let ints t = t.ints
+
+let floats t = t.floats
+
+let grow t =
+  let ncap = 2 * t.cap in
+  let extend a fill n =
+    let na = Array.make n fill in
+    Array.blit a 0 na 0 (Array.length a);
+    na
+  in
+  t.ints <- extend t.ints 0 (ncap * t.ints_per_flow);
+  if t.floats_per_flow > 0 then
+    t.floats <- extend t.floats 0. (ncap * t.floats_per_flow);
+  t.gen <- extend t.gen 0 ncap;
+  t.free <- extend t.free 0 ncap;
+  t.cap <- ncap;
+  t.growths <- t.growths + 1
+
+let stale () = invalid_arg "Flow_table: stale or freed flow handle"
+
+let pack slot g = (slot lsl gen_bits) lor (g land gen_mask)
+
+(* Validate and unpack: the slot must have been handed out ([< fresh]),
+   its stored generation must match the handle's, and that generation
+   must be odd (live). *)
+let slot_of t h =
+  if h < 0 then stale ();
+  let slot = h lsr gen_bits in
+  if slot >= t.fresh then stale ();
+  let g = t.gen.(slot) in
+  if g land gen_mask <> h land gen_mask || g land 1 = 0 then stale ();
+  slot
+
+let is_live t h =
+  h >= 0
+  &&
+  let slot = h lsr gen_bits in
+  slot < t.fresh
+  &&
+  let g = t.gen.(slot) in
+  g land gen_mask = h land gen_mask && g land 1 = 1
+
+let handle_of_slot t slot =
+  if slot < 0 || slot >= t.fresh || t.gen.(slot) land 1 = 0 then
+    invalid_arg "Flow_table.handle_of_slot: free slot";
+  pack slot t.gen.(slot)
+
+let alloc t =
+  let slot =
+    if t.free_top > 0 then begin
+      t.free_top <- t.free_top - 1;
+      t.free.(t.free_top)
+    end
+    else begin
+      if t.fresh = t.cap then grow t;
+      let s = t.fresh in
+      t.fresh <- t.fresh + 1;
+      s
+    end
+  in
+  Array.fill t.ints (slot * t.ints_per_flow) t.ints_per_flow 0;
+  if t.floats_per_flow > 0 then
+    Array.fill t.floats (slot * t.floats_per_flow) t.floats_per_flow 0.;
+  t.gen.(slot) <- t.gen.(slot) + 1 (* even -> odd: live *);
+  t.live <- t.live + 1;
+  if t.live > t.hwm then t.hwm <- t.live;
+  pack slot t.gen.(slot)
+
+let free t h =
+  let slot = slot_of t h in
+  t.gen.(slot) <- t.gen.(slot) + 1 (* odd -> even: free *);
+  t.free.(t.free_top) <- slot;
+  t.free_top <- t.free_top + 1;
+  t.live <- t.live - 1
+
+(* Scalar accessors for cold paths; hot paths read [ints]/[floats] once
+   and index rows directly. *)
+let get_int t h i =
+  let slot = slot_of t h in
+  t.ints.((slot * t.ints_per_flow) + i)
+
+let set_int t h i v =
+  let slot = slot_of t h in
+  t.ints.((slot * t.ints_per_flow) + i) <- v
+
+let get_float t h i =
+  let slot = slot_of t h in
+  t.floats.((slot * t.floats_per_flow) + i)
+
+let set_float t h i v =
+  let slot = slot_of t h in
+  t.floats.((slot * t.floats_per_flow) + i) <- v
+
+let iter_live t f =
+  for slot = 0 to t.fresh - 1 do
+    if t.gen.(slot) land 1 = 1 then f slot
+  done

@@ -1,0 +1,97 @@
+(** Struct-of-arrays slab for per-flow connection state.
+
+    The flow-level twin of {!Packet_pool}: a flow's scalar state lives as
+    one row of a flat [int array] plus one row of a flat unboxed
+    [float array], identified by a generation-checked immediate handle.
+    Allocating a flow zeroes its row and allocates no heap blocks;
+    freeing recycles the row through a free stack and invalidates every
+    outstanding handle to it. At N = 10^5 flows this replaces 10^5
+    closure-rich records (and their GC pressure) with two arrays.
+
+    The table fixes the row shape — [ints_per_flow]/[floats_per_flow] —
+    at creation; the {e meaning} of each cell belongs to the component
+    that owns the table (the TCP sender and receiver engines define
+    their layouts in [Transport.Flow_layout]). *)
+
+type t
+
+type handle
+(** Identifies a live flow. Immediate (an [int]), so storing or passing
+    one costs no heap. Stale handles — freed, double-freed, or recycled
+    slots — are detected by a generation check and raise
+    [Invalid_argument]. *)
+
+val nil : handle
+(** Sentinel that is never live; {!slot_of} on it raises. *)
+
+val create : ?capacity:int -> ints_per_flow:int -> floats_per_flow:int -> unit -> t
+(** [capacity] (default 16) pre-sizes the slab; pass the flow count of
+    the run so steady state never doubles. [floats_per_flow] may be 0.
+    @raise Invalid_argument on non-positive [capacity]/[ints_per_flow]. *)
+
+val alloc : t -> handle
+(** Claim a slot; its int row and float row are zero-filled. *)
+
+val free : t -> handle -> unit
+(** Release the flow. Any handle to it (including [h] itself) is stale
+    afterwards. @raise Invalid_argument if [h] is already stale. *)
+
+val slot_of : t -> handle -> int
+(** The row index behind a live handle — multiply by
+    {!ints_per_flow}/{!floats_per_flow} to index {!ints}/{!floats}.
+    @raise Invalid_argument if the handle is stale or freed. *)
+
+val is_live : t -> handle -> bool
+
+val handle_of_slot : t -> int -> handle
+(** Re-derive the current handle of a live slot (used by keyed timer
+    callbacks that carry the slot as their immediate key).
+    @raise Invalid_argument if the slot is free. *)
+
+(** {2 Row access}
+
+    Hot paths fetch the arrays once per event and index
+    [slot * per_flow + field] directly; the arrays are only replaced by
+    a capacity doubling, which can happen solely inside {!alloc}. *)
+
+val ints : t -> int array
+
+val floats : t -> float array
+
+val get_int : t -> handle -> int -> int
+
+val set_int : t -> handle -> int -> int -> unit
+
+val get_float : t -> handle -> int -> float
+
+val set_float : t -> handle -> int -> float -> unit
+
+val iter_live : t -> (int -> unit) -> unit
+(** Apply to every live slot, in slot order. *)
+
+(** {2 Accounting} *)
+
+val live : t -> int
+(** Flows currently allocated; the run-end leak check asserts 0. *)
+
+val high_water_mark : t -> int
+
+val capacity : t -> int
+
+val growth_count : t -> int
+(** Capacity doublings since creation; 0 means the pre-size held. *)
+
+val ints_per_flow : t -> int
+
+val floats_per_flow : t -> int
+
+val words_per_flow : t -> int
+(** Row words plus the 2 bookkeeping words (generation + free-stack
+    cell) each slot carries. *)
+
+val bytes_per_flow : t -> int
+(** [8 * words_per_flow] — the memory-budget figure the flows bench
+    gates (≤ 512 B summed over sender + receiver tables). *)
+
+val footprint_bytes : t -> int
+(** Total bytes across the whole slab at current capacity. *)

@@ -151,6 +151,127 @@ let validate_alloc j =
         | _ -> Error "rows is not a list")
   | _ -> Error "alloc report is not a JSON object"
 
+(* BENCH_flows.json: the flow-scaling sweep (10^3..10^5 greedy flows).
+   Schema check plus the budgets the file itself carries: per-flow
+   bytes, zero slab growth, leak-freedom, and — on the rows the bench
+   ran to fluid equilibrium ([fluid_gated] true) — the measured/ODE
+   queue and throughput ratios. The events/sec floor is deliberately
+   not re-checked here: wall time depends on the machine and on --fast,
+   and the bench itself enforces it in full mode. *)
+
+let flows_required_fields =
+  [
+    "per_flow_capacity_pps";
+    "base_rtt_s";
+    "bytes_per_flow_budget";
+    "minor_words_per_event_budget";
+    "min_events_per_sec";
+    "throughput_ratio_min";
+    "throughput_ratio_max";
+    "queue_ratio_min";
+    "queue_ratio_max";
+    "rows";
+  ]
+
+let flows_row_required_fields =
+  [
+    "flows";
+    "duration_s";
+    "fluid_gated";
+    "events";
+    "wall_s";
+    "events_per_sec";
+    "minor_words_per_event";
+    "bytes_per_flow";
+    "flow_footprint_bytes";
+    "flow_table_growths";
+    "queue_growths";
+    "queue_capacity";
+    "queue_hwm";
+    "wheel_parked";
+    "delivered";
+    "measured_queue";
+    "fluid_queue";
+    "queue_ratio";
+    "measured_throughput_pps";
+    "fluid_throughput_pps";
+    "throughput_ratio";
+    "leak_free";
+  ]
+
+let validate_flows_row ~header row =
+  match row with
+  | Json.Obj _ -> (
+      let label =
+        match Json.member "flows" row with
+        | Some (Json.Int n) -> Printf.sprintf "N=%d" n
+        | _ -> "<unnamed row>"
+      in
+      let missing =
+        List.filter (fun f -> Json.member f row = None) flows_row_required_fields
+      in
+      if missing <> [] then
+        [ label ^ ": missing fields: " ^ String.concat ", " missing ]
+      else begin
+        let number j f = Option.bind (Json.member f j) Json.to_float in
+        let errors = ref [] in
+        let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+        let le what measured budget =
+          match (number row measured, number header budget) with
+          | Some m, Some b ->
+              if m > b then err "%s: %s %g exceeds budget %g" label what m b
+          | _ -> err "%s: %s fields are not numbers" label what
+        in
+        le "bytes_per_flow" "bytes_per_flow" "bytes_per_flow_budget";
+        le "minor words/event" "minor_words_per_event"
+          "minor_words_per_event_budget";
+        (match (number row "flow_table_growths", number row "queue_growths")
+         with
+        | Some ft, Some q ->
+            if ft <> 0. || q <> 0. then
+              err "%s: slabs grew (%g flow-table, %g event-queue)" label ft q
+        | _ -> err "%s: growth fields are not numbers" label);
+        (match Json.member "leak_free" row with
+        | Some (Json.Bool true) -> ()
+        | Some (Json.Bool false) -> err "%s: leak_free is false" label
+        | _ -> err "%s: leak_free is not a bool" label);
+        (match Json.member "fluid_gated" row with
+        | Some (Json.Bool true) ->
+            let within what v lo hi =
+              match (number row v, number header lo, number header hi) with
+              | Some x, Some a, Some b ->
+                  if x < a || x > b then
+                    err "%s: %s %g outside [%g, %g]" label what x a b
+              | _ -> err "%s: %s fields are not numbers" label what
+            in
+            within "throughput ratio" "throughput_ratio"
+              "throughput_ratio_min" "throughput_ratio_max";
+            within "queue ratio" "queue_ratio" "queue_ratio_min"
+              "queue_ratio_max"
+        | Some (Json.Bool false) -> ()
+        | _ -> err "%s: fluid_gated is not a bool" label);
+        List.rev !errors
+      end)
+  | _ -> [ "row is not an object" ]
+
+let validate_flows j =
+  match j with
+  | Json.Obj _ -> (
+      let missing =
+        List.filter (fun f -> Json.member f j = None) flows_required_fields
+      in
+      if missing <> [] then
+        Error ("missing fields: " ^ String.concat ", " missing)
+      else
+        match Json.member "rows" j with
+        | Some (Json.List []) -> Error "rows is empty"
+        | Some (Json.List rows) -> (
+            match List.concat_map (validate_flows_row ~header:j) rows with
+            | [] -> Ok ()
+            | errors -> Error (String.concat "; " errors))
+        | _ -> Error "rows is not a list")
+  | _ -> Error "flows report is not a JSON object"
+
 (* BENCH_telemetry.json: the three-configuration overhead benchmark
    (baseline / probed / probed+recorder). Schema check plus the
    committed budgets the file itself carries. *)

@@ -50,6 +50,20 @@ val validate_alloc : Json.t -> (unit, string) result
     wall-clock sensitive and enforced by the bench itself (full mode
     only). *)
 
+val flows_required_fields : string list
+val flows_row_required_fields : string list
+
+val validate_flows : Json.t -> (unit, string) result
+(** Check a BENCH_flows.json document written by the flow-scaling
+    sweep: the regime header, a non-empty [rows] list, and for every
+    row the full column set plus the committed invariants —
+    [bytes_per_flow] and [minor_words_per_event] within the budgets the
+    file carries, zero flow-table and event-queue growth, [leak_free]
+    true, and (rows with [fluid_gated] true) the measured/fluid queue
+    and throughput ratios inside the header's bands. The events/sec
+    floor is wall-clock sensitive and enforced by the bench itself in
+    full mode, not here. *)
+
 val validate_bench_telemetry : Json.t -> (unit, string) result
 (** Validate a BENCH_telemetry.json overhead report: required fields
     plus the probe/recorder overhead and allocation budgets the file

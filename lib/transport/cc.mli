@@ -1,10 +1,16 @@
 (** The congestion-control seam between the TCP engine and its variants.
 
-    The engine ({!Tcp}) owns segments, timers, ACK accounting and the
-    recovery state machine; a [handle] owns [cwnd]/[ssthresh] policy and is
-    poked on every relevant event. Variants (Tahoe, Reno, NewReno, Vegas)
-    each provide a constructor returning a [handle] closed over their
-    private state. Windows are in packets and may be fractional. *)
+    The engine ({!Tcp_sender}) owns segments, timers, ACK accounting and
+    the recovery state machine; congestion policy owns [cwnd]/[ssthresh].
+    Policy state lives in the float row of the flow table
+    ({!Netsim.Flow_table}, laid out by {!Flow_layout}), and every
+    operation below takes the float array plus the row's base offset —
+    dispatching on an immediate {!variant} tag, so 10^5 flows share one
+    policy implementation and zero closures. The classic closure
+    {!handle} view survives as a shim over a private single-row array
+    for standalone use (unit tests, one-off windows).
+
+    Windows are in packets and may be fractional. *)
 
 type ack_info = {
   mutable ack : int;  (** cumulative ACK: next expected sequence *)
@@ -15,13 +21,89 @@ type ack_info = {
   mutable flight_before : int;  (** outstanding segments before this ACK *)
 }
 (** Mutable and all-immediate on purpose: the engine keeps {e one}
-    [ack_info] per connection and rewrites it for every ACK, so the
+    [ack_info] per sender group and rewrites it for every ACK, so the
     per-ACK hot path allocates neither a record nor a boxed float.
-    Variants must read the fields during the callback and copy what they
+    Policies must read the fields during the callback and copy what they
     need — the record is dead the moment the callback returns. *)
 
 val make_ack_info : unit -> ack_info
 (** A scratch [ack_info] (no sample, all counters zero). *)
+
+(** {2 Variants} *)
+
+type variant = Reno | Newreno | Tahoe | Vegas | Sack
+
+type vegas_params = { alpha : float; beta : float; gamma : float }
+(** Vegas's queue-occupancy band and slow-start exit threshold,
+    in packets. *)
+
+val default_vegas : vegas_params
+(** alpha 1, beta 3, gamma 1 (Brakmo & Peterson). *)
+
+type ctx = { variant : variant; max_window : float; vp : vegas_params }
+(** Per-group policy context: shared by every flow in a sender group. *)
+
+val make_ctx : ?vegas:vegas_params -> max_window:float -> variant -> ctx
+(** @raise Invalid_argument on a bad [alpha]/[beta]/[gamma]. *)
+
+val name_of : variant -> string
+
+val floats_per_flow : variant -> int
+(** Float cells a row of this variant needs ({!Flow_layout.sender_floats}
+    or {!Flow_layout.vegas_floats}). *)
+
+val uses_fast_recovery : variant -> bool
+(** False for Tahoe: after a fast retransmit the engine restarts from
+    the ACK point in slow start rather than entering recovery. *)
+
+val partial_ack_stays : variant -> bool
+(** True for NewReno/SACK: partial ACKs keep the connection in recovery
+    until the recovery point is passed. *)
+
+(** {2 Table operations}
+
+    All take the row's float array and base offset ([fs], [fb]) and
+    mutate [cwnd]/[ssthresh]/variant state in place, allocation-free. *)
+
+val init : ctx -> float array -> int -> initial_ssthresh:float -> unit
+(** Initialise a freshly-zeroed row (cwnd 1, or 2 with base-RTT state
+    for Vegas). *)
+
+val cwnd : float array -> int -> float
+
+val ssthresh : float array -> int -> float
+
+val in_slow_start : float array -> int -> bool
+(** [cwnd < ssthresh] without boxing either float. *)
+
+val on_new_ack : ctx -> float array -> int -> ack_info -> unit
+(** A cumulative ACK advancing the window, outside recovery. *)
+
+val enter_recovery : ctx -> float array -> int -> flight:int -> now:float -> unit
+(** Third duplicate ACK; the engine retransmits the head segment. *)
+
+val dup_ack_inflate : ctx -> float array -> int -> unit
+(** Each further duplicate ACK while in recovery. *)
+
+val on_partial_ack : ctx -> float array -> int -> ack_info -> unit
+(** In recovery, ACK advances but below the recovery point (only
+    reached when {!partial_ack_stays} is true). *)
+
+val on_full_ack : ctx -> float array -> int -> ack_info -> unit
+(** Recovery completes (deflate / resume normal growth). *)
+
+val on_timeout : ctx -> float array -> int -> flight:int -> now:float -> unit
+
+val on_ecn : ctx -> float array -> int -> flight:int -> now:float -> unit
+(** An ECN congestion-experienced echo arrived; reduce the window as
+    for a loss, but nothing needs retransmitting. The engine rate-
+    limits this to once per RTT. *)
+
+(** {2 Closure handles}
+
+    The pre-flow-table view: one heap record of closures over a private
+    single-row float array, driven by exactly the table operations
+    above. Constructed by the variant modules ({!Reno.handle} etc.). *)
 
 type handle = {
   name : string;
@@ -29,44 +111,34 @@ type handle = {
   ssthresh : unit -> float;
   in_slow_start : unit -> bool;
   on_new_ack : ack_info -> unit;
-      (** A cumulative ACK advancing the window, outside recovery. *)
   enter_recovery : flight:int -> now:float -> unit;
-      (** Third duplicate ACK; the engine retransmits the head segment. *)
   dup_ack_inflate : unit -> unit;
-      (** Each further duplicate ACK while in recovery. *)
   on_partial_ack : ack_info -> unit;
-      (** In recovery, ACK advances but below the recovery point (only
-          reached when [partial_ack_stays] is true). *)
   on_full_ack : ack_info -> unit;
-      (** Recovery completes (deflate / resume normal growth). *)
   on_timeout : flight:int -> now:float -> unit;
   on_ecn : flight:int -> now:float -> unit;
-      (** An ECN congestion-experienced echo arrived; reduce the window as
-          for a loss, but nothing needs retransmitting. The engine rate-
-          limits this to once per RTT. *)
   uses_fast_recovery : bool;
-      (** False for Tahoe: after a fast retransmit the engine restarts from
-          the ACK point in slow start rather than entering recovery. *)
   partial_ack_stays : bool;
-      (** True for NewReno: partial ACKs retransmit the next hole and keep
-          the connection in recovery until the recovery point is passed. *)
 }
+
+val handle_of :
+  ?vegas:vegas_params ->
+  initial_ssthresh:float ->
+  max_window:float ->
+  variant ->
+  handle
 
 (** {2 Helpers shared by AIMD-family variants} *)
 
+val halve_flight : flight:int -> float
+(** [max (flight/2) 2] — the multiplicative-decrease target. *)
+
 type window = { mutable cwnd : float; mutable ssthresh : float }
-(** The AIMD pair shared by Tahoe/Reno/NewReno/SACK. All-float on
-    purpose: the record is flat, so the per-ACK mutations store unboxed
-    doubles ([float ref] cells would box on every assignment). *)
+(** A standalone AIMD pair (flat all-float record), kept for tests that
+    poke window arithmetic directly. *)
 
 val window_in_slow_start : window -> bool
-(** [cwnd < ssthresh] without boxing either float — use this (or an
-    equivalent immediate-typed closure) to implement
-    {!handle.in_slow_start}. *)
 
 val slow_start_and_avoidance : window -> max_window:float -> int -> unit
 (** Apply the standard per-ACK window growth for [newly_acked] segments:
     +1 per segment below ssthresh, +1/cwnd per segment above. *)
-
-val halve_flight : flight:int -> float
-(** [max (flight/2) 2] — the multiplicative-decrease target. *)

@@ -1,32 +1,2 @@
 let handle ~initial_ssthresh ~max_window =
-  let w = { Cc.cwnd = 1.; ssthresh = initial_ssthresh } in
-  {
-    Cc.name = "reno";
-    cwnd = (fun () -> w.Cc.cwnd);
-    ssthresh = (fun () -> w.Cc.ssthresh);
-    in_slow_start = (fun () -> Cc.window_in_slow_start w);
-    on_new_ack =
-      (fun info -> Cc.slow_start_and_avoidance w ~max_window info.Cc.newly_acked);
-    enter_recovery =
-      (fun ~flight ~now:_ ->
-        w.Cc.ssthresh <- Cc.halve_flight ~flight;
-        (* Window inflation: ssthresh + the 3 dup ACKs already seen. *)
-        w.Cc.cwnd <- w.Cc.ssthresh +. 3.);
-    dup_ack_inflate =
-      (fun () ->
-        let c = w.Cc.cwnd +. 1. in
-        w.Cc.cwnd <- (if c > max_window then max_window else c));
-    on_partial_ack = (fun _ -> ());
-    on_full_ack = (fun _ -> w.Cc.cwnd <- w.Cc.ssthresh);
-    on_timeout =
-      (fun ~flight ~now:_ ->
-        w.Cc.ssthresh <- Cc.halve_flight ~flight;
-        w.Cc.cwnd <- 1.);
-    on_ecn =
-      (fun ~flight ~now:_ ->
-        (* Halve as for a loss, but no segment is missing (RFC 3168). *)
-        w.Cc.ssthresh <- Cc.halve_flight ~flight;
-        w.Cc.cwnd <- w.Cc.ssthresh);
-    uses_fast_recovery = true;
-    partial_ack_stays = false;
-  }
+  Cc.handle_of ~initial_ssthresh ~max_window Cc.Reno

@@ -104,3 +104,50 @@ let reset_backoff t = t.s.(i_backoff) <- 1.
 let srtt t = if t.have_sample then Some t.s.(i_srtt) else None
 
 let rttvar t = if t.have_sample then Some t.s.(i_rttvar) else None
+
+(* ------------------------------------------------------------------ *)
+(* Flow-table entry points: the same estimator over a row of the sender
+   table's float region ([Flow_layout.f_srtt]/[f_rttvar]/[f_backoff] at
+   base [fb]). The caller owns the have-sample bit (a flag in its int
+   row) and passes it in; each body repeats the math above verbatim so
+   the results stay bit-identical and no float crosses a call boundary. *)
+
+module L = Flow_layout
+
+let observe_ns_at p (fs : float array) fb ~first ns =
+  if ns < 0 then invalid_arg "Rto.observe_ns_at: negative sample";
+  let sample = float_of_int ns *. 1e-9 in
+  let m = Float.round (sample /. p.granularity) *. p.granularity in
+  if first then begin
+    fs.(fb + L.f_srtt) <- m;
+    fs.(fb + L.f_rttvar) <- m /. 2.
+  end
+  else begin
+    fs.(fb + L.f_rttvar) <-
+      (0.75 *. fs.(fb + L.f_rttvar))
+      +. (0.25 *. Float.abs (fs.(fb + L.f_srtt) -. m));
+    fs.(fb + L.f_srtt) <- (0.875 *. fs.(fb + L.f_srtt)) +. (0.125 *. m)
+  end;
+  fs.(fb + L.f_backoff) <- 1.
+
+let rto_ns_at p (fs : float array) fb ~have_sample =
+  let base =
+    if not have_sample then p.initial_rto
+    else begin
+      let spread = 4. *. fs.(fb + L.f_rttvar) in
+      let spread = if spread < p.granularity then p.granularity else spread in
+      fs.(fb + L.f_srtt) +. spread
+    end
+  in
+  let v = base *. fs.(fb + L.f_backoff) in
+  let v = if v < p.min_rto then p.min_rto else v in
+  let v = if v > p.max_rto then p.max_rto else v in
+  int_of_float (Float.round (v *. 1e9))
+
+let backoff_at (fs : float array) fb =
+  let b = fs.(fb + L.f_backoff) *. 2. in
+  fs.(fb + L.f_backoff) <- (if b > 64. then 64. else b)
+
+let reset_backoff_at (fs : float array) fb = fs.(fb + L.f_backoff) <- 1.
+
+let init_at (fs : float array) fb = fs.(fb + L.f_backoff) <- 1.

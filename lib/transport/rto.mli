@@ -43,3 +43,26 @@ val srtt : t -> float option
 (** Smoothed RTT, if any sample has been observed. *)
 
 val rttvar : t -> float option
+
+(** {2 Flow-table entry points}
+
+    The same estimator run over a flow-table row's float region
+    ([Flow_layout.f_srtt]/[f_rttvar]/[f_backoff] at base [fb]). The
+    caller owns the have-sample bit (a flag in its int row): it passes
+    [~first]/[~have_sample] and flips the flag itself after the first
+    observation. Results are bit-identical to the standalone {!t}. *)
+
+val init_at : float array -> int -> unit
+(** Initialise a freshly-zeroed row (backoff multiplier 1). *)
+
+val observe_ns_at : params -> float array -> int -> first:bool -> int -> unit
+(** Feed one clean sample in integer nanoseconds; [first] means no
+    sample has been observed yet. Resets any backoff.
+    @raise Invalid_argument on a negative sample. *)
+
+val rto_ns_at : params -> float array -> int -> have_sample:bool -> int
+(** Current timeout in integer nanoseconds, including backoff. *)
+
+val backoff_at : float array -> int -> unit
+
+val reset_backoff_at : float array -> int -> unit

@@ -1,22 +1,2 @@
 let handle ~initial_ssthresh ~max_window =
-  let w = { Cc.cwnd = 1.; ssthresh = initial_ssthresh } in
-  let loss ~flight =
-    w.Cc.ssthresh <- Cc.halve_flight ~flight;
-    w.Cc.cwnd <- 1.
-  in
-  {
-    Cc.name = "tahoe";
-    cwnd = (fun () -> w.Cc.cwnd);
-    ssthresh = (fun () -> w.Cc.ssthresh);
-    in_slow_start = (fun () -> Cc.window_in_slow_start w);
-    on_new_ack =
-      (fun info -> Cc.slow_start_and_avoidance w ~max_window info.Cc.newly_acked);
-    enter_recovery = (fun ~flight ~now:_ -> loss ~flight);
-    dup_ack_inflate = ignore;
-    on_partial_ack = (fun _ -> ());
-    on_full_ack = (fun _ -> ());
-    on_timeout = (fun ~flight ~now:_ -> loss ~flight);
-    on_ecn = (fun ~flight ~now:_ -> loss ~flight);
-    uses_fast_recovery = false;
-    partial_ack_stays = false;
-  }
+  Cc.handle_of ~initial_ssthresh ~max_window Cc.Tahoe

@@ -3,14 +3,90 @@
     Owns the send window, duplicate-ACK counting, fast-retransmit /
     fast-recovery state machine, retransmission timer (with Karn's rule)
     and go-back-N behaviour after a timeout — everything that is common to
-    the congestion-control variants, which plug in as a {!Cc.handle}.
+    the congestion-control variants, which plug in as a {!Cc.variant}.
+
+    Per-flow state lives in rows of a struct-of-arrays
+    {!Netsim.Flow_table} shared by a {!group}: creating a group allocates
+    the shared machinery (scheduler hooks, packet pool, CC context, two
+    keyed timer callbacks) once, and {!attach}ing a flow claims one table
+    row and allocates nothing else — which is what lets a single run
+    carry 10^5 flows. A {!t} is a (group, generation-checked handle)
+    pair; using one after {!detach} raises [Invalid_argument].
 
     The application submits segments with {!write} (1 segment = 1 MSS,
     matching the paper's one-packet-per-Poisson-arrival sources); segments
     queue in an unbounded send buffer until the window admits them, which
     is exactly the mechanism §3.2 blames for slow-start bursts. *)
 
+type group
+(** Shared state for a set of flows running the same variant and
+    options over the same scheduler/pool. *)
+
 type t
+(** One flow: a group plus a generation-checked row handle. *)
+
+val create_group :
+  ?ecn_capable:bool ->
+  ?sack:bool ->
+  ?cwnd_validation:bool ->
+  ?limited_transmit:bool ->
+  ?pacing:bool ->
+  ?bus:Telemetry.Event_bus.t ->
+  ?recorder:Telemetry.Recorder.t ->
+  ?vegas:Cc.vegas_params ->
+  ?initial_ssthresh:float ->
+  ?max_window:float ->
+  ?capacity:int ->
+  Sim_engine.Scheduler.t ->
+  pool:Netsim.Packet_pool.t ->
+  cc:Cc.variant ->
+  rto_params:Rto.params ->
+  mss_bytes:int ->
+  adv_window:int ->
+  transmit:(flow:int -> Netsim.Packet_pool.handle -> unit) ->
+  group
+(** [transmit ~flow p] injects a packet into the network (typically the
+    flow's access link). [adv_window] is the receiver's static advertised
+    window in packets; the effective window is [min cwnd adv_window].
+    [initial_ssthresh] and [max_window] default to [float adv_window].
+    [capacity] (default 16) pre-sizes the flow table; pass the run's flow
+    count so attaching never doubles the slab.
+
+    Options (all default false): [ecn_capable] flags outgoing segments as
+    ECN-capable and makes senders honour ECE echoes (one window reduction
+    per RTT, no retransmission). [sack] enables selective-repeat
+    recovery: a scoreboard built from the receiver's SACK blocks decides
+    which holes to retransmit, and sending during recovery is governed by
+    the pipe estimate instead of window inflation (RFC 2018/3517,
+    simplified) — pair with [cc:Cc.Sack]. [cwnd_validation] applies
+    RFC 2861: the window only grows while it is actually the limiting
+    factor. [limited_transmit] applies RFC 3042: the first two duplicate
+    ACKs each release one new segment. [pacing] spreads new transmissions
+    at srtt/cwnd intervals instead of ACK-clocked bursts
+    (Aggarwal–Savage–Anderson); retransmissions are never paced.
+
+    [bus] (default absent) publishes a [Tcp] event for every congestion
+    decision: [Timeout], [Fast_retransmit] and [Ecn_reaction], each
+    followed by a [Cwnd_cut] carrying the post-reaction window.
+    @raise Invalid_argument on [adv_window < 1] or [mss_bytes < 1]. *)
+
+val attach :
+  group -> flow:int -> src:int -> dst:int -> ?trace_cwnd:bool -> unit -> t
+(** Claim a table row for one flow. [trace_cwnd] (default false) records
+    (time, cwnd) into {!cwnd_trace} at every window change — off unless a
+    figure plots this sender, because the trace costs boxed floats per
+    ACK. *)
+
+val detach : t -> unit
+(** Cancel the flow's timers and release its row; every [t] for this
+    flow is stale afterwards. @raise Invalid_argument if already
+    detached. *)
+
+val table : group -> Netsim.Flow_table.t
+(** The group's flow table — live/leak accounting and the bytes-per-flow
+    figure the flows bench gates. *)
+
+val group : t -> group
 
 val create :
   ?ecn_capable:bool ->
@@ -21,9 +97,12 @@ val create :
   ?trace_cwnd:bool ->
   ?bus:Telemetry.Event_bus.t ->
   ?recorder:Telemetry.Recorder.t ->
+  ?vegas:Cc.vegas_params ->
+  ?initial_ssthresh:float ->
+  ?max_window:float ->
   Sim_engine.Scheduler.t ->
   pool:Netsim.Packet_pool.t ->
-  cc:Cc.handle ->
+  cc:Cc.variant ->
   rto_params:Rto.params ->
   flow:int ->
   src:int ->
@@ -32,30 +111,8 @@ val create :
   adv_window:int ->
   transmit:(Netsim.Packet_pool.handle -> unit) ->
   t
-(** [transmit] injects a packet into the network (typically the access
-    link). [adv_window] is the receiver's static advertised window in
-    packets; the effective window is [min cwnd adv_window]. [ecn_capable]
-    (default false) flags outgoing segments as ECN-capable and makes the
-    sender honour ECE echoes (one window reduction per RTT, no
-    retransmission). [sack] (default false) enables selective-repeat
-    recovery: a scoreboard built from the receiver's SACK blocks decides
-    which holes to retransmit, and sending during recovery is governed by
-    the pipe estimate instead of window inflation (RFC 2018/3517,
-    simplified). Pair with {!Sack_cc.handle}. [cwnd_validation] (default
-    false) applies RFC 2861: the window only grows while it is actually
-    the limiting factor, so application-limited flows do not accumulate
-    unused window to burst with later. [limited_transmit] (default false)
-    applies RFC 3042: the first two duplicate ACKs each release one new
-    segment, improving loss recovery for small windows. [pacing] (default
-    false) spreads new transmissions at srtt/cwnd intervals instead of
-    ACK-clocked bursts (Aggarwal–Savage–Anderson TCP pacing);
-    retransmissions are never paced. [trace_cwnd] (default false)
-    records (time, cwnd) into {!cwnd_trace} at every window change —
-    off unless a figure plots this sender, because the trace costs boxed
-    floats per ACK. [bus] (default absent) publishes a
-    [Tcp] event for every congestion decision: [Timeout],
-    [Fast_retransmit] and [Ecn_reaction], each followed by a [Cwnd_cut]
-    carrying the post-reaction window. *)
+(** A single-flow group plus {!attach}: the one-connection view used by
+    unit tests and small scenarios. *)
 
 val write : t -> int -> unit
 (** Submit [n] more segments from the application. *)
@@ -77,10 +134,12 @@ val snd_una : t -> int
 (** Lowest unacknowledged sequence number. *)
 
 val stats : t -> Tcp_stats.t
+(** Materialised from the flow's counter cells — a fresh record per
+    call, for cold reporting paths. *)
 
 val cwnd_trace : t -> Netstats.Series.t
 (** (time, cwnd) recorded at every window change — Figures 5–12.
-    Empty unless the sender was created with [trace_cwnd:true]. *)
+    Empty unless the flow was attached with [trace_cwnd:true]. *)
 
 val in_recovery : t -> bool
 

@@ -1,119 +1,6 @@
-type params = { alpha : float; beta : float; gamma : float }
+type params = Cc.vegas_params = { alpha : float; beta : float; gamma : float }
 
-let default_params = { alpha = 1.; beta = 3.; gamma = 1. }
-
-(* All-float record: the compiler keeps the fields flat, so the per-ACK
-   stores below do not box.  Mixing these with the ints/bools in [state]
-   would force every float store through the heap (no flambda). *)
-type fstate = {
-  mutable cwnd : float;
-  mutable ssthresh : float;
-  mutable base_rtt : float; (* min RTT seen; infinity until first sample *)
-  mutable epoch_rtt_sum : float;
-}
-
-type state = {
-  p : params;
-  max_window : float;
-  f : fstate;
-  mutable slow_start : bool;
-  mutable grow_epoch : bool; (* slow start doubles only every other RTT *)
-  mutable epoch_rtt_n : int;
-  mutable epoch_mark : int; (* epoch ends when the cumulative ACK passes it *)
-}
-
-let clamp st v =
-  let v = if v > st.max_window then st.max_window else v in
-  if v < 2. then 2. else v
-
-let end_of_epoch st (info : Cc.ack_info) =
-  let rtt =
-    if st.epoch_rtt_n > 0 then st.f.epoch_rtt_sum /. float_of_int st.epoch_rtt_n
-    else st.f.base_rtt
-  in
-  if Float.is_finite st.f.base_rtt && rtt > 0. then begin
-    let diff = st.f.cwnd *. (1. -. (st.f.base_rtt /. rtt)) in
-    if st.slow_start then begin
-      if diff > st.p.gamma then begin
-        (* Leave slow start with a 1/8 decrease (Brakmo §4.3). *)
-        st.slow_start <- false;
-        st.f.cwnd <- clamp st (st.f.cwnd *. 0.875)
-      end
-      else st.grow_epoch <- not st.grow_epoch
-    end
-    else if diff < st.p.alpha then st.f.cwnd <- clamp st (st.f.cwnd +. 1.)
-    else if diff > st.p.beta then st.f.cwnd <- clamp st (st.f.cwnd -. 1.)
-  end;
-  st.f.epoch_rtt_sum <- 0.;
-  st.epoch_rtt_n <- 0;
-  (* Next epoch ends when everything now outstanding has been ACKed. *)
-  st.epoch_mark <- info.Cc.ack + info.Cc.flight_before
-
-let on_new_ack st (info : Cc.ack_info) =
-  if info.Cc.rtt_ns >= 0 then begin
-    let rtt = float_of_int info.Cc.rtt_ns *. 1e-9 in
-    if rtt < st.f.base_rtt then st.f.base_rtt <- rtt;
-    st.f.epoch_rtt_sum <- st.f.epoch_rtt_sum +. rtt;
-    st.epoch_rtt_n <- st.epoch_rtt_n + 1
-  end;
-  (* Exponential growth happens per-ACK but only during "grow" epochs. *)
-  if st.slow_start && st.grow_epoch then begin
-    let c = st.f.cwnd +. float_of_int info.Cc.newly_acked in
-    st.f.cwnd <- (if c > st.max_window then st.max_window else c)
-  end;
-  if info.Cc.ack > st.epoch_mark then end_of_epoch st info
+let default_params = Cc.default_vegas
 
 let handle ?(params = default_params) ~initial_ssthresh ~max_window () =
-  if params.alpha <= 0. || params.beta < params.alpha || params.gamma <= 0. then
-    invalid_arg "Vegas.handle: bad alpha/beta/gamma";
-  let st =
-    {
-      p = params;
-      max_window;
-      f =
-        {
-          cwnd = 2.;
-          ssthresh = initial_ssthresh;
-          base_rtt = infinity;
-          epoch_rtt_sum = 0.;
-        };
-      slow_start = true;
-      grow_epoch = true;
-      epoch_rtt_n = 0;
-      epoch_mark = 0;
-    }
-  in
-  {
-    Cc.name = "vegas";
-    cwnd = (fun () -> st.f.cwnd);
-    ssthresh = (fun () -> st.f.ssthresh);
-    in_slow_start = (fun () -> st.f.cwnd < st.f.ssthresh);
-    on_new_ack = (fun info -> on_new_ack st info);
-    enter_recovery =
-      (fun ~flight:_ ~now:_ ->
-        st.slow_start <- false;
-        (* Gentler decrease than Reno: 3/4 of the window. *)
-        let s = st.f.cwnd *. 0.75 in
-        st.f.ssthresh <- (if s < 2. then 2. else s);
-        st.f.cwnd <- st.f.ssthresh +. 3.);
-    dup_ack_inflate =
-      (fun () ->
-        let c = st.f.cwnd +. 1. in
-        st.f.cwnd <- (if c > max_window then max_window else c));
-    on_partial_ack = (fun _ -> ());
-    on_full_ack = (fun _ -> st.f.cwnd <- st.f.ssthresh);
-    on_timeout =
-      (fun ~flight ~now:_ ->
-        st.f.ssthresh <- Cc.halve_flight ~flight;
-        st.f.cwnd <- 2.;
-        st.slow_start <- true;
-        st.grow_epoch <- true);
-    on_ecn =
-      (fun ~flight:_ ~now:_ ->
-        (* Same gentle decrease Vegas uses for a detected loss. *)
-        st.slow_start <- false;
-        let c = st.f.cwnd *. 0.75 in
-        st.f.cwnd <- (if c < 2. then 2. else c));
-    uses_fast_recovery = true;
-    partial_ack_stays = false;
-  }
+  Cc.handle_of ~vegas:params ~initial_ssthresh ~max_window Cc.Vegas

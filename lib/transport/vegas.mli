@@ -8,7 +8,7 @@
     gentler (3/4) multiplicative decrease, and a timeout restarts from a
     window of 2. The paper uses [alpha = 1], [beta = 3], [gamma = 1]. *)
 
-type params = {
+type params = Cc.vegas_params = {
   alpha : float;  (** lower queue-occupancy bound, packets *)
   beta : float;  (** upper queue-occupancy bound, packets *)
   gamma : float;  (** slow-start exit threshold, packets *)

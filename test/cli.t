@@ -93,6 +93,42 @@ leak is rejected.
   alloc-leak.json: invalid alloc report: Reno: leak_free is false
   [1]
 
+--kind=flows checks the flow-scaling sweep schema: a passing row is
+accepted, a grown slab is rejected, and a converged row outside the
+fluid ratio band is rejected (a non-converged row is not gated on it).
+
+  $ cat > flows.json <<'EOF'
+  > {"per_flow_capacity_pps":16.0,"base_rtt_s":0.2,
+  >  "bytes_per_flow_budget":512,"minor_words_per_event_budget":8.0,
+  >  "min_events_per_sec":300000.0,
+  >  "throughput_ratio_min":0.8,"throughput_ratio_max":1.05,
+  >  "queue_ratio_min":0.35,"queue_ratio_max":1.5,
+  >  "rows":[{"flows":1000,"duration_s":10.0,"fluid_gated":true,
+  >           "events":1000000,"wall_s":1.0,"events_per_sec":1000000.0,
+  >           "minor_words_per_event":4.0,"promoted_words_per_event":0.02,
+  >           "major_collections":0,"bytes_per_flow":496,
+  >           "flow_footprint_bytes":496000,"flow_table_growths":0,
+  >           "queue_growths":0,"queue_capacity":52064,"queue_hwm":5000,
+  >           "wheel_parked":9000,"delivered":120000,
+  >           "measured_queue":2500.0,"fluid_queue":4774.0,
+  >           "queue_ratio":0.52,"measured_throughput_pps":16000.0,
+  >           "fluid_throughput_pps":16000.0,"throughput_ratio":1.0,
+  >           "leak_free":true}]}
+  > EOF
+  $ ../bin/main.exe report-check --kind=flows flows.json
+  flows report ok
+  $ sed 's/"flow_table_growths":0/"flow_table_growths":2/' flows.json > flows-grew.json
+  $ ../bin/main.exe report-check --kind=flows flows-grew.json
+  flows-grew.json: invalid flows report: N=1000: slabs grew (2 flow-table, 0 event-queue)
+  [1]
+  $ sed 's/"throughput_ratio":1.0/"throughput_ratio":0.5/' flows.json > flows-slow.json
+  $ ../bin/main.exe report-check --kind=flows flows-slow.json
+  flows-slow.json: invalid flows report: N=1000: throughput ratio 0.5 outside [0.8, 1.05]
+  [1]
+  $ sed 's/"fluid_gated":true/"fluid_gated":false/' flows-slow.json > flows-ungated.json
+  $ ../bin/main.exe report-check --kind=flows flows-ungated.json
+  flows report ok
+
 --jobs rejects zero and negative counts at parse time.
 
   $ ../bin/main.exe fig 2 -j 0 2>&1 | head -1

@@ -284,6 +284,34 @@ let run_trace_digest_pinned () =
   Alcotest.(check string) "trace digest" "06737bcfca22b5f3d9986c42f3195862"
     (Digest.to_hex (Digest.string trace))
 
+let run_trace_digest_pinned_flow_table () =
+  (* Second trace-equivalence gate, recorded from the group/flow-table
+     transport engine right after the struct-of-arrays conversion. It
+     exercises the paths the first pin does not: delayed ACKs (the
+     receiver's 200 ms keyed timer) and RED (gateway marks/drops feeding
+     ECE echoes and recovery). Together the two pins bracket the
+     conversion: the first proves the slab engine matches the
+     record-per-flow engine byte for byte, this one freezes the slab
+     engine's own behaviour for future refactors. *)
+  let cfg = tiny ~clients:4 ~duration:5. ~warmup:1. () in
+  let scenario =
+    {
+      Scenario.transport = Scenario.Tcp { cc = Scenario.Reno; delayed_ack = true };
+      gateway = Scenario.Red;
+    }
+  in
+  let probe = Telemetry.Probe.create () in
+  let buf = Buffer.create (1 lsl 15) in
+  ignore
+    (Telemetry.Event_bus.subscribe probe.Telemetry.Probe.bus (fun ev ->
+         Buffer.add_string buf (Telemetry.Event_bus.to_ndjson ev);
+         Buffer.add_char buf '\n'));
+  ignore (Run.run ~probe cfg scenario);
+  let trace = Buffer.contents buf in
+  Alcotest.(check int) "trace length" 28416 (String.length trace);
+  Alcotest.(check string) "trace digest" "9fa84ea08a69d641d283c03c86f01029"
+    (Digest.to_hex (Digest.string trace))
+
 
 let run_recorder_parity_with_live_tracer () =
   (* The flight recorder's parity promise, pinned end to end: run once
@@ -787,6 +815,8 @@ let suite =
         Alcotest.test_case "cov confidence interval" `Slow run_cov_ci_present;
         Alcotest.test_case "deterministic" `Quick run_deterministic;
         Alcotest.test_case "pinned trace digest" `Quick run_trace_digest_pinned;
+        Alcotest.test_case "pinned trace digest (delack+red, flow table)" `Quick
+          run_trace_digest_pinned_flow_table;
         Alcotest.test_case "recorder parity with live tracer" `Quick
           run_recorder_parity_with_live_tracer;
         Alcotest.test_case "pool drained after runs" `Quick run_releases_every_pooled_packet;

@@ -485,6 +485,194 @@ let eq_free_list_interleavings () =
   Alcotest.(check int) "exactly the live event remains" 1
     (Event_queue.length q)
 
+(* ------------------------------------------------------------------ *)
+(* Timer wheel *)
+
+let wheel_rejects_near_and_far () =
+  let w = Timer_wheel.create ~capacity:8 () in
+  let q = Timer_wheel.quantum_ns w in
+  (* Due within one quantum of the cursor: the caller must keep it. *)
+  Alcotest.(check bool) "near is rejected" false
+    (Timer_wheel.add w ~item:0 ~time_ns:(q / 2));
+  (* At or past the horizon: also rejected. *)
+  Alcotest.(check bool) "beyond horizon is rejected" false
+    (Timer_wheel.add w ~item:1 ~time_ns:(Timer_wheel.horizon_ns w));
+  Alcotest.(check int) "nothing stored" 0 (Timer_wheel.count w);
+  Alcotest.(check bool) "parkable is accepted" true
+    (Timer_wheel.add w ~item:2 ~time_ns:(4 * q));
+  Alcotest.(check int) "one stored" 1 (Timer_wheel.count w)
+
+let wheel_flushes_by_deadline () =
+  let w = Timer_wheel.create ~capacity:8 () in
+  let q = Timer_wheel.quantum_ns w in
+  let deadline = 10 * q in
+  Alcotest.(check bool) "parked" true (Timer_wheel.add w ~item:3 ~time_ns:deadline);
+  let flushed = ref [] in
+  let flush i = flushed := i :: !flushed in
+  (* Advancing to two quanta short of the deadline must not flush: the
+     wheel may be up to one quantum early, never two. *)
+  Timer_wheel.advance w ~upto_ns:(deadline - (2 * q)) ~flush;
+  Alcotest.(check (list int)) "not flushed early" [] !flushed;
+  Timer_wheel.advance w ~upto_ns:deadline ~flush;
+  Alcotest.(check (list int)) "flushed at deadline" [ 3 ] !flushed;
+  Alcotest.(check int) "empty again" 0 (Timer_wheel.count w);
+  Alcotest.(check bool) "cursor past the bucket" true
+    (Timer_wheel.cursor_ns w > deadline - q)
+
+let wheel_cascades_levels () =
+  (* An item far enough out to live in a level >= 1 bucket must cascade
+     down and still flush by its deadline, whether the cursor gets there
+     in one jump or in many small steps. *)
+  let steps_of stride =
+    let w = Timer_wheel.create ~capacity:8 () in
+    let q = Timer_wheel.quantum_ns w in
+    (* 64 buckets per level-0 ring: 300 quanta needs level 1 or higher. *)
+    let deadline = 300 * q in
+    Alcotest.(check bool) "parked high" true
+      (Timer_wheel.add w ~item:7 ~time_ns:deadline);
+    let flushed_at = ref (-1) in
+    let t = ref 0 in
+    while !flushed_at < 0 && !t <= deadline + q do
+      t := !t + stride;
+      Timer_wheel.advance w ~upto_ns:!t ~flush:(fun i ->
+          Alcotest.(check int) "the parked item" 7 i;
+          flushed_at := !t)
+    done;
+    Alcotest.(check bool)
+      (Printf.sprintf "flushed by deadline (stride %d): %d" stride !flushed_at)
+      true
+      (!flushed_at >= 0 && !flushed_at <= deadline + stride);
+    Alcotest.(check bool) "not flushed absurdly early" true
+      (!flushed_at > deadline - (2 * q))
+  in
+  steps_of (Timer_wheel.quantum_ns (Timer_wheel.create ()) / 3);
+  steps_of (64 * Timer_wheel.quantum_ns (Timer_wheel.create ()))
+
+(* ------------------------------------------------------------------ *)
+(* Event queue over the wheel: keyed timers and pre-sizing *)
+
+let eq_keyed_dispatch_and_reserved_key () =
+  let q = Event_queue.create () in
+  let got = ref [] in
+  let f key = got := key :: !got in
+  ignore (Event_queue.schedule_keyed q (Time.of_sec 1.) f 42);
+  ignore (Event_queue.schedule_keyed q (Time.of_sec 2.) f 7);
+  let h = Event_queue.pop_if_before q (Time.of_sec 10.) in
+  Alcotest.(check bool) "first due" false (Event_queue.is_nil h);
+  Event_queue.fire q h;
+  Alcotest.(check (list int)) "keyed action got its key" [ 42 ] !got;
+  Alcotest.check_raises "min_int reserved"
+    (Invalid_argument "Event_queue.schedule_keyed: reserved key") (fun () ->
+      ignore (Event_queue.schedule_keyed q (Time.of_sec 3.) f min_int))
+
+let eq_cancel_after_fire_is_inert () =
+  let q = Event_queue.create ~capacity:2 () in
+  let h = Event_queue.schedule q (Time.of_sec 1.) ignore in
+  let popped = Event_queue.pop_if_before q (Time.of_sec 5.) in
+  Event_queue.fire q popped;
+  (* The slot is free again; a later event recycles it. Cancelling the
+     fired handle must not touch the newcomer. *)
+  let h2 = Event_queue.schedule q (Time.of_sec 2.) ignore in
+  Alcotest.(check bool) "fired handle dead" false (Event_queue.is_pending q h);
+  Event_queue.cancel q h;
+  Alcotest.(check bool) "recycled slot's event survives" true
+    (Event_queue.is_pending q h2)
+
+let eq_presize_prevents_growth () =
+  let q = Event_queue.create ~capacity:64 () in
+  let hs =
+    List.init 64 (fun i ->
+        Event_queue.schedule q (Time.of_sec (float_of_int i)) ignore)
+  in
+  Alcotest.(check int) "no growth inside capacity" 0 (Event_queue.growth_count q);
+  Alcotest.(check int) "capacity held" 64 (Event_queue.capacity q);
+  (* Steady state: pop one, schedule one — recycled slots, still no growth. *)
+  for i = 0 to 99 do
+    let h = Event_queue.pop_if_before q Time.never in
+    Event_queue.fire q h;
+    ignore (Event_queue.schedule q (Time.of_sec (float_of_int (100 + i))) ignore)
+  done;
+  Alcotest.(check int) "steady state allocates no slots" 0
+    (Event_queue.growth_count q);
+  (* One past capacity: exactly one doubling. *)
+  ignore (Event_queue.schedule q (Time.of_sec 1e3) ignore);
+  Alcotest.(check int) "overflow doubles once" 1 (Event_queue.growth_count q);
+  List.iter (fun h -> Event_queue.cancel q h) hs
+
+let eq_far_timers_park_in_wheel () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.schedule q (Time.of_sec 30.) ignore);
+  ignore (Event_queue.schedule q (Time.of_ms 0.5) ignore);
+  Alcotest.(check int) "only the far timer parked" 1 (Event_queue.wheel_parked q)
+
+(* The equivalence property behind the wheel: an Event_queue (heap +
+   wheel staging) must pop in exactly (time, scheduling order) — i.e.
+   behave like a plain sorted list — under arbitrary interleavings of
+   schedule / cancel / re-arm / pop, with times spread across wheel
+   levels. *)
+let eq_wheel_matches_reference_property =
+  let interpret ops =
+    let q = Event_queue.create ~capacity:4 () in
+    (* Reference: (time_ns, seq, id, alive) — popped by (time, seq). *)
+    let model = ref [] in
+    let handles = ref [] in
+    (* (handle, model cell) pairs *)
+    let seq = ref 0 in
+    let fired = ref (-1) in
+    let ok = ref true in
+    let pop_both () =
+      let live = List.filter (fun (_, _, _, alive) -> !alive) !model in
+      let best =
+        List.fold_left
+          (fun acc ((t, s, _, _) as c) ->
+            match acc with
+            | None -> Some c
+            | Some (bt, bs, _, _) ->
+                if t < bt || (t = bt && s < bs) then Some c else acc)
+          None live
+      in
+      match (Event_queue.pop q, best) with
+      | None, None -> ()
+      | Some (t, act), Some (mt, _, mid, alive) ->
+          act ();
+          alive := false;
+          if Time.to_ns t <> mt || !fired <> mid then ok := false
+      | Some _, None | None, Some _ -> ok := false
+    in
+    List.iter
+      (fun (kind, x) ->
+        match kind with
+        | 0 ->
+            (* Times stride ~0.1 ms so a run of schedules spans level-0
+               buckets, level-1+ buckets and the due-now fast path. *)
+            let t_ns = x * 97_003 in
+            let id = !seq in
+            incr seq;
+            let h =
+              Event_queue.schedule q (Time.of_ns t_ns) (fun () -> fired := id)
+            in
+            let cell = (t_ns, id, id, ref true) in
+            model := cell :: !model;
+            handles := (h, cell) :: !handles
+        | 1 -> (
+            match !handles with
+            | [] -> ()
+            | hs ->
+                let h, (_, _, _, alive) = List.nth hs (x mod List.length hs) in
+                Event_queue.cancel q h;
+                alive := false)
+        | _ -> pop_both ())
+      ops;
+    (* Drain: the full remaining order must match too. *)
+    let rec drain n = if n > 0 then (pop_both (); drain (n - 1)) in
+    drain (List.length !model);
+    pop_both ();
+    !ok && Event_queue.is_empty q
+  in
+  QCheck.Test.make ~name:"wheel-backed queue pops like a sorted list" ~count:300
+    QCheck.(list (pair (int_bound 2) (int_bound 1_000_000)))
+    interpret
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -510,6 +698,19 @@ let suite =
         Alcotest.test_case "high-water mark" `Quick eq_high_water_mark;
         Alcotest.test_case "stale handle is inert" `Quick eq_stale_handle_is_inert;
         Alcotest.test_case "free-list interleavings" `Quick eq_free_list_interleavings;
+        Alcotest.test_case "keyed dispatch and reserved key" `Quick
+          eq_keyed_dispatch_and_reserved_key;
+        Alcotest.test_case "cancel after fire is inert" `Quick
+          eq_cancel_after_fire_is_inert;
+        Alcotest.test_case "pre-size prevents growth" `Quick eq_presize_prevents_growth;
+        Alcotest.test_case "far timers park in wheel" `Quick eq_far_timers_park_in_wheel;
+      ]
+      @ qsuite [ eq_wheel_matches_reference_property ] );
+    ( "engine.timer_wheel",
+      [
+        Alcotest.test_case "rejects near and far times" `Quick wheel_rejects_near_and_far;
+        Alcotest.test_case "flushes by deadline" `Quick wheel_flushes_by_deadline;
+        Alcotest.test_case "cascades across levels" `Quick wheel_cascades_levels;
       ] );
     ( "engine.scheduler",
       [

@@ -804,6 +804,87 @@ let pool_handle_roundtrip_property =
       List.for_all (fun (h, seq) -> Pool.seq pool h = seq) !live
       && Pool.live pool = List.length !live)
 
+(* ------------------------------------------------------------------ *)
+(* Flow_table *)
+
+module Flow_table = Netsim.Flow_table
+
+let ft_stale = Invalid_argument "Flow_table: stale or freed flow handle"
+
+let flow_table_basic_rows () =
+  let t = Flow_table.create ~capacity:4 ~ints_per_flow:3 ~floats_per_flow:2 () in
+  let a = Flow_table.alloc t in
+  let b = Flow_table.alloc t in
+  Flow_table.set_int t a 0 11;
+  Flow_table.set_int t b 0 22;
+  Flow_table.set_float t a 1 0.5;
+  Alcotest.(check int) "row a" 11 (Flow_table.get_int t a 0);
+  Alcotest.(check int) "row b" 22 (Flow_table.get_int t b 0);
+  Alcotest.(check (float 0.)) "float row" 0.5 (Flow_table.get_float t a 1);
+  Alcotest.(check int) "live" 2 (Flow_table.live t);
+  let slots = ref [] in
+  Flow_table.iter_live t (fun s -> slots := s :: !slots);
+  Alcotest.(check int) "iter_live visits both" 2 (List.length !slots);
+  Flow_table.free t a;
+  Flow_table.free t b;
+  Alcotest.(check int) "drained" 0 (Flow_table.live t)
+
+let flow_table_stale_handle_raises () =
+  let t = Flow_table.create ~ints_per_flow:2 ~floats_per_flow:0 () in
+  let h = Flow_table.alloc t in
+  Flow_table.free t h;
+  Alcotest.check_raises "read after free" ft_stale (fun () ->
+      ignore (Flow_table.get_int t h 0));
+  Alcotest.check_raises "double free" ft_stale (fun () -> Flow_table.free t h);
+  Alcotest.check_raises "nil never live" ft_stale (fun () ->
+      ignore (Flow_table.slot_of t Flow_table.nil));
+  Alcotest.(check bool) "is_live is false, not raising" false
+    (Flow_table.is_live t h)
+
+let flow_table_recycled_slot_does_not_alias () =
+  let t = Flow_table.create ~capacity:1 ~ints_per_flow:1 ~floats_per_flow:0 () in
+  let old = Flow_table.alloc t in
+  Flow_table.set_int t old 0 7;
+  Flow_table.free t old;
+  let fresh = Flow_table.alloc t in
+  (* Same slot, new generation: the old handle must not reach it, and
+     the row must come back zeroed. *)
+  Alcotest.(check int) "same slot reused" (Flow_table.slot_of t fresh) 0;
+  Alcotest.(check int) "row zeroed on alloc" 0 (Flow_table.get_int t fresh 0);
+  Alcotest.check_raises "old handle cannot touch it" ft_stale (fun () ->
+      Flow_table.set_int t old 0 99);
+  Alcotest.(check int) "fresh row untouched" 0 (Flow_table.get_int t fresh 0)
+
+let flow_table_growth_and_accounting () =
+  let t = Flow_table.create ~capacity:2 ~ints_per_flow:4 ~floats_per_flow:3 () in
+  Alcotest.(check int) "words = ints + floats + 2" 9 (Flow_table.words_per_flow t);
+  Alcotest.(check int) "bytes = 8 * words" 72 (Flow_table.bytes_per_flow t);
+  Alcotest.(check int) "no growth yet" 0 (Flow_table.growth_count t);
+  let hs = List.init 5 (fun _ -> Flow_table.alloc t) in
+  Alcotest.(check bool) "grew past capacity 2" true (Flow_table.growth_count t >= 1);
+  Alcotest.(check int) "high-water mark" 5 (Flow_table.high_water_mark t);
+  Alcotest.(check int) "footprint covers capacity"
+    (Flow_table.capacity t * Flow_table.bytes_per_flow t)
+    (Flow_table.footprint_bytes t);
+  List.iter (Flow_table.free t) hs;
+  Alcotest.(check int) "hwm survives drain" 5 (Flow_table.high_water_mark t);
+  (* Pre-sized at the flow count, the same load never grows. *)
+  let t2 = Flow_table.create ~capacity:5 ~ints_per_flow:4 ~floats_per_flow:3 () in
+  let hs2 = List.init 5 (fun _ -> Flow_table.alloc t2) in
+  List.iter (Flow_table.free t2) hs2;
+  Alcotest.(check int) "pre-size holds" 0 (Flow_table.growth_count t2)
+
+let flow_table_keyed_roundtrip () =
+  let t = Flow_table.create ~ints_per_flow:1 ~floats_per_flow:0 () in
+  let h = Flow_table.alloc t in
+  let s = Flow_table.slot_of t h in
+  Alcotest.(check bool) "slot rederives its handle" true
+    (Flow_table.handle_of_slot t s = h);
+  Flow_table.free t h;
+  Alcotest.check_raises "free slot has no handle"
+    (Invalid_argument "Flow_table.handle_of_slot: free slot") (fun () ->
+      ignore (Flow_table.handle_of_slot t s))
+
 let suite =
   [
     ( "net.units",
@@ -820,6 +901,15 @@ let suite =
           pool_recycled_slot_does_not_alias;
         Alcotest.test_case "live accounting" `Quick pool_accounting;
         Alcotest.test_case "sack side table" `Quick pool_sack_side_table;
+      ] );
+    ( "net.flow_table",
+      [
+        Alcotest.test_case "rows are independent" `Quick flow_table_basic_rows;
+        Alcotest.test_case "stale handle raises" `Quick flow_table_stale_handle_raises;
+        Alcotest.test_case "recycled slot does not alias" `Quick
+          flow_table_recycled_slot_does_not_alias;
+        Alcotest.test_case "growth and accounting" `Quick flow_table_growth_and_accounting;
+        Alcotest.test_case "slot/handle roundtrip" `Quick flow_table_keyed_roundtrip;
       ] );
     ( "net.droptail",
       [

@@ -528,6 +528,122 @@ let report_validate_alloc_rejects () =
         Report.alloc_required_fields
   | _ -> Alcotest.fail "alloc doc is not an object"
 
+let flows_row ?(bytes_per_flow = 496) ?(wpe = 6.0) ?(ft_growths = 0)
+    ?(q_growths = 0) ?(leak_free = true) ?(fluid_gated = true)
+    ?(throughput_ratio = 1.0) ?(queue_ratio = 0.5) () =
+  Json.Obj
+    [
+      ("flows", Json.Int 1000);
+      ("duration_s", Json.Float 10.);
+      ("fluid_gated", Json.Bool fluid_gated);
+      ("events", Json.Int 1_000_000);
+      ("wall_s", Json.Float 1.0);
+      ("events_per_sec", Json.Float 1e6);
+      ("minor_words_per_event", Json.Float wpe);
+      ("promoted_words_per_event", Json.Float 0.02);
+      ("major_collections", Json.Int 0);
+      ("bytes_per_flow", Json.Int bytes_per_flow);
+      ("flow_footprint_bytes", Json.Int (bytes_per_flow * 1000));
+      ("flow_table_growths", Json.Int ft_growths);
+      ("queue_growths", Json.Int q_growths);
+      ("queue_capacity", Json.Int 52_064);
+      ("queue_hwm", Json.Int 5_000);
+      ("wheel_parked", Json.Int 9_000);
+      ("delivered", Json.Int 120_000);
+      ("measured_queue", Json.Float 2400.);
+      ("fluid_queue", Json.Float 4800.);
+      ("queue_ratio", Json.Float queue_ratio);
+      ("measured_throughput_pps", Json.Float 16_000.);
+      ("fluid_throughput_pps", Json.Float 16_000.);
+      ("throughput_ratio", Json.Float throughput_ratio);
+      ("leak_free", Json.Bool leak_free);
+    ]
+
+let flows_doc rows =
+  Json.Obj
+    [
+      ("per_flow_capacity_pps", Json.Float 16.);
+      ("base_rtt_s", Json.Float 0.2);
+      ("bytes_per_flow_budget", Json.Int 512);
+      ("minor_words_per_event_budget", Json.Float 8.0);
+      ("min_events_per_sec", Json.Float 300_000.);
+      ("throughput_ratio_min", Json.Float 0.8);
+      ("throughput_ratio_max", Json.Float 1.05);
+      ("queue_ratio_min", Json.Float 0.35);
+      ("queue_ratio_max", Json.Float 1.5);
+      ("rows", Json.List rows);
+    ]
+
+let report_validate_flows_accepts () =
+  (match Report.validate_flows (flows_doc [ flows_row () ]) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a well-formed flows report: %s" e);
+  (* A non-converged row reports its ratios but is not gated on them. *)
+  match
+    Report.validate_flows
+      (flows_doc [ flows_row ~fluid_gated:false ~throughput_ratio:0.3 () ])
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "gated an ungated row's fluid ratio: %s" e
+
+let report_validate_flows_rejects () =
+  let expect_error name doc needle =
+    match Report.validate_flows doc with
+    | Ok () -> Alcotest.failf "accepted %s" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error mentions %s (got: %s)" name needle msg)
+          true
+          (Astring_like.contains msg needle)
+  in
+  expect_error "a non-object" (Json.String "nope") "not a JSON object";
+  expect_error "empty rows" (flows_doc []) "rows is empty";
+  expect_error "fat row"
+    (flows_doc [ flows_row ~bytes_per_flow:600 () ])
+    "exceeds budget";
+  expect_error "allocating row"
+    (flows_doc [ flows_row ~wpe:8.5 () ])
+    "exceeds budget";
+  expect_error "grown flow table"
+    (flows_doc [ flows_row ~ft_growths:1 () ])
+    "slabs grew";
+  expect_error "grown event queue"
+    (flows_doc [ flows_row ~q_growths:2 () ])
+    "slabs grew";
+  expect_error "leaking row"
+    (flows_doc [ flows_row ~leak_free:false () ])
+    "leak_free is false";
+  expect_error "slow converged row"
+    (flows_doc [ flows_row ~throughput_ratio:0.5 () ])
+    "throughput ratio";
+  expect_error "off-model queue"
+    (flows_doc [ flows_row ~queue_ratio:3.0 () ])
+    "queue ratio";
+  (match flows_doc [ flows_row () ] with
+  | Json.Obj fields ->
+      List.iter
+        (fun required ->
+          let mutilated = Json.Obj (List.remove_assoc required fields) in
+          match Report.validate_flows mutilated with
+          | Ok () -> Alcotest.failf "accepted flows report without %s" required
+          | Error msg ->
+              Alcotest.(check bool) "error names the field" true
+                (Astring_like.contains msg required))
+        Report.flows_required_fields
+  | _ -> Alcotest.fail "flows doc is not an object");
+  match flows_row () with
+  | Json.Obj fields ->
+      List.iter
+        (fun required ->
+          let mutilated = Json.Obj (List.remove_assoc required fields) in
+          match Report.validate_flows (flows_doc [ mutilated ]) with
+          | Ok () -> Alcotest.failf "accepted flows row without %s" required
+          | Error msg ->
+              Alcotest.(check bool) "error names the field" true
+                (Astring_like.contains msg required))
+        Report.flows_row_required_fields
+  | _ -> Alcotest.fail "flows row is not an object"
+
 (* ------------------------------------------------------------------ *)
 (* Probe + Run integration *)
 
@@ -985,6 +1101,10 @@ let suite =
         Alcotest.test_case "validate rejects" `Quick report_validate_rejects;
         Alcotest.test_case "alloc schema accepts" `Quick report_validate_alloc_accepts;
         Alcotest.test_case "alloc schema rejects" `Quick report_validate_alloc_rejects;
+        Alcotest.test_case "flows schema accepts" `Quick
+          report_validate_flows_accepts;
+        Alcotest.test_case "flows schema rejects" `Quick
+          report_validate_flows_rejects;
         Alcotest.test_case "bench-telemetry schema accepts" `Quick
           report_validate_bench_telemetry_accepts;
         Alcotest.test_case "bench-telemetry schema rejects" `Quick

@@ -188,7 +188,7 @@ let vegas_gentler_recovery () =
 
 let vegas_rejects_bad_params () =
   Alcotest.check_raises "beta < alpha"
-    (Invalid_argument "Vegas.handle: bad alpha/beta/gamma") (fun () ->
+    (Invalid_argument "Cc.make_ctx: bad alpha/beta/gamma") (fun () ->
       ignore
         (Vegas.handle
            ~params:{ Vegas.alpha = 3.; beta = 1.; gamma = 1. }
@@ -209,12 +209,11 @@ let make_harness ?(cc = `Reno) ?(adv_window = 64) ?(cwnd_validation = false)
   let sched = Scheduler.create () in
   let pool = Pool.create () in
   let outbox = ref [] in
-  let adv = float_of_int adv_window in
   let cc =
     match cc with
-    | `Reno -> Reno.handle ~initial_ssthresh:adv ~max_window:adv
-    | `Tahoe -> Tahoe.handle ~initial_ssthresh:adv ~max_window:adv
-    | `Newreno -> Newreno.handle ~initial_ssthresh:adv ~max_window:adv
+    | `Reno -> Cc.Reno
+    | `Tahoe -> Cc.Tahoe
+    | `Newreno -> Cc.Newreno
   in
   let sender =
     Tcp_sender.create ~cwnd_validation ~limited_transmit ~pacing ~trace_cwnd sched
@@ -507,15 +506,14 @@ let loop_pacing_transfer_completes () =
            Pool.free pool p))
   in
   let sender =
-    Tcp_sender.create ~pacing:true lsched ~pool
-      ~cc:(Reno.handle ~initial_ssthresh:64. ~max_window:64.)
+    Tcp_sender.create ~pacing:true lsched ~pool ~cc:Cc.Reno
       ~rto_params:Rto.default_params ~flow:0 ~src:1 ~dst:0 ~mss_bytes:1000
       ~adv_window:64
       ~transmit:(fun p -> wire `R p)
   in
   let receiver =
     Tcp_receiver.create lsched ~pool ~flow:0 ~src:0 ~dst:1 ~ack_bytes:40
-      ~delayed_ack:false
+      ~delayed_ack:false ~adv_window:64
       ~transmit:(fun p -> wire `S p)
   in
   sender_cell := Some sender;
@@ -540,7 +538,7 @@ let make_receiver ?(delayed_ack = false) ?(sack = false) () =
   let acks = ref [] in
   let receiver =
     Tcp_receiver.create ~sack rsched ~pool:rpool ~flow:0 ~src:0 ~dst:1
-      ~ack_bytes:40 ~delayed_ack
+      ~ack_bytes:40 ~delayed_ack ~adv_window:64
       ~transmit:(fun p -> acks := p :: !acks)
   in
   { rsched; rpool; receiver; acks }
@@ -674,13 +672,12 @@ let make_loop ?(cc = `Reno) ?(delay = 0.05) ~drop () =
            | `To_sender -> Tcp_sender.handle_packet (Option.get !sender_cell) p);
            Pool.free lpool p))
   in
-  let adv = 64. in
   let cc =
     match cc with
-    | `Reno -> Reno.handle ~initial_ssthresh:adv ~max_window:adv
-    | `Newreno -> Newreno.handle ~initial_ssthresh:adv ~max_window:adv
-    | `Tahoe -> Tahoe.handle ~initial_ssthresh:adv ~max_window:adv
-    | `Vegas -> Vegas.handle ~initial_ssthresh:adv ~max_window:adv ()
+    | `Reno -> Cc.Reno
+    | `Newreno -> Cc.Newreno
+    | `Tahoe -> Cc.Tahoe
+    | `Vegas -> Cc.Vegas
   in
   let lsender =
     Tcp_sender.create lsched ~pool:lpool ~cc ~rto_params:Rto.default_params ~flow:0
@@ -691,7 +688,7 @@ let make_loop ?(cc = `Reno) ?(delay = 0.05) ~drop () =
   in
   let lreceiver =
     Tcp_receiver.create lsched ~pool:lpool ~flow:0 ~src:0 ~dst:1 ~ack_bytes:40
-      ~delayed_ack:false
+      ~delayed_ack:false ~adv_window:64
       ~transmit:(fun p -> wire `To_sender p)
   in
   sender_cell := Some lsender;
@@ -787,9 +784,9 @@ let make_sack_loop ?(delay = 0.05) ~drop () =
            | `To_sender -> Tcp_sender.handle_packet (Option.get !sender_cell) p);
            Pool.free lpool p))
   in
-  let cc = Sack_cc.handle ~initial_ssthresh:64. ~max_window:64. in
   let lsender =
-    Tcp_sender.create ~sack:true lsched ~pool:lpool ~cc ~rto_params:Rto.default_params
+    Tcp_sender.create ~sack:true lsched ~pool:lpool ~cc:Cc.Sack
+      ~rto_params:Rto.default_params
       ~flow:0 ~src:1 ~dst:0 ~mss_bytes:1000 ~adv_window:64
       ~transmit:(fun p ->
         incr data_sent;
@@ -797,7 +794,7 @@ let make_sack_loop ?(delay = 0.05) ~drop () =
   in
   let lreceiver =
     Tcp_receiver.create ~sack:true lsched ~pool:lpool ~flow:0 ~src:0 ~dst:1
-      ~ack_bytes:40 ~delayed_ack:false
+      ~ack_bytes:40 ~delayed_ack:false ~adv_window:64
       ~transmit:(fun p -> wire `To_sender p)
   in
   sender_cell := Some lsender;
@@ -846,6 +843,126 @@ let sack_random_loss_completes () =
   Scheduler.run ~until:(Time.of_sec 2000.) l.lsched;
   Alcotest.(check int) "complete under 10% loss" 500
     (Tcp_receiver.delivered l.lreceiver)
+
+(* ------------------------------------------------------------------ *)
+(* Flow groups: attach/detach lifecycle over the shared tables *)
+
+let stale_exn = Invalid_argument "Flow_table: stale or freed flow handle"
+
+let group_attach_detach_accounting () =
+  let sched = Scheduler.create () in
+  let pool = Pool.create () in
+  let sg =
+    Tcp_sender.create_group ~capacity:8 sched ~pool ~cc:Cc.Reno
+      ~rto_params:Rto.default_params ~mss_bytes:1000 ~adv_window:8
+      ~transmit:(fun ~flow:_ _ -> ())
+  in
+  let rg =
+    Tcp_receiver.create_group ~capacity:8 sched ~pool ~ack_bytes:40
+      ~delayed_ack:false ~adv_window:8
+      ~transmit:(fun ~flow:_ _ -> ())
+  in
+  let senders =
+    List.init 8 (fun i -> Tcp_sender.attach sg ~flow:i ~src:(100 + i) ~dst:0 ())
+  in
+  let receivers =
+    List.init 8 (fun i -> Tcp_receiver.attach rg ~flow:i ~src:0 ~dst:(100 + i) ())
+  in
+  Alcotest.(check int) "sender rows live" 8
+    (Netsim.Flow_table.live (Tcp_sender.table sg));
+  Alcotest.(check int) "receiver rows live" 8
+    (Netsim.Flow_table.live (Tcp_receiver.table rg));
+  Alcotest.(check int) "pre-size held (sender)" 0
+    (Netsim.Flow_table.growth_count (Tcp_sender.table sg));
+  Alcotest.(check int) "pre-size held (receiver)" 0
+    (Netsim.Flow_table.growth_count (Tcp_receiver.table rg));
+  List.iter Tcp_sender.detach senders;
+  List.iter Tcp_receiver.detach receivers;
+  Alcotest.(check int) "sender table drained" 0
+    (Netsim.Flow_table.live (Tcp_sender.table sg));
+  Alcotest.(check int) "receiver table drained" 0
+    (Netsim.Flow_table.live (Tcp_receiver.table rg))
+
+let group_detached_flow_raises () =
+  let sched = Scheduler.create () in
+  let pool = Pool.create () in
+  let sg =
+    Tcp_sender.create_group sched ~pool ~cc:Cc.Reno
+      ~rto_params:Rto.default_params ~mss_bytes:1000 ~adv_window:8
+      ~transmit:(fun ~flow:_ _ -> ())
+  in
+  let s = Tcp_sender.attach sg ~flow:0 ~src:1 ~dst:0 () in
+  Tcp_sender.write s 3;
+  Tcp_sender.detach s;
+  Alcotest.check_raises "write after detach" stale_exn (fun () ->
+      Tcp_sender.write s 1);
+  Alcotest.check_raises "read after detach" stale_exn (fun () ->
+      ignore (Tcp_sender.cwnd s));
+  Alcotest.check_raises "double detach" stale_exn (fun () -> Tcp_sender.detach s);
+  let rg =
+    Tcp_receiver.create_group sched ~pool ~ack_bytes:40 ~delayed_ack:false
+      ~adv_window:8
+      ~transmit:(fun ~flow:_ _ -> ())
+  in
+  let r = Tcp_receiver.attach rg ~flow:0 ~src:0 ~dst:1 () in
+  Tcp_receiver.detach r;
+  Alcotest.check_raises "receiver read after detach" stale_exn (fun () ->
+      ignore (Tcp_receiver.delivered r))
+
+let group_detach_cancels_timers () =
+  (* A detached sender's RTO must never fire: detach while a
+     retransmission timer is pending, then run the clock far past it. *)
+  let sched = Scheduler.create () in
+  let pool = Pool.create () in
+  let sent = ref [] in
+  let sg =
+    Tcp_sender.create_group sched ~pool ~cc:Cc.Reno
+      ~rto_params:Rto.default_params ~mss_bytes:1000 ~adv_window:8
+      ~transmit:(fun ~flow:_ p -> sent := p :: !sent)
+  in
+  let s = Tcp_sender.attach sg ~flow:0 ~src:1 ~dst:0 () in
+  Tcp_sender.write s 1;
+  List.iter (Pool.free pool) !sent;
+  sent := [];
+  Tcp_sender.detach s;
+  Scheduler.run ~until:(Time.of_sec 30.) sched;
+  Alcotest.(check int) "no retransmission after detach" 0 (List.length !sent);
+  Alcotest.(check int) "no packet leaked" 0 (Pool.live pool)
+
+let group_recycled_row_is_fresh () =
+  (* Detach then attach reuses the row; the newcomer must start from a
+     clean window, not inherit the predecessor's counters. *)
+  let sched = Scheduler.create () in
+  let pool = Pool.create () in
+  let sent = ref [] in
+  let sg =
+    Tcp_sender.create_group ~capacity:1 sched ~pool ~cc:Cc.Reno
+      ~rto_params:Rto.default_params ~mss_bytes:1000 ~adv_window:8
+      ~transmit:(fun ~flow:_ p -> sent := p :: !sent)
+  in
+  let a = Tcp_sender.attach sg ~flow:0 ~src:1 ~dst:0 () in
+  Tcp_sender.write a 5;
+  List.iter (Pool.free pool) !sent;
+  sent := [];
+  Tcp_sender.detach a;
+  let b = Tcp_sender.attach sg ~flow:1 ~src:2 ~dst:0 () in
+  check_float "fresh cwnd" 1. (Tcp_sender.cwnd b);
+  Alcotest.(check int) "fresh backlog" 0 (Tcp_sender.backlog b);
+  Alcotest.(check int) "fresh snd_una" 0 (Tcp_sender.snd_una b);
+  Alcotest.(check int) "fresh stats" 0
+    (Tcp_sender.stats b).Tcp_stats.segments_sent;
+  Alcotest.check_raises "old handle is dead" stale_exn (fun () ->
+      ignore (Tcp_sender.flight a));
+  Tcp_sender.detach b;
+  List.iter (Pool.free pool) !sent
+
+let receiver_rejects_seq_beyond_window () =
+  let rh = make_receiver () in
+  (* adv_window 64 -> reassembly table of 128 slots; a segment 128 past
+     expected cannot be represented and must fail loudly. *)
+  Alcotest.check_raises "beyond reassembly window"
+    (Invalid_argument "Tcp_receiver: sequence beyond reassembly window")
+    (fun () -> recv rh 128)
 
 (* ------------------------------------------------------------------ *)
 (* Udp *)
@@ -959,6 +1076,16 @@ let suite =
           sack_recovers_multiple_losses_without_timeout;
         Alcotest.test_case "reno contrast case" `Quick reno_same_losses_needs_timeout;
         Alcotest.test_case "random loss completeness" `Slow sack_random_loss_completes;
+      ] );
+    ( "transport.group",
+      [
+        Alcotest.test_case "attach/detach accounting" `Quick
+          group_attach_detach_accounting;
+        Alcotest.test_case "detached flow raises" `Quick group_detached_flow_raises;
+        Alcotest.test_case "detach cancels timers" `Quick group_detach_cancels_timers;
+        Alcotest.test_case "recycled row starts fresh" `Quick group_recycled_row_is_fresh;
+        Alcotest.test_case "seq beyond reassembly window" `Quick
+          receiver_rejects_seq_beyond_window;
       ] );
     ( "transport.udp",
       [
