@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-alloc bench-flows figures fast check clean
+.PHONY: all build test bench bench-alloc bench-flows bench-burst figures fast check clean
 
 all: build
 
@@ -33,6 +33,15 @@ bench-alloc:
 bench-flows:
 	dune exec bench/main.exe -- --only flows --fast
 
+# Burstiness-observability gate on its own: paired probed-vs-burst Reno
+# runs (minor words/event delta must stay within 0.05), a streaming-vs-
+# offline c.o.v. equivalence check at the RTT timescale (|err| <= 1e-6),
+# and a RED w_q sweep bracketing the Reynier/Hollot critical gain whose
+# oscillation-detector verdicts must match the predicted side, written
+# to BENCH_burst.json. Exits non-zero when any gate fails.
+bench-burst:
+	dune exec bench/main.exe -- --only burst --fast
+
 # Just the paper's figures, at paper scale.
 figures:
 	dune exec bin/main.exe -- all
@@ -49,7 +58,10 @@ fast:
 # regresses past its committed threshold — 6.0 for the Reno N=50 row —
 # and re-validated from the written BENCH_alloc.json by report-check),
 # and the flow-scaling sweep up to N = 10^5 (bytes/flow, slab growth,
-# leak and fluid-ratio gates, re-validated from BENCH_flows.json).
+# leak and fluid-ratio gates, re-validated from BENCH_flows.json), and
+# the burstiness-observability gates (burst words/event delta, streaming
+# c.o.v. equivalence, RED oscillation-detector sweep, re-validated from
+# BENCH_burst.json).
 check:
 	dune build @all
 	dune runtest
@@ -65,6 +77,8 @@ check:
 	dune exec bin/main.exe -- report-check --kind=alloc BENCH_alloc.json
 	dune exec bench/main.exe -- --fast --only flows
 	dune exec bin/main.exe -- report-check --kind=flows BENCH_flows.json
+	dune exec bench/main.exe -- --fast --only burst
+	dune exec bin/main.exe -- report-check --kind=burst BENCH_burst.json
 
 clean:
 	dune clean

@@ -18,7 +18,7 @@ let args =
     ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel microbenchmarks");
     ( "--only",
       Arg.String (fun s -> only := Some s),
-      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | parallel | alloc | flows | micro" );
+      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | parallel | alloc | flows | burst | micro" );
   ]
 
 let section name = Format.fprintf std "@.==== %s ====@.@." name
@@ -888,6 +888,284 @@ let run_flows_bench () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Burstiness observability: streaming aggregator cost + correctness   *)
+
+(* Three claims, one JSON artifact (BENCH_burst.json), re-checked from
+   the file's own budgets by `report-check --kind=burst` in `make
+   check`:
+
+   - cost: enabling the always-on [Telemetry.Burst] aggregator on a
+     probed Reno N=50 run adds at most [burst_words_budget] minor
+     words per scheduler event. The hot path is a streaming dyadic
+     fold over flat float arrays, so the only allocation the burst
+     configuration adds during the run phase is the oscillation
+     sampler's timer closures (~50/simulated-second); like the
+     recorder gate next door, probed and burst-enabled reps are
+     interleaved pairs and the wall-clock overhead is the median of
+     per-pair run-phase deltas (informational — words/event is the
+     deterministic gate);
+
+   - correctness: the streaming c.o.v. at the paper's RTT timescale
+     must match the offline [Binned] + [Summary] estimate on the same
+     run within [burst_cov_tolerance]. Both paths fold the identical
+     complete-bin count sequence through the identical Welford update,
+     so the gap is zero up to float noise;
+
+   - discrimination: a RED w_q sweep bracketing the linearized
+     (Reynier/Hollot-style) stability threshold from
+     [Fluidmodel.Reno_fluid.red_stability]. The sweep topology is
+     tightened (150 ms RTT, RED band 15..25 at max_p 0.6) so the
+     critical gain w_q* lands where both sides are observable in a
+     90 s run: the stable row averages slowly enough to keep the
+     queue pinned near its RED equilibrium, the unstable row tracks
+     the instantaneous queue and limit-cycles. The oscillation
+     detector must fire on the unstable row and stay quiet on the
+     stable row. *)
+
+let burst_words_budget = 0.05
+let burst_cov_tolerance = 1e-6
+
+let run_burst_bench () =
+  section "Burstiness observability (Telemetry.Burst)";
+  let scenario = Burstcore.Scenario.reno in
+  let cfg =
+    {
+      (Burstcore.Config.with_clients (config ()) 50) with
+      Burstcore.Config.duration_s = 30.;
+      warmup_s = 2.;
+    }
+  in
+  let reps = if !fast then 3 else 5 in
+  let words_per_event probe =
+    let words =
+      Telemetry.Registry.gauge_value
+        (Telemetry.Registry.gauge probe.Telemetry.Probe.registry
+           Telemetry.Probe.m_minor_words)
+    in
+    words /. float_of_int (Stdlib.max 1 (Telemetry.Probe.events_total probe))
+  in
+  let run_phase_s probe =
+    Telemetry.Perf.duration_s probe.Telemetry.Probe.phases "run"
+  in
+  let events = ref 0 in
+  let probed_words = ref 0. in
+  let burst_words = ref 0. in
+  let probed_run = ref infinity in
+  let burst_run = ref infinity in
+  let deltas = Array.make reps 0. in
+  let burst_metrics = ref None in
+  for rep = 0 to reps - 1 do
+    Gc.full_major ();
+    let probe = Telemetry.Probe.create () in
+    ignore (Burstcore.Run.run ~probe cfg scenario);
+    probed_words := words_per_event probe;
+    let probed_rep_run = run_phase_s probe in
+    probed_run := Float.min !probed_run probed_rep_run;
+    Gc.full_major ();
+    let probe = Telemetry.Probe.create () in
+    Telemetry.Probe.set_burst probe (Some Telemetry.Burst.default_config);
+    let m = Burstcore.Run.run ~probe cfg scenario in
+    events := Telemetry.Probe.events_total probe;
+    burst_words := words_per_event probe;
+    let burst_rep_run = run_phase_s probe in
+    burst_run := Float.min !burst_run burst_rep_run;
+    deltas.(rep) <-
+      (if probed_rep_run > 0. then
+         100. *. (burst_rep_run -. probed_rep_run) /. probed_rep_run
+       else 0.);
+    burst_metrics := Some m
+  done;
+  let words_delta = !burst_words -. !probed_words in
+  let overhead_pct =
+    Array.sort Float.compare deltas;
+    deltas.(reps / 2)
+  in
+  let m =
+    match !burst_metrics with Some m -> m | None -> assert false
+  in
+  let s =
+    match m.Burstcore.Metrics.burst with
+    | Some s -> s
+    | None -> failwith "burst-enabled run produced no burst summary"
+  in
+  let cov_offline = m.Burstcore.Metrics.cov in
+  let cov_streaming =
+    match
+      List.find_opt (fun r -> r.Telemetry.Burst.level = 0)
+        s.Telemetry.Burst.scales
+    with
+    | Some { Telemetry.Burst.s_cov = Some c; _ } -> c
+    | _ -> nan
+  in
+  let cov_abs_err = Float.abs (cov_streaming -. cov_offline) in
+  let hurst =
+    match s.Telemetry.Burst.s_hurst with Some h -> h | None -> nan
+  in
+  Format.fprintf std "events per run        %12d@." !events;
+  Format.fprintf std "run phase             %12.4f s probed, %.4f s burst@."
+    !probed_run !burst_run;
+  Format.fprintf std
+    "burst overhead        %12.2f %%  (median of %d pairs, informational)@."
+    overhead_pct reps;
+  Format.fprintf std
+    "burst words/event     %12.4f  (delta %.4f, budget %.2f)@." !burst_words
+    words_delta burst_words_budget;
+  Format.fprintf std
+    "cov at RTT scale      %12.7f streaming, %.7f offline (|err| %.2e, \
+     tolerance %g)@."
+    cov_streaming cov_offline cov_abs_err burst_cov_tolerance;
+  Format.fprintf std "hurst (wavelet)       %12.3f@." hurst;
+  let failed = ref false in
+  if words_delta > burst_words_budget then begin
+    Format.eprintf
+      "burst allocation regression: %.4f minor words/event over the probed \
+       run exceeds the committed budget %.2f@."
+      words_delta burst_words_budget;
+    failed := true
+  end;
+  if not (cov_abs_err <= burst_cov_tolerance) then begin
+    Format.eprintf
+      "streaming c.o.v. disagrees with the offline estimator: |%.9f - %.9f| \
+       = %.2e exceeds %g@."
+      cov_streaming cov_offline cov_abs_err burst_cov_tolerance;
+    failed := true
+  end;
+  (* --- RED w_q sweep across the linearized stability threshold --- *)
+  let sweep_cfg =
+    {
+      (Burstcore.Config.with_clients (config ()) 50) with
+      Burstcore.Config.client_delay_s = 0.0375;
+      bottleneck_delay_s = 0.0375;
+      red_min_th = 15.;
+      red_max_th = 25.;
+      red_max_p = 0.6;
+      duration_s = 90.;
+      warmup_s = 30.;
+    }
+  in
+  let capacity_pps =
+    sweep_cfg.Burstcore.Config.bottleneck_bandwidth_mbps *. 1e6
+    /. float_of_int (8 * sweep_cfg.Burstcore.Config.packet_bytes)
+  in
+  let params =
+    {
+      Fluidmodel.Reno_fluid.flows = sweep_cfg.Burstcore.Config.clients;
+      capacity_pps;
+      base_rtt_s = Burstcore.Config.rtt_prop_s sweep_cfg;
+      buffer_packets =
+        float_of_int sweep_cfg.Burstcore.Config.buffer_packets;
+      red_min_th = sweep_cfg.Burstcore.Config.red_min_th;
+      red_max_th = sweep_cfg.Burstcore.Config.red_max_th;
+      red_max_p = sweep_cfg.Burstcore.Config.red_max_p;
+      avg_gain = 10.;
+    }
+  in
+  let stability = Fluidmodel.Reno_fluid.red_stability params in
+  let wq_critical =
+    match stability.Fluidmodel.Reno_fluid.wq_critical with
+    | Some w -> w
+    | None ->
+        Format.eprintf
+          "burst bench misconfigured: loop gain %.3f <= 1, no critical w_q@."
+          stability.Fluidmodel.Reno_fluid.loop_gain;
+        exit 1
+  in
+  Format.fprintf std
+    "@.RED stability (N=%d, R=%.3f s, C=%.1f pps): loop gain %.3f, \
+     w_q* = %.2e@."
+    sweep_cfg.Burstcore.Config.clients
+    (Burstcore.Config.rtt_prop_s sweep_cfg)
+    capacity_pps stability.Fluidmodel.Reno_fluid.loop_gain wq_critical;
+  let osc_row side w_q =
+    let cfg = { sweep_cfg with Burstcore.Config.red_w_q = w_q } in
+    let probe = Telemetry.Probe.create () in
+    Telemetry.Probe.set_burst probe (Some Telemetry.Burst.default_config);
+    let m = Burstcore.Run.run ~probe cfg Burstcore.Scenario.reno_red in
+    let o =
+      match m.Burstcore.Metrics.burst with
+      | Some { Telemetry.Burst.s_osc = Some o; _ } -> o
+      | _ -> failwith "RED sweep run produced no oscillation summary"
+    in
+    Format.fprintf std
+      "  w_q %.2e (%8s): rel amplitude %.3f, %d crossings, %.3f Hz, mean \
+       queue %.1f -> %s@."
+      w_q side o.Telemetry.Burst.o_rel_amplitude
+      o.Telemetry.Burst.o_crossings o.Telemetry.Burst.o_frequency_hz
+      o.Telemetry.Burst.o_mean
+      (if o.Telemetry.Burst.o_oscillating then "OSCILLATING" else "quiet");
+    (w_q, side, o)
+  in
+  let rows =
+    [ osc_row "stable" (wq_critical /. 10.); osc_row "unstable" (wq_critical *. 100.) ]
+  in
+  List.iter
+    (fun (w_q, side, o) ->
+      let expected = side = "unstable" in
+      if o.Telemetry.Burst.o_oscillating <> expected then begin
+        Format.eprintf
+          "oscillation detector missed the %s side at w_q %.2e \
+           (rel %.3f, %d crossings)@."
+          side w_q o.Telemetry.Burst.o_rel_amplitude
+          o.Telemetry.Burst.o_crossings;
+        failed := true
+      end)
+    rows;
+  let row_json (w_q, side, o) =
+    Burstcore.Json.Obj
+      [
+        ("w_q", Burstcore.Json.Float w_q);
+        ("side", Burstcore.Json.String side);
+        ( "rel_amplitude",
+          Burstcore.Json.Float o.Telemetry.Burst.o_rel_amplitude );
+        ("frequency_hz", Burstcore.Json.Float o.Telemetry.Burst.o_frequency_hz);
+        ("crossings", Burstcore.Json.Int o.Telemetry.Burst.o_crossings);
+        ("mean_queue", Burstcore.Json.Float o.Telemetry.Burst.o_mean);
+        ("oscillating", Burstcore.Json.Bool o.Telemetry.Burst.o_oscillating);
+      ]
+  in
+  let json =
+    Burstcore.Json.Obj
+      [
+        ("scenario", Burstcore.Json.String (Burstcore.Scenario.label scenario));
+        ("clients", Burstcore.Json.Int cfg.Burstcore.Config.clients);
+        ("duration_s", Burstcore.Json.Float cfg.Burstcore.Config.duration_s);
+        ("reps", Burstcore.Json.Int reps);
+        ("events", Burstcore.Json.Int !events);
+        ("probed_run_s", Burstcore.Json.Float !probed_run);
+        ("burst_run_s", Burstcore.Json.Float !burst_run);
+        ("burst_overhead_pct", Burstcore.Json.Float overhead_pct);
+        ("probed_minor_words_per_event", Burstcore.Json.Float !probed_words);
+        ("burst_minor_words_per_event", Burstcore.Json.Float !burst_words);
+        ("burst_minor_words_per_event_delta", Burstcore.Json.Float words_delta);
+        ("burst_words_budget", Burstcore.Json.Float burst_words_budget);
+        ("cov_offline", Burstcore.Json.Float cov_offline);
+        ("cov_streaming", Burstcore.Json.Float cov_streaming);
+        ("cov_abs_err", Burstcore.Json.Float cov_abs_err);
+        ("cov_tolerance", Burstcore.Json.Float burst_cov_tolerance);
+        ("hurst_wavelet", Burstcore.Json.Float hurst);
+        ( "red_sweep",
+          Burstcore.Json.Obj
+            [
+              ( "flows",
+                Burstcore.Json.Int sweep_cfg.Burstcore.Config.clients );
+              ( "base_rtt_s",
+                Burstcore.Json.Float (Burstcore.Config.rtt_prop_s sweep_cfg)
+              );
+              ("capacity_pps", Burstcore.Json.Float capacity_pps);
+              ( "loop_gain",
+                Burstcore.Json.Float
+                  stability.Fluidmodel.Reno_fluid.loop_gain );
+              ("wq_critical", Burstcore.Json.Float wq_critical);
+              ("rows", Burstcore.Json.List (List.map row_json rows));
+            ] );
+      ]
+  in
+  Burstcore.Export.write_file "BENCH_burst.json"
+    (Burstcore.Json.to_string json ^ "\n");
+  Format.fprintf std "@.wrote BENCH_burst.json@.";
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator primitives                *)
 
 module Micro = struct
@@ -1025,5 +1303,6 @@ let () =
   if wants "parallel" then run_parallel_bench ();
   if wants "alloc" then run_alloc_bench ();
   if wants "flows" then run_flows_bench ();
+  if wants "burst" then run_burst_bench ();
   if (not !skip_micro) && wants "micro" then run_micro ();
   Format.pp_print_flush std ()

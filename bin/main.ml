@@ -94,6 +94,7 @@ type tele_opts = {
   report_out : string option; (* None = off, Some "-" = stderr *)
   trace_out : string option;
   record_out : string option;
+  burst_out : string option;
   want_progress : bool;
 }
 
@@ -127,14 +128,24 @@ let tele_term =
     Arg.(
       value & opt (some string) None & info [ "record-out" ] ~docv:"FILE" ~doc)
   in
+  let burst_out =
+    let doc =
+      "Attach the streaming multi-timescale burstiness aggregator \
+       (per-scale c.o.v. and index of dispersion, wavelet logscale diagram, \
+       queue-oscillation detector) to every run and write the per-run \
+       summaries as one JSON document to $(docv). Composes with --jobs; \
+       rows appear in input order."
+    in
+    Arg.(value & opt (some string) None & info [ "burst-out" ] ~docv:"FILE" ~doc)
+  in
   let want_progress =
     let doc = "Report per-run progress with an ETA on stderr." in
     Arg.(value & flag & info [ "progress" ] ~doc)
   in
   Term.(
-    const (fun report_out trace_out record_out want_progress ->
-        { report_out; trace_out; record_out; want_progress })
-    $ report_out $ trace_out $ record_out $ want_progress)
+    const (fun report_out trace_out record_out burst_out want_progress ->
+        { report_out; trace_out; record_out; burst_out; want_progress })
+    $ report_out $ trace_out $ record_out $ burst_out $ want_progress)
 
 (* Run [f] with a pool of [jobs] domains, or without one when sequential. *)
 let with_jobs ~jobs f =
@@ -177,10 +188,13 @@ let with_telemetry ~label ?(total_runs = 0) ?(jobs = 1) opts f =
   | _ -> ());
   if
     opts.report_out = None && opts.trace_out = None && opts.record_out = None
+    && opts.burst_out = None
     && not opts.want_progress
   then f None (fun (_ : string) -> ())
   else begin
     let probe = Telemetry.Probe.create () in
+    if opts.burst_out <> None then
+      Telemetry.Probe.set_burst probe (Some Telemetry.Burst.default_config);
     (* --record-out captures the full lifecycle stream; --trace-out under
        --jobs > 1 records parity events per domain instead of streaming
        from the bus, then decodes them at the end so the file stays
@@ -249,6 +263,20 @@ let with_telemetry ~label ?(total_runs = 0) ?(jobs = 1) opts f =
     result
   end
 
+(* Write the --burst-out artifact from whatever run metrics the command
+   produced. Runs without a burst summary are filtered out, so commands
+   that return no metrics write an empty "runs" list. *)
+let write_burst_out opts (ms : Burstcore.Metrics.t list) =
+  match opts.burst_out with
+  | None -> ()
+  | Some path ->
+      Burstcore.Export.write_file path
+        (Burstcore.Json.to_string (Burstcore.Export.burst_to_json ms) ^ "\n");
+      Format.eprintf "wrote burst summaries to %s@." path
+
+let sweep_metrics (sweep : Burstcore.Figures.sweep_result) =
+  List.concat_map snd sweep
+
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
 
@@ -270,12 +298,13 @@ let fig_number =
 
 let render_sweep_figure ?pool ?probe ?notify n cfg counts =
   let sweep = Burstcore.Figures.run_sweep ?pool ?probe ?notify ~progress cfg counts in
-  match n with
+  (match n with
   | 2 -> Burstcore.Figures.fig2 std sweep cfg
   | 3 -> Burstcore.Figures.fig3 std sweep
   | 4 -> Burstcore.Figures.fig4 std sweep
   | 13 -> Burstcore.Figures.fig13 std sweep
-  | _ -> assert false
+  | _ -> assert false);
+  sweep
 
 let n_paper_series = List.length Burstcore.Scenario.paper_series
 
@@ -294,14 +323,18 @@ let fig_cmd =
             with_telemetry ~label:"fig 2 (replicated)"
               ~total_runs:(sweep_runs * replicates) ~jobs tele (fun probe notify ->
                 Burstcore.Figures.fig2_replicated ?pool ?probe ~notify std cfg
-                  counts ~replicates))
+                  counts ~replicates));
+        write_burst_out tele []
     | 2 | 3 | 4 | 13 ->
-        with_jobs ~jobs (fun pool ->
-            with_telemetry
-              ~label:(Printf.sprintf "fig %d" n)
-              ~total_runs:sweep_runs ~jobs tele
-              (fun probe notify ->
-                render_sweep_figure ?pool ?probe ~notify n cfg counts))
+        let sweep =
+          with_jobs ~jobs (fun pool ->
+              with_telemetry
+                ~label:(Printf.sprintf "fig %d" n)
+                ~total_runs:sweep_runs ~jobs tele
+                (fun probe notify ->
+                  render_sweep_figure ?pool ?probe ~notify n cfg counts))
+        in
+        write_burst_out tele (sweep_metrics sweep)
     | _ -> (
         match
           List.find_opt
@@ -318,7 +351,8 @@ let fig_cmd =
                 notify
                   (Printf.sprintf "%s n=%d"
                      (Burstcore.Scenario.label scenario)
-                     clients))
+                     clients));
+            write_burst_out tele []
         | None ->
             Format.eprintf "no such figure: %d (valid: 2-13)@." n;
             exit 1)
@@ -340,8 +374,9 @@ let all_cmd =
       (n_paper_series * List.length counts)
       + List.length Burstcore.Figures.cwnd_figures
     in
-    with_jobs ~jobs @@ fun pool ->
-    with_telemetry ~label:"all" ~total_runs ~jobs tele (fun probe notify ->
+    let sweep =
+      with_jobs ~jobs @@ fun pool ->
+      with_telemetry ~label:"all" ~total_runs ~jobs tele (fun probe notify ->
         Burstcore.Figures.table1 std cfg;
         let sweep =
           Burstcore.Figures.run_sweep ?pool ?probe ~notify ~progress cfg counts
@@ -363,7 +398,10 @@ let all_cmd =
               (Printf.sprintf "fig %d: %s n=%d" k
                  (Burstcore.Scenario.label scenario)
                  clients))
-          Burstcore.Figures.cwnd_figures)
+          Burstcore.Figures.cwnd_figures;
+        sweep)
+    in
+    write_burst_out tele (sweep_metrics sweep)
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table and figure.")
@@ -401,6 +439,7 @@ let run_cmd =
             (Printf.sprintf "%s n=%d" (Burstcore.Scenario.label scenario) clients);
           m)
     in
+    write_burst_out tele [ m ];
     if json then
       Format.fprintf std "%s@."
         (Burstcore.Json.to_string
@@ -661,6 +700,7 @@ let trace_cmd =
           (fun () -> Netsim.Tracer.output tracer oc);
         Format.eprintf "wrote %d events to %s@." (Netsim.Tracer.length tracer) path
     | None -> Netsim.Tracer.output tracer stdout);
+    write_burst_out tele [ m ];
     Format.eprintf "%a@." Burstcore.Metrics.pp_row m
   in
   Cmd.group
@@ -674,6 +714,176 @@ let trace_cmd =
           bottleneck link, or (with a subcommand) query a binary flight \
           recording written by --record-out.")
     [ trace_decode_cmd; trace_stats_cmd; trace_grep_cmd; trace_spans_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* burst — offline burstiness analysis of a recorded trace             *)
+
+(* Sniff the 8-byte flight-recorder magic so one positional FILE serves
+   both input formats. *)
+let looks_like_recording path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Format.eprintf "burstsim: cannot read %s@." msg;
+      exit 1
+  | ic ->
+      let n = String.length Telemetry.Recorder.magic in
+      let b = Bytes.create n in
+      let len =
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input ic b 0 n)
+      in
+      len = n && String.equal (Bytes.sub_string b 0 n) Telemetry.Recorder.magic
+
+let burst_cmd =
+  let file =
+    let doc =
+      "Input trace: a binary flight recording written by --record-out, or an \
+       NDJSON event trace written by --trace-out ($(b,-) reads NDJSON from \
+       stdin). The format is detected from the file header."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let width =
+    let doc =
+      "Base bin width in seconds; dyadic timescales double from here. \
+       Defaults to the paper's RTT bin."
+    in
+    Arg.(value & opt (some float) None & info [ "width" ] ~docv:"SECONDS" ~doc)
+  in
+  let origin =
+    let doc = "Ignore arrivals before $(docv) simulated seconds (warm-up)." in
+    Arg.(value & opt float 0. & info [ "origin" ] ~docv:"SECONDS" ~doc)
+  in
+  let levels =
+    let doc = "Number of dyadic timescales to fold." in
+    Arg.(
+      value
+      & opt int Telemetry.Burst.default_config.Telemetry.Burst.levels
+      & info [ "levels" ] ~docv:"K" ~doc)
+  in
+  let link =
+    let doc = "Link whose arrival process is analysed." in
+    Arg.(value & opt string "bottleneck" & info [ "link" ] ~docv:"NAME" ~doc)
+  in
+  let all_packets =
+    let doc = "Count pure ACKs too (default: data segments only)." in
+    Arg.(value & flag & info [ "all-packets" ] ~doc)
+  in
+  let json =
+    let doc = "Print the summary as a JSON document instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run file width origin levels link all_packets json out =
+    let width =
+      match width with
+      | Some w -> w
+      | None -> Burstcore.Config.rtt_prop_s Burstcore.Config.default
+    in
+    let burst =
+      try Telemetry.Burst.create ~levels ~origin ~width ()
+      with Invalid_argument msg ->
+        Format.eprintf "burstsim: %s@." msg;
+        exit 1
+    in
+    let osc = Telemetry.Burst.Osc.create () in
+    let osc_fed = ref false in
+    let last = ref origin in
+    let feed t =
+      Telemetry.Burst.observe burst t;
+      if t > !last then last := t
+    in
+    if file <> "-" && looks_like_recording file then
+      (* Recorded packet_arrival records carry the instantaneous queue
+         depth, so the replay also drives the oscillation detector with
+         per-arrival queue samples. *)
+      iter_records (read_recording file)
+        (fun _seg lookup ~lane:_ ~seq:_ words off ->
+          if
+            words.(off + 1) = Telemetry.Record.packet_arrival
+            && String.equal (lookup words.(off + 6)) link
+            && (all_packets || words.(off + 5) <> Telemetry.Record.no_seq)
+          then begin
+            let t = Telemetry.Record.time_of_tick words.(off) in
+            feed t;
+            if t >= origin then begin
+              osc_fed := true;
+              Telemetry.Burst.Osc.sample osc ~t
+                (float_of_int words.(off + 7))
+            end
+          end)
+    else begin
+      (* NDJSON packet events have no queue-depth field, so only the
+         arrival-count aggregator runs. *)
+      let ic =
+        if file = "-" then stdin
+        else
+          try open_in file
+          with Sys_error msg ->
+            Format.eprintf "burstsim: cannot read %s@." msg;
+            exit 1
+      in
+      let jstr name j =
+        match Burstcore.Json.member name j with
+        | Some (Burstcore.Json.String s) -> Some s
+        | _ -> None
+      in
+      let lineno = ref 0 in
+      Fun.protect
+        ~finally:(fun () -> if file <> "-" then close_in ic)
+        (fun () ->
+          try
+            while true do
+              let line = input_line ic in
+              incr lineno;
+              if String.length line > 0 then
+                match Burstcore.Json.parse line with
+                | Error msg ->
+                    Format.eprintf "burstsim: %s:%d: %s@." file !lineno msg;
+                    exit 1
+                | Ok j ->
+                    if
+                      jstr "event" j = Some "packet"
+                      && jstr "kind" j = Some "arrival"
+                      && jstr "link" j = Some link
+                      && (all_packets
+                         || Burstcore.Json.member "seq" j
+                            <> Some Burstcore.Json.Null)
+                    then
+                      Option.iter feed
+                        (Option.bind
+                           (Burstcore.Json.member "time" j)
+                           Burstcore.Json.to_float)
+            done
+          with End_of_file -> ())
+    end;
+    if Telemetry.Burst.total burst = 0 then
+      Format.eprintf
+        "burstsim: no arrivals matched link %S (try --link or --all-packets)@."
+        link;
+    Telemetry.Burst.advance burst ~upto:!last;
+    let osc = if !osc_fed then Some osc else None in
+    let s = Telemetry.Burst.summary ?osc burst in
+    with_query_out out (fun oc ->
+        if json then
+          output_string oc
+            (Burstcore.Json.to_string (Telemetry.Burst.summary_to_json s) ^ "\n")
+        else begin
+          let ppf = Format.formatter_of_out_channel oc in
+          Format.fprintf ppf "%a@." Telemetry.Burst.pp_summary s;
+          Format.pp_print_flush ppf ()
+        end)
+  in
+  Cmd.v
+    (Cmd.info "burst"
+       ~doc:
+         "Replay a recorded trace (binary flight recording or NDJSON event \
+          stream) through the streaming multi-timescale burstiness \
+          aggregator: per-scale c.o.v. and index of dispersion, the wavelet \
+          logscale diagram with a Hurst slope, and — for flight recordings, \
+          which carry per-arrival queue depths — the queue-oscillation \
+          detector.")
+    Term.(
+      const run $ file $ width $ origin $ levels $ link $ all_packets $ json
+      $ query_out)
 
 (* ------------------------------------------------------------------ *)
 (* selfsim — extension: heavy-tailed sources vs Poisson                *)
@@ -754,7 +964,8 @@ let export_cmd =
       | `Csv -> Burstcore.Export.sweep_to_csv sweep
     in
     Burstcore.Export.write_file out contents;
-    Format.eprintf "wrote %s@." out
+    Format.eprintf "wrote %s@." out;
+    write_burst_out tele (sweep_metrics sweep)
   in
   Cmd.v
     (Cmd.info "export"
@@ -805,7 +1016,8 @@ let report_check_cmd =
       "Report schema to check: $(b,telemetry) for a --telemetry=FILE report, \
        $(b,alloc) for the BENCH_alloc.json allocation-budget sweep, \
        $(b,flows) for the BENCH_flows.json flow-scaling sweep, \
-       $(b,bench-telemetry) for the BENCH_telemetry.json overhead report."
+       $(b,bench-telemetry) for the BENCH_telemetry.json overhead report, \
+       $(b,burst) for the BENCH_burst.json burstiness-observability report."
     in
     Arg.(
       value
@@ -816,6 +1028,7 @@ let report_check_cmd =
                ("alloc", `Alloc);
                ("flows", `Flows);
                ("bench-telemetry", `Bench_telemetry);
+               ("burst", `Burst);
              ])
           `Telemetry
       & info [ "kind" ] ~docv:"KIND" ~doc)
@@ -839,6 +1052,7 @@ let report_check_cmd =
       | `Flows -> (Telemetry.Report.validate_flows, "flows report")
       | `Bench_telemetry ->
           (Telemetry.Report.validate_bench_telemetry, "bench-telemetry report")
+      | `Burst -> (Telemetry.Report.validate_burst, "burst report")
     in
     match Result.bind (Burstcore.Json.parse contents) validate with
     | Ok () -> print_endline (what ^ " ok")
@@ -851,19 +1065,20 @@ let report_check_cmd =
        ~doc:
          "Validate a JSON report: a --telemetry=FILE run report, with \
           --kind=alloc the BENCH_alloc.json allocation sweep, with \
-          --kind=flows the BENCH_flows.json flow-scaling sweep, or with \
-          --kind=bench-telemetry the BENCH_telemetry.json overhead report \
-          (all used by 'make check').")
+          --kind=flows the BENCH_flows.json flow-scaling sweep, with \
+          --kind=bench-telemetry the BENCH_telemetry.json overhead report, \
+          or with --kind=burst the BENCH_burst.json burstiness report (all \
+          used by 'make check').")
     Term.(const run $ kind $ file)
 
 (* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
-    (Cmd.info "burstsim" ~version:"1.5.0"
+    (Cmd.info "burstsim" ~version:"1.6.0"
        ~doc:
          "Reproduction of 'On the Burstiness of the TCP Congestion-Control \
           Mechanism in a Distributed Computing System' (ICDCS 2000).")
-    [ table1_cmd; fig_cmd; all_cmd; run_cmd; trace_cmd; selfsim_cmd; sync_cmd; fluid_cmd; parking_cmd; twoway_cmd; export_cmd; report_check_cmd ]
+    [ table1_cmd; fig_cmd; all_cmd; run_cmd; trace_cmd; burst_cmd; selfsim_cmd; sync_cmd; fluid_cmd; parking_cmd; twoway_cmd; export_cmd; report_check_cmd ]
 
 let () = exit (Cmd.eval main)

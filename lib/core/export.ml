@@ -57,6 +57,10 @@ let metrics_to_json (m : Metrics.t) =
       ("delay_p99_s", Json.Float m.Metrics.delay_p99_s);
       ("drop_run_max", Json.Int m.Metrics.drop_run_max);
       ("drop_run_mean", Json.Float m.Metrics.drop_run_mean);
+      ( "burst",
+        match m.Metrics.burst with
+        | Some s -> Telemetry.Burst.summary_to_json s
+        | None -> Json.Null );
     ]
 
 let sweep_to_json cfg (sweep : Figures.sweep_result) =
@@ -67,6 +71,25 @@ let sweep_to_json cfg (sweep : Figures.sweep_result) =
         Json.List
           (List.concat_map (fun (_, ms) -> List.map metrics_to_json ms) sweep) );
     ]
+
+(* The --burst-out artifact: one row per run carrying only the burst
+   summary. Metrics come back from sweeps in input order regardless of
+   -j, so this composes with parallel execution unchanged. *)
+let burst_row (m : Metrics.t) =
+  match m.Metrics.burst with
+  | None -> None
+  | Some s ->
+      Some
+        (Json.Obj
+           [
+             ("scenario", Json.String (Scenario.label m.Metrics.scenario));
+             ("clients", Json.Int m.Metrics.clients);
+             ("cov", Json.Float m.Metrics.cov);
+             ("burst", Telemetry.Burst.summary_to_json s);
+           ])
+
+let burst_to_json (ms : Metrics.t list) =
+  Json.Obj [ ("runs", Json.List (List.filter_map burst_row ms)) ]
 
 let csv_columns =
   [

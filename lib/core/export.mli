@@ -14,6 +14,13 @@ val metrics_to_json : Metrics.t -> Json.t
 val sweep_to_json : Config.t -> Figures.sweep_result -> Json.t
 (** [{ "config": ..., "results": [ ... ] }]. *)
 
+val burst_to_json : Metrics.t list -> Json.t
+(** The [--burst-out] artifact: one row per run that carried a
+    {!Telemetry.Burst} summary (scenario, clients, offline c.o.v. and
+    the full streaming summary). Metrics arrive in input order
+    regardless of [-j], so the artifact is deterministic under
+    parallel sweeps. *)
+
 val csv_header : string
 (** Column names for {!metrics_to_csv_row}, comma-separated. *)
 

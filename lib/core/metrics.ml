@@ -27,6 +27,7 @@ type t = {
   drop_run_mean : float;
   cwnd_traces : (int * Netstats.Series.t) list;
   queue_series : Netstats.Series.t option;
+  burst : Telemetry.Burst.summary option;
 }
 
 let cov_inflation_pct t =

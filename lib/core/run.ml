@@ -28,6 +28,7 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
         bottleneck,
         horizon,
         binner,
+        burst_state,
         per_flow_binners,
         drop_run_list,
         delay_stats,
@@ -67,6 +68,54 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
         let binner =
           Netsim.Monitor.arrival_binner pool bottleneck
             ~origin:cfg.Config.warmup_s ~width:(Config.rtt_prop_s cfg)
+        in
+        (* Streaming burstiness telemetry, subscriber-gated like the
+           bus: only wired when the probe carries a burst config. The
+           aggregator's base bin is the paper's RTT timescale, so its
+           level-0 c.o.v. reproduces [Metrics.cov] from the same event
+           stream without storing it. *)
+        let burst_state =
+          match probe with
+          | Some p -> (
+              match Telemetry.Probe.burst_config p with
+              | Some bc ->
+                  let burst =
+                    Telemetry.Burst.create ~levels:bc.Telemetry.Burst.levels
+                      ~origin:cfg.Config.warmup_s
+                      ~width:(Config.rtt_prop_s cfg) ()
+                  in
+                  Netsim.Monitor.arrival_burst pool bottleneck burst;
+                  let osc =
+                    if bc.Telemetry.Burst.osc_enabled then begin
+                      let osc = Telemetry.Burst.Osc.create () in
+                      (* Probe the RED control loop through its own state
+                         variable: the averaged queue is what the drop
+                         decision feeds back on, so its limit cycle is
+                         the Hopf signature. Droptail/SFQ have no
+                         average; fall back to the instantaneous
+                         queue. *)
+                      let qdisc = Netsim.Link.queue_disc bottleneck in
+                      let signal =
+                        match Netsim.Queue_disc.avg_queue qdisc with
+                        | Some _ ->
+                            fun () ->
+                              Option.value ~default:0.
+                                (Netsim.Queue_disc.avg_queue qdisc)
+                        | None ->
+                            fun () ->
+                              float_of_int
+                                (Netsim.Link.queue_length bottleneck)
+                      in
+                      Netsim.Monitor.osc_sampler ~signal sched bottleneck osc
+                        ~every:(Time.of_ms 20.) ~from:cfg.Config.warmup_s
+                        ~until:horizon;
+                      Some osc
+                    end
+                    else None
+                  in
+                  Some (burst, osc)
+              | None -> None)
+          | None -> None
         in
         let per_flow_binners =
           if measure_sync && cfg.Config.clients >= 2 then begin
@@ -140,6 +189,7 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
           bottleneck,
           horizon,
           binner,
+          burst_state,
           per_flow_binners,
           drop_run_list,
           delay_stats,
@@ -216,6 +266,13 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
               | None -> None)
             trace_clients
         in
+        let burst_summary =
+          match burst_state with
+          | None -> None
+          | Some (burst, osc) ->
+              Telemetry.Burst.advance burst ~upto:cfg.Config.duration_s;
+              Some (Telemetry.Burst.summary ?osc burst)
+        in
         let drop_runs = drop_run_list () in
         (* One pass for max, sum and count — the list can hold one entry
            per loss episode of a long run. *)
@@ -257,8 +314,24 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
              else float_of_int drop_sum /. float_of_int drop_count);
           cwnd_traces;
           queue_series;
+          burst = burst_summary;
         })
   in
+  (* Burst exposition: per-run labelled gauges for the registry, plus
+     summary records in the flight-recorder stream when lifecycle
+     recording is on (the recorder is still live here). *)
+  (match (probe, metrics.Metrics.burst) with
+  | Some p, Some s ->
+      Telemetry.Burst.export p.Telemetry.Probe.registry ~run:run_label s;
+      (match recorder with
+      | Some r when Telemetry.Recorder.lifecycle r ->
+          Telemetry.Burst.record_summary
+            (Telemetry.Recorder.lane r 0)
+            ~tick:(Time.to_ns horizon)
+            ~sid:(Telemetry.Recorder.intern r run_label)
+            s
+      | _ -> ())
+  | _ -> ());
   (* Lifecycle spans fold the retained records into the probe's metric
      registry while the recorder is still live (tick counters restart
      per segment, so this must happen per run). *)

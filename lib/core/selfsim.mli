@@ -3,23 +3,32 @@
     The paper argues (§1) that Hurst-parameter analyses at coarse time
     scales miss what matters for statistical multiplexing. This experiment
     makes the connection explicit: it aggregates either Poisson or
-    heavy-tailed Pareto-on/off sources over UDP and TCP Reno, estimates the
-    Hurst parameter of the gateway arrival process two ways (R/S and
-    variance–time) and reports it next to the paper's c.o.v. metric and an
-    index-of-dispersion profile across timescales. Expected shape: Poisson
-    over UDP gives H near 0.5 and flat IDC; Pareto-on/off raises H and a
-    growing IDC; TCP modulation raises both relative to UDP. *)
+    heavy-tailed Pareto-on/off sources over UDP and TCP Reno and measures
+    the gateway arrival process entirely with the streaming
+    {!Telemetry.Burst} estimators — a wavelet (logscale-diagram) Hurst
+    slope, the paper's c.o.v. at the RTT bin, and an index-of-dispersion
+    profile across dyadic timescales — without ever storing the arrival
+    series. Expected shape: Poisson over UDP gives H near 0.5 and flat
+    IDC; Pareto-on/off raises H and a growing IDC; TCP modulation raises
+    both relative to UDP. *)
 
 type source_kind = Poisson_src | Pareto_src
 
 type row = {
   source : source_kind;
   scenario : Scenario.t;
-  hurst_rs : float;
-  hurst_vt : float;
-  cov : float;
-  idc : (int * float) list;  (** (aggregation in bins, IDC) *)
+  hurst : float;  (** streaming wavelet (Abry–Veitch) estimate *)
+  cov : float;  (** at the paper's RTT timescale *)
+  idc : (int * float option) list;
+      (** (aggregation in 10 ms bins, IDC); [None] marks scales the run
+          was too short to populate *)
 }
+
+val bin_width : float
+(** Base bin width of the fine aggregator, 10 ms. *)
+
+val fine_levels : int
+(** Dyadic levels of the fine aggregator. *)
 
 val measure : Config.t -> source_kind -> Scenario.t -> row
 (** One run with 10 ms arrival bins at the gateway. *)

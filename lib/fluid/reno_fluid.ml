@@ -112,3 +112,48 @@ let equilibrium ?(dt = 0.001) ?(settle = 200.) p =
     eq_loss = drop_probability p x;
     eq_rtt_s = rtt;
   }
+
+(* Linearized RED stability (Hollot, Misra, Towsley & Gong, "A Control
+   Theoretic Analysis of RED"; Reynier's simple mean-field condition is
+   the same bound). Around the window/queue equilibrium the plant gain
+   is
+
+     L = (max_p / (max_th - min_th)) * (R C)^3 / (2 N)^2
+
+   with R the round-trip time and C the capacity in packets/s. If
+   L <= 1 the loop is stable for every averaging gain. Otherwise the
+   averaging pole K = -ln(1 - w_q) C (per-packet EWMA sampled at rate
+   C) must stay below
+
+     K* = omega_g / sqrt(L^2 - 1),
+     omega_g = 0.1 * min (2 N / (R^2 C), 1 / R)
+
+   which translates back to a critical per-packet gain
+   w_q* = 1 - exp (-K* / C): below it the queue settles, above it the
+   loop crosses the Hopf boundary and the queue oscillates. *)
+
+type red_stability = {
+  loop_gain : float;
+  omega_g : float;
+  k_critical : float option;
+  wq_critical : float option;
+}
+
+let red_stability p =
+  validate p;
+  let c = p.capacity_pps and n = float_of_int p.flows in
+  let r = p.base_rtt_s in
+  let slope = p.red_max_p /. (p.red_max_th -. p.red_min_th) in
+  let l = slope *. ((r *. c) ** 3.) /. ((2. *. n) ** 2.) in
+  let omega_g = 0.1 *. Stdlib.min (2. *. n /. (r *. r *. c)) (1. /. r) in
+  if l <= 1. then
+    { loop_gain = l; omega_g; k_critical = None; wq_critical = None }
+  else begin
+    let k = omega_g /. sqrt ((l *. l) -. 1.) in
+    {
+      loop_gain = l;
+      omega_g;
+      k_critical = Some k;
+      wq_critical = Some (1. -. exp (-.k /. c));
+    }
+  end

@@ -55,3 +55,21 @@ type equilibrium = {
 val equilibrium : ?dt:float -> ?settle:float -> params -> equilibrium
 (** State after integrating for [settle] seconds (default 200) — long
     enough for Table 1-scale parameters to reach steady state. *)
+
+type red_stability = {
+  loop_gain : float;  (** L; the loop is stable for every w_q iff L <= 1 *)
+  omega_g : float;  (** crossover-frequency bound, rad/s *)
+  k_critical : float option;  (** averaging-pole bound, 1/s *)
+  wq_critical : float option;
+      (** critical per-packet EWMA gain: below it RED's averaging keeps
+          the linearized loop stable, above it the queue crosses the
+          Hopf boundary and oscillates. [None] when [loop_gain <= 1]
+          (stable for every w_q). *)
+}
+
+val red_stability : params -> red_stability
+(** Reynier/Hollot linearized stability condition for RED's averaging
+    gain, evaluated at [base_rtt_s]:
+    [L = (max_p / (max_th - min_th)) (R C)^3 / (2 N)^2] and, when
+    [L > 1], [w_q* = 1 - exp (-omega_g / (sqrt (L^2 - 1) C))] with
+    [omega_g = 0.1 min (2N / (R^2 C), 1/R)]. *)

@@ -115,6 +115,8 @@ let send t h =
 
 let queue_length t = Queue_disc.length t.queue
 
+let queue_disc t = t.queue
+
 let queue_high_water_mark t = Queue_disc.high_water_mark t.queue
 
 let on_arrival t f = t.arrival_listeners <- f :: t.arrival_listeners

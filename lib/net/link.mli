@@ -30,6 +30,10 @@ val send : t -> Packet_pool.handle -> unit
 
 val queue_length : t -> int
 
+val queue_disc : t -> Queue_disc.t
+(** The link's queue discipline — e.g. for reading the RED average
+    ({!Queue_disc.avg_queue}) as an oscillation-detector signal. *)
+
 val queue_high_water_mark : t -> int
 (** Peak queue occupancy (packets) seen so far. *)
 

@@ -8,6 +8,39 @@ let arrival_binner ?(data_only = true) pool link ~origin ~width =
         Netstats.Binned.record binned (Time.to_sec now));
   binned
 
+(* Streaming twin of [arrival_binner]: the same events, folded straight
+   into a dyadic aggregator instead of a stored bin array. Gated by the
+   caller (only wired when a probe asked for burst telemetry), so runs
+   without a subscriber pay nothing. *)
+let arrival_burst ?(data_only = true) pool link burst =
+  Link.on_arrival link (fun now h ->
+      if (not data_only) || Packet_pool.is_data pool h then
+        (* observe_tick keeps the tick->seconds conversion internal and
+           unboxed; [Burst.observe (Time.to_sec now)] would box a float
+           per arrival. *)
+        Telemetry.Burst.observe_tick burst (Time.to_ns now))
+
+(* Periodic feed for the oscillation detector. [signal] defaults to the
+   instantaneous queue length; pass e.g. the RED average
+   ([Queue_disc.avg_queue]) for an already-smoothed signal. Samples
+   before [from] (the warm-up) are skipped but the timer keeps its
+   cadence from time zero, so sample times are deterministic. *)
+let osc_sampler ?signal sched link osc ~every ~from ~until =
+  let signal =
+    match signal with
+    | Some f -> f
+    | None -> fun () -> float_of_int (Link.queue_length link)
+  in
+  let rec tick () =
+    let now = Scheduler.now sched in
+    if Time.(now <= until) then begin
+      if Time.to_sec now >= from then
+        Telemetry.Burst.Osc.sample osc ~t:(Time.to_sec now) (signal ());
+      ignore (Scheduler.after sched every tick)
+    end
+  in
+  ignore (Scheduler.after sched Time.zero tick)
+
 let queue_sampler sched link ~every ~until =
   let series = Netstats.Series.create () in
   let rec tick () =

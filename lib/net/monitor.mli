@@ -16,6 +16,31 @@ val arrival_binner :
     bins of [width] seconds starting at [origin]. [data_only] (default
     true) counts only data packets, not ACKs. *)
 
+val arrival_burst :
+  ?data_only:bool ->
+  Packet_pool.t ->
+  Link.t ->
+  Telemetry.Burst.t ->
+  unit
+(** Streaming twin of {!arrival_binner}: folds the same arrival stream
+    into a {!Telemetry.Burst} dyadic aggregator instead of a stored bin
+    array — O(log T) state instead of O(horizon). [data_only] (default
+    true) counts only data packets. *)
+
+val osc_sampler :
+  ?signal:(unit -> float) ->
+  Sim_engine.Scheduler.t ->
+  Link.t ->
+  Telemetry.Burst.Osc.t ->
+  every:Sim_engine.Time.span ->
+  from:float ->
+  until:Sim_engine.Time.t ->
+  unit
+(** Feeds the oscillation detector every [every] until [until],
+    skipping samples before [from] seconds (warm-up). [signal] defaults
+    to the link's instantaneous queue length; pass
+    [Queue_disc.avg_queue] output for RED's smoothed average instead. *)
+
 val queue_sampler :
   Sim_engine.Scheduler.t ->
   Link.t ->

@@ -42,3 +42,5 @@ let high_water_mark t =
   | Droptail q -> Droptail.high_water_mark q
   | Red q -> Red.high_water_mark q
   | Sfq q -> Sfq.high_water_mark q
+
+let avg_queue t = match t with Red q -> Some (Red.avg q) | Droptail _ | Sfq _ -> None

@@ -34,6 +34,11 @@ val enqueue :
 (** [`Enqueued_dropping victim] (SFQ only): the arrival was admitted at
     the cost of discarding [victim] from another queue. *)
 
+val avg_queue : t -> float option
+(** RED's EWMA average queue (the smoothed signal its drop decisions
+    see); [None] for disciplines without one. A feed for the
+    oscillation detector ({!Telemetry.Burst.Osc}). *)
+
 val dequeue : t -> now:Sim_engine.Time.t -> Packet_pool.handle
 (** The head handle, or {!Packet_pool.nil} when empty. *)
 

@@ -15,7 +15,13 @@ let idc xs m =
   if s.Summary.mean = 0. then invalid_arg "Dispersion.idc: zero mean";
   s.Summary.variance /. s.Summary.mean
 
+(* Every requested block size yields a row: [None] marks scales the
+   series cannot support (too few blocks, zero mean) instead of
+   silently vanishing from the profile. *)
 let idc_profile xs ms =
-  List.filter_map
-    (fun m -> match idc xs m with v -> Some (m, v) | exception Invalid_argument _ -> None)
+  List.map
+    (fun m ->
+      match idc xs m with
+      | v -> (m, Some v)
+      | exception Invalid_argument _ -> (m, None))
     ms

@@ -10,6 +10,8 @@ val idc : float array -> int -> float
     @raise Invalid_argument if the blocked series has < 2 blocks or the
     blocked mean is 0. *)
 
-val idc_profile : float array -> int list -> (int * float) list
-(** IDC across several block sizes; block sizes yielding errors are
-    skipped. *)
+val idc_profile : float array -> int list -> (int * float option) list
+(** IDC across several block sizes, one row per requested size. A block
+    size the series cannot support (fewer than 2 blocks, zero blocked
+    mean) yields [None] rather than silently disappearing, so callers
+    can tell "scale missing" from "scale computed". *)

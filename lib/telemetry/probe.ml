@@ -8,6 +8,7 @@ type t = {
   bus : Event_bus.t;
   phases : Perf.phases;
   mutable recording : recording option;
+  mutable burst : Burst.config option;
 }
 
 let create () =
@@ -16,6 +17,7 @@ let create () =
     bus = Event_bus.create ();
     phases = Perf.phases ();
     recording = None;
+    burst = None;
   }
 
 let set_recording t config = t.recording <- Some { config; segments_rev = [] }
@@ -23,15 +25,21 @@ let set_recording t config = t.recording <- Some { config; segments_rev = [] }
 let recording_config t =
   match t.recording with None -> None | Some r -> Some r.config
 
+let set_burst t config = t.burst <- config
+
+let burst_config t = t.burst
+
 (* Worker probes for parallel sweeps: fresh facilities, same recording
-   configuration. Workers always buffer ([Grow]) — their segments are
-   carried back through {!merge} and written by the main probe. *)
+   and burst configuration. Workers always buffer ([Grow]) — their
+   segments are carried back through {!merge} and written by the main
+   probe. *)
 let create_like src =
   let t = create () in
   (match src.recording with
   | None -> ()
   | Some r ->
       set_recording t { r.config with Recorder.overflow = Recorder.Grow });
+  t.burst <- src.burst;
   t
 
 let start_recorder t ~label =

@@ -16,6 +16,7 @@ type t = {
   bus : Event_bus.t;
   phases : Perf.phases;
   mutable recording : recording option;
+  mutable burst : Burst.config option;
 }
 
 val create : unit -> t
@@ -33,8 +34,17 @@ val set_recording : t -> Recorder.config -> unit
 val recording_config : t -> Recorder.config option
 
 val create_like : t -> t
-(** A fresh probe inheriting only the recording configuration (workers
-    always buffer with [Grow]; their segments travel via {!merge}). *)
+(** A fresh probe inheriting only the recording and burst
+    configurations (workers always buffer with [Grow]; their segments
+    travel via {!merge}). *)
+
+val set_burst : t -> Burst.config option -> unit
+(** Ask runs driven through this probe to maintain streaming burstiness
+    telemetry ({!Burst}); the summary lands on each run's metrics, in
+    [burst_*] registry gauges and (when lifecycle recording is on) in
+    the flight-recorder stream. *)
+
+val burst_config : t -> Burst.config option
 
 val start_recorder : t -> label:string -> Recorder.t option
 (** Begin a new segment for one run; [None] when recording is off. *)

@@ -42,7 +42,17 @@ let router_rtx_forward = 15
 let run_start = 16
 let run_end = 17
 
-let max_kind = run_end
+(* Burst-telemetry kinds: end-of-run summaries from Telemetry.Burst.
+   The scale kinds carry the level/octave in [a], the value's IEEE-754
+   bits in [b]/[c] and the block count in [depth]; the oscillation
+   kinds carry crossings in [a] and the detector verdict in [depth]. *)
+let burst_cov = 18
+let burst_idc = 19
+let burst_hurst = 20
+let burst_osc_amp = 21
+let burst_osc_freq = 22
+
+let max_kind = burst_osc_freq
 
 let is_parity k = k >= packet_arrival && k <= custom_value
 
@@ -65,6 +75,11 @@ let kind_label = function
   | 15 -> "router_rtx_forward"
   | 16 -> "run_start"
   | 17 -> "run_end"
+  | 18 -> "burst_cov"
+  | 19 -> "burst_idc"
+  | 20 -> "burst_hurst"
+  | 21 -> "burst_osc_amp"
+  | 22 -> "burst_osc_freq"
   | k -> Printf.sprintf "kind_%d" k
 
 let kind_of_label s =
@@ -278,6 +293,42 @@ let json_of_record ~lookup buf off =
             ("kind", Json.String "end");
             ("label", Json.String (lookup sid));
             ("events", Json.Int a);
+          ]
+      else if kind = burst_cov || kind = burst_idc then
+        Json.Obj
+          [
+            ("event", Json.String "burst");
+            ("time", time);
+            ( "kind",
+              Json.String (if kind = burst_cov then "cov" else "idc") );
+            ("run", Json.String (lookup sid));
+            ("level", Json.Int a);
+            ("value", Json.Float (float_of_parts ~hi:b ~lo:c));
+            ("blocks", Json.Int buf.(off + 7));
+          ]
+      else if kind = burst_hurst then
+        Json.Obj
+          [
+            ("event", Json.String "burst");
+            ("time", time);
+            ("kind", Json.String "hurst");
+            ("run", Json.String (lookup sid));
+            ("octaves", Json.Int a);
+            ("value", Json.Float (float_of_parts ~hi:b ~lo:c));
+          ]
+      else if kind = burst_osc_amp || kind = burst_osc_freq then
+        Json.Obj
+          [
+            ("event", Json.String "burst");
+            ("time", time);
+            ( "kind",
+              Json.String
+                (if kind = burst_osc_amp then "osc_amplitude"
+                 else "osc_frequency") );
+            ("run", Json.String (lookup sid));
+            ("crossings", Json.Int a);
+            ("value", Json.Float (float_of_parts ~hi:b ~lo:c));
+            ("oscillating", Json.Bool (buf.(off + 7) = 1));
           ]
       else
         Json.Obj

@@ -40,6 +40,24 @@ val rcv_duplicate : int
 val router_rtx_forward : int
 val run_start : int
 val run_end : int
+
+val burst_cov : int
+(** End-of-run {!Telemetry.Burst} summary: c.o.v. per timescale (level
+    in [a], IEEE-754 value bits in [b]/[c], block count in [depth]). *)
+
+val burst_idc : int
+(** Index of dispersion per timescale, same layout as [burst_cov]. *)
+
+val burst_hurst : int
+(** Wavelet Hurst estimate (octaves used in [a], value in [b]/[c]). *)
+
+val burst_osc_amp : int
+(** Oscillation detector relative amplitude (crossings in [a], value in
+    [b]/[c], verdict 0/1 in [depth]). *)
+
+val burst_osc_freq : int
+(** Oscillation frequency in Hz, same layout as [burst_osc_amp]. *)
+
 val max_kind : int
 
 val is_parity : int -> bool

@@ -104,6 +104,10 @@ val finish : t -> unit
 
 (** {1 Reading segments back} *)
 
+val magic : string
+(** The 8-byte segment header ["BFRC0001"] — lets tools sniff whether a
+    file is a flight recording before committing to a full parse. *)
+
 type segment
 
 type read_lane

@@ -332,6 +332,110 @@ let validate_bench_telemetry j =
         | errors -> Error (String.concat "; " errors))
   | _ -> Error "bench-telemetry report is not a JSON object"
 
+(* BENCH_burst.json: the burstiness-observability benchmark. Three
+   claims travel in one file and are re-checked here from the file's
+   own committed budgets: (1) the streaming aggregator's allocation
+   cost per event stays under its budget, (2) the streaming c.o.v. at
+   the paper's RTT timescale matches the offline estimator within
+   tolerance, and (3) the oscillation detector fires on the unstable
+   side — and only the unstable side — of a RED w_q sweep bracketing
+   the linearized (Hollot-style) stability condition. *)
+
+let burst_required_fields =
+  [
+    "scenario";
+    "clients";
+    "reps";
+    "events";
+    "probed_run_s";
+    "burst_run_s";
+    "burst_overhead_pct";
+    "burst_minor_words_per_event_delta";
+    "burst_words_budget";
+    "cov_offline";
+    "cov_streaming";
+    "cov_abs_err";
+    "cov_tolerance";
+    "red_sweep";
+  ]
+
+let burst_row_required_fields =
+  [ "w_q"; "side"; "rel_amplitude"; "frequency_hz"; "crossings"; "oscillating" ]
+
+let validate_burst_row row =
+  match row with
+  | Json.Obj _ -> (
+      let label =
+        match Option.bind (Json.member "w_q" row) Json.to_float with
+        | Some w -> Printf.sprintf "w_q=%g" w
+        | None -> "<unnamed row>"
+      in
+      let missing =
+        List.filter (fun f -> Json.member f row = None) burst_row_required_fields
+      in
+      if missing <> [] then
+        [ label ^ ": missing fields: " ^ String.concat ", " missing ]
+      else
+        match (Json.member "side" row, Json.member "oscillating" row) with
+        | Some (Json.String side), Some (Json.Bool osc) ->
+            if side <> "stable" && side <> "unstable" then
+              [ Printf.sprintf "%s: side %S is not stable|unstable" label side ]
+            else if osc <> (side = "unstable") then
+              [
+                Printf.sprintf
+                  "%s: detector verdict oscillating=%b contradicts side %S"
+                  label osc side;
+              ]
+            else []
+        | _ -> [ label ^ ": side/oscillating have the wrong types" ])
+  | _ -> [ "red_sweep row is not an object" ]
+
+let validate_burst j =
+  match j with
+  | Json.Obj _ -> (
+      let missing =
+        List.filter (fun f -> Json.member f j = None) burst_required_fields
+      in
+      if missing <> [] then
+        Error ("missing fields: " ^ String.concat ", " missing)
+      else
+        let number f = Option.bind (Json.member f j) Json.to_float in
+        let gate what value budget =
+          match (number value, number budget) with
+          | Some v, Some b when v > b ->
+              [ Printf.sprintf "%s %g exceeds budget %g" what v b ]
+          | Some _, Some _ -> []
+          | _ -> [ Printf.sprintf "%s fields are not numbers" what ]
+        in
+        let errors =
+          gate "burst minor words/event delta"
+            "burst_minor_words_per_event_delta" "burst_words_budget"
+          @ gate "streaming-vs-offline c.o.v. error" "cov_abs_err"
+              "cov_tolerance"
+          @
+          match Json.member "red_sweep" j with
+          | Some (Json.Obj _ as sweep) -> (
+              match Json.member "rows" sweep with
+              | Some (Json.List []) -> [ "red_sweep.rows is empty" ]
+              | Some (Json.List rows) ->
+                  let row_errors = List.concat_map validate_burst_row rows in
+                  let side s row =
+                    Json.member "side" row = Some (Json.String s)
+                  in
+                  (if List.exists (side "stable") rows then []
+                   else [ "red_sweep has no stable row" ])
+                  @ (if List.exists (side "unstable") rows then []
+                     else [ "red_sweep has no unstable row" ])
+                  @ row_errors
+              | _ -> [ "red_sweep.rows is not a list" ])
+          | Some _ -> [ "red_sweep is not an object" ]
+          | None -> []
+        in
+        match errors with
+        | [] -> Ok ()
+        | errors -> Error (String.concat "; " errors))
+  | _ -> Error "burst report is not a JSON object"
+
 let validate j =
   match j with
   | Json.Obj _ ->

@@ -68,3 +68,17 @@ val validate_bench_telemetry : Json.t -> (unit, string) result
 (** Validate a BENCH_telemetry.json overhead report: required fields
     plus the probe/recorder overhead and allocation budgets the file
     carries ([report-check --kind=bench-telemetry]). *)
+
+val burst_required_fields : string list
+val burst_row_required_fields : string list
+
+val validate_burst : Json.t -> (unit, string) result
+(** Validate a BENCH_burst.json burstiness-observability report
+    ([report-check --kind=burst]): required fields, then the three
+    committed claims re-checked from the file's own budgets — the
+    {!Burst} aggregator's [burst_minor_words_per_event_delta] within
+    [burst_words_budget], the streaming-vs-offline c.o.v. gap
+    [cov_abs_err] within [cov_tolerance], and in [red_sweep.rows]
+    (which must include both sides) every row's oscillation-detector
+    verdict agreeing with its declared [side] of the RED stability
+    condition. *)

@@ -208,3 +208,64 @@ report: budgets carried by the file itself are enforced.
   $ ../bin/main.exe report-check --kind=bench-telemetry bt-over.json
   bt-over.json: invalid bench-telemetry report: recorder overhead pct 9.5000 exceeds budget 8
   [1]
+
+The burst subcommand replays a trace offline through the streaming
+multi-timescale aggregator. A binary recording (whose queue-depth words
+also feed the oscillation detector), the NDJSON twin of the same run,
+and NDJSON on stdin all summarize the same arrival process.
+
+  $ ../bin/main.exe burst rec.bin --width 0.5
+  burst: 98 events in 11 bins of 0.5s across 3 timescales
+       scale_s   blocks       mean        cov        idc
+           0.5       11      8.364     1.4617    17.8696
+             1        5     12.400     0.9837    12.0000
+             2        2     15.000     0.8485    10.8000
+    logscale (octave, log2 energy): 1:7.09
+    osc: OSCILLATING (rel amplitude 1.020, 11 crossings, 0.969 Hz over 98 samples, mean 2.90)
+  
+  $ ../bin/main.exe burst live.ndjson --width 0.5 | head -1
+  burst: 98 events in 11 bins of 0.5s across 3 timescales
+  $ cat live.ndjson | ../bin/main.exe burst - --width 0.5 | head -1
+  burst: 98 events in 11 bins of 0.5s across 3 timescales
+  $ ../bin/main.exe burst rec.bin --width 0.5 --json | cut -c1-44
+  {"base_width_s":0.5,"bins":11,"events":98,"s
+  $ ../bin/main.exe burst missing.bin
+  burstsim: cannot read missing.bin: No such file or directory
+  [1]
+
+--burst-out captures the same summaries at run time, embedded in the
+run's metrics JSON.
+
+  $ ../bin/main.exe run --scenario reno -n 2 --duration 6 --burst-out burst-run.json > /dev/null 2> burst-run.err
+  $ tail -1 burst-run.err
+  wrote burst summaries to burst-run.json
+  $ grep -c '"burst":{"base_width_s"' burst-run.json
+  1
+
+--kind=burst validates the burstiness-observability benchmark report:
+the words/event and c.o.v. equivalence budgets carried by the file are
+enforced, and each RED sweep row's detector verdict must match its
+predicted side of the critical averaging gain.
+
+  $ cat > burst-bench.json <<'EOF'
+  > {"scenario":"Reno","clients":50,"reps":3,"events":92322,
+  >  "probed_run_s":0.05,"burst_run_s":0.052,"burst_overhead_pct":4.5,
+  >  "burst_minor_words_per_event_delta":-0.004,"burst_words_budget":0.05,
+  >  "cov_offline":0.241,"cov_streaming":0.241,
+  >  "cov_abs_err":0.0,"cov_tolerance":1e-6,
+  >  "red_sweep":{"rows":[
+  >    {"w_q":0.149,"side":"unstable","rel_amplitude":0.34,
+  >     "frequency_hz":1.9,"crossings":227,"oscillating":true},
+  >    {"w_q":0.000149,"side":"stable","rel_amplitude":0.03,
+  >     "frequency_hz":0.5,"crossings":56,"oscillating":false}]}}
+  > EOF
+  $ ../bin/main.exe report-check --kind=burst burst-bench.json
+  burst report ok
+  $ sed 's/"oscillating":false/"oscillating":true/' burst-bench.json > burst-contradict.json
+  $ ../bin/main.exe report-check --kind=burst burst-contradict.json
+  burst-contradict.json: invalid burst report: w_q=0.000149: detector verdict oscillating=true contradicts side "stable"
+  [1]
+  $ sed 's/"burst_minor_words_per_event_delta":-0.004/"burst_minor_words_per_event_delta":0.2/' burst-bench.json > burst-alloc.json
+  $ ../bin/main.exe report-check --kind=burst burst-alloc.json
+  burst-alloc.json: invalid burst report: burst minor words/event delta 0.2 exceeds budget 0.05
+  [1]

@@ -754,20 +754,110 @@ let selfsim_poisson_udp_short_memory () =
   let cfg = tiny ~clients:10 ~duration:120. ~warmup:10. () in
   let row = Selfsim.measure cfg Selfsim.Poisson_src Scenario.udp in
   Alcotest.(check bool)
-    (Printf.sprintf "H(vt)=%.2f near 0.5" row.Selfsim.hurst_vt)
+    (Printf.sprintf "H(wavelet)=%.2f near 0.5" row.Selfsim.hurst)
     true
-    (row.Selfsim.hurst_vt < 0.7);
-  Alcotest.(check bool) "idc available" true (List.length row.Selfsim.idc > 0)
+    (row.Selfsim.hurst < 0.7);
+  Alcotest.(check bool) "idc available" true (List.length row.Selfsim.idc > 0);
+  List.iter
+    (fun (m, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "idc populated at m=%d" m)
+        true (Option.is_some v))
+    row.Selfsim.idc
 
 let selfsim_pareto_raises_hurst () =
   let cfg = tiny ~clients:10 ~duration:120. ~warmup:10. () in
   let poisson = Selfsim.measure cfg Selfsim.Poisson_src Scenario.udp in
   let pareto = Selfsim.measure cfg Selfsim.Pareto_src Scenario.udp in
   Alcotest.(check bool)
-    (Printf.sprintf "pareto H %.2f > poisson H %.2f" pareto.Selfsim.hurst_vt
-       poisson.Selfsim.hurst_vt)
+    (Printf.sprintf "pareto H %.2f > poisson H %.2f" pareto.Selfsim.hurst
+       poisson.Selfsim.hurst)
     true
-    (pareto.Selfsim.hurst_vt > poisson.Selfsim.hurst_vt)
+    (pareto.Selfsim.hurst > poisson.Selfsim.hurst)
+
+(* Pin the streaming Selfsim estimators against the old offline path:
+   rebuild the same Poisson/UDP run with a stored-array binner next to
+   the streaming aggregators and compare c.o.v. (same adds, same order
+   — tight tolerance), the IDC profile and the Hurst estimates. *)
+let selfsim_streaming_matches_offline () =
+  let module Time = Sim_engine.Time in
+  let module Scheduler = Sim_engine.Scheduler in
+  let cfg = tiny ~clients:10 ~duration:120. ~warmup:10. () in
+  let net = Dumbbell.create cfg Scenario.udp in
+  let sched = Dumbbell.scheduler net in
+  let horizon = Time.of_sec cfg.Config.duration_s in
+  let pool = Dumbbell.pool net and bottleneck = Dumbbell.bottleneck net in
+  let binner =
+    Netsim.Monitor.arrival_binner pool bottleneck ~origin:cfg.Config.warmup_s
+      ~width:Selfsim.bin_width
+  in
+  let fine =
+    Telemetry.Burst.create ~levels:Selfsim.fine_levels
+      ~origin:cfg.Config.warmup_s ~width:Selfsim.bin_width ()
+  in
+  let rtt =
+    Telemetry.Burst.create ~levels:1 ~origin:cfg.Config.warmup_s
+      ~width:(Config.rtt_prop_s cfg) ()
+  in
+  Netsim.Monitor.arrival_burst pool bottleneck fine;
+  Netsim.Monitor.arrival_burst pool bottleneck rtt;
+  List.iter
+    (fun i ->
+      let rng =
+        Sim_engine.Rng.split_named (Dumbbell.rng net)
+          (Printf.sprintf "client-%d" i)
+      in
+      ignore
+        (Traffic.Poisson.start sched ~rng
+           ~mean_interarrival:cfg.Config.mean_interarrival_s ~start:Time.zero
+           ~until:horizon ~sink:(Dumbbell.sink net i)))
+    (List.init cfg.Config.clients Fun.id);
+  Scheduler.run ~until:horizon sched;
+  Telemetry.Burst.advance fine ~upto:cfg.Config.duration_s;
+  Telemetry.Burst.advance rtt ~upto:cfg.Config.duration_s;
+  let counts = Netstats.Binned.counts binner ~upto:cfg.Config.duration_s in
+  (* The old offline c.o.v.: re-aggregate 10 ms bins to the RTT bin. *)
+  let per_rtt = int_of_float (Config.rtt_prop_s cfg /. Selfsim.bin_width) in
+  let rtt_counts =
+    Array.init
+      (Array.length counts / per_rtt)
+      (fun i ->
+        let s = ref 0. in
+        for j = 0 to per_rtt - 1 do
+          s := !s +. counts.((i * per_rtt) + j)
+        done;
+        !s)
+  in
+  let offline_cov = (Netstats.Summary.of_array rtt_counts).Netstats.Summary.cov in
+  let streaming_cov = Option.get (Telemetry.Burst.cov rtt 0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "cov streaming %.9f vs offline %.9f" streaming_cov
+       offline_cov)
+    true
+    (abs_float (streaming_cov -. offline_cov) <= 1e-9);
+  (* IDC per dyadic scale vs the offline profile on the stored array
+     (pairwise vs sequential summation: float tolerance, not exact). *)
+  List.iter
+    (fun j ->
+      let m = 1 lsl j in
+      match (Netstats.Dispersion.idc_profile counts [ m ],
+             Telemetry.Burst.idc fine j) with
+      | [ (_, Some offline) ], Some streaming ->
+          Alcotest.(check bool)
+            (Printf.sprintf "idc m=%d streaming %.6f vs offline %.6f" m
+               streaming offline)
+            true
+            (abs_float (streaming -. offline) <= 1e-6 *. (1. +. abs_float offline))
+      | _ -> Alcotest.fail (Printf.sprintf "idc missing at m=%d" m))
+    [ 0; 4; 7; 10 ];
+  (* Both Hurst estimators read short memory on Poisson/UDP. *)
+  let h_offline = Netstats.Hurst.estimate_variance_time counts in
+  let h_streaming = Option.get (Telemetry.Burst.hurst_wavelet fine) in
+  Alcotest.(check bool)
+    (Printf.sprintf "H wavelet %.2f and var-time %.2f both near 0.5"
+       h_streaming h_offline)
+    true
+    (abs_float (h_streaming -. 0.5) < 0.2 && abs_float (h_offline -. 0.5) < 0.2)
 
 let suite =
   [
@@ -884,5 +974,7 @@ let suite =
       [
         Alcotest.test_case "poisson/udp short memory" `Slow selfsim_poisson_udp_short_memory;
         Alcotest.test_case "pareto raises hurst" `Slow selfsim_pareto_raises_hurst;
+        Alcotest.test_case "streaming matches offline path" `Slow
+          selfsim_streaming_matches_offline;
       ] );
   ]

@@ -503,7 +503,17 @@ let idc_deterministic_below_one () =
 let idc_profile_skips_bad () =
   let counts = Array.make 8 1. in
   let profile = Dispersion.idc_profile counts [ 1; 2; 100 ] in
-  Alcotest.(check int) "skips oversize blocks" 2 (List.length profile)
+  (* One row per requested size: unsupported scales surface as [None]
+     instead of silently disappearing from the profile. *)
+  Alcotest.(check int) "one row per requested size" 3 (List.length profile);
+  (match profile with
+  | [ (1, Some a); (2, Some b); (100, None) ] ->
+      check_float "idc(1) computed" 0. a;
+      check_float "idc(2) computed" 0. b
+  | _ -> Alcotest.fail "unexpected profile shape");
+  let zero = Dispersion.idc_profile (Array.make 8 0.) [ 1; 2 ] in
+  Alcotest.(check bool) "zero-mean scales are None" true
+    (List.for_all (fun (_, v) -> v = None) zero)
 
 let binned_total_property =
   QCheck.Test.make ~name:"binned total = sum of all bins" ~count:200
@@ -620,6 +630,7 @@ let suite =
       [
         Alcotest.test_case "poisson idc ~ 1" `Quick idc_poisson_near_one;
         Alcotest.test_case "deterministic idc 0" `Quick idc_deterministic_below_one;
-        Alcotest.test_case "profile skips bad sizes" `Quick idc_profile_skips_bad;
+        Alcotest.test_case "profile keeps bad sizes as None" `Quick
+          idc_profile_skips_bad;
       ] );
   ]

@@ -1055,6 +1055,289 @@ let report_validate_bench_telemetry_rejects () =
   expect_error "a silent recorder" (bench_tel_doc ~records:0 ())
     "recorder_records is zero"
 
+(* ------------------------------------------------------------------ *)
+(* Burst: the streaming multi-timescale aggregator *)
+
+(* Deterministic pseudo-random bytes (a 48-bit LCG, high bits): tests
+   must not depend on the global [Random] state. *)
+let lcg seed =
+  let s = ref seed in
+  fun () ->
+    s := ((!s * 0x5DEECE66D) + 0xB) land 0xFFFF_FFFF_FFFF;
+    !s lsr 40
+
+let burst_matches_binned () =
+  let next = lcg 42 in
+  let times =
+    Array.init 4000 (fun _ ->
+        1. +. (float_of_int ((next () * 256) + next ()) *. (100. /. 65536.)))
+  in
+  Array.sort compare times;
+  let origin = 1. and width = 0.25 and upto = 101. in
+  let binned = Netstats.Binned.create ~origin ~width () in
+  let burst = Burst.create ~levels:8 ~origin ~width () in
+  Array.iter
+    (fun at ->
+      Netstats.Binned.record binned at;
+      Burst.observe burst at)
+    times;
+  Burst.advance burst ~upto;
+  let counts = Netstats.Binned.counts binned ~upto in
+  Alcotest.(check int) "same closed bins" (Array.length counts)
+    (Burst.bins burst);
+  Alcotest.(check int) "all events counted"
+    (int_of_float (Array.fold_left ( +. ) 0. counts))
+    (Burst.total burst);
+  let s = Netstats.Summary.of_array counts in
+  check_float "level-0 mean" s.Netstats.Summary.mean (Burst.scale_mean burst 0);
+  check_float "level-0 cov" s.Netstats.Summary.cov
+    (Option.get (Burst.cov burst 0))
+
+(* The streaming per-scale moments against the offline estimators on
+   the same (integer-valued, so float-exact) count array. *)
+let burst_matches_offline_per_scale =
+  QCheck.Test.make ~name:"streaming cov/idc match offline per scale" ~count:300
+    QCheck.(list_of_size Gen.(int_range 2 200) (int_bound 20))
+    (fun counts ->
+      let xs = Array.of_list (List.map float_of_int counts) in
+      let b = Burst.create ~levels:6 ~origin:0. ~width:1. () in
+      Array.iter (Burst.push b) xs;
+      let ok = ref true in
+      for j = 0 to Burst.levels b - 1 do
+        let m = 1 lsl j in
+        let nblocks = Array.length xs / m in
+        if nblocks >= 2 then begin
+          let blocks =
+            Array.init nblocks (fun i ->
+                let s = ref 0. in
+                for k = 0 to m - 1 do
+                  s := !s +. xs.((i * m) + k)
+                done;
+                !s)
+          in
+          let s = Netstats.Summary.of_array blocks in
+          (match Burst.cov b j with
+          | Some c ->
+              if abs_float (c -. s.Netstats.Summary.cov) > 1e-9 then ok := false
+          | None -> if s.Netstats.Summary.mean > 0. then ok := false);
+          match
+            ( Burst.idc b j,
+              try Some (Netstats.Dispersion.idc xs m)
+              with Invalid_argument _ -> None )
+          with
+          | Some a, Some o -> if abs_float (a -. o) > 1e-9 then ok := false
+          | None, None -> ()
+          | _ -> ok := false
+        end
+      done;
+      !ok)
+
+let burst_haar_energy_direct () =
+  let xs = [| 3.; 1.; 4.; 1.; 5.; 9.; 2.; 6. |] in
+  let b = Burst.create ~levels:4 ~origin:0. ~width:1. () in
+  Array.iter (Burst.push b) xs;
+  (* Octave 1 pairs base bins: details (3-1, 4-1, 5-9, 2-6), energy is
+     the mean square over the L2 normalization 2^1. *)
+  let e1 = ((2. *. 2.) +. (3. *. 3.) +. (4. *. 4.) +. (4. *. 4.)) /. 4. /. 2. in
+  Alcotest.(check int) "octave-1 details" 4 (Burst.haar_count b 1);
+  check_float "octave-1 energy" e1 (Option.get (Burst.haar_energy b 1));
+  (* Octave 2 pairs the level-1 sums (4, 5) and (14, 8), over 2^2. *)
+  let e2 = (1. +. 36.) /. 2. /. 4. in
+  Alcotest.(check int) "octave-2 details" 2 (Burst.haar_count b 2);
+  check_float "octave-2 energy" e2 (Option.get (Burst.haar_energy b 2));
+  (* Octave 3 pairs the level-2 sums (9, 22): a single detail. *)
+  Alcotest.(check int) "octave-3 details" 1 (Burst.haar_count b 3);
+  check_float "octave-3 energy" (169. /. 8.) (Option.get (Burst.haar_energy b 3))
+
+let burst_white_noise_hurst_half () =
+  let next = lcg 7 in
+  let b = Burst.create ~levels:10 ~origin:0. ~width:1. () in
+  for _ = 1 to 8192 do
+    Burst.push b (float_of_int (next ()))
+  done;
+  match Burst.hurst_wavelet b with
+  | Some h ->
+      Alcotest.(check bool)
+        (Printf.sprintf "H %.2f near 0.5" h)
+        true
+        (abs_float (h -. 0.5) < 0.2)
+  | None -> Alcotest.fail "no hurst estimate"
+
+let burst_observe_tick_matches_observe =
+  QCheck.Test.make ~name:"observe_tick == observe on converted ticks"
+    ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 300) (int_bound 2_000_000_000))
+    (fun ticks ->
+      let ticks = List.sort compare ticks in
+      let a = Burst.create ~levels:5 ~origin:0.1 ~width:0.05 () in
+      let b = Burst.create ~levels:5 ~origin:0.1 ~width:0.05 () in
+      List.iter
+        (fun ns ->
+          Burst.observe_tick a ns;
+          Burst.observe b (float_of_int ns /. 1e9))
+        ticks;
+      Burst.advance a ~upto:2.5;
+      Burst.advance b ~upto:2.5;
+      Burst.total a = Burst.total b
+      && Burst.bins a = Burst.bins b
+      && Burst.cov a 0 = Burst.cov b 0
+      && Burst.idc a 2 = Burst.idc b 2)
+
+let osc_sine_flags_flat_does_not () =
+  let osc = Burst.Osc.create () in
+  for i = 0 to 999 do
+    let t = float_of_int i *. 0.01 in
+    Burst.Osc.sample osc ~t (10. +. (4. *. sin (2. *. Float.pi *. t)))
+  done;
+  Alcotest.(check bool) "sine oscillates" true (Burst.Osc.oscillating osc);
+  let f = Burst.Osc.frequency_hz osc in
+  Alcotest.(check bool)
+    (Printf.sprintf "frequency %.2f near 1 Hz" f)
+    true
+    (f > 0.5 && f < 1.5);
+  Alcotest.(check bool) "amplitude above threshold" true
+    (Burst.Osc.rel_amplitude osc > 0.2);
+  (* Same mean, jitter an order of magnitude under the threshold: the
+     detector must stay quiet. *)
+  let flat = Burst.Osc.create () in
+  let next = lcg 99 in
+  for i = 0 to 999 do
+    let jitter = float_of_int (next ()) /. 2560. in
+    Burst.Osc.sample flat ~t:(float_of_int i *. 0.01) (10. +. jitter)
+  done;
+  Alcotest.(check bool) "flat plus noise is quiet" false
+    (Burst.Osc.oscillating flat)
+
+let burst_record_kinds_roundtrip () =
+  List.iter
+    (fun k ->
+      let label = Record.kind_label k in
+      Alcotest.(check (option int)) label (Some k) (Record.kind_of_label label);
+      Alcotest.(check bool) (label ^ " is lifecycle") false (Record.is_parity k))
+    [
+      Record.burst_cov;
+      Record.burst_idc;
+      Record.burst_hurst;
+      Record.burst_osc_amp;
+      Record.burst_osc_freq;
+    ]
+
+let burst_record_summary_decodes () =
+  let r = Recorder.create (rcfg ~capacity:64 ()) in
+  let lane = Recorder.lane r 0 in
+  let sid = Recorder.intern r "bottleneck" in
+  let b = Burst.create ~levels:4 ~origin:0. ~width:1. () in
+  Array.iter (Burst.push b) [| 3.; 1.; 4.; 1.; 5.; 9.; 2.; 6. |];
+  let osc = Burst.Osc.create () in
+  for i = 0 to 99 do
+    let t = float_of_int i *. 0.1 in
+    Burst.Osc.sample osc ~t (5. +. (3. *. sin t))
+  done;
+  let s = Burst.summary ~osc b in
+  Burst.record_summary lane ~tick:8_000_000_000 ~sid s;
+  let counts = Hashtbl.create 8 in
+  let cov0 = ref nan in
+  Recorder.iter_lane lane (fun ~seq:_ buf off ->
+      let k = buf.(off + 1) in
+      Hashtbl.replace counts k
+        (1 + (try Hashtbl.find counts k with Not_found -> 0));
+      if k = Record.burst_cov && buf.(off + 3) = 0 then
+        cov0 := Record.float_of_parts ~hi:buf.(off + 4) ~lo:buf.(off + 5));
+  let count k = try Hashtbl.find counts k with Not_found -> 0 in
+  let populated = List.length s.Burst.scales in
+  Alcotest.(check int) "a cov record per populated scale" populated
+    (count Record.burst_cov);
+  Alcotest.(check int) "an idc record per populated scale" populated
+    (count Record.burst_idc);
+  Alcotest.(check int) "hurst record iff estimated"
+    (if s.Burst.s_hurst = None then 0 else 1)
+    (count Record.burst_hurst);
+  Alcotest.(check int) "one osc amplitude record" 1
+    (count Record.burst_osc_amp);
+  Alcotest.(check int) "one osc frequency record" 1
+    (count Record.burst_osc_freq);
+  let expect =
+    match
+      (List.find (fun (row : Burst.scale_row) -> row.Burst.level = 0)
+         s.Burst.scales)
+        .Burst.s_cov
+    with
+    | Some v -> v
+    | None -> nan
+  in
+  check_float "level-0 cov bits round-trip" expect !cov0
+
+let burst_row ?(side = "stable") ?osc ?(w_q = 1e-4) () =
+  let osc = match osc with Some o -> o | None -> side = "unstable" in
+  Json.Obj
+    [
+      ("w_q", Json.Float w_q);
+      ("side", Json.String side);
+      ("rel_amplitude", Json.Float (if osc then 0.34 else 0.03));
+      ("frequency_hz", Json.Float (if osc then 1.9 else 0.5));
+      ("crossings", Json.Int (if osc then 227 else 56));
+      ("oscillating", Json.Bool osc);
+    ]
+
+let burst_doc ?(drop = "") ?(delta = -0.004) ?(cov_err = 0.) ?rows () =
+  let rows =
+    match rows with
+    | Some rows -> rows
+    | None -> [ burst_row ~side:"unstable" ~w_q:0.1 (); burst_row () ]
+  in
+  let fields =
+    [
+      ("scenario", Json.String "Reno");
+      ("clients", Json.Int 50);
+      ("reps", Json.Int 3);
+      ("events", Json.Int 92322);
+      ("probed_run_s", Json.Float 0.05);
+      ("burst_run_s", Json.Float 0.052);
+      ("burst_overhead_pct", Json.Float 4.5);
+      ("burst_minor_words_per_event_delta", Json.Float delta);
+      ("burst_words_budget", Json.Float 0.05);
+      ("cov_offline", Json.Float 0.241);
+      ("cov_streaming", Json.Float 0.241);
+      ("cov_abs_err", Json.Float cov_err);
+      ("cov_tolerance", Json.Float 1e-6);
+      ("red_sweep", Json.Obj [ ("rows", Json.List rows) ]);
+    ]
+  in
+  Json.Obj (List.filter (fun (k, _) -> k <> drop) fields)
+
+let report_validate_burst_accepts () =
+  match Report.validate_burst (burst_doc ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a well-formed burst report: %s" e
+
+let report_validate_burst_rejects () =
+  let expect_error name doc needle =
+    match Report.validate_burst doc with
+    | Ok () -> Alcotest.failf "accepted %s" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error mentions %s (got: %s)" name needle msg)
+          true
+          (Astring_like.contains msg needle)
+  in
+  expect_error "a non-object" (Json.String "nope") "not a JSON object";
+  expect_error "a missing field"
+    (burst_doc ~drop:"cov_abs_err" ())
+    "missing fields: cov_abs_err";
+  expect_error "words delta over budget" (burst_doc ~delta:0.2 ())
+    "exceeds budget";
+  expect_error "streaming cov drift" (burst_doc ~cov_err:1e-3 ())
+    "c.o.v. error";
+  expect_error "verdict contradicting side"
+    (burst_doc
+       ~rows:[ burst_row ~side:"unstable" ~osc:false ~w_q:0.1 (); burst_row () ]
+       ())
+    "contradicts side";
+  expect_error "missing stable row"
+    (burst_doc ~rows:[ burst_row ~side:"unstable" ~w_q:0.1 () ] ())
+    "no stable row";
+  expect_error "empty sweep" (burst_doc ~rows:[] ()) "rows is empty"
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -1109,7 +1392,28 @@ let suite =
           report_validate_bench_telemetry_accepts;
         Alcotest.test_case "bench-telemetry schema rejects" `Quick
           report_validate_bench_telemetry_rejects;
+        Alcotest.test_case "burst schema accepts" `Quick
+          report_validate_burst_accepts;
+        Alcotest.test_case "burst schema rejects" `Quick
+          report_validate_burst_rejects;
       ] );
+    ( "telemetry.burst",
+      [
+        Alcotest.test_case "observe matches Binned" `Quick burst_matches_binned;
+        Alcotest.test_case "haar energies by hand" `Quick
+          burst_haar_energy_direct;
+        Alcotest.test_case "white noise H ~ 0.5" `Quick
+          burst_white_noise_hurst_half;
+        Alcotest.test_case "osc: sine flags, flat does not" `Quick
+          osc_sine_flags_flat_does_not;
+        Alcotest.test_case "record kinds round-trip" `Quick
+          burst_record_kinds_roundtrip;
+        Alcotest.test_case "record_summary decodes" `Quick
+          burst_record_summary_decodes;
+      ]
+      @ qsuite
+          [ burst_matches_offline_per_scale; burst_observe_tick_matches_observe ]
+    );
     ( "telemetry.recorder",
       [
         Alcotest.test_case "ring drops oldest" `Quick recorder_ring_drops_oldest;
