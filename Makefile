@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-alloc bench-flows bench-burst figures fast check clean
+.PHONY: all build test bench bench-alloc bench-flows bench-burst bench-pdes figures fast check clean
 
 all: build
 
@@ -42,6 +42,17 @@ bench-flows:
 bench-burst:
 	dune exec bench/main.exe -- --only burst --fast
 
+# Parallelism gate on its own: the sequential-vs-parallel replicate
+# sweep plus the sharded conservative-PDES single-run section — a
+# 1-shard vs 4-shard bit-identity check (always enforced) and 1/2/4
+# shard wall-clock rows at N = 10^4 Reno/RED, written to
+# BENCH_parallel.json. On machines with >= 4 domains the recorded
+# single-run speedup must reach the committed 3x floor; with fewer the
+# ratio is recorded as null rather than commit oversubscription noise.
+bench-pdes:
+	dune exec bench/main.exe -- --only pdes --fast
+	dune exec bin/main.exe -- report-check --kind=parallel BENCH_parallel.json
+
 # Just the paper's figures, at paper scale.
 figures:
 	dune exec bin/main.exe -- all
@@ -61,7 +72,10 @@ fast:
 # leak and fluid-ratio gates, re-validated from BENCH_flows.json), and
 # the burstiness-observability gates (burst words/event delta, streaming
 # c.o.v. equivalence, RED oscillation-detector sweep, re-validated from
-# BENCH_burst.json).
+# BENCH_burst.json). The parallel sweep runs as `--only pdes`, which
+# also exercises the sharded-PDES single-run section (1-vs-4-shard
+# bit-identity plus shard-count timing rows) and is re-validated from
+# BENCH_parallel.json by report-check --kind=parallel.
 check:
 	dune build @all
 	dune runtest
@@ -72,7 +86,8 @@ check:
 	dune exec bin/main.exe -- report-check /tmp/burstsim-report.json
 	dune exec bench/main.exe -- --fast --only telemetry
 	dune exec bin/main.exe -- report-check --kind=bench-telemetry BENCH_telemetry.json
-	dune exec bench/main.exe -- --fast --only parallel
+	dune exec bench/main.exe -- --fast --only pdes
+	dune exec bin/main.exe -- report-check --kind=parallel BENCH_parallel.json
 	dune exec bench/main.exe -- --fast --only alloc
 	dune exec bin/main.exe -- report-check --kind=alloc BENCH_alloc.json
 	dune exec bench/main.exe -- --fast --only flows

@@ -427,9 +427,36 @@ let run_cmd =
     let doc = "Print the metrics as a JSON document instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run scenario clients duration seed fast json tele =
+  let shards =
+    let doc =
+      "Parallelise this single run over $(docv) domains with the sharded \
+       conservative-PDES engine. Results are bit-identical for every \
+       $(docv) >= 1 with the same seed; 0 (the default) runs the classic \
+       single-domain engine. Composes with --trace-out (shard traces are \
+       merged into one deterministic stream) but not with --record-out."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K" ~doc)
+  in
+  let run scenario clients duration seed fast json shards tele =
+    if shards < 0 then begin
+      Format.eprintf "burstsim: --shards must be >= 0 (got %d)@." shards;
+      exit 1
+    end;
+    if shards > 0 && tele.record_out <> None then begin
+      Format.eprintf
+        "burstsim: --record-out needs the classic single-domain engine and \
+         cannot be combined with --shards; drop --shards, or use --trace-out \
+         (its NDJSON stream is merged deterministically across shard \
+         domains)@.";
+      exit 1
+    end;
     let cfg =
-      Burstcore.Config.with_clients (base_config ~duration ~seed ~fast) clients
+      {
+        (Burstcore.Config.with_clients (base_config ~duration ~seed ~fast)
+           clients)
+        with
+        shards;
+      }
     in
     let m =
       with_telemetry ~label:(Burstcore.Scenario.label scenario)
@@ -460,7 +487,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one scenario and print its metrics.")
     Term.(
-      const run $ scenario $ clients $ duration $ seed $ fast $ json $ tele_term)
+      const run $ scenario $ clients $ duration $ seed $ fast $ json $ shards
+      $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace — packet-level event trace of the bottleneck                  *)
@@ -1017,7 +1045,9 @@ let report_check_cmd =
        $(b,alloc) for the BENCH_alloc.json allocation-budget sweep, \
        $(b,flows) for the BENCH_flows.json flow-scaling sweep, \
        $(b,bench-telemetry) for the BENCH_telemetry.json overhead report, \
-       $(b,burst) for the BENCH_burst.json burstiness-observability report."
+       $(b,burst) for the BENCH_burst.json burstiness-observability report, \
+       $(b,parallel) for the BENCH_parallel.json parallelism report (sweep \
+       fan-out and single-run sharded PDES)."
     in
     Arg.(
       value
@@ -1029,6 +1059,7 @@ let report_check_cmd =
                ("flows", `Flows);
                ("bench-telemetry", `Bench_telemetry);
                ("burst", `Burst);
+               ("parallel", `Parallel);
              ])
           `Telemetry
       & info [ "kind" ] ~docv:"KIND" ~doc)
@@ -1053,6 +1084,7 @@ let report_check_cmd =
       | `Bench_telemetry ->
           (Telemetry.Report.validate_bench_telemetry, "bench-telemetry report")
       | `Burst -> (Telemetry.Report.validate_burst, "burst report")
+      | `Parallel -> (Telemetry.Report.validate_parallel, "parallel report")
     in
     match Result.bind (Burstcore.Json.parse contents) validate with
     | Ok () -> print_endline (what ^ " ok")
@@ -1067,7 +1099,8 @@ let report_check_cmd =
           --kind=alloc the BENCH_alloc.json allocation sweep, with \
           --kind=flows the BENCH_flows.json flow-scaling sweep, with \
           --kind=bench-telemetry the BENCH_telemetry.json overhead report, \
-          or with --kind=burst the BENCH_burst.json burstiness report (all \
+          with --kind=burst the BENCH_burst.json burstiness report, or with \
+          --kind=parallel the BENCH_parallel.json parallelism report (all \
           used by 'make check').")
     Term.(const run $ kind $ file)
 
@@ -1075,7 +1108,7 @@ let report_check_cmd =
 
 let main =
   Cmd.group
-    (Cmd.info "burstsim" ~version:"1.6.0"
+    (Cmd.info "burstsim" ~version:"1.7.0"
        ~doc:
          "Reproduction of 'On the Burstiness of the TCP Congestion-Control \
           Mechanism in a Distributed Computing System' (ICDCS 2000).")

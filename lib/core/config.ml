@@ -21,6 +21,7 @@ type t = {
   pacing : bool;
   start_stagger_s : float;
   client_delay_spread_s : float;
+  shards : int;
   seed : int64;
 }
 
@@ -48,6 +49,7 @@ let default =
     pacing = false;
     start_stagger_s = 0.;
     client_delay_spread_s = 0.;
+    shards = 0;
     seed = 0xB0257151L;
   }
 
@@ -72,7 +74,8 @@ let validate t =
   check "red_max_p" (t.red_max_p > 0. && t.red_max_p <= 1.);
   check "red_w_q" (t.red_w_q > 0. && t.red_w_q <= 1.);
   check "start_stagger_s" (t.start_stagger_s >= 0.);
-  check "client_delay_spread_s" (t.client_delay_spread_s >= 0.)
+  check "client_delay_spread_s" (t.client_delay_spread_s >= 0.);
+  check "shards" (t.shards >= 0)
 
 let rtt_prop_s t = 2. *. (t.client_delay_s +. t.bottleneck_delay_s)
 

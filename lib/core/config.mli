@@ -39,6 +39,12 @@ type t = {
   client_delay_spread_s : float;
       (** client link delays are drawn uniformly from tau_c +/- spread/2;
           0 (the default) gives the paper's homogeneous RTTs *)
+  shards : int;
+      (** 0 (the default) runs the classic single-domain engine;
+          [K >= 1] runs the sharded conservative-PDES engine with the
+          client population partitioned over [K] domains ({!Pdes}).
+          [K = 1] exercises the windowed machinery serially and is
+          bit-identical to any [K > 1] run with the same seed *)
   seed : int64;
 }
 

@@ -26,6 +26,24 @@ val create :
     record a congestion-window trace; tracing costs boxed floats per
     ACK, so it is opt-in. *)
 
+val make_cc :
+  Config.t ->
+  Scenario.cc_kind ->
+  Transport.Cc.variant * Transport.Cc.vegas_params option
+(** The congestion-control variant tag plus its parameters, if any —
+    shared with the sharded {!Pdes} builder. *)
+
+val gateway_queue :
+  ?bus:Telemetry.Event_bus.t ->
+  ?recorder:Telemetry.Recorder.t ->
+  Config.t ->
+  Scenario.t ->
+  Sim_engine.Rng.t ->
+  Netsim.Packet_pool.t ->
+  Netsim.Queue_disc.t
+(** Build the scenario's gateway queue discipline (RED splits
+    ["red-gateway"] off the given master RNG) — shared with {!Pdes}. *)
+
 val scheduler : t -> Sim_engine.Scheduler.t
 
 val rng : t -> Sim_engine.Rng.t

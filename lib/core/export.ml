@@ -22,6 +22,7 @@ let config_to_json (c : Config.t) =
       ("vegas_gamma", Json.Float c.Config.vegas.Transport.Vegas.gamma);
       ("start_stagger_s", Json.Float c.Config.start_stagger_s);
       ("client_delay_spread_s", Json.Float c.Config.client_delay_spread_s);
+      ("shards", Json.Int c.Config.shards);
       ("seed", Json.String (Printf.sprintf "0x%Lx" c.Config.seed));
     ]
 

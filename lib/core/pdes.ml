@@ -1,0 +1,934 @@
+module Time = Sim_engine.Time
+module Scheduler = Sim_engine.Scheduler
+module Rng = Sim_engine.Rng
+module Link = Netsim.Link
+module Units = Netsim.Units
+module Queue_disc = Netsim.Queue_disc
+module Packet_pool = Netsim.Packet_pool
+module Team = Parallel.Pool.Team
+module EB = Telemetry.Event_bus
+
+(* Sharded conservative PDES over the paper's dumbbell.
+
+   The client population is partitioned into K contiguous shards, each
+   owning its clients' access links, transports, timers, packet pool and
+   event queue on its own domain; the bottleneck link, RED gateway and
+   every bottleneck-anchored measurement live in a hub simulated by rank
+   0 (alongside shard 0). All four topology crossings — client data into
+   the gateway, gateway data out to the server-side receivers, ACKs into
+   the reverse bottleneck, delivered ACKs back down the access links —
+   traverse a propagation leg of at least
+
+     W = min(min_i client_delay_i, bottleneck_delay)
+
+   so domains can simulate [W]-wide time windows independently and
+   exchange packets at window boundaries with zero rollback: a packet
+   emitted inside window [w] cannot arrive before window [w] ends. The
+   propagation leg of every boundary link is simulated on the *sending*
+   side ({!Link.set_handoff} computes the arrival time at serialization
+   end), which keeps per-packet timing identical to a single-domain
+   build of the same windowed machinery.
+
+   Determinism: a K-shard run is bit-identical to a 1-shard run of the
+   same seed. Per-flow state only ever meets other flows at the hub, and
+   every batch crossing a domain boundary is sorted by
+   (arrival tick, flow, emission order) before its events are inserted —
+   a total order independent of K. Uids come from per-flow counters
+   ({!Packet_pool.set_uid_source}) so they do not leak cross-flow
+   allocation interleaving, and every RNG stream is split by name from
+   the run seed exactly as the classic engine does. Event-bus traces are
+   buffered per domain and replayed in canonical (time, line) order. *)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-domain packet batches *)
+
+(* One message = [stride] ints: arrival tick, uid, flow, src, dst, size,
+   seq-or-ack word, sent-at tick, raw flags word, SACK block count and
+   up to four (first, last_exclusive) SACK pairs — everything
+   {!Packet_pool.import} needs to rehydrate the packet bit-for-bit. *)
+let stride = 18
+
+let max_sack = 4
+
+let idx_mask = (1 lsl 40) - 1
+
+module Msgs = struct
+  type t = { mutable buf : int array; mutable len : int; mutable total : int }
+
+  let create () = { buf = Array.make (64 * stride) 0; len = 0; total = 0 }
+
+  let count t = t.len / stride
+
+  let clear t = t.len <- 0
+
+  let ensure t extra =
+    if t.len + extra > Array.length t.buf then begin
+      let ncap = ref (2 * Array.length t.buf) in
+      while t.len + extra > !ncap do
+        ncap := 2 * !ncap
+      done;
+      let nbuf = Array.make !ncap 0 in
+      Array.blit t.buf 0 nbuf 0 t.len;
+      t.buf <- nbuf
+    end
+
+  (* Producer side: copy a live packet's fields in and free it — the
+     packet's onward life happens in the destination domain's pool. *)
+  let ship t pool arrival h =
+    ensure t stride;
+    let b = t.len in
+    let buf = t.buf in
+    buf.(b) <- Time.to_ns arrival;
+    buf.(b + 1) <- Packet_pool.uid pool h;
+    buf.(b + 2) <- Packet_pool.flow pool h;
+    buf.(b + 3) <- Packet_pool.src pool h;
+    buf.(b + 4) <- Packet_pool.dst pool h;
+    buf.(b + 5) <- Packet_pool.size_bytes pool h;
+    buf.(b + 6) <- Packet_pool.word pool h;
+    buf.(b + 7) <- Time.to_ns (Packet_pool.sent_at pool h);
+    buf.(b + 8) <- Packet_pool.flags_word pool h;
+    (match Packet_pool.sack pool h with
+    | [] -> buf.(b + 9) <- 0
+    | blocks ->
+        let k = ref 0 in
+        List.iter
+          (fun (first, last) ->
+            if !k < max_sack then begin
+              buf.(b + 10 + (2 * !k)) <- first;
+              buf.(b + 11 + (2 * !k)) <- last;
+              incr k
+            end)
+          blocks;
+        buf.(b + 9) <- !k);
+    t.len <- b + stride;
+    t.total <- t.total + 1;
+    Packet_pool.free pool h
+
+  let blit_from t src idx =
+    ensure t stride;
+    Array.blit src.buf (idx * stride) t.buf t.len stride;
+    t.len <- t.len + stride
+end
+
+(* In-place heapsort of [a.(0 .. n-1)]: allocation-free, and since the
+   comparison below is a total order (no two messages compare equal) the
+   result does not depend on the algorithm's stability. *)
+let sort_prefix a n cmp =
+  let swap i j =
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  in
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let c = if l + 1 < len && cmp a.(l) a.(l + 1) < 0 then l + 1 else l in
+      if cmp a.(i) a.(c) < 0 then begin
+        swap i c;
+        sift c len
+      end
+    end
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift i n
+  done;
+  for len = n - 1 downto 1 do
+    swap 0 len;
+    sift 0 len
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Domain-local topology halves *)
+
+type shard = {
+  lo : int;
+  n_local : int;
+  sched : Scheduler.t;
+  pool : Packet_pool.t;
+  up_links : Link.t array; (* handoff: propagation simulated sender-side *)
+  down_links : Link.t array; (* delay 0: propagation already applied *)
+  sender_group : Transport.Tcp_sender.group;
+  receiver_group : Transport.Tcp_receiver.group;
+  senders : Transport.Tcp_sender.t array;
+  receivers : Transport.Tcp_receiver.t array;
+  out : Msgs.t; (* to the hub; drained by rank 0 between windows *)
+  mutable sources : Traffic.Source.t array;
+  events : EB.event list ref; (* tracing buffer, newest first *)
+}
+
+type hub = {
+  hsched : Scheduler.t;
+  hpool : Packet_pool.t;
+  bottleneck : Link.t; (* handoff *)
+  reverse : Link.t; (* delay 0; deliver routes into [hout] *)
+  gateway : Queue_disc.t;
+  hout : Msgs.t array; (* one ring per destination shard *)
+  hevents : EB.event list ref;
+}
+
+(* A destination's import side: R rotating frozen batches (a message
+   scheduled at the end of window [w] can fire up to [lmax/W] windows
+   later, so batch [w]'s storage must survive until then), a sort
+   scratch array and the preallocated keyed-event callback. *)
+type inbox = {
+  bufs : Msgs.t array;
+  mutable order : int array;
+  srcs : Msgs.t array;
+  cmp : int -> int -> int;
+  isched : Scheduler.t;
+  import : int -> unit;
+}
+
+let make_cmp srcs a b =
+  let oa = (a land idx_mask) * stride and ob = (b land idx_mask) * stride in
+  let ba = srcs.(a lsr 40).Msgs.buf and bb = srcs.(b lsr 40).Msgs.buf in
+  if ba.(oa) <> bb.(ob) then compare ba.(oa) bb.(ob)
+  else if ba.(oa + 2) <> bb.(ob + 2) then compare ba.(oa + 2) bb.(ob + 2)
+  else compare (a land idx_mask) (b land idx_mask)
+
+let read_sack buf o =
+  let n = buf.(o + 9) in
+  let rec build k acc =
+    if k < 0 then acc
+    else build (k - 1) ((buf.(o + 10 + (2 * k)), buf.(o + 11 + (2 * k))) :: acc)
+  in
+  if n = 0 then [] else build (n - 1) []
+
+let import_packet pool buf o =
+  Packet_pool.import pool ~uid:buf.(o + 1) ~flow:buf.(o + 2) ~src:buf.(o + 3)
+    ~dst:buf.(o + 4) ~size_bytes:buf.(o + 5) ~word:buf.(o + 6)
+    ~sent_at:(Time.of_ns buf.(o + 7))
+    ~flags:buf.(o + 8) ~sack:(read_sack buf o)
+
+(* Rank 0, between barriers: sort this window's batch, copy it into the
+   rotation slot and schedule one keyed import event per message. The
+   sorted insertion order fixes the destination queue's tie-break
+   sequence numbers identically for every K. *)
+let merge_window inbox ~window =
+  let total = Array.fold_left (fun acc s -> acc + Msgs.count s) 0 inbox.srcs in
+  if total > 0 then begin
+    if Array.length inbox.order < total then
+      inbox.order <- Array.make (2 * total) 0;
+    let order = inbox.order in
+    let k = ref 0 in
+    Array.iteri
+      (fun ring src ->
+        for idx = 0 to Msgs.count src - 1 do
+          order.(!k) <- (ring lsl 40) lor idx;
+          incr k
+        done)
+      inbox.srcs;
+    sort_prefix order total inbox.cmp;
+    let slot = window mod Array.length inbox.bufs in
+    let buf = inbox.bufs.(slot) in
+    Msgs.clear buf;
+    for i = 0 to total - 1 do
+      let e = order.(i) in
+      let src = inbox.srcs.(e lsr 40) in
+      Msgs.blit_from buf src (e land idx_mask);
+      let arrival = Time.of_ns buf.Msgs.buf.(i * stride) in
+      ignore
+        (Scheduler.at_keyed inbox.isched arrival inbox.import
+           ((slot lsl 40) lor i))
+    done
+  end;
+  Array.iter Msgs.clear inbox.srcs
+
+(* ------------------------------------------------------------------ *)
+(* Window size: the conservative lookahead *)
+
+let min_client_delay_s cfg =
+  if cfg.Config.client_delay_spread_s = 0. then cfg.Config.client_delay_s
+  else
+    Stdlib.max 1e-4
+      (cfg.Config.client_delay_s -. (cfg.Config.client_delay_spread_s /. 2.))
+
+let window_s cfg =
+  Stdlib.min cfg.Config.bottleneck_delay_s (min_client_delay_s cfg)
+
+let max_lag_s cfg =
+  Stdlib.max cfg.Config.bottleneck_delay_s
+    (cfg.Config.client_delay_s +. (cfg.Config.client_delay_spread_s /. 2.))
+
+(* ------------------------------------------------------------------ *)
+
+let lossless_capacity = 1_000_000
+
+let run ?probe ?(trace_clients = []) ?(sample_queue = false)
+    ?(measure_sync = false) cfg scenario =
+  Config.validate cfg;
+  if cfg.Config.shards < 1 then invalid_arg "Pdes.run: shards < 1";
+  let cc, delayed_ack =
+    match scenario.Scenario.transport with
+    | Scenario.Tcp { cc; delayed_ack } -> (cc, delayed_ack)
+    | Scenario.Udp ->
+        invalid_arg "Pdes.run: UDP scenarios need the classic engine (shards = 0)"
+  in
+  let n = cfg.Config.clients in
+  let shards_n = Stdlib.min cfg.Config.shards n in
+  let time name f = Telemetry.Probe.time probe name f in
+  let tracing =
+    match probe with
+    | Some p when EB.has_subscribers p.Telemetry.Probe.bus -> true
+    | Some _ | None -> false
+  in
+  let run_label =
+    Printf.sprintf "%s n=%d shards=%d" (Scenario.label scenario) n shards_n
+  in
+  let horizon = Time.of_sec cfg.Config.duration_s in
+  let wspan = Stdlib.max 1 (Time.to_ns (Time.of_sec (window_s cfg))) in
+  let windows = ((Time.to_ns horizon + wspan) - 1) / wspan in
+  let rotation =
+    2 + int_of_float (Float.ceil (max_lag_s cfg /. window_s cfg))
+  in
+  let lo_of s = s * n / shards_n in
+  let shard_of = Array.make n 0 in
+  for s = 0 to shards_n - 1 do
+    for i = lo_of s to lo_of (s + 1) - 1 do
+      shard_of.(i) <- s
+    done
+  done;
+  (* Per-client propagation delays, drawn in client order from the same
+     named stream as the classic engine — one global pass so the draws
+     are independent of the sharding. *)
+  let delays =
+    let spread = cfg.Config.client_delay_spread_s in
+    if spread = 0. then
+      Array.make n (Time.of_sec cfg.Config.client_delay_s)
+    else begin
+      let delay_rng =
+        Rng.split_named (Rng.create ~seed:cfg.Config.seed) "client-delays"
+      in
+      Array.init n (fun _ ->
+          let jitter = (Rng.float delay_rng -. 0.5) *. spread in
+          Time.of_sec (Stdlib.max 1e-4 (cfg.Config.client_delay_s +. jitter)))
+    end
+  in
+  (* Per-flow uid counters: uids become a pure function of per-flow
+     history, so they cannot leak cross-flow allocation interleaving
+     (which is the one thing that differs between shardings). *)
+  let uid_count = Array.make n 0 in
+  let uid_source flow =
+    let u = ((flow + 1) lsl 32) lor uid_count.(flow) in
+    uid_count.(flow) <- uid_count.(flow) + 1;
+    u
+  in
+  let client_bw = Units.mbps cfg.Config.client_bandwidth_mbps in
+  let bottleneck_bw = Units.mbps cfg.Config.bottleneck_bandwidth_mbps in
+  let bottleneck_delay = Time.of_sec cfg.Config.bottleneck_delay_s in
+  let server_id = 0 in
+  let client_id i = i + 1 in
+  let ( hub,
+        shards,
+        binner,
+        burst_state,
+        per_flow_binners,
+        drop_run_list,
+        delay_stats,
+        delay_p99,
+        queue_series,
+        inboxes ) =
+    time "setup" (fun () ->
+        (* --- hub ------------------------------------------------- *)
+        let hsched =
+          Scheduler.create
+            ~queue_capacity:(64 + (n * ((2 * cfg.Config.adv_window) + 8)))
+            ()
+        in
+        let hpool =
+          Packet_pool.create
+            ~capacity:
+              (64 + cfg.Config.buffer_packets
+              + (n * (cfg.Config.adv_window + 2)))
+            ()
+        in
+        let hbus = if tracing then Some (EB.create ()) else None in
+        let hevents = ref [] in
+        (match hbus with
+        | Some b -> ignore (EB.subscribe b (fun e -> hevents := e :: !hevents))
+        | None -> ());
+        let hrng = Rng.create ~seed:cfg.Config.seed in
+        let gateway =
+          Dumbbell.gateway_queue ?bus:hbus cfg scenario hrng hpool
+        in
+        let hout = Array.init shards_n (fun _ -> Msgs.create ()) in
+        let bottleneck =
+          Link.create hsched ~name:"bottleneck" ~bandwidth:bottleneck_bw
+            ~delay:bottleneck_delay ~queue:gateway ~pool:hpool
+            ~deliver:(fun _ -> assert false)
+        in
+        Link.set_handoff bottleneck (fun arrival h ->
+            let s = shard_of.(Packet_pool.flow hpool h) in
+            Msgs.ship hout.(s) hpool arrival h);
+        (* The reverse bottleneck's propagation was already applied on
+           the shard side (the ACK arrives here [bottleneck_delay] after
+           the receiver emitted it), so this half only serializes; the
+           downstream access-link propagation is applied now, on the
+           sending side of the next crossing. *)
+        let reverse =
+          Link.create hsched ~name:"bottleneck-rev" ~bandwidth:bottleneck_bw
+            ~delay:Time.zero
+            ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+            ~pool:hpool
+            ~deliver:(fun _ -> assert false)
+        in
+        Link.set_handoff reverse (fun arrival h ->
+            let flow = Packet_pool.flow hpool h in
+            Msgs.ship hout.(shard_of.(flow)) hpool
+              (Time.add arrival delays.(flow))
+              h);
+        (match hbus with
+        | Some b -> Link.publish bottleneck b
+        | None -> ());
+        let hub = { hsched; hpool; bottleneck; reverse; gateway; hout; hevents } in
+        (* --- shards ---------------------------------------------- *)
+        let ecn_capable = scenario.Scenario.gateway = Scenario.Red_ecn in
+        let sack = cc = Scenario.Sack in
+        let variant, vegas = Dumbbell.make_cc cfg cc in
+        let shards =
+          Array.init shards_n (fun s ->
+              let lo = lo_of s in
+              let n_local = lo_of (s + 1) - lo in
+              let sched =
+                Scheduler.create
+                  ~queue_capacity:
+                    (64 + (n_local * ((4 * cfg.Config.adv_window) + 8)))
+                  ()
+              in
+              let pool =
+                Packet_pool.create
+                  ~capacity:(64 + (n_local * ((2 * cfg.Config.adv_window) + 4)))
+                  ()
+              in
+              Packet_pool.set_uid_source pool (Some uid_source);
+              let bus = if tracing then Some (EB.create ()) else None in
+              let events = ref [] in
+              (match bus with
+              | Some b ->
+                  ignore (EB.subscribe b (fun e -> events := e :: !events))
+              | None -> ());
+              let out = Msgs.create () in
+              let up_links =
+                Array.init n_local (fun j ->
+                    let i = lo + j in
+                    let link =
+                      Link.create sched
+                        ~name:(Printf.sprintf "up-%d" i)
+                        ~bandwidth:client_bw ~delay:delays.(i)
+                        ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+                        ~pool
+                        ~deliver:(fun _ -> assert false)
+                    in
+                    Link.set_handoff link (fun arrival h ->
+                        Msgs.ship out pool arrival h);
+                    link)
+              in
+              let sender_group =
+                Transport.Tcp_sender.create_group ~ecn_capable ~sack
+                  ~cwnd_validation:cfg.Config.cwnd_validation
+                  ~pacing:cfg.Config.pacing ?bus ?vegas ~capacity:n_local sched
+                  ~pool ~cc:variant ~rto_params:cfg.Config.rto
+                  ~mss_bytes:cfg.Config.packet_bytes
+                  ~adv_window:cfg.Config.adv_window
+                  ~transmit:(fun ~flow p -> Link.send up_links.(flow - lo) p)
+              in
+              (* The receiver's ACK leaves the server for the reverse
+                 bottleneck; that crossing's propagation is pre-applied
+                 here so the hub half can serialize with zero delay. *)
+              let receiver_group =
+                Transport.Tcp_receiver.create_group ~sack ~capacity:n_local
+                  sched ~pool ~ack_bytes:cfg.Config.ack_bytes ~delayed_ack
+                  ~adv_window:cfg.Config.adv_window
+                  ~transmit:(fun ~flow:_ p ->
+                    Msgs.ship out pool
+                      (Time.add (Scheduler.now sched) bottleneck_delay)
+                      p)
+              in
+              let senders =
+                Array.init n_local (fun j ->
+                    let i = lo + j in
+                    Transport.Tcp_sender.attach sender_group ~flow:i
+                      ~src:(client_id i) ~dst:server_id
+                      ~trace_cwnd:(List.mem i trace_clients) ())
+              in
+              let receivers =
+                Array.init n_local (fun j ->
+                    let i = lo + j in
+                    Transport.Tcp_receiver.attach receiver_group ~flow:i
+                      ~src:server_id ~dst:(client_id i) ())
+              in
+              let down_links =
+                Array.init n_local (fun j ->
+                    Link.create sched
+                      ~name:(Printf.sprintf "down-%d" (lo + j))
+                      ~bandwidth:client_bw ~delay:Time.zero
+                      ~queue:(Queue_disc.droptail ~capacity:lossless_capacity)
+                      ~pool
+                      ~deliver:(fun h ->
+                        Transport.Tcp_sender.handle_packet senders.(j) h;
+                        Packet_pool.free pool h))
+              in
+              {
+                lo;
+                n_local;
+                sched;
+                pool;
+                up_links;
+                down_links;
+                sender_group;
+                receiver_group;
+                senders;
+                receivers;
+                out;
+                sources = [||];
+                events;
+              })
+        in
+        (* Poisson sources, per-client named streams as in the classic
+           engine; attached after construction like [Run.run]. *)
+        Array.iter
+          (fun sh ->
+            let master = Rng.create ~seed:cfg.Config.seed in
+            sh.sources <-
+              Array.init sh.n_local (fun j ->
+                  let i = sh.lo + j in
+                  let rng =
+                    Rng.split_named master (Printf.sprintf "client-%d" i)
+                  in
+                  let start =
+                    if cfg.Config.start_stagger_s > 0. then
+                      Time.of_sec (Rng.float rng *. cfg.Config.start_stagger_s)
+                    else Time.zero
+                  in
+                  let sender = sh.senders.(j) in
+                  Traffic.Poisson.start sh.sched ~rng
+                    ~mean_interarrival:cfg.Config.mean_interarrival_s ~start
+                    ~until:horizon
+                    ~sink:(fun k -> Transport.Tcp_sender.write sender k)))
+          shards;
+        (* --- bottleneck-anchored measurement (all hub-side) ------- *)
+        let binner =
+          Netsim.Monitor.arrival_binner hpool bottleneck
+            ~origin:cfg.Config.warmup_s ~width:(Config.rtt_prop_s cfg)
+        in
+        let burst_state =
+          match probe with
+          | Some p -> (
+              match Telemetry.Probe.burst_config p with
+              | Some bc ->
+                  let burst =
+                    Telemetry.Burst.create ~levels:bc.Telemetry.Burst.levels
+                      ~origin:cfg.Config.warmup_s
+                      ~width:(Config.rtt_prop_s cfg) ()
+                  in
+                  Netsim.Monitor.arrival_burst hpool bottleneck burst;
+                  let osc =
+                    if bc.Telemetry.Burst.osc_enabled then begin
+                      let osc = Telemetry.Burst.Osc.create () in
+                      let qdisc = Link.queue_disc bottleneck in
+                      let signal =
+                        match Queue_disc.avg_queue qdisc with
+                        | Some _ ->
+                            fun () ->
+                              Option.value ~default:0.
+                                (Queue_disc.avg_queue qdisc)
+                        | None ->
+                            fun () -> float_of_int (Link.queue_length bottleneck)
+                      in
+                      Netsim.Monitor.osc_sampler ~signal hsched bottleneck osc
+                        ~every:(Time.of_ms 20.) ~from:cfg.Config.warmup_s
+                        ~until:horizon;
+                      Some osc
+                    end
+                    else None
+                  in
+                  Some (burst, osc)
+              | None -> None)
+          | None -> None
+        in
+        let per_flow_binners =
+          if measure_sync && n >= 2 then begin
+            let binners =
+              Array.init n (fun _ ->
+                  Netstats.Binned.create ~origin:cfg.Config.warmup_s
+                    ~width:(Config.rtt_prop_s cfg) ())
+            in
+            Link.on_arrival bottleneck (fun now h ->
+                let flow = Packet_pool.flow hpool h in
+                if
+                  Packet_pool.is_data hpool h
+                  && flow >= 0
+                  && flow < Array.length binners
+                then Netstats.Binned.record binners.(flow) (Time.to_sec now));
+            Some binners
+          end
+          else None
+        in
+        let drop_run_list = Netsim.Monitor.drop_run_recorder bottleneck in
+        let delay_stats = Netstats.Welford.create () in
+        let delay_p99 = Netstats.P2_quantile.create ~q:0.99 in
+        let delay_hist =
+          match probe with
+          | Some p ->
+              Some
+                (Telemetry.Registry.histogram p.Telemetry.Probe.registry
+                   ~help:"Bottleneck one-way delay of data packets" ~lo:0.
+                   ~hi:5. ~bins:50 "packet_delay_seconds")
+          | None -> None
+        in
+        Link.on_depart bottleneck (fun now h ->
+            if
+              Packet_pool.is_data hpool h
+              && Time.to_sec now >= cfg.Config.warmup_s
+            then begin
+              let delay =
+                Time.to_sec now -. Time.to_sec (Packet_pool.sent_at hpool h)
+              in
+              Netstats.Welford.add delay_stats delay;
+              Netstats.P2_quantile.add delay_p99 delay;
+              match delay_hist with
+              | Some hist -> Telemetry.Registry.observe hist delay
+              | None -> ()
+            end);
+        let queue_series =
+          if sample_queue then
+            Some
+              (Netsim.Monitor.queue_sampler hsched bottleneck
+                 ~every:(Time.of_ms 10.) ~until:horizon)
+          else None
+        in
+        (* --- inboxes: one import side per destination domain ------ *)
+        let hub_inbox =
+          let srcs = Array.map (fun sh -> sh.out) shards in
+          let bufs = Array.init rotation (fun _ -> Msgs.create ()) in
+          let import key =
+            let buf = bufs.(key lsr 40).Msgs.buf in
+            let o = (key land idx_mask) * stride in
+            let h = import_packet hpool buf o in
+            if Packet_pool.kind hpool h = Packet_pool.Tcp_ack then
+              Link.send reverse h
+            else Link.send bottleneck h
+          in
+          { bufs; order = [||]; srcs; cmp = make_cmp srcs; isched = hsched; import }
+        in
+        let shard_inboxes =
+          Array.mapi
+            (fun s sh ->
+              let srcs = [| hout.(s) |] in
+              let bufs = Array.init rotation (fun _ -> Msgs.create ()) in
+              let import key =
+                let buf = bufs.(key lsr 40).Msgs.buf in
+                let o = (key land idx_mask) * stride in
+                let h = import_packet sh.pool buf o in
+                let j = Packet_pool.flow sh.pool h - sh.lo in
+                if Packet_pool.kind sh.pool h = Packet_pool.Tcp_ack then
+                  Link.send sh.down_links.(j) h
+                else begin
+                  Transport.Tcp_receiver.handle_packet sh.receivers.(j) h;
+                  Packet_pool.free sh.pool h
+                end
+              in
+              {
+                bufs;
+                order = [||];
+                srcs;
+                cmp = make_cmp srcs;
+                isched = sh.sched;
+                import;
+              })
+            shards
+        in
+        ( hub,
+          shards,
+          binner,
+          burst_state,
+          per_flow_binners,
+          drop_run_list,
+          delay_stats,
+          delay_p99,
+          queue_series,
+          (hub_inbox, shard_inboxes) ))
+  in
+  let hub_inbox, shard_inboxes = inboxes in
+  (* Per-rank worker probes: shard phase timers and counters travel back
+     through the same {!Telemetry.Probe.merge} path parallel sweeps use. *)
+  let worker_probes =
+    match probe with
+    | Some p -> Array.init shards_n (fun _ -> Telemetry.Probe.create_like p)
+    | None -> [||]
+  in
+  let gc_by_rank = Array.make shards_n Telemetry.Perf.gc_zero in
+  let run_wall, run_gc =
+    let t0 = Telemetry.Perf.wall_clock_s () in
+    Team.with_team ~domains:shards_n (fun team ->
+        Team.run team (fun rank ->
+            let g0 = Telemetry.Perf.gc_read () in
+            let w0 = Telemetry.Perf.wall_clock_s () in
+            for w = 1 to windows do
+              let upto =
+                if w = windows then horizon else Time.of_ns (w * wspan)
+              in
+              Scheduler.run ~until:upto shards.(rank).sched;
+              if rank = 0 then Scheduler.run ~until:upto hub.hsched;
+              Team.barrier team;
+              if rank = 0 && w < windows then begin
+                merge_window hub_inbox ~window:w;
+                Array.iter (fun ib -> merge_window ib ~window:w) shard_inboxes
+              end;
+              Team.barrier team
+            done;
+            gc_by_rank.(rank) <- Telemetry.Perf.gc_since g0;
+            if Array.length worker_probes > 0 then
+              Telemetry.Perf.add_s
+                worker_probes.(rank).Telemetry.Probe.phases "shard-run"
+                (Telemetry.Perf.wall_clock_s () -. w0)));
+    let dt = Telemetry.Perf.wall_clock_s () -. t0 in
+    let gc =
+      Array.fold_left
+        (fun acc g ->
+          {
+            Telemetry.Perf.minor_words =
+              acc.Telemetry.Perf.minor_words +. g.Telemetry.Perf.minor_words;
+            promoted_words =
+              acc.Telemetry.Perf.promoted_words
+              +. g.Telemetry.Perf.promoted_words;
+            major_collections =
+              acc.Telemetry.Perf.major_collections
+              + g.Telemetry.Perf.major_collections;
+          })
+        Telemetry.Perf.gc_zero gc_by_rank
+    in
+    (match probe with
+    | Some p -> Telemetry.Perf.add_s p.Telemetry.Probe.phases "run" dt
+    | None -> ());
+    (dt, gc)
+  in
+  (* Replay buffered domain traces into the probe bus in canonical
+     (time, serialized line) order — a total order over the run's event
+     multiset that no sharding can perturb. *)
+  (match probe with
+  | Some p when tracing ->
+      time "trace-merge" (fun () ->
+          let all =
+            Array.fold_left
+              (fun acc sh -> List.rev_append !(sh.events) acc)
+              (List.rev !(hub.hevents))
+              shards
+          in
+          let tagged =
+            Array.of_list (List.rev_map (fun e -> (EB.time e, EB.to_ndjson e, e)) all)
+          in
+          Array.sort
+            (fun (ta, la, _) (tb, lb, _) ->
+              if ta <> tb then compare ta tb else compare la lb)
+            tagged;
+          Array.iter
+            (fun (_, _, e) -> EB.publish p.Telemetry.Probe.bus e)
+            tagged)
+  | Some _ | None -> ());
+  (* Reclaim and leak-check every pool: shard access links, then the hub
+     links. Messages still sitting in cross-domain rings were freed when
+     shipped, so a clean run drains to zero everywhere. *)
+  Array.iter
+    (fun sh ->
+      Array.iter Link.reclaim sh.up_links;
+      Array.iter Link.reclaim sh.down_links)
+    shards;
+  Link.reclaim hub.bottleneck;
+  Link.reclaim hub.reverse;
+  let live =
+    Packet_pool.live hub.hpool
+    + Array.fold_left (fun acc sh -> acc + Packet_pool.live sh.pool) 0 shards
+  in
+  if live <> 0 then
+    failwith (Printf.sprintf "Pdes.run: %d packet(s) leaked from the pools" live);
+  let sender_of i = shards.(shard_of.(i)).senders.(i - shards.(shard_of.(i)).lo) in
+  let receiver_of i =
+    shards.(shard_of.(i)).receivers.(i - shards.(shard_of.(i)).lo)
+  in
+  let metrics =
+    time "collect" (fun () ->
+        let counts = Netstats.Binned.counts binner ~upto:cfg.Config.duration_s in
+        let cov, mean_per_bin =
+          if Array.length counts < 2 then (0., 0.)
+          else begin
+            let summary = Netstats.Summary.of_array counts in
+            (summary.Netstats.Summary.cov, summary.Netstats.Summary.mean)
+          end
+        in
+        let cov_ci95 =
+          if Array.length counts >= 20 then
+            (Netstats.Batch_means.cov_interval counts)
+              .Netstats.Batch_means.half_width_95
+          else 0.
+        in
+        let offered =
+          let acc = ref 0 in
+          Array.iter
+            (fun sh ->
+              Array.iter
+                (fun s -> acc := !acc + s.Traffic.Source.generated ())
+                sh.sources)
+            shards;
+          !acc
+        in
+        let per_client =
+          Array.init n (fun i -> Transport.Tcp_receiver.delivered (receiver_of i))
+        in
+        let stats =
+          let acc = ref (Transport.Tcp_stats.create ()) in
+          for i = 0 to n - 1 do
+            acc :=
+              Transport.Tcp_stats.add !acc
+                (Transport.Tcp_sender.stats (sender_of i))
+          done;
+          !acc
+        in
+        let arrivals = Link.arrivals hub.bottleneck in
+        let drops = Link.drops hub.bottleneck in
+        let loss_pct =
+          if arrivals = 0 then 0.
+          else 100. *. float_of_int drops /. float_of_int arrivals
+        in
+        let sync_index =
+          match per_flow_binners with
+          | None -> None
+          | Some binners ->
+              let rows =
+                Array.map
+                  (fun b -> Netstats.Binned.counts b ~upto:cfg.Config.duration_s)
+                  binners
+              in
+              if Array.length rows.(0) < 2 then None
+              else Some (Netstats.Correlation.mean_pairwise rows)
+        in
+        let cwnd_traces =
+          List.filter_map
+            (fun i ->
+              if i >= 0 && i < n then
+                Some (i, Transport.Tcp_sender.cwnd_trace (sender_of i))
+              else None)
+            trace_clients
+        in
+        let burst_summary =
+          match burst_state with
+          | None -> None
+          | Some (burst, osc) ->
+              Telemetry.Burst.advance burst ~upto:cfg.Config.duration_s;
+              Some (Telemetry.Burst.summary ?osc burst)
+        in
+        let drop_runs = drop_run_list () in
+        let drop_max, drop_sum, drop_count =
+          List.fold_left
+            (fun (mx, sum, k) len -> (Stdlib.max mx len, sum + len, k + 1))
+            (0, 0, 0) drop_runs
+        in
+        let delivered_total = Array.fold_left ( + ) 0 per_client in
+        let ecn_reactions =
+          let acc = ref 0 in
+          for i = 0 to n - 1 do
+            acc := !acc + Transport.Tcp_sender.ecn_reactions (sender_of i)
+          done;
+          !acc
+        in
+        let gateway_marks =
+          match hub.gateway with
+          | Queue_disc.Red red -> Netsim.Red.marks red
+          | Queue_disc.Droptail _ | Queue_disc.Sfq _ -> 0
+        in
+        {
+          Metrics.scenario;
+          clients = n;
+          cov;
+          cov_ci95;
+          analytic_cov = Analytic.poisson_cov cfg;
+          mean_per_bin;
+          offered;
+          delivered = delivered_total;
+          segments_sent = stats.Transport.Tcp_stats.segments_sent;
+          gateway_arrivals = arrivals;
+          gateway_drops = drops;
+          loss_pct;
+          timeouts = stats.Transport.Tcp_stats.timeouts;
+          fast_retransmits = stats.Transport.Tcp_stats.fast_retransmits;
+          retransmits = stats.Transport.Tcp_stats.retransmits;
+          dup_acks = stats.Transport.Tcp_stats.dup_acks;
+          timeout_dupack_ratio = Transport.Tcp_stats.timeout_dupack_ratio stats;
+          per_client_delivered = per_client;
+          jain_fairness = Fairness.jain (Array.map float_of_int per_client);
+          sync_index;
+          ecn_marks = gateway_marks;
+          ecn_reactions;
+          delay_mean_s = Netstats.Welford.mean delay_stats;
+          delay_p99_s =
+            (if Netstats.P2_quantile.count delay_p99 = 0 then 0.
+             else Netstats.P2_quantile.quantile delay_p99);
+          drop_run_max = drop_max;
+          drop_run_mean =
+            (if drop_count = 0 then 0.
+             else float_of_int drop_sum /. float_of_int drop_count);
+          cwnd_traces;
+          queue_series;
+          burst = burst_summary;
+        })
+  in
+  (match (probe, metrics.Metrics.burst) with
+  | Some p, Some s ->
+      Telemetry.Burst.export p.Telemetry.Probe.registry ~run:run_label s
+  | _ -> ());
+  (match probe with
+  | Some p ->
+      (* Shard-side telemetry rides worker probes through the sweep-
+         proven merge path: per-shard boundary-message counters and the
+         shard-run phase timers fold into the main registry here. *)
+      Array.iteri
+        (fun s wp ->
+          let c =
+            Telemetry.Registry.counter wp.Telemetry.Probe.registry
+              ~help:"Packets shipped across PDES shard boundaries"
+              ~labels:[ ("shard", string_of_int s) ]
+              "pdes_boundary_packets_total"
+          in
+          Telemetry.Registry.inc
+            ~by:(shards.(s).out.Msgs.total + hub.hout.(s).Msgs.total)
+            c;
+          Telemetry.Probe.merge ~into:p wp)
+        worker_probes;
+      let events =
+        Scheduler.events_processed hub.hsched
+        + Array.fold_left
+            (fun acc sh -> acc + Scheduler.events_processed sh.sched)
+            0 shards
+      in
+      let eq_hwm =
+        Array.fold_left
+          (fun acc sh -> Stdlib.max acc (Scheduler.queue_high_water_mark sh.sched))
+          (Scheduler.queue_high_water_mark hub.hsched)
+          shards
+      in
+      Telemetry.Probe.note_run p ~label:run_label ~sim_s:cfg.Config.duration_s
+        ~wall_s:run_wall ~events ~event_queue_hwm:eq_hwm
+        ~gateway_queue_hwm:(Queue_disc.high_water_mark hub.gateway)
+        ~arrivals:(Link.arrivals hub.bottleneck)
+        ~drops:(Link.drops hub.bottleneck)
+        ~gc:run_gc ()
+  | None -> ());
+  Array.iter
+    (fun sh ->
+      Array.iter Transport.Tcp_sender.detach sh.senders;
+      Array.iter Transport.Tcp_receiver.detach sh.receivers)
+    shards;
+  let flows_live =
+    Array.fold_left
+      (fun acc sh ->
+        acc
+        + Netsim.Flow_table.live (Transport.Tcp_sender.table sh.sender_group)
+        + Netsim.Flow_table.live
+            (Transport.Tcp_receiver.table sh.receiver_group))
+      0 shards
+  in
+  if flows_live <> 0 then
+    failwith
+      (Printf.sprintf "Pdes.run: %d flow row(s) leaked from the flow tables"
+         flows_live);
+  metrics

@@ -2,7 +2,7 @@ module Time = Sim_engine.Time
 module Scheduler = Sim_engine.Scheduler
 module Rng = Sim_engine.Rng
 
-let run ?probe ?(trace_clients = []) ?(sample_queue = false)
+let run_classic ?probe ?(trace_clients = []) ?(sample_queue = false)
     ?(measure_sync = false) ?(prepare = fun (_ : Dumbbell.t) -> ()) cfg scenario
     =
   let time name f = Telemetry.Probe.time probe name f in
@@ -361,3 +361,22 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
       (Printf.sprintf "Run.run: %d flow row(s) leaked from the flow tables"
          flows_live);
   metrics
+
+(* [cfg.shards] selects the engine: 0 keeps the classic single-domain
+   scheduler (and its pinned trace digests); K >= 1 runs the sharded
+   conservative-PDES engine. [prepare] hooks into the classic topology
+   object, which the sharded engine does not build. *)
+let run ?probe ?trace_clients ?sample_queue ?measure_sync ?prepare cfg scenario
+    =
+  if cfg.Config.shards >= 1 then begin
+    (match prepare with
+    | Some _ ->
+        invalid_arg
+          "Run.run: ?prepare hooks into the classic engine's topology; it is \
+           not supported when cfg.shards >= 1"
+    | None -> ());
+    Pdes.run ?probe ?trace_clients ?sample_queue ?measure_sync cfg scenario
+  end
+  else
+    run_classic ?probe ?trace_clients ?sample_queue ?measure_sync ?prepare cfg
+      scenario

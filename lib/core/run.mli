@@ -21,4 +21,11 @@ val run :
     [measure_sync] (default false) computes {!Metrics.t.sync_index} from
     per-flow gateway arrival counts. [prepare] runs after the topology is
     built but before any traffic flows — attach tracers or extra monitors
-    there. *)
+    there.
+
+    [cfg.shards] selects the engine: 0 (the default) runs the classic
+    single-domain scheduler; [K >= 1] dispatches to the sharded
+    conservative-PDES engine ({!Pdes.run}), which parallelises this one
+    run over [K] domains with K-invariant bit-identical results.
+    [prepare] is rejected with [Invalid_argument] when [cfg.shards >= 1]
+    (there is no single topology object to hook into). *)

@@ -19,6 +19,11 @@ type t = {
      the packet the next delivery event is for. *)
   mutable on_tx_done : unit -> unit;
   mutable on_deliver : unit -> unit;
+  (* PDES shard boundaries: when set, the propagation leg is not
+     simulated here — at serialization end the head packet is handed to
+     the callback with its computed arrival time (now + delay), and the
+     owner of the far end schedules the delivery in its own domain. *)
+  mutable handoff : (Time.t -> Packet_pool.handle -> unit) option;
   (* Listener lists are stored newest-first so registration is O(1);
      [notify] walks them back-to-front to keep registration order. *)
   mutable arrival_listeners : (Time.t -> Packet_pool.handle -> unit) list;
@@ -57,8 +62,22 @@ let rec try_transmit t =
 
 and tx_done t =
   t.busy <- false;
-  ignore (Scheduler.after t.sched t.delay t.on_deliver);
+  (match t.handoff with
+  | None -> ignore (Scheduler.after t.sched t.delay t.on_deliver)
+  | Some f -> handoff_head t f);
   try_transmit t
+
+(* Departure accounting and listeners fire exactly as [deliver_head]
+   would at the far end, stamped with the arrival time, so bottleneck
+   delay statistics are identical whichever side simulates the
+   propagation leg. *)
+and handoff_head t f =
+  let h = Ring.pop_exn t.in_flight in
+  t.departures <- t.departures + 1;
+  t.bytes_delivered <- t.bytes_delivered + Packet_pool.size_bytes t.pool h;
+  let arrival = Time.add (Scheduler.now t.sched) t.delay in
+  notify t.depart_listeners arrival h;
+  f arrival h
 
 and deliver_head t =
   let h = Ring.pop_exn t.in_flight in
@@ -81,6 +100,7 @@ let create sched ~name ~bandwidth ~delay ~queue ~pool ~deliver =
       in_flight = Ring.create ();
       on_tx_done = ignore;
       on_deliver = ignore;
+      handoff = None;
       arrival_listeners = [];
       drop_listeners = [];
       depart_listeners = [];
@@ -112,6 +132,8 @@ let send t h =
       notify t.drop_listeners now victim;
       Packet_pool.free t.pool victim;
       try_transmit t
+
+let set_handoff t f = t.handoff <- Some f
 
 let queue_length t = Queue_disc.length t.queue
 

@@ -28,6 +28,16 @@ val send : t -> Packet_pool.handle -> unit
 (** Offer a packet to the link's queue; may drop (and then free) per the
     discipline. *)
 
+val set_handoff : t -> (Sim_engine.Time.t -> Packet_pool.handle -> unit) -> unit
+(** Turn the link into a PDES shard-boundary half-link: the propagation
+    leg is not simulated here. Instead of scheduling a local delivery,
+    each packet is handed to the callback at serialization end together
+    with its computed arrival time ([now + delay]); the callback takes
+    ownership (typically: copy the fields into a cross-domain ring and
+    free). [deliver] is never invoked. Departure listeners still fire,
+    stamped with the arrival time, exactly as they would at the far
+    end. *)
+
 val queue_length : t -> int
 
 val queue_disc : t -> Queue_disc.t

@@ -52,6 +52,10 @@ type t = {
   mutable free_top : int;
   mutable fresh : int; (* next never-used slot *)
   mutable next_uid : int;
+  mutable uid_source : (int -> int) option;
+      (* [Some f]: uids come from [f flow] instead of [next_uid]. A
+         sharded run makes uids a pure function of per-flow history so
+         they do not depend on cross-flow allocation interleaving. *)
   mutable live : int;
   mutable hwm : int;
 }
@@ -78,9 +82,12 @@ let create ?(capacity = 256) () =
     free_top = 0;
     fresh = 0;
     next_uid = 0;
+    uid_source = None;
     live = 0;
     hwm = 0;
   }
+
+let set_uid_source t f = t.uid_source <- f
 
 (* ------------------------------------------------------------------ *)
 (* Slab bookkeeping *)
@@ -149,8 +156,11 @@ let fill t slot ~flow ~src ~dst ~size_bytes ~sent_at ~word ~flags =
     t.free_top <- t.free_top + 1;
     invalid_arg "Packet_pool: non-positive size"
   end;
-  t.uid.(slot) <- t.next_uid;
-  t.next_uid <- t.next_uid + 1;
+  (match t.uid_source with
+  | None ->
+      t.uid.(slot) <- t.next_uid;
+      t.next_uid <- t.next_uid + 1
+  | Some f -> t.uid.(slot) <- f flow);
   t.flow.(slot) <- flow;
   t.src.(slot) <- src;
   t.dst.(slot) <- dst;
@@ -185,6 +195,30 @@ let alloc_ack t ?(ecn_capable = false) ~flow ~src ~dst ~size_bytes ~sent_at ~ack
 let alloc_udp t ~flow ~src ~dst ~size_bytes ~sent_at ~seq () =
   let slot = alloc_slot t in
   fill t slot ~flow ~src ~dst ~size_bytes ~sent_at ~word:seq ~flags:kind_udp
+
+(* Rehydrate a packet shipped from another pool (a PDES shard boundary):
+   every field, including the uid and the raw flags word, is the
+   sender's, so the packet is indistinguishable from one that stayed in
+   a single pool for its whole life. *)
+let import t ~uid ~flow ~src ~dst ~size_bytes ~sent_at ~word ~flags ~sack =
+  if flags land 3 = 0 then invalid_arg "Packet_pool.import: free-slot flags";
+  let slot = alloc_slot t in
+  if size_bytes <= 0 then begin
+    t.live <- t.live - 1;
+    t.free.(t.free_top) <- slot;
+    t.free_top <- t.free_top + 1;
+    invalid_arg "Packet_pool: non-positive size"
+  end;
+  t.uid.(slot) <- uid;
+  t.flow.(slot) <- flow;
+  t.src.(slot) <- src;
+  t.dst.(slot) <- dst;
+  t.size.(slot) <- size_bytes;
+  t.word.(slot) <- word;
+  t.sent.(slot) <- sent_at;
+  t.flags.(slot) <- flags;
+  if sack <> [] then t.sack.(slot) <- sack;
+  pack slot t.gen.(slot)
 
 let free t h =
   let slot = slot_of t h in
@@ -261,6 +295,10 @@ let seq_opt t h =
 let ece t h = t.flags.(slot_of t h) land f_ece <> 0
 
 let sack t h = t.sack.(slot_of t h)
+
+let flags_word t h = t.flags.(slot_of t h)
+
+let word t h = t.word.(slot_of t h)
 
 (* ------------------------------------------------------------------ *)
 (* Accounting *)

@@ -82,6 +82,32 @@ val alloc_udp :
   unit ->
   handle
 
+val import :
+  t ->
+  uid:int ->
+  flow:int ->
+  src:int ->
+  dst:int ->
+  size_bytes:int ->
+  sent_at:Sim_engine.Time.t ->
+  word:int ->
+  flags:int ->
+  sack:(int * int) list ->
+  handle
+(** Rehydrate a packet shipped from another pool across a PDES shard
+    boundary: [uid], the raw [flags] word (from {!flags_word}) and every
+    other field are taken verbatim, so the imported packet is
+    indistinguishable from one allocated here. @raise Invalid_argument
+    when [flags] has empty kind bits or [size_bytes] is non-positive. *)
+
+val set_uid_source : t -> (int -> int) option -> unit
+(** [set_uid_source t (Some f)] makes allocators stamp packets with
+    [f flow] instead of the pool-global allocation counter. A sharded
+    run installs per-flow counters so uids are a pure function of
+    per-flow history — independent of how allocations from different
+    flows interleave within a shard. [None] (the default) restores the
+    global counter. *)
+
 val free : t -> handle -> unit
 (** Return the slot to the free list and invalidate every outstanding
     handle to it. @raise Invalid_argument if already freed (stale). *)
@@ -130,6 +156,14 @@ val seq_opt : t -> handle -> int option
 
 val ece : t -> handle -> bool
 val sack : t -> handle -> (int * int) list
+
+val flags_word : t -> handle -> int
+(** The raw packed flags word (kind bits + booleans), for shipping a
+    packet across a shard boundary via {!import}. *)
+
+val word : t -> handle -> int
+(** The raw sequence-or-ack word, kind-agnostic — {!seq} and {!ack}
+    without the interpretation. *)
 
 (** {2 Batched field reads}
 

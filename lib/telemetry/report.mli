@@ -62,7 +62,21 @@ val validate_flows : Json.t -> (unit, string) result
     true, and (rows with [fluid_gated] true) the measured/fluid queue
     and throughput ratios inside the header's bands. The events/sec
     floor is wall-clock sensitive and enforced by the bench itself in
-    full mode, not here. *)
+    full mode, not here. Rows with [smoke] true (the N = 10^6 scale
+    probe) are held only to the byte budget and leak-freedom. *)
+
+val parallel_required_fields : string list
+val parallel_single_run_required_fields : string list
+
+val validate_parallel : Json.t -> (unit, string) result
+(** Validate a BENCH_parallel.json parallelism report
+    ([report-check --kind=parallel]): the sequential-vs-parallel sweep
+    comparison fields with [deterministic] true, plus the [single_run]
+    sharded-PDES section — [sharded_deterministic] true, non-empty
+    per-shard-count timing [rows], and a recorded single-run [speedup]
+    no lower than the file's own [min_speedup] floor. A null [speedup]
+    is accepted only when [available_domains] < 4 (the bench skips the
+    ratio rather than commit oversubscription noise). *)
 
 val validate_bench_telemetry : Json.t -> (unit, string) result
 (** Validate a BENCH_telemetry.json overhead report: required fields

@@ -190,6 +190,50 @@ sequential one: lanes merge deterministically by (tick, lane, seq).
   $ test -s dec-j1.ndjson && cmp dec-j1.ndjson dec-j4.ndjson && echo identical
   identical
 
+--shards K parallelises one run across K domains with the sharded
+conservative-PDES engine; the printed metrics and the merged NDJSON
+trace are byte-identical at every shard count.
+
+  $ ../bin/main.exe run --scenario reno-red -n 4 --duration 6 --shards 1 --trace-out shard1.ndjson > shard1.txt 2>&1
+  $ ../bin/main.exe run --scenario reno-red -n 4 --duration 6 --shards 4 --trace-out shard4.ndjson > shard4.txt 2>&1
+  $ cmp shard1.txt shard4.txt && test -s shard1.ndjson && cmp shard1.ndjson shard4.ndjson && echo identical
+  identical
+
+--record-out hooks the classic engine's topology and is rejected under
+--shards (use --trace-out instead); a negative shard count is rejected
+outright.
+
+  $ ../bin/main.exe run --scenario reno -n 2 --duration 6 --shards 2 --record-out nope.bin
+  burstsim: --record-out needs the classic single-domain engine and cannot be combined with --shards; drop --shards, or use --trace-out (its NDJSON stream is merged deterministically across shard domains)
+  [1]
+  $ ../bin/main.exe run --shards=-1
+  burstsim: --shards must be >= 0 (got -1)
+  [1]
+
+--kind=parallel validates BENCH_parallel.json: the sweep and single-run
+determinism flags must both hold, and a null single-run speedup is only
+legal on machines with fewer than 4 domains.
+
+  $ cat > par.json <<'EOF'
+  > {"scenario":"Reno","clients":[10,20],"replicates":4,"duration_s":10.0,
+  >  "domains":1,"sequential_wall_s":2.0,"parallel_wall_s":1.9,"speedup":null,
+  >  "deterministic":true,
+  >  "single_run":{"scenario":"Reno/RED","clients":10000,"duration_s":2.0,
+  >    "window_s":0.05,"available_domains":1,"min_speedup":3.0,
+  >    "rows":[{"shards":1,"wall_s":4.0},{"shards":4,"wall_s":4.4}],
+  >    "speedup":null,"sharded_deterministic":true}}
+  > EOF
+  $ ../bin/main.exe report-check --kind=parallel par.json
+  parallel report ok
+  $ sed 's/"sharded_deterministic":true/"sharded_deterministic":false/' par.json > par-div.json
+  $ ../bin/main.exe report-check --kind=parallel par-div.json
+  par-div.json: invalid parallel report: single_run: sharded_deterministic is false (1-shard and K-shard runs diverged)
+  [1]
+  $ sed 's/"available_domains":1/"available_domains":8/' par.json > par-null.json
+  $ ../bin/main.exe report-check --kind=parallel par-null.json
+  par-null.json: invalid parallel report: single_run: speedup is null despite 8 available domains
+  [1]
+
 --kind=bench-telemetry validates the recorder-overhead benchmark
 report: budgets carried by the file itself are enforced.
 

@@ -312,6 +312,41 @@ let run_trace_digest_pinned_flow_table () =
   Alcotest.(check string) "trace digest" "9fa84ea08a69d641d283c03c86f01029"
     (Digest.to_hex (Digest.string trace))
 
+let run_trace_digest_pinned_sharded () =
+  (* Third trace-equivalence gate, for the sharded conservative-PDES
+     engine: the same Reno/RED + delayed-ACK workload as the flow-table
+     pin, run under [shards >= 1], with the full NDJSON stream pinned at
+     every shard count. The sharded engine intentionally does NOT match
+     the classic pin above (its window barriers order same-tick events
+     by (time, flow) instead of global insertion order), so it carries
+     its own digest — and the same digest must come out of 1, 2 and 4
+     shards, which is the engine's bit-identity promise at the trace
+     level, not just the metrics level. *)
+  let scenario =
+    {
+      Scenario.transport = Scenario.Tcp { cc = Scenario.Reno; delayed_ack = true };
+      gateway = Scenario.Red;
+    }
+  in
+  List.iter
+    (fun shards ->
+      let cfg = { (tiny ~clients:4 ~duration:5. ~warmup:1. ()) with Config.shards } in
+      let probe = Telemetry.Probe.create () in
+      let buf = Buffer.create (1 lsl 15) in
+      ignore
+        (Telemetry.Event_bus.subscribe probe.Telemetry.Probe.bus (fun ev ->
+             Buffer.add_string buf (Telemetry.Event_bus.to_ndjson ev);
+             Buffer.add_char buf '\n'));
+      ignore (Run.run ~probe cfg scenario);
+      let trace = Buffer.contents buf in
+      let label fmt = Printf.sprintf fmt shards in
+      Alcotest.(check int) (label "trace length, %d shard(s)") 30424
+        (String.length trace);
+      Alcotest.(check string)
+        (label "trace digest, %d shard(s)")
+        "09da9bba46244c470fb87f871e2e72bd"
+        (Digest.to_hex (Digest.string trace)))
+    [ 1; 2; 4 ]
 
 let run_recorder_parity_with_live_tracer () =
   (* The flight recorder's parity promise, pinned end to end: run once
@@ -907,6 +942,8 @@ let suite =
         Alcotest.test_case "pinned trace digest" `Quick run_trace_digest_pinned;
         Alcotest.test_case "pinned trace digest (delack+red, flow table)" `Quick
           run_trace_digest_pinned_flow_table;
+        Alcotest.test_case "pinned trace digest (sharded, K-invariant)" `Quick
+          run_trace_digest_pinned_sharded;
         Alcotest.test_case "recorder parity with live tracer" `Quick
           run_recorder_parity_with_live_tracer;
         Alcotest.test_case "pool drained after runs" `Quick run_releases_every_pooled_packet;

@@ -548,6 +548,85 @@ let wheel_cascades_levels () =
   steps_of (Timer_wheel.quantum_ns (Timer_wheel.create ()) / 3);
   steps_of (64 * Timer_wheel.quantum_ns (Timer_wheel.create ()))
 
+let wheel_bounded_advance_straddles_rollover () =
+  (* The sharded PDES engine drains its schedulers in bounded time
+     windows, so the wheel sees a long train of small [advance] calls
+     instead of one event-to-event jump — including advances that stop
+     exactly on, one shy of, and one past a ring-rollover boundary.
+     Items parked just around those boundaries (level-0 ring wraps at
+     64 quanta, level-1 at 64*64) must each flush exactly once, never
+     more than one quantum early and never after deadline + stride. *)
+  let strides w = [ Timer_wheel.quantum_ns w / 2; Timer_wheel.quantum_ns w ] in
+  let run_with stride =
+    let w = Timer_wheel.create ~capacity:16 () in
+    let q = Timer_wheel.quantum_ns w in
+    (* Deadlines bracketing the level-0 ring wrap (64 q) and the
+       level-1 wrap (4096 q), plus one mid-ring control point. *)
+    let deadlines = [ 63 * q; 64 * q; 65 * q; 300 * q; 4095 * q; 4096 * q; 4097 * q ] in
+    let items = List.mapi (fun i d -> (i, d)) deadlines in
+    List.iter
+      (fun (i, d) ->
+        Alcotest.(check bool) "parked" true (Timer_wheel.add w ~item:i ~time_ns:d))
+      items;
+    let flushed_at = Array.make (List.length items) (-1) in
+    let t = ref 0 in
+    let horizon = (4097 * q) + (2 * stride) in
+    while !t <= horizon do
+      let upto = !t in
+      Timer_wheel.advance w ~upto_ns:upto ~flush:(fun i ->
+          Alcotest.(check int)
+            (Printf.sprintf "item %d flushed once (stride %d)" i stride)
+            (-1) flushed_at.(i);
+          flushed_at.(i) <- upto);
+      t := !t + stride
+    done;
+    List.iter
+      (fun (i, d) ->
+        let at = flushed_at.(i) in
+        Alcotest.(check bool)
+          (Printf.sprintf "item %d (deadline %dq) flushed in window (stride %d): %d"
+             i (d / q) stride at)
+          true
+          (at >= 0 && at > d - (2 * q) && at <= d + stride))
+      items;
+    Alcotest.(check int) "wheel drained" 0 (Timer_wheel.count w)
+  in
+  List.iter run_with (strides (Timer_wheel.create ()))
+
+(* The windowed-drain equivalence the PDES engine rests on: running a
+   scheduler to [until] in many bounded windows must fire exactly the
+   events a single monolithic drain fires, in exactly the same order —
+   wheel staging, due-now fast path and FIFO tie-breaks included. *)
+let sched_windowed_matches_monolithic_property =
+  let interpret (window_raw, times) =
+    let window_ns = (1 + window_raw) * 37_000_000 in
+    let horizon_ns = 2_100_000_000 in
+    let fire_order sched_drain =
+      let s = Scheduler.create () in
+      let order = ref [] in
+      List.iteri
+        (fun i t_ns ->
+          ignore (Scheduler.at s (Time.of_ns t_ns) (fun () -> order := i :: !order)))
+        times;
+      sched_drain s;
+      List.rev !order
+    in
+    let monolithic = fire_order (fun s -> Scheduler.run ~until:(Time.of_ns horizon_ns) s) in
+    let windowed =
+      fire_order (fun s ->
+          let t = ref 0 in
+          while !t < horizon_ns do
+            t := min horizon_ns (!t + window_ns);
+            Scheduler.run ~until:(Time.of_ns !t) s
+          done)
+    in
+    monolithic = windowed && List.length monolithic = List.length times
+  in
+  QCheck.Test.make
+    ~name:"windowed scheduler drain == monolithic drain" ~count:100
+    QCheck.(pair (int_bound 40) (small_list (int_bound 2_000_000_000)))
+    interpret
+
 (* ------------------------------------------------------------------ *)
 (* Event queue over the wheel: keyed timers and pre-sizing *)
 
@@ -711,7 +790,10 @@ let suite =
         Alcotest.test_case "rejects near and far times" `Quick wheel_rejects_near_and_far;
         Alcotest.test_case "flushes by deadline" `Quick wheel_flushes_by_deadline;
         Alcotest.test_case "cascades across levels" `Quick wheel_cascades_levels;
-      ] );
+        Alcotest.test_case "bounded advances straddle ring rollover" `Quick
+          wheel_bounded_advance_straddles_rollover;
+      ]
+      @ qsuite [ sched_windowed_matches_monolithic_property ] );
     ( "engine.scheduler",
       [
         Alcotest.test_case "runs and advances clock" `Quick sched_runs_and_advances_clock;

@@ -149,6 +149,134 @@ let parallel_notify_counts_match () =
   in
   Alcotest.(check int) "notify fires once per point" (count 1) (count 4)
 
+(* ------------------------------------------------------------------ *)
+(* Team: the SPMD barrier primitive under the sharded PDES engine *)
+
+let team_create_validates () =
+  Alcotest.(check bool) "domains < 1 raises" true
+    (try
+       ignore (Pool.Team.create ~domains:0);
+       false
+     with Invalid_argument _ -> true);
+  let team = Pool.Team.create ~domains:1 in
+  Alcotest.(check int) "size" 1 (Pool.Team.size team);
+  (* A one-domain team runs the body inline on the caller. *)
+  let ran = ref false in
+  Pool.Team.run team (fun rank ->
+      Alcotest.(check int) "solo rank" 0 rank;
+      ran := true);
+  Alcotest.(check bool) "body ran" true !ran;
+  Pool.Team.shutdown team;
+  Pool.Team.shutdown team (* idempotent *)
+
+let team_lockstep_windows () =
+  (* The PDES shape: every rank must see every other rank's pre-barrier
+     writes after the rendezvous, window after window, on one team. *)
+  Pool.Team.with_team ~domains:4 (fun team ->
+      let windows = 8 in
+      let arrived = Array.init windows (fun _ -> Atomic.make 0) in
+      let ok = Atomic.make true in
+      Pool.Team.run team (fun _rank ->
+          for w = 0 to windows - 1 do
+            Atomic.incr arrived.(w);
+            Pool.Team.barrier team;
+            if Atomic.get arrived.(w) <> 4 then Atomic.set ok false;
+            (* Second barrier keeps a fast rank from racing into the
+               next window's increment before everyone has checked. *)
+            Pool.Team.barrier team
+          done);
+      Alcotest.(check bool) "all 4 ranks seen at every window boundary" true
+        (Atomic.get ok))
+
+let team_runs_every_rank () =
+  Pool.Team.with_team ~domains:3 (fun team ->
+      let seen = Array.make 3 false in
+      Pool.Team.run team (fun rank -> seen.(rank) <- true);
+      Alcotest.(check (list bool))
+        "ranks 0..2 each ran" [ true; true; true ]
+        (Array.to_list seen))
+
+let team_abort_wakes_blocked_ranks () =
+  (* One rank raising mid-window must wake the ranks already parked in
+     the barrier with Aborted (no deadlock), re-raise the original
+     exception in the caller, and leave the team reusable. *)
+  Pool.Team.with_team ~domains:3 (fun team ->
+      let aborted_seen = Atomic.make 0 in
+      let raised =
+        try
+          Pool.Team.run team (fun rank ->
+              if rank = 1 then raise (Boom 41)
+              else begin
+                try
+                  Pool.Team.barrier team;
+                  Pool.Team.barrier team
+                with Pool.Team.Aborted ->
+                  Atomic.incr aborted_seen;
+                  raise Pool.Team.Aborted
+              end);
+          false
+        with Boom 41 -> true
+      in
+      Alcotest.(check bool) "Boom re-raised in caller" true raised;
+      Alcotest.(check int) "both surviving ranks woken with Aborted" 2
+        (Atomic.get aborted_seen);
+      let sum = Atomic.make 0 in
+      Pool.Team.run team (fun rank ->
+          ignore (Atomic.fetch_and_add sum rank);
+          Pool.Team.barrier team);
+      Alcotest.(check int) "team reusable after a failed run" 3
+        (Atomic.get sum))
+
+let team_run_after_shutdown_raises () =
+  let team = Pool.Team.create ~domains:2 in
+  Pool.Team.shutdown team;
+  Alcotest.(check bool) "run after shutdown raises" true
+    (try
+       Pool.Team.run team (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded PDES single-run determinism: the shard count must change
+   nothing but wall time *)
+
+let pdes_cfg shards = { tiny_config with Burstcore.Config.shards }
+
+let single_run_fingerprint shards scenario =
+  metrics_fingerprint [ Burstcore.Run.run (pdes_cfg shards) scenario ]
+
+let pdes_deterministic_across_shards () =
+  List.iter
+    (fun scenario ->
+      let one = single_run_fingerprint 1 scenario in
+      let four = single_run_fingerprint 4 scenario in
+      Alcotest.(check string)
+        ("1-shard vs 4-shard bit-identical: "
+        ^ Burstcore.Scenario.label scenario)
+        one four)
+    [ Burstcore.Scenario.reno; Burstcore.Scenario.reno_red ]
+
+let pdes_shards_exceeding_clients_clamp () =
+  (* More shards than clients must clamp, not crash or diverge. *)
+  Alcotest.(check string) "8 shards over 5 clients == 1 shard"
+    (single_run_fingerprint 1 Burstcore.Scenario.reno)
+    (single_run_fingerprint 8 Burstcore.Scenario.reno)
+
+let pdes_rejects_prepare_and_udp () =
+  Alcotest.(check bool) "?prepare rejected under shards >= 1" true
+    (try
+       ignore
+         (Burstcore.Run.run
+            ~prepare:(fun _ -> ())
+            (pdes_cfg 2) Burstcore.Scenario.reno);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "UDP rejected under shards >= 1" true
+    (try
+       ignore (Burstcore.Run.run (pdes_cfg 2) Burstcore.Scenario.udp);
+       false
+     with Invalid_argument _ -> true)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -175,5 +303,24 @@ let suite =
         Alcotest.test_case "probe totals merge" `Quick
           parallel_probe_totals_match_sequential;
         Alcotest.test_case "notify count" `Quick parallel_notify_counts_match;
+      ] );
+    ( "parallel.team",
+      [
+        Alcotest.test_case "create validates" `Quick team_create_validates;
+        Alcotest.test_case "lockstep windows" `Quick team_lockstep_windows;
+        Alcotest.test_case "runs every rank" `Quick team_runs_every_rank;
+        Alcotest.test_case "abort wakes blocked ranks" `Quick
+          team_abort_wakes_blocked_ranks;
+        Alcotest.test_case "run after shutdown raises" `Quick
+          team_run_after_shutdown_raises;
+      ] );
+    ( "parallel.pdes",
+      [
+        Alcotest.test_case "1 vs 4 shards bit-identical" `Quick
+          pdes_deterministic_across_shards;
+        Alcotest.test_case "shards clamp to clients" `Quick
+          pdes_shards_exceeding_clients_clamp;
+        Alcotest.test_case "rejects prepare and UDP" `Quick
+          pdes_rejects_prepare_and_udp;
       ] );
   ]

@@ -530,9 +530,12 @@ let report_validate_alloc_rejects () =
 
 let flows_row ?(bytes_per_flow = 496) ?(wpe = 6.0) ?(ft_growths = 0)
     ?(q_growths = 0) ?(leak_free = true) ?(fluid_gated = true)
-    ?(throughput_ratio = 1.0) ?(queue_ratio = 0.5) () =
+    ?(throughput_ratio = 1.0) ?(queue_ratio = 0.5) ?(smoke = false) () =
+  (* [smoke] is emitted only when true, like older reports that predate
+     the field: absent must read as false. *)
   Json.Obj
-    [
+    ((if smoke then [ ("smoke", Json.Bool true) ] else [])
+    @ [
       ("flows", Json.Int 1000);
       ("duration_s", Json.Float 10.);
       ("fluid_gated", Json.Bool fluid_gated);
@@ -557,7 +560,7 @@ let flows_row ?(bytes_per_flow = 496) ?(wpe = 6.0) ?(ft_growths = 0)
       ("fluid_throughput_pps", Json.Float 16_000.);
       ("throughput_ratio", Json.Float throughput_ratio);
       ("leak_free", Json.Bool leak_free);
-    ]
+    ])
 
 let flows_doc rows =
   Json.Obj
@@ -643,6 +646,153 @@ let report_validate_flows_rejects () =
                 (Astring_like.contains msg required))
         Report.flows_row_required_fields
   | _ -> Alcotest.fail "flows row is not an object"
+
+let report_validate_flows_smoke_rows () =
+  let expect_error name doc needle =
+    match Report.validate_flows doc with
+    | Ok () -> Alcotest.failf "accepted %s" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error mentions %s (got: %s)" name needle msg)
+          true
+          (Astring_like.contains msg needle)
+  in
+  (* A smoke row (the N = 10^6 scale probe) is far from steady state:
+     only the byte budget and leak-freedom bind; words/event, slab
+     growth and fluid ratios are reported but not gated. *)
+  (match
+     Report.validate_flows
+       (flows_doc
+          [
+            flows_row ~smoke:true ~fluid_gated:false ~wpe:25.0 ~ft_growths:3
+              ~q_growths:5 ~throughput_ratio:0.1 ~queue_ratio:4.0 ();
+          ])
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "gated a smoke row on a non-smoke budget: %s" e);
+  expect_error "fat smoke row"
+    (flows_doc [ flows_row ~smoke:true ~bytes_per_flow:600 () ])
+    "exceeds budget";
+  expect_error "leaking smoke row"
+    (flows_doc [ flows_row ~smoke:true ~leak_free:false () ])
+    "leak_free is false"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel report validation (BENCH_parallel.json) *)
+
+let parallel_single_run ?(available_domains = 4) ?(speedup = Json.Float 3.4)
+    ?(sharded_deterministic = true)
+    ?(rows =
+      [
+        Json.Obj [ ("shards", Json.Int 1); ("wall_s", Json.Float 4.0) ];
+        Json.Obj [ ("shards", Json.Int 4); ("wall_s", Json.Float 1.17) ];
+      ]) () =
+  Json.Obj
+    [
+      ("scenario", Json.String "Reno/RED");
+      ("clients", Json.Int 10_000);
+      ("duration_s", Json.Float 2.0);
+      ("window_s", Json.Float 0.05);
+      ("available_domains", Json.Int available_domains);
+      ("min_speedup", Json.Float 3.0);
+      ("rows", Json.List rows);
+      ("speedup", speedup);
+      ("sharded_deterministic", Json.Bool sharded_deterministic);
+    ]
+
+let parallel_doc ?(deterministic = true)
+    ?(single_run = parallel_single_run ()) () =
+  Json.Obj
+    [
+      ("scenario", Json.String "Reno");
+      ("clients", Json.List [ Json.Int 10; Json.Int 20 ]);
+      ("replicates", Json.Int 4);
+      ("duration_s", Json.Float 10.);
+      ("domains", Json.Int 4);
+      ("sequential_wall_s", Json.Float 2.0);
+      ("parallel_wall_s", Json.Float 0.6);
+      ("speedup", Json.Float 3.3);
+      ("deterministic", Json.Bool deterministic);
+      ("single_run", single_run);
+    ]
+
+let report_validate_parallel_accepts () =
+  (match Report.validate_parallel (parallel_doc ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a well-formed parallel report: %s" e);
+  (* On a small machine the single-run ratio is skipped, not faked:
+     null speedup is legal only below 4 available domains. *)
+  match
+    Report.validate_parallel
+      (parallel_doc
+         ~single_run:
+           (parallel_single_run ~available_domains:1 ~speedup:Json.Null ())
+         ())
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a skipped single-run speedup: %s" e
+
+let report_validate_parallel_rejects () =
+  let expect_error name doc needle =
+    match Report.validate_parallel doc with
+    | Ok () -> Alcotest.failf "accepted %s" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error mentions %s (got: %s)" name needle msg)
+          true
+          (Astring_like.contains msg needle)
+  in
+  expect_error "a non-object" (Json.String "nope") "not a JSON object";
+  expect_error "diverged sweep"
+    (parallel_doc ~deterministic:false ())
+    "deterministic is false";
+  expect_error "diverged sharded run"
+    (parallel_doc ~single_run:(parallel_single_run ~sharded_deterministic:false ()) ())
+    "sharded_deterministic is false";
+  expect_error "slow single run"
+    (parallel_doc ~single_run:(parallel_single_run ~speedup:(Json.Float 2.0) ()) ())
+    "below the committed floor";
+  expect_error "null speedup on a big machine"
+    (parallel_doc
+       ~single_run:(parallel_single_run ~available_domains:8 ~speedup:Json.Null ())
+       ())
+    "speedup is null";
+  expect_error "empty timing rows"
+    (parallel_doc ~single_run:(parallel_single_run ~rows:[] ()) ())
+    "rows is empty";
+  expect_error "row without wall_s"
+    (parallel_doc
+       ~single_run:
+         (parallel_single_run ~rows:[ Json.Obj [ ("shards", Json.Int 1) ] ] ())
+       ())
+    "numeric shards/wall_s";
+  (match parallel_doc () with
+  | Json.Obj fields ->
+      List.iter
+        (fun required ->
+          let mutilated = Json.Obj (List.remove_assoc required fields) in
+          match Report.validate_parallel mutilated with
+          | Ok () -> Alcotest.failf "accepted parallel report without %s" required
+          | Error msg ->
+              Alcotest.(check bool) "error names the field" true
+                (Astring_like.contains msg required))
+        Report.parallel_required_fields
+  | _ -> Alcotest.fail "parallel doc is not an object");
+  match parallel_single_run () with
+  | Json.Obj fields ->
+      List.iter
+        (fun required ->
+          let mutilated = Json.Obj (List.remove_assoc required fields) in
+          match
+            Report.validate_parallel (parallel_doc ~single_run:mutilated ())
+          with
+          | Ok () ->
+              Alcotest.failf "accepted single_run section without %s" required
+          | Error msg ->
+              Alcotest.(check bool) "error names the field" true
+                (Astring_like.contains msg required))
+        Report.parallel_single_run_required_fields
+  | _ -> Alcotest.fail "single_run section is not an object"
 
 (* ------------------------------------------------------------------ *)
 (* Probe + Run integration *)
@@ -1388,6 +1538,12 @@ let suite =
           report_validate_flows_accepts;
         Alcotest.test_case "flows schema rejects" `Quick
           report_validate_flows_rejects;
+        Alcotest.test_case "flows smoke rows gated lightly" `Quick
+          report_validate_flows_smoke_rows;
+        Alcotest.test_case "parallel schema accepts" `Quick
+          report_validate_parallel_accepts;
+        Alcotest.test_case "parallel schema rejects" `Quick
+          report_validate_parallel_rejects;
         Alcotest.test_case "bench-telemetry schema accepts" `Quick
           report_validate_bench_telemetry_accepts;
         Alcotest.test_case "bench-telemetry schema rejects" `Quick
