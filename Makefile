@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-alloc bench-flows bench-burst bench-pdes figures fast check clean
+.PHONY: all build test bench bench-alloc bench-flows bench-burst bench-pdes bench-hybrid figures fast check clean
 
 all: build
 
@@ -53,6 +53,19 @@ bench-pdes:
 	dune exec bench/main.exe -- --only pdes --fast
 	dune exec bin/main.exe -- report-check --kind=parallel BENCH_parallel.json
 
+# Hybrid fluid/packet gate on its own: hybrid-vs-packet validation at
+# N = 10^3 and 10^4 (foreground throughput, combined queue and loss
+# ratios inside the committed bands), the converged N = 10^6 run
+# (K = 100 packet foreground + 999,900 fluid background; leak-free,
+# zero slab growth; the full run also enforces the >= 10x
+# work-per-simulated-second floor against pure packet at equal N), and
+# the RED w_q stability sweep rerun at mean-field scale through the
+# hybrid engine, written to BENCH_hybrid.json. Exits non-zero when any
+# gate fails.
+bench-hybrid:
+	dune exec bench/main.exe -- --only hybrid --fast
+	dune exec bin/main.exe -- report-check --kind=hybrid BENCH_hybrid.json
+
 # Just the paper's figures, at paper scale.
 figures:
 	dune exec bin/main.exe -- all
@@ -75,7 +88,11 @@ fast:
 # BENCH_burst.json). The parallel sweep runs as `--only pdes`, which
 # also exercises the sharded-PDES single-run section (1-vs-4-shard
 # bit-identity plus shard-count timing rows) and is re-validated from
-# BENCH_parallel.json by report-check --kind=parallel.
+# BENCH_parallel.json by report-check --kind=parallel. The hybrid
+# fluid/packet gates (hybrid-vs-packet validation bands, the converged
+# N = 10^6 row, the mean-field RED stability sweep) run as `--only
+# hybrid` and are re-validated from BENCH_hybrid.json by report-check
+# --kind=hybrid.
 check:
 	dune build @all
 	dune runtest
@@ -94,6 +111,8 @@ check:
 	dune exec bin/main.exe -- report-check --kind=flows BENCH_flows.json
 	dune exec bench/main.exe -- --fast --only burst
 	dune exec bin/main.exe -- report-check --kind=burst BENCH_burst.json
+	dune exec bench/main.exe -- --fast --only hybrid
+	dune exec bin/main.exe -- report-check --kind=hybrid BENCH_hybrid.json
 
 clean:
 	dune clean

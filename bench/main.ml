@@ -18,7 +18,7 @@ let args =
     ("--skip-micro", Arg.Set skip_micro, " skip the Bechamel microbenchmarks");
     ( "--only",
       Arg.String (fun s -> only := Some s),
-      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | parallel | pdes | alloc | flows | burst | micro" );
+      " run one section: table1 | figures | cwnd | queue | ablations | selfsim | sync | fluid | parking | twoway | telemetry | parallel | pdes | alloc | flows | burst | hybrid | micro" );
   ]
 
 let section name = Format.fprintf std "@.==== %s ====@.@." name
@@ -1292,6 +1292,492 @@ let run_burst_bench () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Hybrid fluid/packet engine: validation, converged 10^6, stability   *)
+
+(* Three claims, one JSON artifact (BENCH_hybrid.json), re-checked from
+   the file's own tolerance bands by `report-check --kind=hybrid` in
+   `make check`:
+
+   - validity: at N in {10^3, 10^4} total flows on the mean-field
+     regime (the flow-scaling bench's shape), replacing all but K = 50
+     flows with the fluid background population reproduces the pure
+     packet-level run's per-flow foreground throughput, combined
+     bottleneck backlog and gateway loss rate within committed bands —
+     while processing a fraction of the events;
+   - scale: the converged N = 10^6 run (K = 100 packet-level foreground
+     + 999,900 fluid background, a steady-state >= 20-equilibrium-RTT
+     horizon) is leak-free with zero slab growth and does at least
+     [hybrid_work_ratio_min] times less work per simulated second than
+     a pure packet-level run at equal N (measured, full mode only; the
+     --fast row is a smoke probe and records null);
+   - stability: the RED w_q sweep rerun at mean-field scale (N = 10^4,
+     hybrid engine) is classified by the fluid Hopf threshold — the
+     oscillation detector fires on the super-critical side and stays
+     quiet on the sub-critical side, closing the stability-boundary
+     question at a population size the packet engine alone cannot hold
+     at this horizon. *)
+
+let hybrid_foreground = 50
+
+(* The fluid Reno law has no timeouts and no sub-RTT burstiness, so the
+   fluid-dominated side settles at a somewhat higher queue (and its
+   foreground a somewhat higher throughput) than the pure packet run —
+   the same inherent bias the flow-scaling bench gates at ~0.5x queue
+   ratio against the standalone ODE. The observable that matters is
+   that the ratios are N-independent; the bands are set around the
+   measured bias with replicate headroom. *)
+let hybrid_throughput_ratio_min, hybrid_throughput_ratio_max = (0.80, 1.25)
+let hybrid_queue_ratio_min, hybrid_queue_ratio_max = (0.5, 2.0)
+let hybrid_loss_abs_tol = 0.025
+let hybrid_work_ratio_min = 10.
+
+let run_hybrid_bench () =
+  section "Hybrid fluid/packet engine (fluid background population)";
+  let module C = Burstcore.Config in
+  let module Time = Sim_engine.Time in
+  let module Scheduler = Sim_engine.Scheduler in
+  let failed = ref false in
+  let gate cond fmt =
+    Format.ksprintf
+      (fun msg ->
+        if not cond then begin
+          Format.eprintf "hybrid regression: %s@." msg;
+          failed := true
+        end)
+      fmt
+  in
+  (* The flow-scaling bench's mean-field shape: 16 pps/flow, 0.2 s
+     propagation RTT, RED spanning [N, 7N]. *)
+  let flows_cfg n duration_s =
+    let f = float_of_int n in
+    {
+      (C.with_clients C.default n) with
+      C.bottleneck_bandwidth_mbps = 0.192 *. f;
+      client_delay_s = 0.05;
+      bottleneck_delay_s = 0.05;
+      adv_window = 12;
+      buffer_packets = 10 * n;
+      red_min_th = f;
+      red_max_th = 7.0 *. f;
+      red_max_p = 0.05;
+      duration_s;
+      warmup_s = duration_s /. 2.;
+    }
+  in
+  (* Drive [k] packet-level greedy flows over [cfg], attaching the
+     fluid background when [cfg.background >= 1]; measure over the last
+     40 % of the horizon. *)
+  let drive cfg k =
+    let duration_s = cfg.C.duration_s in
+    let measure_from = 0.6 *. duration_s in
+    let net = Burstcore.Dumbbell.create cfg Burstcore.Scenario.reno_red in
+    let sched = Burstcore.Dumbbell.scheduler net in
+    let horizon = Time.of_sec duration_s in
+    let bottleneck = Burstcore.Dumbbell.bottleneck net in
+    let hybrid =
+      if cfg.C.background >= 1 then
+        Some (Burstcore.Hybrid.attach ~sched ~bottleneck cfg)
+      else None
+    in
+    let queue_series =
+      Netsim.Monitor.queue_sampler sched bottleneck ~every:(Time.of_ms 10.)
+        ~until:horizon
+    in
+    for i = 0 to k - 1 do
+      ignore
+        (Traffic.Bulk.start sched ~size:Traffic.Bulk.infinite_backlog_size
+           ~start:(Time.of_sec (0.2 *. float_of_int i /. float_of_int k))
+           ~sink:(Burstcore.Dumbbell.sink net i))
+    done;
+    let delivered_at_mark = ref 0 in
+    let arrivals_at_mark = ref 0 in
+    let drops_at_mark = ref 0 in
+    ignore
+      (Scheduler.at sched (Time.of_sec measure_from) (fun () ->
+           delivered_at_mark := Burstcore.Dumbbell.delivered_total net;
+           arrivals_at_mark := Netsim.Link.arrivals bottleneck;
+           drops_at_mark := Netsim.Link.drops bottleneck));
+    let t0 = Telemetry.Perf.wall_clock_s () in
+    Scheduler.run ~until:horizon sched;
+    let wall = Telemetry.Perf.wall_clock_s () -. t0 in
+    let events = Scheduler.events_processed sched in
+    let window = duration_s -. measure_from in
+    let per_flow_pps =
+      float_of_int
+        (Burstcore.Dumbbell.delivered_total net - !delivered_at_mark)
+      /. window /. float_of_int k
+    in
+    let arr = Netsim.Link.arrivals bottleneck - !arrivals_at_mark in
+    let drops = Netsim.Link.drops bottleneck - !drops_at_mark in
+    let loss_rate =
+      if arr = 0 then 0. else float_of_int drops /. float_of_int arr
+    in
+    let queue_phys =
+      let steady =
+        Netstats.Series.between queue_series measure_from duration_s
+      in
+      List.fold_left (fun acc (_, v) -> acc +. v) 0. steady
+      /. float_of_int (Stdlib.max 1 (List.length steady))
+    in
+    let summary = Option.map Burstcore.Hybrid.summary hybrid in
+    let queue_comb =
+      queue_phys
+      +.
+      match summary with
+      | Some s -> s.Burstcore.Metrics.bg_queue_mean
+      | None -> 0.
+    in
+    let ft_growths = Burstcore.Dumbbell.flow_table_growths net in
+    let q_growths = Scheduler.queue_growths sched in
+    Burstcore.Dumbbell.reclaim net;
+    let pool_live = Netsim.Packet_pool.live (Burstcore.Dumbbell.pool net) in
+    Burstcore.Dumbbell.release_flows net;
+    let flows_live = Burstcore.Dumbbell.flows_live net in
+    ( events,
+      wall,
+      per_flow_pps,
+      loss_rate,
+      queue_comb,
+      pool_live = 0 && flows_live = 0,
+      ft_growths,
+      q_growths,
+      summary )
+  in
+  (* --- validation: hybrid vs pure packet at N in {10^3, 10^4} ------ *)
+  let k_fg = hybrid_foreground in
+  let validation_rows =
+    List.map
+      (fun n ->
+        let duration_s = if !fast then 8.0 else 10.0 in
+        let base = flows_cfg n duration_s in
+        let p_events, p_wall, p_pf, p_loss, p_queue, p_leak, _, _, _ =
+          drive base n
+        in
+        let hcfg = { (C.with_clients base k_fg) with C.background = n - k_fg } in
+        let h_events, h_wall, h_pf, h_loss, h_queue, h_leak, h_ft, h_qg, h_sum
+            =
+          drive hcfg k_fg
+        in
+        let ratio num den = if den > 0. then num /. den else 0. in
+        let thr_ratio = ratio h_pf p_pf in
+        let queue_ratio = ratio h_queue p_queue in
+        let loss_err = Float.abs (h_loss -. p_loss) in
+        let event_ratio = ratio (float_of_int p_events) (float_of_int h_events) in
+        Format.fprintf std "@.N = %d (K = %d foreground, %d fluid)@." n k_fg
+          (n - k_fg);
+        Format.fprintf std
+          "  per-flow throughput   %9.2f pps packet, %8.2f hybrid  (ratio \
+           %.3f)@."
+          p_pf h_pf thr_ratio;
+        Format.fprintf std
+          "  combined queue        %9.0f packet, %12.0f hybrid  (ratio \
+           %.3f)@."
+          p_queue h_queue queue_ratio;
+        Format.fprintf std
+          "  gateway loss rate     %9.4f packet, %12.4f hybrid  (|err| \
+           %.4f)@."
+          p_loss h_loss loss_err;
+        Format.fprintf std
+          "  events                %9d packet, %12d hybrid  (%.0fx less \
+           work)@."
+          p_events h_events event_ratio;
+        Format.fprintf std "  wall                  %9.3f s packet, %10.3f s \
+                            hybrid@."
+          p_wall h_wall;
+        gate
+          (thr_ratio >= hybrid_throughput_ratio_min
+          && thr_ratio <= hybrid_throughput_ratio_max)
+          "N=%d: foreground throughput ratio %.3f outside [%.2f, %.2f]" n
+          thr_ratio hybrid_throughput_ratio_min hybrid_throughput_ratio_max;
+        gate
+          (queue_ratio >= hybrid_queue_ratio_min
+          && queue_ratio <= hybrid_queue_ratio_max)
+          "N=%d: combined queue ratio %.3f outside [%.2f, %.2f]" n queue_ratio
+          hybrid_queue_ratio_min hybrid_queue_ratio_max;
+        gate
+          (loss_err <= hybrid_loss_abs_tol)
+          "N=%d: loss-rate gap %.4f exceeds tolerance %.3f" n loss_err
+          hybrid_loss_abs_tol;
+        gate (event_ratio >= 1.)
+          "N=%d: hybrid did more work than pure packet (%.2fx)" n event_ratio;
+        gate p_leak "N=%d: pure packet run leaked" n;
+        gate h_leak "N=%d: hybrid run leaked" n;
+        gate (h_ft = 0 && h_qg = 0)
+          "N=%d: hybrid slabs grew (%d flow-table, %d event-queue)" n h_ft
+          h_qg;
+        Burstcore.Json.Obj
+          ([
+             ("flows", Burstcore.Json.Int n);
+             ("foreground", Burstcore.Json.Int k_fg);
+             ("background", Burstcore.Json.Int (n - k_fg));
+             ("duration_s", Burstcore.Json.Float duration_s);
+             ("packet_throughput_pps", Burstcore.Json.Float p_pf);
+             ("hybrid_throughput_pps", Burstcore.Json.Float h_pf);
+             ("throughput_ratio", Burstcore.Json.Float thr_ratio);
+             ("packet_queue_mean", Burstcore.Json.Float p_queue);
+             ("hybrid_queue_mean", Burstcore.Json.Float h_queue);
+             ("queue_ratio", Burstcore.Json.Float queue_ratio);
+             ("packet_loss_rate", Burstcore.Json.Float p_loss);
+             ("hybrid_loss_rate", Burstcore.Json.Float h_loss);
+             ("loss_abs_err", Burstcore.Json.Float loss_err);
+             ("packet_events", Burstcore.Json.Int p_events);
+             ("hybrid_events", Burstcore.Json.Int h_events);
+             ("event_ratio", Burstcore.Json.Float event_ratio);
+             ("packet_wall_s", Burstcore.Json.Float p_wall);
+             ("hybrid_wall_s", Burstcore.Json.Float h_wall);
+           ]
+          @
+          match h_sum with
+          | Some s ->
+              [ ("hybrid", Burstcore.Export.hybrid_summary_to_json s) ]
+          | None -> []))
+      [ 1_000; 10_000 ]
+  in
+  (* --- converged N = 10^6 ------------------------------------------ *)
+  let conv_n = 1_000_000 and conv_k = 100 in
+  let conv_duration = if !fast then 4.0 else 10.0 in
+  let conv_cfg =
+    {
+      (C.with_clients (flows_cfg conv_n conv_duration) conv_k) with
+      C.background = conv_n - conv_k;
+    }
+  in
+  let c_events, c_wall, c_pf, c_loss, _c_queue, c_leak, c_ft, c_qg, c_sum =
+    drive conv_cfg conv_k
+  in
+  let c_eps = float_of_int c_events /. Stdlib.max 1e-9 c_wall in
+  let hybrid_work = float_of_int c_events /. conv_duration in
+  Format.fprintf std
+    "@.N = %d converged (K = %d foreground, %d fluid, %.1f s horizon)@."
+    conv_n conv_k (conv_n - conv_k) conv_duration;
+  Format.fprintf std "  events                %12d  (%.0f per simulated s)@."
+    c_events hybrid_work;
+  Format.fprintf std "  wall                  %13.4f s  (%.0f events/s)@."
+    c_wall c_eps;
+  Format.fprintf std "  foreground throughput %12.2f pps/flow, loss %.4f@."
+    c_pf c_loss;
+  (match c_sum with
+  | Some s ->
+      Format.fprintf std
+        "  background            %12.2f window, %.0f virtual queue, \
+         slowdown %.2f@."
+        s.Burstcore.Metrics.bg_window_mean s.Burstcore.Metrics.bg_queue_mean
+        s.Burstcore.Metrics.slowdown_mean
+  | None -> ());
+  gate c_leak "converged N=%d: leaked" conv_n;
+  gate (c_ft = 0 && c_qg = 0)
+    "converged N=%d: slabs grew (%d flow-table, %d event-queue)" conv_n c_ft
+    c_qg;
+  let work_ratio =
+    if !fast then begin
+      Format.fprintf std
+        "  (pure-packet work baseline skipped under --fast; work ratio not \
+         enforced)@.";
+      None
+    end
+    else begin
+      (* Pure packet at equal N: a short scale probe is enough to
+         measure its work per simulated second. *)
+      let probe_s = 0.3 in
+      let p_events, p_wall, _, _, _, _, _, _, _ =
+        drive (flows_cfg conv_n probe_s) conv_n
+      in
+      let packet_work = float_of_int p_events /. probe_s in
+      let r = packet_work /. Stdlib.max 1. hybrid_work in
+      Format.fprintf std
+        "  pure packet at N=%d:  %12d events in %.1f simulated s (%.3f s \
+         wall) -> %.0f events per simulated s@."
+        conv_n p_events probe_s p_wall packet_work;
+      Format.fprintf std "  work ratio            %12.0fx  (floor %.0fx)@." r
+        hybrid_work_ratio_min;
+      gate
+        (r >= hybrid_work_ratio_min)
+        "converged N=%d: %.1fx work reduction is below the committed floor \
+         %.0fx"
+        conv_n r hybrid_work_ratio_min;
+      Some r
+    end
+  in
+  let converged_json =
+    Burstcore.Json.Obj
+      ([
+         ("flows", Burstcore.Json.Int conv_n);
+         ("foreground", Burstcore.Json.Int conv_k);
+         ("background", Burstcore.Json.Int (conv_n - conv_k));
+         ("duration_s", Burstcore.Json.Float conv_duration);
+         ("events", Burstcore.Json.Int c_events);
+         ("wall_s", Burstcore.Json.Float c_wall);
+         ("events_per_sec", Burstcore.Json.Float c_eps);
+         ("events_per_sim_s", Burstcore.Json.Float hybrid_work);
+         ("foreground_throughput_pps", Burstcore.Json.Float c_pf);
+         ("foreground_loss_rate", Burstcore.Json.Float c_loss);
+         ( "bg_window_mean",
+           Burstcore.Json.Float
+             (match c_sum with
+             | Some s -> s.Burstcore.Metrics.bg_window_mean
+             | None -> 0.) );
+         ( "bg_queue_mean",
+           Burstcore.Json.Float
+             (match c_sum with
+             | Some s -> s.Burstcore.Metrics.bg_queue_mean
+             | None -> 0.) );
+         ( "slowdown_mean",
+           Burstcore.Json.Float
+             (match c_sum with
+             | Some s -> s.Burstcore.Metrics.slowdown_mean
+             | None -> 0.) );
+         ("flow_table_growths", Burstcore.Json.Int c_ft);
+         ("queue_growths", Burstcore.Json.Int c_qg);
+         ("leak_free", Burstcore.Json.Bool c_leak);
+         ("smoke", Burstcore.Json.Bool !fast);
+         ( "work_ratio",
+           match work_ratio with
+           | Some r -> Burstcore.Json.Float r
+           | None -> Burstcore.Json.Null );
+       ]
+      @
+      match c_sum with
+      | Some s -> [ ("hybrid", Burstcore.Export.hybrid_summary_to_json s) ]
+      | None -> [])
+  in
+  (* --- RED w_q stability sweep at mean-field scale ------------------ *)
+  (* The burst bench's sweep shape scaled x200 to N = 10^4 total flows:
+     the loop gain L = slope (RC)^3 / (2N)^2 is invariant under
+     (C, thresholds, buffer) proportional to N, so the Hopf threshold
+     survives the scaling while the population becomes far too large to
+     sweep packet-level at this horizon. *)
+  let sweep_n = 10_000 in
+  let sweep_cfg w_q =
+    {
+      (C.with_clients C.default hybrid_foreground) with
+      C.bottleneck_bandwidth_mbps = 1000.;
+      client_delay_s = 0.0375;
+      bottleneck_delay_s = 0.0375;
+      buffer_packets = 10_000;
+      red_min_th = 3000.;
+      red_max_th = 5000.;
+      red_max_p = 0.6;
+      red_w_q = w_q;
+      duration_s = 90.;
+      warmup_s = 30.;
+      background = sweep_n - hybrid_foreground;
+    }
+  in
+  let probe_cfg = sweep_cfg 0.002 in
+  let capacity_pps = Burstcore.Hybrid.capacity_pps probe_cfg in
+  let params =
+    {
+      Fluidmodel.Reno_fluid.flows = sweep_n;
+      capacity_pps;
+      base_rtt_s = C.rtt_prop_s probe_cfg;
+      buffer_packets = float_of_int probe_cfg.C.buffer_packets;
+      red_min_th = probe_cfg.C.red_min_th;
+      red_max_th = probe_cfg.C.red_max_th;
+      red_max_p = probe_cfg.C.red_max_p;
+      avg_gain = 10.;
+    }
+  in
+  let stability = Fluidmodel.Reno_fluid.red_stability params in
+  let wq_critical =
+    match stability.Fluidmodel.Reno_fluid.wq_critical with
+    | Some w -> w
+    | None ->
+        Format.eprintf
+          "hybrid bench misconfigured: loop gain %.3f <= 1, no critical w_q@."
+          stability.Fluidmodel.Reno_fluid.loop_gain;
+        exit 1
+  in
+  Format.fprintf std
+    "@.RED stability at mean-field scale (N=%d, R=%.3f s, C=%.0f pps): loop \
+     gain %.3f, w_q* = %.2e@."
+    sweep_n
+    (C.rtt_prop_s probe_cfg)
+    capacity_pps stability.Fluidmodel.Reno_fluid.loop_gain wq_critical;
+  let osc_row side w_q =
+    let cfg = sweep_cfg w_q in
+    let probe = Telemetry.Probe.create () in
+    Telemetry.Probe.set_burst probe (Some Telemetry.Burst.default_config);
+    let m = Burstcore.Run.run ~probe cfg Burstcore.Scenario.reno_red in
+    let o =
+      match m.Burstcore.Metrics.burst with
+      | Some { Telemetry.Burst.s_osc = Some o; _ } -> o
+      | _ -> failwith "hybrid sweep run produced no oscillation summary"
+    in
+    Format.fprintf std
+      "  w_q %.2e (%8s): rel amplitude %.3f, %d crossings, %.3f Hz, mean \
+       queue %.1f -> %s@."
+      w_q side o.Telemetry.Burst.o_rel_amplitude
+      o.Telemetry.Burst.o_crossings o.Telemetry.Burst.o_frequency_hz
+      o.Telemetry.Burst.o_mean
+      (if o.Telemetry.Burst.o_oscillating then "OSCILLATING" else "quiet");
+    (w_q, side, o)
+  in
+  let sweep_rows =
+    [
+      osc_row "stable" (wq_critical /. 10.);
+      osc_row "unstable" (wq_critical *. 100.);
+    ]
+  in
+  List.iter
+    (fun (w_q, side, o) ->
+      let expected = side = "unstable" in
+      gate
+        (o.Telemetry.Burst.o_oscillating = expected)
+        "oscillation detector missed the %s side at w_q %.2e (rel %.3f, %d \
+         crossings)"
+        side w_q o.Telemetry.Burst.o_rel_amplitude
+        o.Telemetry.Burst.o_crossings)
+    sweep_rows;
+  let sweep_row_json (w_q, side, o) =
+    Burstcore.Json.Obj
+      [
+        ("w_q", Burstcore.Json.Float w_q);
+        ("side", Burstcore.Json.String side);
+        ( "rel_amplitude",
+          Burstcore.Json.Float o.Telemetry.Burst.o_rel_amplitude );
+        ("frequency_hz", Burstcore.Json.Float o.Telemetry.Burst.o_frequency_hz);
+        ("crossings", Burstcore.Json.Int o.Telemetry.Burst.o_crossings);
+        ("mean_queue", Burstcore.Json.Float o.Telemetry.Burst.o_mean);
+        ("oscillating", Burstcore.Json.Bool o.Telemetry.Burst.o_oscillating);
+      ]
+  in
+  let json =
+    Burstcore.Json.Obj
+      [
+        ("scenario", Burstcore.Json.String "reno-red");
+        ("foreground", Burstcore.Json.Int k_fg);
+        ( "throughput_ratio_min",
+          Burstcore.Json.Float hybrid_throughput_ratio_min );
+        ( "throughput_ratio_max",
+          Burstcore.Json.Float hybrid_throughput_ratio_max );
+        ("queue_ratio_min", Burstcore.Json.Float hybrid_queue_ratio_min);
+        ("queue_ratio_max", Burstcore.Json.Float hybrid_queue_ratio_max);
+        ("loss_abs_tol", Burstcore.Json.Float hybrid_loss_abs_tol);
+        ("work_ratio_min", Burstcore.Json.Float hybrid_work_ratio_min);
+        ("validation", Burstcore.Json.List validation_rows);
+        ("converged", converged_json);
+        ( "stability_sweep",
+          Burstcore.Json.Obj
+            [
+              ("flows", Burstcore.Json.Int sweep_n);
+              ("foreground", Burstcore.Json.Int hybrid_foreground);
+              ( "base_rtt_s",
+                Burstcore.Json.Float (C.rtt_prop_s probe_cfg) );
+              ("capacity_pps", Burstcore.Json.Float capacity_pps);
+              ( "loop_gain",
+                Burstcore.Json.Float stability.Fluidmodel.Reno_fluid.loop_gain
+              );
+              ("wq_critical", Burstcore.Json.Float wq_critical);
+              ("rows", Burstcore.Json.List (List.map sweep_row_json sweep_rows));
+            ] );
+      ]
+  in
+  Burstcore.Export.write_file "BENCH_hybrid.json"
+    (Burstcore.Json.to_string json ^ "\n");
+  Format.fprintf std "@.wrote BENCH_hybrid.json@.";
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the simulator primitives                *)
 
 module Micro = struct
@@ -1432,5 +1918,6 @@ let () =
   if wants "alloc" then run_alloc_bench ();
   if wants "flows" then run_flows_bench ();
   if wants "burst" then run_burst_bench ();
+  if wants "hybrid" then run_hybrid_bench ();
   if (not !skip_micro) && wants "micro" then run_micro ();
   Format.pp_print_flush std ()

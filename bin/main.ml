@@ -437,7 +437,28 @@ let run_cmd =
     in
     Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K" ~doc)
   in
-  let run scenario clients duration seed fast json shards tele =
+  let background =
+    let doc =
+      "Add $(docv) background Reno flows to the bottleneck via the hybrid \
+       fluid/packet engine: they are simulated as one mean-field ODE \
+       coupled to the packet-level queue each quantum, so a million \
+       background users cost O(1) work per simulated second. 0 (the \
+       default) disables the coupling. Composes with --shards, \
+       --trace-out and --burst-out."
+    in
+    Arg.(value & opt int 0 & info [ "background" ] ~docv:"M" ~doc)
+  in
+  let foreground =
+    let doc =
+      "Alias for --clients, named for hybrid runs: the number of \
+       packet-level foreground flows alongside --background fluid flows. \
+       Overrides --clients when both are given."
+    in
+    Arg.(value & opt (some int) None & info [ "foreground" ] ~docv:"K" ~doc)
+  in
+  let run scenario clients duration seed fast json shards background foreground
+      tele =
+    let clients = Option.value ~default:clients foreground in
     if shards < 0 then begin
       Format.eprintf "burstsim: --shards must be >= 0 (got %d)@." shards;
       exit 1
@@ -450,12 +471,18 @@ let run_cmd =
          domains)@.";
       exit 1
     end;
+    if background < 0 then begin
+      Format.eprintf "burstsim: --background must be >= 0 (got %d)@."
+        background;
+      exit 1
+    end;
     let cfg =
       {
         (Burstcore.Config.with_clients (base_config ~duration ~seed ~fast)
            clients)
         with
         shards;
+        background;
       }
     in
     let m =
@@ -488,7 +515,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one scenario and print its metrics.")
     Term.(
       const run $ scenario $ clients $ duration $ seed $ fast $ json $ shards
-      $ tele_term)
+      $ background $ foreground $ tele_term)
 
 (* ------------------------------------------------------------------ *)
 (* trace — packet-level event trace of the bottleneck                  *)
@@ -1047,7 +1074,8 @@ let report_check_cmd =
        $(b,bench-telemetry) for the BENCH_telemetry.json overhead report, \
        $(b,burst) for the BENCH_burst.json burstiness-observability report, \
        $(b,parallel) for the BENCH_parallel.json parallelism report (sweep \
-       fan-out and single-run sharded PDES)."
+       fan-out and single-run sharded PDES), \
+       $(b,hybrid) for the BENCH_hybrid.json hybrid fluid/packet report."
     in
     Arg.(
       value
@@ -1060,6 +1088,7 @@ let report_check_cmd =
                ("bench-telemetry", `Bench_telemetry);
                ("burst", `Burst);
                ("parallel", `Parallel);
+               ("hybrid", `Hybrid);
              ])
           `Telemetry
       & info [ "kind" ] ~docv:"KIND" ~doc)
@@ -1085,6 +1114,7 @@ let report_check_cmd =
           (Telemetry.Report.validate_bench_telemetry, "bench-telemetry report")
       | `Burst -> (Telemetry.Report.validate_burst, "burst report")
       | `Parallel -> (Telemetry.Report.validate_parallel, "parallel report")
+      | `Hybrid -> (Telemetry.Report.validate_hybrid, "hybrid report")
     in
     match Result.bind (Burstcore.Json.parse contents) validate with
     | Ok () -> print_endline (what ^ " ok")
@@ -1099,16 +1129,17 @@ let report_check_cmd =
           --kind=alloc the BENCH_alloc.json allocation sweep, with \
           --kind=flows the BENCH_flows.json flow-scaling sweep, with \
           --kind=bench-telemetry the BENCH_telemetry.json overhead report, \
-          with --kind=burst the BENCH_burst.json burstiness report, or with \
-          --kind=parallel the BENCH_parallel.json parallelism report (all \
-          used by 'make check').")
+          with --kind=burst the BENCH_burst.json burstiness report, with \
+          --kind=parallel the BENCH_parallel.json parallelism report, or \
+          with --kind=hybrid the BENCH_hybrid.json hybrid fluid/packet \
+          report (all used by 'make check').")
     Term.(const run $ kind $ file)
 
 (* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
-    (Cmd.info "burstsim" ~version:"1.7.0"
+    (Cmd.info "burstsim" ~version:"1.8.0"
        ~doc:
          "Reproduction of 'On the Burstiness of the TCP Congestion-Control \
           Mechanism in a Distributed Computing System' (ICDCS 2000).")

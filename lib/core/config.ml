@@ -22,6 +22,7 @@ type t = {
   start_stagger_s : float;
   client_delay_spread_s : float;
   shards : int;
+  background : int;
   seed : int64;
 }
 
@@ -50,6 +51,7 @@ let default =
     start_stagger_s = 0.;
     client_delay_spread_s = 0.;
     shards = 0;
+    background = 0;
     seed = 0xB0257151L;
   }
 
@@ -75,7 +77,8 @@ let validate t =
   check "red_w_q" (t.red_w_q > 0. && t.red_w_q <= 1.);
   check "start_stagger_s" (t.start_stagger_s >= 0.);
   check "client_delay_spread_s" (t.client_delay_spread_s >= 0.);
-  check "shards" (t.shards >= 0)
+  check "shards" (t.shards >= 0);
+  check "background" (t.background >= 0)
 
 let rtt_prop_s t = 2. *. (t.client_delay_s +. t.bottleneck_delay_s)
 

@@ -45,6 +45,13 @@ type t = {
           client population partitioned over [K] domains ({!Pdes}).
           [K = 1] exercises the windowed machinery serially and is
           bit-identical to any [K > 1] run with the same seed *)
+  background : int;
+      (** 0 (the default) simulates every flow packet-level; [M >= 1]
+          runs the hybrid engine ({!Hybrid}): the [clients] flows stay
+          packet-level in the foreground while [M] additional greedy
+          background flows drive the bottleneck through the Reno/RED
+          fluid ODE, coupled each quantum through a virtual
+          service-rate reduction and the RED average-queue EWMA *)
   seed : int64;
 }
 

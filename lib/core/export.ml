@@ -23,7 +23,22 @@ let config_to_json (c : Config.t) =
       ("start_stagger_s", Json.Float c.Config.start_stagger_s);
       ("client_delay_spread_s", Json.Float c.Config.client_delay_spread_s);
       ("shards", Json.Int c.Config.shards);
+      ("background", Json.Int c.Config.background);
       ("seed", Json.String (Printf.sprintf "0x%Lx" c.Config.seed));
+    ]
+
+let hybrid_summary_to_json (s : Metrics.hybrid_summary) =
+  Json.Obj
+    [
+      ("background", Json.Int s.Metrics.background);
+      ("quantum_s", Json.Float s.Metrics.quantum_s);
+      ("steps", Json.Int s.Metrics.steps);
+      ("bg_window_mean", Json.Float s.Metrics.bg_window_mean);
+      ("bg_queue_mean", Json.Float s.Metrics.bg_queue_mean);
+      ("bg_rate_mean", Json.Float s.Metrics.bg_rate_mean);
+      ("bg_drop_mean", Json.Float s.Metrics.bg_drop_mean);
+      ("slowdown_mean", Json.Float s.Metrics.slowdown_mean);
+      ("combined_queue_mean", Json.Float s.Metrics.combined_queue_mean);
     ]
 
 let metrics_to_json (m : Metrics.t) =
@@ -61,6 +76,10 @@ let metrics_to_json (m : Metrics.t) =
       ( "burst",
         match m.Metrics.burst with
         | Some s -> Telemetry.Burst.summary_to_json s
+        | None -> Json.Null );
+      ( "hybrid",
+        match m.Metrics.hybrid with
+        | Some s -> hybrid_summary_to_json s
         | None -> Json.Null );
     ]
 

@@ -11,6 +11,10 @@ val config_to_json : Config.t -> Json.t
 val metrics_to_json : Metrics.t -> Json.t
 (** Scalar fields only (traces and series are omitted). *)
 
+val hybrid_summary_to_json : Metrics.hybrid_summary -> Json.t
+(** The [hybrid] member of {!metrics_to_json}, exposed for the hybrid
+    bench's own artifact. *)
+
 val sweep_to_json : Config.t -> Figures.sweep_result -> Json.t
 (** [{ "config": ..., "results": [ ... ] }]. *)
 

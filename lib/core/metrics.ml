@@ -1,3 +1,18 @@
+(* End-of-run summary of the hybrid engine's fluid background population
+   (means over the post-warmup measurement window). Defined here rather
+   than in [Hybrid] so [t] needs no dependency on the engine module. *)
+type hybrid_summary = {
+  background : int;  (* fluid background flows (N - K) *)
+  quantum_s : float;  (* coupling quantum *)
+  steps : int;  (* ODE quanta taken over the whole run *)
+  bg_window_mean : float;  (* mean per-flow background window, packets *)
+  bg_queue_mean : float;  (* mean virtual background backlog, packets *)
+  bg_rate_mean : float;  (* mean background arrival rate, packets/s *)
+  bg_drop_mean : float;  (* mean drop/mark probability the ODE saw *)
+  slowdown_mean : float;  (* mean serialization-time multiplier *)
+  combined_queue_mean : float;  (* mean physical + virtual backlog, packets *)
+}
+
 type t = {
   scenario : Scenario.t;
   clients : int;
@@ -28,6 +43,7 @@ type t = {
   cwnd_traces : (int * Netstats.Series.t) list;
   queue_series : Netstats.Series.t option;
   burst : Telemetry.Burst.summary option;
+  hybrid : hybrid_summary option;
 }
 
 let cov_inflation_pct t =

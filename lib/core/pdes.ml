@@ -322,6 +322,7 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
         shards,
         binner,
         burst_state,
+        hybrid,
         per_flow_binners,
         drop_run_list,
         delay_stats,
@@ -507,6 +508,15 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
                     ~sink:(fun k -> Transport.Tcp_sender.write sender k)))
           shards;
         (* --- bottleneck-anchored measurement (all hub-side) ------- *)
+        (* Hybrid engine: the quantum tick lives on the hub scheduler and
+           reads only hub-local state (bottleneck counters, gateway
+           average), so the fluid coupling is invariant under the shard
+           count — the K-invariance guarantee extends to hybrid runs. *)
+        let hybrid =
+          if cfg.Config.background >= 1 then
+            Some (Hybrid.attach ~sched:hsched ~bottleneck cfg)
+          else None
+        in
         let binner =
           Netsim.Monitor.arrival_binner hpool bottleneck
             ~origin:cfg.Config.warmup_s ~width:(Config.rtt_prop_s cfg)
@@ -526,7 +536,11 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
                     if bc.Telemetry.Burst.osc_enabled then begin
                       let osc = Telemetry.Burst.Osc.create () in
                       let qdisc = Link.queue_disc bottleneck in
-                      let signal =
+                      (match Queue_disc.avg_queue qdisc with
+                      | None ->
+                          Queue_disc.enable_avg qdisc ~w_q:cfg.Config.red_w_q
+                      | Some _ -> ());
+                      let base =
                         match Queue_disc.avg_queue qdisc with
                         | Some _ ->
                             fun () ->
@@ -534,6 +548,12 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
                                 (Queue_disc.avg_queue qdisc)
                         | None ->
                             fun () -> float_of_int (Link.queue_length bottleneck)
+                      in
+                      let signal =
+                        match (hybrid, qdisc) with
+                        | Some h, (Queue_disc.Droptail _ | Queue_disc.Sfq _) ->
+                            fun () -> base () +. Hybrid.bg_queue h
+                        | _ -> base
                       in
                       Netsim.Monitor.osc_sampler ~signal hsched bottleneck osc
                         ~every:(Time.of_ms 20.) ~from:cfg.Config.warmup_s
@@ -642,6 +662,7 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
           shards,
           binner,
           burst_state,
+          hybrid,
           per_flow_binners,
           drop_run_list,
           delay_stats,
@@ -870,11 +891,16 @@ let run ?probe ?(trace_clients = []) ?(sample_queue = false)
           cwnd_traces;
           queue_series;
           burst = burst_summary;
+          hybrid = Option.map Hybrid.summary hybrid;
         })
   in
   (match (probe, metrics.Metrics.burst) with
   | Some p, Some s ->
       Telemetry.Burst.export p.Telemetry.Probe.registry ~run:run_label s
+  | _ -> ());
+  (match (probe, metrics.Metrics.hybrid) with
+  | Some p, Some s ->
+      Hybrid.export p.Telemetry.Probe.registry ~run:run_label s
   | _ -> ());
   (match probe with
   | Some p ->

@@ -29,6 +29,7 @@ let run_classic ?probe ?(trace_clients = []) ?(sample_queue = false)
         horizon,
         binner,
         burst_state,
+        hybrid,
         per_flow_binners,
         drop_run_list,
         delay_stats,
@@ -65,6 +66,13 @@ let run_classic ?probe ?(trace_clients = []) ?(sample_queue = false)
             end
         | None -> ());
         let horizon = Time.of_sec cfg.Config.duration_s in
+        (* Hybrid engine: couple the fluid background population to the
+           bottleneck before any sampler reads its signals. *)
+        let hybrid =
+          if cfg.Config.background >= 1 then
+            Some (Hybrid.attach ~sched ~bottleneck cfg)
+          else None
+        in
         let binner =
           Netsim.Monitor.arrival_binner pool bottleneck
             ~origin:cfg.Config.warmup_s ~width:(Config.rtt_prop_s cfg)
@@ -91,11 +99,16 @@ let run_classic ?probe ?(trace_clients = []) ?(sample_queue = false)
                       (* Probe the RED control loop through its own state
                          variable: the averaged queue is what the drop
                          decision feeds back on, so its limit cycle is
-                         the Hopf signature. Droptail/SFQ have no
-                         average; fall back to the instantaneous
-                         queue. *)
+                         the Hopf signature. Droptail/SFQ get the same
+                         smoothed signal from their optional EWMA
+                         (enabled here with RED's w_q). *)
                       let qdisc = Netsim.Link.queue_disc bottleneck in
-                      let signal =
+                      (match Netsim.Queue_disc.avg_queue qdisc with
+                      | None ->
+                          Netsim.Queue_disc.enable_avg qdisc
+                            ~w_q:cfg.Config.red_w_q
+                      | Some _ -> ());
+                      let base =
                         match Netsim.Queue_disc.avg_queue qdisc with
                         | Some _ ->
                             fun () ->
@@ -105,6 +118,18 @@ let run_classic ?probe ?(trace_clients = []) ?(sample_queue = false)
                             fun () ->
                               float_of_int
                                 (Netsim.Link.queue_length bottleneck)
+                      in
+                      (* Under the hybrid engine the detector watches the
+                         combined backlog. RED's average already folds the
+                         virtual queue into its samples; other disciplines
+                         add it explicitly. *)
+                      let signal =
+                        match (hybrid, qdisc) with
+                        | ( Some h,
+                            ( Netsim.Queue_disc.Droptail _
+                            | Netsim.Queue_disc.Sfq _ ) ) ->
+                            fun () -> base () +. Hybrid.bg_queue h
+                        | _ -> base
                       in
                       Netsim.Monitor.osc_sampler ~signal sched bottleneck osc
                         ~every:(Time.of_ms 20.) ~from:cfg.Config.warmup_s
@@ -190,6 +215,7 @@ let run_classic ?probe ?(trace_clients = []) ?(sample_queue = false)
           horizon,
           binner,
           burst_state,
+          hybrid,
           per_flow_binners,
           drop_run_list,
           delay_stats,
@@ -315,6 +341,7 @@ let run_classic ?probe ?(trace_clients = []) ?(sample_queue = false)
           cwnd_traces;
           queue_series;
           burst = burst_summary;
+          hybrid = Option.map Hybrid.summary hybrid;
         })
   in
   (* Burst exposition: per-run labelled gauges for the registry, plus
@@ -326,6 +353,19 @@ let run_classic ?probe ?(trace_clients = []) ?(sample_queue = false)
       (match recorder with
       | Some r when Telemetry.Recorder.lifecycle r ->
           Telemetry.Burst.record_summary
+            (Telemetry.Recorder.lane r 0)
+            ~tick:(Time.to_ns horizon)
+            ~sid:(Telemetry.Recorder.intern r run_label)
+            s
+      | _ -> ())
+  | _ -> ());
+  (* Hybrid exposition: same shape as the burst summaries above. *)
+  (match (probe, metrics.Metrics.hybrid) with
+  | Some p, Some s ->
+      Hybrid.export p.Telemetry.Probe.registry ~run:run_label s;
+      (match recorder with
+      | Some r when Telemetry.Recorder.lifecycle r ->
+          Hybrid.record_summary
             (Telemetry.Recorder.lane r 0)
             ~tick:(Time.to_ns horizon)
             ~sid:(Telemetry.Recorder.intern r run_label)

@@ -11,6 +11,26 @@ type system = t:float -> y:float array -> float array
 val rk4_step : system -> t:float -> dt:float -> float array -> float array
 (** One RK4 step from state [y] at time [t]. *)
 
+type system_in_place = t:float -> y:float array -> dy:float array -> unit
+(** The vector field, in-place form: writes dy/dt into [dy]. Must not
+    mutate [y]. Used by the allocation-free stepper below. *)
+
+type stepper
+(** Preallocated scratch (four stage slopes plus a stage state) for
+    [step_in_place]. Reusable across steps and systems of dimension up
+    to the one it was built with. *)
+
+val stepper : int -> stepper
+(** [stepper dim] allocates scratch for systems of dimension [<= dim].
+    @raise Invalid_argument if [dim <= 0]. *)
+
+val step_in_place :
+  stepper -> system_in_place -> t:float -> dt:float -> float array -> unit
+(** One RK4 step advancing [y] in place, allocation-free. Agrees
+    bit-for-bit with [rk4_step] on the same system (the stage arithmetic
+    is expression-identical).
+    @raise Invalid_argument if [y] exceeds the stepper's dimension. *)
+
 val integrate :
   ?observe:(t:float -> y:float array -> unit) ->
   ?project:(float array -> unit) ->

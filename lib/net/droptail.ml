@@ -8,11 +8,31 @@ type t = {
   mutable rlane : Telemetry.Recorder.lane option;
   mutable rsid : int;
   mutable rpool : Packet_pool.t option;
+  (* Optional smoothed-occupancy estimate (RED [w_q] semantics, sampled
+     per arrival). A flat float array — [|avg; w_q|] — so the per-arrival
+     update is an unboxed store, not a boxed-float mutation. [w_q = 0.]
+     means disabled — the default, so the hot path pays one float
+     compare. *)
+  ewma : float array;
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Droptail.create: capacity < 1";
-  { q = Ring.create (); capacity; hwm = 0; rlane = None; rsid = 0; rpool = None }
+  {
+    q = Ring.create ();
+    capacity;
+    hwm = 0;
+    rlane = None;
+    rsid = 0;
+    rpool = None;
+    ewma = Array.make 2 0.;
+  }
+
+let enable_avg t ~w_q =
+  if w_q <= 0. || w_q > 1. then invalid_arg "Droptail.enable_avg: bad w_q";
+  t.ewma.(1) <- w_q
+
+let avg t = if t.ewma.(1) > 0. then Some t.ewma.(0) else None
 
 let set_recorder t ~recorder ~pool ~name =
   t.rlane <- Some (Telemetry.Recorder.lane recorder 0);
@@ -33,6 +53,11 @@ let record_drop t now h =
   | _ -> ()
 
 let enqueue ?(now = 0) t h =
+  let w_q = t.ewma.(1) in
+  if w_q > 0. then
+    t.ewma.(0) <-
+      ((1. -. w_q) *. t.ewma.(0))
+      +. (w_q *. float_of_int (Ring.length t.q));
   if Ring.length t.q >= t.capacity then begin
     record_drop t now h;
     `Dropped

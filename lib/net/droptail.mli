@@ -27,3 +27,13 @@ val capacity : t -> int
 
 val high_water_mark : t -> int
 (** Peak queue occupancy (packets) seen so far. *)
+
+val enable_avg : t -> w_q:float -> unit
+(** Turn on a smoothed occupancy estimate with RED's EWMA semantics:
+    each arrival samples the pre-enqueue queue length with weight [w_q].
+    Off by default (one float compare on the hot path).
+    @raise Invalid_argument unless [0 < w_q <= 1]. *)
+
+val avg : t -> float option
+(** The smoothed occupancy estimate, or [None] unless {!enable_avg} was
+    called. *)

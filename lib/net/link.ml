@@ -24,6 +24,10 @@ type t = {
      the callback with its computed arrival time (now + delay), and the
      owner of the far end schedules the delivery in its own domain. *)
   mutable handoff : (Time.t -> Packet_pool.handle -> unit) option;
+  (* Hybrid engine: serialization-time multiplier (>= 1.) modelling the
+     share of the line rate consumed by fluid background traffic. At the
+     default 1. the guard below keeps the pure-packet path bit-identical. *)
+  mutable bg_slowdown : float;
   (* Listener lists are stored newest-first so registration is O(1);
      [notify] walks them back-to-front to keep registration order. *)
   mutable arrival_listeners : (Time.t -> Packet_pool.handle -> unit) list;
@@ -56,6 +60,7 @@ let rec try_transmit t =
       let tx =
         Units.transmission_time t.bandwidth ~bytes:(Packet_pool.size_bytes t.pool h)
       in
+      let tx = if t.bg_slowdown = 1. then tx else Time.mul tx t.bg_slowdown in
       ignore (Scheduler.after t.sched tx t.on_tx_done)
     end
   end
@@ -101,6 +106,7 @@ let create sched ~name ~bandwidth ~delay ~queue ~pool ~deliver =
       on_tx_done = ignore;
       on_deliver = ignore;
       handoff = None;
+      bg_slowdown = 1.;
       arrival_listeners = [];
       drop_listeners = [];
       depart_listeners = [];
@@ -134,6 +140,13 @@ let send t h =
       try_transmit t
 
 let set_handoff t f = t.handoff <- Some f
+
+let set_bg_slowdown t f =
+  if not (Float.is_finite f) || f < 1. then
+    invalid_arg "Link.set_bg_slowdown: factor < 1";
+  t.bg_slowdown <- f
+
+let bg_slowdown t = t.bg_slowdown
 
 let queue_length t = Queue_disc.length t.queue
 

@@ -38,6 +38,18 @@ val set_handoff : t -> (Sim_engine.Time.t -> Packet_pool.handle -> unit) -> unit
     stamped with the arrival time, exactly as they would at the far
     end. *)
 
+val set_bg_slowdown : t -> float -> unit
+(** Hybrid-engine hook: scale every subsequent serialization time by
+    this factor (>= 1.), modelling the share of the line rate consumed
+    by fluid background traffic ([capacity / foreground_share]). At the
+    default [1.] the transmission path is bit-identical to a link
+    without the hook.
+    @raise Invalid_argument if the factor is below 1 or not finite. *)
+
+val bg_slowdown : t -> float
+(** The current serialization-time multiplier (1. unless the hybrid
+    engine set one). *)
+
 val queue_length : t -> int
 
 val queue_disc : t -> Queue_disc.t

@@ -43,4 +43,24 @@ let high_water_mark t =
   | Red q -> Red.high_water_mark q
   | Sfq q -> Sfq.high_water_mark q
 
-let avg_queue t = match t with Red q -> Some (Red.avg q) | Droptail _ | Sfq _ -> None
+let avg_queue t =
+  match t with
+  | Red q -> Some (Red.avg q)
+  | Droptail q -> Droptail.avg q
+  | Sfq q -> Sfq.avg q
+
+let enable_avg t ~w_q =
+  match t with
+  | Red _ -> () (* RED's EWMA is always on *)
+  | Droptail q -> Droptail.enable_avg q ~w_q
+  | Sfq q -> Sfq.enable_avg q ~w_q
+
+let set_virtual_queue t v =
+  match t with
+  | Red q -> Red.set_virtual_queue q v
+  | Droptail _ | Sfq _ -> ()
+
+let virtual_update t ~arrivals =
+  match t with
+  | Red q -> Red.virtual_update q ~arrivals
+  | Droptail _ | Sfq _ -> ()

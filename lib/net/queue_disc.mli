@@ -35,9 +35,26 @@ val enqueue :
     the cost of discarding [victim] from another queue. *)
 
 val avg_queue : t -> float option
-(** RED's EWMA average queue (the smoothed signal its drop decisions
-    see); [None] for disciplines without one. A feed for the
-    oscillation detector ({!Telemetry.Burst.Osc}). *)
+(** The discipline's EWMA average queue: RED's always-on estimate (the
+    smoothed signal its drop decisions see), or the optional estimate
+    {!enable_avg} turns on for drop-tail and SFQ; [None] when no
+    estimate is live. A feed for the oscillation detector
+    ({!Telemetry.Burst.Osc}). *)
+
+val enable_avg : t -> w_q:float -> unit
+(** Turn on the optional smoothed-occupancy estimate for drop-tail and
+    SFQ (RED's is always on; no-op there). Same [w_q] semantics as
+    RED's EWMA: each arrival samples the pre-enqueue occupancy. *)
+
+val set_virtual_queue : t -> float -> unit
+(** Hybrid-engine hook: publish the fluid background backlog (packets)
+    into the discipline. RED folds it into every average-queue sample;
+    a no-op for disciplines without an arrival-coupled average. *)
+
+val virtual_update : t -> arrivals:float -> unit
+(** Hybrid-engine hook: fold that many fluid background arrivals into
+    RED's average (closed-form EWMA catch-up, deterministic); a no-op
+    for other disciplines. *)
 
 val dequeue : t -> now:Sim_engine.Time.t -> Packet_pool.handle
 (** The head handle, or {!Packet_pool.nil} when empty. *)

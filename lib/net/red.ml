@@ -37,6 +37,7 @@ type t = {
   mutable marks : int;
   mutable last_adapt : float; (* adaptive max_p moves at most every 0.5 s *)
   mutable hwm : int;
+  mutable vq : float; (* virtual background backlog (hybrid engine), packets *)
 }
 
 let create ?bus ?recorder ?(name = "red") ~rng ~pool p =
@@ -66,11 +67,12 @@ let create ?bus ?recorder ?(name = "red") ~rng ~pool p =
     marks = 0;
     last_adapt = 0.;
     hwm = 0;
+    vq = 0.;
   }
 
 let update_avg t now =
   let qlen = float_of_int (Ring.length t.q) in
-  if qlen = 0. && not (Float.is_nan t.idle_since) then begin
+  if qlen = 0. && t.vq = 0. && not (Float.is_nan t.idle_since) then begin
     (* Age the average over the idle period as if [m] small packets had
        departed (FJ93 §4). *)
     let idle = Stdlib.max 0. (now -. t.idle_since) in
@@ -78,7 +80,9 @@ let update_avg t now =
     t.avg <- t.avg *. ((1. -. t.p.w_q) ** m);
     t.idle_since <- Float.nan
   end;
-  t.avg <- ((1. -. t.p.w_q) *. t.avg) +. (t.p.w_q *. qlen);
+  (* [vq] is 0. outside the hybrid engine, and [qlen +. 0.] is
+     float-identical to [qlen], so the pure-packet stream is untouched. *)
+  t.avg <- ((1. -. t.p.w_q) *. t.avg) +. (t.p.w_q *. (qlen +. t.vq));
   (* Self-Configuring RED: steer max_p so the average stays in band,
      adjusting at most once per half second so one congestion episode does
      not slam max_p to a rail. *)
@@ -178,6 +182,22 @@ let dequeue t ~now =
     let h = Ring.pop_exn t.q in
     if Ring.is_empty t.q then t.idle_since <- Sim_engine.Time.to_sec now;
     h
+  end
+
+let set_virtual_queue t v = t.vq <- Stdlib.max 0. v
+
+let virtual_update t ~arrivals:m =
+  (* The EWMA pole tracks the arrival rate: with only K of N flows
+     physical, the average would respond N/K times too slowly. Fold in
+     the [m] background arrivals the fluid model says happened this
+     quantum, each sampling the combined (physical + virtual) depth —
+     the closed form of [m] successive [update_avg] samples at a frozen
+     depth. Deterministic; no RNG draw. *)
+  if m > 0. then begin
+    let depth = float_of_int (Ring.length t.q) +. t.vq in
+    let keep = (1. -. t.p.w_q) ** m in
+    t.avg <- (t.avg *. keep) +. (depth *. (1. -. keep));
+    t.idle_since <- Float.nan
   end
 
 let length t = Ring.length t.q

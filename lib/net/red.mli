@@ -65,6 +65,19 @@ val length : t -> int
 val avg : t -> float
 (** Current average queue estimate (for tests and monitoring). *)
 
+val set_virtual_queue : t -> float -> unit
+(** Hybrid-engine hook: set the virtual background backlog (packets,
+    clamped at 0). While non-zero it is added to every average-queue
+    sample and suppresses idle aging; at 0 (the default) behaviour is
+    bit-identical to plain RED. *)
+
+val virtual_update : t -> arrivals:float -> unit
+(** Hybrid-engine hook: fold [arrivals] fluid background arrivals into
+    the average — the closed form of that many EWMA samples at the
+    current combined (physical + virtual) depth. Keeps the EWMA pole
+    tracking the {e total} arrival rate when only the foreground flows
+    are physical. Deterministic (no RNG); a no-op when [arrivals <= 0]. *)
+
 val marks : t -> int
 (** Packets CE-marked so far (always 0 unless [ecn_mark]). *)
 

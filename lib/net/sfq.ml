@@ -13,6 +13,10 @@ type t = {
      only SFQ produces — with queue-name attribution. *)
   mutable rlane : Telemetry.Recorder.lane option;
   mutable rsid : int;
+  (* Optional smoothed-occupancy estimate (RED [w_q] semantics, sampled
+     per arrival over the total occupancy). Flat [|avg; w_q|] array so
+     the per-arrival update stays unboxed; [w_q = 0.] = disabled. *)
+  ewma : float array;
 }
 
 let create ?(buckets = 16) ?(perturbation = 0) ~pool ~capacity () =
@@ -28,7 +32,14 @@ let create ?(buckets = 16) ?(perturbation = 0) ~pool ~capacity () =
     hwm = 0;
     rlane = None;
     rsid = 0;
+    ewma = Array.make 2 0.;
   }
+
+let enable_avg t ~w_q =
+  if w_q <= 0. || w_q > 1. then invalid_arg "Sfq.enable_avg: bad w_q";
+  t.ewma.(1) <- w_q
+
+let avg t = if t.ewma.(1) > 0. then Some t.ewma.(0) else None
 
 let set_recorder t ~recorder ~name =
   t.rlane <- Some (Telemetry.Recorder.lane recorder 0);
@@ -60,6 +71,10 @@ let longest_bucket t =
   !best
 
 let enqueue ?(now = 0) t h =
+  let w_q = t.ewma.(1) in
+  if w_q > 0. then
+    t.ewma.(0) <-
+      ((1. -. w_q) *. t.ewma.(0)) +. (w_q *. float_of_int t.total);
   let idx = bucket_of_flow t (Packet_pool.flow t.pool h) in
   if t.total < t.capacity then begin
     Ring.push t.buckets.(idx) h;

@@ -45,3 +45,13 @@ val occupancy : t -> int array
 
 val high_water_mark : t -> int
 (** Peak total occupancy (packets across all buckets) seen so far. *)
+
+val enable_avg : t -> w_q:float -> unit
+(** Turn on a smoothed total-occupancy estimate with RED's EWMA
+    semantics: each arrival samples the pre-enqueue total with weight
+    [w_q]. Off by default.
+    @raise Invalid_argument unless [0 < w_q <= 1]. *)
+
+val avg : t -> float option
+(** The smoothed occupancy estimate, or [None] unless {!enable_avg} was
+    called. *)

@@ -52,7 +52,14 @@ let burst_hurst = 20
 let burst_osc_amp = 21
 let burst_osc_freq = 22
 
-let max_kind = burst_osc_freq
+(* Hybrid-engine kinds: end-of-run summaries of the fluid background
+   population. Each carries the background flow count in [a], the
+   value's IEEE-754 bits in [b]/[c] and the quantum count in [depth]. *)
+let hybrid_bg_window = 23
+let hybrid_bg_queue = 24
+let hybrid_bg_rate = 25
+
+let max_kind = hybrid_bg_rate
 
 let is_parity k = k >= packet_arrival && k <= custom_value
 
@@ -80,6 +87,9 @@ let kind_label = function
   | 20 -> "burst_hurst"
   | 21 -> "burst_osc_amp"
   | 22 -> "burst_osc_freq"
+  | 23 -> "hybrid_bg_window"
+  | 24 -> "hybrid_bg_queue"
+  | 25 -> "hybrid_bg_rate"
   | k -> Printf.sprintf "kind_%d" k
 
 let kind_of_label s =
@@ -329,6 +339,22 @@ let json_of_record ~lookup buf off =
             ("crossings", Json.Int a);
             ("value", Json.Float (float_of_parts ~hi:b ~lo:c));
             ("oscillating", Json.Bool (buf.(off + 7) = 1));
+          ]
+      else if kind = hybrid_bg_window || kind = hybrid_bg_queue
+              || kind = hybrid_bg_rate then
+        Json.Obj
+          [
+            ("event", Json.String "hybrid");
+            ("time", time);
+            ( "kind",
+              Json.String
+                (if kind = hybrid_bg_window then "bg_window"
+                 else if kind = hybrid_bg_queue then "bg_queue"
+                 else "bg_rate") );
+            ("run", Json.String (lookup sid));
+            ("background", Json.Int a);
+            ("value", Json.Float (float_of_parts ~hi:b ~lo:c));
+            ("steps", Json.Int buf.(off + 7));
           ]
       else
         Json.Obj

@@ -58,6 +58,17 @@ val burst_osc_amp : int
 val burst_osc_freq : int
 (** Oscillation frequency in Hz, same layout as [burst_osc_amp]. *)
 
+val hybrid_bg_window : int
+(** End-of-run hybrid-engine summary: mean per-flow background window
+    (background flow count in [a], IEEE-754 value bits in [b]/[c],
+    quantum count in [depth]). *)
+
+val hybrid_bg_queue : int
+(** Mean virtual background backlog (packets), same layout. *)
+
+val hybrid_bg_rate : int
+(** Mean background arrival rate (packets/s), same layout. *)
+
 val max_kind : int
 
 val is_parity : int -> bool

@@ -554,6 +554,209 @@ let validate_burst j =
         | errors -> Error (String.concat "; " errors))
   | _ -> Error "burst report is not a JSON object"
 
+(* BENCH_hybrid.json: the hybrid fluid/packet engine report. Three
+   claims travel in one file: (1) at N in {10^3, 10^4} the hybrid engine
+   (K packet-level foreground flows + fluid background) reproduces the
+   pure packet-level run's foreground throughput, combined queue and
+   loss rate within the file's own tolerance bands, (2) the converged
+   N = 10^6 run is leak-free, slab-stable, and does at least
+   [work_ratio_min] times less work per simulated second than the pure
+   packet extrapolation (the ratio is null in --fast/smoke mode, where
+   the horizon is too short to measure it honestly), and (3) the RED
+   w_q stability sweep at mean-field scale classifies every row on the
+   side the fluid Hopf threshold predicts. *)
+
+let hybrid_required_fields =
+  [
+    "scenario";
+    "foreground";
+    "throughput_ratio_min";
+    "throughput_ratio_max";
+    "queue_ratio_min";
+    "queue_ratio_max";
+    "loss_abs_tol";
+    "work_ratio_min";
+    "validation";
+    "converged";
+    "stability_sweep";
+  ]
+
+let hybrid_validation_row_required_fields =
+  [
+    "flows";
+    "background";
+    "packet_throughput_pps";
+    "hybrid_throughput_pps";
+    "throughput_ratio";
+    "packet_queue_mean";
+    "hybrid_queue_mean";
+    "queue_ratio";
+    "packet_loss_rate";
+    "hybrid_loss_rate";
+    "loss_abs_err";
+    "event_ratio";
+  ]
+
+let hybrid_converged_required_fields =
+  [
+    "flows";
+    "foreground";
+    "background";
+    "duration_s";
+    "events";
+    "wall_s";
+    "events_per_sec";
+    "bg_window_mean";
+    "bg_queue_mean";
+    "slowdown_mean";
+    "flow_table_growths";
+    "queue_growths";
+    "leak_free";
+    "smoke";
+    "work_ratio";
+  ]
+
+let validate_hybrid_row ~header row =
+  match row with
+  | Json.Obj _ -> (
+      let label =
+        match Json.member "flows" row with
+        | Some (Json.Int n) -> Printf.sprintf "N=%d" n
+        | _ -> "<unnamed row>"
+      in
+      let missing =
+        List.filter
+          (fun f -> Json.member f row = None)
+          hybrid_validation_row_required_fields
+      in
+      if missing <> [] then
+        [ label ^ ": missing fields: " ^ String.concat ", " missing ]
+      else begin
+        let number j f = Option.bind (Json.member f j) Json.to_float in
+        let errors = ref [] in
+        let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+        let within what v lo hi =
+          match (number row v, number header lo, number header hi) with
+          | Some x, Some a, Some b ->
+              if x < a || x > b then
+                err "%s: %s %g outside [%g, %g]" label what x a b
+          | _ -> err "%s: %s fields are not numbers" label what
+        in
+        within "foreground throughput ratio" "throughput_ratio"
+          "throughput_ratio_min" "throughput_ratio_max";
+        within "combined queue ratio" "queue_ratio" "queue_ratio_min"
+          "queue_ratio_max";
+        (match (number row "loss_abs_err", number header "loss_abs_tol") with
+        | Some e, Some tol ->
+            if e > tol then
+              err "%s: loss-rate error %g exceeds tolerance %g" label e tol
+        | _ -> err "%s: loss_abs_err fields are not numbers" label);
+        (match number row "event_ratio" with
+        | Some r when r < 1. ->
+            err "%s: hybrid did more work than pure packet (event ratio %g)"
+              label r
+        | Some _ -> ()
+        | None -> err "%s: event_ratio is not a number" label);
+        List.rev !errors
+      end)
+  | _ -> [ "validation row is not an object" ]
+
+let validate_hybrid j =
+  match j with
+  | Json.Obj _ -> (
+      let missing =
+        List.filter (fun f -> Json.member f j = None) hybrid_required_fields
+      in
+      if missing <> [] then
+        Error ("missing fields: " ^ String.concat ", " missing)
+      else begin
+        let errors = ref [] in
+        let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+        let number o f = Option.bind (Json.member f o) Json.to_float in
+        (match Json.member "validation" j with
+        | Some (Json.List []) -> err "validation is empty"
+        | Some (Json.List rows) ->
+            List.iter
+              (fun row ->
+                List.iter
+                  (fun m -> errors := m :: !errors)
+                  (validate_hybrid_row ~header:j row))
+              rows
+        | _ -> err "validation is not a list");
+        (match Json.member "converged" j with
+        | Some (Json.Obj _ as c) -> (
+            let missing =
+              List.filter
+                (fun f -> Json.member f c = None)
+                hybrid_converged_required_fields
+            in
+            if missing <> [] then
+              err "converged: missing fields: %s" (String.concat ", " missing)
+            else begin
+              (match Json.member "leak_free" c with
+              | Some (Json.Bool true) -> ()
+              | Some (Json.Bool false) -> err "converged: leak_free is false"
+              | _ -> err "converged: leak_free is not a bool");
+              (match
+                 (number c "flow_table_growths", number c "queue_growths")
+               with
+              | Some ft, Some q ->
+                  if ft <> 0. || q <> 0. then
+                    err "converged: slabs grew (%g flow-table, %g event-queue)"
+                      ft q
+              | _ -> err "converged: growth fields are not numbers");
+              let smoke =
+                match Json.member "smoke" c with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              match Json.member "work_ratio" c with
+              | Some Json.Null ->
+                  if not smoke then
+                    err "converged: work_ratio is null outside smoke mode"
+              | Some v -> (
+                  match (Json.to_float v, number j "work_ratio_min") with
+                  | Some r, Some m ->
+                      if r < m then
+                        err
+                          "converged: work ratio %.1fx is below the committed \
+                           floor %.1fx" r m
+                  | _ ->
+                      err "converged: work_ratio/work_ratio_min are not numbers"
+              )
+              | None -> ()
+            end)
+        | _ -> err "converged is not an object");
+        (match Json.member "stability_sweep" j with
+        | Some (Json.Obj _ as sweep) -> (
+            (match number sweep "wq_critical" with
+            | Some w when w > 0. -> ()
+            | Some w -> err "stability_sweep: wq_critical %g is not positive" w
+            | None -> err "stability_sweep: wq_critical is not a number");
+            match Json.member "rows" sweep with
+            | Some (Json.List []) -> err "stability_sweep.rows is empty"
+            | Some (Json.List rows) ->
+                List.iter
+                  (fun row ->
+                    List.iter
+                      (fun m -> errors := m :: !errors)
+                      (validate_burst_row row))
+                  rows;
+                let side s row =
+                  Json.member "side" row = Some (Json.String s)
+                in
+                if not (List.exists (side "stable") rows) then
+                  err "stability_sweep has no stable row";
+                if not (List.exists (side "unstable") rows) then
+                  err "stability_sweep has no unstable row"
+            | _ -> err "stability_sweep.rows is not a list")
+        | _ -> err "stability_sweep is not an object");
+        match List.rev !errors with
+        | [] -> Ok ()
+        | errors -> Error (String.concat "; " errors)
+      end)
+  | _ -> Error "hybrid report is not a JSON object"
+
 let validate j =
   match j with
   | Json.Obj _ ->

@@ -96,3 +96,21 @@ val validate_burst : Json.t -> (unit, string) result
     (which must include both sides) every row's oscillation-detector
     verdict agreeing with its declared [side] of the RED stability
     condition. *)
+
+val hybrid_required_fields : string list
+val hybrid_validation_row_required_fields : string list
+val hybrid_converged_required_fields : string list
+
+val validate_hybrid : Json.t -> (unit, string) result
+(** Validate a BENCH_hybrid.json hybrid fluid/packet report
+    ([report-check --kind=hybrid]): required fields, then the three
+    committed claims re-checked from the file's own tolerance bands —
+    every [validation] row's hybrid-vs-packet foreground throughput and
+    combined-queue ratios inside the header bands with the loss-rate
+    gap within [loss_abs_tol] and an [event_ratio] of at least 1; the
+    [converged] N = 10^6 section leak-free with zero slab growth and a
+    [work_ratio] no lower than [work_ratio_min] (null accepted only
+    with [smoke] true — the --fast horizon is too short to measure the
+    ratio honestly); and every [stability_sweep] row's
+    oscillation-detector verdict agreeing with its declared [side] of
+    the fluid Hopf threshold [wq_critical]. *)

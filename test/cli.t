@@ -313,3 +313,60 @@ predicted side of the critical averaging gain.
   $ ../bin/main.exe report-check --kind=burst burst-alloc.json
   burst-alloc.json: invalid burst report: burst minor words/event delta 0.2 exceeds budget 0.05
   [1]
+
+--background M attaches the hybrid fluid/packet engine: M mean-field
+Reno background flows drive the bottleneck through one coupled ODE and
+the run's metrics carry their summary. --foreground is an alias for
+--clients named for hybrid runs, and the coupling composes with
+--shards bit-identically (the quantum tick lives on the hub domain).
+
+  $ ../bin/main.exe run --scenario reno-red --foreground 3 --duration 12 --background 200 --json 2>/dev/null | grep -c '"hybrid":{"background":200,'
+  1
+  $ ../bin/main.exe run --scenario reno-red -n 3 --duration 12 --background 200 --shards 1 > hyb1.txt 2>&1
+  $ ../bin/main.exe run --scenario reno-red -n 3 --duration 12 --background 200 --shards 4 > hyb4.txt 2>&1
+  $ cmp hyb1.txt hyb4.txt && echo identical
+  identical
+  $ ../bin/main.exe run --background=-1
+  burstsim: --background must be >= 0 (got -1)
+  [1]
+
+--kind=hybrid validates BENCH_hybrid.json: the hybrid-vs-packet
+validation rows must land inside the bands the file itself carries,
+the converged million-flow row must be leak-free with zero slab growth
+and (outside smoke mode) a work ratio above the committed floor, and
+the mean-field RED stability sweep reuses the burst sweep's
+verdict-vs-side gate.
+
+  $ cat > hyb.json <<'EOF'
+  > {"scenario":"Reno/RED","foreground":50,
+  >  "throughput_ratio_min":0.8,"throughput_ratio_max":1.25,
+  >  "queue_ratio_min":0.5,"queue_ratio_max":2.0,
+  >  "loss_abs_tol":0.025,"work_ratio_min":10.0,
+  >  "validation":[{"flows":1000,"background":950,
+  >    "packet_throughput_pps":14.6,"hybrid_throughput_pps":17.4,
+  >    "throughput_ratio":1.19,"packet_queue_mean":1693.0,
+  >    "hybrid_queue_mean":2566.0,"queue_ratio":1.52,
+  >    "packet_loss_rate":0.041,"hybrid_loss_rate":0.058,
+  >    "loss_abs_err":0.017,"event_ratio":17.0}],
+  >  "converged":{"flows":1000000,"foreground":100,"background":999900,
+  >    "duration_s":10.0,"events":170310,"wall_s":1.9,
+  >    "events_per_sec":89000.0,"bg_window_mean":7.1,
+  >    "bg_queue_mean":21237.0,"slowdown_mean":3245.0,
+  >    "flow_table_growths":0,"queue_growths":0,
+  >    "leak_free":true,"smoke":false,"work_ratio":1200.0},
+  >  "stability_sweep":{"wq_critical":7.5e-06,"rows":[
+  >    {"w_q":0.00075,"side":"unstable","rel_amplitude":0.4,
+  >     "frequency_hz":1.4,"crossings":101,"oscillating":true},
+  >    {"w_q":7.5e-07,"side":"stable","rel_amplitude":0.0,
+  >     "frequency_hz":0.0,"crossings":0,"oscillating":false}]}}
+  > EOF
+  $ ../bin/main.exe report-check --kind=hybrid hyb.json
+  hybrid report ok
+  $ sed 's/"throughput_ratio":1.19/"throughput_ratio":1.6/' hyb.json > hyb-off.json
+  $ ../bin/main.exe report-check --kind=hybrid hyb-off.json
+  hyb-off.json: invalid hybrid report: N=1000: foreground throughput ratio 1.6 outside [0.8, 1.25]
+  [1]
+  $ sed 's/"work_ratio":1200.0/"work_ratio":null/' hyb.json > hyb-null.json
+  $ ../bin/main.exe report-check --kind=hybrid hyb-null.json
+  hyb-null.json: invalid hybrid report: converged: work_ratio is null outside smoke mode
+  [1]

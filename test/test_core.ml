@@ -894,6 +894,184 @@ let selfsim_streaming_matches_offline () =
     true
     (abs_float (h_streaming -. 0.5) < 0.2 && abs_float (h_offline -. 0.5) < 0.2)
 
+(* ------------------------------------------------------------------ *)
+(* Hybrid fluid/packet engine *)
+
+(* The flow-scaling bench's mean-field shape: 16 pps/flow, 0.2 s
+   propagation RTT, RED spanning [N, 7N]. *)
+let mean_field_cfg n duration_s =
+  let f = float_of_int n in
+  {
+    (Config.with_clients Config.default n) with
+    Config.bottleneck_bandwidth_mbps = 0.192 *. f;
+    client_delay_s = 0.05;
+    bottleneck_delay_s = 0.05;
+    adv_window = 12;
+    buffer_packets = 10 * n;
+    red_min_th = f;
+    red_max_th = 7.0 *. f;
+    red_max_p = 0.05;
+    duration_s;
+    warmup_s = duration_s /. 2.;
+  }
+
+let hybrid_dt_halving_convergence =
+  (* The coupled step must converge as the quantum shrinks: with the
+     packet-side inputs frozen, halving dt moves the state markedly
+     closer to a fine-step reference. The projection clamps are
+     non-expansive, so this holds across the clamped corners too. *)
+  QCheck.Test.make ~name:"coupled step dt-halving convergence" ~count:100
+    QCheck.(
+      pair
+        (quad (int_range 100 5_000) (int_range 2_000 50_000)
+           (int_range 50 250) (int_range 500 20_000))
+        (quad (int_range 12 64) (int_range 0 50) (int_range 0 50)
+           (int_range 0 100)))
+    (fun ((n_bg, cap, rtt_ms, buf), (mw, qfrac, mufrac, pmil)) ->
+      let p =
+        {
+          Hybrid.Coupling.n_bg = float_of_int n_bg;
+          capacity_pps = float_of_int cap;
+          base_rtt_s = float_of_int rtt_ms /. 1000.;
+          buffer_packets = float_of_int buf;
+          max_window = float_of_int mw;
+        }
+      in
+      let inputs () =
+        {
+          Hybrid.Coupling.q_pkt =
+            float_of_int buf *. float_of_int qfrac /. 100.;
+          mu_fg_pps = float_of_int cap *. float_of_int mufrac /. 100.;
+          p_drop = float_of_int pmil /. 1000.;
+        }
+      in
+      let horizon = 2. *. p.Hybrid.Coupling.base_rtt_s in
+      let final steps =
+        let i = inputs () in
+        let s = Fluidmodel.Ode.stepper 2 in
+        let y = [| 2.; 0. |] in
+        let dt = horizon /. float_of_int steps in
+        for _ = 1 to steps do
+          Hybrid.Coupling.step s p i ~dt y
+        done;
+        y
+      in
+      let reference = final 64 in
+      let err steps =
+        let y = final steps in
+        Float.max
+          (Float.abs (y.(0) -. reference.(0)))
+          (Float.abs (y.(1) -. reference.(1)))
+      in
+      (* Quartering the quantum must at least halve the error, up to a
+         relative slack absorbing the clamp boundaries (where the
+         projected dynamics are only first-order accurate but the
+         absolute error is already a negligible fraction of the
+         state). *)
+      let scale =
+        1. +. Float.abs reference.(0) +. Float.abs reference.(1)
+      in
+      err 32 <= (0.5 *. err 8) +. (1e-3 *. scale))
+
+let hybrid_attach_validates () =
+  let cfg = tiny () in
+  let net = Dumbbell.create cfg Scenario.reno_red in
+  let sched = Dumbbell.scheduler net in
+  let bottleneck = Dumbbell.bottleneck net in
+  Alcotest.check_raises "background < 1"
+    (Invalid_argument "Hybrid.attach: cfg.background < 1") (fun () ->
+      ignore (Hybrid.attach ~sched ~bottleneck cfg));
+  Alcotest.check_raises "quantum <= 0"
+    (Invalid_argument "Hybrid.attach: quantum <= 0") (fun () ->
+      ignore
+        (Hybrid.attach ~quantum_s:0. ~sched ~bottleneck
+           { cfg with Config.background = 10 }));
+  Dumbbell.reclaim net;
+  Dumbbell.release_flows net
+
+let hybrid_run_summary_presence () =
+  (* background = 0 keeps the pure-packet path untouched (no summary,
+     no coupling state); background >= 1 yields a converging summary. *)
+  let cfg = tiny ~clients:4 ~duration:12. ~warmup:4. () in
+  let pure = Run.run cfg Scenario.reno_red in
+  Alcotest.(check bool) "no hybrid summary without background" true
+    (pure.Metrics.hybrid = None);
+  let m = Run.run { cfg with Config.background = 100 } Scenario.reno_red in
+  match m.Metrics.hybrid with
+  | None -> Alcotest.fail "hybrid summary missing with background = 100"
+  | Some s ->
+      Alcotest.(check int) "background recorded" 100 s.Metrics.background;
+      Alcotest.(check bool) "quanta taken" true (s.Metrics.steps > 0);
+      Alcotest.(check bool) "background window positive" true
+        (s.Metrics.bg_window_mean > 0.);
+      Alcotest.(check bool) "slowdown at least 1" true
+        (s.Metrics.slowdown_mean >= 1.)
+
+let hybrid_matches_packet_1e3 () =
+  (* Short-horizon miniature of the bench validation gate: N = 10^3
+     flows, all packet vs 50 packet + 950 fluid. The fluid Reno law has
+     no timeouts or sub-RTT burstiness, so the bands are generous; the
+     bench enforces the committed ones on longer horizons. *)
+  let n = 1_000 and k_fg = 50 in
+  let duration_s = 6.0 in
+  let measure_from = 0.6 *. duration_s in
+  let drive cfg k =
+    let module Time = Sim_engine.Time in
+    let net = Dumbbell.create cfg Scenario.reno_red in
+    let sched = Dumbbell.scheduler net in
+    let bottleneck = Dumbbell.bottleneck net in
+    let hybrid =
+      if cfg.Config.background >= 1 then
+        Some (Hybrid.attach ~sched ~bottleneck cfg)
+      else None
+    in
+    for i = 0 to k - 1 do
+      ignore
+        (Traffic.Bulk.start sched ~size:Traffic.Bulk.infinite_backlog_size
+           ~start:(Time.of_sec (0.2 *. float_of_int i /. float_of_int k))
+           ~sink:(Dumbbell.sink net i))
+    done;
+    let delivered_at_mark = ref 0 in
+    let arrivals_at_mark = ref 0 in
+    let drops_at_mark = ref 0 in
+    ignore
+      (Sim_engine.Scheduler.at sched (Time.of_sec measure_from) (fun () ->
+           delivered_at_mark := Dumbbell.delivered_total net;
+           arrivals_at_mark := Netsim.Link.arrivals bottleneck;
+           drops_at_mark := Netsim.Link.drops bottleneck));
+    Sim_engine.Scheduler.run ~until:(Time.of_sec duration_s) sched;
+    let window = duration_s -. measure_from in
+    let per_flow_pps =
+      float_of_int (Dumbbell.delivered_total net - !delivered_at_mark)
+      /. window /. float_of_int k
+    in
+    let arr = Netsim.Link.arrivals bottleneck - !arrivals_at_mark in
+    let drops = Netsim.Link.drops bottleneck - !drops_at_mark in
+    let loss_rate =
+      if arr = 0 then 0. else float_of_int drops /. float_of_int arr
+    in
+    ignore hybrid;
+    Dumbbell.reclaim net;
+    Dumbbell.release_flows net;
+    (per_flow_pps, loss_rate)
+  in
+  let base = mean_field_cfg n duration_s in
+  let packet_pps, packet_loss = drive base n in
+  let hybrid_pps, hybrid_loss =
+    drive
+      { (Config.with_clients base k_fg) with Config.background = n - k_fg }
+      k_fg
+  in
+  let ratio = hybrid_pps /. packet_pps in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-flow throughput ratio %.3f within [0.7, 1.45]" ratio)
+    true
+    (ratio >= 0.7 && ratio <= 1.45);
+  Alcotest.(check bool)
+    (Printf.sprintf "loss %.4f vs %.4f within 0.05" hybrid_loss packet_loss)
+    true
+    (Float.abs (hybrid_loss -. packet_loss) <= 0.05)
+
 let suite =
   [
     ( "core.config",
@@ -953,6 +1131,15 @@ let suite =
         Alcotest.test_case "sack end to end" `Slow run_sack_end_to_end;
         Alcotest.test_case "m/d/1 queue validation" `Slow run_md1_queue_validation;
         Alcotest.test_case "sfq end to end" `Slow run_sfq_end_to_end;
+      ] );
+    ( "core.hybrid",
+      [
+        Alcotest.test_case "attach validation" `Quick hybrid_attach_validates;
+        Alcotest.test_case "summary presence and shape" `Quick
+          hybrid_run_summary_presence;
+        Alcotest.test_case "matches packet at N=1e3 (short horizon)" `Slow
+          hybrid_matches_packet_1e3;
+        QCheck_alcotest.to_alcotest hybrid_dt_halving_convergence;
       ] );
     ( "core.paper_shapes",
       [

@@ -55,12 +55,76 @@ let ode_rejects_bad_args () =
   Alcotest.check_raises "t1" (Invalid_argument "Ode.integrate: t1 < t0") (fun () ->
       ignore (Ode.integrate f ~y0:[| 0. |] ~t0:1. ~t1:0. ~dt:0.1))
 
+(* --- in-place RK4 stepper ----------------------------------------- *)
+
+(* A stiff-ish nonlinear 2-d system exercising both components and the
+   time argument. Allocating and in-place forms of the same field. *)
+let vdp_alloc ~t ~y = [| y.(1); ((1. -. (y.(0) *. y.(0))) *. y.(1)) -. y.(0) +. sin t |]
+
+let vdp_in_place ~t ~y ~dy =
+  dy.(0) <- y.(1);
+  dy.(1) <- ((1. -. (y.(0) *. y.(0))) *. y.(1)) -. y.(0) +. sin t
+
+let ode_step_in_place_bit_identical () =
+  (* The in-place stepper's stage arithmetic is expression-identical to
+     [rk4_step], so the results must agree bit for bit — not just to
+     tolerance — over many steps. *)
+  let y_ref = ref [| 2.; 0. |] in
+  let y = [| 2.; 0. |] in
+  let s = Ode.stepper 2 in
+  for i = 0 to 199 do
+    let t = 0.05 *. float_of_int i in
+    y_ref := Ode.rk4_step vdp_alloc ~t ~dt:0.05 !y_ref;
+    Ode.step_in_place s vdp_in_place ~t ~dt:0.05 y;
+    Array.iteri
+      (fun j v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "step %d component %d bit-identical" i j)
+          true
+          (Int64.equal (Int64.bits_of_float v) (Int64.bits_of_float !y_ref.(j))))
+      y
+  done
+
+let ode_step_in_place_golden () =
+  (* Golden vectors pinned from the expression-identical [rk4_step]:
+     exponential decay (one step, exact RK4 polynomial) and 10 steps of
+     the forced Van der Pol system above. *)
+  let s = Ode.stepper 2 in
+  let y = [| 1. |] in
+  Ode.step_in_place s (fun ~t:_ ~y ~dy -> dy.(0) <- -.y.(0)) ~t:0. ~dt:0.5 y;
+  (* 1 - 1/2 + 1/8 - 1/48 + 1/384 = RK4's quartic truncation of e^-0.5. *)
+  check_close 1e-15 "decay one step" 0.6067708333333333 y.(0);
+  let y = [| 2.; 0. |] in
+  for i = 0 to 9 do
+    Ode.step_in_place s vdp_in_place ~t:(0.1 *. float_of_int i) ~dt:0.1 y
+  done;
+  check_close 1e-12 "vdp position" 1.6106899418778762 y.(0);
+  check_close 1e-12 "vdp velocity" (-0.49467209532545381) y.(1)
+
+let ode_stepper_validates () =
+  Alcotest.check_raises "dim" (Invalid_argument "Ode.stepper: dim <= 0")
+    (fun () -> ignore (Ode.stepper 0));
+  let s = Ode.stepper 1 in
+  Alcotest.check_raises "dimension exceeded"
+    (Invalid_argument "Ode.step_in_place: state exceeds stepper dimension")
+    (fun () -> Ode.step_in_place s vdp_in_place ~t:0. ~dt:0.1 [| 1.; 2. |])
+
 (* ------------------------------------------------------------------ *)
 (* Reno fluid *)
 
 let table1_reno flows =
   Reno_fluid.of_table1 ~flows ~capacity_pps:416.67 ~base_rtt_s:1.
     ~buffer_packets:50.
+
+let reno_equilibrium_golden () =
+  (* Golden equilibrium for the Table 1 Reno/RED shape at 8 flows,
+     pinned to 1e-9 so any change to the integrator (including the
+     in-place stepper refactor) that perturbs the fluid fixed point is
+     caught immediately. *)
+  let eq = Reno_fluid.equilibrium (table1_reno 8) in
+  check_close 1e-9 "window" 53.464937705775021 eq.Reno_fluid.eq_window;
+  check_close 1e-9 "queue" 11.049501646795884 eq.Reno_fluid.eq_queue;
+  check_close 1e-9 "throughput" 416.66999999941964 eq.Reno_fluid.eq_throughput_pps
 
 let reno_fluid_fixed_point () =
   (* At equilibrium dw/dt = 0 gives w = sqrt(2/p). *)
@@ -162,6 +226,11 @@ let suite =
         Alcotest.test_case "fourth-order convergence" `Quick ode_fourth_order_convergence;
         Alcotest.test_case "observe and project" `Quick ode_observe_and_project;
         Alcotest.test_case "argument validation" `Quick ode_rejects_bad_args;
+        Alcotest.test_case "in-place stepper bit-identical" `Quick
+          ode_step_in_place_bit_identical;
+        Alcotest.test_case "in-place stepper golden vectors" `Quick
+          ode_step_in_place_golden;
+        Alcotest.test_case "stepper validation" `Quick ode_stepper_validates;
       ] );
     ( "fluid.reno",
       [
@@ -170,6 +239,7 @@ let suite =
         Alcotest.test_case "window scales with 1/n" `Quick reno_fluid_window_scales_inversely;
         Alcotest.test_case "trajectory shape" `Quick reno_fluid_trajectory_shape;
         Alcotest.test_case "validation" `Quick reno_fluid_validates;
+        Alcotest.test_case "equilibrium golden" `Quick reno_equilibrium_golden;
       ] );
     ( "fluid.vegas",
       [

@@ -327,6 +327,59 @@ let red_validates_params () =
   Alcotest.check_raises "thresholds" (Invalid_argument "Red.create: bad thresholds")
     (fun () -> ignore (Red.create ~rng ~pool { (red_params 10) with Red.max_th = 1. }))
 
+let red_virtual_queue_ewma_catch_up () =
+  let pool = Pool.create () in
+  let rng = Rng.create ~seed:7L in
+  let q = Red.create ~rng ~pool (red_params 100) in
+  ignore (Red.enqueue q ~now:Time.zero (mk_packet pool));
+  ignore (Red.enqueue q ~now:Time.zero (mk_packet pool));
+  let avg0 = Red.avg q in
+  (* virtual_update is the closed form of [m] EWMA samples at the
+     frozen combined depth — check it against that form exactly. *)
+  Red.set_virtual_queue q 40.;
+  Red.virtual_update q ~arrivals:25.;
+  let w_q = (red_params 100).Red.w_q in
+  let keep = (1. -. w_q) ** 25. in
+  let expected = (avg0 *. keep) +. ((2. +. 40.) *. (1. -. keep)) in
+  check_float "closed-form catch-up" expected (Red.avg q);
+  (* Non-positive arrival counts are a no-op. *)
+  Red.virtual_update q ~arrivals:0.;
+  Red.virtual_update q ~arrivals:(-3.);
+  check_float "no-op on zero arrivals" expected (Red.avg q);
+  (* A negative virtual backlog clamps to zero: the next sample sees
+     only the physical depth. *)
+  Red.set_virtual_queue q (-5.);
+  Red.virtual_update q ~arrivals:1.;
+  let expected' = (expected *. (1. -. w_q)) +. (2. *. w_q) in
+  check_float "clamped at zero" expected' (Red.avg q)
+
+let queue_disc_optional_avg () =
+  let pool = Pool.create () in
+  let dt = Queue_disc.droptail ~capacity:10 in
+  let sfq = Queue_disc.sfq ~pool ~capacity:10 () in
+  (* Off by default: no estimate, and the hybrid hooks are no-ops. *)
+  Alcotest.(check (option (float 0.))) "droptail off" None
+    (Queue_disc.avg_queue dt);
+  Alcotest.(check (option (float 0.))) "sfq off" None (Queue_disc.avg_queue sfq);
+  Queue_disc.set_virtual_queue dt 10.;
+  Queue_disc.virtual_update dt ~arrivals:5.;
+  Alcotest.(check (option (float 0.))) "still off after hybrid hooks" None
+    (Queue_disc.avg_queue dt);
+  List.iter
+    (fun q ->
+      Queue_disc.enable_avg q ~w_q:0.5;
+      (* Each arrival samples the pre-enqueue occupancy, RED-style:
+         first packet sees 0, second sees 1. *)
+      ignore (Queue_disc.enqueue q ~now:Time.zero (mk_packet pool));
+      ignore (Queue_disc.enqueue q ~now:Time.zero (mk_packet pool));
+      match Queue_disc.avg_queue q with
+      | None -> Alcotest.fail "no estimate after enable_avg"
+      | Some avg -> check_float "two samples" 0.5 avg)
+    [ dt; sfq ];
+  Alcotest.check_raises "bad w_q"
+    (Invalid_argument "Droptail.enable_avg: bad w_q") (fun () ->
+      Queue_disc.enable_avg (Queue_disc.droptail ~capacity:4) ~w_q:0.)
+
 (* ------------------------------------------------------------------ *)
 (* SFQ *)
 
@@ -929,6 +982,10 @@ let suite =
           red_drops_non_capable_despite_ecn_mode;
         Alcotest.test_case "adaptive max_p tracks load" `Quick red_adaptive_max_p_moves;
         Alcotest.test_case "validates parameters" `Quick red_validates_params;
+        Alcotest.test_case "virtual queue EWMA catch-up" `Quick
+          red_virtual_queue_ewma_catch_up;
+        Alcotest.test_case "optional droptail/sfq average" `Quick
+          queue_disc_optional_avg;
       ] );
     ( "net.sfq",
       [

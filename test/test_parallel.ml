@@ -262,6 +262,22 @@ let pdes_shards_exceeding_clients_clamp () =
     (single_run_fingerprint 1 Burstcore.Scenario.reno)
     (single_run_fingerprint 8 Burstcore.Scenario.reno)
 
+let pdes_hybrid_deterministic_across_shards () =
+  (* The hybrid quantum tick lives on the hub scheduler and reads only
+     hub-local state, so enabling fluid background load must leave the
+     result invariant under the shard count — bit for bit, like the
+     pure-packet path. *)
+  let cfg shards =
+    { (pdes_cfg shards) with Burstcore.Config.background = 200 }
+  in
+  let fingerprint shards =
+    metrics_fingerprint
+      [ Burstcore.Run.run (cfg shards) Burstcore.Scenario.reno_red ]
+  in
+  Alcotest.(check string)
+    "1-shard vs 4-shard bit-identical with background load" (fingerprint 1)
+    (fingerprint 4)
+
 let pdes_rejects_prepare_and_udp () =
   Alcotest.(check bool) "?prepare rejected under shards >= 1" true
     (try
@@ -320,6 +336,8 @@ let suite =
           pdes_deterministic_across_shards;
         Alcotest.test_case "shards clamp to clients" `Quick
           pdes_shards_exceeding_clients_clamp;
+        Alcotest.test_case "hybrid background bit-identical across shards"
+          `Quick pdes_hybrid_deterministic_across_shards;
         Alcotest.test_case "rejects prepare and UDP" `Quick
           pdes_rejects_prepare_and_udp;
       ] );

@@ -1488,6 +1488,203 @@ let report_validate_burst_rejects () =
     "no stable row";
   expect_error "empty sweep" (burst_doc ~rows:[] ()) "rows is empty"
 
+(* --- hybrid fluid/packet report ----------------------------------- *)
+
+let hybrid_record_kinds_roundtrip () =
+  List.iter
+    (fun k ->
+      let label = Record.kind_label k in
+      Alcotest.(check (option int)) label (Some k) (Record.kind_of_label label);
+      Alcotest.(check bool) (label ^ " is lifecycle") false (Record.is_parity k))
+    [ Record.hybrid_bg_window; Record.hybrid_bg_queue; Record.hybrid_bg_rate ];
+  (* End-of-run summary records carry (background, value, steps) and
+     decode through the self-describing JSON path. *)
+  let r = Recorder.create (rcfg ~capacity:16 ()) in
+  let lane = Recorder.lane r 0 in
+  let sid = Recorder.intern r "hybrid run" in
+  Recorder.record lane ~tick:1_000_000 ~kind:Record.hybrid_bg_queue ~flow:(-1)
+    ~a:999_900
+    ~b:(Record.float_hi 21237.5)
+    ~c:(Record.float_lo 21237.5)
+    ~sid ~depth:4242;
+  Recorder.iter_lane lane (fun ~seq:_ buf off ->
+      let j = Record.json_of_record ~lookup:(fun _ -> "hybrid run") buf off in
+      Alcotest.(check bool) "event tag" true
+        (Json.member "event" j = Some (Json.String "hybrid"));
+      Alcotest.(check bool) "kind tag" true
+        (Json.member "kind" j = Some (Json.String "bg_queue"));
+      Alcotest.(check bool) "background flows" true
+        (Json.member "background" j = Some (Json.Int 999_900));
+      Alcotest.(check bool) "steps" true
+        (Json.member "steps" j = Some (Json.Int 4242));
+      match Option.bind (Json.member "value" j) Json.to_float with
+      | Some v -> check_float "value bits round-trip" 21237.5 v
+      | None -> Alcotest.fail "value missing")
+
+let hybrid_validation_row ?(ratio = 1.15) ?(queue_ratio = 1.5)
+    ?(loss_err = 0.017) ?(event_ratio = 17.) ?(drop = "") () =
+  let fields =
+    [
+      ("flows", Json.Int 1_000);
+      ("background", Json.Int 950);
+      ("packet_throughput_pps", Json.Float 14.6);
+      ("hybrid_throughput_pps", Json.Float (14.6 *. ratio));
+      ("throughput_ratio", Json.Float ratio);
+      ("packet_queue_mean", Json.Float 1693.);
+      ("hybrid_queue_mean", Json.Float (1693. *. queue_ratio));
+      ("queue_ratio", Json.Float queue_ratio);
+      ("packet_loss_rate", Json.Float 0.041);
+      ("hybrid_loss_rate", Json.Float (0.041 +. loss_err));
+      ("loss_abs_err", Json.Float loss_err);
+      ("event_ratio", Json.Float event_ratio);
+    ]
+  in
+  Json.Obj (List.filter (fun (k, _) -> k <> drop) fields)
+
+let hybrid_converged ?(leak_free = true) ?(growths = 0) ?(smoke = false)
+    ?(work_ratio = Json.Float 1200.) ?(drop = "") () =
+  let fields =
+    [
+      ("flows", Json.Int 1_000_000);
+      ("foreground", Json.Int 100);
+      ("background", Json.Int 999_900);
+      ("duration_s", Json.Float 10.);
+      ("events", Json.Int 170_310);
+      ("wall_s", Json.Float 1.9);
+      ("events_per_sec", Json.Float 89_000.);
+      ("bg_window_mean", Json.Float 7.1);
+      ("bg_queue_mean", Json.Float 21237.5);
+      ("slowdown_mean", Json.Float 3245.);
+      ("flow_table_growths", Json.Int growths);
+      ("queue_growths", Json.Int growths);
+      ("leak_free", Json.Bool leak_free);
+      ("smoke", Json.Bool smoke);
+      ("work_ratio", work_ratio);
+    ]
+  in
+  Json.Obj (List.filter (fun (k, _) -> k <> drop) fields)
+
+let hybrid_doc ?(drop = "") ?rows ?converged ?sweep_rows
+    ?(wq_critical = 7.5e-6) () =
+  let rows =
+    match rows with Some r -> r | None -> [ hybrid_validation_row () ]
+  in
+  let converged =
+    match converged with Some c -> c | None -> hybrid_converged ()
+  in
+  let sweep_rows =
+    match sweep_rows with
+    | Some r -> r
+    | None -> [ burst_row ~side:"unstable" ~w_q:7.5e-4 (); burst_row () ]
+  in
+  let fields =
+    [
+      ("scenario", Json.String "Reno/RED");
+      ("foreground", Json.Int 50);
+      ("throughput_ratio_min", Json.Float 0.8);
+      ("throughput_ratio_max", Json.Float 1.25);
+      ("queue_ratio_min", Json.Float 0.5);
+      ("queue_ratio_max", Json.Float 2.0);
+      ("loss_abs_tol", Json.Float 0.025);
+      ("work_ratio_min", Json.Float 10.);
+      ("validation", Json.List rows);
+      ("converged", converged);
+      ( "stability_sweep",
+        Json.Obj
+          [
+            ("wq_critical", Json.Float wq_critical);
+            ("rows", Json.List sweep_rows);
+          ] );
+    ]
+  in
+  Json.Obj (List.filter (fun (k, _) -> k <> drop) fields)
+
+let report_validate_hybrid_accepts () =
+  (match Report.validate_hybrid (hybrid_doc ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a well-formed hybrid report: %s" e);
+  (* A smoke-mode converged row may carry a null work ratio: the pure
+     packet reference at N = 10^6 is only run in full mode. *)
+  match
+    Report.validate_hybrid
+      (hybrid_doc
+         ~converged:(hybrid_converged ~smoke:true ~work_ratio:Json.Null ())
+         ())
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rejected a smoke converged row: %s" e
+
+let report_validate_hybrid_rejects () =
+  let expect_error name doc needle =
+    match Report.validate_hybrid doc with
+    | Ok () -> Alcotest.failf "accepted %s" name
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s error mentions %s (got: %s)" name needle msg)
+          true
+          (Astring_like.contains msg needle)
+  in
+  expect_error "a non-object" (Json.String "nope") "not a JSON object";
+  List.iter
+    (fun f -> expect_error ("dropping " ^ f) (hybrid_doc ~drop:f ()) f)
+    Report.hybrid_required_fields;
+  List.iter
+    (fun f ->
+      expect_error
+        ("dropping row field " ^ f)
+        (hybrid_doc ~rows:[ hybrid_validation_row ~drop:f () ] ())
+        f)
+    Report.hybrid_validation_row_required_fields;
+  List.iter
+    (fun f ->
+      expect_error
+        ("dropping converged field " ^ f)
+        (hybrid_doc ~converged:(hybrid_converged ~drop:f ()) ())
+        f)
+    Report.hybrid_converged_required_fields;
+  expect_error "empty validation" (hybrid_doc ~rows:[] ()) "validation is empty";
+  expect_error "throughput ratio outside band"
+    (hybrid_doc ~rows:[ hybrid_validation_row ~ratio:1.6 () ] ())
+    "outside";
+  expect_error "queue ratio outside band"
+    (hybrid_doc ~rows:[ hybrid_validation_row ~queue_ratio:0.2 () ] ())
+    "outside";
+  expect_error "loss error over tolerance"
+    (hybrid_doc ~rows:[ hybrid_validation_row ~loss_err:0.08 () ] ())
+    "exceeds tolerance";
+  expect_error "hybrid doing more work than packet"
+    (hybrid_doc ~rows:[ hybrid_validation_row ~event_ratio:0.5 () ] ())
+    "more work";
+  expect_error "leaking converged run"
+    (hybrid_doc ~converged:(hybrid_converged ~leak_free:false ()) ())
+    "leak_free is false";
+  expect_error "grown slabs"
+    (hybrid_doc ~converged:(hybrid_converged ~growths:2 ()) ())
+    "slabs grew";
+  expect_error "work ratio below floor"
+    (hybrid_doc
+       ~converged:(hybrid_converged ~work_ratio:(Json.Float 3.) ())
+       ())
+    "below the committed floor";
+  expect_error "null work ratio outside smoke mode"
+    (hybrid_doc ~converged:(hybrid_converged ~work_ratio:Json.Null ()) ())
+    "null outside smoke";
+  expect_error "non-positive critical gain"
+    (hybrid_doc ~wq_critical:0. ())
+    "not positive";
+  expect_error "sweep verdict contradicting side"
+    (hybrid_doc
+       ~sweep_rows:
+         [ burst_row ~side:"unstable" ~osc:false ~w_q:7.5e-4 (); burst_row () ]
+       ())
+    "contradicts side";
+  expect_error "sweep missing stable row"
+    (hybrid_doc ~sweep_rows:[ burst_row ~side:"unstable" ~w_q:7.5e-4 () ] ())
+    "no stable row";
+  expect_error "empty sweep"
+    (hybrid_doc ~sweep_rows:[] ())
+    "rows is empty"
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suite =
@@ -1552,6 +1749,12 @@ let suite =
           report_validate_burst_accepts;
         Alcotest.test_case "burst schema rejects" `Quick
           report_validate_burst_rejects;
+        Alcotest.test_case "hybrid record kinds round-trip" `Quick
+          hybrid_record_kinds_roundtrip;
+        Alcotest.test_case "hybrid schema accepts" `Quick
+          report_validate_hybrid_accepts;
+        Alcotest.test_case "hybrid schema rejects" `Quick
+          report_validate_hybrid_rejects;
       ] );
     ( "telemetry.burst",
       [
